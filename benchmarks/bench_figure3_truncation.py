@@ -1,0 +1,16 @@
+"""Benchmark: regenerate figure3 (truncation) at quick size.
+
+The benchmark times the full experiment pipeline — engine construction,
+prompt traffic against the simulated model, metric computation — and
+asserts the artifact is well-formed.
+"""
+
+from repro.eval.experiments import figure3_truncation
+from repro.eval.reporting import artifact_path
+
+
+def test_figure3_truncation(benchmark):
+    artifact = benchmark.pedantic(figure3_truncation, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert artifact.rows, "experiment produced no rows"
+    path = artifact.save(artifact_path("figure3_truncation.txt"))
+    assert path

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate figure4 (pushdown) at quick size.
+
+The benchmark times the full experiment pipeline — engine construction,
+prompt traffic against the simulated model, metric computation — and
+asserts the artifact is well-formed.
+"""
+
+from repro.eval.experiments import figure4_pushdown
+from repro.eval.reporting import artifact_path
+
+
+def test_figure4_pushdown(benchmark):
+    artifact = benchmark.pedantic(figure4_pushdown, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert artifact.rows, "experiment produced no rows"
+    path = artifact.save(artifact_path("figure4_pushdown.txt"))
+    assert path

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate figure5 (voting) at quick size.
+
+The benchmark times the full experiment pipeline — engine construction,
+prompt traffic against the simulated model, metric computation — and
+asserts the artifact is well-formed.
+"""
+
+from repro.eval.experiments import figure5_voting
+from repro.eval.reporting import artifact_path
+
+
+def test_figure5_voting(benchmark):
+    artifact = benchmark.pedantic(figure5_voting, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert artifact.rows, "experiment produced no rows"
+    path = artifact.save(artifact_path("figure5_voting.txt"))
+    assert path

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate figure6 (joins) at quick size.
+
+The benchmark times the full experiment pipeline — engine construction,
+prompt traffic against the simulated model, metric computation — and
+asserts the artifact is well-formed.
+"""
+
+from repro.eval.experiments import figure6_joins
+from repro.eval.reporting import artifact_path
+
+
+def test_figure6_joins(benchmark):
+    artifact = benchmark.pedantic(figure6_joins, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert artifact.rows, "experiment produced no rows"
+    path = artifact.save(artifact_path("figure6_joins.txt"))
+    assert path

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate figure7 (noise) at quick size.
+
+The benchmark times the full experiment pipeline — engine construction,
+prompt traffic against the simulated model, metric computation — and
+asserts the artifact is well-formed.
+"""
+
+from repro.eval.experiments import figure7_noise
+from repro.eval.reporting import artifact_path
+
+
+def test_figure7_noise(benchmark):
+    artifact = benchmark.pedantic(figure7_noise, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert artifact.rows, "experiment produced no rows"
+    path = artifact.save(artifact_path("figure7_noise.txt"))
+    assert path

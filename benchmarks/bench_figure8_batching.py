@@ -1,0 +1,16 @@
+"""Benchmark: regenerate figure8 (batching) at quick size.
+
+The benchmark times the full experiment pipeline — engine construction,
+prompt traffic against the simulated model, metric computation — and
+asserts the artifact is well-formed.
+"""
+
+from repro.eval.experiments import figure8_batching
+from repro.eval.reporting import artifact_path
+
+
+def test_figure8_batching(benchmark):
+    artifact = benchmark.pedantic(figure8_batching, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert artifact.rows, "experiment produced no rows"
+    path = artifact.save(artifact_path("figure8_batching.txt"))
+    assert path

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate table1 (workloads) at quick size.
+
+The benchmark times the full experiment pipeline — engine construction,
+prompt traffic against the simulated model, metric computation — and
+asserts the artifact is well-formed.
+"""
+
+from repro.eval.experiments import table1_workloads
+from repro.eval.reporting import artifact_path
+
+
+def test_table1_workloads(benchmark):
+    artifact = benchmark.pedantic(table1_workloads, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert artifact.rows, "experiment produced no rows"
+    path = artifact.save(artifact_path("table1_workloads.txt"))
+    assert path

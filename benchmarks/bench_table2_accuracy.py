@@ -1,0 +1,16 @@
+"""Benchmark: regenerate table2 (accuracy) at quick size.
+
+The benchmark times the full experiment pipeline — engine construction,
+prompt traffic against the simulated model, metric computation — and
+asserts the artifact is well-formed.
+"""
+
+from repro.eval.experiments import table2_accuracy
+from repro.eval.reporting import artifact_path
+
+
+def test_table2_accuracy(benchmark):
+    artifact = benchmark.pedantic(table2_accuracy, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert artifact.rows, "experiment produced no rows"
+    path = artifact.save(artifact_path("table2_accuracy.txt"))
+    assert path

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate table3 (ablation) at quick size.
+
+The benchmark times the full experiment pipeline — engine construction,
+prompt traffic against the simulated model, metric computation — and
+asserts the artifact is well-formed.
+"""
+
+from repro.eval.experiments import table3_ablation
+from repro.eval.reporting import artifact_path
+
+
+def test_table3_ablation(benchmark):
+    artifact = benchmark.pedantic(table3_ablation, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert artifact.rows, "experiment produced no rows"
+    path = artifact.save(artifact_path("table3_ablation.txt"))
+    assert path

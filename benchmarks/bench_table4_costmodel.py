@@ -1,0 +1,16 @@
+"""Benchmark: regenerate table4 (costmodel) at quick size.
+
+The benchmark times the full experiment pipeline — engine construction,
+prompt traffic against the simulated model, metric computation — and
+asserts the artifact is well-formed.
+"""
+
+from repro.eval.experiments import table4_costmodel
+from repro.eval.reporting import artifact_path
+
+
+def test_table4_costmodel(benchmark):
+    artifact = benchmark.pedantic(table4_costmodel, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert artifact.rows, "experiment produced no rows"
+    path = artifact.save(artifact_path("table4_costmodel.txt"))
+    assert path

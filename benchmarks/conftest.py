@@ -1,0 +1,18 @@
+"""Benchmark configuration.
+
+Each benchmark wraps one experiment runner (quick-sized) so
+``pytest benchmarks/ --benchmark-only`` both times the harness and
+regenerates a small version of every artifact under ``results/``.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _results_dir(tmp_path_factory, monkeypatch):
+    """Benchmarks write artifacts into a scratch results directory."""
+    scratch = tmp_path_factory.mktemp("bench-results")
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(scratch))
+    yield

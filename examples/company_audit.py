@@ -1,0 +1,59 @@
+"""HR audit: budgets, spend limits and plan inspection.
+
+Run:  python examples/company_audit.py
+
+Shows the operational side of LLM-as-storage: EXPLAIN before you spend,
+hard call budgets (a query that would overrun raises instead of burning
+tokens), cross-query caching, and the warnings channel (validation,
+truncation, malformed lines).
+"""
+
+from repro import EngineConfig, LLMStorageEngine
+from repro.errors import LLMBudgetExceeded
+from repro.eval.worlds import company_world, constraints_for
+from repro.llm import NoiseConfig, SimulatedLLM
+from repro.llm.accounting import Budget
+
+
+def main() -> None:
+    world = company_world()
+    model = SimulatedLLM(world, noise=NoiseConfig(), seed=9)
+
+    engine = LLMStorageEngine(
+        model,
+        config=EngineConfig(votes=3),
+        budget=Budget(max_calls=60),
+    )
+    for schema in world.schemas():
+        engine.register_virtual_table(
+            schema,
+            row_estimate=world.row_count(schema.name),
+            constraints=constraints_for(world, schema.name),
+        )
+
+    audit = "SELECT department, COUNT(*) AS heads, AVG(salary) AS avg_salary " \
+            "FROM employees GROUP BY department ORDER BY avg_salary DESC"
+    print("-- estimated plan, before spending anything --")
+    print(engine.explain(audit))
+
+    print("\n-- executing --")
+    result = engine.execute(audit)
+    print(result.render())
+
+    lookup = "SELECT budget, hq_city FROM departments WHERE dept_name = 'Research'"
+    first = engine.execute(lookup)
+    second = engine.execute(lookup)
+    print(f"\nrepeated lookup: first {first.usage.render()}")
+    print(f"                 again {second.usage.render()}  (cache)")
+
+    print(f"\nbudget state: {engine.usage.calls}/60 calls used")
+    try:
+        while True:  # burn the remaining budget on full scans
+            engine.clear_cache()
+            engine.execute("SELECT name, salary, hired FROM employees")
+    except LLMBudgetExceeded as exc:
+        print(f"budget enforced: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: SQL over a language model, no stored rows.
+
+Run:  python examples/quickstart.py
+
+Registers the geography schemas as *virtual* tables, points the engine
+at a (simulated, seedable) language model, and runs plain SQL.  Swap
+``SimulatedLLM`` for any ``LanguageModel`` implementation to target a
+real API — nothing above the prompt/completion interface changes.
+"""
+
+from repro import EngineConfig, LLMStorageEngine
+from repro.eval.worlds import constraints_for, geography_world
+from repro.llm import NoiseConfig, SimulatedLLM
+
+
+def main() -> None:
+    # The "world" is the model's parametric knowledge (and our ground
+    # truth).  The engine itself never touches it — only the model does.
+    world = geography_world()
+    model = SimulatedLLM(world, noise=NoiseConfig(), seed=42)
+
+    engine = LLMStorageEngine(model, config=EngineConfig())
+    for schema in world.schemas():
+        engine.register_virtual_table(
+            schema,
+            row_estimate=world.row_count(schema.name),
+            constraints=constraints_for(world, schema.name),
+        )
+
+    queries = [
+        "SELECT population FROM countries WHERE name = 'France'",
+        "SELECT name, population FROM countries "
+        "WHERE continent = 'Europe' ORDER BY population DESC LIMIT 5",
+        "SELECT c.city, k.continent FROM cities c "
+        "JOIN countries k ON k.name = c.country WHERE c.city_population > 9000",
+        "SELECT continent, COUNT(*) AS n, AVG(gdp) AS avg_gdp "
+        "FROM countries GROUP BY continent ORDER BY n DESC",
+    ]
+    for sql in queries:
+        print(f"\nSQL> {sql}")
+        print(engine.execute(sql).render())
+
+    print("\n-- plan for the join query --")
+    print(engine.explain(queries[2]))
+    print(f"\nsession usage: {engine.usage.render()}")
+
+
+if __name__ == "__main__":
+    main()

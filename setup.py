@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This environment has setuptools 65 without the `wheel` package, so PEP 660
+editable installs (which need bdist_wheel) fail.  Keeping a setup.py lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``python setup.py develop``) work offline.
+"""
+
+from setuptools import setup
+
+setup()

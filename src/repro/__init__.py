@@ -1,0 +1,34 @@
+"""repro — Large Language Models as Storage for SQL Querying (ICDE 2024).
+
+A complete reproduction of the LLM-as-storage line of work: a SQL engine
+that answers queries over *virtual tables* whose rows live in a language
+model, by compiling relational operators into targeted prompts and
+running all exact compute locally.
+
+Public surface:
+
+* :class:`~repro.core.engine.LLMStorageEngine` — the decomposed engine
+  (the paper's contribution).
+* :class:`~repro.config.EngineConfig` — planner/runtime knobs.
+* :mod:`repro.baselines` — direct prompting, naive decomposition, and
+  the materialized ground truth.
+* :mod:`repro.llm` — the model interface plus the simulated, seedable
+  model used offline.
+* :mod:`repro.eval` — metrics, synthetic worlds, workloads, and the
+  experiment harness that regenerates every table and figure.
+"""
+
+from repro.config import EngineConfig
+from repro.core.engine import LLMStorageEngine
+from repro.core.results import QueryResult
+from repro.core.virtual import ColumnConstraint
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EngineConfig",
+    "LLMStorageEngine",
+    "QueryResult",
+    "ColumnConstraint",
+    "__version__",
+]

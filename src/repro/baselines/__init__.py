@@ -1,0 +1,17 @@
+"""Baseline engines the decomposed engine is evaluated against.
+
+* :class:`~repro.baselines.direct.DirectPromptEngine` — the whole SQL
+  query in one prompt, one completion, no decomposition.
+* :func:`~repro.baselines.naive.naive_engine` — the decomposed engine
+  with every optimization disabled (no pushdown, no lookup joins, no
+  caching, no batching).
+* :class:`~repro.baselines.materialized.MaterializedEngine` — classical
+  SQL over the ground-truth world; the accuracy oracle and the zero-cost
+  reference point.
+"""
+
+from repro.baselines.direct import DirectPromptEngine
+from repro.baselines.materialized import MaterializedEngine
+from repro.baselines.naive import naive_engine
+
+__all__ = ["DirectPromptEngine", "MaterializedEngine", "naive_engine"]

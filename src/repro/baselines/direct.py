@@ -1,0 +1,123 @@
+"""Direct prompting baseline: the whole query in one prompt.
+
+This is the regime decomposition is measured against: the model must
+emulate scans, joins, aggregation and sorting in-context, and must fit
+the entire result into one output budget.  The engine side only parses
+and types the answer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.config import EngineConfig
+from repro.core.results import QueryResult
+from repro.errors import LLMProtocolError
+from repro.llm.accounting import Budget, MeteredModel, PriceModel, UsageMeter
+from repro.llm.interface import CompletionOptions, LanguageModel
+from repro.prompts.direct import DirectRequest, build_direct_prompt
+from repro.prompts.parsing import parse_direct_completion
+from repro.relational.catalog import Catalog
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table
+from repro.sql import ast
+from repro.sql.binder import Binder
+from repro.sql.parser import parse
+from repro.sql.printer import print_statement
+
+
+class DirectPromptEngine:
+    """One prompt per query; the model is the whole execution engine."""
+
+    name = "direct"
+
+    def __init__(
+        self,
+        model: LanguageModel,
+        config: EngineConfig = EngineConfig(),
+        price_model: PriceModel = PriceModel(),
+        budget: Optional[Budget] = None,
+    ):
+        self._meter = UsageMeter(price_model, budget)
+        self._model = MeteredModel(model, self._meter)
+        self._config = config
+        self._catalog = Catalog()
+        self._schemas: Dict[str, TableSchema] = {}
+
+    # -- registration mirrors the decomposed engine -------------------------
+
+    def register_virtual_table(self, schema: TableSchema, **_ignored) -> None:
+        self._catalog.register_virtual(schema)
+        self._schemas[schema.name.lower()] = schema
+
+    def register_world_schemas(self, world, **_ignored) -> None:
+        for schema in world.schemas():
+            self.register_virtual_table(schema)
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(self, sql: Union[str, ast.Statement]) -> QueryResult:
+        statement = parse(sql) if isinstance(sql, str) else sql
+        sql_text = sql if isinstance(sql, str) else print_statement(statement)
+        bound = Binder(self._catalog).bind(statement)
+
+        referenced = self._referenced_schemas(statement)
+        prompt = build_direct_prompt(
+            DirectRequest(schemas=tuple(referenced), sql=print_statement(bound.query))
+        )
+        options = CompletionOptions(
+            temperature=self._config.temperature,
+            max_tokens=self._config.max_output_tokens,
+        )
+        before = self._meter.snapshot()
+        completion = self._model.complete(prompt, options)
+        warnings: List[str] = []
+        dtypes = [column.dtype for column in bound.output_columns]
+        try:
+            answer = parse_direct_completion(completion.text, dtypes)
+            rows = answer.rows
+            if not answer.complete:
+                warnings.append("answer truncated by the output budget")
+            if answer.malformed_lines:
+                warnings.append(f"{answer.malformed_lines} malformed line(s) skipped")
+        except LLMProtocolError as exc:
+            rows = []
+            warnings.append(f"unusable answer: {exc}")
+        usage = self._meter.snapshot().minus(before)
+
+        columns = tuple(
+            Column(name=column.name, dtype=column.dtype, nullable=True)
+            for column in bound.output_columns
+        )
+        table = Table(TableSchema(name="result", columns=columns))
+        for row in rows:
+            try:
+                table.insert(row, coerce=True)
+            except Exception:
+                warnings.append("dropped a row that did not fit the output schema")
+        return QueryResult(
+            table=table,
+            usage=usage,
+            explain_text="DirectPrompt: 1 call, whole query",
+            warnings=warnings,
+            sql=sql_text,
+            engine_name=self.name,
+        )
+
+    def _referenced_schemas(self, statement: ast.Statement) -> List[TableSchema]:
+        from repro.llm.simulated import _referenced_tables
+
+        names = _referenced_tables(statement)
+        schemas = []
+        for name in names:
+            schema = self._schemas.get(name.lower())
+            if schema is not None:
+                schemas.append(schema)
+        return schemas
+
+    @property
+    def usage(self):
+        return self._meter.snapshot()
+
+    def reset_usage(self) -> None:
+        self._meter.reset()

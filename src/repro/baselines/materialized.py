@@ -1,0 +1,32 @@
+"""Ground-truth baseline: classical SQL over the materialized world."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.results import QueryResult
+from repro.llm.accounting import UsageSnapshot
+from repro.llm.world import World
+from repro.sql import ast
+from repro.sql.printer import print_statement
+
+
+class MaterializedEngine:
+    """The oracle: exact execution, zero model cost."""
+
+    name = "materialized"
+
+    def __init__(self, world: World):
+        self._world = world
+        self._executor = world.executor()
+
+    def execute(self, sql: Union[str, ast.Statement]) -> QueryResult:
+        sql_text = sql if isinstance(sql, str) else print_statement(sql)
+        table = self._executor.execute(sql)
+        return QueryResult(
+            table=table,
+            usage=UsageSnapshot(),
+            explain_text="Materialized: classical execution over ground truth",
+            sql=sql_text,
+            engine_name=self.name,
+        )

@@ -1,0 +1,33 @@
+"""The unoptimized decomposed engine.
+
+Same decomposition machinery, every optimization off: full-table scans
+(no predicate pushdown), no lookup joins (both join sides enumerated),
+no caching, lookups one entity per call.  Comparing it with the default
+configuration isolates what the optimizer buys (Figures 4 and 6).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import EngineConfig
+from repro.core.engine import LLMStorageEngine
+from repro.llm.accounting import Budget, PriceModel
+from repro.llm.interface import LanguageModel
+
+
+def naive_engine(
+    model: LanguageModel,
+    price_model: PriceModel = PriceModel(),
+    budget: Optional[Budget] = None,
+    **config_overrides,
+) -> LLMStorageEngine:
+    """Build a decomposed engine with all optimizations disabled."""
+    config = EngineConfig.naive()
+    if config_overrides:
+        config = config.with_(**config_overrides)
+    engine = LLMStorageEngine(
+        model, config=config, price_model=price_model, budget=budget
+    )
+    engine.name = "naive"
+    return engine

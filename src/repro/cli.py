@@ -1,0 +1,133 @@
+"""Interactive shell and one-shot runner for the LLM-storage engine.
+
+Usage::
+
+    python -m repro.cli --world geography            # REPL
+    python -m repro.cli --world movies -c "SELECT COUNT(*) FROM movies"
+    python -m repro.cli --world company --naive --seed 3 \
+        -c "SELECT name FROM employees ORDER BY salary DESC LIMIT 3"
+
+Inside the REPL:
+
+    sql> SELECT population FROM countries WHERE name = 'France';
+    sql> .explain SELECT COUNT(*) FROM cities
+    sql> .usage           -- cumulative session accounting
+    sql> .tables          -- registered virtual tables
+    sql> .quit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import EngineConfig
+from repro.core.engine import LLMStorageEngine
+from repro.errors import ReproError
+from repro.eval.worlds import all_worlds, constraints_for
+from repro.llm.noise import NoiseConfig
+from repro.llm.simulated import SimulatedLLM
+
+
+def build_engine(
+    world_name: str,
+    seed: int,
+    naive: bool,
+    gap: float,
+    sampling: float,
+    votes: int,
+) -> LLMStorageEngine:
+    """Assemble an engine over one of the standard worlds."""
+    worlds = all_worlds()
+    if world_name not in worlds:
+        raise SystemExit(
+            f"unknown world {world_name!r}; choose from {', '.join(sorted(worlds))}"
+        )
+    world = worlds[world_name]
+    noise = NoiseConfig().with_gap(gap).with_sampling_error(sampling)
+    model = SimulatedLLM(world, noise=noise, seed=seed)
+    config = EngineConfig.naive() if naive else EngineConfig()
+    if votes > 1:
+        config = config.with_(votes=votes)
+    engine = LLMStorageEngine(model, config=config)
+    for schema in world.schemas():
+        engine.register_virtual_table(
+            schema,
+            row_estimate=world.row_count(schema.name),
+            constraints=constraints_for(world, schema.name),
+        )
+    return engine
+
+
+def run_statement(engine: LLMStorageEngine, line: str, out) -> None:
+    """Execute one REPL line (SQL or dot-command)."""
+    stripped = line.strip().rstrip(";")
+    if not stripped:
+        return
+    if stripped == ".usage":
+        print(f"session usage: {engine.usage.render()}", file=out)
+        return
+    if stripped == ".tables":
+        for name in engine.catalog.names():
+            print(engine.catalog.schema(name).render_signature(), file=out)
+        return
+    if stripped.startswith(".explain"):
+        sql = stripped[len(".explain"):].strip()
+        if not sql:
+            print("usage: .explain <sql>", file=out)
+            return
+        print(engine.explain(sql), file=out)
+        return
+    result = engine.execute(stripped)
+    print(result.render(), file=out)
+
+
+def repl(engine: LLMStorageEngine, stdin=None, out=None) -> None:
+    """Read-eval-print loop; '.quit' or EOF exits."""
+    stdin = stdin or sys.stdin
+    out = out or sys.stdout
+    print("repro SQL shell — '.quit' to exit, '.explain <sql>' for plans", file=out)
+    while True:
+        print("sql> ", end="", file=out, flush=True)
+        line = stdin.readline()
+        if not line or line.strip() in (".quit", ".exit"):
+            return
+        try:
+            run_statement(engine, line, out)
+        except ReproError as exc:
+            print(f"error: {exc}", file=out)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--world", default="geography", help="geography | movies | company"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="model seed")
+    parser.add_argument("--gap", type=float, default=0.05, help="knowledge-gap rate")
+    parser.add_argument(
+        "--sampling", type=float, default=0.08, help="sampling-error rate"
+    )
+    parser.add_argument("--votes", type=int, default=1, help="self-consistency votes")
+    parser.add_argument(
+        "--naive", action="store_true", help="disable all optimizations"
+    )
+    parser.add_argument("-c", "--command", default=None, help="run one query and exit")
+    args = parser.parse_args(argv)
+
+    engine = build_engine(
+        args.world, args.seed, args.naive, args.gap, args.sampling, args.votes
+    )
+    if args.command:
+        try:
+            run_statement(engine, args.command, sys.stdout)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
+    repl(engine)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

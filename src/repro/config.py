@@ -1,0 +1,79 @@
+"""Engine configuration.
+
+One dataclass carries every knob the planner and executor share.  The
+ablation experiments (Table 3, Figures 4-6) are sweeps over these fields;
+:meth:`EngineConfig.naive` is the unoptimized configuration used as the
+"decomposed but naive" baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Planner and runtime knobs of the decomposed engine.
+
+    Attributes:
+        page_size: rows requested per enumeration page.
+        lookup_batch_size: entities per batched lookup/judge call.
+        votes: samples per lookup batch for self-consistency voting
+            (1 disables voting).
+        temperature: decoding temperature for retrieval calls.  Voting
+            requires > 0 to obtain independent samples.
+        enable_pushdown: ship single-table predicates inside scan prompts
+            instead of filtering retrieved supersets locally.
+        enable_lookup_join: allow key-lookup fetching for equi-joins on a
+            virtual table's primary key (otherwise both sides are
+            scanned and joined locally).
+        enable_order_pushdown: allow ORDER BY ... LIMIT plans to request
+            model-side ordering and stop enumerating early.
+        enable_cache: reuse completions for repeated identical prompts.
+        enable_judge: evaluate non-pushed single-table predicates with
+            batched judgement calls instead of retrieving the predicate
+            columns (an extension; saves tokens when predicate columns
+            are not otherwise needed).
+        enable_validation: apply schema/range validators to retrieved
+            cells, nulling implausible values.
+        max_retries: re-issues of a refused/unusable completion before
+            giving up on a call.
+        max_output_tokens: completion budget per call.
+        scan_guard_factor: abort a scan after this multiple of the
+            estimated page count (protects against runaway pagination).
+    """
+
+    page_size: int = 20
+    lookup_batch_size: int = 16
+    votes: int = 1
+    temperature: float = 0.0
+    enable_pushdown: bool = True
+    enable_lookup_join: bool = True
+    enable_order_pushdown: bool = True
+    enable_cache: bool = True
+    enable_judge: bool = False
+    enable_validation: bool = True
+    max_retries: int = 2
+    max_output_tokens: int = 512
+    scan_guard_factor: int = 8
+
+    @staticmethod
+    def default() -> "EngineConfig":
+        return EngineConfig()
+
+    @staticmethod
+    def naive() -> "EngineConfig":
+        """The unoptimized decomposed engine: fetch everything, locally."""
+        return EngineConfig(
+            enable_pushdown=False,
+            enable_lookup_join=False,
+            enable_order_pushdown=False,
+            enable_cache=False,
+            enable_judge=False,
+            votes=1,
+            lookup_batch_size=1,
+        )
+
+    def with_(self, **changes) -> "EngineConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,26 @@
+"""The paper's contribution: a SQL engine whose storage is a language model.
+
+:class:`~repro.core.engine.LLMStorageEngine` accepts standard SQL over
+*virtual tables* (schemas registered up front, rows never stored),
+compiles each query into a retrieval plan of targeted model prompts plus
+local relational compute, and returns rows with full cost accounting.
+
+Supporting machinery: self-consistency voting
+(:mod:`repro.core.consistency`), retrieved-value validation
+(:mod:`repro.core.validation`), the model client that speaks the prompt
+protocols (:mod:`repro.core.operators`), and the plan executor
+(:mod:`repro.core.executor`).
+"""
+
+from repro.core.engine import LLMStorageEngine
+from repro.core.results import QueryResult
+from repro.core.virtual import ColumnConstraint, VirtualTable
+from repro.config import EngineConfig
+
+__all__ = [
+    "LLMStorageEngine",
+    "QueryResult",
+    "ColumnConstraint",
+    "VirtualTable",
+    "EngineConfig",
+]

@@ -1,0 +1,104 @@
+"""Self-consistency voting.
+
+Sampling the same lookup k times at temperature > 0 and taking a
+majority per cell averages away i.i.d. decoding errors (it cannot repair
+knowledge gaps — those are the same in every sample).  The engine votes
+at the level of parsed, typed cells, not raw text, so formatting
+variance never splits the vote.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.relational.types import Value
+
+
+def _ballot_key(value: Value) -> Tuple:
+    """Equality key for voting: numeric cross-type, text exact."""
+    if value is None:
+        return ("null",)
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, (int, float)):
+        return ("num", float(value))
+    return ("text", value)
+
+
+def majority_vote(values: Sequence[Value]) -> Value:
+    """The most common value; ties break toward the earliest seen.
+
+    An empty ballot returns None.
+    """
+    counts: Dict[Tuple, int] = {}
+    first_seen: Dict[Tuple, int] = {}
+    originals: Dict[Tuple, Value] = {}
+    for position, value in enumerate(values):
+        key = _ballot_key(value)
+        counts[key] = counts.get(key, 0) + 1
+        if key not in first_seen:
+            first_seen[key] = position
+            originals[key] = value
+    if not counts:
+        return None
+    best = min(counts, key=lambda key: (-counts[key], first_seen[key]))
+    return originals[best]
+
+
+def vote_rows(
+    sampled_slots: Sequence[Sequence[Optional[List[Value]]]],
+) -> List[Optional[List[Value]]]:
+    """Merge k sampled lookup answers into one by per-cell majority.
+
+    ``sampled_slots[s][e]`` is sample ``s``'s answer for entity ``e``
+    (None = the model answered UNKNOWN or skipped it).  An entity is
+    considered known when a strict majority of samples produced an
+    answer; its cells are then voted independently across the answering
+    samples.
+    """
+    if not sampled_slots:
+        return []
+    entity_count = max(len(sample) for sample in sampled_slots)
+    merged: List[Optional[List[Value]]] = []
+    for entity in range(entity_count):
+        answers = [
+            sample[entity]
+            for sample in sampled_slots
+            if entity < len(sample) and sample[entity] is not None
+        ]
+        if 2 * len(answers) <= len(sampled_slots):
+            merged.append(None)
+            continue
+        width = max(len(answer) for answer in answers)
+        cells: List[Value] = []
+        for index in range(width):
+            ballot = [answer[index] for answer in answers if index < len(answer)]
+            cells.append(majority_vote(ballot))
+        merged.append(cells)
+    return merged
+
+
+def vote_verdicts(
+    sampled_verdicts: Sequence[Sequence[Optional[bool]]],
+) -> List[Optional[bool]]:
+    """Merge k sampled judgement answers by per-entity majority."""
+    if not sampled_verdicts:
+        return []
+    entity_count = max(len(sample) for sample in sampled_verdicts)
+    merged: List[Optional[bool]] = []
+    for entity in range(entity_count):
+        ballot = [
+            sample[entity]
+            for sample in sampled_verdicts
+            if entity < len(sample) and sample[entity] is not None
+        ]
+        if not ballot:
+            merged.append(None)
+            continue
+        yes = sum(1 for verdict in ballot if verdict)
+        no = len(ballot) - yes
+        if yes == no:
+            merged.append(None)
+        else:
+            merged.append(yes > no)
+    return merged

@@ -1,0 +1,191 @@
+"""The public engine API.
+
+Typical use::
+
+    from repro import LLMStorageEngine, EngineConfig
+    from repro.llm import SimulatedLLM, World
+
+    engine = LLMStorageEngine(model)
+    engine.register_virtual_table(countries_schema, row_estimate=195)
+    result = engine.execute(
+        "SELECT name, population FROM countries "
+        "WHERE continent = 'Europe' ORDER BY population DESC LIMIT 5"
+    )
+    print(result.render())
+    print(engine.explain("SELECT COUNT(*) FROM countries"))
+
+No rows are ever stored: every query is compiled into retrieval prompts
+answered by the model plus local relational compute over the answers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.config import EngineConfig
+from repro.core.executor import PlanExecutor
+from repro.core.operators import ModelClient
+from repro.core.results import QueryResult
+from repro.core.session import EngineSession
+from repro.core.validation import Validator
+from repro.core.virtual import ColumnConstraint, VirtualTable
+from repro.llm.accounting import Budget, PriceModel, UsageSnapshot
+from repro.llm.interface import LanguageModel
+from repro.plan.cost import TableStats
+from repro.plan.explain import explain_plan
+from repro.plan.optimizer import Optimizer
+from repro.relational.catalog import Catalog
+from repro.relational.schema import TableSchema
+from repro.sql import ast
+from repro.sql.binder import Binder
+from repro.sql.parser import parse
+from repro.sql.printer import print_statement
+
+
+class LLMStorageEngine:
+    """SQL over virtual tables stored in a language model."""
+
+    name = "decomposed"
+
+    def __init__(
+        self,
+        model: LanguageModel,
+        config: EngineConfig = EngineConfig(),
+        price_model: PriceModel = PriceModel(),
+        budget: Optional[Budget] = None,
+    ):
+        self._session = EngineSession(
+            model=model, config=config, price_model=price_model, budget=budget
+        )
+        self._config = config
+        self._catalog = Catalog()
+        self._virtuals: Dict[str, VirtualTable] = {}
+        self._materialized: Dict[str, "Table"] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register_virtual_table(
+        self,
+        schema: TableSchema,
+        row_estimate: Optional[int] = None,
+        constraints: Optional[Dict[str, ColumnConstraint]] = None,
+    ) -> None:
+        """Declare a virtual table: schema + optional stats/constraints."""
+        virtual = VirtualTable.build(
+            schema, row_estimate=row_estimate, constraints=constraints
+        )
+        self._catalog.register_virtual(schema)
+        self._virtuals[schema.name.lower()] = virtual
+
+    def register_materialized_table(self, table) -> None:
+        """Register a locally-stored table for hybrid queries.
+
+        Materialized tables cost zero model calls and can drive
+        lookup-joins into virtual tables (e.g. join your CSV of customer
+        countries against the model-stored ``countries``).
+        """
+        self._catalog.register_table(table)
+        self._materialized[table.schema.name.lower()] = table
+
+    def register_world_schemas(self, world, use_true_counts: bool = True) -> None:
+        """Register every table of a world as virtual.
+
+        A convenience for experiments: the engine receives the schemas
+        (and, as a practitioner would, rough row-count estimates) but no
+        data — all rows still come from the model.
+        """
+        for schema in world.schemas():
+            estimate = world.row_count(schema.name) if use_true_counts else None
+            self.register_virtual_table(schema, row_estimate=estimate)
+
+    @property
+    def catalog(self) -> Catalog:
+        return self._catalog
+
+    @property
+    def config(self) -> EngineConfig:
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: Union[str, ast.Statement]) -> QueryResult:
+        """Execute a query; returns rows plus per-query usage."""
+        statement = parse(sql) if isinstance(sql, str) else sql
+        sql_text = sql if isinstance(sql, str) else print_statement(statement)
+
+        bound = Binder(self._catalog).bind(statement)
+        plan = self._optimizer().plan(bound)
+
+        validator = Validator(enabled=self._config.enable_validation)
+        client = ModelClient(
+            model=self._session.model,
+            meter=self._session.meter,
+            config=self._config,
+            cache=self._session.cache,
+            validator=validator,
+        )
+        executor = PlanExecutor(client, self._virtuals, self._materialized)
+
+        before = self._session.meter.snapshot()
+        table = executor.execute(plan)
+        usage = self._session.meter.snapshot().minus(before)
+
+        warnings = list(client.warnings)
+        if validator.report.nulled_cells:
+            warnings.append(
+                f"validation nulled {validator.report.nulled_cells} cell(s)"
+            )
+            warnings.extend(validator.report.notes[:3])
+        return QueryResult(
+            table=table,
+            usage=usage,
+            explain_text=explain_plan(plan),
+            warnings=warnings,
+            sql=sql_text,
+            engine_name=self.name,
+        )
+
+    def explain(self, sql: Union[str, ast.Statement]) -> str:
+        """Plan a query without executing it; returns the plan text."""
+        statement = parse(sql) if isinstance(sql, str) else sql
+        bound = Binder(self._catalog).bind(statement)
+        return explain_plan(self._optimizer().plan(bound))
+
+    def plan(self, sql: Union[str, ast.Statement]):
+        """The raw plan object (used by the cost-model experiments)."""
+        statement = parse(sql) if isinstance(sql, str) else sql
+        bound = Binder(self._catalog).bind(statement)
+        return self._optimizer().plan(bound)
+
+    def _optimizer(self) -> Optimizer:
+        from repro.plan.cost import TableStats
+
+        stats = {
+            name: virtual.stats for name, virtual in self._virtuals.items()
+        }
+        for name, table in self._materialized.items():
+            stats[name] = TableStats(row_count=len(table))
+        return Optimizer(self._catalog, stats, self._config)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def usage(self) -> UsageSnapshot:
+        """Cumulative usage across all queries of this engine."""
+        return self._session.usage()
+
+    def reset_usage(self) -> None:
+        self._session.reset_usage()
+
+    def clear_cache(self) -> None:
+        self._session.clear_cache()
+
+    @property
+    def cache_stats(self):
+        return self._session.cache.stats

@@ -1,0 +1,388 @@
+"""Executes retrieval plans: model retrieval, then local compute.
+
+For a :class:`~repro.plan.physical.RetrievalPlan` the executor
+
+1. resolves uncorrelated subqueries by running their nested plans and
+   splicing the results into the statement (IN-lists / scalars),
+2. runs the retrieval steps in order, materializing one local table per
+   FROM binding (lookup steps draw their keys from tables materialized
+   earlier; judge steps filter them),
+3. rewrites the statement's FROM clause to point at the local tables and
+   hands the whole statement to the reference executor.
+
+Step 3 is where the decomposition pays off: joins, grouping, arithmetic,
+ordering — everything a model is bad at — run in exact local compute;
+the model only ever answered small retrieval prompts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.operators import ModelClient, normalize_key
+from repro.errors import ExecutionError, PlanError
+from repro.plan.physical import (
+    DerivedStep,
+    JudgeStep,
+    LocalStep,
+    LookupStep,
+    PlanNode,
+    RetrievalPlan,
+    ScanStep,
+    SetOpPlan,
+)
+from repro.core.virtual import VirtualTable
+from repro.relational.catalog import Catalog
+from repro.relational.executor import ReferenceExecutor, _dedupe, _row_marker
+from repro.relational.table import Table
+from repro.sql import ast
+
+
+class PlanExecutor:
+    """Runs plans produced by :class:`~repro.plan.optimizer.Optimizer`."""
+
+    def __init__(
+        self,
+        client: ModelClient,
+        virtual_tables: Dict[str, VirtualTable],
+        materialized_tables: Optional[Dict[str, Table]] = None,
+    ):
+        self._client = client
+        self._virtuals = {name.lower(): vt for name, vt in virtual_tables.items()}
+        self._materialized = {
+            name.lower(): table
+            for name, table in (materialized_tables or {}).items()
+        }
+        self._temp_counter = 0
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def execute(self, plan: PlanNode) -> Table:
+        if isinstance(plan, SetOpPlan):
+            return self._execute_set_operation(plan)
+        return self._execute_retrieval(plan)
+
+    # ------------------------------------------------------------------
+    # Set operations
+    # ------------------------------------------------------------------
+
+    def _execute_set_operation(self, plan: SetOpPlan) -> Table:
+        left = self.execute(plan.left)
+        right = self.execute(plan.right)
+        if len(left.schema.columns) != len(right.schema.columns):
+            raise ExecutionError(
+                f"{plan.op.upper()} sides returned different column counts"
+            )
+        if plan.op == "union":
+            rows = list(left.rows) + list(right.rows)
+            if not plan.all:
+                rows = _dedupe(rows)
+        elif plan.op == "intersect":
+            markers = {_row_marker(row) for row in right.rows}
+            rows = _dedupe([row for row in left.rows if _row_marker(row) in markers])
+        elif plan.op == "except":
+            markers = {_row_marker(row) for row in right.rows}
+            rows = _dedupe(
+                [row for row in left.rows if _row_marker(row) not in markers]
+            )
+        else:
+            raise ExecutionError(f"unknown set operation {plan.op!r}")
+
+        combined = Table(left.schema, rows)
+        if not plan.order_by and plan.limit is None and plan.offset is None:
+            return combined
+        # Delegate ordering/limiting to the reference executor.
+        catalog = Catalog()
+        temp_name = self._fresh_name("setop")
+        renamed = _rename_table(combined, temp_name)
+        catalog.register_table(renamed)
+        statement = ast.Query(
+            select=[ast.SelectItem(expr=ast.Star())],
+            from_clause=ast.NamedTable(name=temp_name),
+            order_by=list(plan.order_by),
+            limit=plan.limit,
+            offset=plan.offset,
+        )
+        return ReferenceExecutor(catalog).execute(statement)
+
+    # ------------------------------------------------------------------
+    # Single queries
+    # ------------------------------------------------------------------
+
+    def _execute_retrieval(self, plan: RetrievalPlan) -> Table:
+        statement = plan.statement
+        if plan.subplans:
+            replacements: Dict[int, ast.Expr] = {}
+            for subplan in plan.subplans:
+                replacements[id(subplan.node)] = self._resolve_subquery(subplan)
+            statement = _rewrite_statement_exprs(statement, replacements)
+
+        catalog = Catalog()
+        temp_names: Dict[str, str] = {}
+        local_tables: Dict[str, Table] = {}
+
+        for step in plan.steps:
+            if isinstance(step, ScanStep):
+                table = self._client.run_scan(step, self._virtual_for(step.table_name))
+            elif isinstance(step, LookupStep):
+                keys = self._keys_from_source(step, local_tables)
+                table = self._client.run_lookup(
+                    step, keys, self._virtual_for(step.table_name)
+                )
+            elif isinstance(step, JudgeStep):
+                self._apply_judge(step, local_tables)
+                continue
+            elif isinstance(step, DerivedStep):
+                table = self.execute(step.plan)
+            elif isinstance(step, LocalStep):
+                stored = self._materialized.get(step.table_name.lower())
+                if stored is None:
+                    raise PlanError(
+                        f"no materialized table registered as {step.table_name!r}"
+                    )
+                table = stored
+            else:  # pragma: no cover - exhaustive over step kinds
+                raise PlanError(f"unknown step kind {type(step).__name__}")
+            local_tables[step.binding.lower()] = table
+
+        for binding, table in local_tables.items():
+            temp_name = self._fresh_name(binding)
+            temp_names[binding] = temp_name
+            catalog.register_table(_rename_table(table, temp_name))
+
+        rewritten = _rewrite_from_clause(statement, temp_names)
+        return ReferenceExecutor(catalog).execute(rewritten)
+
+    # ------------------------------------------------------------------
+    # Step helpers
+    # ------------------------------------------------------------------
+
+    def _virtual_for(self, table_name: str) -> VirtualTable:
+        virtual = self._virtuals.get(table_name.lower())
+        if virtual is None:
+            raise PlanError(f"no virtual table registered as {table_name!r}")
+        return virtual
+
+    def _keys_from_source(
+        self, step: LookupStep, local_tables: Dict[str, Table]
+    ) -> List[Tuple]:
+        if step.literal_keys is not None:
+            seen = set()
+            keys = []
+            for key in step.literal_keys:
+                marker = normalize_key(tuple(key))
+                if marker not in seen:
+                    seen.add(marker)
+                    keys.append(tuple(key))
+            return keys
+        source = local_tables.get(step.source_binding.lower())
+        if source is None:
+            raise PlanError(
+                f"lookup step for {step.binding!r} runs before its source "
+                f"{step.source_binding!r}"
+            )
+        indices = [source.schema.column_index(name) for name in step.source_columns]
+        seen = set()
+        keys: List[Tuple] = []
+        for row in source.rows:
+            key = tuple(row[i] for i in indices)
+            if any(value is None for value in key):
+                continue  # NULL never equi-joins
+            marker = normalize_key(key)
+            if marker in seen:
+                continue
+            seen.add(marker)
+            keys.append(key)
+        return keys
+
+    def _apply_judge(self, step: JudgeStep, local_tables: Dict[str, Table]) -> None:
+        table = local_tables.get(step.binding.lower())
+        if table is None:
+            raise PlanError(
+                f"judge step for {step.binding!r} runs before its base fetch"
+            )
+        indices = [table.schema.column_index(name) for name in step.key_columns]
+        keys: List[Tuple] = []
+        seen = set()
+        for row in table.rows:
+            key = tuple(row[i] for i in indices)
+            marker = normalize_key(key)
+            if marker not in seen:
+                seen.add(marker)
+                keys.append(key)
+        verdicts = self._client.run_judge(step, keys)
+        kept = [
+            row
+            for row in table.rows
+            if verdicts.get(normalize_key(tuple(row[i] for i in indices))) is True
+        ]
+        local_tables[step.binding.lower()] = Table(table.schema, kept)
+
+    def _resolve_subquery(self, subplan) -> ast.Expr:
+        result = self.execute(subplan.plan)
+        node = subplan.node
+        if isinstance(node, ast.InSubquery):
+            if len(result.schema.columns) != 1:
+                raise ExecutionError("IN subquery must return exactly one column")
+            items = [ast.Literal(value=row[0]) for row in result.rows]
+            return ast.InList(
+                operand=node.operand, items=items, negated=node.negated
+            )
+        if isinstance(node, ast.Exists):
+            found = len(result) > 0
+            return ast.Literal(value=(not found) if node.negated else found)
+        if isinstance(node, ast.ScalarSubquery):
+            if len(result.schema.columns) != 1:
+                raise ExecutionError("scalar subquery must return exactly one column")
+            if len(result) > 1:
+                raise ExecutionError("scalar subquery returned more than one row")
+            value = result.rows[0][0] if len(result) == 1 else None
+            return ast.Literal(value=value)
+        raise PlanError(f"unexpected subquery node {type(node).__name__}")
+
+    def _fresh_name(self, hint: str) -> str:
+        self._temp_counter += 1
+        safe_hint = "".join(ch if ch.isalnum() else "_" for ch in hint)
+        return f"__v{self._temp_counter}_{safe_hint}"
+
+
+# ---------------------------------------------------------------------------
+# Statement rewriting
+# ---------------------------------------------------------------------------
+
+
+def _rename_table(table: Table, new_name: str) -> Table:
+    from repro.relational.schema import TableSchema
+
+    schema = TableSchema(
+        name=new_name,
+        columns=table.schema.columns,
+        primary_key=table.schema.primary_key,
+        description=table.schema.description,
+    )
+    return Table(schema, table.rows)
+
+
+def _rewrite_from_clause(
+    statement: ast.Query, temp_names: Dict[str, str]
+) -> ast.Query:
+    def rewrite(ref: Optional[ast.TableRef]) -> Optional[ast.TableRef]:
+        if ref is None:
+            return None
+        if isinstance(ref, ast.NamedTable):
+            temp = temp_names.get(ref.binding_name.lower())
+            if temp is None:
+                raise PlanError(
+                    f"no retrieved table for binding {ref.binding_name!r}"
+                )
+            return ast.NamedTable(name=temp, alias=ref.binding_name)
+        if isinstance(ref, ast.SubqueryTable):
+            temp = temp_names.get(ref.alias.lower())
+            if temp is None:
+                raise PlanError(f"no retrieved table for derived {ref.alias!r}")
+            return ast.NamedTable(name=temp, alias=ref.alias)
+        if isinstance(ref, ast.Join):
+            return ast.Join(
+                left=rewrite(ref.left),
+                right=rewrite(ref.right),
+                kind=ref.kind,
+                condition=ref.condition,
+            )
+        raise PlanError(f"cannot rewrite {type(ref).__name__}")
+
+    return ast.Query(
+        select=statement.select,
+        from_clause=rewrite(statement.from_clause),
+        where=statement.where,
+        group_by=statement.group_by,
+        having=statement.having,
+        order_by=statement.order_by,
+        limit=statement.limit,
+        offset=statement.offset,
+        distinct=statement.distinct,
+    )
+
+
+def _rewrite_statement_exprs(
+    statement: ast.Query, replacements: Dict[int, ast.Expr]
+) -> ast.Query:
+    """Replace subquery nodes (matched by identity) throughout a statement."""
+
+    def rewrite(expr: Optional[ast.Expr]) -> Optional[ast.Expr]:
+        if expr is None:
+            return None
+        if id(expr) in replacements:
+            return replacements[id(expr)]
+        if isinstance(expr, ast.BinaryOp):
+            return ast.BinaryOp(op=expr.op, left=rewrite(expr.left), right=rewrite(expr.right))
+        if isinstance(expr, ast.UnaryOp):
+            return ast.UnaryOp(op=expr.op, operand=rewrite(expr.operand))
+        if isinstance(expr, ast.FunctionCall):
+            return ast.FunctionCall(
+                name=expr.name,
+                args=[rewrite(arg) for arg in expr.args],
+                distinct=expr.distinct,
+            )
+        if isinstance(expr, ast.Cast):
+            return ast.Cast(operand=rewrite(expr.operand), type_name=expr.type_name)
+        if isinstance(expr, ast.Between):
+            return ast.Between(
+                operand=rewrite(expr.operand),
+                low=rewrite(expr.low),
+                high=rewrite(expr.high),
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.InList):
+            return ast.InList(
+                operand=rewrite(expr.operand),
+                items=[rewrite(item) for item in expr.items],
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.InSubquery):
+            return ast.InSubquery(
+                operand=rewrite(expr.operand), query=expr.query, negated=expr.negated
+            )
+        if isinstance(expr, ast.IsNull):
+            return ast.IsNull(operand=rewrite(expr.operand), negated=expr.negated)
+        if isinstance(expr, ast.Like):
+            return ast.Like(
+                operand=rewrite(expr.operand),
+                pattern=rewrite(expr.pattern),
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.CaseWhen):
+            return ast.CaseWhen(
+                operand=rewrite(expr.operand) if expr.operand is not None else None,
+                branches=[
+                    (rewrite(condition), rewrite(result))
+                    for condition, result in expr.branches
+                ],
+                else_result=(
+                    rewrite(expr.else_result) if expr.else_result is not None else None
+                ),
+            )
+        return expr
+
+    return ast.Query(
+        select=[
+            ast.SelectItem(expr=rewrite(item.expr), alias=item.alias)
+            for item in statement.select
+        ],
+        from_clause=statement.from_clause,
+        where=rewrite(statement.where),
+        group_by=[rewrite(expr) for expr in statement.group_by],
+        having=rewrite(statement.having),
+        order_by=[
+            ast.OrderItem(
+                expr=rewrite(item.expr),
+                descending=item.descending,
+                nulls_last=item.nulls_last,
+            )
+            for item in statement.order_by
+        ],
+        limit=statement.limit,
+        offset=statement.offset,
+        distinct=statement.distinct,
+    )

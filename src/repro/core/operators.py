@@ -1,0 +1,311 @@
+"""LLM-backed physical operators.
+
+``ModelClient`` is the runtime that turns plan steps into model traffic:
+
+* :meth:`run_scan` — paginated enumeration with truncation recovery and
+  a runaway guard;
+* :meth:`run_lookup` — batched lookups with optional self-consistency
+  voting;
+* :meth:`run_judge` — batched predicate judgements with voting.
+
+All calls flow through one wrapped model (cache, then meter), so cost
+accounting and caching behave identically across operators.  Refused or
+unusable completions are retried with a bumped sample index (beliefs are
+unchanged at temperature 0; the retry nonce only re-rolls the refusal).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.config import EngineConfig
+from repro.core import consistency
+from repro.core.validation import Validator
+from repro.core.virtual import VirtualTable
+from repro.errors import ExecutionError, LLMProtocolError
+from repro.llm.accounting import MeteredModel, UsageMeter
+from repro.llm.cache import CachingModel, PromptCache
+from repro.llm.interface import Completion, CompletionOptions, LanguageModel
+from repro.plan.physical import JudgeStep, LookupStep, ScanStep
+from repro.prompts import parsing
+from repro.prompts.enumerate import EnumerateRequest, build_enumerate_prompt
+from repro.prompts.lookup import LookupRequest, build_lookup_prompt
+from repro.prompts.predicate import JudgeRequest, build_judge_prompt
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import Value
+
+#: Offset added to the sample index per retry so a refusal re-rolls.
+_RETRY_NONCE = 1009
+
+
+class ModelClient:
+    """Executes retrieval steps against a language model."""
+
+    def __init__(
+        self,
+        model: LanguageModel,
+        meter: UsageMeter,
+        config: EngineConfig,
+        cache: Optional[PromptCache] = None,
+        validator: Optional[Validator] = None,
+    ):
+        inner: LanguageModel = model
+        if config.enable_cache:
+            inner = CachingModel(inner, cache)
+        self._model = MeteredModel(inner, meter)
+        self._config = config
+        self._validator = validator or Validator(enabled=config.enable_validation)
+        self.warnings: List[str] = []
+
+    @property
+    def validator(self) -> Validator:
+        return self._validator
+
+    # ------------------------------------------------------------------
+    # Low-level call with retry
+    # ------------------------------------------------------------------
+
+    def _options(self, sample_index: int) -> CompletionOptions:
+        return CompletionOptions(
+            temperature=self._effective_temperature(),
+            max_tokens=self._config.max_output_tokens,
+            sample_index=sample_index,
+        )
+
+    def _effective_temperature(self) -> float:
+        if self._config.votes > 1:
+            # Voting needs independent samples; greedy samples are identical.
+            return max(self._config.temperature, 0.7)
+        return self._config.temperature
+
+    def _complete_with_retry(self, prompt: str, sample_index: int, parse):
+        """Call the model, parse; retry on refusal/unusable output."""
+        last_error: Optional[Exception] = None
+        for attempt in range(self._config.max_retries + 1):
+            completion = self._model.complete(
+                prompt, self._options(sample_index + attempt * _RETRY_NONCE)
+            )
+            try:
+                return parse(completion)
+            except LLMProtocolError as exc:
+                last_error = exc
+        raise ExecutionError(
+            f"model output unusable after {self._config.max_retries + 1} "
+            f"attempts: {last_error}"
+        )
+
+    # ------------------------------------------------------------------
+    # Scan
+    # ------------------------------------------------------------------
+
+    def run_scan(self, step: ScanStep, virtual: VirtualTable) -> Table:
+        """Materialize a scan step as a local table."""
+        dtypes = [step.schema.column(name).dtype for name in step.columns]
+        rows: List[List[Value]] = []
+        pages_fetched = 0
+        est_pages = max(1, -(-int(step.est_rows) // self._config.page_size))
+        max_pages = est_pages * self._config.scan_guard_factor + 4
+        target = step.limit_hint
+
+        while True:
+            request = EnumerateRequest(
+                schema=step.schema,
+                columns=step.columns,
+                condition_sql=step.pushdown_sql,
+                order=step.order,
+                after_index=len(rows),
+                max_rows=self._config.page_size,
+            )
+            prompt = build_enumerate_prompt(request)
+
+            def parse_page(completion: Completion):
+                return parse_enumerate(completion, dtypes)
+
+            page = self._complete_with_retry(prompt, sample_index=0, parse=parse_page)
+            if page.malformed_lines:
+                self.warnings.append(
+                    f"scan {step.table_name}: {page.malformed_lines} malformed "
+                    f"line(s) skipped"
+                )
+            got_rows = len(page.rows) > 0
+            rows.extend(page.rows)
+            pages_fetched += 1
+            if target is not None and len(rows) >= target:
+                break
+            if page.complete and not page.has_more:
+                break
+            if not page.complete and not got_rows:
+                # Truncated before any row: the page size does not fit the
+                # output budget; give up rather than loop.
+                self.warnings.append(
+                    f"scan {step.table_name}: page truncated before any row"
+                )
+                break
+            if pages_fetched >= max_pages:
+                self.warnings.append(
+                    f"scan {step.table_name}: aborted after {pages_fetched} pages "
+                    f"(guard limit)"
+                )
+                break
+
+        if target is not None:
+            rows = rows[:target]
+        validated = [
+            self._validator.validate_row(row, virtual, step.columns) for row in rows
+        ]
+        return build_local_table(step.binding, step.schema, step.columns, validated)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def run_lookup(
+        self,
+        step: LookupStep,
+        keys: Sequence[Tuple[Value, ...]],
+        virtual: VirtualTable,
+    ) -> Table:
+        """Materialize a lookup step: one row per found key."""
+        attr_dtypes = [step.schema.column(name).dtype for name in step.attributes]
+        columns = tuple(step.key_columns) + tuple(step.attributes)
+        out_rows: List[List[Value]] = []
+        batch_size = max(1, self._config.lookup_batch_size)
+        votes = max(1, self._config.votes)
+
+        for start in range(0, len(keys), batch_size):
+            batch = list(keys[start : start + batch_size])
+            request = LookupRequest(
+                schema=step.schema,
+                key_columns=tuple(step.key_columns),
+                attributes=tuple(step.attributes),
+                entities=tuple(batch),
+            )
+            prompt = build_lookup_prompt(request)
+            sampled: List[List[Optional[List[Value]]]] = []
+            for vote in range(votes):
+
+                def parse_answer(completion: Completion):
+                    if parsing.looks_like_refusal(completion.text):
+                        raise LLMProtocolError("refused lookup")
+                    return parsing.parse_lookup_completion(
+                        completion.text, len(batch), attr_dtypes
+                    )
+
+                sampled.append(
+                    self._complete_with_retry(
+                        prompt, sample_index=vote, parse=parse_answer
+                    )
+                )
+            merged = (
+                consistency.vote_rows(sampled) if votes > 1 else sampled[0]
+            )
+            for key, answer in zip(batch, merged):
+                if answer is None:
+                    continue  # model does not know this entity
+                validated = self._validator.validate_row(
+                    answer, virtual, step.attributes
+                )
+                out_rows.append(list(key) + validated)
+        return build_local_table(step.binding, step.schema, columns, out_rows)
+
+    # ------------------------------------------------------------------
+    # Judge
+    # ------------------------------------------------------------------
+
+    def run_judge(
+        self, step: JudgeStep, keys: Sequence[Tuple[Value, ...]]
+    ) -> Dict[Tuple, Optional[bool]]:
+        """Judge a predicate for each key; returns normalized-key verdicts."""
+        verdicts: Dict[Tuple, Optional[bool]] = {}
+        batch_size = max(1, self._config.lookup_batch_size)
+        votes = max(1, self._config.votes)
+        for start in range(0, len(keys), batch_size):
+            batch = list(keys[start : start + batch_size])
+            request = JudgeRequest(
+                schema=step.schema,
+                key_columns=tuple(step.key_columns),
+                condition_sql=step.condition_sql,
+                entities=tuple(batch),
+            )
+            prompt = build_judge_prompt(request)
+            sampled: List[List[Optional[bool]]] = []
+            for vote in range(votes):
+
+                def parse_answer(completion: Completion):
+                    if parsing.looks_like_refusal(completion.text):
+                        raise LLMProtocolError("refused judgement")
+                    return parsing.parse_judge_completion(completion.text, len(batch))
+
+                sampled.append(
+                    self._complete_with_retry(
+                        prompt, sample_index=vote, parse=parse_answer
+                    )
+                )
+            merged = (
+                consistency.vote_verdicts(sampled) if votes > 1 else sampled[0]
+            )
+            for key, verdict in zip(batch, merged):
+                verdicts[normalize_key(key)] = verdict
+        return verdicts
+
+
+# ---------------------------------------------------------------------------
+# Helpers shared with the executor
+# ---------------------------------------------------------------------------
+
+
+def parse_enumerate(completion: Completion, dtypes):
+    """Parse an enumeration page, treating refusals as protocol errors."""
+    if parsing.looks_like_refusal(completion.text):
+        raise LLMProtocolError("refused enumeration")
+    return parsing.parse_enumerate_completion(completion.text, dtypes)
+
+
+def build_local_table(
+    binding: str,
+    virtual_schema: TableSchema,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Value]],
+) -> Table:
+    """A local table holding retrieved rows for one binding.
+
+    All columns are nullable (the model may not know a value) and keep
+    the virtual column types.
+    """
+    local_columns = tuple(
+        Column(
+            name=virtual_schema.column(name).name,
+            dtype=virtual_schema.column(name).dtype,
+            nullable=True,
+            description=virtual_schema.column(name).description,
+        )
+        for name in columns
+    )
+    schema = TableSchema(
+        name=f"retrieved_{binding}",
+        columns=local_columns,
+        description=f"rows retrieved from the model for binding {binding}",
+    )
+    table = Table(schema)
+    for row in rows:
+        try:
+            table.insert(row, coerce=True)
+        except Exception:
+            continue  # drop rows that cannot fit the schema even coerced
+    return table
+
+
+def normalize_key(values: Tuple[Value, ...]) -> Tuple:
+    """Join-key normalization: numbers cross-type, text case-insensitive."""
+    normalized = []
+    for value in values:
+        if isinstance(value, str):
+            normalized.append(("t", value.strip().lower()))
+        elif isinstance(value, bool):
+            normalized.append(("b", value))
+        elif isinstance(value, (int, float)):
+            normalized.append(("n", float(value)))
+        else:
+            normalized.append(("0", None))
+    return tuple(normalized)

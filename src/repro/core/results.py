@@ -1,0 +1,49 @@
+"""Query results with full accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.llm.accounting import UsageSnapshot
+from repro.relational.table import Table
+
+
+@dataclass
+class QueryResult:
+    """What an engine returns for one query.
+
+    Attributes:
+        table: the result rows.
+        usage: model usage attributed to this query (calls, tokens,
+            simulated latency, dollar cost).
+        explain_text: the plan that produced the result (empty for
+            baselines without plans).
+        warnings: anomalies encountered (malformed lines, guard trips,
+            nulled implausible values, ...).
+        sql: the query as received.
+        engine_name: which engine produced this result.
+    """
+
+    table: Table
+    usage: UsageSnapshot
+    explain_text: str = ""
+    warnings: List[str] = field(default_factory=list)
+    sql: str = ""
+    engine_name: str = ""
+
+    @property
+    def rows(self):
+        return self.table.rows
+
+    @property
+    def column_names(self):
+        return self.table.schema.column_names
+
+    def render(self, max_rows: int = 20) -> str:
+        """Result table plus a usage footer (for examples and docs)."""
+        parts = [self.table.render_text(max_rows=max_rows)]
+        parts.append(f"-- {self.usage.render()}")
+        if self.warnings:
+            parts.append(f"-- {len(self.warnings)} warning(s); first: {self.warnings[0]}")
+        return "\n".join(parts)

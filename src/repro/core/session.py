@@ -1,0 +1,40 @@
+"""Session state shared across the queries of one engine instance.
+
+The session owns the usage meter (cumulative accounting, optional
+budget) and the prompt cache (reuse *across* queries is intentional:
+repeated lookups of the same entities are a dominant cost in interactive
+workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import EngineConfig
+from repro.llm.accounting import Budget, PriceModel, UsageMeter, UsageSnapshot
+from repro.llm.cache import PromptCache
+from repro.llm.interface import LanguageModel
+
+
+@dataclass
+class EngineSession:
+    """Model handle plus cumulative accounting and cache."""
+
+    model: LanguageModel
+    config: EngineConfig = field(default_factory=EngineConfig)
+    price_model: PriceModel = field(default_factory=PriceModel)
+    budget: Optional[Budget] = None
+
+    def __post_init__(self):
+        self.meter = UsageMeter(self.price_model, self.budget)
+        self.cache = PromptCache()
+
+    def usage(self) -> UsageSnapshot:
+        return self.meter.snapshot()
+
+    def reset_usage(self) -> None:
+        self.meter.reset()
+
+    def clear_cache(self) -> None:
+        self.cache.clear()

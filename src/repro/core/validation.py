@@ -1,0 +1,72 @@
+"""Validation of retrieved values.
+
+Parsed cells already have the right storage type (the parsers coerce).
+Validation adds *plausibility*: user-declared per-column constraints
+(numeric ranges, categorical domains) catch the wild confabulations a
+model produces when it does not know a value.  An implausible cell is
+nulled rather than repaired — downstream SQL then treats it as missing,
+which is the behaviour a careful practitioner wants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.virtual import VirtualTable
+from repro.relational.schema import TableSchema
+from repro.relational.types import Value
+
+
+@dataclass
+class ValidationReport:
+    """Counts of validation outcomes for one query."""
+
+    checked_cells: int = 0
+    nulled_cells: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    def merge(self, other: "ValidationReport") -> None:
+        self.checked_cells += other.checked_cells
+        self.nulled_cells += other.nulled_cells
+        self.notes.extend(other.notes)
+
+
+class Validator:
+    """Applies a virtual table's constraints to retrieved rows."""
+
+    def __init__(self, enabled: bool = True):
+        self._enabled = enabled
+        self.report = ValidationReport()
+
+    def validate_cell(
+        self,
+        value: Value,
+        table: VirtualTable,
+        column_name: str,
+    ) -> Value:
+        """Return the value, or None if it violates the column constraint."""
+        if not self._enabled or value is None:
+            return value
+        self.report.checked_cells += 1
+        constraint = table.constraint_for(column_name)
+        if constraint is None or constraint.check(value):
+            return value
+        self.report.nulled_cells += 1
+        if len(self.report.notes) < 20:
+            self.report.notes.append(
+                f"nulled implausible {table.schema.name}.{column_name} = {value!r}"
+            )
+        return None
+
+    def validate_row(
+        self,
+        cells: Sequence[Value],
+        table: VirtualTable,
+        column_names: Sequence[str],
+    ) -> List[Value]:
+        """Validate each cell of a retrieved row."""
+        return [
+            self.validate_cell(value, table, name)
+            for value, name in zip(cells, column_names)
+        ]

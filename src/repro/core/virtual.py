@@ -1,0 +1,89 @@
+"""Virtual table registrations.
+
+A virtual table is a schema (plus optional statistics and value
+constraints) whose rows live in the model.  The description fields of
+the schema matter: they are shipped verbatim in prompts and are the only
+"documentation" the model gets about what the table means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.errors import SchemaError
+from repro.plan.cost import DEFAULT_ROW_COUNT, TableStats
+from repro.relational.schema import TableSchema
+from repro.relational.types import Value
+
+
+@dataclass(frozen=True)
+class ColumnConstraint:
+    """Plausibility bounds for validating retrieved values.
+
+    Attributes:
+        min_value / max_value: inclusive numeric range.
+        allowed_values: closed categorical domain.
+        max_length: maximum text length.
+    """
+
+    min_value: Optional[float] = None
+    max_value: Optional[float] = None
+    allowed_values: Optional[frozenset] = None
+    max_length: Optional[int] = None
+
+    def check(self, value: Value) -> bool:
+        """True if ``value`` is plausible under this constraint."""
+        if value is None:
+            return True
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if self.min_value is not None and value < self.min_value:
+                return False
+            if self.max_value is not None and value > self.max_value:
+                return False
+        if isinstance(value, str):
+            if self.max_length is not None and len(value) > self.max_length:
+                return False
+        if self.allowed_values is not None and value not in self.allowed_values:
+            return False
+        return True
+
+
+@dataclass
+class VirtualTable:
+    """One registered virtual table."""
+
+    schema: TableSchema
+    stats: TableStats = field(default_factory=TableStats)
+    constraints: Dict[str, ColumnConstraint] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.schema.primary_key:
+            raise SchemaError(
+                f"virtual table {self.schema.name!r} needs a primary key so "
+                f"the engine can address rows in lookup prompts"
+            )
+        for column in self.constraints:
+            if not self.schema.has_column(column):
+                raise SchemaError(
+                    f"constraint on unknown column {column!r} of "
+                    f"{self.schema.name!r}"
+                )
+
+    @staticmethod
+    def build(
+        schema: TableSchema,
+        row_estimate: Optional[int] = None,
+        constraints: Optional[Dict[str, ColumnConstraint]] = None,
+    ) -> "VirtualTable":
+        return VirtualTable(
+            schema=schema,
+            stats=TableStats(row_count=row_estimate or DEFAULT_ROW_COUNT),
+            constraints=dict(constraints or {}),
+        )
+
+    def constraint_for(self, column: str) -> Optional[ColumnConstraint]:
+        for name, constraint in self.constraints.items():
+            if name.lower() == column.lower():
+                return constraint
+        return None

@@ -1,0 +1,92 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at the engine boundary.  Subsystems raise the
+most specific subclass available; parsing errors carry source positions so
+users can locate the offending SQL text.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SQLError(ReproError):
+    """Base class for errors in the SQL frontend."""
+
+
+class LexerError(SQLError):
+    """Invalid character sequence encountered while tokenizing SQL.
+
+    Attributes:
+        position: 0-based character offset of the offending input.
+        line: 1-based line number.
+        column: 1-based column number.
+    """
+
+    def __init__(self, message: str, position: int, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class ParseError(SQLError):
+    """SQL text does not conform to the supported grammar."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        if line:
+            super().__init__(f"{message} (line {line}, column {column})")
+        else:
+            super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class BindError(SQLError):
+    """Semantic analysis failed: unknown table/column, ambiguous name,
+    aggregate misuse, or type mismatch."""
+
+
+class CatalogError(ReproError):
+    """Catalog inconsistency: duplicate or missing table registration."""
+
+
+class SchemaError(ReproError):
+    """Invalid schema definition or row that violates its schema."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure while executing a (classical or hybrid) plan."""
+
+
+class PlanError(ReproError):
+    """The planner could not produce a plan for a bound query."""
+
+
+class LLMError(ReproError):
+    """Base class for LLM-substrate failures."""
+
+
+class LLMProtocolError(LLMError):
+    """The model received a prompt it cannot interpret, or the engine
+    received a completion it cannot parse even after recovery attempts."""
+
+
+class LLMBudgetExceeded(LLMError):
+    """A configured call/token budget was exhausted mid-query."""
+
+    def __init__(self, message: str, calls_used: int, tokens_used: int):
+        super().__init__(message)
+        self.calls_used = calls_used
+        self.tokens_used = tokens_used
+
+
+class ValidationError(ReproError):
+    """A retrieved value failed validation and could not be repaired."""
+
+
+class WorkloadError(ReproError):
+    """An evaluation workload or world definition is inconsistent."""

@@ -1,0 +1,46 @@
+"""Evaluation: metrics, synthetic worlds, workloads, experiment harness.
+
+``python -m repro.eval.run_all`` regenerates every table and figure of
+the evaluation into ``results/``; individual experiments live in
+:mod:`repro.eval.experiments` and are also wrapped by the benchmark
+suite under ``benchmarks/``.
+"""
+
+from repro.eval.metrics import (
+    MetricSummary,
+    TupleMetrics,
+    exact_match,
+    scalar_relative_error,
+    tuple_metrics,
+)
+from repro.eval.worlds import (
+    all_worlds,
+    company_world,
+    constraints_for,
+    geography_world,
+    movies_world,
+)
+from repro.eval.workloads import WorkloadQuery, workload_for, QUERY_CLASSES
+from repro.eval.harness import EngineFactory, QueryEvaluation, evaluate_engine_on_workload
+from repro.eval.reporting import ResultTable, Series
+
+__all__ = [
+    "MetricSummary",
+    "TupleMetrics",
+    "exact_match",
+    "scalar_relative_error",
+    "tuple_metrics",
+    "all_worlds",
+    "company_world",
+    "constraints_for",
+    "geography_world",
+    "movies_world",
+    "WorkloadQuery",
+    "workload_for",
+    "QUERY_CLASSES",
+    "EngineFactory",
+    "QueryEvaluation",
+    "evaluate_engine_on_workload",
+    "ResultTable",
+    "Series",
+]

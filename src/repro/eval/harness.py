@@ -1,0 +1,174 @@
+"""Experiment harness: build engines, run workloads, collect metrics.
+
+Engines are built fresh per experiment cell (a fresh cache and meter),
+evaluated against the materialized oracle, and summarized per query
+class.  Queries an engine cannot plan or execute score zero — an engine
+that errors on a supported workload has failed that query, exactly as a
+paper's evaluation would count it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.baselines.direct import DirectPromptEngine
+from repro.baselines.materialized import MaterializedEngine
+from repro.config import EngineConfig
+from repro.core.engine import LLMStorageEngine
+from repro.errors import ReproError
+from repro.eval.metrics import (
+    DEFAULT_TOLERANCE,
+    MetricSummary,
+    TupleMetrics,
+    exact_match,
+    scalar_relative_error,
+    tuple_metrics,
+)
+from repro.eval.workloads import QUERY_CLASSES, WorkloadQuery
+from repro.eval.worlds import constraints_for
+from repro.llm.accounting import UsageSnapshot
+from repro.llm.noise import NoiseConfig
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.world import World
+
+EngineFactory = Callable[[], object]
+
+
+@dataclass
+class QueryEvaluation:
+    """Outcome of one query on one engine."""
+
+    query: WorkloadQuery
+    metrics: TupleMetrics
+    exact: bool
+    scalar_error: Optional[float]
+    usage: UsageSnapshot
+    failed: bool = False
+    failure: str = ""
+    warnings: List[str] = field(default_factory=list)
+
+
+@dataclass
+class WorkloadEvaluation:
+    """Outcome of a whole workload on one engine."""
+
+    engine_name: str
+    evaluations: List[QueryEvaluation] = field(default_factory=list)
+
+    def summary(self, query_class: Optional[str] = None) -> MetricSummary:
+        summary = MetricSummary()
+        for evaluation in self.evaluations:
+            if query_class is not None and evaluation.query.query_class != query_class:
+                continue
+            summary.add(
+                metrics=evaluation.metrics,
+                exact=evaluation.exact,
+                scalar_error=evaluation.scalar_error,
+                calls=evaluation.usage.calls,
+                tokens=evaluation.usage.total_tokens,
+                latency_ms=evaluation.usage.latency_ms,
+                cost_usd=evaluation.usage.cost_usd,
+            )
+        return summary
+
+    def summaries_by_class(self) -> Dict[str, MetricSummary]:
+        return {name: self.summary(name) for name in QUERY_CLASSES}
+
+
+# ---------------------------------------------------------------------------
+# Engine construction
+# ---------------------------------------------------------------------------
+
+
+def build_model(
+    world: World, noise: NoiseConfig = NoiseConfig(), seed: int = 0
+) -> SimulatedLLM:
+    """The simulated model over a world."""
+    return SimulatedLLM(world, noise=noise, seed=seed)
+
+
+def build_decomposed(
+    model: SimulatedLLM,
+    world: World,
+    config: EngineConfig = EngineConfig(),
+    with_constraints: bool = True,
+    name: Optional[str] = None,
+) -> LLMStorageEngine:
+    """The decomposed engine registered for a world's schemas."""
+    engine = LLMStorageEngine(model, config=config)
+    for schema in world.schemas():
+        engine.register_virtual_table(
+            schema,
+            row_estimate=world.row_count(schema.name),
+            constraints=(
+                constraints_for(world, schema.name) if with_constraints else None
+            ),
+        )
+    if name:
+        engine.name = name
+    return engine
+
+
+def build_direct(
+    model: SimulatedLLM, world: World, config: EngineConfig = EngineConfig()
+) -> DirectPromptEngine:
+    """The direct-prompting baseline registered for a world's schemas."""
+    engine = DirectPromptEngine(model, config=config)
+    engine.register_world_schemas(world)
+    return engine
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+
+def evaluate_query(
+    engine,
+    oracle: MaterializedEngine,
+    query: WorkloadQuery,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> QueryEvaluation:
+    """Run one query on an engine and score it against the oracle."""
+    truth = oracle.execute(query.sql).rows
+    try:
+        result = engine.execute(query.sql)
+        predicted = result.rows
+        usage = result.usage
+        warnings = list(result.warnings)
+        failed = False
+        failure = ""
+    except ReproError as exc:
+        predicted = []
+        usage = UsageSnapshot()
+        warnings = []
+        failed = True
+        failure = str(exc)
+    metrics = tuple_metrics(predicted, truth, tolerance)
+    return QueryEvaluation(
+        query=query,
+        metrics=metrics,
+        exact=exact_match(predicted, truth, tolerance),
+        scalar_error=scalar_relative_error(predicted, truth),
+        usage=usage,
+        failed=failed,
+        failure=failure,
+        warnings=warnings,
+    )
+
+
+def evaluate_engine_on_workload(
+    engine,
+    world: World,
+    queries: List[WorkloadQuery],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> WorkloadEvaluation:
+    """Run a workload on one engine; score every query."""
+    oracle = MaterializedEngine(world)
+    outcome = WorkloadEvaluation(engine_name=getattr(engine, "name", "engine"))
+    for query in queries:
+        outcome.evaluations.append(
+            evaluate_query(engine, oracle, query, tolerance=tolerance)
+        )
+    return outcome

@@ -1,0 +1,207 @@
+"""Accuracy metrics.
+
+The primary metric is **tuple F1** under bag semantics with a relative
+numeric tolerance: a predicted row matches a truth row when every cell
+matches (text exactly, numbers within tolerance).  Matching is a maximum
+bipartite pairing computed greedily — exact for bags because equality is
+transitive within the tolerance classes used here.
+
+For aggregate answers the harness also reports mean **scalar relative
+error**, and **exact match** gives the strict execution-accuracy view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.relational.types import Value, values_equal
+
+#: Default relative tolerance for numeric cells (5 %): an engine that
+#: reports a population within 5 % of truth is counted correct, matching
+#: how this literature scores approximate factual retrieval.
+DEFAULT_TOLERANCE = 0.05
+
+Row = Tuple[Value, ...]
+
+
+@dataclass(frozen=True)
+class TupleMetrics:
+    """Precision/recall/F1 over result tuples (bag semantics)."""
+
+    true_positives: int
+    predicted: int
+    expected: int
+
+    @property
+    def precision(self) -> float:
+        return self.true_positives / self.predicted if self.predicted else (
+            1.0 if not self.expected else 0.0
+        )
+
+    @property
+    def recall(self) -> float:
+        return self.true_positives / self.expected if self.expected else (
+            1.0 if not self.predicted else 0.0
+        )
+
+    @property
+    def f1(self) -> float:
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0.0:
+            return 0.0
+        return 2 * precision * recall / (precision + recall)
+
+
+def rows_match(left: Row, right: Row, tolerance: float) -> bool:
+    """Cell-wise row equality with relative numeric tolerance."""
+    if len(left) != len(right):
+        return False
+    return all(
+        values_equal(a, b, float_tolerance=tolerance) for a, b in zip(left, right)
+    )
+
+
+def tuple_metrics(
+    predicted: Sequence[Row],
+    expected: Sequence[Row],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> TupleMetrics:
+    """Bag-semantics tuple matching between two result sets."""
+    remaining = list(expected)
+    true_positives = 0
+    for row in predicted:
+        for index, candidate in enumerate(remaining):
+            if rows_match(tuple(row), tuple(candidate), tolerance):
+                true_positives += 1
+                del remaining[index]
+                break
+    return TupleMetrics(
+        true_positives=true_positives,
+        predicted=len(predicted),
+        expected=len(expected),
+    )
+
+
+def exact_match(
+    predicted: Sequence[Row],
+    expected: Sequence[Row],
+    tolerance: float = 0.0,
+    ordered: bool = False,
+) -> bool:
+    """Strict execution accuracy: same bag (or sequence) of rows."""
+    if len(predicted) != len(expected):
+        return False
+    if ordered:
+        return all(
+            rows_match(tuple(p), tuple(e), tolerance)
+            for p, e in zip(predicted, expected)
+        )
+    metrics = tuple_metrics(predicted, expected, tolerance)
+    return metrics.true_positives == len(expected)
+
+
+def scalar_relative_error(
+    predicted: Sequence[Row], expected: Sequence[Row]
+) -> Optional[float]:
+    """Relative error for 1x1 numeric answers; None when not applicable."""
+    if len(expected) != 1 or len(expected[0]) != 1:
+        return None
+    truth = expected[0][0]
+    if not isinstance(truth, (int, float)) or isinstance(truth, bool):
+        return None
+    if len(predicted) != 1 or len(predicted[0]) != 1:
+        return 1.0
+    guess = predicted[0][0]
+    if not isinstance(guess, (int, float)) or isinstance(guess, bool):
+        return 1.0
+    scale = max(abs(float(truth)), 1e-12)
+    return min(1.0, abs(float(guess) - float(truth)) / scale)
+
+
+@dataclass
+class MetricSummary:
+    """Aggregates per-query metrics into workload-level numbers."""
+
+    f1_values: List[float] = field(default_factory=list)
+    precision_values: List[float] = field(default_factory=list)
+    recall_values: List[float] = field(default_factory=list)
+    exact_values: List[bool] = field(default_factory=list)
+    scalar_errors: List[float] = field(default_factory=list)
+    calls: List[int] = field(default_factory=list)
+    tokens: List[int] = field(default_factory=list)
+    latency_ms: List[float] = field(default_factory=list)
+    cost_usd: List[float] = field(default_factory=list)
+
+    def add(
+        self,
+        metrics: TupleMetrics,
+        exact: bool,
+        scalar_error: Optional[float],
+        calls: int,
+        tokens: int,
+        latency_ms: float,
+        cost_usd: float,
+    ) -> None:
+        self.f1_values.append(metrics.f1)
+        self.precision_values.append(metrics.precision)
+        self.recall_values.append(metrics.recall)
+        self.exact_values.append(exact)
+        if scalar_error is not None:
+            self.scalar_errors.append(scalar_error)
+        self.calls.append(calls)
+        self.tokens.append(tokens)
+        self.latency_ms.append(latency_ms)
+        self.cost_usd.append(cost_usd)
+
+    @property
+    def count(self) -> int:
+        return len(self.f1_values)
+
+    @staticmethod
+    def _mean(values: Sequence[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def mean_f1(self) -> float:
+        return self._mean(self.f1_values)
+
+    @property
+    def mean_precision(self) -> float:
+        return self._mean(self.precision_values)
+
+    @property
+    def mean_recall(self) -> float:
+        return self._mean(self.recall_values)
+
+    @property
+    def exact_rate(self) -> float:
+        return self._mean([1.0 if value else 0.0 for value in self.exact_values])
+
+    @property
+    def mean_scalar_error(self) -> Optional[float]:
+        return self._mean(self.scalar_errors) if self.scalar_errors else None
+
+    @property
+    def mean_calls(self) -> float:
+        return self._mean(self.calls)
+
+    @property
+    def total_calls(self) -> int:
+        return sum(self.calls)
+
+    @property
+    def mean_tokens(self) -> float:
+        return self._mean(self.tokens)
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(self.tokens)
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self._mean(self.latency_ms)
+
+    @property
+    def total_cost_usd(self) -> float:
+        return sum(self.cost_usd)

@@ -1,0 +1,95 @@
+"""Plain-text tables and series for reporting experiment results.
+
+The paper artifacts are tables and line plots; offline we render both as
+aligned text (a Series is a table whose first column is the x-axis).
+Every experiment writes one artifact file under ``results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, bool, None]
+
+
+def _format_cell(value: Cell) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e9:
+            return f"{value:.1f}"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class ResultTable:
+    """A titled table of results."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render_text(self) -> str:
+        cells = [[_format_cell(cell) for cell in row] for row in self.rows]
+        widths = [len(name) for name in self.columns]
+        for row in cells:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = " | ".join(
+            name.ljust(widths[index]) for index, name in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("-+-".join("-" * width for width in widths))
+        for row in cells:
+            lines.append(
+                " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def save(self, path: str) -> str:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render_text() + "\n")
+        return path
+
+    def column_values(self, name: str) -> List[Cell]:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+
+@dataclass
+class Series(ResultTable):
+    """A figure rendered as a table: first column is the x axis."""
+
+    def render_text(self) -> str:
+        return super().render_text()
+
+
+def results_dir() -> str:
+    """Directory experiment artifacts are written into."""
+    return os.environ.get("REPRO_RESULTS_DIR", "results")
+
+
+def artifact_path(name: str) -> str:
+    return os.path.join(results_dir(), name)

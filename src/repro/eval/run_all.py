@@ -1,0 +1,52 @@
+"""Regenerate every evaluation artifact.
+
+Usage::
+
+    python -m repro.eval.run_all [--quick] [--only table2,figure3]
+    REPRO_RESULTS_DIR=out python -m repro.eval.run_all
+
+Writes one text artifact per table/figure under ``results/`` and prints
+each to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.eval.experiments import EXPERIMENTS
+from repro.eval.reporting import artifact_path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="shrink sweeps (CI-sized run)"
+    )
+    parser.add_argument(
+        "--only",
+        default="",
+        help="comma-separated experiment ids (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    wanted = [name.strip() for name in args.only.split(",") if name.strip()]
+    unknown = [name for name in wanted if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    selected = wanted or list(EXPERIMENTS)
+
+    for name in selected:
+        runner, filename = EXPERIMENTS[name]
+        started = time.time()
+        artifact = runner(quick=args.quick)
+        elapsed = time.time() - started
+        path = artifact.save(artifact_path(filename))
+        print(artifact.render_text())
+        print(f"[{name}] saved {path} ({elapsed:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,272 @@
+"""Query workloads per world, tagged by query class.
+
+Five classes, matching how this line of work slices its accuracy tables:
+
+* ``lookup`` — point queries addressing one entity by key;
+* ``filter`` — selections returning multiple rows;
+* ``join`` — FK joins across two virtual tables;
+* ``aggregate`` — COUNT/SUM/AVG, with and without GROUP BY;
+* ``topk`` — ORDER BY ... LIMIT queries.
+
+Queries that need concrete entity values take them from the world's
+ground truth deterministically (fixed row indices), so workloads are
+stable across runs while staying valid if world generation changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.llm.world import World
+
+#: Query class identifiers, in reporting order.
+QUERY_CLASSES = ["lookup", "filter", "join", "aggregate", "topk"]
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One evaluation query."""
+
+    query_id: str
+    sql: str
+    query_class: str
+    world_name: str
+
+    def __post_init__(self):
+        if self.query_class not in QUERY_CLASSES:
+            raise WorkloadError(f"unknown query class {self.query_class!r}")
+
+
+def _q(world: str, query_class: str, number: int, sql: str) -> WorkloadQuery:
+    return WorkloadQuery(
+        query_id=f"{world}-{query_class}-{number}",
+        sql=sql,
+        query_class=query_class,
+        world_name=world,
+    )
+
+
+# ---------------------------------------------------------------------------
+# geography
+# ---------------------------------------------------------------------------
+
+
+def _geography_workload(world: World) -> List[WorkloadQuery]:
+    name = "geography"
+    return [
+        _q(name, "lookup", 1, "SELECT population FROM countries WHERE name = 'France'"),
+        _q(name, "lookup", 2, "SELECT continent, gdp FROM countries WHERE name = 'Japan'"),
+        _q(name, "lookup", 3, "SELECT city_population FROM cities WHERE city = 'Nairobi'"),
+        _q(name, "lookup", 4, "SELECT is_capital, country FROM cities WHERE city = 'Sydney'"),
+        _q(
+            name, "filter", 1,
+            "SELECT name FROM countries WHERE continent = 'Europe' AND population > 10000",
+        ),
+        _q(
+            name, "filter", 2,
+            "SELECT city FROM cities WHERE is_capital = TRUE AND city_population > 5000",
+        ),
+        _q(
+            name, "filter", 3,
+            "SELECT name, gdp FROM countries WHERE gdp BETWEEN 200 AND 600",
+        ),
+        _q(
+            name, "filter", 4,
+            "SELECT city, country FROM cities WHERE city LIKE 'B%' AND city_population > 1000",
+        ),
+        _q(
+            name, "join", 1,
+            "SELECT c.city, k.continent FROM cities c JOIN countries k "
+            "ON k.name = c.country WHERE c.city_population > 8000",
+        ),
+        _q(
+            name, "join", 2,
+            "SELECT c.city, k.gdp FROM cities c JOIN countries k "
+            "ON k.name = c.country WHERE c.is_capital = TRUE AND k.continent = 'Africa'",
+        ),
+        _q(
+            name, "join", 3,
+            "SELECT c.city FROM cities c JOIN countries k ON k.name = c.country "
+            "WHERE k.population > 200000 AND c.is_capital = TRUE",
+        ),
+        _q(name, "aggregate", 1, "SELECT COUNT(*) FROM countries WHERE continent = 'Asia'"),
+        _q(
+            name, "aggregate", 2,
+            "SELECT continent, COUNT(*) AS n, SUM(population) AS total_pop "
+            "FROM countries GROUP BY continent ORDER BY continent",
+        ),
+        _q(
+            name, "aggregate", 3,
+            "SELECT AVG(gdp) FROM countries WHERE continent = 'Europe'",
+        ),
+        _q(
+            name, "aggregate", 4,
+            "SELECT COUNT(*) FROM cities WHERE is_capital = TRUE AND city_population < 1000",
+        ),
+        _q(
+            name, "topk", 1,
+            "SELECT name, population FROM countries ORDER BY population DESC LIMIT 5",
+        ),
+        _q(
+            name, "topk", 2,
+            "SELECT city, city_population FROM cities WHERE country = 'Japan' "
+            "ORDER BY city_population DESC LIMIT 2",
+        ),
+        _q(
+            name, "topk", 3,
+            "SELECT name FROM countries WHERE continent = 'Europe' "
+            "ORDER BY gdp DESC LIMIT 3",
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# movies
+# ---------------------------------------------------------------------------
+
+
+def _movies_workload(world: World) -> List[WorkloadQuery]:
+    name = "movies"
+    movies = world.table("movies")
+    directors = world.table("directors")
+    # Deterministic sample entities from the ground truth.
+    title_a = movies.rows[3][0]
+    title_b = movies.rows[17][0]
+    director_a = directors.rows[2][0]
+    director_b = directors.rows[7][0]
+    return [
+        _q(name, "lookup", 1, f"SELECT year, director FROM movies WHERE title = '{title_a}'"),
+        _q(name, "lookup", 2, f"SELECT rating, genre FROM movies WHERE title = '{title_b}'"),
+        _q(name, "lookup", 3, f"SELECT country, born FROM directors WHERE name = '{director_a}'"),
+        _q(
+            name, "filter", 1,
+            "SELECT title FROM movies WHERE genre = 'sci-fi' AND year >= 2000",
+        ),
+        _q(
+            name, "filter", 2,
+            "SELECT title, rating FROM movies WHERE rating >= 8.5",
+        ),
+        _q(
+            name, "filter", 3,
+            "SELECT title FROM movies WHERE runtime BETWEEN 90 AND 100 AND genre = 'drama'",
+        ),
+        _q(
+            name, "join", 1,
+            "SELECT m.title, d.country FROM movies m JOIN directors d "
+            "ON d.name = m.director WHERE m.rating >= 8.8",
+        ),
+        _q(
+            name, "join", 2,
+            f"SELECT m.title, m.year FROM movies m JOIN directors d "
+            f"ON d.name = m.director WHERE d.name = '{director_b}'",
+        ),
+        _q(
+            name, "join", 3,
+            "SELECT m.title, d.born FROM movies m JOIN directors d "
+            "ON d.name = m.director WHERE m.gross > 120 AND d.country = 'France'",
+        ),
+        _q(name, "aggregate", 1, "SELECT COUNT(*) FROM movies WHERE genre = 'noir'"),
+        _q(
+            name, "aggregate", 2,
+            "SELECT genre, COUNT(*) AS n, AVG(rating) AS avg_rating "
+            "FROM movies GROUP BY genre ORDER BY genre",
+        ),
+        _q(
+            name, "aggregate", 3,
+            "SELECT SUM(gross) FROM movies WHERE year >= 2010",
+        ),
+        _q(
+            name, "topk", 1,
+            "SELECT title, rating FROM movies ORDER BY rating DESC LIMIT 5",
+        ),
+        _q(
+            name, "topk", 2,
+            "SELECT title, gross FROM movies WHERE genre = 'thriller' "
+            "ORDER BY gross DESC LIMIT 3",
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# company
+# ---------------------------------------------------------------------------
+
+
+def _company_workload(world: World) -> List[WorkloadQuery]:
+    name = "company"
+    employees = world.table("employees")
+    employee_a = employees.rows[5][0]
+    employee_b = employees.rows[31][0]
+    return [
+        _q(name, "lookup", 1, f"SELECT salary, department FROM employees WHERE name = '{employee_a}'"),
+        _q(name, "lookup", 2, f"SELECT role, hired FROM employees WHERE name = '{employee_b}'"),
+        _q(name, "lookup", 3, "SELECT budget, hq_city FROM departments WHERE dept_name = 'Research'"),
+        _q(
+            name, "filter", 1,
+            "SELECT name FROM employees WHERE department = 'Engineering' AND salary > 120000",
+        ),
+        _q(
+            name, "filter", 2,
+            "SELECT name, hired FROM employees WHERE hired >= 2020 AND remote = TRUE",
+        ),
+        _q(
+            name, "filter", 3,
+            "SELECT name, salary FROM employees WHERE role = 'manager' AND salary BETWEEN 90000 AND 150000",
+        ),
+        _q(
+            name, "join", 1,
+            "SELECT e.name, d.hq_city FROM employees e JOIN departments d "
+            "ON d.dept_name = e.department WHERE e.salary > 150000",
+        ),
+        _q(
+            name, "join", 2,
+            "SELECT e.name, d.budget FROM employees e JOIN departments d "
+            "ON d.dept_name = e.department WHERE d.hq_city = 'Berlin' AND e.role = 'lead'",
+        ),
+        _q(name, "aggregate", 1, "SELECT COUNT(*) FROM employees WHERE remote = TRUE"),
+        _q(
+            name, "aggregate", 2,
+            "SELECT department, COUNT(*) AS heads, AVG(salary) AS avg_salary "
+            "FROM employees GROUP BY department ORDER BY department",
+        ),
+        _q(
+            name, "aggregate", 3,
+            "SELECT MAX(salary) FROM employees WHERE department = 'Finance'",
+        ),
+        _q(
+            name, "topk", 1,
+            "SELECT name, salary FROM employees ORDER BY salary DESC LIMIT 5",
+        ),
+        _q(
+            name, "topk", 2,
+            "SELECT dept_name, budget FROM departments ORDER BY budget DESC LIMIT 3",
+        ),
+    ]
+
+
+_BUILDERS = {
+    "geography": _geography_workload,
+    "movies": _movies_workload,
+    "company": _company_workload,
+}
+
+
+def workload_for(world: World) -> List[WorkloadQuery]:
+    """The standard workload of a world."""
+    builder = _BUILDERS.get(world.name)
+    if builder is None:
+        raise WorkloadError(
+            f"no workload defined for world {world.name!r} "
+            f"(known: {', '.join(sorted(_BUILDERS))})"
+        )
+    return builder(world)
+
+
+def queries_by_class(queries: List[WorkloadQuery]) -> Dict[str, List[WorkloadQuery]]:
+    """Group a workload by query class, in reporting order."""
+    grouped: Dict[str, List[WorkloadQuery]] = {name: [] for name in QUERY_CLASSES}
+    for query in queries:
+        grouped[query.query_class].append(query)
+    return grouped

@@ -1,0 +1,452 @@
+"""Synthetic worlds: the ground truth the simulated model "knows".
+
+Three worlds with different shapes:
+
+* **geography** — an embedded, realistic country/city snapshot (the
+  knowledge-lookup workload the paper's line of work motivates with);
+* **movies** — a generated film catalog with a directors dimension
+  (text-heavy, skewed numerics, FK joins); size is a parameter so the
+  truncation/selectivity sweeps can scale it;
+* **company** — employees/departments (classic SQL-textbook shape with
+  salaries for aggregation workloads).
+
+Everything is deterministic: embedded data is static; generated data
+uses ``numpy.random.default_rng`` with fixed seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.virtual import ColumnConstraint
+from repro.llm.world import World
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+# ---------------------------------------------------------------------------
+# geography — embedded snapshot (populations in thousands, area in 1000 km²,
+# gdp in billions USD; values are rounded public figures, which is all the
+# accuracy a parametric model would have anyway)
+# ---------------------------------------------------------------------------
+
+_COUNTRIES = [
+    # name, continent, population (thousands), area (1000 km2), gdp ($B)
+    ("France", "Europe", 68000, 644, 2780),
+    ("Germany", "Europe", 84000, 358, 4070),
+    ("Italy", "Europe", 59000, 301, 2010),
+    ("Spain", "Europe", 47600, 506, 1400),
+    ("Portugal", "Europe", 10300, 92, 252),
+    ("Norway", "Europe", 5400, 385, 482),
+    ("Sweden", "Europe", 10500, 450, 585),
+    ("Finland", "Europe", 5500, 338, 281),
+    ("Poland", "Europe", 37700, 313, 688),
+    ("Greece", "Europe", 10400, 132, 219),
+    ("Netherlands", "Europe", 17700, 42, 991),
+    ("Belgium", "Europe", 11600, 31, 578),
+    ("Switzerland", "Europe", 8700, 41, 818),
+    ("Austria", "Europe", 9000, 84, 471),
+    ("Ireland", "Europe", 5100, 70, 529),
+    ("Iceland", "Europe", 370, 103, 28),
+    ("Denmark", "Europe", 5900, 43, 395),
+    ("Czechia", "Europe", 10500, 79, 290),
+    ("Hungary", "Europe", 9700, 93, 178),
+    ("Romania", "Europe", 19000, 238, 301),
+    ("Japan", "Asia", 125000, 378, 4230),
+    ("China", "Asia", 1412000, 9597, 17960),
+    ("India", "Asia", 1408000, 3287, 3390),
+    ("South Korea", "Asia", 51700, 100, 1670),
+    ("Vietnam", "Asia", 98200, 331, 409),
+    ("Thailand", "Asia", 71600, 513, 495),
+    ("Indonesia", "Asia", 273800, 1905, 1320),
+    ("Malaysia", "Asia", 33600, 331, 407),
+    ("Philippines", "Asia", 113900, 300, 404),
+    ("Pakistan", "Asia", 231400, 881, 375),
+    ("Bangladesh", "Asia", 169400, 148, 460),
+    ("Turkey", "Asia", 84800, 784, 906),
+    ("Israel", "Asia", 9400, 22, 522),
+    ("Saudi Arabia", "Asia", 35900, 2150, 1110),
+    ("Brazil", "South America", 214300, 8516, 1920),
+    ("Argentina", "South America", 45800, 2780, 631),
+    ("Chile", "South America", 19500, 756, 301),
+    ("Colombia", "South America", 51500, 1142, 343),
+    ("Peru", "South America", 33700, 1285, 242),
+    ("Uruguay", "South America", 3400, 176, 71),
+    ("Nigeria", "Africa", 213400, 924, 477),
+    ("Egypt", "Africa", 109300, 1001, 476),
+    ("Kenya", "Africa", 53000, 580, 113),
+    ("South Africa", "Africa", 59400, 1221, 405),
+    ("Morocco", "Africa", 37100, 447, 134),
+    ("Ethiopia", "Africa", 120300, 1104, 127),
+    ("Ghana", "Africa", 32800, 239, 77),
+    ("United States", "North America", 332000, 9834, 25460),
+    ("Canada", "North America", 38200, 9985, 2140),
+    ("Mexico", "North America", 126700, 1964, 1410),
+    ("Cuba", "North America", 11300, 110, 107),
+    ("Guatemala", "North America", 17100, 109, 95),
+    ("Australia", "Oceania", 25700, 7692, 1680),
+    ("New Zealand", "Oceania", 5100, 268, 247),
+    ("Fiji", "Oceania", 900, 18, 5),
+]
+
+_CITIES = [
+    # city, country, population (thousands), is_capital
+    ("Paris", "France", 2161, True),
+    ("Lyon", "France", 522, False),
+    ("Marseille", "France", 870, False),
+    ("Berlin", "Germany", 3645, True),
+    ("Munich", "Germany", 1488, False),
+    ("Hamburg", "Germany", 1841, False),
+    ("Rome", "Italy", 2873, True),
+    ("Milan", "Italy", 1352, False),
+    ("Madrid", "Spain", 3223, True),
+    ("Barcelona", "Spain", 1620, False),
+    ("Lisbon", "Portugal", 505, True),
+    ("Oslo", "Norway", 697, True),
+    ("Stockholm", "Sweden", 975, True),
+    ("Helsinki", "Finland", 656, True),
+    ("Warsaw", "Poland", 1790, True),
+    ("Krakow", "Poland", 779, False),
+    ("Athens", "Greece", 664, True),
+    ("Amsterdam", "Netherlands", 872, True),
+    ("Rotterdam", "Netherlands", 651, False),
+    ("Brussels", "Belgium", 185, True),
+    ("Zurich", "Switzerland", 434, False),
+    ("Bern", "Switzerland", 134, True),
+    ("Vienna", "Austria", 1897, True),
+    ("Dublin", "Ireland", 554, True),
+    ("Reykjavik", "Iceland", 131, True),
+    ("Copenhagen", "Denmark", 632, True),
+    ("Prague", "Czechia", 1309, True),
+    ("Budapest", "Hungary", 1752, True),
+    ("Bucharest", "Romania", 1883, True),
+    ("Tokyo", "Japan", 13960, True),
+    ("Osaka", "Japan", 2691, False),
+    ("Kyoto", "Japan", 1464, False),
+    ("Beijing", "China", 21540, True),
+    ("Shanghai", "China", 24870, False),
+    ("Shenzhen", "China", 12590, False),
+    ("Delhi", "India", 16787, True),
+    ("Mumbai", "India", 12442, False),
+    ("Bangalore", "India", 8443, False),
+    ("Seoul", "South Korea", 9776, True),
+    ("Busan", "South Korea", 3448, False),
+    ("Hanoi", "Vietnam", 8053, True),
+    ("Bangkok", "Thailand", 10539, True),
+    ("Jakarta", "Indonesia", 10562, True),
+    ("Kuala Lumpur", "Malaysia", 1808, True),
+    ("Manila", "Philippines", 1780, True),
+    ("Karachi", "Pakistan", 14910, False),
+    ("Islamabad", "Pakistan", 1015, True),
+    ("Dhaka", "Bangladesh", 8906, True),
+    ("Ankara", "Turkey", 5663, True),
+    ("Istanbul", "Turkey", 15460, False),
+    ("Jerusalem", "Israel", 936, True),
+    ("Riyadh", "Saudi Arabia", 7676, True),
+    ("Brasilia", "Brazil", 3055, True),
+    ("Sao Paulo", "Brazil", 12330, False),
+    ("Rio de Janeiro", "Brazil", 6748, False),
+    ("Buenos Aires", "Argentina", 3076, True),
+    ("Santiago", "Chile", 6160, True),
+    ("Bogota", "Colombia", 7413, True),
+    ("Lima", "Peru", 9752, True),
+    ("Montevideo", "Uruguay", 1319, True),
+    ("Abuja", "Nigeria", 1236, True),
+    ("Lagos", "Nigeria", 14862, False),
+    ("Cairo", "Egypt", 9540, True),
+    ("Nairobi", "Kenya", 4397, True),
+    ("Cape Town", "South Africa", 4618, False),
+    ("Pretoria", "South Africa", 741, True),
+    ("Rabat", "Morocco", 577, True),
+    ("Casablanca", "Morocco", 3360, False),
+    ("Addis Ababa", "Ethiopia", 3860, True),
+    ("Accra", "Ghana", 2291, True),
+    ("Washington", "United States", 705, True),
+    ("New York", "United States", 8380, False),
+    ("Los Angeles", "United States", 3990, False),
+    ("Chicago", "United States", 2706, False),
+    ("Ottawa", "Canada", 994, True),
+    ("Toronto", "Canada", 2930, False),
+    ("Vancouver", "Canada", 675, False),
+    ("Mexico City", "Mexico", 9209, True),
+    ("Havana", "Cuba", 2130, True),
+    ("Guatemala City", "Guatemala", 995, True),
+    ("Canberra", "Australia", 431, True),
+    ("Sydney", "Australia", 5312, False),
+    ("Melbourne", "Australia", 5078, False),
+    ("Wellington", "New Zealand", 212, True),
+    ("Auckland", "New Zealand", 1571, False),
+    ("Suva", "Fiji", 94, True),
+]
+
+
+def geography_world() -> World:
+    """The embedded country/city snapshot."""
+    countries = TableSchema(
+        name="countries",
+        columns=(
+            Column("name", DataType.TEXT, nullable=False, description="country name"),
+            Column("continent", DataType.TEXT, description="continent the country is in"),
+            Column("population", DataType.INTEGER, description="population in thousands"),
+            Column("area", DataType.INTEGER, description="land area in thousands of km^2"),
+            Column("gdp", DataType.INTEGER, description="nominal GDP in billions of USD"),
+        ),
+        primary_key=("name",),
+        description="Sovereign countries with rounded public statistics",
+    )
+    cities = TableSchema(
+        name="cities",
+        columns=(
+            Column("city", DataType.TEXT, nullable=False, description="city name"),
+            Column("country", DataType.TEXT, description="country the city is in"),
+            Column("city_population", DataType.INTEGER, description="city proper population in thousands"),
+            Column("is_capital", DataType.BOOLEAN, description="whether the city is the national capital"),
+        ),
+        primary_key=("city",),
+        description="Major world cities",
+    )
+    return World(
+        "geography",
+        [
+            Table(countries, _COUNTRIES),
+            Table(cities, _CITIES),
+        ],
+        description="countries and major cities with rounded public statistics",
+    )
+
+
+# ---------------------------------------------------------------------------
+# movies — generated catalog
+# ---------------------------------------------------------------------------
+
+_DIRECTOR_FIRST = [
+    "Ava", "Noah", "Mara", "Liam", "Ingrid", "Hugo", "Sofia", "Akira", "Elena",
+    "Marcus", "Petra", "Dmitri", "Yuki", "Carmen", "Felix",
+]
+_DIRECTOR_LAST = [
+    "Lindqvist", "Moretti", "Tanaka", "Okafor", "Kovacs", "Dubois", "Alvarez",
+    "Novak", "Eriksen", "Marchetti", "Silva", "Haas", "Petrov", "Ferreira",
+]
+_TITLE_HEAD = [
+    "Midnight", "Silent", "Crimson", "Golden", "Broken", "Electric", "Winter",
+    "Burning", "Hollow", "Distant", "Velvet", "Savage", "Paper", "Iron",
+    "Glass", "Wild",
+]
+_TITLE_TAIL = [
+    "Harbor", "Echoes", "Garden", "Horizon", "Letters", "Empire", "Orchard",
+    "Shadows", "Station", "Voyage", "Reverie", "Frontier", "Monarch",
+    "Tides", "Labyrinth", "Circuit",
+]
+_GENRES = ["drama", "thriller", "comedy", "sci-fi", "documentary", "noir"]
+_DIRECTOR_COUNTRIES = [
+    "France", "Italy", "Japan", "Nigeria", "Hungary", "Spain", "Brazil",
+    "Sweden", "Germany", "United States",
+]
+
+
+def movies_world(n_movies: int = 240, seed: int = 11) -> World:
+    """A generated film catalog with a directors dimension table."""
+    rng = np.random.default_rng(seed)
+    directors: List[tuple] = []
+    names = []
+    for first in _DIRECTOR_FIRST:
+        for last in _DIRECTOR_LAST:
+            names.append(f"{first} {last}")
+    rng.shuffle(names)
+    director_count = 30
+    for name in names[:director_count]:
+        directors.append(
+            (
+                name,
+                _DIRECTOR_COUNTRIES[int(rng.integers(len(_DIRECTOR_COUNTRIES)))],
+                int(rng.integers(1935, 1985)),
+            )
+        )
+
+    titles = []
+    for head in _TITLE_HEAD:
+        for tail in _TITLE_TAIL:
+            titles.append(f"{head} {tail}")
+    if n_movies > len(titles):
+        extra = []
+        for head in _TITLE_HEAD:
+            for tail in _TITLE_TAIL:
+                extra.append(f"The {head} {tail}")
+        titles = titles + extra
+    if n_movies > len(titles):
+        raise ValueError(f"movies_world supports at most {len(titles)} movies")
+    rng.shuffle(titles)
+
+    movies: List[tuple] = []
+    for title in titles[:n_movies]:
+        director = directors[int(rng.integers(director_count))][0]
+        year = int(rng.integers(1965, 2024))
+        genre = _GENRES[int(rng.integers(len(_GENRES)))]
+        rating = round(float(rng.uniform(3.2, 9.4)), 1)
+        # Log-normal-ish gross in millions, skewed like real box office.
+        gross = round(float(np.exp(rng.normal(2.8, 1.1))), 1)
+        runtime = int(rng.integers(78, 205))
+        movies.append((title, director, year, genre, rating, gross, runtime))
+
+    movies_schema = TableSchema(
+        name="movies",
+        columns=(
+            Column("title", DataType.TEXT, nullable=False, description="film title"),
+            Column("director", DataType.TEXT, description="director's full name"),
+            Column("year", DataType.INTEGER, description="release year"),
+            Column("genre", DataType.TEXT, description="primary genre"),
+            Column("rating", DataType.REAL, description="average critic rating, 0-10"),
+            Column("gross", DataType.REAL, description="worldwide gross in millions USD"),
+            Column("runtime", DataType.INTEGER, description="runtime in minutes"),
+        ),
+        primary_key=("title",),
+        description="A film catalog",
+    )
+    directors_schema = TableSchema(
+        name="directors",
+        columns=(
+            Column("name", DataType.TEXT, nullable=False, description="director's full name"),
+            Column("country", DataType.TEXT, description="country of origin"),
+            Column("born", DataType.INTEGER, description="year of birth"),
+        ),
+        primary_key=("name",),
+        description="Film directors",
+    )
+    return World(
+        "movies",
+        [Table(movies_schema, movies), Table(directors_schema, directors)],
+        description="a film catalog with a directors dimension",
+    )
+
+
+# ---------------------------------------------------------------------------
+# company — employees/departments
+# ---------------------------------------------------------------------------
+
+_EMP_FIRST = [
+    "Alice", "Bruno", "Chen", "Dara", "Emil", "Farah", "Goran", "Hana",
+    "Ivan", "Jolan", "Kiran", "Lena", "Mika", "Nadia", "Omar", "Priya",
+    "Quinn", "Rosa", "Sven", "Tara",
+]
+_EMP_LAST = [
+    "Abe", "Bergman", "Castillo", "Dorsey", "Engel", "Fontaine", "Guerra",
+    "Hoffman", "Iqbal", "Jansen", "Keller", "Lindgren", "Maro", "Nilsen",
+    "Oduya", "Price",
+]
+_DEPARTMENTS = [
+    ("Engineering", "Berlin", 12_000_000),
+    ("Sales", "London", 7_500_000),
+    ("Marketing", "Paris", 4_200_000),
+    ("Finance", "Zurich", 5_600_000),
+    ("Support", "Lisbon", 2_300_000),
+    ("Research", "Copenhagen", 8_800_000),
+    ("Operations", "Rotterdam", 3_900_000),
+    ("Legal", "Vienna", 2_700_000),
+]
+_ROLES = ["analyst", "engineer", "manager", "specialist", "lead", "associate"]
+
+
+def company_world(n_employees: int = 160, seed: int = 23) -> World:
+    """Employees and departments with salary data."""
+    rng = np.random.default_rng(seed)
+    names = []
+    for first in _EMP_FIRST:
+        for last in _EMP_LAST:
+            names.append(f"{first} {last}")
+    rng.shuffle(names)
+    if n_employees > len(names):
+        raise ValueError(f"company_world supports at most {len(names)} employees")
+
+    employees: List[tuple] = []
+    for index, name in enumerate(names[:n_employees]):
+        department = _DEPARTMENTS[int(rng.integers(len(_DEPARTMENTS)))][0]
+        role = _ROLES[int(rng.integers(len(_ROLES)))]
+        salary = int(rng.integers(38, 185)) * 1000
+        hired = int(rng.integers(2005, 2024))
+        remote = bool(rng.integers(0, 2))
+        employees.append((name, department, role, salary, hired, remote))
+
+    employees_schema = TableSchema(
+        name="employees",
+        columns=(
+            Column("name", DataType.TEXT, nullable=False, description="employee full name"),
+            Column("department", DataType.TEXT, description="department the employee works in"),
+            Column("role", DataType.TEXT, description="job role"),
+            Column("salary", DataType.INTEGER, description="annual salary in USD"),
+            Column("hired", DataType.INTEGER, description="year of hire"),
+            Column("remote", DataType.BOOLEAN, description="works remotely"),
+        ),
+        primary_key=("name",),
+        description="Employees of a mid-size company",
+    )
+    departments_schema = TableSchema(
+        name="departments",
+        columns=(
+            Column("dept_name", DataType.TEXT, nullable=False, description="department name"),
+            Column("hq_city", DataType.TEXT, description="city of the department HQ"),
+            Column("budget", DataType.INTEGER, description="annual budget in USD"),
+        ),
+        primary_key=("dept_name",),
+        description="Company departments",
+    )
+    return World(
+        "company",
+        [
+            Table(employees_schema, employees),
+            Table(departments_schema, _DEPARTMENTS),
+        ],
+        description="employees and departments of a mid-size company",
+    )
+
+
+def all_worlds() -> Dict[str, World]:
+    """The three standard evaluation worlds."""
+    return {
+        "geography": geography_world(),
+        "movies": movies_world(),
+        "company": company_world(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Constraints derived from world statistics (practitioner knowledge)
+# ---------------------------------------------------------------------------
+
+#: Categorical domains larger than this are not turned into constraints.
+_MAX_CATEGORICAL = 40
+
+
+def constraints_for(world: World, table_name: str) -> Dict[str, ColumnConstraint]:
+    """Plausibility constraints a practitioner would configure.
+
+    Numeric columns get a generous range around the observed one (an
+    order-of-magnitude confabulation falls outside it; an honest rounded
+    value does not).  Low-cardinality text columns get closed domains,
+    except key-like columns.
+    """
+    table = world.table(table_name)
+    schema = table.schema
+    keys = {name.lower() for name in schema.primary_key}
+    constraints: Dict[str, ColumnConstraint] = {}
+    for column in schema.columns:
+        if column.name.lower() in keys:
+            continue
+        values = [v for v in table.column_values(column.name) if v is not None]
+        if not values:
+            continue
+        if column.dtype in (DataType.INTEGER, DataType.REAL):
+            low = min(values)
+            high = max(values)
+            span = max(abs(high - low), abs(high), 1.0)
+            constraints[column.name] = ColumnConstraint(
+                min_value=low - 0.5 * span, max_value=high + 0.5 * span
+            )
+        elif column.dtype is DataType.TEXT:
+            domain = set(values)
+            if len(domain) <= _MAX_CATEGORICAL:
+                constraints[column.name] = ColumnConstraint(
+                    allowed_values=frozenset(domain)
+                )
+    return constraints

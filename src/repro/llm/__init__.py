@@ -1,0 +1,41 @@
+"""Language-model substrate.
+
+Everything the engine knows about a model goes through the
+:class:`~repro.llm.interface.LanguageModel` interface: a prompt string in,
+a completion string (plus usage) out.  The package provides:
+
+* a deterministic subword tokenizer used for cost accounting,
+* usage metering (calls, tokens, simulated latency, dollar cost),
+* a response cache,
+* :class:`~repro.llm.world.World` — the explicit "parametric knowledge"
+  of the simulated model, and
+* :class:`~repro.llm.simulated.SimulatedLLM` — a seedable model that
+  answers the engine's prompt protocols from a world with a configurable
+  error model (knowledge gaps, sampling errors, omissions, hallucinated
+  rows, format noise, output truncation).
+"""
+
+from repro.llm.interface import Completion, CompletionOptions, LanguageModel
+from repro.llm.tokenizer import count_tokens, truncate_to_tokens
+from repro.llm.accounting import Budget, PriceModel, UsageMeter, UsageSnapshot
+from repro.llm.cache import CacheStats, PromptCache
+from repro.llm.world import World
+from repro.llm.noise import NoiseConfig
+from repro.llm.simulated import SimulatedLLM
+
+__all__ = [
+    "Completion",
+    "CompletionOptions",
+    "LanguageModel",
+    "count_tokens",
+    "truncate_to_tokens",
+    "Budget",
+    "PriceModel",
+    "UsageMeter",
+    "UsageSnapshot",
+    "CacheStats",
+    "PromptCache",
+    "World",
+    "NoiseConfig",
+    "SimulatedLLM",
+]

@@ -1,0 +1,161 @@
+"""Usage metering: calls, tokens, simulated latency and dollar cost.
+
+Engines meter every completion through a :class:`UsageMeter`; query
+results expose an immutable :class:`UsageSnapshot`, and the evaluation
+harness differences snapshots to attribute cost to individual queries.
+A :class:`Budget` can cap calls/tokens, raising
+:class:`~repro.errors.LLMBudgetExceeded` mid-query — the engine surfaces
+partial results with a warning flag, mimicking a spend limit on a real
+API account.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import LLMBudgetExceeded
+from repro.llm.interface import Completion
+
+
+@dataclass(frozen=True)
+class PriceModel:
+    """Dollar prices per 1000 tokens (defaults shaped like 2024 APIs)."""
+
+    usd_per_1k_prompt_tokens: float = 0.01
+    usd_per_1k_completion_tokens: float = 0.03
+
+    def cost(self, prompt_tokens: int, completion_tokens: int) -> float:
+        return (
+            prompt_tokens * self.usd_per_1k_prompt_tokens
+            + completion_tokens * self.usd_per_1k_completion_tokens
+        ) / 1000.0
+
+
+@dataclass(frozen=True)
+class UsageSnapshot:
+    """Immutable point-in-time usage totals."""
+
+    calls: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    latency_ms: float = 0.0
+    cost_usd: float = 0.0
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+    def minus(self, earlier: "UsageSnapshot") -> "UsageSnapshot":
+        """Usage accrued since ``earlier``."""
+        return UsageSnapshot(
+            calls=self.calls - earlier.calls,
+            prompt_tokens=self.prompt_tokens - earlier.prompt_tokens,
+            completion_tokens=self.completion_tokens - earlier.completion_tokens,
+            latency_ms=self.latency_ms - earlier.latency_ms,
+            cost_usd=self.cost_usd - earlier.cost_usd,
+        )
+
+    def plus(self, other: "UsageSnapshot") -> "UsageSnapshot":
+        return UsageSnapshot(
+            calls=self.calls + other.calls,
+            prompt_tokens=self.prompt_tokens + other.prompt_tokens,
+            completion_tokens=self.completion_tokens + other.completion_tokens,
+            latency_ms=self.latency_ms + other.latency_ms,
+            cost_usd=self.cost_usd + other.cost_usd,
+        )
+
+    def render(self) -> str:
+        return (
+            f"{self.calls} calls, {self.prompt_tokens}+{self.completion_tokens} "
+            f"tokens, {self.latency_ms:.0f} ms, ${self.cost_usd:.4f}"
+        )
+
+
+@dataclass
+class Budget:
+    """Optional hard limits on a query or session."""
+
+    max_calls: Optional[int] = None
+    max_total_tokens: Optional[int] = None
+
+
+class UsageMeter:
+    """Accumulates usage; optionally enforces a budget."""
+
+    def __init__(self, price_model: PriceModel = PriceModel(), budget: Optional[Budget] = None):
+        self._price_model = price_model
+        self._budget = budget
+        self._calls = 0
+        self._prompt_tokens = 0
+        self._completion_tokens = 0
+        self._latency_ms = 0.0
+
+    def check_budget(self) -> None:
+        """Raise if the next call would exceed the budget."""
+        if self._budget is None:
+            return
+        if self._budget.max_calls is not None and self._calls >= self._budget.max_calls:
+            raise LLMBudgetExceeded(
+                f"call budget of {self._budget.max_calls} exhausted",
+                calls_used=self._calls,
+                tokens_used=self.total_tokens,
+            )
+        if (
+            self._budget.max_total_tokens is not None
+            and self.total_tokens >= self._budget.max_total_tokens
+        ):
+            raise LLMBudgetExceeded(
+                f"token budget of {self._budget.max_total_tokens} exhausted",
+                calls_used=self._calls,
+                tokens_used=self.total_tokens,
+            )
+
+    def record(self, completion: Completion) -> None:
+        """Account for one completion."""
+        self._calls += 1
+        self._prompt_tokens += completion.prompt_tokens
+        self._completion_tokens += completion.completion_tokens
+        self._latency_ms += completion.latency_ms
+
+    @property
+    def calls(self) -> int:
+        return self._calls
+
+    @property
+    def total_tokens(self) -> int:
+        return self._prompt_tokens + self._completion_tokens
+
+    def snapshot(self) -> UsageSnapshot:
+        return UsageSnapshot(
+            calls=self._calls,
+            prompt_tokens=self._prompt_tokens,
+            completion_tokens=self._completion_tokens,
+            latency_ms=self._latency_ms,
+            cost_usd=self._price_model.cost(
+                self._prompt_tokens, self._completion_tokens
+            ),
+        )
+
+    def reset(self) -> None:
+        self._calls = 0
+        self._prompt_tokens = 0
+        self._completion_tokens = 0
+        self._latency_ms = 0.0
+
+
+class MeteredModel:
+    """Wraps a model so every call is budget-checked and metered."""
+
+    def __init__(self, inner, meter: UsageMeter):
+        self._inner = inner
+        self._meter = meter
+
+    def complete(self, prompt: str, options=None) -> Completion:
+        from repro.llm.interface import CompletionOptions
+
+        options = options or CompletionOptions()
+        self._meter.check_budget()
+        completion = self._inner.complete(prompt, options)
+        self._meter.record(completion)
+        return completion

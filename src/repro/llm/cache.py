@@ -1,0 +1,106 @@
+"""Prompt/completion cache.
+
+Caching is one of the paper-line's core cost optimizations: repeated
+lookups (e.g. a join probing the same key twice, or two queries sharing a
+sub-plan) must not pay for a second model call.
+
+A completion is cacheable when decoding is deterministic for the request:
+temperature 0, or a pinned ``sample_index`` at temperature > 0 (the
+simulated model is deterministic given ``(prompt, sample_index)``; real
+APIs offer the same via a seed parameter).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.llm.interface import Completion, CompletionOptions, LanguageModel
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters; eviction count for LRU pressure analysis."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+CacheKey = Tuple[str, float, int, int]
+
+
+class PromptCache:
+    """LRU cache over (prompt, temperature, sample_index, max_tokens)."""
+
+    def __init__(self, max_entries: int = 100_000):
+        self._entries: "OrderedDict[CacheKey, Completion]" = OrderedDict()
+        self._max_entries = max_entries
+        self.stats = CacheStats()
+
+    @staticmethod
+    def key_for(prompt: str, options: CompletionOptions) -> CacheKey:
+        return (prompt, options.temperature, options.sample_index, options.max_tokens)
+
+    def get(self, prompt: str, options: CompletionOptions) -> Optional[Completion]:
+        key = self.key_for(prompt, options)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, prompt: str, options: CompletionOptions, completion: Completion) -> None:
+        key = self.key_for(prompt, options)
+        self._entries[key] = completion
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class CachingModel:
+    """Model decorator that consults a :class:`PromptCache` first.
+
+    Cache hits return the stored completion with zero-cost usage (the
+    tokens were already paid for), which is exactly how engine-side
+    caching changes the economics of repeated lookups.
+    """
+
+    def __init__(self, inner: LanguageModel, cache: Optional[PromptCache] = None):
+        self._inner = inner
+        self.cache = cache if cache is not None else PromptCache()
+
+    def complete(
+        self, prompt: str, options: CompletionOptions = CompletionOptions()
+    ) -> Completion:
+        cached = self.cache.get(prompt, options)
+        if cached is not None:
+            return Completion(
+                text=cached.text,
+                prompt_tokens=0,
+                completion_tokens=0,
+                truncated=cached.truncated,
+                latency_ms=0.0,
+                model_name=cached.model_name,
+            )
+        completion = self._inner.complete(prompt, options)
+        self.cache.put(prompt, options, completion)
+        return completion

@@ -1,0 +1,85 @@
+"""The prompt/completion interface every model implements.
+
+The engine is written against :class:`LanguageModel` only.  Swapping the
+simulated model for a networked API client would not change a single line
+above this interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+
+@dataclass(frozen=True)
+class CompletionOptions:
+    """Decoding options for one completion request.
+
+    Attributes:
+        temperature: 0.0 requests greedy decoding (deterministic per
+            prompt); higher values request sampling.  The simulated model
+            uses this to decide whether sampling errors are systematic
+            (greedy) or i.i.d. per sample.
+        max_tokens: hard output budget; completions are cut mid-stream
+            when the budget runs out.
+        sample_index: distinguishes repeated samples of the same prompt
+            for self-consistency voting.  Ignored at temperature 0.
+    """
+
+    temperature: float = 0.0
+    max_tokens: int = 512
+    sample_index: int = 0
+
+
+@dataclass(frozen=True)
+class Completion:
+    """One model response with its usage accounting."""
+
+    text: str
+    prompt_tokens: int
+    completion_tokens: int
+    truncated: bool = False
+    latency_ms: float = 0.0
+    model_name: str = "simulated"
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+
+@runtime_checkable
+class LanguageModel(Protocol):
+    """Anything that maps a prompt to a completion."""
+
+    def complete(self, prompt: str, options: CompletionOptions = CompletionOptions()) -> Completion:
+        """Generate a completion for ``prompt``."""
+        ...
+
+
+@dataclass
+class RecordedCall:
+    """A (prompt, options, completion) triple kept by tracing wrappers."""
+
+    prompt: str
+    options: CompletionOptions
+    completion: Completion
+
+
+class TracingModel:
+    """Decorator that records every call to an inner model.
+
+    Useful in tests and examples for inspecting the prompt traffic an
+    engine generated for a query.
+    """
+
+    def __init__(self, inner: LanguageModel, keep_last: int = 1000):
+        self._inner = inner
+        self._keep_last = keep_last
+        self.calls: list[RecordedCall] = []
+
+    def complete(self, prompt: str, options: CompletionOptions = CompletionOptions()) -> Completion:
+        completion = self._inner.complete(prompt, options)
+        self.calls.append(RecordedCall(prompt, options, completion))
+        if len(self.calls) > self._keep_last:
+            del self.calls[: len(self.calls) - self._keep_last]
+        return completion

@@ -1,0 +1,226 @@
+"""Error model of the simulated language model.
+
+The model has two qualitatively different failure sources, matching what
+is empirically reported for factual LLM querying:
+
+* **Knowledge gaps** — per-fact corruption that is stable across samples
+  and prompts.  Resampling (self-consistency voting) cannot repair these;
+  they set the accuracy ceiling.
+* **Sampling errors** — decoding mistakes.  At temperature 0 they are
+  *systematic* (the same wrong answer every time, keyed by fact); at
+  temperature > 0 they are i.i.d. per ``sample_index``, which is exactly
+  what voting averages away.
+
+On top of cell-level corruption the model can forget whole rows
+(omission), invent rows (hallucination), and decorate answers with
+chatter (format noise).  Direct whole-query prompting additionally pays a
+complexity penalty: per-value error grows with the number of relational
+operators the model is asked to emulate in-context, modeling the
+documented unreliability of multi-step in-context computation.
+
+All randomness is derived from SHA-256 over ``(seed, *address)`` so runs
+are reproducible and independent draws are keyed by independent
+addresses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from repro.relational.types import Value
+
+
+def stable_hash(*parts: object) -> int:
+    """Deterministic 64-bit hash of a tuple of printable parts."""
+    payload = "\x1f".join(_encode(part) for part in parts).encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return struct.unpack("<Q", digest[:8])[0]
+
+
+def _encode(part: object) -> str:
+    if isinstance(part, float):
+        return f"f:{part!r}"
+    if isinstance(part, bool):
+        return f"b:{part}"
+    if isinstance(part, int):
+        return f"i:{part}"
+    if part is None:
+        return "n:"
+    return f"s:{part}"
+
+
+def uniform01(*parts: object) -> float:
+    """Deterministic uniform draw in [0, 1) keyed by ``parts``."""
+    return stable_hash(*parts) / 2.0**64
+
+
+def pick_index(count: int, *parts: object) -> int:
+    """Deterministic index draw in [0, count)."""
+    if count <= 0:
+        raise ValueError("pick_index needs a positive count")
+    return stable_hash(*parts) % count
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """Error-rate knobs of the simulated model.
+
+    Attributes:
+        knowledge_gap_rate: probability a given cell is permanently wrong
+            (irreducible by voting).
+        sampling_error_rate: probability a given emission of a cell is
+            wrong due to decoding (systematic at temperature 0, i.i.d.
+            per sample otherwise).
+        row_omission_rate: probability the model does not know a row
+            exists (skipped in enumeration, UNKNOWN in lookups).
+        hallucinated_row_rate: expected fabricated rows per true row
+            during enumeration.
+        format_noise_rate: probability an answer line carries extra
+            chatter ("I think ...", trailing remarks) that parsers must
+            strip.
+        numeric_jitter: relative scale of numeric confabulations; a wrong
+            number is drawn within +/- this fraction of the true value.
+        direct_complexity_penalty: per-operator multiplier applied to
+            cell error rates when the model emulates a whole SQL query
+            in-context (direct prompting baseline).
+        aggregate_error_rate: probability a numeric output cell of a
+            direct-prompted aggregate query is mis-computed (in-context
+            arithmetic failure); also scaled by the complexity penalty.
+            Decomposed execution never pays this — aggregates run in the
+            local executor.
+        refusal_rate: probability a whole prompt is answered with an
+            apology instead of data (forces engine-side retry logic).
+    """
+
+    knowledge_gap_rate: float = 0.05
+    sampling_error_rate: float = 0.08
+    row_omission_rate: float = 0.02
+    hallucinated_row_rate: float = 0.01
+    format_noise_rate: float = 0.05
+    numeric_jitter: float = 0.35
+    direct_complexity_penalty: float = 0.5
+    aggregate_error_rate: float = 0.12
+    refusal_rate: float = 0.0
+
+    def scaled(self, factor: float) -> "NoiseConfig":
+        """All error rates multiplied by ``factor`` (capped at 1)."""
+        return NoiseConfig(
+            knowledge_gap_rate=min(1.0, self.knowledge_gap_rate * factor),
+            sampling_error_rate=min(1.0, self.sampling_error_rate * factor),
+            row_omission_rate=min(1.0, self.row_omission_rate * factor),
+            hallucinated_row_rate=min(1.0, self.hallucinated_row_rate * factor),
+            format_noise_rate=min(1.0, self.format_noise_rate * factor),
+            numeric_jitter=self.numeric_jitter,
+            direct_complexity_penalty=self.direct_complexity_penalty,
+            aggregate_error_rate=min(1.0, self.aggregate_error_rate * factor),
+            refusal_rate=min(1.0, self.refusal_rate * factor),
+        )
+
+    def with_gap(self, knowledge_gap_rate: float) -> "NoiseConfig":
+        return replace(self, knowledge_gap_rate=knowledge_gap_rate)
+
+    def with_sampling_error(self, sampling_error_rate: float) -> "NoiseConfig":
+        return replace(self, sampling_error_rate=sampling_error_rate)
+
+    @staticmethod
+    def perfect() -> "NoiseConfig":
+        """A model with no errors at all (used by equivalence tests)."""
+        return NoiseConfig(
+            knowledge_gap_rate=0.0,
+            sampling_error_rate=0.0,
+            row_omission_rate=0.0,
+            hallucinated_row_rate=0.0,
+            format_noise_rate=0.0,
+            numeric_jitter=0.0,
+            direct_complexity_penalty=0.0,
+            aggregate_error_rate=0.0,
+            refusal_rate=0.0,
+        )
+
+
+def confabulate(
+    true_value: Value,
+    domain: List[Value],
+    jitter: float,
+    *address: object,
+) -> Value:
+    """A plausible-but-wrong replacement for ``true_value``.
+
+    Text draws a *different* value from the column domain; numbers are
+    perturbed multiplicatively; booleans flip.  Deterministic in
+    ``address``.
+    """
+    if isinstance(true_value, bool):
+        return not true_value
+    if isinstance(true_value, (int, float)):
+        span = jitter if jitter > 0 else 0.35
+        offset = uniform01(*address, "jitter")
+        factor = 1.0 + span * (2.0 * offset - 1.0)
+        if abs(factor - 1.0) < 1e-9:
+            factor = 1.0 + span  # force a visible error
+        perturbed = true_value * factor
+        if isinstance(true_value, int):
+            wrong = int(round(perturbed))
+            if wrong == true_value:
+                wrong = true_value + (1 if offset >= 0.5 else -1)
+            return wrong
+        return perturbed
+    if isinstance(true_value, str):
+        alternatives = [v for v in domain if isinstance(v, str) and v != true_value]
+        if alternatives:
+            return alternatives[pick_index(len(alternatives), *address, "alt")]
+        return true_value + " (disputed)"
+    if true_value is None:
+        if domain:
+            return domain[pick_index(len(domain), *address, "null-fill")]
+        return None
+    return true_value
+
+
+def fabricate_text(kind: str, *address: object) -> str:
+    """A fabricated entity name for hallucinated rows."""
+    syllables = ["vel", "dor", "min", "sar", "tak", "lun", "bre", "kos", "ran", "pel"]
+    first = syllables[pick_index(len(syllables), *address, "syll1")]
+    second = syllables[pick_index(len(syllables), *address, "syll2")]
+    third = syllables[pick_index(len(syllables), *address, "syll3")]
+    return f"{first.capitalize()}{second}{third} ({kind})"
+
+
+#: Chatter patterns used by format noise; parsers must strip these.
+CHATTER_PREFIXES = [
+    "I think ",
+    "Sure: ",
+    "Answer: ",
+    "Based on my knowledge, ",
+]
+CHATTER_SUFFIXES = [
+    " (approximately)",
+    " — hope this helps!",
+    " (as of my training data)",
+    " .",
+]
+
+
+def apply_format_noise(line: str, rate: float, *address: object) -> str:
+    """Possibly decorate an answer line with chatter."""
+    if rate <= 0.0 or uniform01(*address, "chatter?") >= rate:
+        return line
+    if uniform01(*address, "side") < 0.5:
+        prefix = CHATTER_PREFIXES[pick_index(len(CHATTER_PREFIXES), *address, "p")]
+        return prefix + line
+    suffix = CHATTER_SUFFIXES[pick_index(len(CHATTER_SUFFIXES), *address, "s")]
+    return line + suffix
+
+
+REFUSAL_TEXT = (
+    "I'm sorry, but I can't provide that information right now. "
+    "Could you rephrase the request?"
+)
+
+
+def should_refuse(rate: float, *address: object) -> bool:
+    """Whole-prompt refusal decision."""
+    return rate > 0.0 and uniform01(*address, "refuse?") < rate

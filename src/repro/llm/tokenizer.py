@@ -1,0 +1,62 @@
+"""Deterministic subword tokenizer used for cost accounting.
+
+Real deployments meter BPE tokens; offline we approximate with a stable
+rule: every run of word characters contributes ``ceil(len/4)`` tokens
+(about one token per four characters, the usual BPE rule of thumb) and
+every punctuation/symbol character contributes one token.  Whitespace is
+free.  The exact constant does not matter for the experiments — only that
+the measure is monotone in text length and identical on both sides of the
+prompt/completion interface.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_WORD_RE = re.compile(r"[A-Za-z0-9_]+|[^\sA-Za-z0-9_]")
+
+#: Characters of word content covered by one accounting token.
+CHARS_PER_TOKEN = 4
+
+
+def split_pieces(text: str) -> List[str]:
+    """Split text into the pieces the accounting rule charges for."""
+    return _WORD_RE.findall(text)
+
+
+def count_tokens(text: str) -> int:
+    """Number of accounting tokens in ``text``."""
+    total = 0
+    for piece in split_pieces(text):
+        if piece[0].isalnum() or piece[0] == "_":
+            total += -(-len(piece) // CHARS_PER_TOKEN)  # ceil division
+        else:
+            total += 1
+    return total
+
+
+def truncate_to_tokens(text: str, max_tokens: int) -> str:
+    """Longest prefix of ``text`` measuring at most ``max_tokens`` tokens.
+
+    Models stop emitting mid-stream when the output budget is exhausted;
+    this reproduces that behaviour (the cut can fall mid-line, which the
+    response parsers must tolerate).
+    """
+    if max_tokens <= 0:
+        return ""
+    if count_tokens(text) <= max_tokens:
+        return text
+    total = 0
+    cut = 0
+    for match in _WORD_RE.finditer(text):
+        piece = match.group(0)
+        if piece[0].isalnum() or piece[0] == "_":
+            cost = -(-len(piece) // CHARS_PER_TOKEN)
+        else:
+            cost = 1
+        if total + cost > max_tokens:
+            break
+        total += cost
+        cut = match.end()
+    return text[:cut]

@@ -1,0 +1,143 @@
+"""World: the explicit "parametric knowledge" of the simulated model.
+
+A world is a named set of materialized tables with primary keys.  It is
+the single source of truth in every experiment:
+
+* the simulated model answers prompts from it (through the noise model),
+* the ground-truth baseline executes SQL directly over it,
+* the metrics compare engine output against it.
+
+Facts are addressed as ``(table, key, column)`` triples; the noise model
+keys its deterministic randomness off these addresses so that the model's
+"beliefs" are stable across prompts, pages and plans within a run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.relational.catalog import Catalog
+from repro.relational.executor import ReferenceExecutor
+from repro.relational.schema import TableSchema
+from repro.relational.table import Table
+from repro.relational.types import Value
+
+#: Address of one cell of world knowledge.
+FactId = Tuple[str, Tuple[Value, ...], str]
+
+
+class World:
+    """A named collection of keyed tables."""
+
+    def __init__(self, name: str, tables: Iterable[Table], description: str = ""):
+        self.name = name
+        self.description = description
+        self._tables: Dict[str, Table] = {}
+        self._catalog = Catalog()
+        for table in tables:
+            if not table.schema.primary_key:
+                raise WorkloadError(
+                    f"world table {table.schema.name!r} needs a primary key "
+                    f"so facts can be addressed"
+                )
+            key = table.schema.name.lower()
+            if key in self._tables:
+                raise WorkloadError(f"duplicate world table {table.schema.name!r}")
+            self._tables[key] = table
+            self._catalog.register_table(table)
+        self._domains: Dict[Tuple[str, str], List[Value]] = {}
+        self._indexes: Dict[str, Dict[Tuple[Value, ...], Tuple[Value, ...]]] = {}
+
+    # -- access ------------------------------------------------------------------
+
+    @property
+    def catalog(self) -> Catalog:
+        """Catalog of the materialized ground-truth tables."""
+        return self._catalog
+
+    def executor(self) -> ReferenceExecutor:
+        """A reference executor over the ground truth."""
+        return ReferenceExecutor(self._catalog)
+
+    def table_names(self) -> List[str]:
+        return sorted(table.schema.name for table in self._tables.values())
+
+    def table(self, name: str) -> Table:
+        key = name.lower()
+        if key not in self._tables:
+            raise WorkloadError(
+                f"world {self.name!r} has no table {name!r} "
+                f"(tables: {', '.join(self.table_names())})"
+            )
+        return self._tables[key]
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def schema(self, name: str) -> TableSchema:
+        return self.table(name).schema
+
+    def schemas(self) -> List[TableSchema]:
+        return [self.table(name).schema for name in self.table_names()]
+
+    # -- fact addressing ------------------------------------------------------------
+
+    def key_index(self, name: str) -> Dict[Tuple[Value, ...], Tuple[Value, ...]]:
+        """Primary-key index of a table (cached)."""
+        key = name.lower()
+        if key not in self._indexes:
+            self._indexes[key] = self.table(name).build_key_index()
+        return self._indexes[key]
+
+    def fact(self, table: str, key: Tuple[Value, ...], column: str) -> Value:
+        """The true value of one cell; raises if the row does not exist."""
+        row = self.key_index(table).get(key)
+        if row is None:
+            raise WorkloadError(f"no row with key {key!r} in {table!r}")
+        index = self.schema(table).column_index(column)
+        return row[index]
+
+    def column_domain(self, table: str, column: str) -> List[Value]:
+        """Sorted distinct non-null values of a column (cached).
+
+        The noise model draws *plausible but wrong* replacement values
+        from this domain, so confabulations look like real answers.
+        """
+        cache_key = (table.lower(), column.lower())
+        if cache_key not in self._domains:
+            values = {
+                value
+                for value in self.table(table).column_values(column)
+                if value is not None
+            }
+            self._domains[cache_key] = sorted(values, key=_domain_rank)
+        return self._domains[cache_key]
+
+    # -- stats used by prompts and the cost model ------------------------------------
+
+    def row_count(self, table: str) -> int:
+        return len(self.table(table))
+
+    def total_cells(self) -> int:
+        return sum(
+            len(table) * len(table.schema.columns) for table in self._tables.values()
+        )
+
+    def render_summary(self) -> str:
+        lines = [f"World {self.name!r}: {self.description}".rstrip(": ")]
+        for name in self.table_names():
+            table = self.table(name)
+            lines.append(
+                f"  {table.schema.render_signature()}  -- {len(table)} rows, "
+                f"key ({', '.join(table.schema.primary_key)})"
+            )
+        return "\n".join(lines)
+
+
+def _domain_rank(value: Value):
+    if isinstance(value, bool):
+        return (2, str(value))
+    if isinstance(value, (int, float)):
+        return (0, float(value), "")
+    return (1, 0.0, str(value))

@@ -1,0 +1,42 @@
+"""Query planning for the decomposed engine.
+
+A bound query is analyzed into a :class:`~repro.plan.logical.QueryStructure`
+(table accesses, join edges, predicate conjuncts), rewritten by the rules
+in :mod:`repro.plan.rules` (predicate pushdown, projection pruning), and
+compiled by the :class:`~repro.plan.optimizer.Optimizer` into a
+:class:`~repro.plan.physical.RetrievalPlan`: an ordered list of model
+retrieval steps plus the statement executed locally over the retrieved
+tables.  The :class:`~repro.plan.cost.CostModel` prices alternatives in
+LLM calls and tokens — the currency that matters in this setting.
+"""
+
+from repro.plan.logical import FromElement, QueryStructure, TableAccess, analyze_query
+from repro.plan.cost import CostEstimate, CostModel, TableStats
+from repro.plan.physical import (
+    DerivedStep,
+    JudgeStep,
+    LookupStep,
+    RetrievalPlan,
+    ScanStep,
+    SetOpPlan,
+)
+from repro.plan.optimizer import Optimizer
+from repro.plan.explain import explain_plan
+
+__all__ = [
+    "FromElement",
+    "QueryStructure",
+    "TableAccess",
+    "analyze_query",
+    "CostEstimate",
+    "CostModel",
+    "TableStats",
+    "DerivedStep",
+    "JudgeStep",
+    "LookupStep",
+    "RetrievalPlan",
+    "ScanStep",
+    "SetOpPlan",
+    "Optimizer",
+    "explain_plan",
+]

@@ -1,0 +1,87 @@
+"""EXPLAIN: human-readable rendering of retrieval plans."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.plan.physical import (
+    DerivedStep,
+    JudgeStep,
+    LookupStep,
+    PlanNode,
+    RetrievalPlan,
+    ScanStep,
+    SetOpPlan,
+)
+from repro.sql.printer import print_statement
+
+
+def explain_plan(plan: PlanNode) -> str:
+    """Render a plan as an indented text tree with cost estimates."""
+    lines: List[str] = []
+    _render(plan, lines, indent=0)
+    return "\n".join(lines)
+
+
+def _pad(indent: int) -> str:
+    return "  " * indent
+
+
+def _render(plan: PlanNode, lines: List[str], indent: int) -> None:
+    if isinstance(plan, SetOpPlan):
+        word = plan.op.upper() + (" ALL" if plan.all else "")
+        lines.append(f"{_pad(indent)}SetOp {word} [{plan.estimate.render()}]")
+        _render(plan.left, lines, indent + 1)
+        _render(plan.right, lines, indent + 1)
+        return
+    assert isinstance(plan, RetrievalPlan)
+    lines.append(
+        f"{_pad(indent)}LocalCompute: {print_statement(plan.statement)} "
+        f"[{plan.estimate.render()}]"
+    )
+    for note in plan.notes:
+        lines.append(f"{_pad(indent + 1)}note: {note}")
+    for step in plan.steps:
+        if isinstance(step, ScanStep):
+            detail = f"columns=({', '.join(step.columns)})"
+            if step.pushdown_sql:
+                detail += f" condition[{step.pushdown_sql}]"
+            if step.order is not None:
+                column, descending = step.order
+                detail += f" order[{column} {'DESC' if descending else 'ASC'}]"
+            if step.limit_hint is not None:
+                detail += f" limit[{step.limit_hint}]"
+            lines.append(
+                f"{_pad(indent + 1)}LLMScan {step.table_name} AS {step.binding} "
+                f"{detail} est_rows={step.est_rows:.0f} [{step.estimate.render()}]"
+            )
+        elif isinstance(step, LookupStep):
+            if step.literal_keys is not None:
+                source = f"{len(step.literal_keys)} literal key(s)"
+            else:
+                source = (
+                    f"{step.source_binding}({', '.join(step.source_columns)})"
+                )
+            lines.append(
+                f"{_pad(indent + 1)}LLMLookup {step.table_name} AS {step.binding} "
+                f"keys=({', '.join(step.key_columns)}) <- {source} "
+                f"attrs=({', '.join(step.attributes)}) "
+                f"est_keys={step.est_keys:.0f} [{step.estimate.render()}]"
+            )
+        elif isinstance(step, JudgeStep):
+            lines.append(
+                f"{_pad(indent + 1)}LLMJudge {step.binding} "
+                f"condition[{step.condition_sql}] est_keys={step.est_keys:.0f} "
+                f"[{step.estimate.render()}]"
+            )
+        elif isinstance(step, DerivedStep):
+            lines.append(f"{_pad(indent + 1)}Derived {step.binding}:")
+            _render(step.plan, lines, indent + 2)
+        else:  # LocalStep
+            lines.append(
+                f"{_pad(indent + 1)}LocalTable {step.table_name} AS {step.binding} "
+                f"est_rows={step.est_rows:.0f} [zero model cost]"
+            )
+    for subplan in plan.subplans:
+        lines.append(f"{_pad(indent + 1)}Subquery:")
+        _render(subplan.plan, lines, indent + 2)

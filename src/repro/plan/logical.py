@@ -1,0 +1,116 @@
+"""Logical analysis of a bound query.
+
+Flattens the (left-deep) FROM tree into an ordered list of table
+accesses with their join conditions, and exposes the pieces the rules
+and optimizer reason about.  No rewriting happens here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.errors import PlanError
+from repro.relational.schema import TableSchema
+from repro.sql import ast
+
+
+@dataclass
+class TableAccess:
+    """One base-table reference in the FROM clause."""
+
+    binding: str
+    table_name: str
+    schema: TableSchema
+
+
+@dataclass
+class DerivedAccess:
+    """A derived table ``(SELECT ...) alias`` in the FROM clause."""
+
+    binding: str
+    query: ast.Query
+    schema: TableSchema
+
+
+@dataclass
+class FromElement:
+    """One element of the flattened join sequence.
+
+    The first element has ``join_kind is None``; every later element
+    joins to the accumulated prefix with the recorded kind/condition.
+    """
+
+    access: Union[TableAccess, DerivedAccess]
+    join_kind: Optional[str] = None
+    condition: Optional[ast.Expr] = None
+
+
+@dataclass
+class QueryStructure:
+    """A bound SELECT decomposed for planning."""
+
+    statement: ast.Query
+    elements: List[FromElement] = field(default_factory=list)
+
+    @property
+    def bindings(self) -> List[str]:
+        return [element.access.binding for element in self.elements]
+
+    def element(self, binding: str) -> FromElement:
+        for candidate in self.elements:
+            if candidate.access.binding.lower() == binding.lower():
+                return candidate
+        raise PlanError(f"no FROM element bound as {binding!r}")
+
+
+def analyze_query(
+    statement: ast.Query, schemas_by_binding: dict
+) -> QueryStructure:
+    """Flatten a bound query's FROM clause into a QueryStructure.
+
+    ``schemas_by_binding`` comes from the binder
+    (:attr:`~repro.sql.binder.BoundQuery.tables`, lower-cased binding ->
+    schema).
+    """
+    structure = QueryStructure(statement=statement)
+    if statement.from_clause is None:
+        return structure
+
+    def schema_for(binding: str) -> TableSchema:
+        key = binding.lower()
+        if key not in schemas_by_binding:
+            raise PlanError(f"binder did not register binding {binding!r}")
+        return schemas_by_binding[key]
+
+    def flatten(ref: ast.TableRef) -> None:
+        if isinstance(ref, ast.Join):
+            flatten(ref.left)
+            element = _element_for_primary(ref.right, schema_for)
+            element.join_kind = ref.kind
+            element.condition = ref.condition
+            structure.elements.append(element)
+            return
+        structure.elements.append(_element_for_primary(ref, schema_for))
+
+    flatten(statement.from_clause)
+    return structure
+
+
+def _element_for_primary(ref: ast.TableRef, schema_for) -> FromElement:
+    if isinstance(ref, ast.NamedTable):
+        binding = ref.binding_name
+        return FromElement(
+            access=TableAccess(
+                binding=binding, table_name=ref.name, schema=schema_for(binding)
+            )
+        )
+    if isinstance(ref, ast.SubqueryTable):
+        return FromElement(
+            access=DerivedAccess(
+                binding=ref.alias, query=ref.query, schema=schema_for(ref.alias)
+            )
+        )
+    raise PlanError(
+        f"FROM tree is not left-deep: unexpected {type(ref).__name__} on the right"
+    )

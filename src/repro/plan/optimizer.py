@@ -1,0 +1,608 @@
+"""The cost-based planner of the decomposed engine.
+
+For every FROM binding the optimizer chooses an access path:
+
+* **scan** — paginated enumeration, with eligible predicate conjuncts
+  pushed into the prompt (cuts fetched rows) and projection pruning
+  (cuts tokens per row);
+* **lookup** — batched key lookups driven by an already-materialized
+  binding, eligible when an equi-join covers the target's primary key
+  (turns an O(table) fetch into an O(join keys) fetch).
+
+Single-table ORDER BY ... LIMIT queries additionally get a model-side
+order + early-termination hint.  Uncorrelated subqueries are planned
+recursively and resolved before the outer retrieval runs.  All choices
+are priced by :class:`~repro.plan.cost.CostModel` and recorded in the
+plan's ``notes`` for EXPLAIN.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import EngineConfig
+from repro.errors import PlanError
+from repro.plan import rules
+from repro.plan.cost import CostModel, TableStats
+from repro.plan.logical import DerivedAccess, TableAccess, analyze_query
+from repro.plan.physical import (
+    DerivedStep,
+    JudgeStep,
+    LocalStep,
+    LookupStep,
+    PlanNode,
+    RetrievalPlan,
+    ScanStep,
+    SetOpPlan,
+    Step,
+    SubplanBinding,
+)
+from repro.relational.catalog import Catalog, TableKind
+from repro.sql import ast
+from repro.sql.binder import Binder, BoundQuery
+from repro.sql.printer import print_expression
+
+
+class Optimizer:
+    """Compiles bound statements into retrieval plans."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        stats: Dict[str, TableStats],
+        config: EngineConfig,
+    ):
+        self._catalog = catalog
+        self._config = config
+        self._cost = CostModel(stats, config)
+        self._binder = Binder(catalog)
+
+    def _is_materialized(self, table_name: str) -> bool:
+        """Materialized tables are satisfied locally (hybrid queries)."""
+        return self._catalog.entry(table_name).kind is TableKind.MATERIALIZED
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def plan(self, bound: BoundQuery) -> PlanNode:
+        """Plan a bound statement (query or set operation)."""
+        statement = bound.query
+        if isinstance(statement, ast.SetOperation):
+            return self._plan_set_operation(statement, bound)
+        assert isinstance(statement, ast.Query)
+        return self._plan_query(statement)
+
+    def _plan_set_operation(
+        self, setop: ast.SetOperation, bound: BoundQuery
+    ) -> SetOpPlan:
+        if isinstance(setop.left, ast.SetOperation):
+            left_bound = self._binder.bind(setop.left)
+            left: PlanNode = self._plan_set_operation(setop.left, left_bound)
+        else:
+            left = self._plan_query(setop.left)
+        right = self._plan_query(setop.right)
+        return SetOpPlan(
+            op=setop.op,
+            all=setop.all,
+            left=left,
+            right=right,
+            order_by=list(setop.order_by),
+            limit=setop.limit,
+            offset=setop.offset,
+            output_names=list(bound.output_names),
+        )
+
+    # ------------------------------------------------------------------
+    # Single queries
+    # ------------------------------------------------------------------
+
+    def _plan_query(self, statement: ast.Query) -> RetrievalPlan:
+        bound = self._binder.bind(statement)
+        assert isinstance(bound.query, ast.Query)
+        statement = bound.query
+
+        subplans = self._plan_subqueries(statement)
+        structure = analyze_query(statement, bound.tables)
+        plan = RetrievalPlan(
+            statement=statement,
+            subplans=subplans,
+            output_names=list(bound.output_names),
+        )
+        if not structure.elements:
+            return plan  # constant query: nothing to retrieve
+
+        where_conjuncts = rules.split_conjuncts(statement.where)
+        pushed, judged = self._assign_predicates(structure, where_conjuncts)
+
+        # Remove judged conjuncts from the local statement (the model's
+        # verdicts are authoritative for them).
+        if any(judged.values()):
+            removed = {id(c) for conjuncts in judged.values() for c in conjuncts}
+            remaining = [c for c in where_conjuncts if id(c) not in removed]
+            statement = _replace_where(statement, rules.conjoin(remaining))
+            plan.statement = statement
+
+        needed = rules.needed_columns(statement, structure.bindings)
+
+        est_rows: Dict[str, float] = {}
+        for index, element in enumerate(structure.elements):
+            access = element.access
+            if isinstance(access, DerivedAccess):
+                nested = self._plan_query(access.query)
+                step: Step = DerivedStep(binding=access.binding, plan=nested)
+                nested_rows = sum(
+                    s.est_rows for s in nested.steps if isinstance(s, ScanStep)
+                )
+                est_rows[access.binding.lower()] = max(1.0, nested_rows)
+                plan.steps.append(step)
+                continue
+            assert isinstance(access, TableAccess)
+            if self._is_materialized(access.table_name):
+                step = LocalStep(
+                    binding=access.binding,
+                    table_name=access.table_name,
+                    schema=access.schema,
+                    est_rows=float(self._cost.row_count(access.table_name)),
+                )
+                est_rows[access.binding.lower()] = step.est_rows
+                plan.steps.append(step)
+                continue
+            step = self._plan_access(
+                element_index=index,
+                access=access,
+                element=element,
+                structure=structure,
+                pushed=pushed.get(access.binding.lower(), []),
+                needed=needed,
+                est_rows=est_rows,
+                plan=plan,
+            )
+            plan.steps.append(step)
+
+        self._add_judge_steps(plan, structure, judged, needed)
+        self._maybe_push_limit(plan, structure, statement, where_conjuncts, pushed)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Subqueries
+    # ------------------------------------------------------------------
+
+    def _plan_subqueries(self, statement: ast.Query) -> List[SubplanBinding]:
+        subplans: List[SubplanBinding] = []
+        for node in rules.find_subqueries(statement):
+            query = getattr(node, "query")
+            if rules.is_correlated(query):
+                raise PlanError(
+                    "correlated subqueries are not supported by the decomposed "
+                    "engine (the materialized baseline supports them)"
+                )
+            subplans.append(SubplanBinding(node=node, plan=self._plan_query(query)))
+        return subplans
+
+    # ------------------------------------------------------------------
+    # Predicate assignment
+    # ------------------------------------------------------------------
+
+    def _assign_predicates(
+        self, structure, where_conjuncts: List[ast.Expr]
+    ) -> Tuple[Dict[str, List[ast.Expr]], Dict[str, List[ast.Expr]]]:
+        """Split WHERE/ON conjuncts into shippable and judged sets.
+
+        The first dict holds every *eligible* (single-binding,
+        prompt-safe) conjunct per binding regardless of the pushdown
+        flag; access-path selection decides whether to ship them in a
+        scan CONDITION and/or exploit pk-equalities as point lookups.
+        Judged conjuncts are only collected when pushdown is off and the
+        judge extension is on.
+        """
+        eligible: Dict[str, List[ast.Expr]] = {}
+        judged: Dict[str, List[ast.Expr]] = {}
+        bindings = {b.lower() for b in structure.bindings}
+        scannable = {
+            element.access.binding.lower()
+            for element in structure.elements
+            if isinstance(element.access, TableAccess)
+            and not self._is_materialized(element.access.table_name)
+        }
+
+        def classify(conjunct: ast.Expr) -> None:
+            binding = rules.single_binding(conjunct)
+            if binding is None or binding not in bindings or binding not in scannable:
+                return
+            if not rules.is_prompt_safe(conjunct):
+                return
+            if not self._config.enable_pushdown and self._config.enable_judge:
+                judged.setdefault(binding, []).append(conjunct)
+            elif self._config.enable_pushdown or self._config.enable_lookup_join:
+                eligible.setdefault(binding, []).append(conjunct)
+
+        for conjunct in where_conjuncts:
+            classify(conjunct)
+
+        # ON-clause conjuncts that mention only the right side of their
+        # join filter that side's input in both inner and left joins.
+        for element in structure.elements:
+            if element.condition is None:
+                continue
+            own = element.access.binding.lower()
+            for conjunct in rules.split_conjuncts(element.condition):
+                if rules.single_binding(conjunct) == own and rules.is_prompt_safe(
+                    conjunct
+                ):
+                    if self._config.enable_pushdown and own in scannable:
+                        eligible.setdefault(own, []).append(conjunct)
+        return eligible, judged
+
+    # ------------------------------------------------------------------
+    # Access-path selection
+    # ------------------------------------------------------------------
+
+    def _plan_access(
+        self,
+        element_index: int,
+        access: TableAccess,
+        element,
+        structure,
+        pushed: List[ast.Expr],
+        needed: Dict[str, set],
+        est_rows: Dict[str, float],
+        plan: RetrievalPlan,
+    ) -> Step:
+        binding_key = access.binding.lower()
+        columns = self._columns_for(access, needed.get(binding_key, set()))
+        table_rows = float(self._cost.row_count(access.table_name))
+
+        pushdown_expr = rules.conjoin(pushed) if self._config.enable_pushdown else None
+        selectivity = self._cost.selectivity(pushdown_expr, access.schema)
+        scan_rows = max(1.0, table_rows * selectivity)
+        scan_step = ScanStep(
+            binding=access.binding,
+            table_name=access.table_name,
+            schema=access.schema,
+            columns=columns,
+            pushdown_sql=(
+                rules.render_pushdown(pushdown_expr) if pushdown_expr is not None else None
+            ),
+            pushed_conjuncts=list(pushed) if pushdown_expr is not None else [],
+            est_rows=scan_rows,
+            estimate=self._cost.scan_cost(access.table_name, scan_rows, len(columns)),
+        )
+
+        # Point lookups are preferred whenever predicates pin the primary
+        # key: addressing rows directly is the canonical access path of
+        # an LLM-as-storage engine (it is also what voting, batching and
+        # cross-query caching are built around), and its cost is within a
+        # constant factor of the equivalent filtered scan.
+        point_step = self._point_lookup_candidate(access, pushed, columns)
+        if point_step is not None:
+            est_rows[binding_key] = point_step.est_keys
+            plan.notes.append(
+                f"point-lookup[{access.binding}]: "
+                f"{len(point_step.literal_keys)} key(s)"
+            )
+            return point_step
+
+        lookup_step = self._lookup_candidate(
+            element_index, access, element, columns, est_rows, needed
+        )
+        if lookup_step is not None and lookup_step.estimate.total_tokens < (
+            scan_step.estimate.total_tokens
+        ):
+            est_rows[binding_key] = lookup_step.est_keys
+            plan.notes.append(
+                f"lookup-join[{access.binding}]: keys from "
+                f"{lookup_step.source_binding}({', '.join(lookup_step.source_columns)})"
+            )
+            return lookup_step
+
+        if pushdown_expr is not None:
+            plan.notes.append(
+                f"pushdown[{access.binding}]: {scan_step.pushdown_sql}"
+            )
+        est_rows[binding_key] = scan_rows
+        return scan_step
+
+    #: Point lookups expand pk-IN lists up to this many keys.
+    _MAX_POINT_KEYS = 64
+
+    def _point_lookup_candidate(
+        self,
+        access: TableAccess,
+        eligible: List[ast.Expr],
+        columns: Tuple[str, ...],
+    ) -> Optional[LookupStep]:
+        """A batched lookup with literal keys, when predicates pin the pk.
+
+        Eligible when the conjuncts contain ``pk = literal`` (or
+        ``pk IN (literals)``) for every primary-key column.  This is the
+        canonical "LLM as storage" point query: one prompt addressing
+        the row(s) directly instead of enumerating the table.
+        """
+        if not self._config.enable_lookup_join:
+            return None
+        primary_key = access.schema.primary_key
+        if not primary_key:
+            return None
+        candidates: Dict[str, List] = {}
+        for conjunct in eligible:
+            if (
+                isinstance(conjunct, ast.BinaryOp)
+                and conjunct.op == "="
+            ):
+                column, literal = _column_literal(conjunct)
+                if column is not None:
+                    candidates.setdefault(column.lower(), []).append([literal])
+            elif (
+                isinstance(conjunct, ast.InList)
+                and not conjunct.negated
+                and isinstance(conjunct.operand, ast.ColumnRef)
+                and all(isinstance(item, ast.Literal) for item in conjunct.items)
+            ):
+                candidates.setdefault(conjunct.operand.name.lower(), []).append(
+                    [item.value for item in conjunct.items]
+                )
+        per_column: List[List] = []
+        for key_column in primary_key:
+            options = candidates.get(key_column.lower())
+            if not options:
+                return None
+            # Multiple predicates on the same key column: intersect.
+            values = options[0]
+            for other in options[1:]:
+                values = [value for value in values if value in other]
+            per_column.append(values)
+
+        import itertools
+
+        keys = [tuple(combo) for combo in itertools.product(*per_column)]
+        if not keys or len(keys) > self._MAX_POINT_KEYS:
+            return None
+        attributes = tuple(
+            name
+            for name in columns
+            if name.lower() not in {k.lower() for k in primary_key}
+        )
+        if not attributes:
+            # The lookup protocol needs at least one attribute; fetch a
+            # cheap witness column to confirm the entity exists.
+            witness = next(
+                (
+                    column.name
+                    for column in access.schema.columns
+                    if column.name.lower() not in {k.lower() for k in primary_key}
+                ),
+                None,
+            )
+            if witness is None:
+                return None
+            attributes = (witness,)
+        return LookupStep(
+            binding=access.binding,
+            table_name=access.table_name,
+            schema=access.schema,
+            key_columns=tuple(primary_key),
+            attributes=attributes,
+            literal_keys=keys,
+            est_keys=float(len(keys)),
+            estimate=self._cost.lookup_cost(
+                float(len(keys)), max(1, len(attributes))
+            ),
+        )
+
+    def _columns_for(self, access: TableAccess, wanted: set) -> Tuple[str, ...]:
+        """Needed columns in schema order; primary key as fallback."""
+        ordered = [
+            column.name
+            for column in access.schema.columns
+            if column.name.lower() in wanted
+        ]
+        if not ordered:
+            ordered = list(access.schema.primary_key) or [
+                access.schema.columns[0].name
+            ]
+        return tuple(ordered)
+
+    def _lookup_candidate(
+        self,
+        element_index: int,
+        access: TableAccess,
+        element,
+        columns: Tuple[str, ...],
+        est_rows: Dict[str, float],
+        needed: Dict[str, set],
+    ) -> Optional[LookupStep]:
+        if not self._config.enable_lookup_join:
+            return None
+        if element_index == 0 or element.join_kind not in ("inner", "left"):
+            return None
+        primary_key = access.schema.primary_key
+        if not primary_key:
+            return None
+        pairs = rules.equi_pairs(element.condition)
+        own = access.binding.lower()
+        # Map each of our key columns to a (source binding, source column).
+        mapping: Dict[str, Tuple[str, str]] = {}
+        for left, right in pairs:
+            if left.table.lower() == own:
+                mapping[left.name.lower()] = (right.table.lower(), right.name)
+            elif right.table.lower() == own:
+                mapping[right.name.lower()] = (left.table.lower(), left.name)
+        key_sources = []
+        for key_column in primary_key:
+            source = mapping.get(key_column.lower())
+            if source is None:
+                return None
+            key_sources.append(source)
+        source_bindings = {binding for binding, _ in key_sources}
+        if len(source_bindings) != 1:
+            return None
+        source_binding = next(iter(source_bindings))
+        if source_binding not in est_rows:
+            return None  # source not materialized before us
+        attributes = tuple(
+            name for name in columns if name.lower() not in {k.lower() for k in primary_key}
+        )
+        est_keys = min(
+            est_rows[source_binding], float(self._cost.row_count(access.table_name))
+        )
+        return LookupStep(
+            binding=access.binding,
+            table_name=access.table_name,
+            schema=access.schema,
+            key_columns=tuple(primary_key),
+            attributes=attributes,
+            source_binding=source_binding,
+            source_columns=tuple(column for _, column in key_sources),
+            est_keys=max(1.0, est_keys),
+            estimate=self._cost.lookup_cost(
+                max(1.0, est_keys), max(1, len(attributes))
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Judge steps
+    # ------------------------------------------------------------------
+
+    def _add_judge_steps(
+        self,
+        plan: RetrievalPlan,
+        structure,
+        judged: Dict[str, List[ast.Expr]],
+        needed: Dict[str, set],
+    ) -> None:
+        if not judged:
+            return
+        steps_by_binding = {
+            step.binding.lower(): step
+            for step in plan.steps
+            if isinstance(step, (ScanStep, LookupStep))
+        }
+        for binding, conjuncts in judged.items():
+            step = steps_by_binding.get(binding)
+            if step is None or not conjuncts:
+                continue
+            schema = step.schema
+            if not schema.primary_key:
+                continue
+            # The judge probes primary keys, so the base fetch must
+            # include them.
+            if isinstance(step, ScanStep):
+                missing = [
+                    key
+                    for key in schema.primary_key
+                    if key.lower() not in {c.lower() for c in step.columns}
+                ]
+                if missing:
+                    step.columns = tuple(list(step.columns) + missing)
+            condition = rules.conjoin(conjuncts)
+            assert condition is not None
+            est_keys = step.est_rows if isinstance(step, ScanStep) else step.est_keys
+            plan.steps.append(
+                JudgeStep(
+                    binding=step.binding,
+                    table_name=step.table_name,
+                    schema=schema,
+                    key_columns=tuple(schema.primary_key),
+                    condition_sql=rules.render_pushdown(condition),
+                    judged_conjuncts=list(conjuncts),
+                    est_keys=est_keys,
+                    estimate=self._cost.judge_cost(max(1.0, est_keys)),
+                )
+            )
+            plan.notes.append(
+                f"judge[{step.binding}]: {rules.render_pushdown(condition)}"
+            )
+
+    # ------------------------------------------------------------------
+    # ORDER BY ... LIMIT pushdown
+    # ------------------------------------------------------------------
+
+    def _maybe_push_limit(
+        self,
+        plan: RetrievalPlan,
+        structure,
+        statement: ast.Query,
+        where_conjuncts: List[ast.Expr],
+        pushed: Dict[str, List[ast.Expr]],
+    ) -> None:
+        if not self._config.enable_order_pushdown:
+            return
+        if statement.limit is None:
+            return
+        if len(plan.steps) != 1 or not isinstance(plan.steps[0], ScanStep):
+            return
+        if statement.group_by or statement.having or statement.distinct:
+            return
+        if any(ast.contains_aggregate(item.expr) for item in statement.select):
+            return
+        if plan.subplans:
+            return
+        scan = plan.steps[0]
+        pushed_here = {id(c) for c in scan.pushed_conjuncts}
+        if any(id(c) not in pushed_here for c in where_conjuncts):
+            return  # a local filter would make the limit hint unsound
+        order: Optional[Tuple[str, bool]] = None
+        if statement.order_by:
+            if len(statement.order_by) != 1:
+                return
+            item = statement.order_by[0]
+            expr = item.expr
+            if isinstance(expr, ast.ColumnRef):
+                name = expr.name
+                if expr.table is not None and expr.table.lower() != scan.binding.lower():
+                    return
+                if not scan.schema.has_column(name):
+                    return
+                order = (scan.schema.column(name).name, item.descending)
+            else:
+                return
+        rows_needed = statement.limit + (statement.offset or 0)
+        scan.limit_hint = rows_needed
+        scan.order = order
+        scan.est_rows = min(scan.est_rows, float(rows_needed))
+        scan.estimate = self._cost.scan_cost(
+            scan.table_name, scan.est_rows, len(scan.columns), limit_hint=rows_needed
+        )
+        if order is not None:
+            note_order = f"{order[0]} {'DESC' if order[1] else 'ASC'}"
+            plan.notes.append(
+                f"order+limit pushdown[{scan.binding}]: {note_order} limit {rows_needed}"
+            )
+        else:
+            plan.notes.append(
+                f"limit pushdown[{scan.binding}]: limit {rows_needed}"
+            )
+
+        # Ordering column must be fetched for the local re-sort.
+        if order is not None and order[0].lower() not in {
+            c.lower() for c in scan.columns
+        }:
+            scan.columns = tuple(list(scan.columns) + [order[0]])
+
+
+def _column_literal(conjunct: ast.BinaryOp):
+    """Decompose ``column = literal`` (either side); (None, None) otherwise."""
+    if isinstance(conjunct.left, ast.ColumnRef) and isinstance(
+        conjunct.right, ast.Literal
+    ):
+        return conjunct.left.name, conjunct.right.value
+    if isinstance(conjunct.right, ast.ColumnRef) and isinstance(
+        conjunct.left, ast.Literal
+    ):
+        return conjunct.right.name, conjunct.left.value
+    return None, None
+
+
+def _replace_where(statement: ast.Query, where: Optional[ast.Expr]) -> ast.Query:
+    return ast.Query(
+        select=statement.select,
+        from_clause=statement.from_clause,
+        where=where,
+        group_by=statement.group_by,
+        having=statement.having,
+        order_by=statement.order_by,
+        limit=statement.limit,
+        offset=statement.offset,
+        distinct=statement.distinct,
+    )

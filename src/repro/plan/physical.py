@@ -1,0 +1,200 @@
+"""Physical (retrieval) plans.
+
+A :class:`RetrievalPlan` is an ordered list of steps that materialize a
+local table per FROM binding, followed by local execution of the bound
+statement over those tables.  Steps reference earlier steps by binding
+name (lookup keys flow from an already-materialized table), so order
+matters and is exactly execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.plan.cost import CostEstimate
+from repro.relational.schema import TableSchema
+from repro.sql import ast
+
+
+@dataclass
+class ScanStep:
+    """Materialize a binding via paginated enumeration.
+
+    Attributes:
+        binding: FROM binding this step materializes.
+        table_name: virtual table to enumerate.
+        schema: schema of the virtual table.
+        columns: columns to fetch (projection pruning already applied).
+        pushdown_sql: predicate shipped in the CONDITION header, if any.
+        pushed_conjuncts: the bound conjuncts represented by
+            ``pushdown_sql`` (kept for EXPLAIN and re-verification).
+        order: optional model-side ``(column, descending)`` ordering.
+        limit_hint: stop enumerating after this many rows (requires the
+            scan to carry *all* filtering, see optimizer).
+        est_rows: estimated rows fetched.
+        estimate: estimated model cost of the step.
+    """
+
+    binding: str
+    table_name: str
+    schema: TableSchema
+    columns: Tuple[str, ...]
+    pushdown_sql: Optional[str] = None
+    pushed_conjuncts: List[ast.Expr] = field(default_factory=list)
+    order: Optional[Tuple[str, bool]] = None
+    limit_hint: Optional[int] = None
+    est_rows: float = 0.0
+    estimate: CostEstimate = CostEstimate()
+
+    @property
+    def kind(self) -> str:
+        return "scan"
+
+
+@dataclass
+class LookupStep:
+    """Materialize a binding via batched key lookups.
+
+    Keys come either from ``literal_keys`` (point queries: pk-equality /
+    pk-IN predicates) or from the distinct values of ``source_columns``
+    in the table already materialized for ``source_binding``
+    (lookup-joins).  Each found entity becomes one row of
+    ``key_columns + attributes``.
+    """
+
+    binding: str
+    table_name: str
+    schema: TableSchema
+    key_columns: Tuple[str, ...]
+    attributes: Tuple[str, ...]
+    source_binding: str = ""
+    source_columns: Tuple[str, ...] = ()
+    literal_keys: Optional[List[Tuple]] = None
+    est_keys: float = 0.0
+    estimate: CostEstimate = CostEstimate()
+
+    @property
+    def kind(self) -> str:
+        return "lookup"
+
+
+@dataclass
+class JudgeStep:
+    """Filter an already-materialized binding via batched judgements.
+
+    The judged conjuncts are *removed* from the local statement (the
+    model's verdicts are authoritative), which lets projection pruning
+    skip the predicate's columns entirely.
+    """
+
+    binding: str
+    table_name: str
+    schema: TableSchema
+    key_columns: Tuple[str, ...]
+    condition_sql: str
+    judged_conjuncts: List[ast.Expr] = field(default_factory=list)
+    est_keys: float = 0.0
+    estimate: CostEstimate = CostEstimate()
+
+    @property
+    def kind(self) -> str:
+        return "judge"
+
+
+@dataclass
+class DerivedStep:
+    """Materialize a derived table by running a nested plan."""
+
+    binding: str
+    plan: "PlanNode"
+    estimate: CostEstimate = CostEstimate()
+
+    @property
+    def kind(self) -> str:
+        return "derived"
+
+
+@dataclass
+class LocalStep:
+    """Bind a *materialized* table: zero model cost (hybrid queries).
+
+    The engine supports mixing locally-stored tables with virtual ones
+    in a single query; materialized bindings are satisfied straight from
+    storage and can also drive lookup-joins into virtual tables.
+    """
+
+    binding: str
+    table_name: str
+    schema: TableSchema
+    est_rows: float = 0.0
+    estimate: CostEstimate = CostEstimate()
+
+    @property
+    def kind(self) -> str:
+        return "local"
+
+
+Step = Union[ScanStep, LookupStep, JudgeStep, DerivedStep, LocalStep]
+
+
+@dataclass
+class SubplanBinding:
+    """An uncorrelated subquery expression resolved by a nested plan.
+
+    ``node`` is the exact expression object inside ``statement`` that the
+    executor replaces with the subplan's result (IN-list or scalar).
+    """
+
+    node: ast.Expr
+    plan: "PlanNode"
+
+
+@dataclass
+class RetrievalPlan:
+    """Plan for one SELECT: retrieval steps + local compute statement."""
+
+    statement: ast.Query
+    steps: List[Step] = field(default_factory=list)
+    subplans: List[SubplanBinding] = field(default_factory=list)
+    output_names: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def estimate(self) -> CostEstimate:
+        total = CostEstimate()
+        for step in self.steps:
+            total = total.plus(step.estimate)
+            if isinstance(step, DerivedStep):
+                total = total.plus(step.plan.estimate)
+        for subplan in self.subplans:
+            total = total.plus(subplan.plan.estimate)
+        return total
+
+    def steps_by_binding(self) -> Dict[str, Step]:
+        return {step.binding.lower(): step for step in self.steps if hasattr(step, "binding")}
+
+
+@dataclass
+class SetOpPlan:
+    """Plan for a set operation: each side planned independently."""
+
+    op: str
+    all: bool
+    left: "PlanNode"
+    right: RetrievalPlan
+    order_by: List[ast.OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    output_names: List[str] = field(default_factory=list)
+
+    @property
+    def estimate(self) -> CostEstimate:
+        return self.left.estimate.plus(self.right.estimate)
+
+    @property
+    def notes(self) -> List[str]:
+        return self.left.notes + self.right.notes
+
+
+PlanNode = Union[RetrievalPlan, SetOpPlan]

@@ -1,0 +1,296 @@
+"""Rewrite-rule helpers: conjunct analysis, pushdown safety, projection.
+
+These are pure functions over bound expressions.  The optimizer composes
+them; they are also unit-tested in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.relational import functions as scalar_functions
+from repro.sql import ast
+from repro.sql.printer import print_expression
+
+
+def split_conjuncts(expr: Optional[ast.Expr]) -> List[ast.Expr]:
+    """Flatten a predicate into its top-level AND conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: List[ast.Expr]) -> Optional[ast.Expr]:
+    """Rebuild a predicate from conjuncts (None for an empty list)."""
+    result: Optional[ast.Expr] = None
+    for conjunct in conjuncts:
+        result = (
+            conjunct
+            if result is None
+            else ast.BinaryOp(op="AND", left=result, right=conjunct)
+        )
+    return result
+
+
+def referenced_bindings(expr: ast.Expr) -> Set[str]:
+    """Lower-cased binding names referenced by ``expr`` (bound AST)."""
+    return {
+        node.table.lower()
+        for node in ast.walk_expression(expr)
+        if isinstance(node, ast.ColumnRef) and node.table is not None
+    }
+
+
+def single_binding(expr: ast.Expr) -> Optional[str]:
+    """The unique binding ``expr`` touches, or None (0 or >1 bindings,
+    or any subquery)."""
+    if ast.contains_subquery(expr):
+        return None
+    bindings = referenced_bindings(expr)
+    if len(bindings) == 1:
+        return next(iter(bindings))
+    return None
+
+
+#: Expression node types a model is asked to evaluate inside a prompt.
+_PROMPT_SAFE_NODES = (
+    ast.Literal,
+    ast.ColumnRef,
+    ast.BinaryOp,
+    ast.UnaryOp,
+    ast.Between,
+    ast.InList,
+    ast.IsNull,
+    ast.Like,
+)
+
+
+def is_prompt_safe(expr: ast.Expr) -> bool:
+    """Can ``expr`` be shipped to the model inside a scan CONDITION?
+
+    The subset is deliberately conservative: comparisons, boolean
+    connectives, BETWEEN/IN/LIKE/IS NULL, arithmetic, and a small scalar
+    function whitelist.  Subqueries and CASE never ship.
+    """
+    for node in ast.walk_expression(expr):
+        if isinstance(node, ast.FunctionCall):
+            if not scalar_functions.is_scalar_function(node.name):
+                return False
+            continue
+        if not isinstance(node, _PROMPT_SAFE_NODES):
+            return False
+    return True
+
+
+def strip_binding_qualifiers(expr: ast.Expr) -> ast.Expr:
+    """Rewrite a single-binding expression to bare column names.
+
+    Prompts describe one table at a time, so shipped predicates use
+    unqualified columns; the model re-parses them against that table.
+    """
+    if isinstance(expr, ast.ColumnRef):
+        return ast.ColumnRef(name=expr.name)
+    if isinstance(expr, ast.Literal):
+        return ast.Literal(value=expr.value)
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(
+            op=expr.op,
+            left=strip_binding_qualifiers(expr.left),
+            right=strip_binding_qualifiers(expr.right),
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(op=expr.op, operand=strip_binding_qualifiers(expr.operand))
+    if isinstance(expr, ast.FunctionCall):
+        return ast.FunctionCall(
+            name=expr.name,
+            args=[strip_binding_qualifiers(arg) for arg in expr.args],
+            distinct=expr.distinct,
+        )
+    if isinstance(expr, ast.Between):
+        return ast.Between(
+            operand=strip_binding_qualifiers(expr.operand),
+            low=strip_binding_qualifiers(expr.low),
+            high=strip_binding_qualifiers(expr.high),
+            negated=expr.negated,
+        )
+    if isinstance(expr, ast.InList):
+        return ast.InList(
+            operand=strip_binding_qualifiers(expr.operand),
+            items=[strip_binding_qualifiers(item) for item in expr.items],
+            negated=expr.negated,
+        )
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(
+            operand=strip_binding_qualifiers(expr.operand), negated=expr.negated
+        )
+    if isinstance(expr, ast.Like):
+        return ast.Like(
+            operand=strip_binding_qualifiers(expr.operand),
+            pattern=strip_binding_qualifiers(expr.pattern),
+            negated=expr.negated,
+        )
+    raise ValueError(
+        f"cannot strip qualifiers from {type(expr).__name__} "
+        f"({print_expression(expr)}); not prompt-safe"
+    )
+
+
+def render_pushdown(expr: ast.Expr) -> str:
+    """Render a single-binding prompt-safe predicate for a CONDITION header."""
+    return print_expression(strip_binding_qualifiers(expr))
+
+
+# ---------------------------------------------------------------------------
+# Equi-join extraction
+# ---------------------------------------------------------------------------
+
+
+def equi_pairs(
+    condition: Optional[ast.Expr],
+) -> List[Tuple[ast.ColumnRef, ast.ColumnRef]]:
+    """Column-equality conjuncts ``a.x = b.y`` of a join condition."""
+    pairs = []
+    for conjunct in split_conjuncts(condition):
+        if (
+            isinstance(conjunct, ast.BinaryOp)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, ast.ColumnRef)
+            and isinstance(conjunct.right, ast.ColumnRef)
+            and conjunct.left.table is not None
+            and conjunct.right.table is not None
+            and conjunct.left.table.lower() != conjunct.right.table.lower()
+        ):
+            pairs.append((conjunct.left, conjunct.right))
+    return pairs
+
+
+# ---------------------------------------------------------------------------
+# Projection analysis
+# ---------------------------------------------------------------------------
+
+
+def needed_columns(
+    statement: ast.Query, elements_bindings: List[str]
+) -> Dict[str, Set[str]]:
+    """Columns each binding must supply for local execution.
+
+    Walks every expression of the statement — select list, join
+    conditions, WHERE, GROUP BY, HAVING, ORDER BY — and collects
+    qualified column references per binding (lower-cased names).
+    Subquery bodies are excluded: they are planned separately.
+    """
+    wanted: Dict[str, Set[str]] = {binding.lower(): set() for binding in elements_bindings}
+
+    def collect(expr: Optional[ast.Expr]) -> None:
+        if expr is None:
+            return
+        for node in ast.walk_expression(expr):
+            if isinstance(node, ast.ColumnRef) and node.table is not None:
+                key = node.table.lower()
+                if key in wanted:
+                    wanted[key].add(node.name.lower())
+
+    for item in statement.select:
+        collect(item.expr)
+    collect(statement.where)
+
+    def collect_join_conditions(ref: Optional[ast.TableRef]) -> None:
+        if isinstance(ref, ast.Join):
+            collect_join_conditions(ref.left)
+            collect_join_conditions(ref.right)
+            collect(ref.condition)
+
+    collect_join_conditions(statement.from_clause)
+    for expr in statement.group_by:
+        collect(expr)
+    collect(statement.having)
+    for order in statement.order_by:
+        collect(order.expr)
+    return wanted
+
+
+# ---------------------------------------------------------------------------
+# Correlation detection
+# ---------------------------------------------------------------------------
+
+
+def own_bindings(query: ast.Query) -> Set[str]:
+    """Binding names introduced by a query's own FROM clause."""
+    found: Set[str] = set()
+
+    def visit(ref: Optional[ast.TableRef]) -> None:
+        if ref is None:
+            return
+        if isinstance(ref, ast.NamedTable):
+            found.add(ref.binding_name.lower())
+        elif isinstance(ref, ast.SubqueryTable):
+            found.add(ref.alias.lower())
+        elif isinstance(ref, ast.Join):
+            visit(ref.left)
+            visit(ref.right)
+
+    visit(query.from_clause)
+    return found
+
+
+def is_correlated(query: ast.Query) -> bool:
+    """True if a bound subquery references bindings it does not define."""
+    local = own_bindings(query)
+
+    def check_expr(expr: Optional[ast.Expr]) -> bool:
+        if expr is None:
+            return False
+        for node in ast.walk_expression(expr):
+            if isinstance(node, ast.ColumnRef) and node.table is not None:
+                if node.table.lower() not in local:
+                    return True
+            if isinstance(node, (ast.InSubquery, ast.Exists, ast.ScalarSubquery)):
+                if _nested_refs_escape(node.query, local):
+                    return True
+        return False
+
+    def _nested_refs_escape(nested: ast.Query, outer_local: Set[str]) -> bool:
+        allowed = outer_local | own_bindings(nested)
+        for expr in _all_expressions(nested):
+            for node in ast.walk_expression(expr):
+                if isinstance(node, ast.ColumnRef) and node.table is not None:
+                    if node.table.lower() not in allowed:
+                        return True
+        return False
+
+    for expr in _all_expressions(query):
+        if check_expr(expr):
+            return True
+    return False
+
+
+def _all_expressions(query: ast.Query) -> List[ast.Expr]:
+    exprs: List[ast.Expr] = [item.expr for item in query.select]
+    if query.where is not None:
+        exprs.append(query.where)
+    exprs.extend(query.group_by)
+    if query.having is not None:
+        exprs.append(query.having)
+    exprs.extend(item.expr for item in query.order_by)
+
+    def join_conditions(ref: Optional[ast.TableRef]) -> None:
+        if isinstance(ref, ast.Join):
+            join_conditions(ref.left)
+            join_conditions(ref.right)
+            if ref.condition is not None:
+                exprs.append(ref.condition)
+
+    join_conditions(query.from_clause)
+    return exprs
+
+
+def find_subqueries(statement: ast.Query) -> List[ast.Expr]:
+    """All subquery expression nodes in a statement's own expressions."""
+    found: List[ast.Expr] = []
+    for expr in _all_expressions(statement):
+        for node in ast.walk_expression(expr):
+            if isinstance(node, (ast.InSubquery, ast.Exists, ast.ScalarSubquery)):
+                found.append(node)
+    return found

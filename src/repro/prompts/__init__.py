@@ -1,0 +1,63 @@
+"""Prompt layer: builders and parsers for the engine<->model protocols.
+
+Four protocols cover everything the engine asks of a model:
+
+* **enumerate** — list rows of a virtual table (optionally filtered,
+  projected, ordered) with cursor-based pagination;
+* **lookup** — batched key -> attribute retrieval;
+* **judge** — batched boolean checks of a predicate against entities;
+* **direct_sql** — the baseline: hand over an entire SQL query.
+
+Builders render prompts; parsers decode completions defensively (chatter
+stripping, truncation detection, type coercion).  The shared textual
+conventions live in :mod:`repro.prompts.grammar` so the simulated model
+and the engine can never drift apart silently.
+"""
+
+from repro.prompts.grammar import (
+    CELL_SEPARATOR,
+    DONE_SENTINEL,
+    MORE_SENTINEL,
+    UNKNOWN_TEXT,
+    PromptFields,
+    parse_prompt,
+    render_cell,
+    render_row,
+    parse_cell,
+)
+from repro.prompts.enumerate import EnumerateRequest, build_enumerate_prompt
+from repro.prompts.lookup import LookupRequest, build_lookup_prompt
+from repro.prompts.predicate import JudgeRequest, build_judge_prompt
+from repro.prompts.direct import DirectRequest, build_direct_prompt
+from repro.prompts.parsing import (
+    EnumeratePage,
+    parse_enumerate_completion,
+    parse_lookup_completion,
+    parse_judge_completion,
+    parse_direct_completion,
+)
+
+__all__ = [
+    "CELL_SEPARATOR",
+    "DONE_SENTINEL",
+    "MORE_SENTINEL",
+    "UNKNOWN_TEXT",
+    "PromptFields",
+    "parse_prompt",
+    "render_cell",
+    "render_row",
+    "parse_cell",
+    "EnumerateRequest",
+    "build_enumerate_prompt",
+    "LookupRequest",
+    "build_lookup_prompt",
+    "JudgeRequest",
+    "build_judge_prompt",
+    "DirectRequest",
+    "build_direct_prompt",
+    "EnumeratePage",
+    "parse_enumerate_completion",
+    "parse_lookup_completion",
+    "parse_judge_completion",
+    "parse_direct_completion",
+]

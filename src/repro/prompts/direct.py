@@ -1,0 +1,46 @@
+"""Whole-query prompts (the direct baseline).
+
+The entire SQL query is handed to the model in one prompt together with
+the schema signatures it mentions.  One completion carries the whole
+answer: no pagination, no decomposition, no local compute — exactly the
+regime the decomposed engine is compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.prompts import grammar, templates
+from repro.relational.schema import TableSchema
+
+
+@dataclass(frozen=True)
+class DirectRequest:
+    """One whole-query request.
+
+    Attributes:
+        schemas: signatures of every table the query references.
+        sql: the query text (canonical printer output).
+    """
+
+    schemas: Tuple[TableSchema, ...]
+    sql: str
+
+
+def build_direct_prompt(request: DirectRequest) -> str:
+    """Render the whole-query prompt."""
+    schema_text = "; ".join(
+        schema.render_signature() for schema in request.schemas
+    )
+    headers = [
+        (grammar.FIELD_TASK, grammar.TASK_DIRECT),
+        (grammar.FIELD_SCHEMA, schema_text),
+        (grammar.FIELD_SQL, request.sql),
+    ]
+    return templates.assemble_prompt(
+        templates.DIRECT_PREAMBLE,
+        headers,
+        templates.DIRECT_INSTRUCTIONS,
+        trailer="RESULT:",
+    )

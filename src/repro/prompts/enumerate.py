@@ -1,0 +1,70 @@
+"""Tuple-enumeration prompts (the LLMScan protocol).
+
+One scan of a virtual table is a sequence of *pages*: each page prompt
+carries the cursor ``AFTER_INDEX`` (rows already received) and asks for
+at most ``MAX_ROWS`` more.  Predicates pushed into the scan are rendered
+as SQL over bare column names; the model re-parses them with the same
+grammar, so rendering must stay within the single-table expression
+subset (the optimizer guarantees this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.prompts import grammar, templates
+from repro.relational.schema import TableSchema
+
+
+@dataclass(frozen=True)
+class EnumerateRequest:
+    """One page request of a virtual-table scan.
+
+    Attributes:
+        schema: schema of the virtual table.
+        columns: columns to return, in order.
+        condition_sql: optional predicate (SQL text over bare column
+            names) the model should apply — the pushdown optimization.
+        order: optional ``(column, descending)`` the model should sort
+            by, enabling early termination for ORDER BY ... LIMIT plans.
+        after_index: number of rows of this scan already received.
+        max_rows: page size.
+    """
+
+    schema: TableSchema
+    columns: Tuple[str, ...]
+    condition_sql: Optional[str] = None
+    order: Optional[Tuple[str, bool]] = None
+    after_index: int = 0
+    max_rows: int = 20
+
+
+def build_enumerate_prompt(request: EnumerateRequest) -> str:
+    """Render the page prompt."""
+    headers = [
+        (grammar.FIELD_TASK, grammar.TASK_ENUMERATE),
+        (grammar.FIELD_TABLE, request.schema.render_signature()),
+    ]
+    if request.schema.description:
+        headers.append(
+            (grammar.FIELD_TABLE_DESCRIPTION, request.schema.description)
+        )
+    headers.append(
+        (grammar.FIELD_COLUMNS, grammar.render_column_list(request.columns))
+    )
+    if request.condition_sql:
+        headers.append((grammar.FIELD_CONDITION, request.condition_sql))
+    if request.order is not None:
+        column, descending = request.order
+        headers.append(
+            (grammar.FIELD_ORDER, f"{column} {'DESC' if descending else 'ASC'}")
+        )
+    headers.append((grammar.FIELD_AFTER_INDEX, str(request.after_index)))
+    headers.append((grammar.FIELD_MAX_ROWS, str(request.max_rows)))
+    return templates.assemble_prompt(
+        templates.RETRIEVAL_PREAMBLE,
+        headers,
+        templates.ENUMERATE_INSTRUCTIONS,
+        trailer="ROWS:",
+    )

@@ -1,0 +1,210 @@
+"""Shared textual conventions of the prompt protocols.
+
+A prompt is natural-language framing around a block of ``KEY: value``
+header lines plus optional numbered sections.  A completion is plain
+lines of data cells.  Everything both sides must agree on — separators,
+sentinels, cell formatting — is defined here once.
+
+Cell values round-trip exactly: ``parse_cell(render_cell(v), dtype) == v``
+for every storage type (floats are rendered with ``repr``).  This
+round-trip is property-tested; it is what makes the zero-noise
+equivalence invariant achievable over a purely textual channel.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import LLMProtocolError
+from repro.relational.types import DataType, Value, coerce_value
+
+#: Separates cells within a row line.
+CELL_SEPARATOR = " | "
+
+#: Sentinel ending a complete enumeration page with no further rows.
+DONE_SENTINEL = "DONE"
+
+#: Sentinel ending a page when more rows exist.
+MORE_SENTINEL = "MORE"
+
+#: Sentinel ending a direct-SQL answer (absence implies truncation).
+END_SENTINEL = "END"
+
+#: The model's "I do not know" marker for lookups and judgements.
+UNKNOWN_TEXT = "UNKNOWN"
+
+#: SQL NULL rendered in a cell.
+NULL_TEXT = "NULL"
+
+#: Recognized TASK header values.
+TASK_ENUMERATE = "enumerate"
+TASK_LOOKUP = "lookup"
+TASK_JUDGE = "judge"
+TASK_DIRECT = "direct_sql"
+
+#: Header field names.
+FIELD_TASK = "TASK"
+FIELD_TABLE = "TABLE"
+FIELD_TABLE_DESCRIPTION = "TABLE_DESCRIPTION"
+FIELD_COLUMNS = "COLUMNS"
+FIELD_CONDITION = "CONDITION"
+FIELD_ORDER = "ORDER"
+FIELD_AFTER_INDEX = "AFTER_INDEX"
+FIELD_MAX_ROWS = "MAX_ROWS"
+FIELD_KEY_COLUMNS = "KEY_COLUMNS"
+FIELD_ATTRIBUTES = "ATTRIBUTES"
+FIELD_SQL = "SQL"
+FIELD_SCHEMA = "SCHEMA"
+
+#: Section names (numbered lists following a ``NAME:`` line).
+SECTION_ENTITIES = "ENTITIES"
+
+_HEADER_RE = re.compile(r"^([A-Z_]+):\s?(.*)$")
+_NUMBERED_RE = re.compile(r"^(\d+)\.\s?(.*)$")
+
+
+# ---------------------------------------------------------------------------
+# Cell formatting
+# ---------------------------------------------------------------------------
+
+
+def render_cell(value: Value) -> str:
+    """Render one value as cell text (exact round trip via parse_cell)."""
+    if value is None:
+        return NULL_TEXT
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def parse_cell(text: str, dtype: DataType) -> Value:
+    """Decode cell text to a typed value.
+
+    Raises :class:`LLMProtocolError` when the text cannot be interpreted
+    as the expected type even with lenient coercion.
+    """
+    stripped = text.strip()
+    if stripped == NULL_TEXT or stripped == UNKNOWN_TEXT:
+        return None
+    coerced = coerce_value(stripped, dtype)
+    if coerced is None:
+        raise LLMProtocolError(
+            f"cannot interpret cell {text!r} as {dtype.value}"
+        )
+    return coerced
+
+
+def render_row(values: Sequence[Value]) -> str:
+    """Render a row of cells."""
+    return CELL_SEPARATOR.join(render_cell(value) for value in values)
+
+
+def split_row(line: str) -> List[str]:
+    """Split a row line into raw cell texts."""
+    return line.split("|")
+
+
+def parse_row(line: str, dtypes: Sequence[DataType]) -> List[Value]:
+    """Decode one row line against the expected column types."""
+    cells = split_row(line)
+    if len(cells) != len(dtypes):
+        raise LLMProtocolError(
+            f"expected {len(dtypes)} cells, got {len(cells)} in line {line!r}"
+        )
+    return [parse_cell(cell, dtype) for cell, dtype in zip(cells, dtypes)]
+
+
+# ---------------------------------------------------------------------------
+# Prompt structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PromptFields:
+    """Decoded structured content of a prompt."""
+
+    headers: Dict[str, str] = field(default_factory=dict)
+    sections: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def task(self) -> str:
+        task = self.headers.get(FIELD_TASK)
+        if task is None:
+            raise LLMProtocolError("prompt has no TASK header")
+        return task
+
+    def require(self, name: str) -> str:
+        if name not in self.headers:
+            raise LLMProtocolError(f"prompt is missing the {name} header")
+        return self.headers[name]
+
+    def optional(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.headers.get(name, default)
+
+    def int_field(self, name: str, default: int) -> int:
+        raw = self.headers.get(name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise LLMProtocolError(f"{name} header is not an integer: {raw!r}") from exc
+
+    def section(self, name: str) -> List[str]:
+        return self.sections.get(name, [])
+
+
+def render_header_line(name: str, value: str) -> str:
+    return f"{name}: {value}"
+
+
+def parse_prompt(prompt: str) -> PromptFields:
+    """Extract header fields and numbered sections from prompt text.
+
+    Free-form framing lines (instructions to the model) are ignored; only
+    ``KEY: value`` lines and numbered section items are structured.  A
+    section named ``X`` starts at a line ``X:`` and collects subsequent
+    ``n. item`` lines (in numeric order as written).
+    """
+    fields = PromptFields()
+    current_section: Optional[str] = None
+    for raw_line in prompt.splitlines():
+        line = raw_line.rstrip()
+        if not line:
+            continue
+        numbered = _NUMBERED_RE.match(line)
+        if numbered and current_section is not None:
+            fields.sections.setdefault(current_section, []).append(numbered.group(2))
+            continue
+        header = _HEADER_RE.match(line)
+        if header:
+            name, value = header.group(1), header.group(2)
+            if value == "" and name == name.upper():
+                current_section = name
+                fields.sections.setdefault(name, [])
+            else:
+                fields.headers[name] = value
+                current_section = None
+            continue
+        # Free-form framing; ends any open section.
+        if not _NUMBERED_RE.match(line):
+            current_section = current_section  # framing does not close sections
+    return fields
+
+
+def parse_column_list(raw: str) -> List[str]:
+    """Decode a comma-separated column list header."""
+    columns = [piece.strip() for piece in raw.split(",") if piece.strip()]
+    if not columns:
+        raise LLMProtocolError(f"empty column list: {raw!r}")
+    return columns
+
+
+def render_column_list(names: Sequence[str]) -> str:
+    return ", ".join(names)

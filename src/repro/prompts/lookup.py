@@ -1,0 +1,71 @@
+"""Batched key -> attribute lookup prompts (the LLMLookup protocol).
+
+Lookups are the workhorse of lookup-joins and point queries: given a
+batch of entity keys, retrieve the requested attributes for each.  The
+batch size trades per-call overhead against per-call error surface; the
+engine default (16) is swept in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.prompts import grammar, templates
+from repro.relational.schema import TableSchema
+from repro.relational.types import Value
+
+
+@dataclass(frozen=True)
+class LookupRequest:
+    """One batched lookup.
+
+    Attributes:
+        schema: schema of the virtual table.
+        key_columns: columns identifying an entity (usually the primary
+            key; any sufficiently identifying combination works).
+        attributes: columns to retrieve for each entity.
+        entities: key tuples, one per entity, aligned with
+            ``key_columns``.
+    """
+
+    schema: TableSchema
+    key_columns: Tuple[str, ...]
+    attributes: Tuple[str, ...]
+    entities: Tuple[Tuple[Value, ...], ...]
+
+
+def build_lookup_prompt(request: LookupRequest) -> str:
+    """Render the batched lookup prompt."""
+    headers = [
+        (grammar.FIELD_TASK, grammar.TASK_LOOKUP),
+        (grammar.FIELD_TABLE, request.schema.render_signature()),
+    ]
+    if request.schema.description:
+        headers.append(
+            (grammar.FIELD_TABLE_DESCRIPTION, request.schema.description)
+        )
+    headers.extend(
+        [
+            (
+                grammar.FIELD_KEY_COLUMNS,
+                grammar.render_column_list(request.key_columns),
+            ),
+            (
+                grammar.FIELD_ATTRIBUTES,
+                grammar.render_column_list(request.attributes),
+            ),
+        ]
+    )
+    sections = {
+        grammar.SECTION_ENTITIES: [
+            grammar.render_row(entity) for entity in request.entities
+        ]
+    }
+    return templates.assemble_prompt(
+        templates.RETRIEVAL_PREAMBLE,
+        headers,
+        templates.LOOKUP_INSTRUCTIONS,
+        sections=sections,
+        trailer="ANSWERS:",
+    )

@@ -1,0 +1,233 @@
+"""Defensive parsers for model completions.
+
+A model answer is adversarial input: it may carry chatter, be cut
+mid-line by the output budget, misnumber items, or answer UNKNOWN.  The
+parsers here never raise on malformed *lines*; they skip them and count
+them, because a partially parsed page is still useful and the engine's
+validators handle the rest.  They do raise
+:class:`~repro.errors.LLMProtocolError` when a completion is unusable as
+a whole (e.g. a refusal where rows were expected — the engine retries).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import LLMProtocolError
+from repro.llm.noise import CHATTER_PREFIXES, CHATTER_SUFFIXES
+from repro.prompts import grammar
+from repro.relational.types import DataType, Value
+
+_NUMBERED_RE = re.compile(r"^\s*(\d+)[.)]\s*(.*)$")
+_BULLET_RE = re.compile(r"^\s*[-*•]\s+")
+
+
+def strip_chatter(line: str) -> str:
+    """Remove decorative chatter a model may wrap around an answer line."""
+    text = line.strip()
+    text = _BULLET_RE.sub("", text)
+    changed = True
+    while changed:
+        changed = False
+        for prefix in CHATTER_PREFIXES:
+            if text.startswith(prefix):
+                text = text[len(prefix) :]
+                changed = True
+        for suffix in CHATTER_SUFFIXES:
+            if text.endswith(suffix):
+                text = text[: -len(suffix)]
+                changed = True
+        stripped = text.strip()
+        if stripped != text:
+            text = stripped
+            changed = True
+    return text
+
+
+def looks_like_refusal(text: str) -> bool:
+    """Heuristic refusal detection on a whole completion."""
+    head = text.strip().lower()
+    return head.startswith("i'm sorry") or head.startswith("i am sorry") or (
+        head.startswith("i could not follow")
+    )
+
+
+# ---------------------------------------------------------------------------
+# Enumeration pages
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EnumeratePage:
+    """Decoded content of one enumeration page.
+
+    Attributes:
+        rows: successfully parsed rows, typed per the request columns.
+        has_more: the model signalled MORE rows exist.
+        complete: a sentinel line was seen (False means the completion
+            was cut by the output budget and the page must be re-fetched
+            or continued from ``len(rows)``).
+        malformed_lines: lines that could not be parsed as rows.
+    """
+
+    rows: List[List[Value]] = field(default_factory=list)
+    has_more: bool = False
+    complete: bool = False
+    malformed_lines: int = 0
+
+
+def parse_enumerate_completion(
+    text: str, dtypes: Sequence[DataType]
+) -> EnumeratePage:
+    """Decode an enumeration page completion."""
+    if looks_like_refusal(text):
+        raise LLMProtocolError("model refused an enumeration request")
+    page = EnumeratePage()
+    for raw_line in text.splitlines():
+        line = strip_chatter(raw_line)
+        if not line:
+            continue
+        if line == grammar.DONE_SENTINEL:
+            page.complete = True
+            page.has_more = False
+            break
+        if line == grammar.MORE_SENTINEL:
+            page.complete = True
+            page.has_more = True
+            break
+        if line.upper().startswith("ROWS:"):
+            continue
+        try:
+            page.rows.append(grammar.parse_row(line, dtypes))
+        except LLMProtocolError:
+            page.malformed_lines += 1
+    return page
+
+
+# ---------------------------------------------------------------------------
+# Lookups
+# ---------------------------------------------------------------------------
+
+
+def parse_lookup_completion(
+    text: str, entity_count: int, dtypes: Sequence[DataType]
+) -> List[Optional[List[Value]]]:
+    """Decode a batched lookup completion.
+
+    Returns one slot per entity (1-based indices in the answer map to
+    slots): a typed value list, or ``None`` when the model answered
+    UNKNOWN, skipped the entity, or the line was unusable.
+    """
+    if looks_like_refusal(text):
+        raise LLMProtocolError("model refused a lookup request")
+    slots: List[Optional[List[Value]]] = [None] * entity_count
+    for raw_line in text.splitlines():
+        line = strip_chatter(raw_line)
+        if not line or line.upper().startswith("ANSWERS:"):
+            continue
+        match = _NUMBERED_RE.match(line)
+        if not match:
+            continue
+        index = int(match.group(1)) - 1
+        if not 0 <= index < entity_count:
+            continue
+        body = match.group(2).strip()
+        if body == grammar.UNKNOWN_TEXT:
+            slots[index] = None
+            continue
+        try:
+            slots[index] = grammar.parse_row(body, dtypes)
+        except LLMProtocolError:
+            slots[index] = None
+    return slots
+
+
+# ---------------------------------------------------------------------------
+# Judgements
+# ---------------------------------------------------------------------------
+
+
+_VERDICT_WORDS: Dict[str, Optional[bool]] = {
+    "YES": True,
+    "TRUE": True,
+    "NO": False,
+    "FALSE": False,
+    grammar.UNKNOWN_TEXT: None,
+}
+
+
+def parse_judge_completion(text: str, entity_count: int) -> List[Optional[bool]]:
+    """Decode a batched judgement completion (None = unknown/missing)."""
+    if looks_like_refusal(text):
+        raise LLMProtocolError("model refused a judgement request")
+    slots: List[Optional[bool]] = [None] * entity_count
+    for raw_line in text.splitlines():
+        line = strip_chatter(raw_line)
+        if not line or line.upper().startswith("VERDICTS:"):
+            continue
+        match = _NUMBERED_RE.match(line)
+        if not match:
+            continue
+        index = int(match.group(1)) - 1
+        if not 0 <= index < entity_count:
+            continue
+        word = match.group(2).strip().upper().rstrip(".!")
+        slots[index] = _VERDICT_WORDS.get(word, None)
+    return slots
+
+
+# ---------------------------------------------------------------------------
+# Direct answers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DirectAnswer:
+    """Decoded whole-query answer.
+
+    Attributes:
+        header: column names the model claimed, if any.
+        rows: typed rows (cells that fail coercion stay as text).
+        complete: END sentinel seen (False = output-budget truncation).
+        malformed_lines: undecodable lines.
+    """
+
+    header: List[str] = field(default_factory=list)
+    rows: List[List[Value]] = field(default_factory=list)
+    complete: bool = False
+    malformed_lines: int = 0
+
+
+def parse_direct_completion(
+    text: str, dtypes: Sequence[DataType]
+) -> DirectAnswer:
+    """Decode a direct whole-query completion."""
+    if looks_like_refusal(text):
+        raise LLMProtocolError("model refused a direct query")
+    answer = DirectAnswer()
+    for raw_line in text.splitlines():
+        line = strip_chatter(raw_line)
+        if not line or line.upper().startswith("RESULT:"):
+            continue
+        if line == grammar.END_SENTINEL:
+            answer.complete = True
+            break
+        if line.upper().startswith("HEADER:"):
+            answer.header = [
+                cell.strip() for cell in line.split(":", 1)[1].split("|")
+            ]
+            continue
+        cells = grammar.split_row(line)
+        if len(cells) != len(dtypes):
+            answer.malformed_lines += 1
+            continue
+        row: List[Value] = []
+        for cell, dtype in zip(cells, dtypes):
+            try:
+                row.append(grammar.parse_cell(cell, dtype))
+            except LLMProtocolError:
+                row.append(cell.strip())
+        answer.rows.append(row)
+    return answer

@@ -1,0 +1,58 @@
+"""Batched boolean-judgement prompts (the LLMSemanticFilter protocol).
+
+Instead of retrieving attributes and filtering locally, the engine can
+ask the model to *judge* a predicate per entity.  This saves completion
+tokens when attributes are wide but is exposed to the model's evaluation
+errors — the trade-off is measured in the ablation experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.prompts import grammar, templates
+from repro.relational.schema import TableSchema
+from repro.relational.types import Value
+
+
+@dataclass(frozen=True)
+class JudgeRequest:
+    """One batched judgement.
+
+    Attributes:
+        schema: schema of the virtual table.
+        key_columns: columns identifying an entity.
+        condition_sql: predicate over bare column names to judge.
+        entities: key tuples to judge.
+    """
+
+    schema: TableSchema
+    key_columns: Tuple[str, ...]
+    condition_sql: str
+    entities: Tuple[Tuple[Value, ...], ...]
+
+
+def build_judge_prompt(request: JudgeRequest) -> str:
+    """Render the batched judgement prompt."""
+    headers = [
+        (grammar.FIELD_TASK, grammar.TASK_JUDGE),
+        (grammar.FIELD_TABLE, request.schema.render_signature()),
+        (
+            grammar.FIELD_KEY_COLUMNS,
+            grammar.render_column_list(request.key_columns),
+        ),
+        (grammar.FIELD_CONDITION, request.condition_sql),
+    ]
+    sections = {
+        grammar.SECTION_ENTITIES: [
+            grammar.render_row(entity) for entity in request.entities
+        ]
+    }
+    return templates.assemble_prompt(
+        templates.RETRIEVAL_PREAMBLE,
+        headers,
+        templates.JUDGE_INSTRUCTIONS,
+        sections=sections,
+        trailer="VERDICTS:",
+    )

@@ -1,0 +1,75 @@
+"""Prompt framing text and assembly helpers.
+
+A prompt is: a role preamble, structured ``KEY: value`` headers, optional
+numbered sections, and output-format instructions.  The structured parts
+are machine-parsed on the model side; the framing is for the model's
+benefit (and, with a real API, does measurable work — so it is part of
+the token cost here too).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.prompts import grammar
+
+#: Role preamble shared by the retrieval protocols.
+RETRIEVAL_PREAMBLE = (
+    "You are a precise factual database. Answer strictly in the requested "
+    "format with no commentary. Use NULL for missing values and UNKNOWN "
+    "when you do not know."
+)
+
+#: Role preamble for the direct whole-query baseline.
+DIRECT_PREAMBLE = (
+    "You are a database engine. Execute the SQL query below against your "
+    "world knowledge and return the result table."
+)
+
+ENUMERATE_INSTRUCTIONS = (
+    "Respond with one row per line, cells separated by ' | ', in a stable "
+    "canonical order. After the last row of this page output the single "
+    f"word {grammar.MORE_SENTINEL} if further rows exist, otherwise "
+    f"{grammar.DONE_SENTINEL}."
+)
+
+LOOKUP_INSTRUCTIONS = (
+    "Respond with one line per entity, formatted '<index>. <value>"
+    f"{grammar.CELL_SEPARATOR}<value>...' in the attribute order given. "
+    f"Answer {grammar.UNKNOWN_TEXT} for entities you do not know."
+)
+
+JUDGE_INSTRUCTIONS = (
+    "For each entity respond '<index>. YES' if the condition holds, "
+    "'<index>. NO' if it does not, or "
+    f"'<index>. {grammar.UNKNOWN_TEXT}' if you cannot tell."
+)
+
+DIRECT_INSTRUCTIONS = (
+    "Respond with a line 'HEADER: <column names>' followed by one result "
+    "row per line, cells separated by ' | '. Finish with the single word "
+    f"{grammar.END_SENTINEL}."
+)
+
+
+def assemble_prompt(
+    preamble: str,
+    headers: Sequence[Tuple[str, str]],
+    instructions: str,
+    sections: Optional[Dict[str, Sequence[str]]] = None,
+    trailer: str = "",
+) -> str:
+    """Assemble the canonical prompt layout."""
+    lines: List[str] = [preamble, ""]
+    for name, value in headers:
+        lines.append(grammar.render_header_line(name, value))
+    if sections:
+        for name, items in sections.items():
+            lines.append(f"{name}:")
+            for number, item in enumerate(items, start=1):
+                lines.append(f"{number}. {item}")
+    lines.append("")
+    lines.append(instructions)
+    if trailer:
+        lines.append(trailer)
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""In-memory relational substrate.
+
+Provides the data model (types, schemas, tables, catalog), a 3-valued-logic
+expression evaluator, scalar and aggregate function libraries, classical
+physical operators, and a reference SQL executor used both as the
+ground-truth baseline and as the compute layer underneath the LLM engine.
+"""
+
+from repro.relational.types import DataType, coerce_value, infer_type
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table
+from repro.relational.catalog import Catalog, CatalogEntry
+from repro.relational.executor import ReferenceExecutor
+
+__all__ = [
+    "DataType",
+    "coerce_value",
+    "infer_type",
+    "Column",
+    "TableSchema",
+    "Table",
+    "Catalog",
+    "CatalogEntry",
+    "ReferenceExecutor",
+]

@@ -1,0 +1,201 @@
+"""Aggregate function accumulators.
+
+Standard SQL semantics: aggregates skip NULL inputs; ``COUNT(*)`` counts
+rows; aggregates over an empty (or all-NULL) input yield NULL except COUNT
+which yields 0.  ``DISTINCT`` deduplicates input values before
+accumulation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import ExecutionError
+from repro.relational.types import Value
+
+
+class Accumulator:
+    """Base class: feed values with :meth:`add`, read with :meth:`result`."""
+
+    def add(self, value: Value) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Value:
+        raise NotImplementedError
+
+
+class CountAccumulator(Accumulator):
+    """COUNT(expr): counts non-NULL inputs."""
+
+    def __init__(self):
+        self._count = 0
+
+    def add(self, value: Value) -> None:
+        if value is not None:
+            self._count += 1
+
+    def result(self) -> Value:
+        return self._count
+
+
+class CountStarAccumulator(Accumulator):
+    """COUNT(*): counts rows including NULLs."""
+
+    def __init__(self):
+        self._count = 0
+
+    def add(self, value: Value) -> None:
+        self._count += 1
+
+    def result(self) -> Value:
+        return self._count
+
+
+class SumAccumulator(Accumulator):
+    """SUM(expr): integer sums stay int, any float input promotes."""
+
+    def __init__(self):
+        self._total: Optional[float] = None
+        self._all_int = True
+
+    def add(self, value: Value) -> None:
+        if value is None:
+            return
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ExecutionError(f"SUM expects numbers, got {value!r}")
+        if isinstance(value, float):
+            self._all_int = False
+        self._total = value if self._total is None else self._total + value
+
+    def result(self) -> Value:
+        if self._total is None:
+            return None
+        return int(self._total) if self._all_int else float(self._total)
+
+
+class AvgAccumulator(Accumulator):
+    """AVG(expr): always returns REAL."""
+
+    def __init__(self):
+        self._total = 0.0
+        self._count = 0
+
+    def add(self, value: Value) -> None:
+        if value is None:
+            return
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ExecutionError(f"AVG expects numbers, got {value!r}")
+        self._total += float(value)
+        self._count += 1
+
+    def result(self) -> Value:
+        if self._count == 0:
+            return None
+        return self._total / self._count
+
+
+class MinAccumulator(Accumulator):
+    """MIN(expr) over numbers or text (not mixed)."""
+
+    def __init__(self):
+        self._best: Value = None
+
+    def add(self, value: Value) -> None:
+        if value is None:
+            return
+        if self._best is None or _compare(value, self._best) < 0:
+            self._best = value
+
+    def result(self) -> Value:
+        return self._best
+
+
+class MaxAccumulator(Accumulator):
+    """MAX(expr) over numbers or text (not mixed)."""
+
+    def __init__(self):
+        self._best: Value = None
+
+    def add(self, value: Value) -> None:
+        if value is None:
+            return
+        if self._best is None or _compare(value, self._best) > 0:
+            self._best = value
+
+    def result(self) -> Value:
+        return self._best
+
+
+class DistinctAccumulator(Accumulator):
+    """Wraps another accumulator, forwarding each distinct value once."""
+
+    def __init__(self, inner: Accumulator):
+        self._inner = inner
+        self._seen: Set[Tuple[str, Value]] = set()
+
+    def add(self, value: Value) -> None:
+        if value is None:
+            self._inner.add(value)
+            return
+        marker = (type(value).__name__, value)
+        if marker in self._seen:
+            return
+        self._seen.add(marker)
+        self._inner.add(value)
+
+    def result(self) -> Value:
+        return self._inner.result()
+
+
+def _compare(left: Value, right: Value) -> int:
+    """Three-way comparison for MIN/MAX; numbers and text are not mixed."""
+    left_num = isinstance(left, (int, float)) and not isinstance(left, bool)
+    right_num = isinstance(right, (int, float)) and not isinstance(right, bool)
+    if left_num and right_num:
+        return (left > right) - (left < right)
+    if isinstance(left, str) and isinstance(right, str):
+        return (left > right) - (left < right)
+    raise ExecutionError(
+        f"cannot compare {type(left).__name__} with {type(right).__name__} "
+        f"in MIN/MAX"
+    )
+
+
+#: Aggregate names, mapped to zero-argument accumulator factories.
+_FACTORIES = {
+    "COUNT": CountAccumulator,
+    "SUM": SumAccumulator,
+    "AVG": AvgAccumulator,
+    "MIN": MinAccumulator,
+    "MAX": MaxAccumulator,
+}
+
+
+def is_aggregate_function(name: str) -> bool:
+    """True if ``name`` names an aggregate."""
+    return name.upper() in _FACTORIES
+
+
+def aggregate_names() -> List[str]:
+    return sorted(_FACTORIES)
+
+
+def create_accumulator(name: str, *, star: bool = False, distinct: bool = False) -> Accumulator:
+    """Instantiate an accumulator for aggregate ``name``.
+
+    ``star`` selects COUNT(*) semantics; ``distinct`` wraps the accumulator
+    in value deduplication (invalid for COUNT(*)).
+    """
+    canonical = name.upper()
+    if canonical not in _FACTORIES:
+        raise ExecutionError(f"unknown aggregate function {name!r}")
+    if star:
+        if canonical != "COUNT":
+            raise ExecutionError(f"{canonical}(*) is not valid SQL")
+        if distinct:
+            raise ExecutionError("COUNT(DISTINCT *) is not valid SQL")
+        return CountStarAccumulator()
+    accumulator = _FACTORIES[canonical]()
+    if distinct:
+        return DistinctAccumulator(accumulator)
+    return accumulator

@@ -1,0 +1,103 @@
+"""Catalog: the registry of table schemas and (optionally) their data.
+
+The same catalog type serves two roles:
+
+* for the ground-truth engine, every entry carries a materialized
+  :class:`~repro.relational.table.Table`;
+* for the LLM engine, entries are *virtual*: schema only, data answered by
+  the language model at query time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import CatalogError
+from repro.relational.schema import TableSchema
+from repro.relational.table import Table
+
+
+class TableKind(enum.Enum):
+    """Whether a table's rows are stored or answered by the model."""
+
+    MATERIALIZED = "materialized"
+    VIRTUAL = "virtual"
+
+
+@dataclass
+class CatalogEntry:
+    """One catalog registration."""
+
+    schema: TableSchema
+    kind: TableKind
+    table: Optional[Table] = None
+
+    def __post_init__(self):
+        if self.kind is TableKind.MATERIALIZED and self.table is None:
+            raise CatalogError(
+                f"materialized table {self.schema.name!r} registered without data"
+            )
+        if self.kind is TableKind.VIRTUAL and self.table is not None:
+            raise CatalogError(
+                f"virtual table {self.schema.name!r} must not carry data"
+            )
+
+
+class Catalog:
+    """Case-insensitive name → entry registry."""
+
+    def __init__(self):
+        self._entries: Dict[str, CatalogEntry] = {}
+
+    def register_table(self, table: Table) -> None:
+        """Register a materialized table."""
+        self._register(
+            CatalogEntry(schema=table.schema, kind=TableKind.MATERIALIZED, table=table)
+        )
+
+    def register_virtual(self, schema: TableSchema) -> None:
+        """Register a virtual (LLM-answered) table."""
+        self._register(CatalogEntry(schema=schema, kind=TableKind.VIRTUAL))
+
+    def _register(self, entry: CatalogEntry) -> None:
+        key = entry.schema.name.lower()
+        if key in self._entries:
+            raise CatalogError(f"table {entry.schema.name!r} is already registered")
+        self._entries[key] = entry
+
+    def drop(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._entries:
+            raise CatalogError(f"no table named {name!r}")
+        del self._entries[key]
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._entries
+
+    def entry(self, name: str) -> CatalogEntry:
+        key = name.lower()
+        if key not in self._entries:
+            known = ", ".join(sorted(self._entries)) or "(none)"
+            raise CatalogError(f"no table named {name!r}; known tables: {known}")
+        return self._entries[key]
+
+    def schema(self, name: str) -> TableSchema:
+        return self.entry(name).schema
+
+    def table(self, name: str) -> Table:
+        """The materialized data of ``name``; error for virtual tables."""
+        entry = self.entry(name)
+        if entry.table is None:
+            raise CatalogError(f"table {name!r} is virtual and has no stored rows")
+        return entry.table
+
+    def names(self) -> List[str]:
+        return sorted(entry.schema.name for entry in self._entries.values())
+
+    def __iter__(self) -> Iterator[CatalogEntry]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,604 @@
+"""Reference SQL executor over materialized tables.
+
+This is the ground-truth engine: a direct, correctness-first interpreter
+of the AST.  It supports the full parsed subset — joins, grouping,
+HAVING, DISTINCT, ORDER BY (aliases, positions, expressions), LIMIT,
+set operations, and correlated subqueries — and is used (a) as the oracle
+that evaluation metrics compare against, and (b) inside the simulated
+language model, which "knows" its world by running queries over it.
+
+Semantics notes (shared with the hybrid engine, see DESIGN.md §5):
+
+* SQL three-valued logic throughout; WHERE/HAVING keep rows only when the
+  predicate is TRUE.
+* GROUP BY groups compare int/float numerically (1 groups with 1.0).
+* Non-grouped columns in a grouped select resolve from a representative
+  row (SQLite-style permissiveness).
+* ORDER BY sorts NULLs first ascending, last descending, unless
+  ``NULLS FIRST/LAST`` overrides.
+* INTERSECT/EXCEPT use set semantics; UNION honours ALL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ExecutionError
+from repro.relational.aggregates import create_accumulator
+from repro.relational.catalog import Catalog
+from repro.relational.expressions import (
+    EMPTY_SCOPE,
+    Evaluator,
+    RowScope,
+    Scope,
+    is_true,
+)
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import DataType, Value, infer_type
+from repro.sql import ast
+from repro.sql.parser import parse
+from repro.sql.printer import print_expression
+
+#: One FROM-clause row: binding name -> column name -> value.
+BindingRow = Dict[str, Dict[str, Value]]
+
+
+@dataclass
+class FromResult:
+    """Rows produced by a FROM clause plus the ordered binding layout."""
+
+    bindings: List[Tuple[str, List[str]]]
+    rows: List[BindingRow]
+
+
+def _hashable(value: Value):
+    """Type-tagged, numerically-normalized form for grouping/dedup."""
+    if value is None:
+        return ("null",)
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, (int, float)):
+        return ("num", float(value))
+    return ("text", value)
+
+
+def _row_marker(row: Sequence[Value]) -> Tuple:
+    return tuple(_hashable(value) for value in row)
+
+
+def _sort_rank(value: Value):
+    """Total order over heterogeneous values for ORDER BY."""
+    if value is None:
+        return (0, 0.0)
+    if isinstance(value, bool):
+        return (1, float(value))
+    if isinstance(value, (int, float)):
+        return (1, float(value))
+    return (2, str(value))
+
+
+class ReferenceExecutor:
+    """Executes statements against a catalog of materialized tables."""
+
+    def __init__(self, catalog: Catalog):
+        self._catalog = catalog
+        self._evaluator = Evaluator(subquery_executor=self._execute_subquery)
+
+    # -- public API ------------------------------------------------------------
+
+    def execute(self, statement: Union[str, ast.Statement]) -> Table:
+        """Execute SQL text or a parsed statement; returns a result Table."""
+        if isinstance(statement, str):
+            statement = parse(statement)
+        return self._execute_statement(statement, EMPTY_SCOPE)
+
+    # -- statement dispatch -------------------------------------------------------
+
+    def _execute_statement(self, statement: ast.Statement, outer: Scope) -> Table:
+        if isinstance(statement, ast.Query):
+            return self._execute_query(statement, outer)
+        if isinstance(statement, ast.SetOperation):
+            return self._execute_set_operation(statement, outer)
+        raise ExecutionError(f"cannot execute {type(statement).__name__}")
+
+    def _execute_subquery(self, query: ast.Query, outer: Scope) -> Table:
+        return self._execute_query(query, outer)
+
+    # -- set operations --------------------------------------------------------------
+
+    def _execute_set_operation(self, setop: ast.SetOperation, outer: Scope) -> Table:
+        left = self._execute_statement(setop.left, outer)
+        right = self._execute_query(setop.right, outer)
+        if len(left.schema.columns) != len(right.schema.columns):
+            raise ExecutionError(
+                f"{setop.op.upper()} operands have different column counts "
+                f"({len(left.schema.columns)} vs {len(right.schema.columns)})"
+            )
+        if setop.op == "union":
+            rows = list(left.rows) + list(right.rows)
+            if not setop.all:
+                rows = _dedupe(rows)
+        elif setop.op == "intersect":
+            right_markers = {_row_marker(row) for row in right.rows}
+            rows = _dedupe(
+                [row for row in left.rows if _row_marker(row) in right_markers]
+            )
+        elif setop.op == "except":
+            right_markers = {_row_marker(row) for row in right.rows}
+            rows = _dedupe(
+                [row for row in left.rows if _row_marker(row) not in right_markers]
+            )
+        else:
+            raise ExecutionError(f"unknown set operation {setop.op!r}")
+
+        names = left.schema.column_names
+        if setop.order_by:
+            rows = self._order_output_rows(rows, names, setop.order_by)
+        rows = _apply_limit(rows, setop.limit, setop.offset)
+        return _build_result_table(names, rows)
+
+    # -- single query -------------------------------------------------------------------
+
+    def _execute_query(self, query: ast.Query, outer: Scope) -> Table:
+        from_result = self._execute_from(query.from_clause, outer)
+
+        if query.where is not None:
+            kept = []
+            for row in from_result.rows:
+                scope = RowScope(row, parent=outer)
+                if is_true(self._evaluator.evaluate(query.where, scope)):
+                    kept.append(row)
+            from_result = FromResult(from_result.bindings, kept)
+
+        select_items = self._expand_stars(query.select, from_result.bindings)
+        names = self._output_names(select_items)
+
+        needs_grouping = bool(query.group_by) or self._contains_any_aggregate(
+            select_items, query
+        )
+        if needs_grouping:
+            output_rows, order_scopes = self._execute_grouped(
+                query, select_items, from_result, outer
+            )
+        else:
+            if query.having is not None:
+                raise ExecutionError("HAVING requires GROUP BY or aggregates")
+            output_rows = []
+            order_scopes: List[Tuple[Scope, Optional[Evaluator]]] = []
+            for row in from_result.rows:
+                scope = RowScope(row, parent=outer)
+                output_rows.append(
+                    tuple(
+                        self._evaluator.evaluate(item.expr, scope)
+                        for item in select_items
+                    )
+                )
+                order_scopes.append((scope, None))
+
+        if query.distinct:
+            output_rows, order_scopes = _dedupe_with(output_rows, order_scopes)
+
+        if query.order_by:
+            output_rows = self._order_rows(
+                output_rows, order_scopes, names, query.order_by
+            )
+
+        output_rows = _apply_limit(output_rows, query.limit, query.offset)
+        return _build_result_table(names, output_rows)
+
+    # -- FROM evaluation ------------------------------------------------------------------
+
+    def _execute_from(
+        self, clause: Optional[ast.TableRef], outer: Scope
+    ) -> FromResult:
+        if clause is None:
+            return FromResult(bindings=[], rows=[{}])
+        return self._eval_table_ref(clause, outer)
+
+    def _eval_table_ref(self, ref: ast.TableRef, outer: Scope) -> FromResult:
+        if isinstance(ref, ast.NamedTable):
+            table = self._catalog.table(ref.name)
+            binding = ref.binding_name
+            columns = table.schema.column_names
+            rows = [
+                {binding: dict(zip(columns, row))} for row in table.rows
+            ]
+            return FromResult(bindings=[(binding, columns)], rows=rows)
+        if isinstance(ref, ast.SubqueryTable):
+            table = self._execute_query(ref.query, EMPTY_SCOPE)
+            columns = table.schema.column_names
+            rows = [
+                {ref.alias: dict(zip(columns, row))} for row in table.rows
+            ]
+            return FromResult(bindings=[(ref.alias, columns)], rows=rows)
+        if isinstance(ref, ast.Join):
+            return self._eval_join(ref, outer)
+        raise ExecutionError(f"cannot evaluate table reference {type(ref).__name__}")
+
+    def _eval_join(self, join: ast.Join, outer: Scope) -> FromResult:
+        left = self._eval_table_ref(join.left, outer)
+        right = self._eval_table_ref(join.right, outer)
+        left_names = {name for name, _ in left.bindings}
+        for name, _ in right.bindings:
+            if name in left_names:
+                raise ExecutionError(f"duplicate table name or alias {name!r}")
+        bindings = left.bindings + right.bindings
+
+        combined: List[BindingRow] = []
+        if join.kind == "cross":
+            for lrow in left.rows:
+                for rrow in right.rows:
+                    combined.append({**lrow, **rrow})
+            return FromResult(bindings, combined)
+
+        null_right: BindingRow = {
+            name: {column: None for column in columns}
+            for name, columns in right.bindings
+        }
+        for lrow in left.rows:
+            matched = False
+            for rrow in right.rows:
+                candidate = {**lrow, **rrow}
+                scope = RowScope(candidate, parent=outer)
+                if join.condition is None or is_true(
+                    self._evaluator.evaluate(join.condition, scope)
+                ):
+                    combined.append(candidate)
+                    matched = True
+            if join.kind == "left" and not matched:
+                combined.append({**lrow, **null_right})
+        return FromResult(bindings, combined)
+
+    # -- select list ---------------------------------------------------------------------
+
+    def _expand_stars(
+        self,
+        select: List[ast.SelectItem],
+        bindings: List[Tuple[str, List[str]]],
+    ) -> List[ast.SelectItem]:
+        expanded: List[ast.SelectItem] = []
+        for item in select:
+            if isinstance(item.expr, ast.Star):
+                targets = bindings
+                if item.expr.table is not None:
+                    wanted = item.expr.table.lower()
+                    targets = [
+                        (name, cols)
+                        for name, cols in bindings
+                        if name.lower() == wanted
+                    ]
+                    if not targets:
+                        raise ExecutionError(
+                            f"unknown table {item.expr.table!r} in select list"
+                        )
+                if not targets:
+                    raise ExecutionError("SELECT * requires a FROM clause")
+                for name, columns in targets:
+                    for column in columns:
+                        expanded.append(
+                            ast.SelectItem(
+                                expr=ast.ColumnRef(name=column, table=name)
+                            )
+                        )
+            else:
+                expanded.append(item)
+        return expanded
+
+    def _output_names(self, select_items: List[ast.SelectItem]) -> List[str]:
+        names: List[str] = []
+        used: Dict[str, int] = {}
+        for item in select_items:
+            if item.alias:
+                base = item.alias
+            elif isinstance(item.expr, ast.ColumnRef):
+                base = item.expr.name
+            else:
+                base = print_expression(item.expr)
+            lowered = base.lower()
+            count = used.get(lowered, 0)
+            used[lowered] = count + 1
+            names.append(base if count == 0 else f"{base}_{count + 1}")
+        return names
+
+    # -- grouping ------------------------------------------------------------------------
+
+    def _contains_any_aggregate(
+        self, select_items: List[ast.SelectItem], query: ast.Query
+    ) -> bool:
+        exprs = [item.expr for item in select_items]
+        if query.having is not None:
+            exprs.append(query.having)
+        exprs.extend(item.expr for item in query.order_by)
+        return any(ast.contains_aggregate(expr) for expr in exprs)
+
+    def _collect_aggregates(
+        self, select_items: List[ast.SelectItem], query: ast.Query
+    ) -> Dict[str, ast.FunctionCall]:
+        exprs = [item.expr for item in select_items]
+        if query.having is not None:
+            exprs.append(query.having)
+        exprs.extend(item.expr for item in query.order_by)
+        found: Dict[str, ast.FunctionCall] = {}
+        for expr in exprs:
+            for node in ast.walk_expression(expr):
+                if ast.is_aggregate_call(node):
+                    found[print_expression(node)] = node
+        return found
+
+    def _execute_grouped(
+        self,
+        query: ast.Query,
+        select_items: List[ast.SelectItem],
+        from_result: FromResult,
+        outer: Scope,
+    ) -> Tuple[List[Tuple[Value, ...]], List[Tuple[Scope, Optional[Evaluator]]]]:
+        aggregates = self._collect_aggregates(select_items, query)
+
+        # Group rows, preserving first-seen order.
+        groups: Dict[Tuple, List[BindingRow]] = {}
+        order: List[Tuple] = []
+        for row in from_result.rows:
+            scope = RowScope(row, parent=outer)
+            if query.group_by:
+                key = tuple(
+                    _hashable(self._evaluator.evaluate(expr, scope))
+                    for expr in query.group_by
+                )
+            else:
+                key = ()
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+
+        if not query.group_by and not groups:
+            # Aggregates over an empty input produce exactly one row.
+            groups[()] = []
+            order.append(())
+
+        output_rows: List[Tuple[Value, ...]] = []
+        order_scopes: List[Tuple[Scope, Optional[Evaluator]]] = []
+        for key in order:
+            member_rows = groups[key]
+            agg_values: Dict[str, Value] = {}
+            for printed, call in aggregates.items():
+                accumulator = self._build_accumulator(call)
+                for row in member_rows:
+                    scope = RowScope(row, parent=outer)
+                    if call.args and isinstance(call.args[0], ast.Star):
+                        accumulator.add(1)
+                    elif call.args:
+                        accumulator.add(
+                            self._evaluator.evaluate(call.args[0], scope)
+                        )
+                    else:
+                        raise ExecutionError(
+                            f"aggregate {call.name} requires an argument"
+                        )
+                agg_values[printed] = accumulator.result()
+
+            representative: BindingRow
+            if member_rows:
+                representative = member_rows[0]
+            else:
+                representative = {
+                    name: {column: None for column in columns}
+                    for name, columns in from_result.bindings
+                }
+            scope = RowScope(representative, parent=outer)
+            grouped_evaluator = self._evaluator.with_aggregates(agg_values)
+
+            if query.having is not None and not is_true(
+                grouped_evaluator.evaluate(query.having, scope)
+            ):
+                continue
+
+            output_rows.append(
+                tuple(
+                    grouped_evaluator.evaluate(item.expr, scope)
+                    for item in select_items
+                )
+            )
+            order_scopes.append((scope, grouped_evaluator))
+        return output_rows, order_scopes
+
+    def _build_accumulator(self, call: ast.FunctionCall):
+        if len(call.args) != 1:
+            raise ExecutionError(f"aggregate {call.name} takes exactly one argument")
+        star = isinstance(call.args[0], ast.Star)
+        return create_accumulator(call.name, star=star, distinct=call.distinct)
+
+    # -- ordering -------------------------------------------------------------------------
+
+    def _order_rows(
+        self,
+        rows: List[Tuple[Value, ...]],
+        scopes: List[Tuple[Scope, Optional[Evaluator]]],
+        names: List[str],
+        order_by: List[ast.OrderItem],
+    ) -> List[Tuple[Value, ...]]:
+        lowered_names = [name.lower() for name in names]
+
+        def key_values(index: int) -> List[Value]:
+            row = rows[index]
+            scope, grouped_evaluator = scopes[index]
+            evaluator = grouped_evaluator or self._evaluator
+            values = []
+            for item in order_by:
+                values.append(
+                    self._order_key_value(
+                        item.expr, row, lowered_names, scope, evaluator
+                    )
+                )
+            return values
+
+        return _sorted_by_keys(rows, key_values, order_by)
+
+    def _order_output_rows(
+        self,
+        rows: List[Tuple[Value, ...]],
+        names: List[str],
+        order_by: List[ast.OrderItem],
+    ) -> List[Tuple[Value, ...]]:
+        """Order rows of a set operation: only names/positions available."""
+        lowered_names = [name.lower() for name in names]
+
+        def key_values(index: int) -> List[Value]:
+            row = rows[index]
+            values = []
+            for item in order_by:
+                value = self._positional_or_named(item.expr, row, lowered_names)
+                if value is _MISSING:
+                    raise ExecutionError(
+                        "ORDER BY on a set operation must use output column "
+                        "names or positions"
+                    )
+                values.append(value)
+            return values
+
+        return _sorted_by_keys(rows, key_values, order_by)
+
+    def _order_key_value(
+        self,
+        expr: ast.Expr,
+        row: Tuple[Value, ...],
+        lowered_names: List[str],
+        scope: Scope,
+        evaluator: Evaluator,
+    ) -> Value:
+        value = self._positional_or_named(expr, row, lowered_names)
+        if value is not _MISSING:
+            return value
+        return evaluator.evaluate(expr, scope)
+
+    def _positional_or_named(
+        self, expr: ast.Expr, row: Tuple[Value, ...], lowered_names: List[str]
+    ):
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            position = expr.value
+            if not 1 <= position <= len(row):
+                raise ExecutionError(
+                    f"ORDER BY position {position} is out of range"
+                )
+            return row[position - 1]
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            lowered = expr.name.lower()
+            if lowered in lowered_names:
+                return row[lowered_names.index(lowered)]
+        return _MISSING
+
+
+_MISSING = object()
+
+
+def _sorted_by_keys(rows, key_values, order_by: List[ast.OrderItem]):
+    import functools
+
+    indexed = list(range(len(rows)))
+    all_keys = [key_values(i) for i in indexed]
+
+    def compare(a: int, b: int) -> int:
+        for item, left, right in zip(order_by, all_keys[a], all_keys[b]):
+            outcome = _compare_order_values(left, right, item)
+            if outcome != 0:
+                return outcome
+        return a - b  # stable
+
+    return [rows[i] for i in sorted(indexed, key=functools.cmp_to_key(compare))]
+
+
+def _compare_order_values(left: Value, right: Value, item: ast.OrderItem) -> int:
+    if left is None and right is None:
+        return 0
+    nulls_last = item.nulls_last
+    if nulls_last is None:
+        nulls_last = item.descending  # SQLite: NULL is smallest
+    if left is None:
+        return 1 if nulls_last else -1
+    if right is None:
+        return -1 if nulls_last else 1
+    left_rank = _sort_rank(left)
+    right_rank = _sort_rank(right)
+    if left_rank < right_rank:
+        outcome = -1
+    elif left_rank > right_rank:
+        outcome = 1
+    else:
+        outcome = 0
+    return -outcome if item.descending else outcome
+
+
+def _dedupe(rows: List[Tuple[Value, ...]]) -> List[Tuple[Value, ...]]:
+    seen = set()
+    output = []
+    for row in rows:
+        marker = _row_marker(row)
+        if marker not in seen:
+            seen.add(marker)
+            output.append(row)
+    return output
+
+
+def _dedupe_with(rows, companions):
+    seen = set()
+    out_rows = []
+    out_companions = []
+    for row, companion in zip(rows, companions):
+        marker = _row_marker(row)
+        if marker not in seen:
+            seen.add(marker)
+            out_rows.append(row)
+            out_companions.append(companion)
+    return out_rows, out_companions
+
+
+def _apply_limit(rows, limit: Optional[int], offset: Optional[int]):
+    start = offset or 0
+    if limit is None:
+        return rows[start:]
+    return rows[start : start + limit]
+
+
+def _infer_column_type(values: List[Value]) -> DataType:
+    present = [infer_type(v) for v in values if v is not None]
+    if not present:
+        return DataType.TEXT
+    unique = set(present)
+    if unique == {DataType.INTEGER}:
+        return DataType.INTEGER
+    if unique <= {DataType.INTEGER, DataType.REAL}:
+        return DataType.REAL
+    if len(unique) == 1:
+        return unique.pop()
+    return DataType.TEXT
+
+
+def _build_result_table(names: List[str], rows: List[Tuple[Value, ...]]) -> Table:
+    columns = []
+    for index, name in enumerate(names):
+        values = [row[index] for row in rows]
+        columns.append(Column(name=name, dtype=_infer_column_type(values)))
+    schema = TableSchema(name="result", columns=tuple(columns))
+    normalized = []
+    for row in rows:
+        normalized.append(
+            tuple(
+                _normalize_for_type(value, column.dtype)
+                for value, column in zip(row, columns)
+            )
+        )
+    return Table(schema, normalized)
+
+
+def _normalize_for_type(value: Value, dtype: DataType) -> Value:
+    if value is None:
+        return None
+    if dtype is DataType.REAL and isinstance(value, int) and not isinstance(value, bool):
+        return float(value)
+    if dtype is DataType.TEXT and not isinstance(value, str):
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        return str(value)
+    return value

@@ -1,0 +1,444 @@
+"""Expression evaluation with SQL three-valued logic.
+
+The evaluator is shared by every execution path in the repository:
+
+* the ground-truth reference executor,
+* the local compute operators of the hybrid (LLM) plans,
+* the simulated language model itself, which re-parses predicates shipped
+  inside prompts and evaluates them against its world knowledge.
+
+Having exactly one implementation of NULL semantics is what makes the
+zero-noise equivalence property (DESIGN.md §5) testable.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.errors import ExecutionError
+from repro.relational import functions
+from repro.relational.aggregates import is_aggregate_function
+from repro.relational.types import DataType, Value, coerce_value
+from repro.sql import ast
+from repro.sql.printer import print_expression
+
+#: Signature of the hook used to run subqueries: (query, outer_scope) -> Table
+SubqueryExecutor = Callable[[ast.Query, "Scope"], "object"]
+
+
+class Scope:
+    """Resolves column references to values. Scopes chain for correlation."""
+
+    def resolve(self, table: Optional[str], name: str) -> Value:
+        raise NotImplementedError
+
+    def can_resolve(self, table: Optional[str], name: str) -> bool:
+        raise NotImplementedError
+
+
+class EmptyScope(Scope):
+    """Scope with no columns (literal-only expressions)."""
+
+    def resolve(self, table: Optional[str], name: str) -> Value:
+        label = f"{table}.{name}" if table else name
+        raise ExecutionError(f"unknown column {label!r} (empty scope)")
+
+    def can_resolve(self, table: Optional[str], name: str) -> bool:
+        return False
+
+
+EMPTY_SCOPE = EmptyScope()
+
+
+class RowScope(Scope):
+    """Scope over one row of one or more bound tables.
+
+    ``bindings`` maps binding name (table name or alias) to a mapping of
+    column name to value.  Both levels are matched case-insensitively.
+    An optional ``parent`` provides outer-query columns for correlated
+    subqueries.
+    """
+
+    def __init__(
+        self,
+        bindings: Mapping[str, Mapping[str, Value]],
+        parent: Optional[Scope] = None,
+    ):
+        self._bindings: Dict[str, Dict[str, Value]] = {
+            binding.lower(): {column.lower(): value for column, value in columns.items()}
+            for binding, columns in bindings.items()
+        }
+        self._parent = parent
+
+    def resolve(self, table: Optional[str], name: str) -> Value:
+        lowered = name.lower()
+        if table is not None:
+            columns = self._bindings.get(table.lower())
+            if columns is not None and lowered in columns:
+                return columns[lowered]
+            if self._parent is not None:
+                return self._parent.resolve(table, name)
+            raise ExecutionError(f"unknown column {table}.{name}")
+        matches = [
+            columns[lowered] for columns in self._bindings.values() if lowered in columns
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            raise ExecutionError(f"ambiguous column name {name!r}")
+        if self._parent is not None:
+            return self._parent.resolve(table, name)
+        raise ExecutionError(f"unknown column {name!r}")
+
+    def can_resolve(self, table: Optional[str], name: str) -> bool:
+        lowered = name.lower()
+        if table is not None:
+            columns = self._bindings.get(table.lower())
+            if columns is not None and lowered in columns:
+                return True
+        else:
+            count = sum(
+                1 for columns in self._bindings.values() if lowered in columns
+            )
+            if count == 1:
+                return True
+            if count > 1:
+                return True  # ambiguous, but resolvable-with-error downstream
+        if self._parent is not None:
+            return self._parent.can_resolve(table, name)
+        return False
+
+
+def is_true(value: Value) -> bool:
+    """SQL WHERE semantics: only TRUE passes (NULL and FALSE do not)."""
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    raise ExecutionError(f"boolean context requires a boolean, got {value!r}")
+
+
+def like_to_regex(pattern: str) -> "re.Pattern[str]":
+    """Translate a SQL LIKE pattern to an anchored regular expression."""
+    pieces = ["^"]
+    for ch in pattern:
+        if ch == "%":
+            pieces.append(".*")
+        elif ch == "_":
+            pieces.append(".")
+        else:
+            pieces.append(re.escape(ch))
+    pieces.append("$")
+    return re.compile("".join(pieces), re.DOTALL)
+
+
+def _is_number(value: Value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def compare_values(left: Value, right: Value) -> Optional[int]:
+    """SQL comparison: None if either side is NULL, else -1/0/+1.
+
+    Numbers compare across int/float; text with text; bool with bool.
+    Mixed-type comparisons raise :class:`ExecutionError` — upstream
+    validation coerces LLM output to schema types before evaluation.
+    """
+    if left is None or right is None:
+        return None
+    if _is_number(left) and _is_number(right):
+        return (left > right) - (left < right)
+    if isinstance(left, str) and isinstance(right, str):
+        return (left > right) - (left < right)
+    if isinstance(left, bool) and isinstance(right, bool):
+        return (left > right) - (left < right)
+    raise ExecutionError(
+        f"cannot compare {type(left).__name__} with {type(right).__name__}"
+    )
+
+
+class Evaluator:
+    """Evaluates expression ASTs against a :class:`Scope`.
+
+    Args:
+        subquery_executor: hook invoked for every subquery node; receives
+            the subquery AST and the current scope (for correlation) and
+            must return a :class:`~repro.relational.table.Table`.
+        aggregate_values: precomputed aggregate results for the current
+            group, keyed by the printed form of the aggregate call.  The
+            grouping executor populates this; expressions evaluated outside
+            a grouping context must not contain aggregates.
+    """
+
+    def __init__(
+        self,
+        subquery_executor: Optional[SubqueryExecutor] = None,
+        aggregate_values: Optional[Dict[str, Value]] = None,
+    ):
+        self._run_subquery = subquery_executor
+        self._aggregate_values = aggregate_values
+
+    def with_aggregates(self, aggregate_values: Dict[str, Value]) -> "Evaluator":
+        """A copy of this evaluator carrying per-group aggregate results."""
+        return Evaluator(self._run_subquery, aggregate_values)
+
+    # -- dispatcher ------------------------------------------------------------
+
+    def evaluate(self, expr: ast.Expr, scope: Scope) -> Value:
+        method = getattr(self, f"_eval_{type(expr).__name__.lower()}", None)
+        if method is None:
+            raise ExecutionError(f"cannot evaluate {type(expr).__name__} node")
+        return method(expr, scope)
+
+    # -- leaves ------------------------------------------------------------------
+
+    def _eval_literal(self, expr: ast.Literal, scope: Scope) -> Value:
+        return expr.value
+
+    def _eval_columnref(self, expr: ast.ColumnRef, scope: Scope) -> Value:
+        return scope.resolve(expr.table, expr.name)
+
+    def _eval_star(self, expr: ast.Star, scope: Scope) -> Value:
+        raise ExecutionError("'*' is only valid in a select list or COUNT(*)")
+
+    # -- operators -----------------------------------------------------------------
+
+    def _eval_binaryop(self, expr: ast.BinaryOp, scope: Scope) -> Value:
+        op = expr.op
+        if op == "AND":
+            return self._eval_and(expr, scope)
+        if op == "OR":
+            return self._eval_or(expr, scope)
+        left = self.evaluate(expr.left, scope)
+        right = self.evaluate(expr.right, scope)
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            ordering = compare_values(left, right)
+            if ordering is None:
+                return None
+            if op == "=":
+                return ordering == 0
+            if op == "<>":
+                return ordering != 0
+            if op == "<":
+                return ordering < 0
+            if op == "<=":
+                return ordering <= 0
+            if op == ">":
+                return ordering > 0
+            return ordering >= 0
+        if op == "||":
+            if left is None or right is None:
+                return None
+            return _text(left) + _text(right)
+        return self._eval_arithmetic(op, left, right)
+
+    def _eval_and(self, expr: ast.BinaryOp, scope: Scope) -> Value:
+        left = _as_bool(self.evaluate(expr.left, scope))
+        if left is False:
+            return False
+        right = _as_bool(self.evaluate(expr.right, scope))
+        if right is False:
+            return False
+        if left is None or right is None:
+            return None
+        return True
+
+    def _eval_or(self, expr: ast.BinaryOp, scope: Scope) -> Value:
+        left = _as_bool(self.evaluate(expr.left, scope))
+        if left is True:
+            return True
+        right = _as_bool(self.evaluate(expr.right, scope))
+        if right is True:
+            return True
+        if left is None or right is None:
+            return None
+        return False
+
+    def _eval_arithmetic(self, op: str, left: Value, right: Value) -> Value:
+        if left is None or right is None:
+            return None
+        if not _is_number(left) or not _is_number(right):
+            raise ExecutionError(
+                f"arithmetic {op!r} requires numbers, got {left!r} and {right!r}"
+            )
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                return None  # SQLite-compatible: division by zero yields NULL
+            return left / right
+        if op == "%":
+            if right == 0:
+                return None
+            if isinstance(left, int) and isinstance(right, int):
+                return math.fmod(left, right).__int__()
+            return math.fmod(left, right)
+        raise ExecutionError(f"unknown arithmetic operator {op!r}")
+
+    def _eval_unaryop(self, expr: ast.UnaryOp, scope: Scope) -> Value:
+        operand = self.evaluate(expr.operand, scope)
+        if expr.op == "NOT":
+            value = _as_bool(operand)
+            if value is None:
+                return None
+            return not value
+        if expr.op == "-":
+            if operand is None:
+                return None
+            if not _is_number(operand):
+                raise ExecutionError(f"unary minus requires a number, got {operand!r}")
+            return -operand
+        raise ExecutionError(f"unknown unary operator {expr.op!r}")
+
+    # -- predicates --------------------------------------------------------------
+
+    def _eval_between(self, expr: ast.Between, scope: Scope) -> Value:
+        operand = self.evaluate(expr.operand, scope)
+        low = self.evaluate(expr.low, scope)
+        high = self.evaluate(expr.high, scope)
+        lower_cmp = compare_values(operand, low)
+        upper_cmp = compare_values(operand, high)
+        if lower_cmp is None or upper_cmp is None:
+            return None
+        inside = lower_cmp >= 0 and upper_cmp <= 0
+        return not inside if expr.negated else inside
+
+    def _eval_inlist(self, expr: ast.InList, scope: Scope) -> Value:
+        operand = self.evaluate(expr.operand, scope)
+        if operand is None:
+            return None
+        saw_null = False
+        for item in expr.items:
+            value = self.evaluate(item, scope)
+            ordering = compare_values(operand, value)
+            if ordering is None:
+                saw_null = True
+            elif ordering == 0:
+                return False if expr.negated else True
+        if saw_null:
+            return None
+        return True if expr.negated else False
+
+    def _eval_insubquery(self, expr: ast.InSubquery, scope: Scope) -> Value:
+        operand = self.evaluate(expr.operand, scope)
+        if operand is None:
+            return None
+        table = self._execute_subquery(expr.query, scope)
+        if len(table.schema.columns) != 1:
+            raise ExecutionError("IN subquery must return exactly one column")
+        saw_null = False
+        for row in table:
+            ordering = compare_values(operand, row[0])
+            if ordering is None:
+                saw_null = True
+            elif ordering == 0:
+                return False if expr.negated else True
+        if saw_null:
+            return None
+        return True if expr.negated else False
+
+    def _eval_exists(self, expr: ast.Exists, scope: Scope) -> Value:
+        table = self._execute_subquery(expr.query, scope)
+        found = len(table) > 0
+        return not found if expr.negated else found
+
+    def _eval_scalarsubquery(self, expr: ast.ScalarSubquery, scope: Scope) -> Value:
+        table = self._execute_subquery(expr.query, scope)
+        if len(table.schema.columns) != 1:
+            raise ExecutionError("scalar subquery must return exactly one column")
+        if len(table) == 0:
+            return None
+        if len(table) > 1:
+            raise ExecutionError("scalar subquery returned more than one row")
+        return table.rows[0][0]
+
+    def _eval_isnull(self, expr: ast.IsNull, scope: Scope) -> Value:
+        value = self.evaluate(expr.operand, scope)
+        result = value is None
+        return not result if expr.negated else result
+
+    def _eval_like(self, expr: ast.Like, scope: Scope) -> Value:
+        operand = self.evaluate(expr.operand, scope)
+        pattern = self.evaluate(expr.pattern, scope)
+        if operand is None or pattern is None:
+            return None
+        if not isinstance(operand, str) or not isinstance(pattern, str):
+            raise ExecutionError("LIKE requires text operands")
+        matched = like_to_regex(pattern).match(operand) is not None
+        return not matched if expr.negated else matched
+
+    def _eval_casewhen(self, expr: ast.CaseWhen, scope: Scope) -> Value:
+        if expr.operand is not None:
+            subject = self.evaluate(expr.operand, scope)
+            for condition, result in expr.branches:
+                candidate = self.evaluate(condition, scope)
+                ordering = compare_values(subject, candidate)
+                if ordering == 0:
+                    return self.evaluate(result, scope)
+        else:
+            for condition, result in expr.branches:
+                if is_true(self.evaluate(condition, scope)):
+                    return self.evaluate(result, scope)
+        if expr.else_result is not None:
+            return self.evaluate(expr.else_result, scope)
+        return None
+
+    # -- functions -----------------------------------------------------------------
+
+    def _eval_functioncall(self, expr: ast.FunctionCall, scope: Scope) -> Value:
+        name = expr.name.upper()
+        if is_aggregate_function(name):
+            if self._aggregate_values is None:
+                raise ExecutionError(
+                    f"aggregate {name} used outside a grouping context"
+                )
+            key = print_expression(expr)
+            if key not in self._aggregate_values:
+                raise ExecutionError(
+                    f"aggregate {key} was not computed for this group"
+                )
+            return self._aggregate_values[key]
+        if expr.distinct:
+            raise ExecutionError("DISTINCT is only valid in aggregate calls")
+        args = [self.evaluate(arg, scope) for arg in expr.args]
+        return functions.call_scalar(name, args)
+
+    def _eval_cast(self, expr: ast.Cast, scope: Scope) -> Value:
+        value = self.evaluate(expr.operand, scope)
+        return coerce_value(value, DataType.from_name(expr.type_name))
+
+    # -- subquery plumbing --------------------------------------------------------
+
+    def _execute_subquery(self, query: ast.Query, scope: Scope):
+        if self._run_subquery is None:
+            raise ExecutionError("subqueries are not supported in this context")
+        return self._run_subquery(query, scope)
+
+
+def _as_bool(value: Value) -> Optional[bool]:
+    """Coerce to 3VL boolean; numbers count as truthy/falsy (SQLite-style)."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    raise ExecutionError(f"boolean context requires a boolean, got {value!r}")
+
+
+def _text(value: Value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def evaluate_constant(expr: ast.Expr) -> Value:
+    """Evaluate an expression that references no columns or subqueries."""
+    return Evaluator().evaluate(expr, EMPTY_SCOPE)

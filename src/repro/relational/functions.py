@@ -1,0 +1,220 @@
+"""Scalar function library.
+
+All functions follow SQL NULL propagation: any NULL argument yields NULL,
+except where SQL defines otherwise (COALESCE, NULLIF, CONCAT).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ExecutionError
+from repro.relational.types import Value
+
+
+def _null_prop(fn: Callable[..., Value]) -> Callable[..., Value]:
+    """Wrap a function so any NULL argument short-circuits to NULL."""
+
+    def wrapper(*args: Value) -> Value:
+        if any(arg is None for arg in args):
+            return None
+        return fn(*args)
+
+    return wrapper
+
+
+def _as_text(value: Value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(value)
+    return str(value)
+
+
+def _fn_upper(value: Value) -> Value:
+    return _as_text(value).upper()
+
+
+def _fn_lower(value: Value) -> Value:
+    return _as_text(value).lower()
+
+
+def _fn_length(value: Value) -> Value:
+    return len(_as_text(value))
+
+
+def _fn_abs(value: Value) -> Value:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ExecutionError(f"ABS expects a number, got {value!r}")
+    return abs(value)
+
+
+def _fn_round(*args: Value) -> Value:
+    if not args or len(args) > 2:
+        raise ExecutionError("ROUND takes one or two arguments")
+    value = args[0]
+    digits = args[1] if len(args) == 2 else 0
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ExecutionError(f"ROUND expects a number, got {value!r}")
+    if not isinstance(digits, int) or isinstance(digits, bool):
+        raise ExecutionError(f"ROUND digits must be an integer, got {digits!r}")
+    result = round(float(value) + 0.0, digits)
+    return float(result)
+
+
+def _fn_floor(value: Value) -> Value:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ExecutionError(f"FLOOR expects a number, got {value!r}")
+    return int(math.floor(value))
+
+
+def _fn_ceil(value: Value) -> Value:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ExecutionError(f"CEIL expects a number, got {value!r}")
+    return int(math.ceil(value))
+
+
+def _fn_substr(*args: Value) -> Value:
+    if len(args) not in (2, 3):
+        raise ExecutionError("SUBSTR takes two or three arguments")
+    text = _as_text(args[0])
+    start = args[1]
+    if not isinstance(start, int) or isinstance(start, bool):
+        raise ExecutionError("SUBSTR start must be an integer")
+    # SQL SUBSTR is 1-based; 0 and negative starts follow SQLite semantics
+    # loosely: clamp to the beginning.
+    begin = max(start - 1, 0) if start > 0 else 0
+    if len(args) == 3:
+        count = args[2]
+        if not isinstance(count, int) or isinstance(count, bool):
+            raise ExecutionError("SUBSTR length must be an integer")
+        if count < 0:
+            count = 0
+        return text[begin : begin + count]
+    return text[begin:]
+
+
+def _fn_trim(value: Value) -> Value:
+    return _as_text(value).strip()
+
+
+def _fn_replace(value: Value, old: Value, new: Value) -> Value:
+    return _as_text(value).replace(_as_text(old), _as_text(new))
+
+
+def _fn_coalesce(*args: Value) -> Value:
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _fn_nullif(left: Value, right: Value) -> Value:
+    if left is None:
+        return None
+    if right is not None and left == right:
+        return None
+    return left
+
+
+def _fn_concat(*args: Value) -> Value:
+    # SQL CONCAT skips NULLs (MySQL returns NULL; we follow the more
+    # forgiving CONCAT_WS-like behaviour that LLM post-processing prefers).
+    return "".join(_as_text(arg) for arg in args if arg is not None)
+
+
+def _fn_sqrt(value: Value) -> Value:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ExecutionError(f"SQRT expects a number, got {value!r}")
+    if value < 0:
+        return None
+    return math.sqrt(value)
+
+
+def _fn_power(base: Value, exponent: Value) -> Value:
+    for arg in (base, exponent):
+        if not isinstance(arg, (int, float)) or isinstance(arg, bool):
+            raise ExecutionError(f"POWER expects numbers, got {arg!r}")
+    try:
+        result = math.pow(base, exponent)
+    except (OverflowError, ValueError):
+        return None
+    return result
+
+
+def _fn_sign(value: Value) -> Value:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ExecutionError(f"SIGN expects a number, got {value!r}")
+    return (value > 0) - (value < 0)
+
+
+_REGISTRY: Dict[str, Callable[..., Value]] = {
+    "UPPER": _null_prop(_fn_upper),
+    "LOWER": _null_prop(_fn_lower),
+    "LENGTH": _null_prop(_fn_length),
+    "ABS": _null_prop(_fn_abs),
+    "ROUND": _null_prop(_fn_round),
+    "FLOOR": _null_prop(_fn_floor),
+    "CEIL": _null_prop(_fn_ceil),
+    "CEILING": _null_prop(_fn_ceil),
+    "SUBSTR": _null_prop(_fn_substr),
+    "SUBSTRING": _null_prop(_fn_substr),
+    "TRIM": _null_prop(_fn_trim),
+    "REPLACE": _null_prop(_fn_replace),
+    "COALESCE": _fn_coalesce,
+    "NULLIF": _fn_nullif,
+    "CONCAT": _fn_concat,
+    "SQRT": _null_prop(_fn_sqrt),
+    "POWER": _null_prop(_fn_power),
+    "POW": _null_prop(_fn_power),
+    "SIGN": _null_prop(_fn_sign),
+}
+
+_ARITY: Dict[str, Optional[List[int]]] = {
+    "UPPER": [1],
+    "LOWER": [1],
+    "LENGTH": [1],
+    "ABS": [1],
+    "ROUND": [1, 2],
+    "FLOOR": [1],
+    "CEIL": [1],
+    "CEILING": [1],
+    "SUBSTR": [2, 3],
+    "SUBSTRING": [2, 3],
+    "TRIM": [1],
+    "REPLACE": [3],
+    "COALESCE": None,  # variadic, >= 1
+    "NULLIF": [2],
+    "CONCAT": None,
+    "SQRT": [1],
+    "POWER": [2],
+    "POW": [2],
+    "SIGN": [1],
+}
+
+
+def is_scalar_function(name: str) -> bool:
+    """True if ``name`` is a registered scalar function."""
+    return name.upper() in _REGISTRY
+
+
+def scalar_function_names() -> List[str]:
+    """Sorted canonical names (for docs and binder error messages)."""
+    return sorted(_REGISTRY)
+
+
+def call_scalar(name: str, args: List[Value]) -> Value:
+    """Invoke a scalar function with arity checking."""
+    canonical = name.upper()
+    if canonical not in _REGISTRY:
+        raise ExecutionError(f"unknown scalar function {name!r}")
+    allowed = _ARITY[canonical]
+    if allowed is not None and len(args) not in allowed:
+        raise ExecutionError(
+            f"{canonical} takes {' or '.join(map(str, allowed))} arguments, "
+            f"got {len(args)}"
+        )
+    if allowed is None and not args:
+        raise ExecutionError(f"{canonical} requires at least one argument")
+    return _REGISTRY[canonical](*args)

@@ -1,0 +1,185 @@
+"""Column and table schema definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.types import DataType, Value, coerce_value, is_instance_of
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition.
+
+    Attributes:
+        name: column name (case-sensitive as written, matched
+            case-insensitively during binding).
+        dtype: storage type.
+        nullable: whether NULL values are allowed.
+        description: natural-language gloss; surfaced verbatim in prompts so
+            the language model knows what the column means.
+    """
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+    description: str = ""
+
+    def render_ddl(self) -> str:
+        """``name TYPE [NOT NULL]`` fragment used in DDL and prompts."""
+        text = f"{self.name} {self.dtype.value}"
+        if not self.nullable:
+            text += " NOT NULL"
+        return text
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of a (physical or virtual) table.
+
+    Attributes:
+        name: table name.
+        columns: ordered column definitions.
+        primary_key: names of the key columns (subset of ``columns``);
+            virtual tables require a key so lookup prompts can address rows.
+        description: natural-language gloss surfaced in prompts.
+    """
+
+    name: str
+    columns: Tuple[Column, ...]
+    primary_key: Tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.columns:
+            raise SchemaError(f"table {self.name!r} must have at least one column")
+        seen = set()
+        for column in self.columns:
+            lowered = column.name.lower()
+            if lowered in seen:
+                raise SchemaError(
+                    f"duplicate column {column.name!r} in table {self.name!r}"
+                )
+            seen.add(lowered)
+        for key in self.primary_key:
+            if key.lower() not in seen:
+                raise SchemaError(
+                    f"primary key column {key!r} is not a column of {self.name!r}"
+                )
+
+    @staticmethod
+    def build(
+        name: str,
+        columns: Sequence[Tuple[str, DataType]] | Sequence[Column],
+        primary_key: Sequence[str] = (),
+        description: str = "",
+    ) -> "TableSchema":
+        """Convenience constructor from ``(name, dtype)`` pairs or Columns."""
+        built: List[Column] = []
+        for item in columns:
+            if isinstance(item, Column):
+                built.append(item)
+            else:
+                col_name, dtype = item
+                built.append(Column(name=col_name, dtype=dtype))
+        return TableSchema(
+            name=name,
+            columns=tuple(built),
+            primary_key=tuple(primary_key),
+            description=description,
+        )
+
+    # -- lookups -------------------------------------------------------------
+
+    @property
+    def column_names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        return self.find_column(name) is not None
+
+    def find_column(self, name: str) -> Optional[Column]:
+        """Case-insensitive column lookup."""
+        lowered = name.lower()
+        for column in self.columns:
+            if column.name.lower() == lowered:
+                return column
+        return None
+
+    def column(self, name: str) -> Column:
+        found = self.find_column(name)
+        if found is None:
+            raise SchemaError(f"no column {name!r} in table {self.name!r}")
+        return found
+
+    def column_index(self, name: str) -> int:
+        lowered = name.lower()
+        for index, column in enumerate(self.columns):
+            if column.name.lower() == lowered:
+                return index
+        raise SchemaError(f"no column {name!r} in table {self.name!r}")
+
+    def key_indices(self) -> List[int]:
+        return [self.column_index(name) for name in self.primary_key]
+
+    def render_ddl(self) -> str:
+        """CREATE TABLE-style rendering used in docs and prompts."""
+        body = ", ".join(column.render_ddl() for column in self.columns)
+        if self.primary_key:
+            body += f", PRIMARY KEY ({', '.join(self.primary_key)})"
+        return f"CREATE TABLE {self.name} ({body})"
+
+    def render_signature(self) -> str:
+        """Compact ``name(col TYPE, ...)`` form used inside prompts."""
+        body = ", ".join(f"{c.name} {c.dtype.value}" for c in self.columns)
+        return f"{self.name}({body})"
+
+    # -- row validation --------------------------------------------------------
+
+    def validate_row(self, row: Sequence[Value], *, coerce: bool = False) -> Tuple[Value, ...]:
+        """Check (optionally coerce) a row against this schema.
+
+        Returns the validated row tuple; raises :class:`SchemaError` when a
+        value has the wrong type (or violates NOT NULL).
+        """
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"row arity {len(row)} does not match "
+                f"{len(self.columns)} columns of {self.name!r}"
+            )
+        output: List[Value] = []
+        for value, column in zip(row, self.columns):
+            if value is None:
+                if not column.nullable:
+                    raise SchemaError(
+                        f"NULL in NOT NULL column {column.name!r} of {self.name!r}"
+                    )
+                output.append(None)
+                continue
+            if is_instance_of(value, column.dtype):
+                output.append(value)
+                continue
+            # Integers are acceptable in REAL columns without explicit coercion.
+            if column.dtype is DataType.REAL and isinstance(value, int) and not isinstance(value, bool):
+                output.append(float(value))
+                continue
+            if coerce:
+                coerced = coerce_value(value, column.dtype)
+                if coerced is None:
+                    raise SchemaError(
+                        f"cannot coerce {value!r} to {column.dtype.value} "
+                        f"for column {column.name!r} of {self.name!r}"
+                    )
+                output.append(coerced)
+                continue
+            raise SchemaError(
+                f"value {value!r} has wrong type for column "
+                f"{column.name!r} ({column.dtype.value}) of {self.name!r}"
+            )
+        return tuple(output)
+
+    def row_as_dict(self, row: Sequence[Value]) -> Dict[str, Value]:
+        """Zip a row tuple with column names."""
+        return {column.name: value for column, value in zip(self.columns, row)}

@@ -1,0 +1,144 @@
+"""In-memory table: a schema plus a list of row tuples."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.schema import TableSchema
+from repro.relational.types import Value
+
+
+class Table:
+    """An ordered bag of rows conforming to a :class:`TableSchema`.
+
+    Rows are tuples in schema column order.  The class is deliberately
+    small: it is the currency between the ground-truth executor, the
+    simulated LLM's world, and the evaluation metrics.
+    """
+
+    def __init__(self, schema: TableSchema, rows: Optional[Iterable[Sequence[Value]]] = None):
+        self.schema = schema
+        self._rows: List[Tuple[Value, ...]] = []
+        if rows is not None:
+            for row in rows:
+                self.insert(row)
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_dicts(
+        cls, schema: TableSchema, records: Iterable[Mapping[str, Value]]
+    ) -> "Table":
+        """Build a table from mappings of column name to value."""
+        table = cls(schema)
+        names = schema.column_names
+        for record in records:
+            unknown = set(record) - set(names)
+            if unknown:
+                raise SchemaError(
+                    f"record has unknown columns {sorted(unknown)} "
+                    f"for table {schema.name!r}"
+                )
+            table.insert(tuple(record.get(name) for name in names))
+        return table
+
+    def insert(self, row: Sequence[Value], *, coerce: bool = False) -> None:
+        """Validate and append one row."""
+        self._rows.append(self.schema.validate_row(row, coerce=coerce))
+
+    # -- access -------------------------------------------------------------------
+
+    @property
+    def rows(self) -> List[Tuple[Value, ...]]:
+        """The underlying row list (do not mutate)."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Tuple[Value, ...]]:
+        return iter(self._rows)
+
+    def column_values(self, name: str) -> List[Value]:
+        """All values of one column, in row order."""
+        index = self.schema.column_index(name)
+        return [row[index] for row in self._rows]
+
+    def to_dicts(self) -> List[Dict[str, Value]]:
+        """Rows as dictionaries keyed by column name."""
+        return [self.schema.row_as_dict(row) for row in self._rows]
+
+    # -- keyed access -------------------------------------------------------------
+
+    def key_of(self, row: Sequence[Value]) -> Tuple[Value, ...]:
+        """Primary-key projection of a row."""
+        if not self.schema.primary_key:
+            raise SchemaError(f"table {self.schema.name!r} has no primary key")
+        return tuple(row[i] for i in self.schema.key_indices())
+
+    def build_key_index(self) -> Dict[Tuple[Value, ...], Tuple[Value, ...]]:
+        """Map primary key tuple -> full row (last write wins)."""
+        return {self.key_of(row): row for row in self._rows}
+
+    def lookup(self, key: Tuple[Value, ...]) -> Optional[Tuple[Value, ...]]:
+        """Linear-scan primary key lookup (tables here are small)."""
+        indices = self.schema.key_indices()
+        for row in self._rows:
+            if tuple(row[i] for i in indices) == key:
+                return row
+        return None
+
+    # -- utility ---------------------------------------------------------------------
+
+    def sorted_rows(self) -> List[Tuple[Value, ...]]:
+        """Rows sorted with NULLs first; used for order-insensitive equality."""
+
+        def sort_key(row: Tuple[Value, ...]):
+            return tuple(
+                (value is not None, _rankable(value)) for value in row
+            )
+
+        return sorted(self._rows, key=sort_key)
+
+    def render_text(self, max_rows: int = 20) -> str:
+        """Fixed-width text rendering for examples and reports."""
+        names = self.schema.column_names
+        shown = self._rows[:max_rows]
+        cells = [[_display(value) for value in row] for row in shown]
+        widths = [len(name) for name in names]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(name.ljust(widths[i]) for i, name in enumerate(names))
+        rule = "-+-".join("-" * width for width in widths)
+        lines = [header, rule]
+        for row in cells:
+            lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if len(self._rows) > max_rows:
+            lines.append(f"... ({len(self._rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Table({self.schema.name!r}, rows={len(self._rows)})"
+
+
+def _rankable(value: Value):
+    """Make heterogeneous values sortable: numbers before text before bools."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (3, int(value))
+    if isinstance(value, (int, float)):
+        return (1, float(value))
+    return (2, str(value))
+
+
+def _display(value: Value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)

@@ -1,0 +1,157 @@
+"""SQL data types and value coercion.
+
+The engine supports four storage types.  Values are plain Python objects:
+``int``, ``float``, ``str``, ``bool`` and ``None`` for SQL NULL.  All
+coercions used by CAST and by LLM-response validation live here so the
+rules are identical everywhere.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Optional, Union
+
+Value = Union[int, float, str, bool, None]
+
+
+class DataType(enum.Enum):
+    """Storage type of a column."""
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+
+    @classmethod
+    def from_name(cls, name: str) -> "DataType":
+        """Map a SQL type name (as parsed) to a DataType."""
+        upper = name.upper()
+        aliases = {
+            "INTEGER": cls.INTEGER,
+            "INT": cls.INTEGER,
+            "REAL": cls.REAL,
+            "FLOAT": cls.REAL,
+            "DOUBLE": cls.REAL,
+            "TEXT": cls.TEXT,
+            "VARCHAR": cls.TEXT,
+            "STRING": cls.TEXT,
+            "BOOLEAN": cls.BOOLEAN,
+            "BOOL": cls.BOOLEAN,
+        }
+        if upper not in aliases:
+            raise ValueError(f"unknown SQL type name: {name!r}")
+        return aliases[upper]
+
+
+def infer_type(value: Value) -> Optional[DataType]:
+    """Infer the DataType of a Python value; None for SQL NULL."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.INTEGER
+    if isinstance(value, float):
+        return DataType.REAL
+    if isinstance(value, str):
+        return DataType.TEXT
+    raise TypeError(f"unsupported Python value type: {type(value).__name__}")
+
+
+def is_instance_of(value: Value, dtype: DataType) -> bool:
+    """True if ``value`` already has storage type ``dtype`` (NULL fits all)."""
+    if value is None:
+        return True
+    if dtype is DataType.BOOLEAN:
+        return isinstance(value, bool)
+    if dtype is DataType.INTEGER:
+        return isinstance(value, int) and not isinstance(value, bool)
+    if dtype is DataType.REAL:
+        return isinstance(value, float)
+    if dtype is DataType.TEXT:
+        return isinstance(value, str)
+    return False
+
+
+_TRUE_WORDS = frozenset({"true", "t", "yes", "y", "1"})
+_FALSE_WORDS = frozenset({"false", "f", "no", "n", "0"})
+
+
+def coerce_value(value: Value, dtype: DataType, *, strict: bool = False) -> Value:
+    """Coerce ``value`` to ``dtype``.
+
+    Non-strict mode (the default) follows CAST semantics and additionally
+    accepts the loose text forms an LLM emits ("1,234", "true", "3.5 ").
+    Returns ``None`` when the value cannot be represented (non-strict), or
+    raises ``ValueError`` (strict).
+    """
+    if value is None:
+        return None
+    if is_instance_of(value, dtype):
+        return value
+    try:
+        if dtype is DataType.TEXT:
+            if isinstance(value, bool):
+                return "true" if value else "false"
+            if isinstance(value, float) and value.is_integer():
+                return str(value)
+            return str(value)
+        if dtype is DataType.INTEGER:
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, float):
+                if math.isnan(value) or math.isinf(value):
+                    raise ValueError("non-finite float")
+                return int(value)
+            if isinstance(value, str):
+                text = value.strip().replace(",", "")
+                if not text:
+                    raise ValueError("empty string")
+                return int(float(text)) if "." in text or "e" in text.lower() else int(text)
+            return int(value)
+        if dtype is DataType.REAL:
+            if isinstance(value, bool):
+                return float(value)
+            if isinstance(value, (int, float)):
+                return float(value)
+            if isinstance(value, str):
+                text = value.strip().replace(",", "")
+                if not text:
+                    raise ValueError("empty string")
+                return float(text)
+            return float(value)
+        if dtype is DataType.BOOLEAN:
+            if isinstance(value, (int, float)):
+                return bool(value)
+            if isinstance(value, str):
+                word = value.strip().lower()
+                if word in _TRUE_WORDS:
+                    return True
+                if word in _FALSE_WORDS:
+                    return False
+                raise ValueError(f"not a boolean word: {value!r}")
+    except (ValueError, TypeError):
+        if strict:
+            raise
+        return None
+    raise TypeError(f"unknown data type: {dtype}")
+
+
+def values_equal(left: Value, right: Value, *, float_tolerance: float = 0.0) -> bool:
+    """Equality used by metrics: numeric cross-type, optional tolerance.
+
+    NULLs compare equal to each other here (metric semantics, not SQL).
+    """
+    if left is None and right is None:
+        return True
+    if left is None or right is None:
+        return False
+    if isinstance(left, bool) or isinstance(right, bool):
+        return isinstance(left, bool) and isinstance(right, bool) and left == right
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        if float_tolerance > 0.0:
+            scale = max(abs(float(left)), abs(float(right)), 1.0)
+            return abs(float(left) - float(right)) <= float_tolerance * scale
+        return float(left) == float(right)
+    return left == right

@@ -1,0 +1,32 @@
+"""SQL frontend: lexer, parser, AST, printer and binder.
+
+This package implements, from scratch, the SQL subset the engine supports:
+
+* ``SELECT [DISTINCT] expr [AS alias], ...``
+* ``FROM table [alias]`` with ``INNER/LEFT/CROSS JOIN ... ON``
+* ``WHERE`` with full boolean expressions (3-valued logic downstream)
+* ``GROUP BY`` / ``HAVING`` with the standard aggregate functions
+* ``ORDER BY expr [ASC|DESC] [NULLS FIRST|LAST]``, ``LIMIT`` / ``OFFSET``
+* scalar subqueries, ``IN (SELECT ...)``, ``EXISTS``, ``UNION [ALL]``
+* ``CASE WHEN``, ``CAST``, ``BETWEEN``, ``LIKE``, ``IS [NOT] NULL``
+
+The printer renders ASTs back to SQL text; ``parse(print(q))`` is an
+identity, which the engine exploits to ship predicates to the LLM inside
+prompts and re-parse them on the model side (see ``repro.llm.simulated``).
+"""
+
+from repro.sql.lexer import Lexer, tokenize
+from repro.sql.parser import Parser, parse, parse_expression
+from repro.sql.printer import to_sql
+from repro.sql.binder import Binder, BoundQuery
+
+__all__ = [
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse",
+    "parse_expression",
+    "to_sql",
+    "Binder",
+    "BoundQuery",
+]

@@ -1,0 +1,329 @@
+"""Abstract syntax tree for the supported SQL subset.
+
+All nodes are plain dataclasses with structural equality, so round-trip
+tests can assert ``parse(to_sql(node)) == node``.  Expression nodes carry no
+type information; typing happens in the binder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+class Node:
+    """Marker base class for every AST node."""
+
+
+class Expr(Node):
+    """Marker base class for expression nodes."""
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=True)
+class Literal(Expr):
+    """A constant: string, int, float, bool or NULL (value None)."""
+
+    value: Union[str, int, float, bool, None]
+
+
+@dataclass(eq=True)
+class ColumnRef(Expr):
+    """Reference to a column, optionally qualified by table or alias."""
+
+    name: str
+    table: Optional[str] = None
+
+    def key(self) -> str:
+        """Qualified display form used in error messages."""
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(eq=True)
+class Star(Expr):
+    """``*`` or ``table.*`` in a select list or ``COUNT(*)``."""
+
+    table: Optional[str] = None
+
+
+@dataclass(eq=True)
+class BinaryOp(Expr):
+    """Binary operator application (arithmetic, comparison, AND/OR, ||)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(eq=True)
+class UnaryOp(Expr):
+    """Unary operator application: NOT, unary minus or plus."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(eq=True)
+class FunctionCall(Expr):
+    """Scalar or aggregate function call.
+
+    ``COUNT(*)`` is represented with a single :class:`Star` argument.
+    """
+
+    name: str
+    args: List[Expr] = field(default_factory=list)
+    distinct: bool = False
+
+
+@dataclass(eq=True)
+class Cast(Expr):
+    """``CAST(expr AS type_name)``."""
+
+    operand: Expr
+    type_name: str
+
+
+@dataclass(eq=True)
+class Between(Expr):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(eq=True)
+class InList(Expr):
+    """``expr [NOT] IN (item, ...)``."""
+
+    operand: Expr
+    items: List[Expr]
+    negated: bool = False
+
+
+@dataclass(eq=True)
+class InSubquery(Expr):
+    """``expr [NOT] IN (SELECT ...)``."""
+
+    operand: Expr
+    query: "Query"
+    negated: bool = False
+
+
+@dataclass(eq=True)
+class Exists(Expr):
+    """``[NOT] EXISTS (SELECT ...)``."""
+
+    query: "Query"
+    negated: bool = False
+
+
+@dataclass(eq=True)
+class ScalarSubquery(Expr):
+    """A parenthesized SELECT used as a scalar value."""
+
+    query: "Query"
+
+
+@dataclass(eq=True)
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(eq=True)
+class Like(Expr):
+    """``expr [NOT] LIKE pattern`` with ``%`` and ``_`` wildcards."""
+
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass(eq=True)
+class CaseWhen(Expr):
+    """``CASE [operand] WHEN ... THEN ... [ELSE ...] END``."""
+
+    operand: Optional[Expr]
+    branches: List[Tuple[Expr, Expr]]
+    else_result: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# Table references
+# ---------------------------------------------------------------------------
+
+
+class TableRef(Node):
+    """Marker base class for FROM-clause items."""
+
+
+@dataclass(eq=True)
+class NamedTable(TableRef):
+    """A base (physical or virtual) table, optionally aliased."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding_name(self) -> str:
+        """Name under which columns of this table are visible."""
+        return self.alias or self.name
+
+
+@dataclass(eq=True)
+class SubqueryTable(TableRef):
+    """A derived table: ``(SELECT ...) alias``."""
+
+    query: "Query"
+    alias: str
+
+
+@dataclass(eq=True)
+class Join(TableRef):
+    """A join between two table references.
+
+    ``kind`` is one of ``"inner"``, ``"left"``, ``"cross"``.
+    ``condition`` is None only for cross joins.
+    """
+
+    left: TableRef
+    right: TableRef
+    kind: str = "inner"
+    condition: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# Query structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=True)
+class SelectItem(Node):
+    """One item of the SELECT list."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(eq=True)
+class OrderItem(Node):
+    """One ORDER BY key."""
+
+    expr: Expr
+    descending: bool = False
+    nulls_last: Optional[bool] = None  # None = dialect default
+
+
+@dataclass(eq=True)
+class Query(Node):
+    """A single SELECT statement (no set operations)."""
+
+    select: List[SelectItem]
+    from_clause: Optional[TableRef] = None
+    where: Optional[Expr] = None
+    group_by: List[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+
+
+@dataclass(eq=True)
+class SetOperation(Node):
+    """``query UNION [ALL] query`` (also INTERSECT/EXCEPT).
+
+    Left-associative chains parse into left-nested SetOperations.  ORDER
+    BY/LIMIT attached to the whole set operation live here, not on the
+    operand queries.
+    """
+
+    op: str  # "union" | "intersect" | "except"
+    left: Union["Query", "SetOperation"]
+    right: "Query"
+    all: bool = False
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+
+
+Statement = Union[Query, SetOperation]
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def expression_children(expr: Expr) -> List[Expr]:
+    """Direct sub-expressions of ``expr`` (excluding subquery bodies)."""
+    if isinstance(expr, BinaryOp):
+        return [expr.left, expr.right]
+    if isinstance(expr, UnaryOp):
+        return [expr.operand]
+    if isinstance(expr, FunctionCall):
+        return list(expr.args)
+    if isinstance(expr, Cast):
+        return [expr.operand]
+    if isinstance(expr, Between):
+        return [expr.operand, expr.low, expr.high]
+    if isinstance(expr, InList):
+        return [expr.operand, *expr.items]
+    if isinstance(expr, InSubquery):
+        return [expr.operand]
+    if isinstance(expr, IsNull):
+        return [expr.operand]
+    if isinstance(expr, Like):
+        return [expr.operand, expr.pattern]
+    if isinstance(expr, CaseWhen):
+        children: List[Expr] = []
+        if expr.operand is not None:
+            children.append(expr.operand)
+        for condition, result in expr.branches:
+            children.extend((condition, result))
+        if expr.else_result is not None:
+            children.append(expr.else_result)
+        return children
+    return []
+
+
+def walk_expression(expr: Expr):
+    """Yield ``expr`` and all nested sub-expressions, depth-first."""
+    yield expr
+    for child in expression_children(expr):
+        yield from walk_expression(child)
+
+
+def collect_column_refs(expr: Expr) -> List[ColumnRef]:
+    """All :class:`ColumnRef` nodes in ``expr`` (excluding subquery bodies)."""
+    return [node for node in walk_expression(expr) if isinstance(node, ColumnRef)]
+
+
+def contains_subquery(expr: Expr) -> bool:
+    """True if ``expr`` contains any form of subquery."""
+    return any(
+        isinstance(node, (InSubquery, Exists, ScalarSubquery))
+        for node in walk_expression(expr)
+    )
+
+
+#: Aggregate function names recognized across the engine.
+AGGREGATE_FUNCTIONS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+def is_aggregate_call(expr: Expr) -> bool:
+    """True if ``expr`` is a call to an aggregate function."""
+    return isinstance(expr, FunctionCall) and expr.name.upper() in AGGREGATE_FUNCTIONS
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """True if any node in ``expr`` is an aggregate call."""
+    return any(is_aggregate_call(node) for node in walk_expression(expr))

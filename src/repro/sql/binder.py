@@ -1,0 +1,578 @@
+"""Semantic analysis: resolve names against a catalog and type the output.
+
+The binder takes a parsed statement plus a
+:class:`~repro.relational.catalog.Catalog` and produces a
+:class:`BoundQuery`:
+
+* every :class:`~repro.sql.ast.ColumnRef` is rewritten to carry its binding
+  (table alias) explicitly, so downstream planning never guesses scope;
+* unknown tables/columns and ambiguous names raise
+  :class:`~repro.errors.BindError` with precise messages;
+* aggregate misuse is rejected (aggregates in WHERE, HAVING without
+  grouping context, nested aggregates);
+* an output schema (column names and inferred types) is computed.
+
+Binding returns *new* AST nodes; the input statement is never mutated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import BindError
+from repro.relational import functions as scalar_functions
+from repro.relational.aggregates import is_aggregate_function
+from repro.relational.catalog import Catalog
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType, infer_type
+from repro.sql import ast
+from repro.sql.printer import print_expression
+
+
+@dataclass
+class BindingScope:
+    """Tables visible at one query level; chains to outer levels."""
+
+    tables: Dict[str, TableSchema] = field(default_factory=dict)
+    parent: Optional["BindingScope"] = None
+
+    def add(self, binding: str, schema: TableSchema) -> None:
+        key = binding.lower()
+        if key in self.tables:
+            raise BindError(f"duplicate table name or alias {binding!r}")
+        self.tables[key] = schema
+
+    def resolve_column(
+        self, table: Optional[str], name: str
+    ) -> Tuple[str, Column]:
+        """Resolve to (binding name, column), searching outward."""
+        if table is not None:
+            key = table.lower()
+            scope: Optional[BindingScope] = self
+            while scope is not None:
+                if key in scope.tables:
+                    schema = scope.tables[key]
+                    column = schema.find_column(name)
+                    if column is None:
+                        raise BindError(
+                            f"no column {name!r} in table {table!r} "
+                            f"(columns: {', '.join(schema.column_names)})"
+                        )
+                    return key, column
+                scope = scope.parent
+            raise BindError(f"unknown table or alias {table!r}")
+        scope = self
+        while scope is not None:
+            matches = [
+                (binding, schema.find_column(name))
+                for binding, schema in scope.tables.items()
+                if schema.has_column(name)
+            ]
+            if len(matches) > 1:
+                candidates = ", ".join(sorted(binding for binding, _ in matches))
+                raise BindError(
+                    f"ambiguous column {name!r} (found in {candidates})"
+                )
+            if matches:
+                binding, column = matches[0]
+                assert column is not None
+                return binding, column
+            scope = scope.parent
+        raise BindError(f"unknown column {name!r}")
+
+    def bindings_in_order(self) -> List[Tuple[str, TableSchema]]:
+        return list(self.tables.items())
+
+
+@dataclass
+class BoundQuery:
+    """Result of binding: rewritten AST plus derived metadata."""
+
+    query: ast.Statement
+    output_columns: List[Column]
+    #: binding name (lower-cased) -> schema, this level only
+    tables: Dict[str, TableSchema]
+    uses_aggregates: bool
+    has_group_by: bool
+
+    @property
+    def output_names(self) -> List[str]:
+        return [column.name for column in self.output_columns]
+
+
+class Binder:
+    """Binds statements against a catalog."""
+
+    def __init__(self, catalog: Catalog):
+        self._catalog = catalog
+
+    # -- public API -------------------------------------------------------------
+
+    def bind(self, statement: ast.Statement) -> BoundQuery:
+        """Bind a statement; raises BindError on any semantic problem."""
+        if isinstance(statement, ast.SetOperation):
+            return self._bind_set_operation(statement)
+        return self._bind_query(statement, parent=None)
+
+    # -- set operations ------------------------------------------------------------
+
+    def _bind_set_operation(self, setop: ast.SetOperation) -> BoundQuery:
+        left = (
+            self._bind_set_operation(setop.left)
+            if isinstance(setop.left, ast.SetOperation)
+            else self._bind_query(setop.left, parent=None)
+        )
+        right = self._bind_query(setop.right, parent=None)
+        if len(left.output_columns) != len(right.output_columns):
+            raise BindError(
+                f"{setop.op.upper()} operands have different column counts "
+                f"({len(left.output_columns)} vs {len(right.output_columns)})"
+            )
+        for item in setop.order_by:
+            self._check_setop_order_item(item, left.output_columns)
+        bound = ast.SetOperation(
+            op=setop.op,
+            left=left.query,
+            right=right.query,  # type: ignore[arg-type]
+            all=setop.all,
+            order_by=list(setop.order_by),
+            limit=setop.limit,
+            offset=setop.offset,
+        )
+        return BoundQuery(
+            query=bound,
+            output_columns=list(left.output_columns),
+            tables={},
+            uses_aggregates=left.uses_aggregates or right.uses_aggregates,
+            has_group_by=False,
+        )
+
+    def _check_setop_order_item(
+        self, item: ast.OrderItem, columns: List[Column]
+    ) -> None:
+        expr = item.expr
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            if not 1 <= expr.value <= len(columns):
+                raise BindError(f"ORDER BY position {expr.value} is out of range")
+            return
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            names = {column.name.lower() for column in columns}
+            if expr.name.lower() in names:
+                return
+        raise BindError(
+            "ORDER BY on a set operation must use output column names or positions"
+        )
+
+    # -- queries -----------------------------------------------------------------------
+
+    def _bind_query(
+        self, query: ast.Query, parent: Optional[BindingScope]
+    ) -> BoundQuery:
+        scope = BindingScope(parent=parent)
+        from_clause = None
+        if query.from_clause is not None:
+            from_clause = self._bind_table_ref(query.from_clause, scope)
+
+        where = None
+        if query.where is not None:
+            where = self._bind_expression(query.where, scope)
+            if ast.contains_aggregate(where):
+                raise BindError("aggregates are not allowed in WHERE")
+
+        select_items = self._expand_stars(query.select, scope)
+        bound_select = [
+            ast.SelectItem(
+                expr=self._bind_expression(item.expr, scope), alias=item.alias
+            )
+            for item in select_items
+        ]
+
+        group_by = [self._bind_expression(expr, scope) for expr in query.group_by]
+        for expr in group_by:
+            if ast.contains_aggregate(expr):
+                raise BindError("aggregates are not allowed in GROUP BY")
+
+        having = None
+        if query.having is not None:
+            having = self._bind_expression(query.having, scope)
+
+        uses_aggregates = any(
+            ast.contains_aggregate(item.expr) for item in bound_select
+        )
+        if having is not None:
+            uses_aggregates = uses_aggregates or ast.contains_aggregate(having)
+            if not (group_by or uses_aggregates):
+                raise BindError("HAVING requires GROUP BY or aggregates")
+
+        output_names = self._output_names(bound_select)
+        order_by = [
+            self._bind_order_item(item, scope, output_names, bound_select)
+            for item in query.order_by
+        ]
+        uses_aggregates = uses_aggregates or any(
+            ast.contains_aggregate(item.expr) for item in order_by
+        )
+
+        if group_by or uses_aggregates:
+            self._check_grouped_select(bound_select, group_by, having, order_by)
+
+        for item in bound_select:
+            self._check_no_nested_aggregates(item.expr)
+
+        bound_query = ast.Query(
+            select=bound_select,
+            from_clause=from_clause,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=query.limit,
+            offset=query.offset,
+            distinct=query.distinct,
+        )
+        output_columns = [
+            Column(name=name, dtype=self._infer_expr_type(item.expr, scope))
+            for name, item in zip(output_names, bound_select)
+        ]
+        return BoundQuery(
+            query=bound_query,
+            output_columns=output_columns,
+            tables=dict(scope.tables),
+            uses_aggregates=uses_aggregates,
+            has_group_by=bool(group_by),
+        )
+
+    # -- FROM ---------------------------------------------------------------------------
+
+    def _bind_table_ref(self, ref: ast.TableRef, scope: BindingScope) -> ast.TableRef:
+        if isinstance(ref, ast.NamedTable):
+            schema = self._catalog.schema(ref.name)  # raises CatalogError
+            binding = ref.binding_name
+            scope.add(binding, schema)
+            return ast.NamedTable(name=schema.name, alias=ref.alias)
+        if isinstance(ref, ast.SubqueryTable):
+            inner = self._bind_query(ref.query, parent=None)
+            derived = TableSchema(
+                name=ref.alias,
+                columns=tuple(inner.output_columns),
+                description=f"derived table {ref.alias}",
+            )
+            scope.add(ref.alias, derived)
+            assert isinstance(inner.query, ast.Query)
+            return ast.SubqueryTable(query=inner.query, alias=ref.alias)
+        if isinstance(ref, ast.Join):
+            left = self._bind_table_ref(ref.left, scope)
+            right = self._bind_table_ref(ref.right, scope)
+            condition = None
+            if ref.condition is not None:
+                condition = self._bind_expression(ref.condition, scope)
+                if ast.contains_aggregate(condition):
+                    raise BindError("aggregates are not allowed in JOIN conditions")
+            return ast.Join(left=left, right=right, kind=ref.kind, condition=condition)
+        raise BindError(f"cannot bind table reference {type(ref).__name__}")
+
+    # -- select list ---------------------------------------------------------------------
+
+    def _expand_stars(
+        self, select: List[ast.SelectItem], scope: BindingScope
+    ) -> List[ast.SelectItem]:
+        expanded: List[ast.SelectItem] = []
+        for item in select:
+            if not isinstance(item.expr, ast.Star):
+                expanded.append(item)
+                continue
+            if item.alias:
+                raise BindError("'*' cannot be aliased")
+            bindings = scope.bindings_in_order()
+            if item.expr.table is not None:
+                wanted = item.expr.table.lower()
+                bindings = [
+                    (binding, schema)
+                    for binding, schema in bindings
+                    if binding == wanted
+                ]
+                if not bindings:
+                    raise BindError(
+                        f"unknown table {item.expr.table!r} in select list"
+                    )
+            if not bindings:
+                raise BindError("SELECT * requires a FROM clause")
+            for binding, schema in bindings:
+                for column in schema.columns:
+                    expanded.append(
+                        ast.SelectItem(
+                            expr=ast.ColumnRef(name=column.name, table=binding)
+                        )
+                    )
+        return expanded
+
+    def _output_names(self, select_items: List[ast.SelectItem]) -> List[str]:
+        names: List[str] = []
+        used: Dict[str, int] = {}
+        for item in select_items:
+            if item.alias:
+                base = item.alias
+            elif isinstance(item.expr, ast.ColumnRef):
+                base = item.expr.name
+            else:
+                base = print_expression(item.expr)
+            lowered = base.lower()
+            count = used.get(lowered, 0)
+            used[lowered] = count + 1
+            names.append(base if count == 0 else f"{base}_{count + 1}")
+        return names
+
+    def _bind_order_item(
+        self,
+        item: ast.OrderItem,
+        scope: BindingScope,
+        output_names: List[str],
+        bound_select: List[ast.SelectItem],
+    ) -> ast.OrderItem:
+        expr = item.expr
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            if not 1 <= expr.value <= len(output_names):
+                raise BindError(f"ORDER BY position {expr.value} is out of range")
+            return ast.OrderItem(
+                expr=expr, descending=item.descending, nulls_last=item.nulls_last
+            )
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            lowered = [name.lower() for name in output_names]
+            if expr.name.lower() in lowered:
+                # Refers to a select alias/output name; leave unqualified.
+                return ast.OrderItem(
+                    expr=ast.ColumnRef(name=expr.name),
+                    descending=item.descending,
+                    nulls_last=item.nulls_last,
+                )
+        bound = self._bind_expression(expr, scope)
+        return ast.OrderItem(
+            expr=bound, descending=item.descending, nulls_last=item.nulls_last
+        )
+
+    def _check_grouped_select(
+        self,
+        select_items: List[ast.SelectItem],
+        group_by: List[ast.Expr],
+        having: Optional[ast.Expr],
+        order_by: List[ast.OrderItem],
+    ) -> None:
+        """Grouped query sanity: bare columns should appear in GROUP BY.
+
+        We follow SQLite's permissive model at *execution* time but still
+        reject the clearest mistake: a non-aggregated bare column in a
+        query whose only grouping is implicit (no GROUP BY at all).
+        """
+        if group_by:
+            return
+        for item in select_items:
+            if ast.contains_aggregate(item.expr):
+                continue
+            if any(
+                isinstance(node, ast.ColumnRef)
+                for node in ast.walk_expression(item.expr)
+            ):
+                raise BindError(
+                    f"column {print_expression(item.expr)!r} must appear in "
+                    f"GROUP BY or be inside an aggregate"
+                )
+
+    def _check_no_nested_aggregates(self, expr: ast.Expr) -> None:
+        for node in ast.walk_expression(expr):
+            if ast.is_aggregate_call(node):
+                assert isinstance(node, ast.FunctionCall)
+                for arg in node.args:
+                    if ast.contains_aggregate(arg):
+                        raise BindError(
+                            f"nested aggregate in {print_expression(node)}"
+                        )
+
+    # -- expressions -----------------------------------------------------------------------
+
+    def _bind_expression(self, expr: ast.Expr, scope: BindingScope) -> ast.Expr:
+        if isinstance(expr, ast.Literal):
+            return ast.Literal(value=expr.value)
+        if isinstance(expr, ast.ColumnRef):
+            binding, column = scope.resolve_column(expr.table, expr.name)
+            return ast.ColumnRef(name=column.name, table=binding)
+        if isinstance(expr, ast.Star):
+            return ast.Star(table=expr.table)
+        if isinstance(expr, ast.BinaryOp):
+            return ast.BinaryOp(
+                op=expr.op,
+                left=self._bind_expression(expr.left, scope),
+                right=self._bind_expression(expr.right, scope),
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return ast.UnaryOp(
+                op=expr.op, operand=self._bind_expression(expr.operand, scope)
+            )
+        if isinstance(expr, ast.FunctionCall):
+            name = expr.name.upper()
+            if not is_aggregate_function(name) and not scalar_functions.is_scalar_function(name):
+                raise BindError(
+                    f"unknown function {expr.name!r} "
+                    f"(scalar: {', '.join(scalar_functions.scalar_function_names())})"
+                )
+            args = []
+            for arg in expr.args:
+                if isinstance(arg, ast.Star):
+                    if name != "COUNT":
+                        raise BindError(f"{name}(*) is not valid SQL")
+                    args.append(ast.Star())
+                else:
+                    args.append(self._bind_expression(arg, scope))
+            return ast.FunctionCall(name=name, args=args, distinct=expr.distinct)
+        if isinstance(expr, ast.Cast):
+            try:
+                DataType.from_name(expr.type_name)
+            except ValueError as exc:
+                raise BindError(str(exc)) from exc
+            return ast.Cast(
+                operand=self._bind_expression(expr.operand, scope),
+                type_name=expr.type_name,
+            )
+        if isinstance(expr, ast.Between):
+            return ast.Between(
+                operand=self._bind_expression(expr.operand, scope),
+                low=self._bind_expression(expr.low, scope),
+                high=self._bind_expression(expr.high, scope),
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.InList):
+            return ast.InList(
+                operand=self._bind_expression(expr.operand, scope),
+                items=[self._bind_expression(item, scope) for item in expr.items],
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.InSubquery):
+            inner = self._bind_query(expr.query, parent=scope)
+            if len(inner.output_columns) != 1:
+                raise BindError("IN subquery must return exactly one column")
+            assert isinstance(inner.query, ast.Query)
+            return ast.InSubquery(
+                operand=self._bind_expression(expr.operand, scope),
+                query=inner.query,
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.Exists):
+            inner = self._bind_query(expr.query, parent=scope)
+            assert isinstance(inner.query, ast.Query)
+            return ast.Exists(query=inner.query, negated=expr.negated)
+        if isinstance(expr, ast.ScalarSubquery):
+            inner = self._bind_query(expr.query, parent=scope)
+            if len(inner.output_columns) != 1:
+                raise BindError("scalar subquery must return exactly one column")
+            assert isinstance(inner.query, ast.Query)
+            return ast.ScalarSubquery(query=inner.query)
+        if isinstance(expr, ast.IsNull):
+            return ast.IsNull(
+                operand=self._bind_expression(expr.operand, scope),
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.Like):
+            return ast.Like(
+                operand=self._bind_expression(expr.operand, scope),
+                pattern=self._bind_expression(expr.pattern, scope),
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.CaseWhen):
+            return ast.CaseWhen(
+                operand=(
+                    self._bind_expression(expr.operand, scope)
+                    if expr.operand is not None
+                    else None
+                ),
+                branches=[
+                    (
+                        self._bind_expression(condition, scope),
+                        self._bind_expression(result, scope),
+                    )
+                    for condition, result in expr.branches
+                ],
+                else_result=(
+                    self._bind_expression(expr.else_result, scope)
+                    if expr.else_result is not None
+                    else None
+                ),
+            )
+        raise BindError(f"cannot bind expression {type(expr).__name__}")
+
+    # -- type inference -----------------------------------------------------------------------
+
+    def _infer_expr_type(self, expr: ast.Expr, scope: BindingScope) -> DataType:
+        """Best-effort static typing; TEXT is the safe fallback."""
+        if isinstance(expr, ast.Literal):
+            inferred = infer_type(expr.value)
+            return inferred if inferred is not None else DataType.TEXT
+        if isinstance(expr, ast.ColumnRef):
+            _, column = scope.resolve_column(expr.table, expr.name)
+            return column.dtype
+        if isinstance(expr, ast.Cast):
+            return DataType.from_name(expr.type_name)
+        if isinstance(
+            expr,
+            (ast.IsNull, ast.Between, ast.InList, ast.InSubquery, ast.Exists, ast.Like),
+        ):
+            return DataType.BOOLEAN
+        if isinstance(expr, ast.UnaryOp):
+            if expr.op == "NOT":
+                return DataType.BOOLEAN
+            return self._infer_expr_type(expr.operand, scope)
+        if isinstance(expr, ast.BinaryOp):
+            if expr.op in ("AND", "OR", "=", "<>", "<", "<=", ">", ">="):
+                return DataType.BOOLEAN
+            if expr.op == "||":
+                return DataType.TEXT
+            if expr.op == "/":
+                return DataType.REAL
+            left = self._infer_expr_type(expr.left, scope)
+            right = self._infer_expr_type(expr.right, scope)
+            if DataType.REAL in (left, right):
+                return DataType.REAL
+            return DataType.INTEGER
+        if isinstance(expr, ast.FunctionCall):
+            return self._infer_call_type(expr, scope)
+        if isinstance(expr, ast.ScalarSubquery):
+            inner = self._bind_query(expr.query, parent=scope)
+            return inner.output_columns[0].dtype
+        if isinstance(expr, ast.CaseWhen):
+            candidates = [result for _, result in expr.branches]
+            if expr.else_result is not None:
+                candidates.append(expr.else_result)
+            types = {self._infer_expr_type(c, scope) for c in candidates}
+            types.discard(DataType.TEXT)  # NULL literals infer as TEXT
+            if len(types) == 1:
+                return types.pop()
+            if types <= {DataType.INTEGER, DataType.REAL} and types:
+                return DataType.REAL
+            return DataType.TEXT
+        return DataType.TEXT
+
+    def _infer_call_type(self, call: ast.FunctionCall, scope: BindingScope) -> DataType:
+        name = call.name.upper()
+        if name == "COUNT":
+            return DataType.INTEGER
+        if name == "AVG":
+            return DataType.REAL
+        if name in ("SUM", "MIN", "MAX"):
+            if call.args and not isinstance(call.args[0], ast.Star):
+                return self._infer_expr_type(call.args[0], scope)
+            return DataType.REAL
+        text_functions = {
+            "UPPER", "LOWER", "SUBSTR", "SUBSTRING", "TRIM", "REPLACE", "CONCAT",
+        }
+        integer_functions = {"LENGTH", "FLOOR", "CEIL", "CEILING", "SIGN"}
+        real_functions = {"ROUND", "SQRT", "POWER", "POW"}
+        if name in text_functions:
+            return DataType.TEXT
+        if name in integer_functions:
+            return DataType.INTEGER
+        if name in real_functions:
+            return DataType.REAL
+        if name in ("COALESCE", "NULLIF") and call.args:
+            return self._infer_expr_type(call.args[0], scope)
+        if name == "ABS" and call.args:
+            return self._infer_expr_type(call.args[0], scope)
+        return DataType.TEXT

@@ -1,0 +1,206 @@
+"""Hand-written SQL tokenizer.
+
+Supports:
+
+* ``--`` line comments and ``/* ... */`` block comments,
+* single-quoted string literals with ``''`` escaping,
+* double-quoted identifiers,
+* integer and float literals (decimal point and/or exponent),
+* the operator and punctuation inventory in :mod:`repro.sql.tokens`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.errors import LexerError
+from repro.sql.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    PUNCTUATION,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenKind,
+)
+
+
+class Lexer:
+    """Converts SQL text into a token stream."""
+
+    def __init__(self, source: str):
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    # -- character helpers -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= len(self._source):
+            return ""
+        return self._source[index]
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos >= len(self._source):
+                return
+            if self._source[self._pos] == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+            self._pos += 1
+
+    def _error(self, message: str) -> LexerError:
+        return LexerError(message, self._pos, self._line, self._column)
+
+    # -- whitespace / comments --------------------------------------------
+
+    def _skip_trivia(self) -> None:
+        while True:
+            ch = self._peek()
+            if ch and ch in " \t\r\n":
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while True:
+                    if not self._peek():
+                        raise self._error("unterminated block comment")
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+            else:
+                return
+
+    # -- token scanners ----------------------------------------------------
+
+    def _make(self, kind: TokenKind, text: str, value: object = None) -> Token:
+        return Token(
+            kind=kind,
+            text=text,
+            value=value,
+            position=self._start_pos,
+            line=self._start_line,
+            column=self._start_column,
+        )
+
+    def _scan_string(self) -> Token:
+        self._advance()  # opening quote
+        pieces: List[str] = []
+        while True:
+            ch = self._peek()
+            if not ch:
+                raise self._error("unterminated string literal")
+            if ch == "'":
+                if self._peek(1) == "'":
+                    pieces.append("'")
+                    self._advance(2)
+                    continue
+                self._advance()
+                break
+            pieces.append(ch)
+            self._advance()
+        value = "".join(pieces)
+        return self._make(TokenKind.STRING, f"'{value}'", value)
+
+    def _scan_quoted_ident(self) -> Token:
+        self._advance()  # opening double quote
+        pieces: List[str] = []
+        while True:
+            ch = self._peek()
+            if not ch:
+                raise self._error("unterminated quoted identifier")
+            if ch == '"':
+                if self._peek(1) == '"':
+                    pieces.append('"')
+                    self._advance(2)
+                    continue
+                self._advance()
+                break
+            pieces.append(ch)
+            self._advance()
+        name = "".join(pieces)
+        if not name:
+            raise self._error("empty quoted identifier")
+        return self._make(TokenKind.IDENT, name, name)
+
+    def _scan_number(self) -> Token:
+        start = self._pos
+        saw_dot = False
+        saw_exp = False
+        while True:
+            ch = self._peek()
+            if ch.isdigit():
+                self._advance()
+            elif ch == "." and not saw_dot and not saw_exp and self._peek(1).isdigit():
+                saw_dot = True
+                self._advance()
+            elif ch in "eE" and not saw_exp:
+                nxt = self._peek(1)
+                nxt2 = self._peek(2)
+                if nxt.isdigit() or (nxt in "+-" and nxt2.isdigit()):
+                    saw_exp = True
+                    self._advance(2 if nxt in "+-" else 1)
+                else:
+                    break
+            else:
+                break
+        text = self._source[start : self._pos]
+        if saw_dot or saw_exp:
+            return self._make(TokenKind.FLOAT, text, float(text))
+        return self._make(TokenKind.INTEGER, text, int(text))
+
+    def _scan_word(self) -> Token:
+        start = self._pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self._source[start : self._pos]
+        upper = text.upper()
+        if upper in KEYWORDS:
+            return self._make(TokenKind.KEYWORD, upper)
+        return self._make(TokenKind.IDENT, text, text)
+
+    # -- public API ----------------------------------------------------------
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield tokens until (and including) EOF."""
+        while True:
+            self._skip_trivia()
+            self._start_pos = self._pos
+            self._start_line = self._line
+            self._start_column = self._column
+            ch = self._peek()
+            if not ch:
+                yield self._make(TokenKind.EOF, "")
+                return
+            if ch == "'":
+                yield self._scan_string()
+            elif ch == '"':
+                yield self._scan_quoted_ident()
+            elif ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                yield self._scan_number()
+            elif ch.isalpha() or ch == "_":
+                yield self._scan_word()
+            else:
+                two = ch + self._peek(1)
+                if two in MULTI_CHAR_OPERATORS:
+                    self._advance(2)
+                    yield self._make(TokenKind.OPERATOR, two)
+                elif ch in SINGLE_CHAR_OPERATORS:
+                    self._advance()
+                    yield self._make(TokenKind.OPERATOR, ch)
+                elif ch in PUNCTUATION:
+                    self._advance()
+                    yield self._make(TokenKind.PUNCT, ch)
+                else:
+                    raise self._error(f"unexpected character {ch!r}")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` into a list ending with an EOF token."""
+    return list(Lexer(source).tokens())

@@ -1,0 +1,497 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+The grammar (informally)::
+
+    statement   := query_expr [';']
+    query_expr  := select_core (set_op select_core)* [order_by] [limit]
+    set_op      := (UNION | INTERSECT | EXCEPT) [ALL]
+    select_core := SELECT [DISTINCT | ALL] select_list
+                   [FROM from_clause] [WHERE expr]
+                   [GROUP BY expr_list] [HAVING expr]
+    from_clause := table_primary (join_clause)*
+    join_clause := [INNER | LEFT [OUTER] | CROSS] JOIN table_primary [ON expr]
+
+Expression precedence, loosest first::
+
+    OR < AND < NOT < comparison/IS/IN/BETWEEN/LIKE < + - || < * / % < unary
+
+``!=`` is normalized to ``<>`` so that the printer/parser round trip is an
+identity on ASTs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import Token, TokenKind
+
+_COMPARISON_OPS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+_SET_OPS = {"UNION": "union", "INTERSECT": "intersect", "EXCEPT": "except"}
+_TYPE_NAMES = {"INTEGER", "REAL", "FLOAT", "TEXT", "VARCHAR", "BOOLEAN"}
+
+
+class Parser:
+    """Parses a token stream into AST nodes."""
+
+    def __init__(self, source: str):
+        self._tokens = tokenize(source)
+        self._index = 0
+
+    # -- token stream helpers ------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> ParseError:
+        token = token or self._peek()
+        return ParseError(
+            f"{message}, found {token.describe()}", token.line, token.column
+        )
+
+    def _accept_keyword(self, *names: str) -> Optional[Token]:
+        if self._peek().is_keyword(*names):
+            return self._advance()
+        return None
+
+    def _expect_keyword(self, name: str) -> Token:
+        token = self._accept_keyword(name)
+        if token is None:
+            raise self._error(f"expected {name}")
+        return token
+
+    def _accept_operator(self, *ops: str) -> Optional[Token]:
+        if self._peek().is_operator(*ops):
+            return self._advance()
+        return None
+
+    def _accept_punct(self, *chars: str) -> Optional[Token]:
+        if self._peek().is_punct(*chars):
+            return self._advance()
+        return None
+
+    def _expect_punct(self, char: str) -> Token:
+        token = self._accept_punct(char)
+        if token is None:
+            raise self._error(f"expected {char!r}")
+        return token
+
+    def _expect_ident(self, what: str = "identifier") -> Token:
+        token = self._peek()
+        if token.kind is TokenKind.IDENT:
+            return self._advance()
+        raise self._error(f"expected {what}")
+
+    # -- entry points ----------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        """Parse a full statement and require EOF afterwards."""
+        statement = self._parse_query_expr()
+        self._accept_punct(";")
+        if self._peek().kind is not TokenKind.EOF:
+            raise self._error("unexpected trailing input")
+        return statement
+
+    def parse_only_expression(self) -> ast.Expr:
+        """Parse a standalone expression (used to re-parse shipped predicates)."""
+        expr = self._parse_expr()
+        if self._peek().kind is not TokenKind.EOF:
+            raise self._error("unexpected trailing input after expression")
+        return expr
+
+    # -- query structure ---------------------------------------------------------
+
+    def _parse_query_expr(self) -> ast.Statement:
+        node: ast.Statement = self._parse_select_core()
+        while self._peek().is_keyword(*_SET_OPS):
+            op_token = self._advance()
+            use_all = self._accept_keyword("ALL") is not None
+            right = self._parse_select_core()
+            node = ast.SetOperation(
+                op=_SET_OPS[op_token.text], left=node, right=right, all=use_all
+            )
+        order_by = self._parse_order_by()
+        limit, offset = self._parse_limit_offset()
+        if isinstance(node, ast.SetOperation):
+            node.order_by = order_by
+            node.limit = limit
+            node.offset = offset
+        else:
+            node.order_by = order_by
+            node.limit = limit
+            node.offset = offset
+        return node
+
+    def _parse_select_core(self) -> ast.Query:
+        self._expect_keyword("SELECT")
+        distinct = False
+        if self._accept_keyword("DISTINCT"):
+            distinct = True
+        else:
+            self._accept_keyword("ALL")
+        select_items = [self._parse_select_item()]
+        while self._accept_punct(","):
+            select_items.append(self._parse_select_item())
+
+        from_clause = None
+        if self._accept_keyword("FROM"):
+            from_clause = self._parse_from_clause()
+
+        where = self._parse_expr() if self._accept_keyword("WHERE") else None
+
+        group_by: List[ast.Expr] = []
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._parse_expr())
+            while self._accept_punct(","):
+                group_by.append(self._parse_expr())
+
+        having = self._parse_expr() if self._accept_keyword("HAVING") else None
+
+        return ast.Query(
+            select=select_items,
+            from_clause=from_clause,
+            where=where,
+            group_by=group_by,
+            having=having,
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        token = self._peek()
+        if token.is_operator("*"):
+            self._advance()
+            return ast.SelectItem(expr=ast.Star())
+        if (
+            token.kind is TokenKind.IDENT
+            and self._peek(1).is_punct(".")
+            and self._peek(2).is_operator("*")
+        ):
+            table = self._advance().text
+            self._advance()  # '.'
+            self._advance()  # '*'
+            return ast.SelectItem(expr=ast.Star(table=table))
+        expr = self._parse_expr()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident("alias after AS").text
+        elif self._peek().kind is TokenKind.IDENT:
+            alias = self._advance().text
+        return ast.SelectItem(expr=expr, alias=alias)
+
+    def _parse_from_clause(self) -> ast.TableRef:
+        node = self._parse_table_primary()
+        while True:
+            kind = None
+            if self._accept_keyword("CROSS"):
+                self._expect_keyword("JOIN")
+                kind = "cross"
+            elif self._accept_keyword("INNER"):
+                self._expect_keyword("JOIN")
+                kind = "inner"
+            elif self._accept_keyword("LEFT"):
+                self._accept_keyword("OUTER")
+                self._expect_keyword("JOIN")
+                kind = "left"
+            elif self._accept_keyword("JOIN"):
+                kind = "inner"
+            elif self._accept_punct(","):
+                kind = "cross"
+            else:
+                return node
+            right = self._parse_table_primary()
+            condition = None
+            if kind != "cross":
+                self._expect_keyword("ON")
+                condition = self._parse_expr()
+            node = ast.Join(left=node, right=right, kind=kind, condition=condition)
+
+    def _parse_table_primary(self) -> ast.TableRef:
+        if self._accept_punct("("):
+            if not self._peek().is_keyword("SELECT"):
+                raise self._error("expected SELECT in derived table")
+            query = self._parse_query_expr()
+            self._expect_punct(")")
+            self._accept_keyword("AS")
+            alias = self._expect_ident("alias for derived table").text
+            if not isinstance(query, ast.Query):
+                raise self._error("set operations are not supported in derived tables")
+            return ast.SubqueryTable(query=query, alias=alias)
+        name = self._expect_ident("table name").text
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident("alias after AS").text
+        elif self._peek().kind is TokenKind.IDENT:
+            alias = self._advance().text
+        return ast.NamedTable(name=name, alias=alias)
+
+    def _parse_order_by(self) -> List[ast.OrderItem]:
+        if not self._accept_keyword("ORDER"):
+            return []
+        self._expect_keyword("BY")
+        items = [self._parse_order_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_order_item())
+        return items
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expr = self._parse_expr()
+        descending = False
+        if self._accept_keyword("DESC"):
+            descending = True
+        else:
+            self._accept_keyword("ASC")
+        nulls_last: Optional[bool] = None
+        if self._accept_keyword("NULLS"):
+            if self._accept_keyword("LAST"):
+                nulls_last = True
+            elif self._accept_keyword("FIRST"):
+                nulls_last = False
+            else:
+                raise self._error("expected FIRST or LAST after NULLS")
+        return ast.OrderItem(expr=expr, descending=descending, nulls_last=nulls_last)
+
+    def _parse_limit_offset(self) -> Tuple[Optional[int], Optional[int]]:
+        limit = None
+        offset = None
+        if self._accept_keyword("LIMIT"):
+            limit = self._parse_nonnegative_int("LIMIT")
+        if self._accept_keyword("OFFSET"):
+            offset = self._parse_nonnegative_int("OFFSET")
+        return limit, offset
+
+    def _parse_nonnegative_int(self, clause: str) -> int:
+        token = self._peek()
+        if token.kind is not TokenKind.INTEGER:
+            raise self._error(f"expected integer after {clause}")
+        self._advance()
+        return int(token.value)
+
+    # -- expressions --------------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._accept_keyword("OR"):
+            right = self._parse_and()
+            left = ast.BinaryOp(op="OR", left=left, right=right)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self._accept_keyword("AND"):
+            right = self._parse_not()
+            left = ast.BinaryOp(op="AND", left=left, right=right)
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self._accept_keyword("NOT"):
+            return ast.UnaryOp(op="NOT", operand=self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.kind is TokenKind.OPERATOR and token.text in _COMPARISON_OPS:
+            self._advance()
+            op = "<>" if token.text == "!=" else token.text
+            right = self._parse_additive()
+            return ast.BinaryOp(op=op, left=left, right=right)
+        if token.is_keyword("IS"):
+            self._advance()
+            negated = self._accept_keyword("NOT") is not None
+            self._expect_keyword("NULL")
+            return ast.IsNull(operand=left, negated=negated)
+        negated = False
+        if token.is_keyword("NOT"):
+            follower = self._peek(1)
+            if follower.is_keyword("BETWEEN", "IN", "LIKE"):
+                self._advance()
+                negated = True
+                token = self._peek()
+        if token.is_keyword("BETWEEN"):
+            self._advance()
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            return ast.Between(operand=left, low=low, high=high, negated=negated)
+        if token.is_keyword("IN"):
+            self._advance()
+            return self._parse_in_tail(left, negated)
+        if token.is_keyword("LIKE"):
+            self._advance()
+            pattern = self._parse_additive()
+            return ast.Like(operand=left, pattern=pattern, negated=negated)
+        return left
+
+    def _parse_in_tail(self, operand: ast.Expr, negated: bool) -> ast.Expr:
+        self._expect_punct("(")
+        if self._peek().is_keyword("SELECT"):
+            query = self._parse_query_expr()
+            self._expect_punct(")")
+            if not isinstance(query, ast.Query):
+                raise self._error("set operations are not supported in IN subqueries")
+            return ast.InSubquery(operand=operand, query=query, negated=negated)
+        items = [self._parse_expr()]
+        while self._accept_punct(","):
+            items.append(self._parse_expr())
+        self._expect_punct(")")
+        return ast.InList(operand=operand, items=items, negated=negated)
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._accept_operator("+", "-", "||")
+            if token is None:
+                return left
+            right = self._parse_multiplicative()
+            left = ast.BinaryOp(op=token.text, left=left, right=right)
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._accept_operator("*", "/", "%")
+            if token is None:
+                return left
+            right = self._parse_unary()
+            left = ast.BinaryOp(op=token.text, left=left, right=right)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._accept_operator("-", "+")
+        if token is not None:
+            operand = self._parse_unary()
+            # Fold unary minus into numeric literals so -3 round-trips.
+            if token.text == "-" and isinstance(operand, ast.Literal):
+                if isinstance(operand.value, (int, float)) and not isinstance(
+                    operand.value, bool
+                ):
+                    return ast.Literal(value=-operand.value)
+            if token.text == "+":
+                return operand
+            return ast.UnaryOp(op=token.text, operand=operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return ast.Literal(value=token.value)
+        if token.kind is TokenKind.INTEGER or token.kind is TokenKind.FLOAT:
+            self._advance()
+            return ast.Literal(value=token.value)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return ast.Literal(value=None)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return ast.Literal(value=True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return ast.Literal(value=False)
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+        if token.is_keyword("CAST"):
+            return self._parse_cast()
+        if token.is_keyword("EXISTS"):
+            self._advance()
+            self._expect_punct("(")
+            query = self._parse_query_expr()
+            self._expect_punct(")")
+            if not isinstance(query, ast.Query):
+                raise self._error("set operations are not supported in EXISTS")
+            return ast.Exists(query=query)
+        if token.is_punct("("):
+            self._advance()
+            if self._peek().is_keyword("SELECT"):
+                query = self._parse_query_expr()
+                self._expect_punct(")")
+                if not isinstance(query, ast.Query):
+                    raise self._error(
+                        "set operations are not supported in scalar subqueries"
+                    )
+                return ast.ScalarSubquery(query=query)
+            expr = self._parse_expr()
+            self._expect_punct(")")
+            return expr
+        if token.kind is TokenKind.IDENT:
+            return self._parse_ident_led()
+        raise self._error("expected expression")
+
+    def _parse_ident_led(self) -> ast.Expr:
+        name_token = self._advance()
+        if self._peek().is_punct("("):
+            return self._parse_function_call(name_token.text)
+        if self._peek().is_punct(".") and self._peek(1).kind is TokenKind.IDENT:
+            self._advance()
+            column = self._advance().text
+            return ast.ColumnRef(name=column, table=name_token.text)
+        return ast.ColumnRef(name=name_token.text)
+
+    def _parse_function_call(self, name: str) -> ast.Expr:
+        self._expect_punct("(")
+        canonical = name.upper()
+        distinct = self._accept_keyword("DISTINCT") is not None
+        args: List[ast.Expr] = []
+        if self._accept_punct(")"):
+            return ast.FunctionCall(name=canonical, args=args, distinct=distinct)
+        if self._peek().is_operator("*"):
+            self._advance()
+            args.append(ast.Star())
+        else:
+            args.append(self._parse_expr())
+            while self._accept_punct(","):
+                args.append(self._parse_expr())
+        self._expect_punct(")")
+        return ast.FunctionCall(name=canonical, args=args, distinct=distinct)
+
+    def _parse_case(self) -> ast.Expr:
+        self._expect_keyword("CASE")
+        operand = None
+        if not self._peek().is_keyword("WHEN"):
+            operand = self._parse_expr()
+        branches: List[Tuple[ast.Expr, ast.Expr]] = []
+        while self._accept_keyword("WHEN"):
+            condition = self._parse_expr()
+            self._expect_keyword("THEN")
+            result = self._parse_expr()
+            branches.append((condition, result))
+        if not branches:
+            raise self._error("CASE requires at least one WHEN branch")
+        else_result = None
+        if self._accept_keyword("ELSE"):
+            else_result = self._parse_expr()
+        self._expect_keyword("END")
+        return ast.CaseWhen(operand=operand, branches=branches, else_result=else_result)
+
+    def _parse_cast(self) -> ast.Expr:
+        self._expect_keyword("CAST")
+        self._expect_punct("(")
+        operand = self._parse_expr()
+        self._expect_keyword("AS")
+        token = self._peek()
+        if not token.is_keyword(*_TYPE_NAMES):
+            raise self._error("expected type name in CAST")
+        self._advance()
+        self._expect_punct(")")
+        return ast.Cast(operand=operand, type_name=token.text)
+
+
+def parse(source: str) -> ast.Statement:
+    """Parse a SQL statement from text."""
+    return Parser(source).parse_statement()
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse a standalone SQL expression from text."""
+    return Parser(source).parse_only_expression()

@@ -1,0 +1,287 @@
+"""Renders AST nodes back to SQL text.
+
+The printer emits *canonical* SQL: keywords upper-case, ``!=`` as ``<>``,
+minimal but sufficient parenthesization.  For parser-canonical ASTs,
+``parse(to_sql(node)) == node`` — a property the test suite enforces and
+the engine relies on when it ships predicates to the language model inside
+prompts (the model side re-parses them with the same grammar).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sql import ast
+
+# Precedence levels, mirroring the parser.  Higher binds tighter.
+_PREC_OR = 1
+_PREC_AND = 2
+_PREC_NOT = 3
+_PREC_COMPARISON = 4
+_PREC_ADDITIVE = 5
+_PREC_MULTIPLICATIVE = 6
+_PREC_UNARY = 7
+_PREC_PRIMARY = 8
+
+_BINARY_PRECEDENCE = {
+    "OR": _PREC_OR,
+    "AND": _PREC_AND,
+    "=": _PREC_COMPARISON,
+    "<>": _PREC_COMPARISON,
+    "<": _PREC_COMPARISON,
+    "<=": _PREC_COMPARISON,
+    ">": _PREC_COMPARISON,
+    ">=": _PREC_COMPARISON,
+    "+": _PREC_ADDITIVE,
+    "-": _PREC_ADDITIVE,
+    "||": _PREC_ADDITIVE,
+    "*": _PREC_MULTIPLICATIVE,
+    "/": _PREC_MULTIPLICATIVE,
+    "%": _PREC_MULTIPLICATIVE,
+}
+
+_SAFE_IDENT_KEYWORD_CLASH = None  # computed lazily from the lexer keyword set
+
+
+def _needs_quotes(name: str) -> bool:
+    from repro.sql.tokens import KEYWORDS
+
+    if not name:
+        return True
+    if not (name[0].isalpha() or name[0] == "_"):
+        return True
+    if any(not (ch.isalnum() or ch == "_") for ch in name):
+        return True
+    return name.upper() in KEYWORDS
+
+
+def format_identifier(name: str) -> str:
+    """Quote an identifier only when necessary."""
+    if _needs_quotes(name):
+        escaped = name.replace('"', '""')
+        return f'"{escaped}"'
+    return name
+
+
+def format_string_literal(value: str) -> str:
+    """Render a string literal with ``''`` escaping."""
+    escaped = value.replace("'", "''")
+    return f"'{escaped}'"
+
+
+def format_literal(value: object) -> str:
+    """Render any literal value as SQL text."""
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, float):
+        text = repr(value)
+        # Ensure the token re-lexes as a FLOAT, not an INTEGER.
+        if "e" not in text and "E" not in text and "." not in text:
+            text += ".0"
+        return text
+    if isinstance(value, int):
+        return str(value)
+    return format_string_literal(str(value))
+
+
+def _expr_precedence(expr: ast.Expr) -> int:
+    if isinstance(expr, ast.BinaryOp):
+        return _BINARY_PRECEDENCE[expr.op]
+    if isinstance(expr, ast.UnaryOp):
+        return _PREC_NOT if expr.op == "NOT" else _PREC_UNARY
+    if isinstance(
+        expr, (ast.Between, ast.InList, ast.InSubquery, ast.Like, ast.IsNull)
+    ):
+        return _PREC_COMPARISON
+    return _PREC_PRIMARY
+
+
+def _print_child(expr: ast.Expr, parent_precedence: int, *, strict: bool) -> str:
+    """Print a child expression, adding parens when precedence demands it.
+
+    ``strict`` requires the child to bind strictly tighter (used for right
+    operands of left-associative operators and all comparison operands).
+    """
+    text = print_expression(expr)
+    child_precedence = _expr_precedence(expr)
+    if child_precedence < parent_precedence or (
+        strict and child_precedence == parent_precedence
+    ):
+        return f"({text})"
+    return text
+
+
+def print_expression(expr: ast.Expr) -> str:
+    """Render an expression AST as SQL text."""
+    if isinstance(expr, ast.Literal):
+        return format_literal(expr.value)
+    if isinstance(expr, ast.ColumnRef):
+        if expr.table:
+            return f"{format_identifier(expr.table)}.{format_identifier(expr.name)}"
+        return format_identifier(expr.name)
+    if isinstance(expr, ast.Star):
+        return f"{format_identifier(expr.table)}.*" if expr.table else "*"
+    if isinstance(expr, ast.BinaryOp):
+        precedence = _BINARY_PRECEDENCE[expr.op]
+        # The grammar is left-associative, so an equal-precedence RIGHT
+        # child always needs parentheses; a LEFT child only does at the
+        # (non-associative) comparison level.
+        left = _print_child(expr.left, precedence, strict=precedence == _PREC_COMPARISON)
+        right = _print_child(expr.right, precedence, strict=True)
+        return f"{left} {expr.op} {right}"
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "NOT":
+            operand = _print_child(expr.operand, _PREC_NOT, strict=False)
+            return f"NOT {operand}"
+        operand = _print_child(expr.operand, _PREC_UNARY, strict=True)
+        return f"{expr.op}{operand}"
+    if isinstance(expr, ast.FunctionCall):
+        inner = ", ".join(print_expression(arg) for arg in expr.args)
+        if expr.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{expr.name}({inner})"
+    if isinstance(expr, ast.Cast):
+        return f"CAST({print_expression(expr.operand)} AS {expr.type_name})"
+    if isinstance(expr, ast.Between):
+        word = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        operand = _print_child(expr.operand, _PREC_COMPARISON, strict=True)
+        low = _print_child(expr.low, _PREC_COMPARISON, strict=True)
+        high = _print_child(expr.high, _PREC_COMPARISON, strict=True)
+        return f"{operand} {word} {low} AND {high}"
+    if isinstance(expr, ast.InList):
+        word = "NOT IN" if expr.negated else "IN"
+        operand = _print_child(expr.operand, _PREC_COMPARISON, strict=True)
+        items = ", ".join(print_expression(item) for item in expr.items)
+        return f"{operand} {word} ({items})"
+    if isinstance(expr, ast.InSubquery):
+        word = "NOT IN" if expr.negated else "IN"
+        operand = _print_child(expr.operand, _PREC_COMPARISON, strict=True)
+        return f"{operand} {word} ({print_statement(expr.query)})"
+    if isinstance(expr, ast.Exists):
+        prefix = "NOT EXISTS" if expr.negated else "EXISTS"
+        return f"{prefix} ({print_statement(expr.query)})"
+    if isinstance(expr, ast.ScalarSubquery):
+        return f"({print_statement(expr.query)})"
+    if isinstance(expr, ast.IsNull):
+        word = "IS NOT NULL" if expr.negated else "IS NULL"
+        operand = _print_child(expr.operand, _PREC_COMPARISON, strict=True)
+        return f"{operand} {word}"
+    if isinstance(expr, ast.Like):
+        word = "NOT LIKE" if expr.negated else "LIKE"
+        operand = _print_child(expr.operand, _PREC_COMPARISON, strict=True)
+        pattern = _print_child(expr.pattern, _PREC_COMPARISON, strict=True)
+        return f"{operand} {word} {pattern}"
+    if isinstance(expr, ast.CaseWhen):
+        parts = ["CASE"]
+        if expr.operand is not None:
+            parts.append(print_expression(expr.operand))
+        for condition, result in expr.branches:
+            parts.append(
+                f"WHEN {print_expression(condition)} THEN {print_expression(result)}"
+            )
+        if expr.else_result is not None:
+            parts.append(f"ELSE {print_expression(expr.else_result)}")
+        parts.append("END")
+        return " ".join(parts)
+    raise TypeError(f"cannot print expression node {type(expr).__name__}")
+
+
+def _print_table_ref(ref: ast.TableRef) -> str:
+    if isinstance(ref, ast.NamedTable):
+        text = format_identifier(ref.name)
+        if ref.alias:
+            text += f" AS {format_identifier(ref.alias)}"
+        return text
+    if isinstance(ref, ast.SubqueryTable):
+        return f"({print_statement(ref.query)}) AS {format_identifier(ref.alias)}"
+    if isinstance(ref, ast.Join):
+        left = _print_table_ref(ref.left)
+        right = _print_table_ref(ref.right)
+        if ref.kind == "cross":
+            return f"{left} CROSS JOIN {right}"
+        keyword = {"inner": "JOIN", "left": "LEFT JOIN"}[ref.kind]
+        condition = print_expression(ref.condition)
+        return f"{left} {keyword} {right} ON {condition}"
+    raise TypeError(f"cannot print table reference {type(ref).__name__}")
+
+
+def _print_order_by(items: List[ast.OrderItem]) -> str:
+    rendered = []
+    for item in items:
+        text = print_expression(item.expr)
+        if item.descending:
+            text += " DESC"
+        if item.nulls_last is True:
+            text += " NULLS LAST"
+        elif item.nulls_last is False:
+            text += " NULLS FIRST"
+        rendered.append(text)
+    return "ORDER BY " + ", ".join(rendered)
+
+
+def _print_query(query: ast.Query) -> str:
+    parts = ["SELECT"]
+    if query.distinct:
+        parts.append("DISTINCT")
+    select_items = []
+    for item in query.select:
+        text = print_expression(item.expr)
+        if item.alias:
+            text += f" AS {format_identifier(item.alias)}"
+        select_items.append(text)
+    parts.append(", ".join(select_items))
+    if query.from_clause is not None:
+        parts.append("FROM " + _print_table_ref(query.from_clause))
+    if query.where is not None:
+        parts.append("WHERE " + print_expression(query.where))
+    if query.group_by:
+        parts.append(
+            "GROUP BY " + ", ".join(print_expression(e) for e in query.group_by)
+        )
+    if query.having is not None:
+        parts.append("HAVING " + print_expression(query.having))
+    if query.order_by:
+        parts.append(_print_order_by(query.order_by))
+    if query.limit is not None:
+        parts.append(f"LIMIT {query.limit}")
+    if query.offset is not None:
+        parts.append(f"OFFSET {query.offset}")
+    return " ".join(parts)
+
+
+def print_statement(statement: ast.Statement) -> str:
+    """Render a full statement (query or set operation) as SQL text."""
+    if isinstance(statement, ast.Query):
+        return _print_query(statement)
+    if isinstance(statement, ast.SetOperation):
+        op_word = statement.op.upper()
+        if statement.all:
+            op_word += " ALL"
+        left = print_statement(
+            statement.left
+            if isinstance(statement.left, ast.SetOperation)
+            else statement.left
+        )
+        right = _print_query(statement.right)
+        parts = [f"{left} {op_word} {right}"]
+        if statement.order_by:
+            parts.append(_print_order_by(statement.order_by))
+        if statement.limit is not None:
+            parts.append(f"LIMIT {statement.limit}")
+        if statement.offset is not None:
+            parts.append(f"OFFSET {statement.offset}")
+        return " ".join(parts)
+    raise TypeError(f"cannot print statement {type(statement).__name__}")
+
+
+def to_sql(node: ast.Node) -> str:
+    """Render any AST node (statement or expression) as SQL text."""
+    if isinstance(node, (ast.Query, ast.SetOperation)):
+        return print_statement(node)
+    if isinstance(node, ast.Expr):
+        return print_expression(node)
+    raise TypeError(f"cannot print node {type(node).__name__}")

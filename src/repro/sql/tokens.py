@@ -1,0 +1,127 @@
+"""Token definitions for the SQL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    STRING = "string"
+    INTEGER = "integer"
+    FLOAT = "float"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+#: Reserved words recognized by the lexer (upper-cased canonical forms).
+KEYWORDS = frozenset(
+    {
+        "ALL",
+        "AND",
+        "AS",
+        "ASC",
+        "BETWEEN",
+        "BOOLEAN",
+        "BY",
+        "CASE",
+        "CAST",
+        "CROSS",
+        "DESC",
+        "DISTINCT",
+        "ELSE",
+        "END",
+        "EXCEPT",
+        "EXISTS",
+        "FALSE",
+        "FIRST",
+        "FLOAT",
+        "FROM",
+        "FULL",
+        "GROUP",
+        "HAVING",
+        "IN",
+        "INNER",
+        "INTEGER",
+        "INTERSECT",
+        "IS",
+        "JOIN",
+        "LAST",
+        "LEFT",
+        "LIKE",
+        "LIMIT",
+        "NOT",
+        "NULL",
+        "NULLS",
+        "OFFSET",
+        "ON",
+        "OR",
+        "ORDER",
+        "OUTER",
+        "REAL",
+        "RIGHT",
+        "SELECT",
+        "TEXT",
+        "THEN",
+        "TRUE",
+        "UNION",
+        "USING",
+        "VARCHAR",
+        "WHEN",
+        "WHERE",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer can match greedily.
+MULTI_CHAR_OPERATORS = ("<>", "!=", ">=", "<=", "||")
+
+#: Single-character operators.
+SINGLE_CHAR_OPERATORS = frozenset("+-*/%=<>")
+
+#: Punctuation characters.
+PUNCTUATION = frozenset("(),.;")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        kind: lexical category.
+        text: canonical text (keywords upper-cased, identifiers as written).
+        value: decoded value for literals (str for STRING, int/float for
+            numbers); ``None`` otherwise.
+        position: 0-based character offset in the source.
+        line: 1-based source line.
+        column: 1-based source column.
+    """
+
+    kind: TokenKind
+    text: str
+    value: object = None
+    position: int = 0
+    line: int = 1
+    column: int = 1
+
+    def is_keyword(self, *names: str) -> bool:
+        """Return True if this token is one of the given keywords."""
+        return self.kind is TokenKind.KEYWORD and self.text in names
+
+    def is_operator(self, *ops: str) -> bool:
+        """Return True if this token is one of the given operators."""
+        return self.kind is TokenKind.OPERATOR and self.text in ops
+
+    def is_punct(self, *chars: str) -> bool:
+        """Return True if this token is one of the given punctuation marks."""
+        return self.kind is TokenKind.PUNCT and self.text in chars
+
+    def describe(self) -> str:
+        """Human-readable description used in parse errors."""
+        if self.kind is TokenKind.EOF:
+            return "end of input"
+        return f"{self.kind.value} {self.text!r}"

@@ -1,0 +1,121 @@
+"""Shared fixtures: a small deterministic world and engine factories."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.engine import LLMStorageEngine
+from repro.llm.noise import NoiseConfig
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.world import World
+from repro.relational.catalog import Catalog
+from repro.relational.executor import ReferenceExecutor
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+COUNTRY_ROWS = [
+    ("France", "Europe", 68000, 2780.0),
+    ("Germany", "Europe", 84000, 4070.0),
+    ("Italy", "Europe", 59000, 2010.0),
+    ("Norway", "Europe", 5400, 482.0),
+    ("Iceland", "Europe", 370, 28.0),
+    ("Japan", "Asia", 125000, 4230.0),
+    ("India", "Asia", 1408000, 3390.0),
+    ("Kenya", "Africa", 53000, 113.0),
+    ("Brazil", "South America", 214300, 1920.0),
+    ("Chile", "South America", 19500, 301.0),
+]
+
+CITY_ROWS = [
+    ("Paris", "France", 2161, True),
+    ("Lyon", "France", 522, False),
+    ("Berlin", "Germany", 3645, True),
+    ("Rome", "Italy", 2873, True),
+    ("Oslo", "Norway", 697, True),
+    ("Tokyo", "Japan", 13960, True),
+    ("Osaka", "Japan", 2691, False),
+    ("Delhi", "India", 16787, True),
+    ("Nairobi", "Kenya", 4397, True),
+    ("Brasilia", "Brazil", 3055, True),
+    ("Santiago", "Chile", 6160, True),
+]
+
+
+def make_country_schema() -> TableSchema:
+    return TableSchema(
+        name="countries",
+        columns=(
+            Column("name", DataType.TEXT, nullable=False),
+            Column("continent", DataType.TEXT),
+            Column("population", DataType.INTEGER),
+            Column("gdp", DataType.REAL),
+        ),
+        primary_key=("name",),
+        description="test countries",
+    )
+
+
+def make_city_schema() -> TableSchema:
+    return TableSchema(
+        name="cities",
+        columns=(
+            Column("city", DataType.TEXT, nullable=False),
+            Column("country", DataType.TEXT),
+            Column("city_pop", DataType.INTEGER),
+            Column("is_capital", DataType.BOOLEAN),
+        ),
+        primary_key=("city",),
+        description="test cities",
+    )
+
+
+@pytest.fixture
+def country_table() -> Table:
+    return Table(make_country_schema(), COUNTRY_ROWS)
+
+
+@pytest.fixture
+def city_table() -> Table:
+    return Table(make_city_schema(), CITY_ROWS)
+
+
+@pytest.fixture
+def mini_world(country_table, city_table) -> World:
+    return World("mini", [country_table, city_table])
+
+
+@pytest.fixture
+def mini_catalog(country_table, city_table) -> Catalog:
+    catalog = Catalog()
+    catalog.register_table(country_table)
+    catalog.register_table(city_table)
+    return catalog
+
+
+@pytest.fixture
+def reference(mini_catalog) -> ReferenceExecutor:
+    return ReferenceExecutor(mini_catalog)
+
+
+@pytest.fixture
+def perfect_model(mini_world) -> SimulatedLLM:
+    return SimulatedLLM(mini_world, NoiseConfig.perfect(), seed=5)
+
+
+@pytest.fixture
+def noisy_model(mini_world) -> SimulatedLLM:
+    return SimulatedLLM(mini_world, NoiseConfig(), seed=5)
+
+
+def make_engine(model, world, config: EngineConfig = EngineConfig()) -> LLMStorageEngine:
+    engine = LLMStorageEngine(model, config=config)
+    for schema in world.schemas():
+        engine.register_virtual_table(
+            schema, row_estimate=world.row_count(schema.name)
+        )
+    return engine
+
+
+@pytest.fixture
+def perfect_engine(perfect_model, mini_world) -> LLMStorageEngine:
+    return make_engine(perfect_model, mini_world)

@@ -1,0 +1,217 @@
+"""Binder tests: name resolution, aggregate placement, output typing."""
+
+import pytest
+
+from repro.errors import BindError, CatalogError
+from repro.relational.types import DataType
+from repro.sql import ast
+from repro.sql.binder import Binder
+from repro.sql.parser import parse
+
+
+@pytest.fixture
+def binder(mini_catalog):
+    return Binder(mini_catalog)
+
+
+def test_qualifies_bare_columns(binder):
+    bound = binder.bind(parse("SELECT name FROM countries"))
+    expr = bound.query.select[0].expr
+    assert expr == ast.ColumnRef(name="name", table="countries")
+
+
+def test_alias_becomes_binding(binder):
+    bound = binder.bind(parse("SELECT c.name FROM countries c"))
+    assert "c" in bound.tables
+    assert bound.query.select[0].expr.table == "c"
+
+
+def test_unknown_table_raises(binder):
+    with pytest.raises(CatalogError):
+        binder.bind(parse("SELECT 1 FROM nope"))
+
+
+def test_unknown_column_raises_with_candidates(binder):
+    with pytest.raises(BindError) as excinfo:
+        binder.bind(parse("SELECT wat FROM countries"))
+    assert "wat" in str(excinfo.value)
+
+
+def test_unique_column_across_join_binds(binder):
+    bound = binder.bind(
+        parse(
+            "SELECT country FROM cities JOIN countries "
+            "ON countries.name = cities.country WHERE city_pop > 1"
+        )
+    )
+    assert bound.query.select[0].expr.table == "cities"
+
+
+def test_ambiguous_column_raises(binder):
+    with pytest.raises(BindError):
+        binder.bind(
+            parse("SELECT population FROM countries a JOIN countries b ON b.name = a.name")
+        )
+
+
+def test_duplicate_alias_raises(binder):
+    with pytest.raises(BindError):
+        binder.bind(parse("SELECT 1 FROM countries c JOIN cities c ON 1 = 1"))
+
+
+def test_star_expansion_with_alias_rejected(binder):
+    # The parser never produces an aliased star; exercise the binder's
+    # own guard with a hand-built AST.
+    query = ast.Query(
+        select=[ast.SelectItem(expr=ast.Star(), alias="x")],
+        from_clause=ast.NamedTable(name="countries"),
+    )
+    with pytest.raises(BindError):
+        binder.bind(query)
+
+
+def test_star_requires_from(binder):
+    with pytest.raises(BindError):
+        binder.bind(parse("SELECT *"))
+
+
+def test_output_columns_and_types(binder):
+    bound = binder.bind(
+        parse("SELECT name, population / 2 AS half, gdp FROM countries")
+    )
+    names = bound.output_names
+    assert names == ["name", "half", "gdp"]
+    types = [column.dtype for column in bound.output_columns]
+    assert types == [DataType.TEXT, DataType.REAL, DataType.REAL]
+
+
+def test_count_types_integer(binder):
+    bound = binder.bind(parse("SELECT COUNT(*) FROM countries"))
+    assert bound.output_columns[0].dtype is DataType.INTEGER
+    assert bound.uses_aggregates
+
+
+def test_aggregate_in_where_rejected(binder):
+    with pytest.raises(BindError):
+        binder.bind(parse("SELECT name FROM countries WHERE COUNT(*) > 1"))
+
+
+def test_aggregate_in_group_by_rejected(binder):
+    with pytest.raises(BindError):
+        binder.bind(parse("SELECT 1 FROM countries GROUP BY COUNT(*)"))
+
+
+def test_nested_aggregate_rejected(binder):
+    with pytest.raises(BindError):
+        binder.bind(parse("SELECT SUM(COUNT(*)) FROM countries"))
+
+
+def test_having_without_grouping_rejected(binder):
+    with pytest.raises(BindError):
+        binder.bind(parse("SELECT name FROM countries HAVING name = 'France'"))
+
+
+def test_bare_column_with_implicit_grouping_rejected(binder):
+    with pytest.raises(BindError):
+        binder.bind(parse("SELECT name, COUNT(*) FROM countries"))
+
+
+def test_bare_column_with_explicit_group_by_allowed(binder):
+    bound = binder.bind(
+        parse("SELECT continent, COUNT(*) FROM countries GROUP BY continent")
+    )
+    assert bound.has_group_by
+
+
+def test_unknown_function_rejected(binder):
+    with pytest.raises(BindError):
+        binder.bind(parse("SELECT MAGIC(name) FROM countries"))
+
+
+def test_star_arg_only_for_count(binder):
+    with pytest.raises(BindError):
+        binder.bind(parse("SELECT SUM(*) FROM countries"))
+
+
+def test_order_by_position_out_of_range(binder):
+    with pytest.raises(BindError):
+        binder.bind(parse("SELECT name FROM countries ORDER BY 2"))
+
+
+def test_order_by_alias_stays_unqualified(binder):
+    bound = binder.bind(
+        parse("SELECT population AS p FROM countries ORDER BY p DESC")
+    )
+    order_expr = bound.query.order_by[0].expr
+    assert order_expr == ast.ColumnRef(name="p")
+
+
+def test_order_by_table_column_is_bound(binder):
+    bound = binder.bind(parse("SELECT name FROM countries ORDER BY gdp"))
+    assert bound.query.order_by[0].expr == ast.ColumnRef(name="gdp", table="countries")
+
+
+def test_correlated_subquery_binds(binder):
+    bound = binder.bind(
+        parse(
+            "SELECT name FROM countries k WHERE EXISTS "
+            "(SELECT 1 FROM cities c WHERE c.country = k.name)"
+        )
+    )
+    exists = bound.query.where
+    inner_where = exists.query.where
+    assert inner_where.right == ast.ColumnRef(name="name", table="k")
+
+
+def test_in_subquery_must_be_single_column(binder):
+    with pytest.raises(BindError):
+        binder.bind(
+            parse("SELECT 1 FROM countries WHERE name IN (SELECT name, gdp FROM countries)")
+        )
+
+
+def test_scalar_subquery_must_be_single_column(binder):
+    with pytest.raises(BindError):
+        binder.bind(parse("SELECT (SELECT name, gdp FROM countries) FROM countries"))
+
+
+def test_setop_column_count_mismatch(binder):
+    with pytest.raises(BindError):
+        binder.bind(parse("SELECT name, gdp FROM countries UNION SELECT name FROM countries"))
+
+
+def test_setop_order_by_output_name(binder):
+    bound = binder.bind(
+        parse("SELECT name FROM countries UNION SELECT city FROM cities ORDER BY name")
+    )
+    assert bound.output_names == ["name"]
+
+
+def test_setop_order_by_unknown_name_rejected(binder):
+    with pytest.raises(BindError):
+        binder.bind(
+            parse("SELECT name FROM countries UNION SELECT city FROM cities ORDER BY wat")
+        )
+
+
+def test_derived_table_columns_visible(binder):
+    bound = binder.bind(
+        parse(
+            "SELECT d.n FROM (SELECT COUNT(*) AS n FROM countries) AS d WHERE d.n > 0"
+        )
+    )
+    assert bound.output_names == ["n"]
+
+
+def test_case_type_inference(binder):
+    bound = binder.bind(
+        parse(
+            "SELECT CASE WHEN population > 0 THEN 1 ELSE 0 END FROM countries"
+        )
+    )
+    assert bound.output_columns[0].dtype is DataType.INTEGER
+
+
+def test_duplicate_output_names_uniquified(binder):
+    bound = binder.bind(parse("SELECT name, name FROM countries"))
+    assert bound.output_names == ["name", "name_2"]

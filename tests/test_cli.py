@@ -1,0 +1,75 @@
+"""CLI tests: one-shot mode, REPL commands, error handling."""
+
+import io
+
+import pytest
+
+from repro.cli import build_engine, main, repl, run_statement
+
+
+def test_one_shot_command(capsys):
+    code = main(
+        ["--world", "geography", "--gap", "0", "--sampling", "0",
+         "-c", "SELECT population FROM countries WHERE name = 'France'"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "68000" in out
+
+
+def test_one_shot_bad_sql_returns_error(capsys):
+    code = main(["--world", "geography", "-c", "SELEC broken"])
+    assert code == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_unknown_world_exits():
+    with pytest.raises(SystemExit):
+        build_engine("narnia", 0, False, 0.0, 0.0, 1)
+
+
+def test_naive_flag_builds_naive_config():
+    engine = build_engine("geography", 0, True, 0.0, 0.0, 1)
+    assert not engine.config.enable_pushdown
+
+
+def test_votes_flag():
+    engine = build_engine("geography", 0, False, 0.0, 0.0, 5)
+    assert engine.config.votes == 5
+
+
+def test_run_statement_dot_commands():
+    engine = build_engine("geography", 0, False, 0.0, 0.0, 1)
+    out = io.StringIO()
+    run_statement(engine, ".tables", out)
+    assert "countries(" in out.getvalue()
+    out = io.StringIO()
+    run_statement(engine, ".usage", out)
+    assert "calls" in out.getvalue()
+    out = io.StringIO()
+    run_statement(engine, ".explain SELECT COUNT(*) FROM cities", out)
+    assert "LLMScan" in out.getvalue()
+    out = io.StringIO()
+    run_statement(engine, ".explain", out)
+    assert "usage:" in out.getvalue()
+    out = io.StringIO()
+    run_statement(engine, "   ", out)
+    assert out.getvalue() == ""
+
+
+def test_repl_handles_errors_and_quits():
+    engine = build_engine("geography", 0, False, 0.0, 0.0, 1)
+    stdin = io.StringIO("SELECT nope FROM countries\n.quit\n")
+    out = io.StringIO()
+    repl(engine, stdin=stdin, out=out)
+    text = out.getvalue()
+    assert "error:" in text
+    assert "sql>" in text
+
+
+def test_repl_executes_query():
+    engine = build_engine("geography", 0, False, 0.0, 0.0, 1)
+    stdin = io.StringIO("SELECT name FROM countries WHERE name = 'Japan';\n")
+    out = io.StringIO()
+    repl(engine, stdin=stdin, out=out)
+    assert "Japan" in out.getvalue()

@@ -1,0 +1,71 @@
+"""Tests for configuration and the error hierarchy."""
+
+import dataclasses
+
+import pytest
+
+from repro import errors
+from repro.config import EngineConfig
+
+
+def test_default_config_enables_optimizations():
+    config = EngineConfig()
+    assert config.enable_pushdown
+    assert config.enable_lookup_join
+    assert config.enable_cache
+    assert config.votes == 1
+
+
+def test_naive_config_disables_optimizations():
+    config = EngineConfig.naive()
+    assert not config.enable_pushdown
+    assert not config.enable_lookup_join
+    assert not config.enable_cache
+    assert config.lookup_batch_size == 1
+
+
+def test_with_replaces_fields():
+    config = EngineConfig().with_(votes=5, page_size=7)
+    assert config.votes == 5
+    assert config.page_size == 7
+    assert config.enable_pushdown  # untouched
+
+
+def test_config_is_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        EngineConfig().votes = 3
+
+
+def test_error_hierarchy_roots():
+    for exc_type in [
+        errors.SQLError,
+        errors.LexerError,
+        errors.ParseError,
+        errors.BindError,
+        errors.CatalogError,
+        errors.SchemaError,
+        errors.ExecutionError,
+        errors.PlanError,
+        errors.LLMError,
+        errors.LLMProtocolError,
+        errors.LLMBudgetExceeded,
+        errors.ValidationError,
+        errors.WorkloadError,
+    ]:
+        assert issubclass(exc_type, errors.ReproError)
+
+
+def test_lexer_error_carries_position():
+    error = errors.LexerError("bad", position=5, line=2, column=3)
+    assert error.position == 5
+    assert "line 2" in str(error)
+
+
+def test_budget_error_carries_usage():
+    error = errors.LLMBudgetExceeded("out", calls_used=7, tokens_used=100)
+    assert error.calls_used == 7
+    assert error.tokens_used == 100
+
+
+def test_parse_error_message_without_position():
+    assert "boom" in str(errors.ParseError("boom"))

@@ -1,0 +1,143 @@
+"""Voting and validation unit tests."""
+
+import pytest
+
+from repro.core.consistency import majority_vote, vote_rows, vote_verdicts
+from repro.core.validation import Validator
+from repro.core.virtual import ColumnConstraint, VirtualTable
+from repro.errors import SchemaError
+from tests.conftest import make_country_schema
+
+
+# -- majority vote -----------------------------------------------------------
+
+
+def test_majority_simple():
+    assert majority_vote([1, 2, 1]) == 1
+    assert majority_vote(["a", "a", "b"]) == "a"
+
+
+def test_majority_tie_prefers_first_seen():
+    assert majority_vote([2, 1, 1, 2]) == 2
+
+
+def test_majority_numeric_cross_type():
+    assert majority_vote([1, 1.0, 2]) == 1
+
+
+def test_majority_counts_null_votes():
+    assert majority_vote([None, None, 5]) is None
+
+
+def test_majority_empty():
+    assert majority_vote([]) is None
+
+
+def test_vote_rows_recovers_iid_errors():
+    samples = [
+        [[68000, "Europe"]],
+        [[99999, "Europe"]],
+        [[68000, "Asia"]],
+    ]
+    merged = vote_rows(samples)
+    assert merged == [[68000, "Europe"]]
+
+
+def test_vote_rows_majority_unknown_drops_entity():
+    samples = [[None], [None], [[1]]]
+    assert vote_rows(samples) == [None]
+
+
+def test_vote_rows_known_majority_keeps_entity():
+    samples = [[[1]], [[1]], [None]]
+    assert vote_rows(samples) == [[1]]
+
+
+def test_vote_rows_empty():
+    assert vote_rows([]) == []
+
+
+def test_vote_verdicts():
+    samples = [
+        [True, False, None],
+        [True, True, None],
+        [False, False, None],
+    ]
+    assert vote_verdicts(samples) == [True, False, None]
+
+
+def test_vote_verdicts_tie_is_unknown():
+    assert vote_verdicts([[True], [False]]) == [None]
+
+
+# -- constraints and validation -----------------------------------------------
+
+
+def test_constraint_checks():
+    constraint = ColumnConstraint(min_value=0, max_value=100)
+    assert constraint.check(50)
+    assert not constraint.check(-1)
+    assert not constraint.check(101)
+    assert constraint.check(None)
+    categorical = ColumnConstraint(allowed_values=frozenset({"a", "b"}))
+    assert categorical.check("a")
+    assert not categorical.check("c")
+    text = ColumnConstraint(max_length=3)
+    assert text.check("abc")
+    assert not text.check("abcd")
+
+
+def make_virtual():
+    return VirtualTable.build(
+        make_country_schema(),
+        row_estimate=10,
+        constraints={"population": ColumnConstraint(min_value=0, max_value=2_000_000)},
+    )
+
+
+def test_virtual_table_requires_primary_key():
+    from repro.relational.schema import Column, TableSchema
+    from repro.relational.types import DataType
+
+    keyless = TableSchema(name="k", columns=(Column("x", DataType.INTEGER),))
+    with pytest.raises(SchemaError):
+        VirtualTable.build(keyless)
+
+
+def test_virtual_table_rejects_unknown_constraint_column():
+    with pytest.raises(SchemaError):
+        VirtualTable.build(
+            make_country_schema(),
+            constraints={"nope": ColumnConstraint(min_value=0)},
+        )
+
+
+def test_validator_nulls_implausible_values():
+    validator = Validator(enabled=True)
+    virtual = make_virtual()
+    assert validator.validate_cell(100, virtual, "population") == 100
+    assert validator.validate_cell(99_000_000, virtual, "population") is None
+    assert validator.report.nulled_cells == 1
+    assert validator.report.checked_cells == 2
+
+
+def test_validator_disabled_passes_everything():
+    validator = Validator(enabled=False)
+    virtual = make_virtual()
+    assert validator.validate_cell(99_000_000, virtual, "population") == 99_000_000
+    assert validator.report.checked_cells == 0
+
+
+def test_validator_row_helper():
+    validator = Validator(enabled=True)
+    virtual = make_virtual()
+    row = validator.validate_row(
+        ["France", 99_000_000], virtual, ["name", "population"]
+    )
+    assert row == ["France", None]
+
+
+def test_unconstrained_column_always_passes():
+    validator = Validator(enabled=True)
+    virtual = make_virtual()
+    assert validator.validate_cell("anything", virtual, "continent") == "anything"

@@ -1,0 +1,140 @@
+"""Unit tests for the ModelClient retrieval operators."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.operators import ModelClient, build_local_table, normalize_key
+from repro.core.virtual import VirtualTable
+from repro.errors import ExecutionError
+from repro.llm.accounting import UsageMeter
+from repro.llm.interface import Completion, CompletionOptions
+from repro.plan.cost import CostEstimate
+from repro.plan.physical import JudgeStep, LookupStep, ScanStep
+from tests.conftest import make_country_schema
+
+SCHEMA = make_country_schema()
+
+
+def make_client(model, config=EngineConfig()):
+    return ModelClient(model=model, meter=UsageMeter(), config=config)
+
+
+def make_scan(**overrides):
+    base = dict(
+        binding="countries",
+        table_name="countries",
+        schema=SCHEMA,
+        columns=("name", "population"),
+        est_rows=10.0,
+        estimate=CostEstimate(calls=1),
+    )
+    base.update(overrides)
+    return ScanStep(**base)
+
+
+def virtual():
+    return VirtualTable.build(SCHEMA, row_estimate=10)
+
+
+def test_scan_collects_paginated_rows(perfect_model):
+    client = make_client(perfect_model, EngineConfig().with_(page_size=3))
+    table = client.run_scan(make_scan(), virtual())
+    assert len(table) == 10
+    assert table.schema.column_names == ["name", "population"]
+
+
+def test_scan_with_condition(perfect_model):
+    client = make_client(perfect_model)
+    step = make_scan(pushdown_sql="continent = 'Asia'")
+    table = client.run_scan(step, virtual())
+    assert sorted(row[0] for row in table.rows) == ["India", "Japan"]
+
+
+def test_scan_limit_hint_stops_early(perfect_model):
+    client = make_client(perfect_model, EngineConfig().with_(page_size=3))
+    step = make_scan(limit_hint=4, order=("population", True))
+    table = client.run_scan(step, virtual())
+    assert len(table) == 4
+    assert table.rows[0][0] == "India"
+
+
+def test_scan_guard_aborts_runaway(mini_world):
+    class EndlessModel:
+        """Claims MORE forever."""
+
+        def complete(self, prompt, options=CompletionOptions()):
+            return Completion(
+                text="France | 1\nMORE", prompt_tokens=5, completion_tokens=5
+            )
+
+    client = make_client(EndlessModel(), EngineConfig().with_(scan_guard_factor=2))
+    table = client.run_scan(make_scan(est_rows=5.0), virtual())
+    assert any("guard" in w for w in client.warnings)
+    assert len(table) > 0
+
+
+def test_lookup_returns_found_keys_only(perfect_model):
+    client = make_client(perfect_model)
+    step = LookupStep(
+        binding="k", table_name="countries", schema=SCHEMA,
+        key_columns=("name",), attributes=("population",),
+        est_keys=2, estimate=CostEstimate(calls=1),
+    )
+    table = client.run_lookup(step, [("France",), ("Atlantis",)], virtual())
+    assert table.rows == [("France", 68000)]
+
+
+def test_lookup_batches(perfect_model):
+    meter = UsageMeter()
+    client = ModelClient(
+        model=perfect_model, meter=meter,
+        config=EngineConfig().with_(lookup_batch_size=2, enable_cache=False),
+    )
+    step = LookupStep(
+        binding="k", table_name="countries", schema=SCHEMA,
+        key_columns=("name",), attributes=("population",),
+        est_keys=5, estimate=CostEstimate(),
+    )
+    keys = [(name,) for name in ["France", "Germany", "Italy", "Japan", "Kenya"]]
+    table = client.run_lookup(step, keys, virtual())
+    assert len(table) == 5
+    assert meter.calls == 3  # ceil(5/2)
+
+
+def test_judge_returns_verdicts(perfect_model):
+    client = make_client(perfect_model)
+    step = JudgeStep(
+        binding="countries", table_name="countries", schema=SCHEMA,
+        key_columns=("name",), condition_sql="population > 100000",
+        est_keys=2, estimate=CostEstimate(),
+    )
+    verdicts = client.run_judge(step, [("Japan",), ("Iceland",)])
+    assert verdicts[normalize_key(("Japan",))] is True
+    assert verdicts[normalize_key(("Iceland",))] is False
+
+
+def test_retry_gives_up_after_max_retries():
+    class RefusingModel:
+        def complete(self, prompt, options=CompletionOptions()):
+            return Completion(
+                text="I'm sorry, I cannot.", prompt_tokens=3, completion_tokens=3
+            )
+
+    client = make_client(RefusingModel(), EngineConfig().with_(max_retries=1))
+    with pytest.raises(ExecutionError):
+        client.run_scan(make_scan(), virtual())
+
+
+def test_build_local_table_drops_unfixable_rows():
+    table = build_local_table(
+        "b", SCHEMA, ("name", "population"),
+        [["France", 1], ["Spain", "not-a-number"], ["Italy", None]],
+    )
+    assert len(table) == 2  # the Spain row cannot be coerced
+
+
+def test_normalize_key_semantics():
+    assert normalize_key(("France",)) == normalize_key((" france ",))
+    assert normalize_key((1,)) == normalize_key((1.0,))
+    assert normalize_key((True,)) != normalize_key((1,))
+    assert normalize_key((None,)) == normalize_key((None,))

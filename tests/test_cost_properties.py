@@ -1,0 +1,75 @@
+"""Property tests for the accounting tokenizer and the cost model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import EngineConfig
+from repro.llm.tokenizer import count_tokens, truncate_to_tokens
+from repro.plan.cost import CostModel, TableStats
+
+_STATS = {"t": TableStats(row_count=100)}
+_TEXT = st.text(
+    alphabet=st.characters(whitelist_categories=["Lu", "Ll", "Nd", "Po", "Zs"]),
+    max_size=300,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_TEXT)
+def test_tokens_nonnegative_and_zero_only_for_blank(text):
+    tokens = count_tokens(text)
+    assert tokens >= 0
+    if text.strip():
+        assert tokens > 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(_TEXT, _TEXT)
+def test_tokens_subadditive_concatenation(left, right):
+    combined = count_tokens(left + " " + right)
+    assert combined <= count_tokens(left) + count_tokens(right) + 1
+
+
+@settings(max_examples=200, deadline=None)
+@given(_TEXT, st.integers(min_value=0, max_value=50))
+def test_truncation_respects_budget_and_is_prefix(text, budget):
+    cut = truncate_to_tokens(text, budget)
+    assert count_tokens(cut) <= budget
+    assert text.startswith(cut)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=1, max_value=500), st.integers(min_value=1, max_value=10))
+def test_scan_cost_monotone_in_rows(rows, columns):
+    model = CostModel(_STATS, EngineConfig())
+    small = model.scan_cost("t", rows, columns)
+    bigger = model.scan_cost("t", rows + 50, columns)
+    assert bigger.calls >= small.calls
+    assert bigger.total_tokens >= small.total_tokens
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=1, max_value=300))
+def test_lookup_cost_monotone_in_keys(keys):
+    model = CostModel(_STATS, EngineConfig())
+    small = model.lookup_cost(keys, 2)
+    bigger = model.lookup_cost(keys + 10, 2)
+    assert bigger.calls >= small.calls
+    assert bigger.total_tokens > small.total_tokens
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=1, max_value=64))
+def test_batching_never_increases_calls(batch):
+    singles = CostModel(_STATS, EngineConfig(lookup_batch_size=1)).lookup_cost(40, 2)
+    batched = CostModel(_STATS, EngineConfig(lookup_batch_size=batch)).lookup_cost(40, 2)
+    assert batched.calls <= singles.calls
+
+
+def test_estimates_compose():
+    model = CostModel(_STATS, EngineConfig())
+    a = model.scan_cost("t", 10, 2)
+    b = model.lookup_cost(5, 1)
+    combined = a.plus(b)
+    assert combined.calls == a.calls + b.calls
+    assert combined.total_tokens == a.total_tokens + b.total_tokens

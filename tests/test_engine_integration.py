@@ -1,0 +1,246 @@
+"""Integration tests: the decomposed engine end to end.
+
+The central invariant (DESIGN.md §5): with a zero-noise model and no
+truncation, the decomposed engine returns exactly the rows the reference
+executor produces on the ground truth — for every supported query shape
+and under every optimizer configuration.
+"""
+
+import pytest
+
+from repro.baselines import DirectPromptEngine, MaterializedEngine, naive_engine
+from repro.config import EngineConfig
+from repro.errors import LLMBudgetExceeded, PlanError
+from repro.llm.accounting import Budget
+from repro.llm.noise import NoiseConfig
+from repro.llm.simulated import SimulatedLLM
+from tests.conftest import make_engine
+
+EQUIVALENCE_QUERIES = [
+    "SELECT name, population FROM countries WHERE continent = 'Europe'",
+    "SELECT population FROM countries WHERE name = 'France'",
+    "SELECT name FROM countries WHERE name IN ('France', 'Japan', 'Atlantis')",
+    "SELECT name, gdp FROM countries WHERE gdp BETWEEN 100 AND 3000 AND population > 1000",
+    "SELECT c.city, k.continent FROM cities c JOIN countries k ON k.name = c.country "
+    "WHERE c.city_pop > 2000",
+    "SELECT k.name, c.city FROM countries k LEFT JOIN cities c "
+    "ON c.country = k.name AND c.is_capital = TRUE",
+    "SELECT continent, COUNT(*) AS n, AVG(population) AS avg_pop FROM countries "
+    "GROUP BY continent HAVING COUNT(*) >= 2",
+    "SELECT COUNT(*), SUM(gdp) FROM countries WHERE continent = 'Europe'",
+    "SELECT DISTINCT continent FROM countries",
+    "SELECT name FROM countries ORDER BY population DESC LIMIT 3",
+    "SELECT name FROM countries WHERE name IN (SELECT country FROM cities "
+    "WHERE city_pop > 3000)",
+    "SELECT name FROM countries WHERE population > "
+    "(SELECT AVG(population) FROM countries)",
+    "SELECT name FROM countries UNION SELECT city FROM cities ORDER BY 1 LIMIT 5",
+    "SELECT d.continent, d.n FROM (SELECT continent, COUNT(*) AS n FROM countries "
+    "GROUP BY continent) AS d WHERE d.n >= 2",
+    "SELECT UPPER(name), population * 2 FROM countries WHERE continent = 'Africa'",
+    "SELECT city, CASE WHEN is_capital = TRUE THEN 'capital' ELSE 'city' END "
+    "FROM cities WHERE country = 'Japan'",
+]
+
+
+def _sorted(rows):
+    return sorted(rows, key=repr)
+
+
+@pytest.mark.parametrize("sql", EQUIVALENCE_QUERIES)
+def test_zero_noise_equivalence_default_config(perfect_engine, mini_world, sql):
+    truth = MaterializedEngine(mini_world).execute(sql).rows
+    result = perfect_engine.execute(sql)
+    assert _sorted(result.rows) == _sorted(truth), result.explain_text
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        EngineConfig.naive(),
+        EngineConfig().with_(enable_pushdown=False),
+        EngineConfig().with_(enable_lookup_join=False),
+        EngineConfig().with_(page_size=2),
+        EngineConfig().with_(lookup_batch_size=1),
+        EngineConfig().with_(votes=3),
+        EngineConfig().with_(enable_pushdown=False, enable_judge=True),
+    ],
+    ids=["naive", "no-pushdown", "no-lookup", "tiny-pages", "tiny-batch", "votes", "judge"],
+)
+@pytest.mark.parametrize(
+    "sql",
+    [
+        EQUIVALENCE_QUERIES[0],
+        EQUIVALENCE_QUERIES[4],
+        EQUIVALENCE_QUERIES[6],
+        EQUIVALENCE_QUERIES[10],
+    ],
+    ids=["filter", "join", "groupby", "subquery"],
+)
+def test_zero_noise_equivalence_all_configs(perfect_model, mini_world, config, sql):
+    truth = MaterializedEngine(mini_world).execute(sql).rows
+    engine = make_engine(perfect_model, mini_world, config)
+    result = engine.execute(sql)
+    assert _sorted(result.rows) == _sorted(truth), result.explain_text
+
+
+def test_order_preserved_for_ordered_query(perfect_engine, mini_world):
+    sql = "SELECT name FROM countries ORDER BY population DESC"
+    truth = MaterializedEngine(mini_world).execute(sql).rows
+    assert perfect_engine.execute(sql).rows == truth
+
+
+def test_usage_attributed_per_query(perfect_engine):
+    first = perfect_engine.execute("SELECT name FROM countries")
+    assert first.usage.calls >= 1
+    assert first.usage.total_tokens > 0
+    assert perfect_engine.usage.calls >= first.usage.calls
+
+
+def test_cache_reuses_across_queries(perfect_model, mini_world):
+    engine = make_engine(perfect_model, mini_world)
+    sql = "SELECT population FROM countries WHERE name = 'France'"
+    first = engine.execute(sql)
+    second = engine.execute(sql)
+    assert first.rows == second.rows
+    assert second.usage.total_tokens == 0  # served from cache
+    assert engine.cache_stats.hits >= 1
+
+
+def test_cache_disabled_pays_twice(perfect_model, mini_world):
+    engine = make_engine(
+        perfect_model, mini_world, EngineConfig().with_(enable_cache=False)
+    )
+    sql = "SELECT population FROM countries WHERE name = 'France'"
+    first = engine.execute(sql)
+    second = engine.execute(sql)
+    assert second.usage.total_tokens == first.usage.total_tokens > 0
+
+
+def test_budget_exhaustion_raises(perfect_model, mini_world):
+    engine = make_engine(perfect_model, mini_world)
+    from repro.core.engine import LLMStorageEngine
+
+    tight = LLMStorageEngine(
+        perfect_model, config=EngineConfig(), budget=Budget(max_calls=1)
+    )
+    for schema in mini_world.schemas():
+        tight.register_virtual_table(schema, row_estimate=10)
+    tight.execute("SELECT population FROM countries WHERE name = 'France'")
+    with pytest.raises(LLMBudgetExceeded):
+        tight.execute(
+            "SELECT c.city, k.gdp FROM cities c JOIN countries k ON k.name = c.country"
+        )
+
+
+def test_explain_without_execution_costs_nothing(perfect_engine):
+    text = perfect_engine.explain("SELECT name FROM countries WHERE gdp > 100")
+    assert "LLMScan" in text
+    assert perfect_engine.usage.calls == 0
+
+
+def test_correlated_subquery_raises_plan_error(perfect_engine):
+    with pytest.raises(PlanError):
+        perfect_engine.execute(
+            "SELECT name FROM countries k WHERE EXISTS "
+            "(SELECT 1 FROM cities c WHERE c.country = k.name)"
+        )
+
+
+def test_retry_recovers_from_refusals(mini_world):
+    import dataclasses
+
+    noise = dataclasses.replace(NoiseConfig.perfect(), refusal_rate=0.4)
+    model = SimulatedLLM(mini_world, noise, seed=11)
+    engine = make_engine(model, mini_world, EngineConfig().with_(max_retries=6))
+    result = engine.execute("SELECT name FROM countries WHERE continent = 'Europe'")
+    truth = MaterializedEngine(mini_world).execute(
+        "SELECT name FROM countries WHERE continent = 'Europe'"
+    ).rows
+    assert _sorted(result.rows) == _sorted(truth)
+
+
+def test_voting_fixes_sampling_errors(mini_world):
+    noise = NoiseConfig.perfect().with_sampling_error(0.35)
+    model = SimulatedLLM(mini_world, noise, seed=13)
+    sql = "SELECT gdp FROM countries WHERE name = 'France'"
+    truth = MaterializedEngine(mini_world).execute(sql).rows
+
+    greedy_wrong = 0
+    voted_wrong = 0
+    for seed in range(8):
+        model = SimulatedLLM(mini_world, noise, seed=seed)
+        single = make_engine(model, mini_world, EngineConfig().with_(votes=1))
+        voted = make_engine(model, mini_world, EngineConfig().with_(votes=7))
+        if single.execute(sql).rows != truth:
+            greedy_wrong += 1
+        if voted.execute(sql).rows != truth:
+            voted_wrong += 1
+    assert voted_wrong < greedy_wrong
+
+
+def test_validation_nulls_wild_values(mini_world):
+    from repro.core.virtual import ColumnConstraint
+
+    noise = NoiseConfig.perfect().with_gap(1.0)  # every non-key cell wrong
+    model = SimulatedLLM(mini_world, noise, seed=3)
+    from repro.core.engine import LLMStorageEngine
+
+    engine = LLMStorageEngine(model, config=EngineConfig())
+    for schema in mini_world.schemas():
+        constraints = None
+        if schema.name == "countries":
+            constraints = {"population": ColumnConstraint(min_value=10**9)}
+        engine.register_virtual_table(schema, row_estimate=10, constraints=constraints)
+    result = engine.execute("SELECT name, population FROM countries")
+    populations = [row[1] for row in result.rows]
+    # With an absurd constraint every retrieved population is nulled.
+    assert all(p is None or p >= 10**9 for p in populations)
+    assert any("validation" in w for w in result.warnings)
+
+
+def test_judge_config_filters_rows(perfect_model, mini_world):
+    engine = make_engine(
+        perfect_model, mini_world,
+        EngineConfig().with_(enable_pushdown=False, enable_judge=True),
+    )
+    sql = "SELECT name FROM countries WHERE population > 100000"
+    truth = MaterializedEngine(mini_world).execute(sql).rows
+    assert _sorted(engine.execute(sql).rows) == _sorted(truth)
+
+
+def test_direct_engine_zero_noise_small_result(perfect_model, mini_world):
+    direct = DirectPromptEngine(perfect_model)
+    direct.register_world_schemas(mini_world)
+    sql = "SELECT name FROM countries WHERE continent = 'Africa'"
+    truth = MaterializedEngine(mini_world).execute(sql).rows
+    assert _sorted(direct.execute(sql).rows) == _sorted(truth)
+
+
+def test_direct_engine_truncates_large_results(perfect_model, mini_world):
+    direct = DirectPromptEngine(
+        perfect_model, config=EngineConfig().with_(max_output_tokens=30)
+    )
+    direct.register_world_schemas(mini_world)
+    result = direct.execute("SELECT name, continent, population, gdp FROM countries")
+    assert len(result.rows) < 10
+    assert any("truncated" in w for w in result.warnings)
+
+
+def test_naive_engine_costs_more_than_optimized(perfect_model, mini_world):
+    sql = "SELECT name FROM countries WHERE continent = 'Africa'"
+    optimized = make_engine(perfect_model, mini_world)
+    naive = naive_engine(perfect_model)
+    for schema in mini_world.schemas():
+        naive.register_virtual_table(schema, row_estimate=10)
+    opt_result = optimized.execute(sql)
+    naive_result = naive.execute(sql)
+    assert _sorted(opt_result.rows) == _sorted(naive_result.rows)
+    assert naive_result.usage.total_tokens > opt_result.usage.total_tokens
+
+
+def test_result_render_includes_usage(perfect_engine):
+    result = perfect_engine.execute("SELECT name FROM countries LIMIT 2")
+    text = result.render()
+    assert "calls" in text
+    assert "name" in text

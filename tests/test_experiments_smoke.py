@@ -1,0 +1,57 @@
+"""Smoke tests: experiment runners and the run_all CLI (quick sizes)."""
+
+import os
+
+import pytest
+
+from repro.eval.experiments import (
+    EXPERIMENTS,
+    figure3_truncation,
+    figure5_voting,
+    table1_workloads,
+)
+from repro.eval.run_all import main
+
+
+def test_registry_covers_every_table_and_figure():
+    assert set(EXPERIMENTS) == {
+        "table1", "table2", "table3", "table4",
+        "figure3", "figure4", "figure5", "figure6", "figure7", "figure8",
+    }
+
+
+def test_table1_census_shape():
+    table = table1_workloads(quick=True)
+    assert table.columns[0] == "world"
+    worlds = table.column_values("world")
+    assert worlds == ["geography", "movies", "company"]
+
+
+def test_figure3_direct_recall_collapses():
+    series = figure3_truncation(quick=True)
+    direct = series.column_values("direct recall")
+    decomposed = series.column_values("decomposed recall")
+    assert direct[-1] < 0.9, "direct should truncate at the largest size"
+    assert all(value == 1.0 for value in decomposed)
+
+
+def test_figure5_voting_monotone_cost():
+    series = figure5_voting(quick=True)
+    calls = series.column_values("calls")
+    assert calls == sorted(calls)
+    f1 = series.column_values("F1")
+    assert f1[-1] >= f1[0]
+
+
+def test_run_all_cli_selects_and_saves(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    assert main(["--quick", "--only", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert os.path.exists(tmp_path / "table1_workloads.txt")
+
+
+def test_run_all_cli_rejects_unknown(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    with pytest.raises(SystemExit):
+        main(["--only", "nope"])

@@ -1,0 +1,231 @@
+"""Expression evaluator tests: three-valued logic, operators, functions."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.relational.expressions import (
+    EMPTY_SCOPE,
+    Evaluator,
+    RowScope,
+    compare_values,
+    evaluate_constant,
+    is_true,
+    like_to_regex,
+)
+from repro.sql.parser import parse_expression
+
+
+def evaluate(source, bindings=None):
+    scope = RowScope(bindings or {}) if bindings is not None else EMPTY_SCOPE
+    return Evaluator().evaluate(parse_expression(source), scope)
+
+
+# -- literals and arithmetic ---------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "source,expected",
+    [
+        ("1 + 2", 3),
+        ("7 - 10", -3),
+        ("3 * 4", 12),
+        ("7 / 2", 3.5),
+        ("7 % 3", 1),
+        ("2.5 + 1", 3.5),
+        ("-(3 + 4)", -7),
+        ("1 / 0", None),
+        ("5 % 0", None),
+        ("'a' || 'b'", "ab"),
+        ("'v' || 1", "v1"),
+    ],
+)
+def test_arithmetic(source, expected):
+    assert evaluate(source) == expected
+
+
+def test_arithmetic_null_propagation():
+    assert evaluate("1 + NULL") is None
+    assert evaluate("NULL * 3") is None
+    assert evaluate("'a' || NULL") is None
+
+
+def test_arithmetic_type_error():
+    with pytest.raises(ExecutionError):
+        evaluate("'a' + 1")
+
+
+# -- comparisons and 3VL ---------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "source,expected",
+    [
+        ("1 = 1", True),
+        ("1 = 2", False),
+        ("1 <> 2", True),
+        ("2 < 10", True),
+        ("'abc' < 'abd'", True),
+        ("1 = 1.0", True),
+        ("NULL = NULL", None),
+        ("1 = NULL", None),
+        ("NULL <> 1", None),
+    ],
+)
+def test_comparisons(source, expected):
+    assert evaluate(source) == expected
+
+
+def test_mixed_type_comparison_raises():
+    with pytest.raises(ExecutionError):
+        evaluate("'a' = 1")
+
+
+def test_and_or_three_valued_logic():
+    assert evaluate("TRUE AND NULL") is None
+    assert evaluate("FALSE AND NULL") is False
+    assert evaluate("TRUE OR NULL") is True
+    assert evaluate("FALSE OR NULL") is None
+    assert evaluate("NOT NULL") is None
+    assert evaluate("NOT FALSE") is True
+
+
+def test_and_short_circuit_does_not_mask_false():
+    # FALSE AND <error-free NULL> must be FALSE, not NULL.
+    assert evaluate("1 = 2 AND NULL") is False
+
+
+def test_is_true_semantics():
+    assert is_true(True)
+    assert not is_true(False)
+    assert not is_true(None)
+    assert is_true(1)
+    assert not is_true(0)
+
+
+def test_compare_values_none():
+    assert compare_values(None, 1) is None
+    assert compare_values(2, 2) == 0
+    assert compare_values(1, 2) == -1
+
+
+# -- predicates -----------------------------------------------------------------
+
+
+def test_between_including_bounds():
+    assert evaluate("5 BETWEEN 1 AND 5") is True
+    assert evaluate("0 BETWEEN 1 AND 5") is False
+    assert evaluate("NULL BETWEEN 1 AND 5") is None
+    assert evaluate("3 NOT BETWEEN 1 AND 5") is False
+
+
+def test_in_list_null_semantics():
+    assert evaluate("1 IN (1, 2)") is True
+    assert evaluate("3 IN (1, 2)") is False
+    assert evaluate("3 IN (1, NULL)") is None
+    assert evaluate("1 IN (1, NULL)") is True
+    assert evaluate("NULL IN (1)") is None
+    assert evaluate("3 NOT IN (1, NULL)") is None
+    assert evaluate("1 NOT IN (1, 2)") is False
+
+
+def test_is_null():
+    assert evaluate("NULL IS NULL") is True
+    assert evaluate("1 IS NULL") is False
+    assert evaluate("1 IS NOT NULL") is True
+
+
+@pytest.mark.parametrize(
+    "value,pattern,expected",
+    [
+        ("hello", "hello", True),
+        ("hello", "h%", True),
+        ("hello", "%o", True),
+        ("hello", "h_llo", True),
+        ("hello", "H%", False),
+        ("h.llo", "h.llo", True),
+        ("hxllo", "h.llo", False),
+        ("", "%", True),
+    ],
+)
+def test_like(value, pattern, expected):
+    assert evaluate(f"'{value}' LIKE '{pattern}'") is expected
+
+
+def test_like_null_and_type():
+    assert evaluate("NULL LIKE 'a%'") is None
+    with pytest.raises(ExecutionError):
+        evaluate("1 LIKE 'a%'")
+
+
+def test_like_regex_escapes_specials():
+    assert like_to_regex("a+b").match("a+b")
+    assert not like_to_regex("a+b").match("aab")
+
+
+# -- CASE -------------------------------------------------------------------------
+
+
+def test_case_searched_first_match_wins():
+    assert evaluate("CASE WHEN 1 = 1 THEN 'a' WHEN 1 = 1 THEN 'b' END") == "a"
+
+
+def test_case_no_match_returns_else_or_null():
+    assert evaluate("CASE WHEN 1 = 2 THEN 'a' END") is None
+    assert evaluate("CASE WHEN 1 = 2 THEN 'a' ELSE 'b' END") == "b"
+
+
+def test_case_simple_form_null_subject_never_matches():
+    assert evaluate("CASE NULL WHEN 1 THEN 'a' ELSE 'b' END") == "b"
+
+
+# -- columns and scopes -----------------------------------------------------------
+
+
+def test_column_resolution_qualified_and_bare():
+    bindings = {"t": {"x": 10, "y": 2}}
+    assert evaluate("x + t.y", bindings) == 12
+
+
+def test_ambiguous_column_raises():
+    bindings = {"a": {"x": 1}, "b": {"x": 2}}
+    with pytest.raises(ExecutionError):
+        evaluate("x", bindings)
+
+
+def test_unknown_column_raises():
+    with pytest.raises(ExecutionError):
+        evaluate("missing", {"t": {"x": 1}})
+
+
+def test_parent_scope_resolution():
+    outer = RowScope({"o": {"k": 7}})
+    inner = RowScope({"i": {"x": 1}}, parent=outer)
+    value = Evaluator().evaluate(parse_expression("x + o.k"), inner)
+    assert value == 8
+
+
+def test_cast_in_expression():
+    assert evaluate("CAST('12' AS INTEGER) + 1") == 13
+    assert evaluate("CAST('oops' AS INTEGER)") is None
+    assert evaluate("CAST(1 AS BOOLEAN)") is True
+
+
+def test_scalar_function_through_evaluator():
+    assert evaluate("UPPER('ab') || LOWER('CD')") == "ABcd"
+    assert evaluate("COALESCE(NULL, NULL, 3)") == 3
+    assert evaluate("NULLIF(2, 2)") is None
+    assert evaluate("LENGTH('hello')") == 5
+
+
+def test_aggregate_outside_grouping_raises():
+    with pytest.raises(ExecutionError):
+        evaluate("COUNT(*)")
+
+
+def test_subquery_without_executor_raises():
+    with pytest.raises(ExecutionError):
+        evaluate("EXISTS (SELECT 1)")
+
+
+def test_evaluate_constant_helper():
+    assert evaluate_constant(parse_expression("2 * 21")) == 42

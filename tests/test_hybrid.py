@@ -1,0 +1,124 @@
+"""Hybrid queries: materialized tables mixed with virtual ones."""
+
+import pytest
+
+from repro.baselines.materialized import MaterializedEngine
+from repro.config import EngineConfig
+from repro.core.engine import LLMStorageEngine
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+
+def orders_table() -> Table:
+    schema = TableSchema(
+        name="orders",
+        columns=(
+            Column("order_id", DataType.INTEGER, nullable=False),
+            Column("customer_country", DataType.TEXT),
+            Column("amount", DataType.REAL),
+        ),
+        primary_key=("order_id",),
+        description="locally stored orders",
+    )
+    return Table(
+        schema,
+        [
+            (1, "France", 100.0),
+            (2, "Japan", 250.0),
+            (3, "France", 80.0),
+            (4, "Kenya", 40.0),
+            (5, "Atlantis", 10.0),  # no such country in the model
+        ],
+    )
+
+
+@pytest.fixture
+def hybrid_engine(perfect_model, mini_world):
+    engine = LLMStorageEngine(perfect_model, config=EngineConfig())
+    for schema in mini_world.schemas():
+        engine.register_virtual_table(
+            schema, row_estimate=mini_world.row_count(schema.name)
+        )
+    engine.register_materialized_table(orders_table())
+    return engine
+
+
+def test_materialized_only_query_costs_nothing(hybrid_engine):
+    result = hybrid_engine.execute(
+        "SELECT COUNT(*), SUM(amount) FROM orders WHERE customer_country = 'France'"
+    )
+    assert result.rows == [(2, 180.0)]
+    assert result.usage.calls == 0
+
+
+def test_local_step_in_plan_and_explain(hybrid_engine):
+    text = hybrid_engine.explain(
+        "SELECT o.order_id, k.continent FROM orders o "
+        "JOIN countries k ON k.name = o.customer_country"
+    )
+    assert "LocalTable orders" in text
+    assert "LLMLookup countries" in text
+
+
+def test_hybrid_join_drives_lookup_from_local_table(hybrid_engine):
+    result = hybrid_engine.execute(
+        "SELECT o.order_id, k.continent FROM orders o "
+        "JOIN countries k ON k.name = o.customer_country ORDER BY o.order_id"
+    )
+    assert result.rows == [
+        (1, "Europe"), (2, "Asia"), (3, "Europe"), (4, "Africa"),
+    ]
+    # 3 distinct known countries, one batch lookup.
+    assert result.usage.calls == 1
+
+
+def test_hybrid_left_join_keeps_unknown_entities(hybrid_engine):
+    result = hybrid_engine.execute(
+        "SELECT o.order_id, k.continent FROM orders o "
+        "LEFT JOIN countries k ON k.name = o.customer_country "
+        "WHERE o.order_id = 5"
+    )
+    assert result.rows == [(5, None)]
+
+
+def test_hybrid_aggregation_over_virtual_and_local(hybrid_engine, mini_world):
+    sql = (
+        "SELECT k.continent, SUM(o.amount) AS revenue FROM orders o "
+        "JOIN countries k ON k.name = o.customer_country "
+        "GROUP BY k.continent ORDER BY revenue DESC"
+    )
+    result = hybrid_engine.execute(sql)
+    assert result.rows == [("Asia", 250.0), ("Europe", 180.0), ("Africa", 40.0)]
+
+
+def test_hybrid_matches_fully_materialized_oracle(hybrid_engine, mini_world):
+    from repro.llm.world import World
+
+    oracle_world = World(
+        "oracle",
+        [mini_world.table("countries"), mini_world.table("cities"), orders_table()],
+    )
+    sql = (
+        "SELECT o.order_id, k.name, k.population FROM orders o "
+        "JOIN countries k ON k.name = o.customer_country "
+        "WHERE o.amount > 50 ORDER BY o.order_id"
+    )
+    truth = MaterializedEngine(oracle_world).execute(sql).rows
+    assert hybrid_engine.execute(sql).rows == truth
+
+
+def test_no_pushdown_into_materialized_tables(hybrid_engine):
+    text = hybrid_engine.explain("SELECT order_id FROM orders WHERE amount > 50")
+    assert "pushdown" not in text
+    assert "LocalTable" in text
+
+
+def test_virtual_to_local_direction_also_works(hybrid_engine):
+    # Virtual table first in FROM order; local table joined after.
+    result = hybrid_engine.execute(
+        "SELECT k.name, o.amount FROM countries k "
+        "JOIN orders o ON o.customer_country = k.name "
+        "WHERE k.continent = 'Africa'"
+    )
+    assert result.rows == [("Kenya", 40.0)]

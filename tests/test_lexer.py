@@ -1,0 +1,140 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenKind
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source)[:-1]]
+
+
+def test_empty_input_yields_eof_only():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind is TokenKind.EOF
+
+
+def test_keywords_are_upper_cased():
+    assert texts("select From WHERE") == ["SELECT", "FROM", "WHERE"]
+
+
+def test_identifiers_preserve_case():
+    tokens = tokenize("myTable")
+    assert tokens[0].kind is TokenKind.IDENT
+    assert tokens[0].text == "myTable"
+
+
+def test_integer_literal():
+    token = tokenize("42")[0]
+    assert token.kind is TokenKind.INTEGER
+    assert token.value == 42
+
+
+def test_float_literal_with_decimal_point():
+    token = tokenize("3.25")[0]
+    assert token.kind is TokenKind.FLOAT
+    assert token.value == 3.25
+
+
+def test_float_literal_with_exponent():
+    token = tokenize("1e3")[0]
+    assert token.kind is TokenKind.FLOAT
+    assert token.value == 1000.0
+
+
+def test_float_with_signed_exponent():
+    token = tokenize("2.5E-2")[0]
+    assert token.value == 0.025
+
+
+def test_number_followed_by_dot_star_is_not_float():
+    tokens = tokenize("t1.x")
+    assert tokens[0].kind is TokenKind.IDENT
+
+
+def test_string_literal_simple():
+    token = tokenize("'hello'")[0]
+    assert token.kind is TokenKind.STRING
+    assert token.value == "hello"
+
+
+def test_string_literal_with_escaped_quote():
+    token = tokenize("'it''s'")[0]
+    assert token.value == "it's"
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexerError):
+        tokenize("'oops")
+
+
+def test_quoted_identifier():
+    token = tokenize('"weird name"')[0]
+    assert token.kind is TokenKind.IDENT
+    assert token.value == "weird name"
+
+
+def test_quoted_identifier_with_escaped_quote():
+    token = tokenize('"a""b"')[0]
+    assert token.value == 'a"b'
+
+
+def test_empty_quoted_identifier_raises():
+    with pytest.raises(LexerError):
+        tokenize('""')
+
+
+def test_multi_char_operators():
+    assert texts("a <> b != c >= d <= e || f") == [
+        "a", "<>", "b", "!=", "c", ">=", "d", "<=", "e", "||", "f",
+    ]
+
+
+def test_line_comment_is_skipped():
+    assert texts("SELECT -- comment here\n 1") == ["SELECT", "1"]
+
+
+def test_block_comment_is_skipped():
+    assert texts("SELECT /* multi\nline */ 1") == ["SELECT", "1"]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexerError):
+        tokenize("SELECT /* oops")
+
+
+def test_unexpected_character_raises_with_position():
+    with pytest.raises(LexerError) as excinfo:
+        tokenize("SELECT @")
+    assert excinfo.value.column == 8
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("SELECT\n  name")
+    name = tokens[1]
+    assert name.line == 2
+    assert name.column == 3
+
+
+def test_punctuation_tokens():
+    assert texts("(a, b);") == ["(", "a", ",", "b", ")", ";"]
+
+
+def test_underscore_identifier():
+    token = tokenize("_private_col")[0]
+    assert token.kind is TokenKind.IDENT
+
+
+def test_keyword_helpers():
+    token = tokenize("SELECT")[0]
+    assert token.is_keyword("SELECT", "FROM")
+    assert not token.is_keyword("WHERE")
+    assert tokenize("+")[0].is_operator("+")
+    assert tokenize(",")[0].is_punct(",")

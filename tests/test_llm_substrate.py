@@ -1,0 +1,242 @@
+"""Tests for the LLM substrate: tokenizer, accounting, cache, noise, world."""
+
+import pytest
+
+from repro.errors import LLMBudgetExceeded, WorkloadError
+from repro.llm.accounting import Budget, MeteredModel, PriceModel, UsageMeter
+from repro.llm.cache import CachingModel, PromptCache
+from repro.llm.interface import Completion, CompletionOptions, TracingModel
+from repro.llm.noise import (
+    NoiseConfig,
+    apply_format_noise,
+    confabulate,
+    stable_hash,
+    uniform01,
+)
+from repro.llm.tokenizer import count_tokens, truncate_to_tokens
+from repro.llm.world import World
+from repro.relational.table import Table
+
+
+# -- tokenizer -------------------------------------------------------------------
+
+
+def test_count_tokens_empty():
+    assert count_tokens("") == 0
+
+
+def test_count_tokens_words_and_punct():
+    assert count_tokens("cat") == 1          # 3 chars -> 1 token
+    assert count_tokens("elephant") == 2     # 8 chars -> 2 tokens
+    assert count_tokens("a, b") == 3         # a + comma + b
+
+
+def test_count_tokens_monotone_in_length():
+    short = count_tokens("alpha beta")
+    long = count_tokens("alpha beta gamma delta epsilon")
+    assert long > short
+
+
+def test_truncate_respects_budget():
+    text = "one two three four five six seven eight"
+    cut = truncate_to_tokens(text, 3)
+    assert count_tokens(cut) <= 3
+    assert text.startswith(cut.rstrip())
+
+
+def test_truncate_no_op_when_within_budget():
+    assert truncate_to_tokens("short", 100) == "short"
+
+
+def test_truncate_zero_budget():
+    assert truncate_to_tokens("anything", 0) == ""
+
+
+# -- accounting ------------------------------------------------------------------
+
+
+def _completion(prompt_tokens=10, completion_tokens=5):
+    return Completion(
+        text="x", prompt_tokens=prompt_tokens, completion_tokens=completion_tokens,
+        latency_ms=100.0,
+    )
+
+
+def test_meter_accumulates_and_snapshots():
+    meter = UsageMeter()
+    meter.record(_completion())
+    meter.record(_completion(20, 10))
+    snapshot = meter.snapshot()
+    assert snapshot.calls == 2
+    assert snapshot.prompt_tokens == 30
+    assert snapshot.completion_tokens == 15
+    assert snapshot.total_tokens == 45
+    assert snapshot.latency_ms == 200.0
+
+
+def test_snapshot_minus_and_plus():
+    meter = UsageMeter()
+    meter.record(_completion())
+    first = meter.snapshot()
+    meter.record(_completion())
+    diff = meter.snapshot().minus(first)
+    assert diff.calls == 1
+    combined = first.plus(diff)
+    assert combined.calls == 2
+
+
+def test_price_model_cost():
+    price = PriceModel(usd_per_1k_prompt_tokens=1.0, usd_per_1k_completion_tokens=2.0)
+    assert price.cost(1000, 500) == pytest.approx(2.0)
+
+
+def test_budget_enforced():
+    meter = UsageMeter(budget=Budget(max_calls=1))
+
+    class Model:
+        def complete(self, prompt, options=None):
+            return _completion()
+
+    metered = MeteredModel(Model(), meter)
+    metered.complete("p")
+    with pytest.raises(LLMBudgetExceeded):
+        metered.complete("p")
+
+
+def test_token_budget_enforced():
+    meter = UsageMeter(budget=Budget(max_total_tokens=12))
+    meter.record(_completion())  # 15 tokens
+    with pytest.raises(LLMBudgetExceeded):
+        meter.check_budget()
+
+
+# -- cache -----------------------------------------------------------------------
+
+
+class CountingModel:
+    def __init__(self):
+        self.calls = 0
+
+    def complete(self, prompt, options=CompletionOptions()):
+        self.calls += 1
+        return Completion(
+            text=f"answer-{prompt}", prompt_tokens=5, completion_tokens=5
+        )
+
+
+def test_cache_hit_returns_zero_cost():
+    inner = CountingModel()
+    cached = CachingModel(inner)
+    first = cached.complete("p")
+    second = cached.complete("p")
+    assert inner.calls == 1
+    assert first.text == second.text
+    assert second.prompt_tokens == 0 and second.completion_tokens == 0
+    assert cached.cache.stats.hits == 1
+
+
+def test_cache_key_includes_options():
+    inner = CountingModel()
+    cached = CachingModel(inner)
+    cached.complete("p", CompletionOptions(sample_index=0))
+    cached.complete("p", CompletionOptions(sample_index=1))
+    assert inner.calls == 2
+
+
+def test_cache_lru_eviction():
+    cache = PromptCache(max_entries=2)
+    model = CachingModel(CountingModel(), cache)
+    model.complete("a")
+    model.complete("b")
+    model.complete("c")
+    assert cache.stats.evictions == 1
+    model.complete("a")  # evicted -> miss
+    assert cache.stats.misses == 4
+
+
+def test_tracing_model_records():
+    tracer = TracingModel(CountingModel())
+    tracer.complete("hello")
+    assert len(tracer.calls) == 1
+    assert tracer.calls[0].prompt == "hello"
+
+
+# -- noise -----------------------------------------------------------------------
+
+
+def test_stable_hash_deterministic_and_sensitive():
+    assert stable_hash("a", 1) == stable_hash("a", 1)
+    assert stable_hash("a", 1) != stable_hash("a", 2)
+    assert stable_hash("a", 1) != stable_hash("a", "1")
+
+
+def test_uniform01_range():
+    values = [uniform01("k", i) for i in range(200)]
+    assert all(0.0 <= v < 1.0 for v in values)
+    mean = sum(values) / len(values)
+    assert 0.4 < mean < 0.6
+
+
+def test_confabulate_changes_value():
+    wrong = confabulate(100, [], 0.35, "seed", "addr")
+    assert wrong != 100
+    assert isinstance(wrong, int)
+    assert confabulate(True, [], 0.0, "s") is False
+    text_wrong = confabulate("France", ["France", "Spain", "Italy"], 0.0, "s", 1)
+    assert text_wrong in ("Spain", "Italy")
+
+
+def test_confabulate_deterministic():
+    assert confabulate(100, [], 0.35, "s", 1) == confabulate(100, [], 0.35, "s", 1)
+
+
+def test_format_noise_rate_zero_is_identity():
+    assert apply_format_noise("line", 0.0, "s") == "line"
+
+
+def test_format_noise_applied_sometimes():
+    decorated = [
+        apply_format_noise("line", 1.0, "s", i) != "line" for i in range(20)
+    ]
+    assert all(decorated)
+
+
+def test_noise_scaled_and_perfect():
+    noise = NoiseConfig().scaled(2.0)
+    assert noise.knowledge_gap_rate == pytest.approx(0.10)
+    perfect = NoiseConfig.perfect()
+    assert perfect.knowledge_gap_rate == 0.0
+    assert perfect.aggregate_error_rate == 0.0
+
+
+# -- world -----------------------------------------------------------------------
+
+
+def test_world_requires_primary_keys(country_table):
+    from repro.relational.schema import Column, TableSchema
+    from repro.relational.types import DataType
+
+    keyless = TableSchema(name="k", columns=(Column("x", DataType.INTEGER),))
+    with pytest.raises(WorkloadError):
+        World("w", [Table(keyless, [(1,)])])
+
+
+def test_world_fact_addressing(mini_world):
+    assert mini_world.fact("countries", ("France",), "population") == 68000
+    with pytest.raises(WorkloadError):
+        mini_world.fact("countries", ("Atlantis",), "population")
+
+
+def test_world_column_domain_sorted_distinct(mini_world):
+    domain = mini_world.column_domain("countries", "continent")
+    assert domain == ["Africa", "Asia", "Europe", "South America"]
+
+
+def test_world_summary_mentions_tables(mini_world):
+    summary = mini_world.render_summary()
+    assert "countries" in summary and "cities" in summary
+
+
+def test_world_executor_runs(mini_world):
+    result = mini_world.executor().execute("SELECT COUNT(*) FROM cities")
+    assert result.rows == [(11,)]

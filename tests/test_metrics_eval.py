@@ -1,0 +1,267 @@
+"""Tests for metrics, worlds, workloads, harness and experiments."""
+
+import pytest
+
+from repro.eval.harness import (
+    build_decomposed,
+    build_direct,
+    build_model,
+    evaluate_engine_on_workload,
+    evaluate_query,
+)
+from repro.eval.metrics import (
+    MetricSummary,
+    exact_match,
+    scalar_relative_error,
+    tuple_metrics,
+)
+from repro.eval.reporting import ResultTable
+from repro.eval.workloads import QUERY_CLASSES, queries_by_class, workload_for
+from repro.eval.worlds import (
+    all_worlds,
+    company_world,
+    constraints_for,
+    geography_world,
+    movies_world,
+)
+from repro.baselines.materialized import MaterializedEngine
+from repro.llm.noise import NoiseConfig
+
+
+# -- metrics ---------------------------------------------------------------------
+
+
+def test_tuple_metrics_perfect():
+    rows = [("a", 1), ("b", 2)]
+    metrics = tuple_metrics(rows, rows)
+    assert metrics.precision == metrics.recall == metrics.f1 == 1.0
+
+
+def test_tuple_metrics_partial():
+    metrics = tuple_metrics([("a", 1), ("x", 9)], [("a", 1), ("b", 2)])
+    assert metrics.precision == 0.5
+    assert metrics.recall == 0.5
+    assert metrics.f1 == 0.5
+
+
+def test_tuple_metrics_bag_semantics():
+    metrics = tuple_metrics([("a",), ("a",)], [("a",)])
+    assert metrics.true_positives == 1
+    assert metrics.precision == 0.5
+
+
+def test_tuple_metrics_numeric_tolerance():
+    metrics = tuple_metrics([(100,)], [(104,)], tolerance=0.05)
+    assert metrics.f1 == 1.0
+    metrics = tuple_metrics([(100,)], [(120,)], tolerance=0.05)
+    assert metrics.f1 == 0.0
+
+
+def test_tuple_metrics_empty_cases():
+    assert tuple_metrics([], []).f1 == 1.0
+    assert tuple_metrics([("a",)], []).precision == 0.0
+    assert tuple_metrics([], [("a",)]).recall == 0.0
+
+
+def test_exact_match_ordered_and_bag():
+    assert exact_match([(1,), (2,)], [(2,), (1,)])
+    assert not exact_match([(1,), (2,)], [(2,), (1,)], ordered=True)
+    assert exact_match([(1,), (2,)], [(1,), (2,)], ordered=True)
+
+
+def test_scalar_relative_error():
+    assert scalar_relative_error([(100,)], [(100,)]) == 0.0
+    assert scalar_relative_error([(90,)], [(100,)]) == pytest.approx(0.1)
+    assert scalar_relative_error([], [(100,)]) == 1.0
+    assert scalar_relative_error([(1,), (2,)], [(100,)]) == 1.0
+    assert scalar_relative_error([("x",)], [(100,)]) == 1.0
+    assert scalar_relative_error([(1,)], [("x",)]) is None
+    assert scalar_relative_error([(1,)], [(1,), (2,)]) is None
+
+
+def test_metric_summary_aggregation():
+    summary = MetricSummary()
+    summary.add(tuple_metrics([(1,)], [(1,)]), True, 0.0, 2, 100, 50.0, 0.01)
+    summary.add(tuple_metrics([], [(1,)]), False, None, 4, 300, 150.0, 0.03)
+    assert summary.count == 2
+    assert summary.mean_f1 == pytest.approx(0.5)
+    assert summary.exact_rate == pytest.approx(0.5)
+    assert summary.total_calls == 6
+    assert summary.mean_tokens == pytest.approx(200.0)
+    assert summary.total_cost_usd == pytest.approx(0.04)
+
+
+# -- worlds ----------------------------------------------------------------------
+
+
+def test_worlds_are_deterministic():
+    first = movies_world()
+    second = movies_world()
+    assert first.table("movies").rows == second.table("movies").rows
+
+
+def test_world_sizes():
+    geo = geography_world()
+    assert geo.row_count("countries") == 55
+    assert geo.row_count("cities") == 86
+    assert movies_world().row_count("movies") == 240
+    assert company_world().row_count("employees") == 160
+
+
+def test_movies_world_scalable():
+    small = movies_world(n_movies=40)
+    assert small.row_count("movies") == 40
+
+
+def test_geography_fk_integrity():
+    geo = geography_world()
+    countries = {row[0] for row in geo.table("countries").rows}
+    for row in geo.table("cities").rows:
+        assert row[1] in countries, row
+
+
+def test_company_fk_integrity():
+    world = company_world()
+    departments = {row[0] for row in world.table("departments").rows}
+    dept_index = world.schema("employees").column_index("department")
+    for row in world.table("employees").rows:
+        assert row[dept_index] in departments
+
+
+def test_movies_fk_integrity():
+    world = movies_world()
+    directors = {row[0] for row in world.table("directors").rows}
+    for row in world.table("movies").rows:
+        assert row[1] in directors
+
+
+def test_constraints_catch_wild_values():
+    geo = geography_world()
+    constraints = constraints_for(geo, "countries")
+    population = constraints["population"]
+    assert population.check(68000)
+    assert not population.check(10**9)
+    continent = constraints["continent"]
+    assert continent.check("Europe")
+    assert not continent.check("Atlantis")
+
+
+def test_constraints_skip_keys_and_high_cardinality():
+    geo = geography_world()
+    constraints = constraints_for(geo, "cities")
+    assert "city" not in constraints        # primary key
+    assert "country" not in constraints     # > 40 distinct values
+
+
+# -- workloads ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["geography", "movies", "company"])
+def test_workloads_cover_all_classes(name):
+    world = all_worlds()[name]
+    queries = workload_for(world)
+    classes = {q.query_class for q in queries}
+    assert classes == set(QUERY_CLASSES)
+
+
+@pytest.mark.parametrize("name", ["geography", "movies", "company"])
+def test_workload_queries_execute_on_ground_truth(name):
+    world = all_worlds()[name]
+    oracle = MaterializedEngine(world)
+    for query in workload_for(world):
+        result = oracle.execute(query.sql)
+        assert result is not None, query.query_id
+
+
+def test_queries_by_class_grouping():
+    world = geography_world()
+    grouped = queries_by_class(workload_for(world))
+    assert sum(len(v) for v in grouped.values()) == len(workload_for(world))
+
+
+# -- harness --------------------------------------------------------------------------
+
+
+def test_evaluate_query_perfect_engine(mini_world):
+    from repro.eval.workloads import WorkloadQuery
+
+    model = build_model(mini_world, NoiseConfig.perfect(), seed=1)
+    engine = build_decomposed(model, mini_world, with_constraints=False)
+    oracle = MaterializedEngine(mini_world)
+    query = WorkloadQuery(
+        query_id="t", sql="SELECT name FROM countries WHERE continent = 'Asia'",
+        query_class="filter", world_name="mini",
+    )
+    evaluation = evaluate_query(engine, oracle, query)
+    assert evaluation.metrics.f1 == 1.0
+    assert evaluation.exact
+    assert not evaluation.failed
+
+
+def test_evaluate_query_counts_failures(mini_world):
+    from repro.eval.workloads import WorkloadQuery
+
+    model = build_model(mini_world, NoiseConfig.perfect(), seed=1)
+    engine = build_decomposed(model, mini_world, with_constraints=False)
+    oracle = MaterializedEngine(mini_world)
+    query = WorkloadQuery(
+        query_id="corr",
+        sql=(
+            "SELECT name FROM countries k WHERE EXISTS "
+            "(SELECT 1 FROM cities c WHERE c.country = k.name)"
+        ),
+        query_class="filter",
+        world_name="mini",
+    )
+    evaluation = evaluate_query(engine, oracle, query)
+    assert evaluation.failed
+    assert evaluation.metrics.f1 == 0.0
+
+
+def test_evaluate_workload_summaries(mini_world):
+    model = build_model(mini_world, NoiseConfig.perfect(), seed=1)
+    engine = build_decomposed(model, mini_world, with_constraints=False)
+    from repro.eval.workloads import WorkloadQuery
+
+    queries = [
+        WorkloadQuery("a", "SELECT COUNT(*) FROM countries", "aggregate", "mini"),
+        WorkloadQuery("b", "SELECT name FROM countries WHERE gdp > 400", "filter", "mini"),
+    ]
+    outcome = evaluate_engine_on_workload(engine, mini_world, queries)
+    assert outcome.summary().count == 2
+    assert outcome.summary("filter").count == 1
+    assert outcome.summary().mean_f1 == 1.0
+
+
+def test_build_direct_runs(mini_world):
+    model = build_model(mini_world, NoiseConfig.perfect(), seed=1)
+    direct = build_direct(model, mini_world)
+    result = direct.execute("SELECT name FROM countries WHERE continent = 'Africa'")
+    assert result.rows == [("Kenya",)]
+
+
+# -- reporting ---------------------------------------------------------------------------
+
+
+def test_result_table_render_and_save(tmp_path):
+    table = ResultTable(title="T", columns=["a", "b"])
+    table.add_row("x", 1.5)
+    table.add_note("a note")
+    text = table.render_text()
+    assert "T" in text and "a note" in text
+    path = table.save(str(tmp_path / "t.txt"))
+    with open(path) as handle:
+        assert "T" in handle.read()
+
+
+def test_result_table_arity_check():
+    table = ResultTable(title="T", columns=["a"])
+    with pytest.raises(ValueError):
+        table.add_row(1, 2)
+
+
+def test_result_table_column_values():
+    table = ResultTable(title="T", columns=["a", "b"])
+    table.add_row(1, 2)
+    table.add_row(3, 4)
+    assert table.column_values("b") == [2, 4]

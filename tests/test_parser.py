@@ -1,0 +1,290 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.parser import parse, parse_expression
+
+
+def test_minimal_select():
+    query = parse("SELECT 1")
+    assert isinstance(query, ast.Query)
+    assert query.select[0].expr == ast.Literal(1)
+    assert query.from_clause is None
+
+
+def test_select_star():
+    query = parse("SELECT * FROM t")
+    assert query.select[0].expr == ast.Star()
+    assert query.from_clause == ast.NamedTable(name="t")
+
+
+def test_select_qualified_star():
+    query = parse("SELECT t.* FROM t")
+    assert query.select[0].expr == ast.Star(table="t")
+
+
+def test_select_alias_with_and_without_as():
+    query = parse("SELECT a AS x, b y FROM t")
+    assert query.select[0].alias == "x"
+    assert query.select[1].alias == "y"
+
+
+def test_table_alias_forms():
+    query = parse("SELECT 1 FROM t AS u")
+    assert query.from_clause == ast.NamedTable(name="t", alias="u")
+    query = parse("SELECT 1 FROM t u")
+    assert query.from_clause == ast.NamedTable(name="t", alias="u")
+
+
+def test_where_precedence_or_and():
+    expr = parse_expression("a OR b AND c")
+    assert isinstance(expr, ast.BinaryOp)
+    assert expr.op == "OR"
+    assert isinstance(expr.right, ast.BinaryOp)
+    assert expr.right.op == "AND"
+
+
+def test_not_binds_tighter_than_and():
+    expr = parse_expression("NOT a AND b")
+    assert expr.op == "AND"
+    assert isinstance(expr.left, ast.UnaryOp)
+
+
+def test_comparison_normalizes_bang_equals():
+    expr = parse_expression("a != b")
+    assert expr.op == "<>"
+
+
+def test_arithmetic_precedence():
+    expr = parse_expression("1 + 2 * 3")
+    assert expr.op == "+"
+    assert isinstance(expr.right, ast.BinaryOp)
+    assert expr.right.op == "*"
+
+
+def test_arithmetic_left_associativity():
+    expr = parse_expression("10 - 4 - 3")
+    assert expr.op == "-"
+    assert isinstance(expr.left, ast.BinaryOp)
+    assert expr.left.right == ast.Literal(4)
+
+
+def test_parenthesized_expression():
+    expr = parse_expression("(1 + 2) * 3")
+    assert expr.op == "*"
+    assert isinstance(expr.left, ast.BinaryOp)
+
+
+def test_unary_minus_folds_into_literal():
+    assert parse_expression("-5") == ast.Literal(-5)
+    assert parse_expression("-2.5") == ast.Literal(-2.5)
+
+
+def test_unary_minus_on_column():
+    expr = parse_expression("-x")
+    assert expr == ast.UnaryOp(op="-", operand=ast.ColumnRef(name="x"))
+
+
+def test_between():
+    expr = parse_expression("x BETWEEN 1 AND 10")
+    assert expr == ast.Between(
+        operand=ast.ColumnRef(name="x"), low=ast.Literal(1), high=ast.Literal(10)
+    )
+
+
+def test_not_between():
+    expr = parse_expression("x NOT BETWEEN 1 AND 10")
+    assert expr.negated is True
+
+
+def test_in_list():
+    expr = parse_expression("x IN (1, 2, 3)")
+    assert isinstance(expr, ast.InList)
+    assert [item.value for item in expr.items] == [1, 2, 3]
+
+
+def test_not_in_list():
+    expr = parse_expression("x NOT IN ('a')")
+    assert expr.negated is True
+
+
+def test_in_subquery():
+    expr = parse_expression("x IN (SELECT y FROM t)")
+    assert isinstance(expr, ast.InSubquery)
+
+
+def test_like_and_not_like():
+    assert isinstance(parse_expression("name LIKE 'A%'"), ast.Like)
+    assert parse_expression("name NOT LIKE 'A%'").negated is True
+
+
+def test_is_null_and_is_not_null():
+    assert parse_expression("x IS NULL") == ast.IsNull(operand=ast.ColumnRef(name="x"))
+    assert parse_expression("x IS NOT NULL").negated is True
+
+
+def test_exists():
+    expr = parse_expression("EXISTS (SELECT 1 FROM t)")
+    assert isinstance(expr, ast.Exists)
+
+
+def test_scalar_subquery():
+    expr = parse_expression("(SELECT MAX(x) FROM t)")
+    assert isinstance(expr, ast.ScalarSubquery)
+
+
+def test_case_searched():
+    expr = parse_expression("CASE WHEN x > 0 THEN 'pos' ELSE 'neg' END")
+    assert isinstance(expr, ast.CaseWhen)
+    assert expr.operand is None
+    assert len(expr.branches) == 1
+    assert expr.else_result == ast.Literal("neg")
+
+
+def test_case_simple_form():
+    expr = parse_expression("CASE x WHEN 1 THEN 'one' WHEN 2 THEN 'two' END")
+    assert expr.operand == ast.ColumnRef(name="x")
+    assert len(expr.branches) == 2
+    assert expr.else_result is None
+
+
+def test_case_without_when_raises():
+    with pytest.raises(ParseError):
+        parse_expression("CASE ELSE 1 END")
+
+
+def test_cast():
+    expr = parse_expression("CAST(x AS INTEGER)")
+    assert expr == ast.Cast(operand=ast.ColumnRef(name="x"), type_name="INTEGER")
+
+
+def test_cast_bad_type_raises():
+    with pytest.raises(ParseError):
+        parse_expression("CAST(x AS BANANA)")
+
+
+def test_function_call():
+    expr = parse_expression("upper(name)")
+    assert expr == ast.FunctionCall(name="UPPER", args=[ast.ColumnRef(name="name")])
+
+
+def test_count_star_and_distinct():
+    expr = parse_expression("COUNT(*)")
+    assert expr == ast.FunctionCall(name="COUNT", args=[ast.Star()])
+    expr = parse_expression("COUNT(DISTINCT x)")
+    assert expr.distinct is True
+
+
+def test_joins_parse_left_deep():
+    query = parse(
+        "SELECT 1 FROM a JOIN b ON b.x = a.x LEFT JOIN c ON c.y = b.y"
+    )
+    outer = query.from_clause
+    assert isinstance(outer, ast.Join)
+    assert outer.kind == "left"
+    inner = outer.left
+    assert isinstance(inner, ast.Join)
+    assert inner.kind == "inner"
+
+
+def test_cross_join_and_comma():
+    query = parse("SELECT 1 FROM a CROSS JOIN b")
+    assert query.from_clause.kind == "cross"
+    query = parse("SELECT 1 FROM a, b")
+    assert query.from_clause.kind == "cross"
+
+
+def test_join_requires_on():
+    with pytest.raises(ParseError):
+        parse("SELECT 1 FROM a JOIN b")
+
+
+def test_derived_table():
+    query = parse("SELECT 1 FROM (SELECT x FROM t) AS d")
+    assert isinstance(query.from_clause, ast.SubqueryTable)
+    assert query.from_clause.alias == "d"
+
+
+def test_derived_table_requires_alias():
+    with pytest.raises(ParseError):
+        parse("SELECT 1 FROM (SELECT x FROM t)")
+
+
+def test_group_by_having():
+    query = parse("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1")
+    assert len(query.group_by) == 1
+    assert query.having is not None
+
+
+def test_order_by_directions_and_nulls():
+    query = parse("SELECT a FROM t ORDER BY a DESC NULLS LAST, b ASC NULLS FIRST")
+    first, second = query.order_by
+    assert first.descending and first.nulls_last is True
+    assert not second.descending and second.nulls_last is False
+
+
+def test_limit_offset():
+    query = parse("SELECT a FROM t LIMIT 10 OFFSET 5")
+    assert query.limit == 10
+    assert query.offset == 5
+
+
+def test_limit_requires_integer():
+    with pytest.raises(ParseError):
+        parse("SELECT a FROM t LIMIT x")
+
+
+def test_union_and_union_all():
+    statement = parse("SELECT a FROM t UNION SELECT b FROM u")
+    assert isinstance(statement, ast.SetOperation)
+    assert statement.op == "union" and statement.all is False
+    statement = parse("SELECT a FROM t UNION ALL SELECT b FROM u")
+    assert statement.all is True
+
+
+def test_set_operation_chain_is_left_nested():
+    statement = parse("SELECT 1 UNION SELECT 2 EXCEPT SELECT 3")
+    assert statement.op == "except"
+    assert isinstance(statement.left, ast.SetOperation)
+    assert statement.left.op == "union"
+
+
+def test_order_limit_attach_to_set_operation():
+    statement = parse("SELECT a FROM t UNION SELECT b FROM u ORDER BY 1 LIMIT 2")
+    assert statement.order_by and statement.limit == 2
+    assert isinstance(statement.left, ast.Query)
+    assert statement.left.limit is None
+
+
+def test_distinct():
+    query = parse("SELECT DISTINCT a FROM t")
+    assert query.distinct is True
+
+
+def test_trailing_garbage_raises():
+    with pytest.raises(ParseError):
+        parse("SELECT 1 FROM t 42")
+
+
+def test_trailing_semicolon_allowed():
+    assert isinstance(parse("SELECT 1;"), ast.Query)
+
+
+def test_boolean_and_null_literals():
+    assert parse_expression("TRUE") == ast.Literal(True)
+    assert parse_expression("FALSE") == ast.Literal(False)
+    assert parse_expression("NULL") == ast.Literal(None)
+
+
+def test_string_concat_operator():
+    expr = parse_expression("a || b || c")
+    assert expr.op == "||"
+    assert expr.left.op == "||"
+
+
+def test_error_carries_position():
+    with pytest.raises(ParseError) as excinfo:
+        parse("SELECT FROM t")
+    assert excinfo.value.line == 1

@@ -1,0 +1,325 @@
+"""Planner tests: rules, cost model, optimizer decisions, EXPLAIN."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.errors import PlanError
+from repro.plan import rules
+from repro.plan.cost import CostModel, TableStats
+from repro.plan.explain import explain_plan
+from repro.plan.optimizer import Optimizer
+from repro.plan.physical import JudgeStep, LookupStep, RetrievalPlan, ScanStep, SetOpPlan
+from repro.relational.catalog import Catalog
+from repro.sql.binder import Binder
+from repro.sql.parser import parse, parse_expression
+from tests.conftest import make_city_schema, make_country_schema
+
+
+@pytest.fixture
+def virtual_catalog():
+    catalog = Catalog()
+    catalog.register_virtual(make_country_schema())
+    catalog.register_virtual(make_city_schema())
+    return catalog
+
+
+STATS = {"countries": TableStats(row_count=10), "cities": TableStats(row_count=11)}
+
+
+def plan_for(catalog, sql, config=EngineConfig()):
+    bound = Binder(catalog).bind(parse(sql))
+    return Optimizer(catalog, STATS, config).plan(bound)
+
+
+# -- rules -------------------------------------------------------------------
+
+
+def test_split_and_conjoin_round_trip():
+    expr = parse_expression("a = 1 AND b = 2 AND c = 3")
+    conjuncts = rules.split_conjuncts(expr)
+    assert len(conjuncts) == 3
+    rebuilt = rules.conjoin(conjuncts)
+    assert rules.split_conjuncts(rebuilt) == conjuncts
+
+
+def test_conjoin_empty_is_none():
+    assert rules.conjoin([]) is None
+
+
+def test_single_binding_detection():
+    expr = parse_expression("t.a = 1 AND t.b > 2")
+    assert rules.single_binding(expr) == "t"
+    assert rules.single_binding(parse_expression("t.a = u.b")) is None
+    assert rules.single_binding(parse_expression("1 = 1")) is None
+
+
+def test_prompt_safety_whitelist():
+    assert rules.is_prompt_safe(parse_expression("a = 1 AND b LIKE 'x%'"))
+    assert rules.is_prompt_safe(parse_expression("a BETWEEN 1 AND 2 OR c IS NULL"))
+    assert rules.is_prompt_safe(parse_expression("UPPER(a) = 'X'"))
+    assert not rules.is_prompt_safe(parse_expression("a IN (SELECT b FROM t)"))
+    assert not rules.is_prompt_safe(
+        parse_expression("CASE WHEN a THEN 1 ELSE 0 END = 1")
+    )
+
+
+def test_strip_binding_qualifiers():
+    expr = parse_expression("t.a = 1 AND t.b IN (2, 3)")
+    stripped = rules.strip_binding_qualifiers(expr)
+    assert rules.render_pushdown(expr) == "a = 1 AND b IN (2, 3)"
+    assert rules.referenced_bindings(stripped) == set()
+
+
+def test_equi_pairs_extraction():
+    pairs = rules.equi_pairs(parse_expression("b.x = a.y AND b.z > 1"))
+    assert len(pairs) == 1
+    left, right = pairs[0]
+    assert {left.table, right.table} == {"a", "b"}
+
+
+def test_needed_columns_covers_all_clauses(virtual_catalog):
+    bound = Binder(virtual_catalog).bind(
+        parse(
+            "SELECT c.city FROM cities c JOIN countries k ON k.name = c.country "
+            "WHERE k.gdp > 1 GROUP BY c.city HAVING COUNT(*) > 0 ORDER BY c.city_pop"
+        )
+    )
+    needed = rules.needed_columns(bound.query, ["c", "k"])
+    assert needed["c"] == {"city", "country", "city_pop"}
+    assert needed["k"] == {"name", "gdp"}
+
+
+def test_correlation_detection(virtual_catalog):
+    bound = Binder(virtual_catalog).bind(
+        parse(
+            "SELECT name FROM countries k WHERE EXISTS "
+            "(SELECT 1 FROM cities c WHERE c.country = k.name)"
+        )
+    )
+    subquery = bound.query.where.query
+    assert rules.is_correlated(subquery)
+    bound2 = Binder(virtual_catalog).bind(
+        parse(
+            "SELECT name FROM countries WHERE name IN "
+            "(SELECT country FROM cities)"
+        )
+    )
+    assert not rules.is_correlated(bound2.query.where.query)
+
+
+# -- cost model ------------------------------------------------------------------
+
+
+def test_selectivity_heuristics():
+    model = CostModel(STATS, EngineConfig())
+    schema = make_country_schema()
+    eq_key = parse_expression("name = 'France'")
+    assert model.selectivity(eq_key, schema) == pytest.approx(0.1)
+    eq = parse_expression("continent = 'Europe'")
+    assert model.selectivity(eq, schema) == pytest.approx(0.10)
+    rng = parse_expression("population > 5")
+    assert model.selectivity(rng, schema) == pytest.approx(0.30)
+    both = parse_expression("continent = 'Europe' AND population > 5")
+    assert model.selectivity(both, schema) == pytest.approx(0.03)
+    assert model.selectivity(None, schema) == 1.0
+
+
+def test_scan_cost_scales_with_pages():
+    model = CostModel(STATS, EngineConfig(page_size=10))
+    small = model.scan_cost("countries", 5, 2)
+    large = model.scan_cost("countries", 50, 2)
+    assert large.calls > small.calls
+    assert large.completion_tokens > small.completion_tokens
+
+
+def test_lookup_cost_scales_with_votes_and_batch():
+    one_vote = CostModel(STATS, EngineConfig(votes=1)).lookup_cost(20, 2)
+    three_votes = CostModel(STATS, EngineConfig(votes=3)).lookup_cost(20, 2)
+    assert three_votes.calls == pytest.approx(3 * one_vote.calls)
+    tiny_batches = CostModel(
+        STATS, EngineConfig(lookup_batch_size=1)
+    ).lookup_cost(20, 2)
+    assert tiny_batches.calls > one_vote.calls
+
+
+# -- optimizer ----------------------------------------------------------------------
+
+
+def test_pushdown_lands_in_scan(virtual_catalog):
+    plan = plan_for(
+        virtual_catalog,
+        "SELECT name FROM countries WHERE continent = 'Europe' AND gdp > 100",
+    )
+    [scan] = plan.steps
+    assert isinstance(scan, ScanStep)
+    assert scan.pushdown_sql == "continent = 'Europe' AND gdp > 100"
+
+
+def test_pushdown_disabled_by_config(virtual_catalog):
+    plan = plan_for(
+        virtual_catalog,
+        "SELECT name FROM countries WHERE continent = 'Europe'",
+        EngineConfig.naive(),
+    )
+    [scan] = plan.steps
+    assert scan.pushdown_sql is None
+    assert scan.est_rows == 10  # full table
+
+
+def test_projection_pruning(virtual_catalog):
+    plan = plan_for(virtual_catalog, "SELECT name FROM countries WHERE gdp > 1")
+    [scan] = plan.steps
+    assert set(scan.columns) == {"name", "gdp"}
+
+
+def test_point_lookup_for_pk_equality(virtual_catalog):
+    plan = plan_for(
+        virtual_catalog, "SELECT population FROM countries WHERE name = 'France'"
+    )
+    [step] = plan.steps
+    assert isinstance(step, LookupStep)
+    assert step.literal_keys == [("France",)]
+    assert "population" in step.attributes
+
+
+def test_point_lookup_for_pk_in_list(virtual_catalog):
+    plan = plan_for(
+        virtual_catalog,
+        "SELECT population FROM countries WHERE name IN ('France', 'Japan')",
+    )
+    [step] = plan.steps
+    assert isinstance(step, LookupStep)
+    assert len(step.literal_keys) == 2
+
+
+def test_point_lookup_disabled_with_lookup_join(virtual_catalog):
+    plan = plan_for(
+        virtual_catalog,
+        "SELECT population FROM countries WHERE name = 'France'",
+        EngineConfig().with_(enable_lookup_join=False),
+    )
+    [step] = plan.steps
+    assert isinstance(step, ScanStep)
+
+
+def test_lookup_join_on_pk_equi_join(virtual_catalog):
+    plan = plan_for(
+        virtual_catalog,
+        "SELECT c.city, k.continent FROM cities c JOIN countries k "
+        "ON k.name = c.country WHERE c.city_pop > 5000",
+    )
+    kinds = [step.kind for step in plan.steps]
+    assert kinds == ["scan", "lookup"]
+    lookup = plan.steps[1]
+    assert lookup.source_binding == "c"
+    assert lookup.source_columns == ("country",)
+
+
+def test_join_without_pk_coverage_scans_both(virtual_catalog):
+    plan = plan_for(
+        virtual_catalog,
+        "SELECT 1 FROM cities c JOIN countries k ON k.continent = c.country",
+    )
+    kinds = [step.kind for step in plan.steps]
+    assert kinds == ["scan", "scan"]
+
+
+def test_order_limit_pushdown(virtual_catalog):
+    plan = plan_for(
+        virtual_catalog,
+        "SELECT name, population FROM countries ORDER BY population DESC LIMIT 3",
+    )
+    [scan] = plan.steps
+    assert scan.limit_hint == 3
+    assert scan.order == ("population", True)
+
+
+def test_limit_pushdown_unsound_with_local_filter(virtual_catalog):
+    # CASE predicates cannot ship, so a local filter remains and the
+    # limit hint must NOT be set.
+    plan = plan_for(
+        virtual_catalog,
+        "SELECT name FROM countries "
+        "WHERE CASE WHEN gdp > 1 THEN TRUE ELSE FALSE END ORDER BY name LIMIT 3",
+    )
+    [scan] = plan.steps
+    assert scan.limit_hint is None
+
+
+def test_limit_pushdown_skipped_for_aggregates(virtual_catalog):
+    plan = plan_for(virtual_catalog, "SELECT COUNT(*) FROM countries LIMIT 1")
+    [scan] = plan.steps
+    assert scan.limit_hint is None
+
+
+def test_correlated_subquery_rejected(virtual_catalog):
+    with pytest.raises(PlanError):
+        plan_for(
+            virtual_catalog,
+            "SELECT name FROM countries k WHERE EXISTS "
+            "(SELECT 1 FROM cities c WHERE c.country = k.name)",
+        )
+
+
+def test_uncorrelated_subquery_planned(virtual_catalog):
+    plan = plan_for(
+        virtual_catalog,
+        "SELECT name FROM countries WHERE name IN (SELECT country FROM cities)",
+    )
+    assert len(plan.subplans) == 1
+    assert isinstance(plan.subplans[0].plan, RetrievalPlan)
+
+
+def test_setop_plans_both_sides(virtual_catalog):
+    plan = plan_for(
+        virtual_catalog,
+        "SELECT name FROM countries UNION SELECT city FROM cities ORDER BY 1 LIMIT 4",
+    )
+    assert isinstance(plan, SetOpPlan)
+    assert plan.limit == 4
+
+
+def test_judge_step_when_configured(virtual_catalog):
+    config = EngineConfig().with_(enable_pushdown=False, enable_judge=True)
+    plan = plan_for(
+        virtual_catalog,
+        "SELECT name FROM countries WHERE gdp > 100",
+        config,
+    )
+    kinds = [step.kind for step in plan.steps]
+    assert "judge" in kinds
+    judge = next(step for step in plan.steps if isinstance(step, JudgeStep))
+    assert judge.condition_sql == "gdp > 100"
+    # The judged conjunct is removed from the local statement.
+    assert plan.statement.where is None
+
+
+def test_plan_estimate_aggregates_steps(virtual_catalog):
+    plan = plan_for(
+        virtual_catalog,
+        "SELECT c.city, k.continent FROM cities c JOIN countries k "
+        "ON k.name = c.country",
+    )
+    total = plan.estimate
+    assert total.calls >= sum(0 for _ in plan.steps)
+    assert total.total_tokens > 0
+
+
+def test_explain_renders_tree(virtual_catalog):
+    plan = plan_for(
+        virtual_catalog,
+        "SELECT c.city, k.continent FROM cities c JOIN countries k "
+        "ON k.name = c.country WHERE c.city_pop > 5000",
+    )
+    text = explain_plan(plan)
+    assert "LLMScan" in text
+    assert "LLMLookup" in text
+    assert "LocalCompute" in text
+
+
+def test_explain_setop(virtual_catalog):
+    plan = plan_for(
+        virtual_catalog, "SELECT name FROM countries UNION SELECT city FROM cities"
+    )
+    text = explain_plan(plan)
+    assert "SetOp UNION" in text

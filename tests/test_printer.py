@@ -1,0 +1,158 @@
+"""Printer tests: canonical rendering plus parse/print round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import ast
+from repro.sql.parser import parse, parse_expression
+from repro.sql.printer import format_identifier, format_literal, to_sql
+
+ROUND_TRIP_STATEMENTS = [
+    "SELECT 1",
+    "SELECT DISTINCT a, b AS c FROM t",
+    "SELECT * FROM t WHERE a = 1 AND b <> 'x'",
+    "SELECT t.* FROM t",
+    "SELECT a FROM t AS u WHERE u.a > 3.5",
+    "SELECT a FROM t WHERE a BETWEEN 1 AND 2 OR b NOT IN (1, 2)",
+    "SELECT a FROM t WHERE name LIKE 'A%' AND note IS NOT NULL",
+    "SELECT a, COUNT(*) AS n FROM t GROUP BY a HAVING COUNT(*) > 1",
+    "SELECT a FROM t ORDER BY a DESC NULLS LAST LIMIT 3 OFFSET 1",
+    "SELECT a FROM t JOIN u ON u.x = t.x LEFT JOIN v ON v.y = u.y",
+    "SELECT a FROM t CROSS JOIN u",
+    "SELECT a FROM (SELECT b AS a FROM u) AS d",
+    "SELECT CASE WHEN a > 0 THEN 'p' ELSE 'n' END FROM t",
+    "SELECT CAST(a AS REAL) FROM t",
+    "SELECT a FROM t WHERE a IN (SELECT b FROM u)",
+    "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.x = 1)",
+    "SELECT a FROM t UNION ALL SELECT b FROM u ORDER BY 1 LIMIT 5",
+    "SELECT a FROM t UNION SELECT b FROM u EXCEPT SELECT c FROM v",
+    "SELECT -x, +3 FROM t",
+    "SELECT a || '-' || b FROM t",
+    "SELECT COUNT(DISTINCT a) FROM t",
+    "SELECT a FROM t WHERE NOT (a = 1 OR b = 2)",
+    "SELECT UPPER(name), ROUND(x, 2) FROM t",
+]
+
+
+@pytest.mark.parametrize("sql", ROUND_TRIP_STATEMENTS)
+def test_statement_round_trip(sql):
+    first = parse(sql)
+    rendered = to_sql(first)
+    second = parse(rendered)
+    assert second == first, rendered
+
+
+ROUND_TRIP_EXPRESSIONS = [
+    "1 + 2 * 3",
+    "(1 + 2) * 3",
+    "a - (b - c)",
+    "a - b - c",
+    "NOT a AND b",
+    "NOT (a AND b)",
+    "a = b AND c <> d",
+    "(a = b) = TRUE" if False else "a = b",
+    "x NOT BETWEEN 1 AND 2",
+    "x IS NULL OR y IS NOT NULL",
+    "CASE x WHEN 1 THEN 'a' WHEN 2 THEN 'b' ELSE 'c' END",
+    "-x * 3",
+    "a / b / c",
+    "x % 3 = 0",
+]
+
+
+@pytest.mark.parametrize("source", ROUND_TRIP_EXPRESSIONS)
+def test_expression_round_trip(source):
+    first = parse_expression(source)
+    rendered = to_sql(first)
+    second = parse_expression(rendered)
+    assert second == first, rendered
+
+
+def test_identifier_quoting():
+    assert format_identifier("plain_name") == "plain_name"
+    assert format_identifier("has space") == '"has space"'
+    assert format_identifier("select") == '"select"'
+    assert format_identifier("1starts_digit") == '"1starts_digit"'
+    assert format_identifier('has"quote') == '"has""quote"'
+
+
+def test_literal_formatting():
+    assert format_literal(None) == "NULL"
+    assert format_literal(True) == "TRUE"
+    assert format_literal(False) == "FALSE"
+    assert format_literal(42) == "42"
+    assert format_literal(2.5) == "2.5"
+    assert format_literal("it's") == "'it''s'"
+
+
+def test_float_literal_relexes_as_float():
+    rendered = format_literal(1e30)
+    assert parse_expression(rendered) == ast.Literal(1e30)
+
+
+def test_quoted_identifier_round_trip():
+    query = parse('SELECT "weird col" FROM "weird table"')
+    assert parse(to_sql(query)) == query
+
+
+# ---------------------------------------------------------------------------
+# Property: random parser-canonical expressions round-trip
+# ---------------------------------------------------------------------------
+
+_literals = st.one_of(
+    st.integers(min_value=0, max_value=10**6).map(ast.Literal),
+    st.floats(min_value=0.001, max_value=1e6, allow_nan=False).map(ast.Literal),
+    st.text(
+        alphabet="abc XYZ'%_", min_size=0, max_size=8
+    ).map(ast.Literal),
+    st.sampled_from([ast.Literal(None), ast.Literal(True), ast.Literal(False)]),
+)
+_columns = st.sampled_from(
+    [ast.ColumnRef(name="a"), ast.ColumnRef(name="b", table="t"), ast.ColumnRef(name="c")]
+)
+_atoms = st.one_of(_literals, _columns)
+
+
+def _binary(children):
+    ops = st.sampled_from(["+", "-", "*", "/", "=", "<>", "<", "<=", ">", ">=", "AND", "OR"])
+    return st.builds(lambda op, l, r: ast.BinaryOp(op=op, left=l, right=r), ops, children, children)
+
+
+def _negation(children):
+    return st.builds(lambda operand: ast.UnaryOp(op="NOT", operand=operand), children)
+
+
+def _predicates(children):
+    return st.one_of(
+        st.builds(
+            lambda operand, low, high, negated: ast.Between(
+                operand=operand, low=low, high=high, negated=negated
+            ),
+            children, children, children, st.booleans(),
+        ),
+        st.builds(
+            lambda operand, negated: ast.IsNull(operand=operand, negated=negated),
+            children, st.booleans(),
+        ),
+        st.builds(
+            lambda operand, items, negated: ast.InList(
+                operand=operand, items=items, negated=negated
+            ),
+            children, st.lists(_atoms, min_size=1, max_size=3), st.booleans(),
+        ),
+    )
+
+
+expressions = st.recursive(
+    _atoms,
+    lambda children: st.one_of(_binary(children), _negation(children), _predicates(children)),
+    max_leaves=12,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(expressions)
+def test_generated_expressions_round_trip(expr):
+    rendered = to_sql(expr)
+    assert parse_expression(rendered) == expr

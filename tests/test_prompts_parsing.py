@@ -1,0 +1,250 @@
+"""Tests for prompt grammar, builders and completion parsers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LLMProtocolError
+from repro.prompts import grammar
+from repro.prompts.enumerate import EnumerateRequest, build_enumerate_prompt
+from repro.prompts.lookup import LookupRequest, build_lookup_prompt
+from repro.prompts.parsing import (
+    parse_direct_completion,
+    parse_enumerate_completion,
+    parse_judge_completion,
+    parse_lookup_completion,
+    strip_chatter,
+)
+from repro.relational.types import DataType
+from tests.conftest import make_country_schema
+
+COUNTRY = make_country_schema()
+
+
+# -- cell round trip ----------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "value,dtype",
+    [
+        (None, DataType.TEXT),
+        ("Paris", DataType.TEXT),
+        (42, DataType.INTEGER),
+        (-7, DataType.INTEGER),
+        (3.25, DataType.REAL),
+        (1e-9, DataType.REAL),
+        (True, DataType.BOOLEAN),
+        (False, DataType.BOOLEAN),
+    ],
+)
+def test_cell_round_trip(value, dtype):
+    assert grammar.parse_cell(grammar.render_cell(value), dtype) == value
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.one_of(
+        st.integers(min_value=-(10**12), max_value=10**12),
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+        st.booleans(),
+        st.none(),
+    )
+)
+def test_cell_round_trip_property(value):
+    dtype = {
+        bool: DataType.BOOLEAN,
+        int: DataType.INTEGER,
+        float: DataType.REAL,
+    }.get(type(value), DataType.TEXT)
+    assert grammar.parse_cell(grammar.render_cell(value), dtype) == value
+
+
+def test_parse_cell_unknown_and_null():
+    assert grammar.parse_cell("NULL", DataType.TEXT) is None
+    assert grammar.parse_cell("UNKNOWN", DataType.INTEGER) is None
+
+
+def test_parse_cell_lenient_numbers():
+    assert grammar.parse_cell(" 1,234 ", DataType.INTEGER) == 1234
+
+
+def test_parse_cell_failure_raises():
+    with pytest.raises(LLMProtocolError):
+        grammar.parse_cell("not-a-number", DataType.INTEGER)
+
+
+def test_parse_row_arity_check():
+    with pytest.raises(LLMProtocolError):
+        grammar.parse_row("a | b | c", [DataType.TEXT, DataType.TEXT])
+
+
+# -- prompt structure ------------------------------------------------------------
+
+
+def test_prompt_header_round_trip():
+    request = EnumerateRequest(
+        schema=COUNTRY, columns=("name", "population"),
+        condition_sql="population > 5", order=("population", True),
+        after_index=7, max_rows=13,
+    )
+    fields = grammar.parse_prompt(build_enumerate_prompt(request))
+    assert fields.task == grammar.TASK_ENUMERATE
+    assert fields.require(grammar.FIELD_CONDITION) == "population > 5"
+    assert fields.int_field(grammar.FIELD_AFTER_INDEX, 0) == 7
+    assert fields.int_field(grammar.FIELD_MAX_ROWS, 0) == 13
+    assert grammar.parse_column_list(fields.require(grammar.FIELD_COLUMNS)) == [
+        "name", "population",
+    ]
+
+
+def test_prompt_sections_round_trip():
+    request = LookupRequest(
+        schema=COUNTRY, key_columns=("name",), attributes=("gdp",),
+        entities=(("France",), ("Japan",)),
+    )
+    fields = grammar.parse_prompt(build_lookup_prompt(request))
+    assert fields.section(grammar.SECTION_ENTITIES) == ["France", "Japan"]
+
+
+def test_missing_header_raises():
+    fields = grammar.parse_prompt("no structure at all")
+    with pytest.raises(LLMProtocolError):
+        fields.task
+
+
+def test_int_field_validation():
+    fields = grammar.parse_prompt("TASK: enumerate\nMAX_ROWS: nope")
+    with pytest.raises(LLMProtocolError):
+        fields.int_field("MAX_ROWS", 1)
+
+
+def test_column_list_rejects_empty():
+    with pytest.raises(LLMProtocolError):
+        grammar.parse_column_list("  ,  ")
+
+
+# -- chatter stripping -------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "noisy,clean",
+    [
+        ("I think Paris | 2161", "Paris | 2161"),
+        ("Sure: 1. Rome | 2873", "1. Rome | 2873"),
+        ("Paris | 2161 (approximately)", "Paris | 2161"),
+        ("Paris | 2161 — hope this helps!", "Paris | 2161"),
+        ("- Paris | 2161", "Paris | 2161"),
+        ("  Paris | 2161  ", "Paris | 2161"),
+        ("Based on my knowledge, I think Oslo | 697 (as of my training data)", "Oslo | 697"),
+    ],
+)
+def test_strip_chatter(noisy, clean):
+    assert strip_chatter(noisy) == clean
+
+
+# -- enumeration parsing ------------------------------------------------------------
+
+
+def test_parse_enumerate_complete_page():
+    text = "France | 68000\nGermany | 84000\nDONE"
+    page = parse_enumerate_completion(text, [DataType.TEXT, DataType.INTEGER])
+    assert len(page.rows) == 2
+    assert page.complete and not page.has_more
+
+
+def test_parse_enumerate_more_sentinel():
+    page = parse_enumerate_completion(
+        "France | 1\nMORE", [DataType.TEXT, DataType.INTEGER]
+    )
+    assert page.has_more and page.complete
+
+
+def test_parse_enumerate_truncated_page():
+    page = parse_enumerate_completion(
+        "France | 1\nGerm", [DataType.TEXT, DataType.INTEGER]
+    )
+    assert not page.complete
+    assert len(page.rows) == 1
+    assert page.malformed_lines == 1
+
+
+def test_parse_enumerate_skips_malformed_lines():
+    text = "France | 68000\ngarbage line\nItaly | 59000\nDONE"
+    page = parse_enumerate_completion(text, [DataType.TEXT, DataType.INTEGER])
+    assert len(page.rows) == 2
+    assert page.malformed_lines == 1
+
+
+def test_parse_enumerate_refusal_raises():
+    with pytest.raises(LLMProtocolError):
+        parse_enumerate_completion("I'm sorry, I cannot do that.", [DataType.TEXT])
+
+
+# -- lookup parsing -----------------------------------------------------------------
+
+
+def test_parse_lookup_slots_and_unknown():
+    text = "1. 68000 | Europe\n2. UNKNOWN\n3. 125000 | Asia"
+    slots = parse_lookup_completion(text, 3, [DataType.INTEGER, DataType.TEXT])
+    assert slots[0] == [68000, "Europe"]
+    assert slots[1] is None
+    assert slots[2] == [125000, "Asia"]
+
+
+def test_parse_lookup_out_of_range_index_ignored():
+    slots = parse_lookup_completion("9. 1", 2, [DataType.INTEGER])
+    assert slots == [None, None]
+
+
+def test_parse_lookup_misordered_lines():
+    text = "2. 5\n1. 3"
+    slots = parse_lookup_completion(text, 2, [DataType.INTEGER])
+    assert slots == [[3], [5]]
+
+
+def test_parse_lookup_with_chatter():
+    text = "I think 1. 68000 | Europe (approximately)"
+    slots = parse_lookup_completion(text, 1, [DataType.INTEGER, DataType.TEXT])
+    assert slots[0] == [68000, "Europe"]
+
+
+def test_parse_lookup_bad_cells_become_unknown():
+    slots = parse_lookup_completion("1. banana", 1, [DataType.INTEGER])
+    assert slots == [None]
+
+
+# -- judge parsing --------------------------------------------------------------------
+
+
+def test_parse_judge_words():
+    text = "1. YES\n2. NO\n3. UNKNOWN\n4. yes.\n5. gibberish"
+    verdicts = parse_judge_completion(text, 5)
+    assert verdicts == [True, False, None, True, None]
+
+
+# -- direct parsing --------------------------------------------------------------------
+
+
+def test_parse_direct_with_header_and_end():
+    text = "HEADER: continent | n\nEurope | 5\nAsia | 2\nEND"
+    answer = parse_direct_completion(text, [DataType.TEXT, DataType.INTEGER])
+    assert answer.header == ["continent", "n"]
+    assert answer.rows == [["Europe", 5], ["Asia", 2]]
+    assert answer.complete
+
+
+def test_parse_direct_truncation_detected():
+    text = "HEADER: a\nx\ny"
+    answer = parse_direct_completion(text, [DataType.TEXT])
+    assert not answer.complete
+    assert len(answer.rows) == 2
+
+
+def test_parse_direct_uncoercible_cell_stays_text():
+    answer = parse_direct_completion("seven\nEND", [DataType.INTEGER])
+    assert answer.rows == [["seven"]]
+
+
+def test_parse_direct_wrong_arity_counts_malformed():
+    answer = parse_direct_completion("a | b\nEND", [DataType.TEXT])
+    assert answer.malformed_lines == 1

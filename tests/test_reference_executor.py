@@ -1,0 +1,308 @@
+"""Reference executor tests: the ground-truth SQL engine."""
+
+import pytest
+
+from repro.errors import CatalogError, ExecutionError
+from repro.relational.catalog import Catalog
+from repro.relational.executor import ReferenceExecutor
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+
+def rows(reference, sql):
+    return reference.execute(sql).rows
+
+
+def test_projection_and_alias(reference):
+    result = reference.execute("SELECT name AS n, population FROM countries LIMIT 1")
+    assert result.schema.column_names == ["n", "population"]
+
+
+def test_star_expansion(reference):
+    result = reference.execute("SELECT * FROM countries LIMIT 1")
+    assert result.schema.column_names == ["name", "continent", "population", "gdp"]
+
+
+def test_qualified_star(reference):
+    result = reference.execute(
+        "SELECT c.* FROM cities c JOIN countries k ON k.name = c.country LIMIT 1"
+    )
+    assert result.schema.column_names == ["city", "country", "city_pop", "is_capital"]
+
+
+def test_where_filters(reference):
+    names = [r[0] for r in rows(reference, "SELECT name FROM countries WHERE continent = 'Asia'")]
+    assert sorted(names) == ["India", "Japan"]
+
+
+def test_where_null_is_not_true(mini_catalog):
+    schema = TableSchema(
+        name="t", columns=(Column("x", DataType.INTEGER),), primary_key=()
+    )
+    mini_catalog.register_table(Table(schema, [(1,), (None,), (3,)]))
+    reference = ReferenceExecutor(mini_catalog)
+    assert rows(reference, "SELECT x FROM t WHERE x > 1") == [(3,)]
+
+
+def test_inner_join(reference):
+    result = rows(
+        reference,
+        "SELECT c.city, k.continent FROM cities c JOIN countries k "
+        "ON k.name = c.country WHERE k.continent = 'Asia' ORDER BY c.city",
+    )
+    assert result == [("Delhi", "Asia"), ("Osaka", "Asia"), ("Tokyo", "Asia")]
+
+
+def test_left_join_null_extends(reference):
+    result = rows(
+        reference,
+        "SELECT k.name, c.city FROM countries k LEFT JOIN cities c "
+        "ON c.country = k.name AND c.is_capital = FALSE ORDER BY k.name",
+    )
+    by_name = {name: city for name, city in result}
+    assert by_name["Iceland"] is None
+    assert by_name["France"] == "Lyon"
+
+
+def test_cross_join_cardinality(reference):
+    result = rows(reference, "SELECT 1 FROM countries CROSS JOIN cities")
+    assert len(result) == 10 * 11
+
+
+def test_self_join_with_aliases(reference):
+    result = rows(
+        reference,
+        "SELECT a.name FROM countries a JOIN countries b "
+        "ON b.continent = a.continent AND b.population > a.population "
+        "WHERE a.continent = 'Asia'",
+    )
+    assert result == [("Japan",)]
+
+
+def test_duplicate_alias_raises(reference):
+    with pytest.raises(ExecutionError):
+        reference.execute("SELECT 1 FROM countries c JOIN cities c ON 1 = 1")
+
+
+def test_group_by_with_having(reference):
+    result = rows(
+        reference,
+        "SELECT continent, COUNT(*) AS n FROM countries "
+        "GROUP BY continent HAVING COUNT(*) >= 2 ORDER BY continent",
+    )
+    assert result == [("Asia", 2), ("Europe", 5), ("South America", 2)]
+
+
+def test_global_aggregate_without_group_by(reference):
+    assert rows(reference, "SELECT COUNT(*), MIN(population) FROM countries") == [
+        (10, 370)
+    ]
+
+
+def test_aggregate_over_empty_input(reference):
+    assert rows(
+        reference, "SELECT COUNT(*), SUM(population) FROM countries WHERE name = 'X'"
+    ) == [(0, None)]
+
+
+def test_group_by_empty_input_yields_no_groups(reference):
+    assert (
+        rows(
+            reference,
+            "SELECT continent, COUNT(*) FROM countries WHERE name = 'X' GROUP BY continent",
+        )
+        == []
+    )
+
+
+def test_count_distinct(reference):
+    assert rows(reference, "SELECT COUNT(DISTINCT continent) FROM countries") == [(4,)]
+
+
+def test_aggregate_in_order_by(reference):
+    result = rows(
+        reference,
+        "SELECT continent FROM countries GROUP BY continent ORDER BY SUM(population) DESC",
+    )
+    assert result[0] == ("Asia",)
+
+
+def test_aggregate_expression_in_select(reference):
+    result = rows(
+        reference,
+        "SELECT MAX(population) - MIN(population) FROM countries WHERE continent = 'Asia'",
+    )
+    assert result == [(1408000 - 125000,)]
+
+
+def test_order_by_column_direction(reference):
+    result = rows(
+        reference,
+        "SELECT name FROM countries WHERE continent = 'Europe' ORDER BY population DESC",
+    )
+    assert result[0] == ("Germany",)
+    assert result[-1] == ("Iceland",)
+
+
+def test_order_by_position_and_alias(reference):
+    by_position = rows(reference, "SELECT name, population FROM countries ORDER BY 2 DESC LIMIT 1")
+    by_alias = rows(
+        reference, "SELECT name, population AS p FROM countries ORDER BY p DESC LIMIT 1"
+    )
+    assert by_position == by_alias == [("India", 1408000)]
+
+
+def test_order_by_expression(reference):
+    result = rows(
+        reference,
+        "SELECT name FROM countries ORDER BY population * -1 LIMIT 1",
+    )
+    assert result == [("India",)]
+
+
+def test_order_by_nulls_default_and_override(mini_catalog):
+    schema = TableSchema(name="t", columns=(Column("x", DataType.INTEGER),))
+    mini_catalog.register_table(Table(schema, [(2,), (None,), (1,)]))
+    reference = ReferenceExecutor(mini_catalog)
+    assert rows(reference, "SELECT x FROM t ORDER BY x") == [(None,), (1,), (2,)]
+    assert rows(reference, "SELECT x FROM t ORDER BY x DESC") == [(2,), (1,), (None,)]
+    assert rows(reference, "SELECT x FROM t ORDER BY x NULLS LAST") == [
+        (1,), (2,), (None,),
+    ]
+    assert rows(reference, "SELECT x FROM t ORDER BY x DESC NULLS FIRST") == [
+        (None,), (2,), (1,),
+    ]
+
+
+def test_limit_offset(reference):
+    all_names = rows(reference, "SELECT name FROM countries ORDER BY name")
+    page = rows(reference, "SELECT name FROM countries ORDER BY name LIMIT 3 OFFSET 2")
+    assert page == all_names[2:5]
+
+
+def test_distinct(reference):
+    result = rows(reference, "SELECT DISTINCT continent FROM countries")
+    assert len(result) == 4
+
+
+def test_union_dedupes_union_all_keeps(reference):
+    union = rows(
+        reference,
+        "SELECT continent FROM countries UNION SELECT continent FROM countries",
+    )
+    union_all = rows(
+        reference,
+        "SELECT continent FROM countries UNION ALL SELECT continent FROM countries",
+    )
+    assert len(union) == 4
+    assert len(union_all) == 20
+
+
+def test_intersect_and_except(reference):
+    intersect = rows(
+        reference,
+        "SELECT country FROM cities INTERSECT SELECT name FROM countries",
+    )
+    assert len(intersect) == 9  # every city country except Iceland (no city)
+    except_rows = rows(
+        reference,
+        "SELECT name FROM countries EXCEPT SELECT country FROM cities",
+    )
+    assert except_rows == [("Iceland",)]
+
+
+def test_setop_arity_mismatch_raises(reference):
+    with pytest.raises(ExecutionError):
+        reference.execute("SELECT name, continent FROM countries UNION SELECT name FROM countries")
+
+
+def test_setop_order_by_name_and_position(reference):
+    result = rows(
+        reference,
+        "SELECT name FROM countries UNION SELECT city FROM cities ORDER BY 1 LIMIT 3",
+    )
+    assert result == [("Berlin",), ("Brasilia",), ("Brazil",)]
+
+
+def test_uncorrelated_in_subquery(reference):
+    result = rows(
+        reference,
+        "SELECT name FROM countries WHERE name IN "
+        "(SELECT country FROM cities WHERE city_pop > 5000) ORDER BY name",
+    )
+    assert result == [("Chile",), ("India",), ("Japan",)]
+
+
+def test_correlated_exists(reference):
+    result = rows(
+        reference,
+        "SELECT name FROM countries k WHERE EXISTS "
+        "(SELECT 1 FROM cities c WHERE c.country = k.name AND c.city_pop > 10000)",
+    )
+    assert sorted(result) == [("India",), ("Japan",)]
+
+
+def test_correlated_scalar_subquery(reference):
+    result = rows(
+        reference,
+        "SELECT name, (SELECT MAX(city_pop) FROM cities c WHERE c.country = k.name) "
+        "FROM countries k WHERE k.name = 'Japan'",
+    )
+    assert result == [("Japan", 13960)]
+
+
+def test_scalar_subquery_multiple_rows_raises(reference):
+    with pytest.raises(ExecutionError):
+        reference.execute("SELECT (SELECT name FROM countries) FROM countries")
+
+
+def test_derived_table(reference):
+    result = rows(
+        reference,
+        "SELECT d.continent, d.n FROM "
+        "(SELECT continent, COUNT(*) AS n FROM countries GROUP BY continent) AS d "
+        "WHERE d.n >= 2 ORDER BY d.continent",
+    )
+    assert result == [("Asia", 2), ("Europe", 5), ("South America", 2)]
+
+
+def test_case_expression_end_to_end(reference):
+    result = rows(
+        reference,
+        "SELECT name, CASE WHEN population > 100000 THEN 'big' ELSE 'small' END "
+        "FROM countries WHERE continent = 'Asia' ORDER BY name",
+    )
+    assert result == [("India", "big"), ("Japan", "big")]
+
+
+def test_select_without_from(reference):
+    assert rows(reference, "SELECT 1 + 1, UPPER('x')") == [(2, "X")]
+
+
+def test_unknown_table_raises(reference):
+    with pytest.raises(CatalogError):
+        reference.execute("SELECT 1 FROM missing_table")
+
+
+def test_having_without_group_or_aggregate_raises(reference):
+    with pytest.raises(ExecutionError):
+        reference.execute("SELECT name FROM countries HAVING name = 'France'")
+
+
+def test_duplicate_output_names_are_uniquified(reference):
+    result = reference.execute("SELECT name, name FROM countries LIMIT 1")
+    assert result.schema.column_names == ["name", "name_2"]
+
+
+def test_output_type_inference(reference):
+    result = reference.execute("SELECT population / 2 AS half FROM countries LIMIT 1")
+    assert result.schema.columns[0].dtype is DataType.REAL
+
+
+def test_boolean_select_item(reference):
+    result = rows(
+        reference,
+        "SELECT is_capital FROM cities WHERE city = 'Lyon'",
+    )
+    assert result == [(False,)]

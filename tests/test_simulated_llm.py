@@ -1,0 +1,300 @@
+"""Tests for the simulated language model's protocol behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.interface import CompletionOptions
+from repro.llm.noise import NoiseConfig
+from repro.llm.simulated import SimulatedLLM, _query_complexity
+from repro.prompts import grammar
+from repro.prompts.direct import DirectRequest, build_direct_prompt
+from repro.prompts.enumerate import EnumerateRequest, build_enumerate_prompt
+from repro.prompts.lookup import LookupRequest, build_lookup_prompt
+from repro.prompts.parsing import (
+    parse_direct_completion,
+    parse_enumerate_completion,
+    parse_judge_completion,
+    parse_lookup_completion,
+)
+from repro.prompts.predicate import JudgeRequest, build_judge_prompt
+from repro.relational.types import DataType
+from repro.sql.parser import parse
+from tests.conftest import make_country_schema
+
+COUNTRY = make_country_schema()
+NAME_POP = [DataType.TEXT, DataType.INTEGER]
+
+
+def enumerate_all(model, condition=None, columns=("name", "population"), page=50):
+    request = EnumerateRequest(
+        schema=COUNTRY, columns=tuple(columns), condition_sql=condition, max_rows=page
+    )
+    completion = model.complete(build_enumerate_prompt(request))
+    return parse_enumerate_completion(
+        completion.text, [COUNTRY.column(c).dtype for c in columns]
+    )
+
+
+def test_perfect_enumeration_matches_world(perfect_model, mini_world):
+    page = enumerate_all(perfect_model)
+    truth = {
+        (row[0], row[2]) for row in mini_world.table("countries").rows
+    }
+    assert {tuple(r) for r in page.rows} == truth
+    assert page.complete and not page.has_more
+
+
+def test_enumeration_applies_condition(perfect_model):
+    page = enumerate_all(perfect_model, "continent = 'Europe' AND population > 1000")
+    names = {row[0] for row in page.rows}
+    assert names == {"France", "Germany", "Italy", "Norway"}
+
+
+def test_enumeration_pagination_is_consistent(perfect_model):
+    collected = []
+    after = 0
+    for _ in range(10):
+        request = EnumerateRequest(
+            schema=COUNTRY, columns=("name",), after_index=after, max_rows=3
+        )
+        completion = perfect_model.complete(build_enumerate_prompt(request))
+        page = parse_enumerate_completion(completion.text, [DataType.TEXT])
+        collected.extend(row[0] for row in page.rows)
+        after += len(page.rows)
+        if not page.has_more:
+            break
+    assert len(collected) == 10
+    assert len(set(collected)) == 10  # no duplicates across pages
+
+
+def test_enumeration_order_hint(perfect_model):
+    request = EnumerateRequest(
+        schema=COUNTRY, columns=("name", "population"),
+        order=("population", True), max_rows=3,
+    )
+    completion = perfect_model.complete(build_enumerate_prompt(request))
+    page = parse_enumerate_completion(completion.text, NAME_POP)
+    populations = [row[1] for row in page.rows]
+    assert populations == sorted(populations, reverse=True)
+    assert page.rows[0][0] == "India"
+
+
+def test_completion_truncation_sets_flag(perfect_model):
+    request = EnumerateRequest(schema=COUNTRY, columns=("name", "population"), max_rows=50)
+    completion = perfect_model.complete(
+        build_enumerate_prompt(request), CompletionOptions(max_tokens=10)
+    )
+    assert completion.truncated
+    assert completion.completion_tokens == 10
+
+
+def test_lookup_known_and_unknown(perfect_model):
+    request = LookupRequest(
+        schema=COUNTRY, key_columns=("name",), attributes=("population", "continent"),
+        entities=(("France",), ("Atlantis",)),
+    )
+    completion = perfect_model.complete(build_lookup_prompt(request))
+    slots = parse_lookup_completion(completion.text, 2, NAME_POP[::-1][:2])
+    slots = parse_lookup_completion(
+        completion.text, 2, [DataType.INTEGER, DataType.TEXT]
+    )
+    assert slots[0] == [68000, "Europe"]
+    assert slots[1] is None
+
+
+def test_lookup_key_matching_is_case_insensitive(perfect_model):
+    request = LookupRequest(
+        schema=COUNTRY, key_columns=("name",), attributes=("continent",),
+        entities=(("france",),),
+    )
+    completion = perfect_model.complete(build_lookup_prompt(request))
+    slots = parse_lookup_completion(completion.text, 1, [DataType.TEXT])
+    assert slots[0] == ["Europe"]
+
+
+def test_judge_verdicts(perfect_model):
+    request = JudgeRequest(
+        schema=COUNTRY, key_columns=("name",),
+        condition_sql="population > 100000",
+        entities=(("Japan",), ("Iceland",), ("Nowhere",)),
+    )
+    completion = perfect_model.complete(build_judge_prompt(request))
+    verdicts = parse_judge_completion(completion.text, 3)
+    assert verdicts == [True, False, None]
+
+
+def test_direct_sql_execution(perfect_model):
+    request = DirectRequest(
+        schemas=(COUNTRY,),
+        sql="SELECT continent, COUNT(*) AS n FROM countries GROUP BY continent ORDER BY continent",
+    )
+    completion = perfect_model.complete(build_direct_prompt(request))
+    answer = parse_direct_completion(completion.text, [DataType.TEXT, DataType.INTEGER])
+    assert answer.complete
+    assert ("Europe", 5) in {tuple(r) for r in answer.rows}
+
+
+def test_direct_sql_unknown_table(perfect_model):
+    request = DirectRequest(schemas=(), sql="SELECT * FROM unicorns")
+    completion = perfect_model.complete(build_direct_prompt(request))
+    assert "unicorns" in completion.text
+
+
+def test_unparseable_prompt_gets_text_reply(perfect_model):
+    completion = perfect_model.complete("what is the capital of France?")
+    assert completion.text  # some textual answer, never an exception
+
+
+def test_determinism_same_seed(mini_world):
+    first = SimulatedLLM(mini_world, NoiseConfig(), seed=3)
+    second = SimulatedLLM(mini_world, NoiseConfig(), seed=3)
+    prompt = build_enumerate_prompt(
+        EnumerateRequest(schema=COUNTRY, columns=("name", "population"), max_rows=50)
+    )
+    assert first.complete(prompt).text == second.complete(prompt).text
+
+
+def test_different_seeds_differ(mini_world):
+    prompt = build_enumerate_prompt(
+        EnumerateRequest(schema=COUNTRY, columns=("name", "population"), max_rows=50)
+    )
+    texts = {
+        SimulatedLLM(mini_world, NoiseConfig(), seed=s).complete(prompt).text
+        for s in range(6)
+    }
+    assert len(texts) > 1
+
+
+def test_knowledge_gap_is_stable_across_samples(mini_world):
+    model = SimulatedLLM(
+        mini_world, NoiseConfig.perfect().with_gap(0.5), seed=9
+    )
+    request = LookupRequest(
+        schema=COUNTRY, key_columns=("name",), attributes=("population",),
+        entities=(("France",), ("Germany",), ("Japan",), ("Kenya",)),
+    )
+    prompt = build_lookup_prompt(request)
+    answers = [
+        model.complete(prompt, CompletionOptions(temperature=0.9, sample_index=i)).text
+        for i in range(4)
+    ]
+    assert len(set(answers)) == 1  # gaps do not vary with sampling
+
+
+def test_sampling_error_varies_with_sample_index(mini_world):
+    noise = NoiseConfig.perfect().with_sampling_error(0.6)
+    model = SimulatedLLM(mini_world, noise, seed=9)
+    request = LookupRequest(
+        schema=COUNTRY, key_columns=("name",), attributes=("population", "gdp"),
+        entities=tuple((n,) for n in ["France", "Germany", "Japan", "Kenya", "Chile"]),
+    )
+    prompt = build_lookup_prompt(request)
+    texts = {
+        model.complete(prompt, CompletionOptions(temperature=0.9, sample_index=i)).text
+        for i in range(5)
+    }
+    assert len(texts) > 1  # i.i.d. per sample at temperature > 0
+    greedy = {
+        model.complete(prompt, CompletionOptions(temperature=0.0, sample_index=i)).text
+        for i in range(5)
+    }
+    assert len(greedy) == 1  # systematic at temperature 0
+
+
+def test_row_omission_shrinks_enumeration(mini_world):
+    import dataclasses
+
+    noise = dataclasses.replace(NoiseConfig.perfect(), row_omission_rate=0.5)
+    model = SimulatedLLM(mini_world, noise, seed=2)
+    page = enumerate_all(model)
+    assert 0 < len(page.rows) < 10
+
+
+def test_hallucinated_rows_appear(mini_world):
+    import dataclasses
+
+    noise = dataclasses.replace(NoiseConfig.perfect(), hallucinated_row_rate=0.9)
+    model = SimulatedLLM(mini_world, noise, seed=2)
+    page = enumerate_all(model)
+    assert len(page.rows) > 10
+
+
+def test_refusal(mini_world):
+    import dataclasses
+
+    noise = dataclasses.replace(NoiseConfig.perfect(), refusal_rate=1.0)
+    model = SimulatedLLM(mini_world, noise, seed=2)
+    prompt = build_enumerate_prompt(
+        EnumerateRequest(schema=COUNTRY, columns=("name",))
+    )
+    completion = model.complete(prompt)
+    assert "sorry" in completion.text.lower()
+
+
+def test_usage_metrics_on_completion(perfect_model):
+    prompt = build_enumerate_prompt(
+        EnumerateRequest(schema=COUNTRY, columns=("name",), max_rows=5)
+    )
+    completion = perfect_model.complete(prompt)
+    assert completion.prompt_tokens > 0
+    assert completion.completion_tokens > 0
+    assert completion.latency_ms > 0
+
+
+# -- complexity measure ----------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "sql,minimum",
+    [
+        ("SELECT name FROM countries", 0),
+        ("SELECT name FROM countries WHERE a = 1 AND b = 2", 2),
+        ("SELECT COUNT(*) FROM countries GROUP BY continent", 2),
+        (
+            "SELECT 1 FROM countries c JOIN cities t ON t.country = c.name "
+            "ORDER BY 1",
+            2,
+        ),
+    ],
+)
+def test_query_complexity_counts_operators(sql, minimum):
+    assert _query_complexity(parse(sql)) >= minimum
+
+
+def test_complexity_monotone_in_structure():
+    simple = _query_complexity(parse("SELECT name FROM countries"))
+    complex_query = _query_complexity(
+        parse(
+            "SELECT continent, COUNT(*) FROM countries WHERE population > 1 "
+            "GROUP BY continent HAVING COUNT(*) > 1 ORDER BY 2 DESC"
+        )
+    )
+    assert complex_query > simple
+
+
+# -- property: believed enumeration is internally consistent ----------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=100), st.integers(min_value=1, max_value=7))
+def test_pagination_never_duplicates(seed, page_size):
+    from repro.llm.world import World
+    from repro.relational.table import Table
+    from tests.conftest import COUNTRY_ROWS
+
+    world = World("w", [Table(make_country_schema(), COUNTRY_ROWS)])
+    model = SimulatedLLM(world, NoiseConfig(), seed=seed)
+    collected = []
+    after = 0
+    for _ in range(30):
+        request = EnumerateRequest(
+            schema=COUNTRY, columns=("name",), after_index=after, max_rows=page_size
+        )
+        completion = model.complete(build_enumerate_prompt(request))
+        page = parse_enumerate_completion(completion.text, [DataType.TEXT])
+        collected.extend(row[0] for row in page.rows)
+        after += len(page.rows)
+        if page.complete and not page.has_more:
+            break
+    assert len(collected) == len(set(collected))

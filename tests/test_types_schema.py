@@ -1,0 +1,194 @@
+"""Tests for types, coercion, schemas and tables."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import (
+    DataType,
+    coerce_value,
+    infer_type,
+    is_instance_of,
+    values_equal,
+)
+
+
+# -- types -------------------------------------------------------------------
+
+
+def test_infer_type():
+    assert infer_type(None) is None
+    assert infer_type(True) is DataType.BOOLEAN
+    assert infer_type(3) is DataType.INTEGER
+    assert infer_type(3.5) is DataType.REAL
+    assert infer_type("x") is DataType.TEXT
+
+
+def test_is_instance_of_bool_is_not_integer():
+    assert is_instance_of(True, DataType.BOOLEAN)
+    assert not is_instance_of(True, DataType.INTEGER)
+
+
+@pytest.mark.parametrize(
+    "value,dtype,expected",
+    [
+        ("42", DataType.INTEGER, 42),
+        ("1,234", DataType.INTEGER, 1234),
+        ("3.5", DataType.REAL, 3.5),
+        (" 2.5 ", DataType.REAL, 2.5),
+        (7, DataType.REAL, 7.0),
+        (7.0, DataType.INTEGER, 7),
+        ("true", DataType.BOOLEAN, True),
+        ("No", DataType.BOOLEAN, False),
+        (1, DataType.BOOLEAN, True),
+        (3, DataType.TEXT, "3"),
+        (True, DataType.TEXT, "true"),
+    ],
+)
+def test_coerce_value(value, dtype, expected):
+    assert coerce_value(value, dtype) == expected
+
+
+def test_coerce_failure_returns_none_nonstrict():
+    assert coerce_value("not a number", DataType.INTEGER) is None
+    assert coerce_value("maybe", DataType.BOOLEAN) is None
+
+
+def test_coerce_failure_raises_strict():
+    with pytest.raises(ValueError):
+        coerce_value("nope", DataType.INTEGER, strict=True)
+
+
+def test_coerce_none_passes_through():
+    assert coerce_value(None, DataType.INTEGER) is None
+
+
+def test_values_equal_tolerance():
+    assert values_equal(100, 104, float_tolerance=0.05)
+    assert not values_equal(100, 110, float_tolerance=0.05)
+    assert values_equal(None, None)
+    assert not values_equal(None, 0)
+    assert values_equal(1, 1.0)
+    assert not values_equal(True, 1.0)
+
+
+# -- schema -----------------------------------------------------------------
+
+
+def make_schema():
+    return TableSchema(
+        name="t",
+        columns=(
+            Column("id", DataType.INTEGER, nullable=False),
+            Column("name", DataType.TEXT),
+            Column("score", DataType.REAL),
+        ),
+        primary_key=("id",),
+    )
+
+
+def test_schema_rejects_duplicate_columns():
+    with pytest.raises(SchemaError):
+        TableSchema(
+            name="t",
+            columns=(Column("a", DataType.TEXT), Column("A", DataType.TEXT)),
+        )
+
+
+def test_schema_rejects_unknown_primary_key():
+    with pytest.raises(SchemaError):
+        TableSchema(
+            name="t", columns=(Column("a", DataType.TEXT),), primary_key=("b",)
+        )
+
+
+def test_schema_rejects_empty_columns():
+    with pytest.raises(SchemaError):
+        TableSchema(name="t", columns=())
+
+
+def test_column_lookup_case_insensitive():
+    schema = make_schema()
+    assert schema.column("NAME").name == "name"
+    assert schema.column_index("Id") == 0
+
+
+def test_unknown_column_raises():
+    with pytest.raises(SchemaError):
+        make_schema().column("missing")
+
+
+def test_render_signature_and_ddl():
+    schema = make_schema()
+    assert schema.render_signature() == "t(id INTEGER, name TEXT, score REAL)"
+    assert "PRIMARY KEY (id)" in schema.render_ddl()
+    assert "id INTEGER NOT NULL" in schema.render_ddl()
+
+
+def test_validate_row_arity():
+    with pytest.raises(SchemaError):
+        make_schema().validate_row((1, "x"))
+
+
+def test_validate_row_not_null():
+    with pytest.raises(SchemaError):
+        make_schema().validate_row((None, "x", 1.0))
+
+
+def test_validate_row_type_mismatch():
+    with pytest.raises(SchemaError):
+        make_schema().validate_row((1, 2, 1.0))
+
+
+def test_validate_row_int_promotes_to_real():
+    row = make_schema().validate_row((1, "x", 5))
+    assert row == (1, "x", 5.0)
+    assert isinstance(row[2], float)
+
+
+def test_validate_row_with_coercion():
+    row = make_schema().validate_row(("3", "x", "2.5"), coerce=True)
+    assert row == (3, "x", 2.5)
+
+
+# -- table ---------------------------------------------------------------------
+
+
+def test_table_insert_and_len():
+    table = Table(make_schema(), [(1, "a", 1.0), (2, "b", None)])
+    assert len(table) == 2
+    assert table.column_values("name") == ["a", "b"]
+
+
+def test_table_from_dicts():
+    table = Table.from_dicts(
+        make_schema(), [{"id": 1, "name": "a"}, {"id": 2, "score": 3.0}]
+    )
+    assert table.rows[0] == (1, "a", None)
+    assert table.rows[1] == (2, None, 3.0)
+
+
+def test_table_from_dicts_unknown_column():
+    with pytest.raises(SchemaError):
+        Table.from_dicts(make_schema(), [{"id": 1, "oops": 2}])
+
+
+def test_table_key_index_and_lookup():
+    table = Table(make_schema(), [(1, "a", 1.0), (2, "b", 2.0)])
+    assert table.lookup((2,)) == (2, "b", 2.0)
+    assert table.lookup((9,)) is None
+    index = table.build_key_index()
+    assert index[(1,)][1] == "a"
+
+
+def test_table_render_text_truncates():
+    rows = [(i, f"n{i}", float(i)) for i in range(30)]
+    text = Table(make_schema(), rows).render_text(max_rows=5)
+    assert "more rows" in text
+
+
+def test_sorted_rows_handles_nulls_and_mixed():
+    table = Table(make_schema(), [(2, None, None), (1, "a", 0.5)])
+    ordered = table.sorted_rows()
+    assert ordered[0][0] == 1
