@@ -1,0 +1,100 @@
+"""Benchmark: concurrent runtime speedup on a join+voting workload.
+
+Sweeps ``max_in_flight`` over {1, 4, 16} on a join-heavy, vote-heavy
+workload against the movies world and reports simulated critical-path
+latency (``wall_ms``) per level.  The acceptance bar for the runtime:
+
+* results are byte-identical across concurrency levels,
+* token usage and call counts are identical (concurrency changes
+  wall-clock only, never answers or cost),
+* ``max_in_flight=16`` reports at least a 4x critical-path speedup over
+  the sequential baseline.
+"""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.engine import LLMStorageEngine
+from repro.eval.reporting import ResultTable, artifact_path
+from repro.eval.worlds import all_worlds
+from repro.llm.noise import NoiseConfig
+from repro.llm.simulated import SimulatedLLM
+
+SEED = 7
+SWEEP = (1, 4, 16)
+
+# Join-heavy with voting: every lookup/judge batch multiplies by votes,
+# and the director join fans out one lookup wave per scan.
+QUERIES = [
+    "SELECT m.title, d.country FROM movies m JOIN directors d "
+    "ON m.director = d.name WHERE m.year >= 2000",
+    "SELECT d.name, COUNT(*) FROM movies m JOIN directors d "
+    "ON m.director = d.name GROUP BY d.name",
+    "SELECT title, rating FROM movies WHERE rating >= 8.0 "
+    "ORDER BY rating DESC LIMIT 10",
+]
+
+
+def run_workload(max_in_flight: int):
+    world = all_worlds()["movies"]
+    model = SimulatedLLM(world, noise=NoiseConfig(), seed=SEED)
+    config = EngineConfig().with_(
+        votes=3,
+        max_in_flight=max_in_flight,
+        lookup_batch_size=8,
+        scan_prefetch_pages=6,
+    )
+    engine = LLMStorageEngine(model, config=config)
+    for schema in world.schemas():
+        engine.register_virtual_table(
+            schema, row_estimate=world.row_count(schema.name)
+        )
+    rows = [tuple(map(tuple, engine.execute(sql).rows)) for sql in QUERIES]
+    return rows, engine.usage
+
+
+def test_runtime_concurrency_speedup(benchmark):
+    results = {}
+
+    def sweep():
+        for level in SWEEP:
+            results[level] = run_workload(level)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    baseline_rows, baseline_usage = results[1]
+    artifact = ResultTable(
+        title="Runtime concurrency: simulated critical-path latency",
+        columns=[
+            "max_in_flight",
+            "calls",
+            "total_tokens",
+            "model_time_ms",
+            "wall_ms",
+            "speedup",
+        ],
+    )
+    for level in SWEEP:
+        rows, usage = results[level]
+        assert rows == baseline_rows, f"results differ at max_in_flight={level}"
+        assert usage.calls == baseline_usage.calls
+        assert usage.total_tokens == baseline_usage.total_tokens
+        assert usage.latency_ms == pytest.approx(baseline_usage.latency_ms)
+        artifact.add_row(
+            level,
+            usage.calls,
+            usage.total_tokens,
+            round(usage.latency_ms),
+            round(usage.wall_ms),
+            round(baseline_usage.wall_ms / usage.wall_ms, 2),
+        )
+    artifact.add_note(
+        "identical rows/tokens/calls at every level; wall_ms is the "
+        "deterministic simulated critical path"
+    )
+    path = artifact.save(artifact_path("bench_runtime_concurrency.txt"))
+    assert path
+
+    speedup_16 = baseline_usage.wall_ms / results[16][1].wall_ms
+    assert speedup_16 >= 4.0, f"expected >= 4x at max_in_flight=16, got {speedup_16:.2f}x"

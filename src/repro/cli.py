@@ -36,6 +36,7 @@ def build_engine(
     gap: float,
     sampling: float,
     votes: int,
+    max_in_flight: int = 1,
 ) -> LLMStorageEngine:
     """Assemble an engine over one of the standard worlds."""
     worlds = all_worlds()
@@ -49,6 +50,8 @@ def build_engine(
     config = EngineConfig.naive() if naive else EngineConfig()
     if votes > 1:
         config = config.with_(votes=votes)
+    if max_in_flight > 1:
+        config = config.with_(max_in_flight=max_in_flight)
     engine = LLMStorageEngine(model, config=config)
     for schema in world.schemas():
         engine.register_virtual_table(
@@ -110,13 +113,26 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--votes", type=int, default=1, help="self-consistency votes")
     parser.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=1,
+        help="concurrent model calls (1 = sequential; results are "
+        "identical at any value, only wall-clock changes)",
+    )
+    parser.add_argument(
         "--naive", action="store_true", help="disable all optimizations"
     )
     parser.add_argument("-c", "--command", default=None, help="run one query and exit")
     args = parser.parse_args(argv)
 
     engine = build_engine(
-        args.world, args.seed, args.naive, args.gap, args.sampling, args.votes
+        args.world,
+        args.seed,
+        args.naive,
+        args.gap,
+        args.sampling,
+        args.votes,
+        max_in_flight=args.max_in_flight,
     )
     if args.command:
         try:

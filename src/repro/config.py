@@ -41,6 +41,22 @@ class EngineConfig:
         max_output_tokens: completion budget per call.
         scan_guard_factor: abort a scan after this multiple of the
             estimated page count (protects against runaway pagination).
+        max_in_flight: concurrent model calls the runtime dispatcher may
+            keep open.  1 (the default) runs every call inline and
+            sequentially; larger values overlap independent calls —
+            vote samples, lookup/judge batches, prefetched scan pages,
+            independent plan steps — changing reported wall-clock
+            (``wall_ms``) but, by construction, never results, token
+            usage, or call counts.
+        scan_prefetch_pages: speculative pages a scan may keep in
+            flight beyond the one it is reading (effective only when
+            ``max_in_flight > 1``; capped at ``max_in_flight - 1``).
+            Speculation is un-metered unless consumed, so a wrong guess
+            costs nothing in tokens.
+        retry_backoff_ms: base delay before the first retry of a
+            refused/unusable completion, doubling per further retry.
+            0 disables backoff (right for the simulated model; a
+            networked backend would set a real base).
     """
 
     page_size: int = 20
@@ -56,6 +72,9 @@ class EngineConfig:
     max_retries: int = 2
     max_output_tokens: int = 512
     scan_guard_factor: int = 8
+    max_in_flight: int = 1
+    scan_prefetch_pages: int = 2
+    retry_backoff_ms: float = 0.0
 
     @staticmethod
     def default() -> "EngineConfig":

@@ -20,7 +20,10 @@ answered by the model plus local relational compute over the answers.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from typing import TYPE_CHECKING, Dict, Optional, Union
+
+if TYPE_CHECKING:
+    from repro.relational.table import Table
 
 from repro.config import EngineConfig
 from repro.core.executor import PlanExecutor
@@ -131,7 +134,10 @@ class LLMStorageEngine:
         executor = PlanExecutor(client, self._virtuals, self._materialized)
 
         before = self._session.meter.snapshot()
-        table = executor.execute(plan)
+        try:
+            table = executor.execute(plan)
+        finally:
+            client.close()
         usage = self._session.meter.snapshot().minus(before)
 
         warnings = list(client.warnings)

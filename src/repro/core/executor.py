@@ -13,10 +13,20 @@ For a :class:`~repro.plan.physical.RetrievalPlan` the executor
 Step 3 is where the decomposition pays off: joins, grouping, arithmetic,
 ordering — everything a model is bad at — run in exact local compute;
 the model only ever answered small retrieval prompts.
+
+When the engine's ``max_in_flight`` allows it, independent retrieval
+steps (e.g. the two sides of a locally-joined pair of scans) run
+concurrently: steps are grouped into dependency waves — a lookup waits
+for its key source, a judge for its base fetch — and each wave executes
+on orchestration threads whose model traffic shares the bounded
+dispatcher pool.  Wave results are applied to the binding map in
+original step order, so materialization, statement rewriting, and
+therefore query results are byte-identical to sequential execution.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.operators import ModelClient, normalize_key
@@ -35,6 +45,7 @@ from repro.core.virtual import VirtualTable
 from repro.relational.catalog import Catalog
 from repro.relational.executor import ReferenceExecutor, _dedupe, _row_marker
 from repro.relational.table import Table
+from repro.runtime.parallel import run_parallel
 from repro.sql import ast
 
 
@@ -53,7 +64,9 @@ class PlanExecutor:
             name.lower(): table
             for name, table in (materialized_tables or {}).items()
         }
-        self._temp_counter = 0
+        # itertools.count is atomic under the GIL; derived steps may
+        # request temp names from concurrent orchestration threads.
+        self._temp_counter = itertools.count(1)
 
     # ------------------------------------------------------------------
     # Entry point
@@ -123,31 +136,32 @@ class PlanExecutor:
         temp_names: Dict[str, str] = {}
         local_tables: Dict[str, Table] = {}
 
-        for step in plan.steps:
-            if isinstance(step, ScanStep):
-                table = self._client.run_scan(step, self._virtual_for(step.table_name))
-            elif isinstance(step, LookupStep):
-                keys = self._keys_from_source(step, local_tables)
-                table = self._client.run_lookup(
-                    step, keys, self._virtual_for(step.table_name)
+        if self._client.max_in_flight > 1 and len(plan.steps) > 1:
+            for wave in _step_waves(plan.steps):
+                thunks = [
+                    (lambda s=step: self._run_step_scoped(s, local_tables))
+                    for step in wave
+                ]
+                outcomes = run_parallel(self._client.ledger, thunks)
+                for step, (table, warnings) in zip(wave, outcomes):
+                    # Re-emit in step order so QueryResult.warnings never
+                    # depends on thread timing.
+                    self._client.emit_warnings(warnings)
+                    local_tables[step.binding.lower()] = table
+        else:
+            for step in plan.steps:
+                local_tables[step.binding.lower()] = self._table_for_step(
+                    step, local_tables
                 )
-            elif isinstance(step, JudgeStep):
-                self._apply_judge(step, local_tables)
-                continue
-            elif isinstance(step, DerivedStep):
-                table = self.execute(step.plan)
-            elif isinstance(step, LocalStep):
-                stored = self._materialized.get(step.table_name.lower())
-                if stored is None:
-                    raise PlanError(
-                        f"no materialized table registered as {step.table_name!r}"
-                    )
-                table = stored
-            else:  # pragma: no cover - exhaustive over step kinds
-                raise PlanError(f"unknown step kind {type(step).__name__}")
-            local_tables[step.binding.lower()] = table
 
-        for binding, table in local_tables.items():
+        # Register in first-write step order so temp numbering (and the
+        # rewritten statement) is identical across concurrency levels.
+        ordered: Dict[str, Table] = {}
+        for step in plan.steps:
+            binding = step.binding.lower()
+            if binding not in ordered:
+                ordered[binding] = local_tables[binding]
+        for binding, table in ordered.items():
             temp_name = self._fresh_name(binding)
             temp_names[binding] = temp_name
             catalog.register_table(_rename_table(table, temp_name))
@@ -158,6 +172,40 @@ class PlanExecutor:
     # ------------------------------------------------------------------
     # Step helpers
     # ------------------------------------------------------------------
+
+    def _run_step_scoped(self, step, local_tables: Dict[str, Table]):
+        """One step on an orchestration thread, with warnings captured."""
+        with self._client.warning_scope() as captured:
+            table = self._table_for_step(step, local_tables)
+        return table, captured
+
+    def _table_for_step(self, step, local_tables: Dict[str, Table]) -> Table:
+        """Materialize one step against the current binding map.
+
+        Pure with respect to ``local_tables`` (reads only): judge steps
+        return the filtered replacement table instead of mutating, so
+        steps of one dependency wave can run concurrently.
+        """
+        if isinstance(step, ScanStep):
+            return self._client.run_scan(step, self._virtual_for(step.table_name))
+        if isinstance(step, LookupStep):
+            keys = self._keys_from_source(step, local_tables)
+            return self._client.run_lookup(
+                step, keys, self._virtual_for(step.table_name)
+            )
+        if isinstance(step, JudgeStep):
+            return self._judged_table(step, local_tables)
+        if isinstance(step, DerivedStep):
+            return self.execute(step.plan)
+        if isinstance(step, LocalStep):
+            stored = self._materialized.get(step.table_name.lower())
+            if stored is None:
+                raise PlanError(
+                    f"no materialized table registered as {step.table_name!r}"
+                )
+            return stored
+        # pragma: no cover - exhaustive over step kinds
+        raise PlanError(f"unknown step kind {type(step).__name__}")
 
     def _virtual_for(self, table_name: str) -> VirtualTable:
         virtual = self._virtuals.get(table_name.lower())
@@ -197,7 +245,7 @@ class PlanExecutor:
             keys.append(key)
         return keys
 
-    def _apply_judge(self, step: JudgeStep, local_tables: Dict[str, Table]) -> None:
+    def _judged_table(self, step: JudgeStep, local_tables: Dict[str, Table]) -> Table:
         table = local_tables.get(step.binding.lower())
         if table is None:
             raise PlanError(
@@ -218,7 +266,7 @@ class PlanExecutor:
             for row in table.rows
             if verdicts.get(normalize_key(tuple(row[i] for i in indices))) is True
         ]
-        local_tables[step.binding.lower()] = Table(table.schema, kept)
+        return Table(table.schema, kept)
 
     def _resolve_subquery(self, subplan) -> ast.Expr:
         result = self.execute(subplan.plan)
@@ -243,9 +291,43 @@ class PlanExecutor:
         raise PlanError(f"unexpected subquery node {type(node).__name__}")
 
     def _fresh_name(self, hint: str) -> str:
-        self._temp_counter += 1
+        number = next(self._temp_counter)
         safe_hint = "".join(ch if ch.isalnum() else "_" for ch in hint)
-        return f"__v{self._temp_counter}_{safe_hint}"
+        return f"__v{number}_{safe_hint}"
+
+
+# ---------------------------------------------------------------------------
+# Step scheduling
+# ---------------------------------------------------------------------------
+
+
+def _step_waves(steps) -> List[List]:
+    """Group steps into dependency waves for concurrent execution.
+
+    A step's wave is one past the latest wave that *writes* a binding it
+    reads: a lookup reads its key source, a judge reads (and rewrites)
+    its own binding.  Everything else is independent.  Within a wave the
+    original step order is preserved, and a wave only starts after the
+    previous wave's tables are applied, so a reader always sees exactly
+    the tables the sequential executor would have shown it.
+    """
+    last_writer_wave: Dict[str, int] = {}
+    waves: List[List] = []
+    for step in steps:
+        reads: List[str] = []
+        if isinstance(step, LookupStep) and step.literal_keys is None:
+            reads.append(step.source_binding.lower())
+        if isinstance(step, JudgeStep):
+            reads.append(step.binding.lower())
+        wave_index = 0
+        for binding in reads:
+            if binding in last_writer_wave:
+                wave_index = max(wave_index, last_writer_wave[binding] + 1)
+        while len(waves) <= wave_index:
+            waves.append([])
+        waves[wave_index].append(step)
+        last_writer_wave[step.binding.lower()] = wave_index
+    return waves
 
 
 # ---------------------------------------------------------------------------

@@ -1,21 +1,29 @@
 """LLM-backed physical operators.
 
-``ModelClient`` is the runtime that turns plan steps into model traffic:
+``ModelClient`` is the runtime client that turns plan steps into model
+traffic, routed through the concurrent scheduler in
+:mod:`repro.runtime.dispatcher`:
 
-* :meth:`run_scan` — paginated enumeration with truncation recovery and
-  a runaway guard;
+* :meth:`run_scan` — paginated enumeration with truncation recovery, a
+  runaway guard, and speculative page prefetch;
 * :meth:`run_lookup` — batched lookups with optional self-consistency
-  voting;
-* :meth:`run_judge` — batched predicate judgements with voting.
+  voting; all ``batches × votes`` calls dispatch as one concurrent wave;
+* :meth:`run_judge` — batched predicate judgements with voting, fanned
+  out the same way.
 
 All calls flow through one wrapped model (cache, then meter), so cost
-accounting and caching behave identically across operators.  Refused or
-unusable completions are retried with a bumped sample index (beliefs are
-unchanged at temperature 0; the retry nonce only re-rolls the refusal).
+accounting and caching behave identically across operators — and
+identically across concurrency levels: ``max_in_flight`` changes the
+reported wall-clock only, never answers, tokens, or call counts.
+Refused or unusable completions are retried with a bumped sample index
+(beliefs are unchanged at temperature 0; the retry nonce only re-rolls
+the refusal) under the reusable :class:`~repro.runtime.retry.RetryPolicy`.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.config import EngineConfig
@@ -34,9 +42,13 @@ from repro.prompts.predicate import JudgeRequest, build_judge_prompt
 from repro.relational.schema import Column, TableSchema
 from repro.relational.table import Table
 from repro.relational.types import Value
+from repro.runtime.dispatcher import CompletionRequest, Dispatcher
+from repro.runtime.latency import LatencyLedger
+from repro.runtime.prefetch import ScanPrefetcher
+from repro.runtime.retry import RETRY_NONCE, RetryPolicy
 
-#: Offset added to the sample index per retry so a refusal re-rolls.
-_RETRY_NONCE = 1009
+#: Kept as a module name for back-compat; the policy owns the value now.
+_RETRY_NONCE = RETRY_NONCE
 
 
 class ModelClient:
@@ -50,17 +62,86 @@ class ModelClient:
         cache: Optional[PromptCache] = None,
         validator: Optional[Validator] = None,
     ):
+        self._raw_model = model
+        self._cache: Optional[PromptCache] = None
         inner: LanguageModel = model
         if config.enable_cache:
-            inner = CachingModel(inner, cache)
-        self._model = MeteredModel(inner, meter)
+            caching = CachingModel(inner, cache)
+            self._cache = caching.cache
+            inner = caching
+        # The dispatcher commits wave makespans to the wall clock, so
+        # the metered stack must not also track wall time per call.
+        self._model = MeteredModel(inner, meter, track_wall=False)
         self._config = config
         self._validator = validator or Validator(enabled=config.enable_validation)
+        self._ledger = LatencyLedger(on_commit=meter.add_wall_ms)
+        self._retry = RetryPolicy.from_config(config)
+        self._dispatcher = Dispatcher(
+            model=self._model,
+            options_for=self._options,
+            retry=self._retry,
+            max_in_flight=config.max_in_flight,
+            ledger=self._ledger,
+            raw_model=model,
+            cache=self._cache,
+            meter=meter,
+        )
         self.warnings: List[str] = []
+        self._warning_local = threading.local()
 
     @property
     def validator(self) -> Validator:
         return self._validator
+
+    @property
+    def dispatcher(self) -> Dispatcher:
+        return self._dispatcher
+
+    @property
+    def ledger(self) -> LatencyLedger:
+        return self._ledger
+
+    @property
+    def max_in_flight(self) -> int:
+        return self._dispatcher.max_in_flight
+
+    def close(self) -> None:
+        """Release the dispatcher's worker pool."""
+        self._dispatcher.close()
+
+    # ------------------------------------------------------------------
+    # Warnings
+    # ------------------------------------------------------------------
+
+    def _warn(self, message: str) -> None:
+        """Record a warning in the calling thread's scope.
+
+        Inside a :meth:`warning_scope` (a concurrently-executing plan
+        step) warnings buffer locally; the executor re-emits them in
+        step order, so ``QueryResult.warnings`` ordering never depends
+        on thread timing.
+        """
+        buffer = getattr(self._warning_local, "buffer", None)
+        if buffer is not None:
+            buffer.append(message)
+        else:
+            self.warnings.append(message)
+
+    @contextmanager
+    def warning_scope(self):
+        """Capture this thread's warnings instead of publishing them."""
+        previous = getattr(self._warning_local, "buffer", None)
+        captured: List[str] = []
+        self._warning_local.buffer = captured
+        try:
+            yield captured
+        finally:
+            self._warning_local.buffer = previous
+
+    def emit_warnings(self, messages: Sequence[str]) -> None:
+        """Publish captured warnings into the current scope, in order."""
+        for message in messages:
+            self._warn(message)
 
     # ------------------------------------------------------------------
     # Low-level call with retry
@@ -81,18 +162,8 @@ class ModelClient:
 
     def _complete_with_retry(self, prompt: str, sample_index: int, parse):
         """Call the model, parse; retry on refusal/unusable output."""
-        last_error: Optional[Exception] = None
-        for attempt in range(self._config.max_retries + 1):
-            completion = self._model.complete(
-                prompt, self._options(sample_index + attempt * _RETRY_NONCE)
-            )
-            try:
-                return parse(completion)
-            except LLMProtocolError as exc:
-                last_error = exc
-        raise ExecutionError(
-            f"model output unusable after {self._config.max_retries + 1} "
-            f"attempts: {last_error}"
+        return self._dispatcher.run_one(
+            CompletionRequest(prompt=prompt, sample_index=sample_index, parse=parse)
         )
 
     # ------------------------------------------------------------------
@@ -107,24 +178,46 @@ class ModelClient:
         est_pages = max(1, -(-int(step.est_rows) // self._config.page_size))
         max_pages = est_pages * self._config.scan_guard_factor + 4
         target = step.limit_hint
+        page_size = self._config.page_size
+
+        def prompt_for(after_index: int) -> str:
+            return build_enumerate_prompt(
+                EnumerateRequest(
+                    schema=step.schema,
+                    columns=step.columns,
+                    condition_sql=step.pushdown_sql,
+                    order=step.order,
+                    after_index=after_index,
+                    max_rows=page_size,
+                )
+            )
+
+        def parse_page(completion: Completion):
+            return parse_enumerate(completion, dtypes)
+
+        prefetch_window = 0
+        if self._config.max_in_flight > 1 and self._config.scan_prefetch_pages > 0:
+            prefetch_window = min(
+                self._config.scan_prefetch_pages, self._config.max_in_flight - 1
+            )
+        prefetcher = ScanPrefetcher(self._dispatcher) if prefetch_window else None
 
         while True:
-            request = EnumerateRequest(
-                schema=step.schema,
-                columns=step.columns,
-                condition_sql=step.pushdown_sql,
-                order=step.order,
-                after_index=len(rows),
-                max_rows=self._config.page_size,
-            )
-            prompt = build_enumerate_prompt(request)
-
-            def parse_page(completion: Completion):
-                return parse_enumerate(completion, dtypes)
-
-            page = self._complete_with_retry(prompt, sample_index=0, parse=parse_page)
+            after_index = len(rows)
+            prompt = prompt_for(after_index)
+            if prefetcher is not None:
+                # Guess the next pages parse cleanly and start them now,
+                # overlapping the page we are about to read.
+                guesses = [
+                    prompt_for(after_index + offset * page_size)
+                    for offset in range(1, prefetch_window + 1)
+                    if pages_fetched + offset < max_pages
+                    and (target is None or after_index + offset * page_size < target)
+                ]
+                prefetcher.prime(guesses)
+            page = self._fetch_page(prompt, parse_page, prefetcher)
             if page.malformed_lines:
-                self.warnings.append(
+                self._warn(
                     f"scan {step.table_name}: {page.malformed_lines} malformed "
                     f"line(s) skipped"
                 )
@@ -138,23 +231,57 @@ class ModelClient:
             if not page.complete and not got_rows:
                 # Truncated before any row: the page size does not fit the
                 # output budget; give up rather than loop.
-                self.warnings.append(
+                self._warn(
                     f"scan {step.table_name}: page truncated before any row"
                 )
                 break
             if pages_fetched >= max_pages:
-                self.warnings.append(
+                self._warn(
                     f"scan {step.table_name}: aborted after {pages_fetched} pages "
                     f"(guard limit)"
                 )
                 break
 
+        if prefetcher is not None:
+            prefetcher.discard()
         if target is not None:
             rows = rows[:target]
         validated = [
             self._validator.validate_row(row, virtual, step.columns) for row in rows
         ]
         return build_local_table(step.binding, step.schema, step.columns, validated)
+
+    def _fetch_page(self, prompt: str, parse, prefetcher: Optional[ScanPrefetcher]):
+        """One page, preferring an exact-match speculative completion."""
+        if prefetcher is not None:
+            speculation = prefetcher.take(prompt)
+            if speculation is not None:
+                completion, owed_ms = self._dispatcher.consume_speculation(
+                    speculation
+                )
+                self._ledger.add(owed_ms)
+                try:
+                    return parse(completion)
+                except LLMProtocolError as exc:
+                    if self._retry.max_attempts <= 1:
+                        raise ExecutionError(
+                            f"model output unusable after "
+                            f"{self._retry.max_attempts} attempts: {exc}"
+                        )
+                    # The speculative call was attempt 0; hand the rest of
+                    # the retry budget to the dispatcher.
+                    return self._dispatcher.run_one(
+                        CompletionRequest(
+                            prompt=prompt,
+                            sample_index=0,
+                            parse=parse,
+                            first_attempt=1,
+                            prior_error=exc,
+                        )
+                    )
+        return self._dispatcher.run_one(
+            CompletionRequest(prompt=prompt, sample_index=0, parse=parse)
+        )
 
     # ------------------------------------------------------------------
     # Lookup
@@ -173,33 +300,45 @@ class ModelClient:
         batch_size = max(1, self._config.lookup_batch_size)
         votes = max(1, self._config.votes)
 
-        for start in range(0, len(keys), batch_size):
-            batch = list(keys[start : start + batch_size])
-            request = LookupRequest(
-                schema=step.schema,
-                key_columns=tuple(step.key_columns),
-                attributes=tuple(step.attributes),
-                entities=tuple(batch),
+        batches: List[List[Tuple[Value, ...]]] = [
+            list(keys[start : start + batch_size])
+            for start in range(0, len(keys), batch_size)
+        ]
+
+        def make_parse(batch_len: int):
+            def parse_answer(completion: Completion):
+                if parsing.looks_like_refusal(completion.text):
+                    raise LLMProtocolError("refused lookup")
+                return parsing.parse_lookup_completion(
+                    completion.text, batch_len, attr_dtypes
+                )
+
+            return parse_answer
+
+        # Every batch and every vote sample is independent: dispatch the
+        # whole step as one wave so they overlap up to max_in_flight.
+        requests: List[CompletionRequest] = []
+        for batch in batches:
+            prompt = build_lookup_prompt(
+                LookupRequest(
+                    schema=step.schema,
+                    key_columns=tuple(step.key_columns),
+                    attributes=tuple(step.attributes),
+                    entities=tuple(batch),
+                )
             )
-            prompt = build_lookup_prompt(request)
-            sampled: List[List[Optional[List[Value]]]] = []
+            parse_answer = make_parse(len(batch))
             for vote in range(votes):
-
-                def parse_answer(completion: Completion):
-                    if parsing.looks_like_refusal(completion.text):
-                        raise LLMProtocolError("refused lookup")
-                    return parsing.parse_lookup_completion(
-                        completion.text, len(batch), attr_dtypes
-                    )
-
-                sampled.append(
-                    self._complete_with_retry(
-                        prompt, sample_index=vote, parse=parse_answer
+                requests.append(
+                    CompletionRequest(
+                        prompt=prompt, sample_index=vote, parse=parse_answer
                     )
                 )
-            merged = (
-                consistency.vote_rows(sampled) if votes > 1 else sampled[0]
-            )
+        answers = self._dispatcher.run_wave(requests)
+
+        for batch_number, batch in enumerate(batches):
+            sampled = answers[batch_number * votes : (batch_number + 1) * votes]
+            merged = consistency.vote_rows(sampled) if votes > 1 else sampled[0]
             for key, answer in zip(batch, merged):
                 if answer is None:
                     continue  # model does not know this entity
@@ -220,31 +359,42 @@ class ModelClient:
         verdicts: Dict[Tuple, Optional[bool]] = {}
         batch_size = max(1, self._config.lookup_batch_size)
         votes = max(1, self._config.votes)
-        for start in range(0, len(keys), batch_size):
-            batch = list(keys[start : start + batch_size])
-            request = JudgeRequest(
-                schema=step.schema,
-                key_columns=tuple(step.key_columns),
-                condition_sql=step.condition_sql,
-                entities=tuple(batch),
+
+        batches: List[List[Tuple[Value, ...]]] = [
+            list(keys[start : start + batch_size])
+            for start in range(0, len(keys), batch_size)
+        ]
+
+        def make_parse(batch_len: int):
+            def parse_answer(completion: Completion):
+                if parsing.looks_like_refusal(completion.text):
+                    raise LLMProtocolError("refused judgement")
+                return parsing.parse_judge_completion(completion.text, batch_len)
+
+            return parse_answer
+
+        requests: List[CompletionRequest] = []
+        for batch in batches:
+            prompt = build_judge_prompt(
+                JudgeRequest(
+                    schema=step.schema,
+                    key_columns=tuple(step.key_columns),
+                    condition_sql=step.condition_sql,
+                    entities=tuple(batch),
+                )
             )
-            prompt = build_judge_prompt(request)
-            sampled: List[List[Optional[bool]]] = []
+            parse_answer = make_parse(len(batch))
             for vote in range(votes):
-
-                def parse_answer(completion: Completion):
-                    if parsing.looks_like_refusal(completion.text):
-                        raise LLMProtocolError("refused judgement")
-                    return parsing.parse_judge_completion(completion.text, len(batch))
-
-                sampled.append(
-                    self._complete_with_retry(
-                        prompt, sample_index=vote, parse=parse_answer
+                requests.append(
+                    CompletionRequest(
+                        prompt=prompt, sample_index=vote, parse=parse_answer
                     )
                 )
-            merged = (
-                consistency.vote_verdicts(sampled) if votes > 1 else sampled[0]
-            )
+        answers = self._dispatcher.run_wave(requests)
+
+        for batch_number, batch in enumerate(batches):
+            sampled = answers[batch_number * votes : (batch_number + 1) * votes]
+            merged = consistency.vote_verdicts(sampled) if votes > 1 else sampled[0]
             for key, verdict in zip(batch, merged):
                 verdicts[normalize_key(key)] = verdict
         return verdicts

@@ -15,7 +15,13 @@ a completion string (plus usage) out.  The package provides:
   rows, format noise, output truncation).
 """
 
-from repro.llm.interface import Completion, CompletionOptions, LanguageModel
+from repro.llm.interface import (
+    Completion,
+    CompletionOptions,
+    LanguageModel,
+    SequentialBatchAdapter,
+    as_batching,
+)
 from repro.llm.tokenizer import count_tokens, truncate_to_tokens
 from repro.llm.accounting import Budget, PriceModel, UsageMeter, UsageSnapshot
 from repro.llm.cache import CacheStats, PromptCache
@@ -27,6 +33,8 @@ __all__ = [
     "Completion",
     "CompletionOptions",
     "LanguageModel",
+    "SequentialBatchAdapter",
+    "as_batching",
     "count_tokens",
     "truncate_to_tokens",
     "Budget",

@@ -7,10 +7,24 @@ A :class:`Budget` can cap calls/tokens, raising
 :class:`~repro.errors.LLMBudgetExceeded` mid-query — the engine surfaces
 partial results with a warning flag, mimicking a spend limit on a real
 API account.
+
+Two latency totals are kept:
+
+* ``latency_ms`` — *model time*: the sum of every completion's latency,
+  i.e. what the workload would take fully serialized.  Concurrency
+  never changes it.
+* ``wall_ms`` — *critical path*: what a wall clock shows when the
+  concurrent runtime overlaps independent calls (max over a parallel
+  wave, sum over sequential stages).  With ``max_in_flight=1`` the two
+  coincide; their ratio is the runtime's simulated speedup.
+
+The meter is thread-safe: dispatcher workers record completions
+concurrently.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Optional
 
@@ -41,10 +55,18 @@ class UsageSnapshot:
     completion_tokens: int = 0
     latency_ms: float = 0.0
     cost_usd: float = 0.0
+    wall_ms: float = 0.0
 
     @property
     def total_tokens(self) -> int:
         return self.prompt_tokens + self.completion_tokens
+
+    @property
+    def speedup(self) -> float:
+        """Serialized model time over critical path (1.0 when unknown)."""
+        if self.wall_ms <= 0:
+            return 1.0
+        return self.latency_ms / self.wall_ms
 
     def minus(self, earlier: "UsageSnapshot") -> "UsageSnapshot":
         """Usage accrued since ``earlier``."""
@@ -54,6 +76,7 @@ class UsageSnapshot:
             completion_tokens=self.completion_tokens - earlier.completion_tokens,
             latency_ms=self.latency_ms - earlier.latency_ms,
             cost_usd=self.cost_usd - earlier.cost_usd,
+            wall_ms=self.wall_ms - earlier.wall_ms,
         )
 
     def plus(self, other: "UsageSnapshot") -> "UsageSnapshot":
@@ -63,13 +86,17 @@ class UsageSnapshot:
             completion_tokens=self.completion_tokens + other.completion_tokens,
             latency_ms=self.latency_ms + other.latency_ms,
             cost_usd=self.cost_usd + other.cost_usd,
+            wall_ms=self.wall_ms + other.wall_ms,
         )
 
     def render(self) -> str:
-        return (
+        text = (
             f"{self.calls} calls, {self.prompt_tokens}+{self.completion_tokens} "
             f"tokens, {self.latency_ms:.0f} ms, ${self.cost_usd:.4f}"
         )
+        if 0 < self.wall_ms < self.latency_ms:
+            text += f", {self.wall_ms:.0f} ms wall"
+        return text
 
 
 @dataclass
@@ -86,37 +113,73 @@ class UsageMeter:
     def __init__(self, price_model: PriceModel = PriceModel(), budget: Optional[Budget] = None):
         self._price_model = price_model
         self._budget = budget
+        self._lock = threading.Lock()
         self._calls = 0
         self._prompt_tokens = 0
         self._completion_tokens = 0
         self._latency_ms = 0.0
+        self._wall_ms = 0.0
 
     def check_budget(self) -> None:
         """Raise if the next call would exceed the budget."""
+        with self._lock:
+            self._check_budget_locked()
+
+    def _check_budget_locked(self) -> None:
         if self._budget is None:
             return
-        if self._budget.max_calls is not None and self._calls >= self._budget.max_calls:
+        calls = self._calls
+        tokens = self._prompt_tokens + self._completion_tokens
+        if self._budget.max_calls is not None and calls >= self._budget.max_calls:
             raise LLMBudgetExceeded(
                 f"call budget of {self._budget.max_calls} exhausted",
-                calls_used=self._calls,
-                tokens_used=self.total_tokens,
+                calls_used=calls,
+                tokens_used=tokens,
             )
         if (
             self._budget.max_total_tokens is not None
-            and self.total_tokens >= self._budget.max_total_tokens
+            and tokens >= self._budget.max_total_tokens
         ):
             raise LLMBudgetExceeded(
                 f"token budget of {self._budget.max_total_tokens} exhausted",
-                calls_used=self._calls,
-                tokens_used=self.total_tokens,
+                calls_used=calls,
+                tokens_used=tokens,
             )
 
+    def acquire_call(self) -> None:
+        """Atomically budget-check and reserve one call slot.
+
+        Used by concurrent callers: the check and the call-count bump
+        happen under one lock, so a call budget of N admits exactly N
+        calls no matter how many are dispatched at once.  (A token
+        budget can still be overshot by in-flight calls — token counts
+        are unknown until a completion lands, as with a real API.)
+        """
+        with self._lock:
+            self._check_budget_locked()
+            self._calls += 1
+
+    def record_completion(self, completion: Completion) -> None:
+        """Account for a completion whose call was already acquired."""
+        with self._lock:
+            self._prompt_tokens += completion.prompt_tokens
+            self._completion_tokens += completion.completion_tokens
+            self._latency_ms += completion.latency_ms
+
     def record(self, completion: Completion) -> None:
-        """Account for one completion."""
-        self._calls += 1
-        self._prompt_tokens += completion.prompt_tokens
-        self._completion_tokens += completion.completion_tokens
-        self._latency_ms += completion.latency_ms
+        """Account for one completion (call slot included)."""
+        with self._lock:
+            self._calls += 1
+            self._prompt_tokens += completion.prompt_tokens
+            self._completion_tokens += completion.completion_tokens
+            self._latency_ms += completion.latency_ms
+
+    def add_wall_ms(self, ms: float) -> None:
+        """Advance the critical-path clock (committed by the runtime)."""
+        if ms <= 0:
+            return
+        with self._lock:
+            self._wall_ms += ms
 
     @property
     def calls(self) -> int:
@@ -126,36 +189,54 @@ class UsageMeter:
     def total_tokens(self) -> int:
         return self._prompt_tokens + self._completion_tokens
 
+    @property
+    def wall_ms(self) -> float:
+        return self._wall_ms
+
     def snapshot(self) -> UsageSnapshot:
-        return UsageSnapshot(
-            calls=self._calls,
-            prompt_tokens=self._prompt_tokens,
-            completion_tokens=self._completion_tokens,
-            latency_ms=self._latency_ms,
-            cost_usd=self._price_model.cost(
-                self._prompt_tokens, self._completion_tokens
-            ),
-        )
+        with self._lock:
+            return UsageSnapshot(
+                calls=self._calls,
+                prompt_tokens=self._prompt_tokens,
+                completion_tokens=self._completion_tokens,
+                latency_ms=self._latency_ms,
+                cost_usd=self._price_model.cost(
+                    self._prompt_tokens, self._completion_tokens
+                ),
+                wall_ms=self._wall_ms,
+            )
 
     def reset(self) -> None:
-        self._calls = 0
-        self._prompt_tokens = 0
-        self._completion_tokens = 0
-        self._latency_ms = 0.0
+        with self._lock:
+            self._calls = 0
+            self._prompt_tokens = 0
+            self._completion_tokens = 0
+            self._latency_ms = 0.0
+            self._wall_ms = 0.0
 
 
 class MeteredModel:
-    """Wraps a model so every call is budget-checked and metered."""
+    """Wraps a model so every call is budget-checked and metered.
 
-    def __init__(self, inner, meter: UsageMeter):
+    ``track_wall`` keeps the critical-path clock in step with model time
+    for purely sequential callers (the direct baseline, bare metered
+    stacks).  The concurrent runtime disables it and commits wave
+    makespans itself — otherwise overlapped calls would be double
+    counted.
+    """
+
+    def __init__(self, inner, meter: UsageMeter, track_wall: bool = True):
         self._inner = inner
         self._meter = meter
+        self._track_wall = track_wall
 
     def complete(self, prompt: str, options=None) -> Completion:
         from repro.llm.interface import CompletionOptions
 
         options = options or CompletionOptions()
-        self._meter.check_budget()
+        self._meter.acquire_call()
         completion = self._inner.complete(prompt, options)
-        self._meter.record(completion)
+        self._meter.record_completion(completion)
+        if self._track_wall:
+            self._meter.add_wall_ms(completion.latency_ms)
         return completion

@@ -8,12 +8,22 @@ A completion is cacheable when decoding is deterministic for the request:
 temperature 0, or a pinned ``sample_index`` at temperature > 0 (the
 simulated model is deterministic given ``(prompt, sample_index)``; real
 APIs offer the same via a seed parameter).
+
+Cache keys include the *model identity*: two different models answering
+the same prompt must never return each other's completions, so a cache
+shared across models (a session serving several backends) partitions by
+``model_name``.
+
+The cache is thread-safe: the concurrent runtime
+(:mod:`repro.runtime.dispatcher`) reads and writes it from worker
+threads.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.llm.interface import Completion, CompletionOptions, LanguageModel
@@ -36,44 +46,115 @@ class CacheStats:
         return self.hits / self.requests if self.requests else 0.0
 
 
-CacheKey = Tuple[str, float, int, int]
+CacheKey = Tuple[str, str, float, int, int]
+
+
+def resolve_model_name(model: object) -> str:
+    """The identity a model contributes to cache keys.
+
+    Models that matter (the simulated LLM, API clients) carry a
+    ``model_name``; anonymous test doubles fall back to their class
+    name, which still separates distinct model types.
+    """
+    return str(getattr(model, "model_name", type(model).__name__))
+
+
+def zero_cost_copy(completion: Completion) -> Completion:
+    """A cached completion re-served: same text, zero marginal cost."""
+    return Completion(
+        text=completion.text,
+        prompt_tokens=0,
+        completion_tokens=0,
+        truncated=completion.truncated,
+        latency_ms=0.0,
+        model_name=completion.model_name,
+    )
 
 
 class PromptCache:
-    """LRU cache over (prompt, temperature, sample_index, max_tokens)."""
+    """LRU cache over (model, prompt, temperature, sample_index, max_tokens)."""
 
     def __init__(self, max_entries: int = 100_000):
         self._entries: "OrderedDict[CacheKey, Completion]" = OrderedDict()
         self._max_entries = max_entries
+        self._lock = threading.Lock()
         self.stats = CacheStats()
 
     @staticmethod
-    def key_for(prompt: str, options: CompletionOptions) -> CacheKey:
-        return (prompt, options.temperature, options.sample_index, options.max_tokens)
+    def key_for(
+        prompt: str, options: CompletionOptions, model_name: str = ""
+    ) -> CacheKey:
+        return (
+            model_name,
+            prompt,
+            options.temperature,
+            options.sample_index,
+            options.max_tokens,
+        )
 
-    def get(self, prompt: str, options: CompletionOptions) -> Optional[Completion]:
-        key = self.key_for(prompt, options)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+    def get(
+        self, prompt: str, options: CompletionOptions, model_name: str = ""
+    ) -> Optional[Completion]:
+        key = self.key_for(prompt, options, model_name)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
 
-    def put(self, prompt: str, options: CompletionOptions, completion: Completion) -> None:
-        key = self.key_for(prompt, options)
-        self._entries[key] = completion
-        self._entries.move_to_end(key)
-        while len(self._entries) > self._max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+    def put(
+        self,
+        prompt: str,
+        options: CompletionOptions,
+        completion: Completion,
+        model_name: str = "",
+    ) -> None:
+        key = self.key_for(prompt, options, model_name)
+        with self._lock:
+            self._entries[key] = completion
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def put_if_absent(
+        self,
+        prompt: str,
+        options: CompletionOptions,
+        completion: Completion,
+        model_name: str = "",
+    ) -> Tuple[Completion, bool]:
+        """Insert unless present; returns ``(stored, was_present)``.
+
+        The check and insert are one atomic step, which lets concurrent
+        producers of the same completion (e.g. speculative prefetches
+        from two identical scans) agree on exactly one payer: the first
+        stores and pays, everyone else sees ``was_present=True`` and
+        accounts a zero-cost hit — the same totals a sequential run
+        records.
+        """
+        key = self.key_for(prompt, options, model_name)
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._entries.move_to_end(key)
+                return existing, True
+            self._entries[key] = completion
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            return completion, False
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 class CachingModel:
@@ -86,21 +167,26 @@ class CachingModel:
 
     def __init__(self, inner: LanguageModel, cache: Optional[PromptCache] = None):
         self._inner = inner
+        self._model_name = resolve_model_name(inner)
         self.cache = cache if cache is not None else PromptCache()
+
+    @property
+    def model_name(self) -> str:
+        return self._model_name
 
     def complete(
         self, prompt: str, options: CompletionOptions = CompletionOptions()
     ) -> Completion:
-        cached = self.cache.get(prompt, options)
+        cached = self.cache.get(prompt, options, model_name=self._model_name)
         if cached is not None:
-            return Completion(
-                text=cached.text,
-                prompt_tokens=0,
-                completion_tokens=0,
-                truncated=cached.truncated,
-                latency_ms=0.0,
-                model_name=cached.model_name,
-            )
+            return zero_cost_copy(cached)
         completion = self._inner.complete(prompt, options)
-        self.cache.put(prompt, options, completion)
+        stored, was_present = self.cache.put_if_absent(
+            prompt, options, completion, model_name=self._model_name
+        )
+        if was_present:
+            # A concurrent producer (another worker or a consumed
+            # speculation) stored this key between our miss and now;
+            # only one caller pays, as a sequential run would have it.
+            return zero_cost_copy(stored)
         return completion

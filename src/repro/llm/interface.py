@@ -8,7 +8,7 @@ above this interface.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, runtime_checkable
+from typing import List, Protocol, Sequence, Tuple, runtime_checkable
 
 
 @dataclass(frozen=True)
@@ -47,6 +47,10 @@ class Completion:
         return self.prompt_tokens + self.completion_tokens
 
 
+#: One batch element: the prompt plus its decoding options.
+BatchRequest = Tuple[str, CompletionOptions]
+
+
 @runtime_checkable
 class LanguageModel(Protocol):
     """Anything that maps a prompt to a completion."""
@@ -54,6 +58,46 @@ class LanguageModel(Protocol):
     def complete(self, prompt: str, options: CompletionOptions = CompletionOptions()) -> Completion:
         """Generate a completion for ``prompt``."""
         ...
+
+    def complete_many(self, requests: Sequence[BatchRequest]) -> List[Completion]:
+        """Generate completions for a batch of independent requests.
+
+        Results are returned in request order.  Backends with a real
+        batch endpoint amortize per-request overhead here; anything else
+        can be adapted with :func:`as_batching`.
+        """
+        ...
+
+
+class SequentialBatchAdapter:
+    """Gives any single-call model the batch interface, sequentially.
+
+    The fallback behind :func:`as_batching`: correctness-equivalent to a
+    native batch endpoint (requests are independent), with no latency
+    amortization.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    @property
+    def model_name(self) -> str:
+        return str(getattr(self._inner, "model_name", type(self._inner).__name__))
+
+    def complete(
+        self, prompt: str, options: CompletionOptions = CompletionOptions()
+    ) -> Completion:
+        return self._inner.complete(prompt, options)
+
+    def complete_many(self, requests: Sequence[BatchRequest]) -> List[Completion]:
+        return [self._inner.complete(prompt, options) for prompt, options in requests]
+
+
+def as_batching(model) -> LanguageModel:
+    """``model`` if it batches natively, else a sequential adapter."""
+    if callable(getattr(model, "complete_many", None)):
+        return model
+    return SequentialBatchAdapter(model)
 
 
 @dataclass
@@ -77,9 +121,16 @@ class TracingModel:
         self._keep_last = keep_last
         self.calls: list[RecordedCall] = []
 
+    @property
+    def model_name(self) -> str:
+        return str(getattr(self._inner, "model_name", type(self._inner).__name__))
+
     def complete(self, prompt: str, options: CompletionOptions = CompletionOptions()) -> Completion:
         completion = self._inner.complete(prompt, options)
         self.calls.append(RecordedCall(prompt, options, completion))
         if len(self.calls) > self._keep_last:
             del self.calls[: len(self.calls) - self._keep_last]
         return completion
+
+    def complete_many(self, requests: Sequence[BatchRequest]) -> List[Completion]:
+        return [self.complete(prompt, options) for prompt, options in requests]

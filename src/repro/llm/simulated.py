@@ -122,6 +122,20 @@ class SimulatedLLM:
             model_name=self.model_name,
         )
 
+    def complete_many(
+        self, requests: Sequence[Tuple[str, CompletionOptions]]
+    ) -> List[Completion]:
+        """Native batch interface.
+
+        Each request is answered exactly as :meth:`complete` would —
+        beliefs are addressed by ``(seed, prompt, sample_index)``, so
+        batching can never change an answer or its accounting.  A
+        networked backend would amortize per-request overhead here; the
+        simulated latency model intentionally does not, so batch and
+        sequential execution stay cost-identical for comparisons.
+        """
+        return [self.complete(prompt, options) for prompt, options in requests]
+
     # ------------------------------------------------------------------
     # Beliefs
     # ------------------------------------------------------------------

@@ -1,0 +1,41 @@
+"""Concurrent execution runtime.
+
+The runtime schedules the engine's model traffic: a bounded-concurrency
+:class:`~repro.runtime.dispatcher.Dispatcher` that turns independent
+completion requests into overlapping calls, single-flight deduplication
+of identical in-flight prompts, a reusable
+:class:`~repro.runtime.retry.RetryPolicy`, speculative scan-page
+prefetch, and deterministic critical-path wall-clock accounting via
+:class:`~repro.runtime.latency.LatencyLedger`.
+
+Concurrency here is *semantics-free* by design: for a fixed seed and
+configuration, results, token usage, and call counts are byte-identical
+to sequential execution (``max_in_flight=1``); only the reported
+wall-clock changes.
+"""
+
+from repro.runtime.dispatcher import (
+    CompletionRequest,
+    Dispatcher,
+    DispatcherStats,
+    Outcome,
+    Speculation,
+)
+from repro.runtime.latency import BranchClock, LatencyLedger
+from repro.runtime.parallel import run_parallel
+from repro.runtime.prefetch import ScanPrefetcher
+from repro.runtime.retry import RETRY_NONCE, RetryPolicy
+
+__all__ = [
+    "CompletionRequest",
+    "Dispatcher",
+    "DispatcherStats",
+    "Outcome",
+    "Speculation",
+    "BranchClock",
+    "LatencyLedger",
+    "run_parallel",
+    "ScanPrefetcher",
+    "RETRY_NONCE",
+    "RetryPolicy",
+]

@@ -1,0 +1,367 @@
+"""Concurrent model-call scheduler.
+
+The dispatcher is the single gate between plan operators and the model
+stack (cache → meter).  Operators hand it *waves* — batches of
+independent completion requests (vote samples, lookup batches, parallel
+plan steps feed it from separate threads) — and get parsed results back
+in submission order.
+
+Guarantees:
+
+* **Determinism.**  The simulated model is deterministic per
+  ``(prompt, sample_index)``, every request carries both, and parsing
+  and retries are per-request, so results are byte-identical to the
+  sequential path no matter how workers interleave.  With
+  ``max_in_flight <= 1`` the dispatcher runs requests inline, in
+  submission order — exactly the old sequential client.
+* **Identical cost.**  Concurrency changes wall-clock only.  Token and
+  call accounting flows through the same metered/caching stack as
+  sequential execution; single-flight deduplication makes concurrent
+  duplicates behave like the sequential cache (followers replay through
+  the cache after the leader lands, recording the same zero-cost calls
+  a sequential second request would).
+* **Honest wall-clock.**  Each wave charges the ledger a *makespan*
+  computed analytically from simulated latencies under
+  ``max_in_flight`` slots (greedy assignment in submission order), so
+  the reported critical path is deterministic and respects the
+  configured parallelism, not the host's thread timing.
+
+Single-flight followers never occupy a worker slot: they are chained as
+callbacks on the leader's future, which makes the bounded pool
+deadlock-free by construction (workers only ever call the model).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError, LLMProtocolError
+from repro.llm.cache import PromptCache, resolve_model_name, zero_cost_copy
+from repro.llm.interface import Completion, CompletionOptions, LanguageModel
+from repro.runtime.latency import LatencyLedger
+from repro.runtime.retry import RetryPolicy
+
+
+@dataclass(frozen=True)
+class CompletionRequest:
+    """One logical completion: prompt, vote slot, and its parser.
+
+    Attributes:
+        prompt: the full prompt text.
+        sample_index: base vote slot (retries bump it by the policy's
+            nonce, never colliding with other slots).
+        parse: turns a completion into a result; raises
+            :class:`~repro.errors.LLMProtocolError` to request a retry.
+        first_attempt: attempts already consumed elsewhere (the scan
+            prefetcher hands over after a failed speculative attempt 0).
+        prior_error: the parse error from those consumed attempts, kept
+            so the give-up message matches the sequential path.
+    """
+
+    prompt: str
+    sample_index: int
+    parse: Callable[[Completion], Any]
+    first_attempt: int = 0
+    prior_error: Optional[Exception] = None
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """A parsed result plus the serial latency of the attempts behind it."""
+
+    value: Any
+    path_ms: float
+
+
+@dataclass
+class DispatcherStats:
+    """Observability counters (informational; never affect results)."""
+
+    submitted: int = 0
+    deduplicated: int = 0
+    waves: int = 0
+    speculated: int = 0
+    speculation_used: int = 0
+    speculation_wasted: int = 0
+
+
+class Speculation:
+    """An un-metered, in-flight model call owned by the prefetcher.
+
+    The completion is only charged (budget check, meter record, cache
+    insert) if it is consumed; an abandoned speculation costs nothing in
+    tokens — exactly like the sequential path, which never issued it.
+    """
+
+    __slots__ = ("prompt", "options", "future", "launched_at_ms")
+
+    def __init__(
+        self,
+        prompt: str,
+        options: CompletionOptions,
+        future: "Future[Tuple[Completion, bool]]",
+        launched_at_ms: float,
+    ):
+        self.prompt = prompt
+        self.options = options
+        self.future = future
+        self.launched_at_ms = launched_at_ms
+
+
+class Dispatcher:
+    """Bounded-concurrency scheduler over one wrapped model stack."""
+
+    def __init__(
+        self,
+        model: LanguageModel,
+        options_for: Callable[[int], CompletionOptions],
+        retry: RetryPolicy,
+        max_in_flight: int = 1,
+        ledger: Optional[LatencyLedger] = None,
+        raw_model: Optional[LanguageModel] = None,
+        cache: Optional[PromptCache] = None,
+        meter=None,
+    ):
+        self._model = model
+        self._options_for = options_for
+        self._retry = retry
+        self._max_in_flight = max(1, max_in_flight)
+        self._ledger = ledger or LatencyLedger()
+        self._raw_model = raw_model
+        self._cache = cache
+        self._meter = meter
+        self._model_name = (
+            resolve_model_name(raw_model) if raw_model is not None else ""
+        )
+        self._lock = threading.Lock()
+        self._inflight: Dict[Tuple[str, int], "Future[Outcome]"] = {}
+        self._pool: Optional[ThreadPoolExecutor] = None
+        if max_in_flight > 1:
+            self._pool = ThreadPoolExecutor(
+                max_workers=max_in_flight, thread_name_prefix="repro-dispatch"
+            )
+        self.stats = DispatcherStats()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    @property
+    def max_in_flight(self) -> int:
+        return self._max_in_flight
+
+    @property
+    def ledger(self) -> LatencyLedger:
+        return self._ledger
+
+    def run_wave(self, requests: Sequence[CompletionRequest]) -> List[Any]:
+        """Dispatch independent requests; return parsed results in order.
+
+        Charges the ledger one makespan for the whole wave: with one
+        slot that is the serial sum (the sequential baseline), with N
+        slots the greedy N-machine schedule over simulated latencies.
+        """
+        if not requests:
+            return []
+        futures = [self.submit(request) for request in requests]
+        outcomes: List[Optional[Outcome]] = []
+        error: Optional[BaseException] = None
+        for future in futures:
+            try:
+                outcomes.append(future.result())
+            except BaseException as exc:
+                error = error or exc
+                outcomes.append(None)
+        self._ledger.add(
+            self._makespan([o.path_ms for o in outcomes if o is not None])
+        )
+        self.stats.waves += 1
+        if error is not None:
+            raise error
+        return [outcome.value for outcome in outcomes]  # type: ignore[union-attr]
+
+    def run_one(self, request: CompletionRequest) -> Any:
+        return self.run_wave([request])[0]
+
+    def submit(self, request: CompletionRequest) -> "Future[Outcome]":
+        """Schedule one request; single-flight dedups identical keys.
+
+        A follower of an in-flight leader waits (via callback, not a
+        worker slot) and then replays the request through the normal
+        stack: with the cache enabled that replay is served entirely
+        from cache — the same zero-cost calls a sequential duplicate
+        records — and with the cache disabled it pays full price, again
+        matching the sequential path.
+        """
+        self.stats.submitted += 1
+        key = (request.prompt, request.sample_index)
+        with self._lock:
+            leader = self._inflight.get(key)
+            if leader is not None:
+                follower: "Future[Outcome]" = Future()
+                self.stats.deduplicated += 1
+                leader.add_done_callback(
+                    lambda _done: self._schedule(request, follower, key=None)
+                )
+                return follower
+            future: "Future[Outcome]" = Future()
+            self._inflight[key] = future
+        self._schedule(request, future, key=key)
+        return future
+
+    def speculate(self, prompt: str) -> Optional[Speculation]:
+        """Start an un-metered attempt-0 call for a guessed prompt.
+
+        Returns ``None`` when a regular request for the same key is
+        already in flight: the consumer will issue a normal call and be
+        served by single-flight/cache, so speculating would only race
+        the metered call for the cache slot.
+        """
+        options = self._options_for(0)
+        with self._lock:
+            if (prompt, 0) in self._inflight:
+                return None
+        self.stats.speculated += 1
+        launched_at = self._ledger.now()
+        if self._pool is None:
+            future: "Future[Tuple[Completion, bool]]" = Future()
+            try:
+                future.set_result(self._raw_attempt(prompt, options))
+            except BaseException as exc:
+                future.set_exception(exc)
+        else:
+            future = self._pool.submit(self._raw_attempt, prompt, options)
+        return Speculation(prompt, options, future, launched_at)
+
+    def consume_speculation(self, spec: Speculation) -> Tuple[Completion, float]:
+        """Charge a consumed speculation as if it were a normal call.
+
+        Exactly one concurrent producer of a cache key pays for it:
+        the atomic ``put_if_absent`` decides who, and everyone else
+        records the zero-cost hit a sequential run would have recorded.
+        Returns the completion plus the wall-clock still owed: the
+        call's latency minus however much simulated time elapsed while
+        it ran in the background (never below zero).
+        """
+        completion, from_cache = spec.future.result()
+        self.stats.speculation_used += 1
+        if self._meter is not None:
+            self._meter.acquire_call()
+        if from_cache:
+            completion = zero_cost_copy(completion)
+        elif self._cache is not None:
+            _, was_present = self._cache.put_if_absent(
+                spec.prompt, spec.options, completion, model_name=self._model_name
+            )
+            if was_present:
+                # Someone else (another scan's speculation or a regular
+                # call) already paid for this key while we were in
+                # flight; sequentially this consume would have been a
+                # cache hit.
+                completion = zero_cost_copy(completion)
+        if self._meter is not None:
+            self._meter.record_completion(completion)
+        elapsed = self._ledger.now() - spec.launched_at_ms
+        owed = max(0.0, completion.latency_ms - elapsed)
+        return completion, owed
+
+    def abandon_speculations(self, count: int) -> None:
+        self.stats.speculation_wasted += count
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _schedule(
+        self,
+        request: CompletionRequest,
+        future: "Future[Outcome]",
+        key: Optional[Tuple[str, int]],
+    ) -> None:
+        if self._pool is None:
+            self._run_into(request, future, key)
+        else:
+            self._pool.submit(self._run_into, request, future, key)
+
+    def _run_into(
+        self,
+        request: CompletionRequest,
+        future: "Future[Outcome]",
+        key: Optional[Tuple[str, int]],
+    ) -> None:
+        try:
+            outcome = self._run_request(request)
+        except BaseException as exc:
+            self._clear_inflight(key)
+            future.set_exception(exc)
+        else:
+            self._clear_inflight(key)
+            future.set_result(outcome)
+
+    def _clear_inflight(self, key: Optional[Tuple[str, int]]) -> None:
+        if key is None:
+            return
+        with self._lock:
+            self._inflight.pop(key, None)
+
+    def _run_request(self, request: CompletionRequest) -> Outcome:
+        path_ms = 0.0
+        last_error: Optional[Exception] = request.prior_error
+        for attempt in range(request.first_attempt, self._retry.max_attempts):
+            options = self._options_for(
+                request.sample_index + self._retry.nonce_for(attempt)
+            )
+            completion = self._model.complete(request.prompt, options)
+            path_ms += completion.latency_ms
+            try:
+                return Outcome(value=request.parse(completion), path_ms=path_ms)
+            except LLMProtocolError as exc:
+                last_error = exc
+                delay = self._retry.delay_ms(attempt)
+                path_ms += delay
+                self._retry.sleep(delay)
+        raise ExecutionError(
+            f"model output unusable after {self._retry.max_attempts} "
+            f"attempts: {last_error}"
+        )
+
+    def _raw_attempt(
+        self, prompt: str, options: CompletionOptions
+    ) -> Tuple[Completion, bool]:
+        """Attempt 0 without metering: cache read, else raw model call."""
+        if self._cache is not None:
+            cached = self._cache.get(prompt, options, model_name=self._model_name)
+            if cached is not None:
+                return cached, True
+        model = self._raw_model if self._raw_model is not None else self._model
+        return model.complete(prompt, options), False
+
+    def _makespan(self, durations: Sequence[float]) -> float:
+        """Greedy schedule of durations onto this wave's fair slot share.
+
+        When several plan branches dispatch waves concurrently they
+        split the worker pool, so a wave's makespan is computed against
+        ``max_in_flight`` divided by the calling scope's structural
+        concurrency (at least one slot) — a fair-share approximation,
+        fixed by the plan shape rather than live thread state, that
+        keeps the reported critical path deterministic and from
+        pretending each branch had the whole pool to itself.
+        """
+        if not durations:
+            return 0.0
+        slot_count = max(1, self._max_in_flight // self._ledger.current_divisor())
+        if slot_count == 1:
+            return sum(durations)
+        slots = [0.0] * slot_count
+        for duration in durations:
+            index = min(range(len(slots)), key=slots.__getitem__)
+            slots[index] += duration
+        return max(slots)

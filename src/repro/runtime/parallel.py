@@ -1,0 +1,64 @@
+"""Branch-scoped parallel execution of plan-level work.
+
+:func:`run_parallel` runs orchestration thunks (plan steps, not raw
+model calls) on short-lived threads.  Each thunk gets its own ledger
+branch, so the model waves it dispatches accumulate into a per-branch
+wall clock; the caller then commits ``max`` over the branches — the
+critical path of the parallel region.
+
+These threads only *coordinate*: they block on dispatcher futures and
+run local relational compute.  Actual model calls stay bounded by the
+dispatcher's worker pool, so nesting orchestration threads can never
+deadlock the pool.
+
+Errors are re-raised in thunk order (the order the sequential executor
+would have hit them), keeping failure behavior deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Sequence
+
+from repro.runtime.latency import LatencyLedger
+
+
+def run_parallel(
+    ledger: LatencyLedger, thunks: Sequence[Callable[[], Any]]
+) -> List[Any]:
+    """Run thunks concurrently; charge the ledger max(branch wall)."""
+    if not thunks:
+        return []
+    if len(thunks) == 1:
+        return [thunks[0]()]
+
+    count = len(thunks)
+    results: List[Any] = [None] * count
+    errors: List[BaseException] = [None] * count  # type: ignore[list-item]
+    totals: List[float] = [0.0] * count
+    # Sibling branches share the dispatcher pool: their waves are
+    # priced against a 1/count slot share (compounded when nested).
+    divisor = ledger.current_divisor() * count
+
+    def runner(index: int) -> None:
+        with ledger.branch(divisor=divisor) as clock:
+            try:
+                results[index] = thunks[index]()
+            except BaseException as exc:  # re-raised in order below
+                errors[index] = exc
+        totals[index] = clock.total
+
+    threads = [
+        threading.Thread(target=runner, args=(index,), daemon=True)
+        for index in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    ledger.add(max(totals))
+    for error in errors:
+        if error is not None:
+            raise error
+    return results

@@ -1,0 +1,58 @@
+"""Speculative page prefetch for enumeration scans.
+
+Scan pagination is inherently serial — page *k+1*'s ``after_index`` is
+the number of rows parsed from pages ``0..k`` — which makes scans the
+worst-served fan-out point.  The prefetcher breaks the serial chain
+*speculatively*: while page *k* is in flight it guesses that the page
+will parse cleanly (``after_index + page_size``) and starts the next
+page(s) un-metered in the background.
+
+* **Guess right** (the common case — every fully-parsed page): the scan
+  consumes the speculation.  Only then is it charged — budget check,
+  meter record, cache insert — exactly what the sequential call would
+  have cost, while the wall clock is credited for the overlap.
+* **Guess wrong** (malformed lines shifted the index): the prompt the
+  scan actually needs differs, so the speculation is ignored and the
+  scan issues a normal metered call.  Abandoned speculations are never
+  charged, so results and token accounting stay byte-identical to the
+  sequential path in both cases.
+
+A consumed speculative completion that fails to parse hands over to the
+dispatcher's retry loop with ``first_attempt=1``, preserving the
+sequential retry budget and error message.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.runtime.dispatcher import Dispatcher, Speculation
+
+
+class ScanPrefetcher:
+    """Holds in-flight speculative pages for one scan, keyed by prompt."""
+
+    def __init__(self, dispatcher: Dispatcher):
+        self._dispatcher = dispatcher
+        self._pending: Dict[str, Speculation] = {}
+
+    def prime(self, prompts: Iterable[str]) -> None:
+        """Launch speculations for prompts not already in flight."""
+        for prompt in prompts:
+            if prompt not in self._pending:
+                speculation = self._dispatcher.speculate(prompt)
+                if speculation is not None:
+                    self._pending[prompt] = speculation
+
+    def take(self, prompt: str) -> Optional[Speculation]:
+        """Claim the speculation matching ``prompt`` exactly, if any."""
+        return self._pending.pop(prompt, None)
+
+    def discard(self) -> None:
+        """Abandon whatever is left (scan ended before the guesses)."""
+        if self._pending:
+            self._dispatcher.abandon_speculations(len(self._pending))
+            self._pending.clear()
+
+    def __len__(self) -> int:
+        return len(self._pending)

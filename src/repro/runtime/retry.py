@@ -1,0 +1,68 @@
+"""Reusable retry policy for model calls.
+
+Lifted out of the model client so every caller — the dispatcher's
+workers, the scan prefetcher's recovery path, future networked backends
+— retries refusals and unusable output the same way:
+
+* each retry re-issues the prompt with the sample index bumped by
+  :data:`RETRY_NONCE`, so a refusal re-rolls without changing the
+  beliefs a greedy decode would return;
+* an optional exponential backoff separates attempts.  The default base
+  of 0 ms keeps the simulated substrate fast; a networked backend would
+  set a real base and cap.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Offset added to the sample index per retry so a refusal re-rolls.
+RETRY_NONCE = 1009
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently a failed completion is re-issued.
+
+    Attributes:
+        max_attempts: total attempts per request (first call + retries).
+        backoff_base_ms: delay before the first retry; 0 disables
+            backoff entirely (no sleeper calls, no wall-clock charge).
+        backoff_multiplier: factor applied per further retry.
+        backoff_cap_ms: upper bound on any single delay.
+        sleeper: called with the delay in *seconds* when a positive
+            backoff is due; injectable for tests.
+    """
+
+    max_attempts: int = 3
+    backoff_base_ms: float = 0.0
+    backoff_multiplier: float = 2.0
+    backoff_cap_ms: float = 10_000.0
+    sleeper: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def delay_ms(self, attempt: int) -> float:
+        """Backoff due after failed ``attempt`` (0-based)."""
+        if self.backoff_base_ms <= 0:
+            return 0.0
+        return min(
+            self.backoff_base_ms * self.backoff_multiplier**attempt,
+            self.backoff_cap_ms,
+        )
+
+    def sleep(self, delay_ms: float) -> None:
+        if delay_ms > 0:
+            self.sleeper(delay_ms / 1000.0)
+
+    def nonce_for(self, attempt: int) -> int:
+        """Sample-index offset for ``attempt`` (0 for the first call)."""
+        return attempt * RETRY_NONCE
+
+    @staticmethod
+    def from_config(config) -> "RetryPolicy":
+        """The policy an :class:`~repro.config.EngineConfig` asks for."""
+        return RetryPolicy(
+            max_attempts=config.max_retries + 1,
+            backoff_base_ms=config.retry_backoff_ms,
+        )

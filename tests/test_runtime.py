@@ -1,0 +1,589 @@
+"""The concurrent execution runtime.
+
+The invariant every test here circles: concurrency is *semantics-free*.
+For a fixed seed and configuration, ``max_in_flight`` may change only
+the reported critical-path wall-clock (``wall_ms``) — never result
+rows, token usage, call counts, or serialized latency.
+"""
+
+import threading
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.virtual import VirtualTable
+from repro.errors import ExecutionError, LLMProtocolError
+from repro.llm.accounting import UsageMeter, UsageSnapshot
+from repro.llm.cache import CachingModel, PromptCache
+from repro.llm.interface import (
+    Completion,
+    CompletionOptions,
+    SequentialBatchAdapter,
+    TracingModel,
+    as_batching,
+)
+from repro.llm.noise import NoiseConfig
+from repro.llm.simulated import SimulatedLLM
+from repro.plan.physical import ScanStep
+from repro.runtime.dispatcher import CompletionRequest, Dispatcher
+from repro.runtime.latency import LatencyLedger
+from repro.runtime.parallel import run_parallel
+from repro.runtime.retry import RETRY_NONCE, RetryPolicy
+
+from tests.conftest import make_country_schema, make_engine
+
+
+# ---------------------------------------------------------------------------
+# Test doubles
+# ---------------------------------------------------------------------------
+
+
+class FixedLatencyModel:
+    """Deterministic model: echoes the prompt, fixed simulated latency."""
+
+    model_name = "fixed"
+
+    def __init__(self, latency_ms: float = 100.0, gate: threading.Event = None):
+        self.latency_ms = latency_ms
+        self.calls = 0
+        self.started = threading.Event()
+        self.gate = gate
+        self._lock = threading.Lock()
+
+    def complete(self, prompt, options=CompletionOptions()):
+        with self._lock:
+            self.calls += 1
+        self.started.set()
+        if self.gate is not None:
+            assert self.gate.wait(timeout=5.0), "test gate never opened"
+        return Completion(
+            text=f"answer:{prompt}:{options.sample_index}",
+            prompt_tokens=7,
+            completion_tokens=3,
+            latency_ms=self.latency_ms,
+        )
+
+
+def make_dispatcher(model, max_in_flight, meter=None, cache=None, retry=None):
+    """The same stack ModelClient builds: cache → meter → dispatcher."""
+    meter = meter or UsageMeter()
+    inner = model
+    if cache is not None:
+        inner = CachingModel(inner, cache)
+    from repro.llm.accounting import MeteredModel
+
+    metered = MeteredModel(inner, meter, track_wall=False)
+    ledger = LatencyLedger(on_commit=meter.add_wall_ms)
+    dispatcher = Dispatcher(
+        model=metered,
+        options_for=lambda i: CompletionOptions(sample_index=i),
+        retry=retry or RetryPolicy(max_attempts=3),
+        max_in_flight=max_in_flight,
+        ledger=ledger,
+        raw_model=model,
+        cache=cache,
+        meter=meter,
+    )
+    return dispatcher, meter
+
+
+def req(prompt, sample_index=0):
+    return CompletionRequest(
+        prompt=prompt, sample_index=sample_index, parse=lambda c: c.text
+    )
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+
+def test_retry_policy_backoff_sequence():
+    policy = RetryPolicy(backoff_base_ms=100.0, backoff_multiplier=2.0)
+    assert [policy.delay_ms(a) for a in range(3)] == [100.0, 200.0, 400.0]
+
+
+def test_retry_policy_backoff_cap():
+    policy = RetryPolicy(backoff_base_ms=100.0, backoff_cap_ms=150.0)
+    assert policy.delay_ms(5) == 150.0
+
+
+def test_retry_policy_zero_base_never_sleeps():
+    slept = []
+    policy = RetryPolicy(backoff_base_ms=0.0, sleeper=slept.append)
+    policy.sleep(policy.delay_ms(2))
+    assert slept == []
+
+
+def test_retry_policy_sleeper_receives_seconds():
+    slept = []
+    policy = RetryPolicy(backoff_base_ms=500.0, sleeper=slept.append)
+    policy.sleep(policy.delay_ms(0))
+    assert slept == [0.5]
+
+
+def test_retry_policy_from_config():
+    config = EngineConfig().with_(max_retries=4, retry_backoff_ms=25.0)
+    policy = RetryPolicy.from_config(config)
+    assert policy.max_attempts == 5
+    assert policy.backoff_base_ms == 25.0
+    assert policy.nonce_for(2) == 2 * RETRY_NONCE
+
+
+def test_retry_through_dispatcher_bumps_nonce_and_charges_backoff():
+    class FlakyModel:
+        model_name = "flaky"
+
+        def __init__(self):
+            self.seen = []
+
+        def complete(self, prompt, options=CompletionOptions()):
+            self.seen.append(options.sample_index)
+            text = "bad" if len(self.seen) < 3 else "good"
+            return Completion(
+                text=text, prompt_tokens=1, completion_tokens=1, latency_ms=10.0
+            )
+
+    def parse(completion):
+        if completion.text == "bad":
+            raise LLMProtocolError("still bad")
+        return completion.text
+
+    model = FlakyModel()
+    slept = []
+    retry = RetryPolicy(max_attempts=3, backoff_base_ms=100.0, sleeper=slept.append)
+    dispatcher, meter = make_dispatcher(model, max_in_flight=1, retry=retry)
+    result = dispatcher.run_one(
+        CompletionRequest(prompt="p", sample_index=0, parse=parse)
+    )
+    assert result == "good"
+    assert model.seen == [0, RETRY_NONCE, 2 * RETRY_NONCE]
+    assert slept == [0.1, 0.2]
+    # 3 calls × 10 ms plus 100 + 200 ms of backoff, all on the critical path.
+    assert meter.wall_ms == pytest.approx(330.0)
+
+
+def test_retry_exhaustion_matches_sequential_message():
+    class RefusingModel:
+        model_name = "refuser"
+
+        def complete(self, prompt, options=CompletionOptions()):
+            return Completion(
+                text="no", prompt_tokens=1, completion_tokens=1, latency_ms=1.0
+            )
+
+    def parse(completion):
+        raise LLMProtocolError("refused")
+
+    dispatcher, _ = make_dispatcher(
+        RefusingModel(), max_in_flight=4, retry=RetryPolicy(max_attempts=2)
+    )
+    with pytest.raises(ExecutionError, match="after 2 attempts"):
+        dispatcher.run_one(CompletionRequest(prompt="p", sample_index=0, parse=parse))
+
+
+# ---------------------------------------------------------------------------
+# Dispatcher: wall-clock accounting
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "max_in_flight,expected_wall",
+    [(1, 400.0), (2, 200.0), (4, 100.0), (16, 100.0)],
+)
+def test_wave_makespan_respects_slot_count(max_in_flight, expected_wall):
+    dispatcher, meter = make_dispatcher(
+        FixedLatencyModel(latency_ms=100.0), max_in_flight=max_in_flight
+    )
+    dispatcher.run_wave([req(f"p{i}") for i in range(4)])
+    dispatcher.close()
+    assert meter.wall_ms == pytest.approx(expected_wall)
+    # Serialized model time is concurrency-independent.
+    assert meter.snapshot().latency_ms == pytest.approx(400.0)
+
+
+def test_sequential_waves_accumulate():
+    dispatcher, meter = make_dispatcher(
+        FixedLatencyModel(latency_ms=50.0), max_in_flight=8
+    )
+    dispatcher.run_wave([req("a1"), req("a2")])
+    dispatcher.run_wave([req("b1"), req("b2")])
+    dispatcher.close()
+    assert meter.wall_ms == pytest.approx(100.0)  # two overlapped stages
+
+
+def test_usage_snapshot_wall_arithmetic():
+    a = UsageSnapshot(calls=2, latency_ms=100.0, wall_ms=60.0)
+    b = UsageSnapshot(calls=5, latency_ms=300.0, wall_ms=110.0)
+    assert b.minus(a).wall_ms == pytest.approx(50.0)
+    assert a.plus(b).wall_ms == pytest.approx(170.0)
+    assert b.speedup == pytest.approx(300.0 / 110.0)
+
+
+def test_run_parallel_charges_max_branch():
+    meter = UsageMeter()
+    ledger = LatencyLedger(on_commit=meter.add_wall_ms)
+
+    def work(ms):
+        def thunk():
+            ledger.add(ms)
+            return ms
+
+        return thunk
+
+    results = run_parallel(ledger, [work(100.0), work(250.0), work(40.0)])
+    assert results == [100.0, 250.0, 40.0]
+    assert meter.wall_ms == pytest.approx(250.0)
+
+
+def test_run_parallel_nested_branches_roll_up():
+    meter = UsageMeter()
+    ledger = LatencyLedger(on_commit=meter.add_wall_ms)
+
+    def inner():
+        run_parallel(ledger, [lambda: ledger.add(70.0), lambda: ledger.add(30.0)])
+        ledger.add(10.0)
+        return "inner"
+
+    run_parallel(ledger, [inner, lambda: ledger.add(20.0)])
+    # inner branch = max(70, 30) + 10 = 80; outer = max(80, 20).
+    assert meter.wall_ms == pytest.approx(80.0)
+
+
+def test_run_parallel_reraises_in_step_order():
+    ledger = LatencyLedger()
+
+    def boom(tag):
+        def thunk():
+            raise ValueError(tag)
+
+        return thunk
+
+    with pytest.raises(ValueError, match="first"):
+        run_parallel(ledger, [boom("first"), boom("second")])
+
+
+# ---------------------------------------------------------------------------
+# Dispatcher: single-flight deduplication
+# ---------------------------------------------------------------------------
+
+
+def test_single_flight_shares_one_underlying_call():
+    gate = threading.Event()
+    model = FixedLatencyModel(latency_ms=10.0, gate=gate)
+    cache = PromptCache()
+    dispatcher, meter = make_dispatcher(model, max_in_flight=4, cache=cache)
+
+    leader = dispatcher.submit(req("same"))
+    assert model.started.wait(timeout=5.0)
+    followers = [dispatcher.submit(req("same")) for _ in range(3)]
+    gate.set()
+
+    texts = {leader.result().value} | {f.result().value for f in followers}
+    dispatcher.close()
+    assert texts == {"answer:same:0"}
+    assert model.calls == 1
+    assert dispatcher.stats.deduplicated == 3
+    snapshot = meter.snapshot()
+    # Four metered calls, but the tokens were paid once — exactly what a
+    # sequential run (one miss, three cache hits) records.
+    assert snapshot.calls == 4
+    assert snapshot.total_tokens == 10
+
+
+def test_duplicates_without_cache_pay_like_sequential():
+    model = FixedLatencyModel(latency_ms=10.0)
+    dispatcher, meter = make_dispatcher(model, max_in_flight=4, cache=None)
+    results = dispatcher.run_wave([req("same"), req("same")])
+    dispatcher.close()
+    assert results == ["answer:same:0"] * 2
+    # No cache → sequential would pay twice; dedup must not change that.
+    assert meter.snapshot().total_tokens == 20
+
+
+def test_distinct_sample_indexes_are_not_deduplicated():
+    model = FixedLatencyModel(latency_ms=10.0)
+    cache = PromptCache()
+    dispatcher, _ = make_dispatcher(model, max_in_flight=4, cache=cache)
+    results = dispatcher.run_wave([req("p", 0), req("p", 1), req("p", 2)])
+    dispatcher.close()
+    assert len(set(results)) == 3
+    assert model.calls == 3
+
+
+def test_call_budget_is_exact_under_concurrency():
+    from repro.errors import LLMBudgetExceeded
+    from repro.llm.accounting import Budget
+
+    meter = UsageMeter(budget=Budget(max_calls=3))
+    dispatcher, _ = make_dispatcher(
+        FixedLatencyModel(latency_ms=5.0), max_in_flight=8, meter=meter
+    )
+    with pytest.raises(LLMBudgetExceeded):
+        dispatcher.run_wave([req(f"p{i}") for i in range(10)])
+    dispatcher.close()
+    # check+reserve is atomic: a budget of 3 admits exactly 3 calls no
+    # matter how many were dispatched at once.
+    assert meter.calls == 3
+
+
+def test_put_if_absent_single_payer():
+    cache = PromptCache()
+    options = CompletionOptions()
+    first = Completion(text="a", prompt_tokens=5, completion_tokens=5)
+    stored, present = cache.put_if_absent("p", options, first)
+    assert (stored.text, present) == ("a", False)
+    second = Completion(text="a", prompt_tokens=5, completion_tokens=5)
+    stored, present = cache.put_if_absent("p", options, second)
+    assert present is True
+    assert stored is first
+
+
+def test_concurrent_identical_scans_cost_like_sequential(mini_world):
+    """Self-join shape: two identical scans in one wave must pay once."""
+    base = EngineConfig().with_(page_size=4, scan_prefetch_pages=3)
+    sql = ("SELECT a.name, b.name FROM countries a JOIN countries b "
+           "ON a.continent = b.continent WHERE a.population > b.population")
+    seq_rows, seq_usage = run_workload_single(mini_world, sql, base, 1)
+    par_rows, par_usage = run_workload_single(mini_world, sql, base, 8)
+    assert par_rows == seq_rows
+    assert par_usage.total_tokens == seq_usage.total_tokens
+    assert par_usage.calls == seq_usage.calls
+
+
+def test_makespan_divides_slots_across_parallel_branches():
+    """Two branches sharing a 2-slot pool can't both claim both slots."""
+    dispatcher, meter = make_dispatcher(
+        FixedLatencyModel(latency_ms=100.0), max_in_flight=2
+    )
+    ledger = dispatcher.ledger
+
+    def branch_work(tag):
+        def thunk():
+            dispatcher.run_wave([req(f"{tag}-1"), req(f"{tag}-2")])
+
+        return thunk
+
+    run_parallel(ledger, [branch_work("a"), branch_work("b")])
+    dispatcher.close()
+    # 4 calls of 100 ms on a 2-slot pool need 200 ms; each branch gets a
+    # fair 1-slot share, so neither under-reports by assuming the pool.
+    assert meter.wall_ms == pytest.approx(200.0)
+
+
+# ---------------------------------------------------------------------------
+# complete_many
+# ---------------------------------------------------------------------------
+
+
+def test_sequential_batch_adapter_wraps_single_call_models():
+    model = FixedLatencyModel()
+    adapted = as_batching(model)
+    assert isinstance(adapted, SequentialBatchAdapter)
+    assert adapted.model_name == "fixed"
+    requests = [(f"p{i}", CompletionOptions(sample_index=i)) for i in range(3)]
+    completions = adapted.complete_many(requests)
+    assert [c.text for c in completions] == [f"answer:p{i}:{i}" for i in range(3)]
+
+
+def test_as_batching_passes_through_native_batchers(mini_world):
+    model = SimulatedLLM(mini_world, NoiseConfig(), seed=3)
+    assert as_batching(model) is model
+
+
+def test_simulated_complete_many_matches_sequential(mini_world):
+    model = SimulatedLLM(mini_world, NoiseConfig(), seed=3)
+    prompt = (
+        "TASK: enumerate\nTABLE: countries(name TEXT, continent TEXT, "
+        "population INTEGER, gdp REAL)\nCOLUMNS: name, continent\n"
+        "AFTER_INDEX: 0\nMAX_ROWS: 5\n"
+    )
+    requests = [(prompt, CompletionOptions(sample_index=i)) for i in range(3)]
+    batched = model.complete_many(requests)
+    sequential = [model.complete(p, o) for p, o in requests]
+    assert [c.text for c in batched] == [c.text for c in sequential]
+    assert [c.total_tokens for c in batched] == [c.total_tokens for c in sequential]
+
+
+def test_tracing_model_batches_and_records(mini_world):
+    tracer = TracingModel(FixedLatencyModel())
+    tracer.complete_many([("a", CompletionOptions()), ("b", CompletionOptions())])
+    assert [call.prompt for call in tracer.calls] == ["a", "b"]
+    assert tracer.model_name == "fixed"
+
+
+# ---------------------------------------------------------------------------
+# Cache model identity (satellite: key collision across models)
+# ---------------------------------------------------------------------------
+
+
+def test_shared_cache_partitions_by_model_name():
+    class NamedModel:
+        def __init__(self, name):
+            self.model_name = name
+
+        def complete(self, prompt, options=CompletionOptions()):
+            return Completion(
+                text=f"{self.model_name}:{prompt}",
+                prompt_tokens=2,
+                completion_tokens=2,
+            )
+
+    shared = PromptCache()
+    first = CachingModel(NamedModel("model-a"), shared)
+    second = CachingModel(NamedModel("model-b"), shared)
+    assert first.complete("p").text == "model-a:p"
+    # Same prompt, different model: must miss, not return model-a's answer.
+    assert second.complete("p").text == "model-b:p"
+    assert shared.stats.hits == 0
+    assert shared.stats.misses == 2
+
+
+# ---------------------------------------------------------------------------
+# End-to-end determinism: concurrency changes wall-clock only
+# ---------------------------------------------------------------------------
+
+QUERIES = [
+    "SELECT name, population FROM countries WHERE continent = 'Europe'",
+    "SELECT c.name, t.city FROM countries c JOIN cities t ON t.country = c.name "
+    "WHERE t.is_capital = TRUE",
+    "SELECT continent, COUNT(*), SUM(population) FROM countries GROUP BY continent",
+    "SELECT name FROM countries ORDER BY population DESC LIMIT 3",
+]
+
+
+def run_workload(world, config, seed=11):
+    model = SimulatedLLM(world, NoiseConfig(), seed=seed)
+    engine = make_engine(model, world, config)
+    rows = []
+    for sql in QUERIES:
+        rows.append(tuple(map(tuple, engine.execute(sql).rows)))
+    return rows, engine.usage
+
+
+@pytest.mark.parametrize("votes", [1, 3])
+def test_parallel_results_and_cost_identical_to_sequential(mini_world, votes):
+    base = EngineConfig().with_(votes=votes, page_size=4, lookup_batch_size=3)
+    seq_rows, seq_usage = run_workload(mini_world, base.with_(max_in_flight=1))
+    par_rows, par_usage = run_workload(mini_world, base.with_(max_in_flight=8))
+    assert par_rows == seq_rows
+    assert par_usage.calls == seq_usage.calls
+    assert par_usage.total_tokens == seq_usage.total_tokens
+    assert par_usage.latency_ms == pytest.approx(seq_usage.latency_ms)
+    assert par_usage.cost_usd == pytest.approx(seq_usage.cost_usd)
+    # Concurrency must actually shorten the critical path.
+    assert par_usage.wall_ms < seq_usage.wall_ms
+
+
+def test_sequential_wall_clock_equals_model_time(mini_world):
+    _, usage = run_workload(mini_world, EngineConfig().with_(max_in_flight=1))
+    assert usage.wall_ms == pytest.approx(usage.latency_ms)
+
+
+def test_parallel_judge_identical(mini_world):
+    config = EngineConfig().with_(enable_judge=True, enable_pushdown=False,
+                                  lookup_batch_size=3)
+    sql = "SELECT name FROM countries WHERE population > 50000"
+    seq_rows, seq_usage = run_workload_single(mini_world, sql, config, 1)
+    par_rows, par_usage = run_workload_single(mini_world, sql, config, 8)
+    assert par_rows == seq_rows
+    assert par_usage.total_tokens == seq_usage.total_tokens
+
+
+def run_workload_single(world, sql, config, max_in_flight, seed=11):
+    model = SimulatedLLM(world, NoiseConfig(), seed=seed)
+    engine = make_engine(model, world, config.with_(max_in_flight=max_in_flight))
+    result = engine.execute(sql)
+    return tuple(map(tuple, result.rows)), engine.usage
+
+
+# ---------------------------------------------------------------------------
+# Scan prefetch
+# ---------------------------------------------------------------------------
+
+
+def scan_client_and_step(world, config, seed=11):
+    from repro.core.operators import ModelClient
+
+    model = SimulatedLLM(world, NoiseConfig(), seed=seed)
+    meter = UsageMeter()
+    client = ModelClient(model, meter, config)
+    schema = make_country_schema()
+    step = ScanStep(
+        binding="countries",
+        table_name="countries",
+        schema=schema,
+        columns=tuple(schema.column_names),
+        est_rows=10.0,
+    )
+    virtual = VirtualTable.build(schema, row_estimate=10)
+    return client, step, virtual, meter
+
+
+def test_scan_prefetch_identical_rows_and_tokens(mini_world):
+    base = EngineConfig().with_(page_size=3, scan_prefetch_pages=3)
+    seq_client, step, virtual, seq_meter = scan_client_and_step(
+        mini_world, base.with_(max_in_flight=1)
+    )
+    seq_table = seq_client.run_scan(step, virtual)
+    seq_client.close()
+
+    par_client, step, virtual, par_meter = scan_client_and_step(
+        mini_world, base.with_(max_in_flight=8)
+    )
+    par_table = par_client.run_scan(step, virtual)
+    stats = par_client.dispatcher.stats
+    par_client.close()
+
+    assert list(par_table.rows) == list(seq_table.rows)
+    assert par_meter.total_tokens == seq_meter.total_tokens
+    assert par_meter.calls == seq_meter.calls
+    assert stats.speculated > 0
+    assert stats.speculation_used > 0
+    # Consumed speculations overlapped earlier pages: the wall clock
+    # must beat the serialized page chain.
+    assert par_meter.wall_ms < seq_meter.wall_ms
+
+
+def test_scan_prefetch_disabled_at_sequential(mini_world):
+    client, step, virtual, _ = scan_client_and_step(
+        mini_world, EngineConfig().with_(page_size=3, max_in_flight=1)
+    )
+    client.run_scan(step, virtual)
+    assert client.dispatcher.stats.speculated == 0
+    client.close()
+
+
+# ---------------------------------------------------------------------------
+# Engine plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_cli_accepts_max_in_flight():
+    from repro.cli import build_engine
+
+    engine = build_engine(
+        "geography", seed=0, naive=False, gap=0.0, sampling=0.0, votes=1,
+        max_in_flight=4,
+    )
+    assert engine.config.max_in_flight == 4
+    result = engine.execute("SELECT COUNT(*) FROM countries")
+    assert result.rows
+
+
+def test_budget_still_enforced_under_concurrency(mini_world):
+    from repro.core.engine import LLMStorageEngine
+    from repro.errors import LLMBudgetExceeded
+    from repro.llm.accounting import Budget
+
+    model = SimulatedLLM(mini_world, NoiseConfig(), seed=11)
+    engine = LLMStorageEngine(
+        model,
+        config=EngineConfig().with_(max_in_flight=8, page_size=3),
+        budget=Budget(max_calls=1),
+    )
+    for schema in mini_world.schemas():
+        engine.register_virtual_table(schema, row_estimate=10)
+    with pytest.raises(LLMBudgetExceeded):
+        engine.execute("SELECT name FROM countries")
+        engine.execute("SELECT city FROM cities")
