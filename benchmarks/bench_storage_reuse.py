@@ -1,0 +1,110 @@
+"""Benchmark: storage-tier reuse on a repeated/overlapping workload.
+
+An interactive session rarely asks brand-new questions: it repeats
+queries (dashboards, retries, formatting variants) and asks overlapping
+ones (same rows, different projections/limits).  The adaptive
+materialization tier (`storage_mode=materialize`) must turn that
+redundancy into call savings without changing a single byte of output.
+
+Acceptance bar:
+
+* every query's result table is byte-identical to the storage-off
+  engine, and
+* the workload needs at least **5x fewer model calls** with
+  ``storage_mode=materialize`` than with ``off``.
+"""
+
+from repro.config import EngineConfig
+from repro.core.engine import LLMStorageEngine
+from repro.eval.reporting import ResultTable, artifact_path
+from repro.eval.worlds import all_worlds
+from repro.llm.noise import NoiseConfig
+from repro.llm.simulated import SimulatedLLM
+
+SEED = 11
+
+# One "session": repeated queries, formatting/alias variants, and
+# overlapping projections/limits over the same hot rows.
+BASE_QUERIES = [
+    "SELECT name, population FROM countries WHERE continent = 'Europe'",
+    "select name, population from countries where continent = 'Europe'",
+    "SELECT c.name, c.population FROM countries AS c "
+    "WHERE c.continent = 'Europe'",
+    "SELECT name FROM countries WHERE continent = 'Europe'",
+    "SELECT name, population FROM countries WHERE continent = 'Europe' "
+    "ORDER BY population DESC LIMIT 5",
+    "SELECT population FROM countries WHERE name = 'France'",
+    "SELECT population FROM countries WHERE name = 'Germany'",
+    "SELECT name, gdp FROM countries WHERE continent = 'Asia'",
+    "SELECT name FROM countries WHERE continent = 'Asia'",
+]
+
+#: The session replays its question mix this many times.
+ROUNDS = 3
+
+WORKLOAD = BASE_QUERIES * ROUNDS
+
+
+def run_workload(storage_mode: str):
+    world = all_worlds()["geography"]
+    model = SimulatedLLM(world, noise=NoiseConfig.perfect(), seed=SEED)
+    engine = LLMStorageEngine(
+        model, config=EngineConfig(storage_mode=storage_mode)
+    )
+    for schema in world.schemas():
+        engine.register_virtual_table(
+            schema, row_estimate=world.row_count(schema.name)
+        )
+    rows = [
+        tuple(map(tuple, engine.execute(sql).rows)) for sql in WORKLOAD
+    ]
+    return rows, engine.usage
+
+
+def test_storage_reuse_call_reduction(benchmark):
+    results = {}
+
+    def sweep():
+        for mode in ("off", "result_cache", "materialize"):
+            results[mode] = run_workload(mode)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    off_rows, off_usage = results["off"]
+    artifact = ResultTable(
+        title="Storage-tier reuse: repeated/overlapping workload",
+        columns=[
+            "storage_mode",
+            "calls",
+            "total_tokens",
+            "result_hits",
+            "fragment_hits",
+            "calls_saved",
+        ],
+    )
+    for mode in ("off", "result_cache", "materialize"):
+        rows, usage = results[mode]
+        assert rows == off_rows, f"results differ under storage_mode={mode}"
+        artifact.add_row(
+            mode,
+            usage.calls,
+            usage.total_tokens,
+            usage.result_cache_hits,
+            usage.fragment_hits,
+            usage.calls_saved,
+        )
+    artifact.add_note(
+        "byte-identical result tables across modes; savings come from "
+        "result-cache hits and materialized fragment reuse"
+    )
+    path = artifact.save(artifact_path("bench_storage_reuse.txt"))
+    assert path
+
+    _, mat_usage = results["materialize"]
+    assert mat_usage.calls > 0, "cold queries must still reach the model"
+    reduction = off_usage.calls / max(1, mat_usage.calls)
+    assert reduction >= 5.0, (
+        f"expected >=5x fewer model calls with storage_mode=materialize; "
+        f"got {off_usage.calls} -> {mat_usage.calls} ({reduction:.1f}x)"
+    )

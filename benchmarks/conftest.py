@@ -5,8 +5,6 @@ Each benchmark wraps one experiment runner (quick-sized) so
 regenerates a small version of every artifact under ``results/``.
 """
 
-import os
-
 import pytest
 
 

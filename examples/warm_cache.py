@@ -1,0 +1,65 @@
+"""Warm vs cold: the adaptive materialization storage tier.
+
+Run:  python examples/warm_cache.py
+
+Runs the same small "session" twice — once with the storage tier off
+and once with ``storage_mode=materialize`` — against identical models.
+The warm engine answers repeated and overlapping queries from its
+normalized result cache and materialized fragments: same bytes out,
+a fraction of the model calls.
+"""
+
+from repro import EngineConfig, LLMStorageEngine
+from repro.eval.worlds import geography_world
+from repro.llm import NoiseConfig, SimulatedLLM
+
+SESSION = [
+    # A dashboard-style mix: repeats, formatting variants, overlaps.
+    "SELECT name, population FROM countries WHERE continent = 'Europe'",
+    "select name, population from countries where continent = 'Europe'",
+    "SELECT name FROM countries WHERE continent = 'Europe'",
+    "SELECT name, population FROM countries WHERE continent = 'Europe' "
+    "ORDER BY population DESC LIMIT 3",
+    "SELECT population FROM countries WHERE name = 'France'",
+    "SELECT population FROM countries WHERE name = 'France'",
+]
+
+
+def run_session(storage_mode: str) -> LLMStorageEngine:
+    world = geography_world()
+    model = SimulatedLLM(world, noise=NoiseConfig.perfect(), seed=42)
+    engine = LLMStorageEngine(
+        model, config=EngineConfig(storage_mode=storage_mode)
+    )
+    for schema in world.schemas():
+        engine.register_virtual_table(
+            schema, row_estimate=world.row_count(schema.name)
+        )
+    print(f"\n=== storage_mode={storage_mode} ===")
+    for sql in SESSION:
+        result = engine.execute(sql)
+        print(f"SQL> {sql}")
+        print(f"     {result.usage.render()}")
+    print(f"session: {engine.usage.render()}")
+    return engine
+
+
+def main() -> None:
+    cold = run_session("off")
+    warm = run_session("materialize")
+
+    print("\n-- warm plan for a covered scan --")
+    print(
+        warm.explain(
+            "SELECT name, population FROM countries WHERE continent = 'Europe'"
+        )
+    )
+    saved = cold.usage.calls - warm.usage.calls
+    print(
+        f"\nsame results, {cold.usage.calls} -> {warm.usage.calls} model "
+        f"calls ({saved} saved); storage: {warm.storage.describe()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,7 @@ from repro.config import EngineConfig
 from repro.core.engine import LLMStorageEngine
 from repro.core.results import QueryResult
 from repro.core.virtual import ColumnConstraint
+from repro.storage import StorageTier
 
 __version__ = "1.0.0"
 
@@ -30,5 +31,6 @@ __all__ = [
     "LLMStorageEngine",
     "QueryResult",
     "ColumnConstraint",
+    "StorageTier",
     "__version__",
 ]

@@ -12,6 +12,7 @@ Inside the REPL:
     sql> SELECT population FROM countries WHERE name = 'France';
     sql> .explain SELECT COUNT(*) FROM cities
     sql> .usage           -- cumulative session accounting
+    sql> .storage         -- storage-tier hit/miss/eviction counters
     sql> .tables          -- registered virtual tables
     sql> .quit
 """
@@ -20,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import Optional
 
 from repro.config import EngineConfig
 from repro.core.engine import LLMStorageEngine
@@ -37,6 +39,9 @@ def build_engine(
     sampling: float,
     votes: int,
     max_in_flight: int = 1,
+    storage_mode: str = "off",
+    storage_budget_bytes: Optional[int] = None,
+    storage_ttl_s: Optional[float] = None,
 ) -> LLMStorageEngine:
     """Assemble an engine over one of the standard worlds."""
     worlds = all_worlds()
@@ -52,6 +57,12 @@ def build_engine(
         config = config.with_(votes=votes)
     if max_in_flight > 1:
         config = config.with_(max_in_flight=max_in_flight)
+    if storage_mode != "off":
+        config = config.with_(storage_mode=storage_mode)
+    if storage_budget_bytes is not None:
+        config = config.with_(storage_budget_bytes=storage_budget_bytes)
+    if storage_ttl_s is not None:
+        config = config.with_(storage_ttl_s=storage_ttl_s)
     engine = LLMStorageEngine(model, config=config)
     for schema in world.schemas():
         engine.register_virtual_table(
@@ -69,6 +80,9 @@ def run_statement(engine: LLMStorageEngine, line: str, out) -> None:
         return
     if stripped == ".usage":
         print(f"session usage: {engine.usage.render()}", file=out)
+        return
+    if stripped == ".storage":
+        print(f"storage: {engine.storage.describe()}", file=out)
         return
     if stripped == ".tables":
         for name in engine.catalog.names():
@@ -120,20 +134,48 @@ def main(argv=None) -> int:
         "identical at any value, only wall-clock changes)",
     )
     parser.add_argument(
+        "--storage-mode",
+        choices=["off", "result_cache", "materialize"],
+        default="off",
+        help="adaptive materialization tier: serve repeated queries from "
+        "a normalized result cache (result_cache) and reuse retrieved "
+        "scan/lookup fragments (materialize); results are byte-identical "
+        "to --storage-mode off on deterministic settings",
+    )
+    parser.add_argument(
+        "--storage-budget-bytes",
+        type=int,
+        default=None,
+        help="byte budget per storage store (LRU eviction beyond it)",
+    )
+    parser.add_argument(
+        "--storage-ttl-s",
+        type=float,
+        default=None,
+        help="seconds before stored fragments/results expire (0 = never)",
+    )
+    parser.add_argument(
         "--naive", action="store_true", help="disable all optimizations"
     )
     parser.add_argument("-c", "--command", default=None, help="run one query and exit")
     args = parser.parse_args(argv)
 
-    engine = build_engine(
-        args.world,
-        args.seed,
-        args.naive,
-        args.gap,
-        args.sampling,
-        args.votes,
-        max_in_flight=args.max_in_flight,
-    )
+    try:
+        engine = build_engine(
+            args.world,
+            args.seed,
+            args.naive,
+            args.gap,
+            args.sampling,
+            args.votes,
+            max_in_flight=args.max_in_flight,
+            storage_mode=args.storage_mode,
+            storage_budget_bytes=args.storage_budget_bytes,
+            storage_ttl_s=args.storage_ttl_s,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.command:
         try:
             run_statement(engine, args.command, sys.stdout)

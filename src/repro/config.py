@@ -10,6 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.errors import ConfigError
+
+#: Valid values of :attr:`EngineConfig.storage_mode`.
+STORAGE_MODES = ("off", "result_cache", "materialize")
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -57,6 +62,21 @@ class EngineConfig:
             refused/unusable completion, doubling per further retry.
             0 disables backoff (right for the simulated model; a
             networked backend would set a real base).
+        storage_mode: the adaptive materialization tier
+            (:mod:`repro.storage`).  ``off`` disables it; ``result_cache``
+            serves repeated queries from a normalized query-result cache;
+            ``materialize`` additionally writes retrieved scan/lookup
+            fragments into a local fragment store and routes later
+            scans/lookups to them (partial coverage triggers a residual
+            fetch of only the missing rows/columns).  Storage only serves
+            under deterministic configurations (``votes == 1`` and
+            ``temperature == 0``), so results stay byte-identical to the
+            storage-off engine.
+        storage_budget_bytes: approximate byte budget for each storage
+            tier store; least-recently-used entries are evicted beyond it.
+        storage_ttl_s: seconds before a stored fragment/result expires
+            (0 disables expiry).  Useful when the backing model may be
+            updated underneath a long-lived session.
     """
 
     page_size: int = 20
@@ -75,6 +95,36 @@ class EngineConfig:
     max_in_flight: int = 1
     scan_prefetch_pages: int = 2
     retry_backoff_ms: float = 0.0
+    storage_mode: str = "off"
+    storage_budget_bytes: int = 8_000_000
+    storage_ttl_s: float = 0.0
+
+    def __post_init__(self):
+        if self.storage_mode not in STORAGE_MODES:
+            raise ConfigError(
+                f"storage_mode must be one of {', '.join(STORAGE_MODES)}; "
+                f"got {self.storage_mode!r}"
+            )
+        if self.storage_budget_bytes <= 0:
+            raise ConfigError(
+                f"storage_budget_bytes must be positive; "
+                f"got {self.storage_budget_bytes}"
+            )
+        if self.storage_ttl_s < 0:
+            raise ConfigError(
+                f"storage_ttl_s must be >= 0; got {self.storage_ttl_s}"
+            )
+        for name, minimum in (
+            ("page_size", 1),
+            ("lookup_batch_size", 1),
+            ("votes", 1),
+            ("max_in_flight", 1),
+            ("max_output_tokens", 1),
+        ):
+            if getattr(self, name) < minimum:
+                raise ConfigError(
+                    f"{name} must be >= {minimum}; got {getattr(self, name)}"
+                )
 
     @staticmethod
     def default() -> "EngineConfig":

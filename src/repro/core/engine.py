@@ -20,6 +20,7 @@ answered by the model plus local relational compute over the answers.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import TYPE_CHECKING, Dict, Optional, Union
 
 if TYPE_CHECKING:
@@ -33,6 +34,7 @@ from repro.core.session import EngineSession
 from repro.core.validation import Validator
 from repro.core.virtual import ColumnConstraint, VirtualTable
 from repro.llm.accounting import Budget, PriceModel, UsageSnapshot
+from repro.llm.cache import resolve_model_name
 from repro.llm.interface import LanguageModel
 from repro.plan.cost import TableStats
 from repro.plan.explain import explain_plan
@@ -43,6 +45,8 @@ from repro.sql import ast
 from repro.sql.binder import Binder
 from repro.sql.parser import parse
 from repro.sql.printer import print_statement
+from repro.storage.normalize import canonical_sql_key
+from repro.storage.tier import StorageTier
 
 
 class LLMStorageEngine:
@@ -56,9 +60,14 @@ class LLMStorageEngine:
         config: EngineConfig = EngineConfig(),
         price_model: PriceModel = PriceModel(),
         budget: Optional[Budget] = None,
+        storage: Optional[StorageTier] = None,
     ):
         self._session = EngineSession(
-            model=model, config=config, price_model=price_model, budget=budget
+            model=model,
+            config=config,
+            price_model=price_model,
+            budget=budget,
+            storage=storage,
         )
         self._config = config
         self._catalog = Catalog()
@@ -79,6 +88,9 @@ class LLMStorageEngine:
         virtual = VirtualTable.build(
             schema, row_estimate=row_estimate, constraints=constraints
         )
+        # A registration changes what queries can mean: drop every
+        # materialized fragment and cached result.
+        self._session.storage.clear()
         self._catalog.register_virtual(schema)
         self._virtuals[schema.name.lower()] = virtual
 
@@ -89,6 +101,7 @@ class LLMStorageEngine:
         lookup-joins into virtual tables (e.g. join your CSV of customer
         countries against the model-stored ``countries``).
         """
+        self._session.storage.clear()
         self._catalog.register_table(table)
         self._materialized[table.schema.name.lower()] = table
 
@@ -121,6 +134,32 @@ class LLMStorageEngine:
         sql_text = sql if isinstance(sql, str) else print_statement(statement)
 
         bound = Binder(self._catalog).bind(statement)
+
+        storage = self._session.storage
+        result_key = None
+        if storage.result_cache_active(self._config):
+            result_key = StorageTier.result_key(
+                resolve_model_name(self._session.model),
+                self._config,
+                canonical_sql_key(bound.query),
+            )
+            cached = storage.get_result(result_key)
+            if cached is not None:
+                from repro.relational.table import Table
+
+                return QueryResult(
+                    # Rows were validated when stored; skip re-validation
+                    # on the hot path whose purpose is cheap repeats.
+                    table=Table.from_validated(cached.schema, cached.rows),
+                    usage=UsageSnapshot(
+                        result_cache_hits=1, calls_saved=cached.calls
+                    ),
+                    explain_text=cached.explain_text,
+                    warnings=list(cached.warnings),
+                    sql=sql_text,
+                    engine_name=self.name,
+                )
+
         plan = self._optimizer().plan(bound)
 
         validator = Validator(enabled=self._config.enable_validation)
@@ -130,15 +169,23 @@ class LLMStorageEngine:
             config=self._config,
             cache=self._session.cache,
             validator=validator,
+            storage=storage,
         )
         executor = PlanExecutor(client, self._virtuals, self._materialized)
 
         before = self._session.meter.snapshot()
+        storage_before = storage.snapshot()
         try:
             table = executor.execute(plan)
         finally:
             client.close()
         usage = self._session.meter.snapshot().minus(before)
+        storage_delta = storage.snapshot().minus(storage_before)
+        usage = replace(
+            usage,
+            fragment_hits=storage_delta.fragment_hits,
+            calls_saved=storage_delta.calls_saved,
+        )
 
         warnings = list(client.warnings)
         if validator.report.nulled_cells:
@@ -146,10 +193,20 @@ class LLMStorageEngine:
                 f"validation nulled {validator.report.nulled_cells} cell(s)"
             )
             warnings.extend(validator.report.notes[:3])
+        explain_text = explain_plan(plan)
+        if result_key is not None:
+            storage.put_result(
+                result_key,
+                schema=table.schema,
+                rows=table.rows,
+                explain_text=explain_text,
+                warnings=warnings,
+                calls=usage.calls,
+            )
         return QueryResult(
             table=table,
             usage=usage,
-            explain_text=explain_plan(plan),
+            explain_text=explain_text,
             warnings=warnings,
             sql=sql_text,
             engine_name=self.name,
@@ -175,7 +232,16 @@ class LLMStorageEngine:
         }
         for name, table in self._materialized.items():
             stats[name] = TableStats(row_count=len(table))
-        return Optimizer(self._catalog, stats, self._config)
+        storage = self._session.storage
+        return Optimizer(
+            self._catalog,
+            stats,
+            self._config,
+            storage=storage if storage.materialize_active(self._config) else None,
+            storage_scope=StorageTier.fragment_scope(
+                resolve_model_name(self._session.model), self._config
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Accounting
@@ -190,8 +256,18 @@ class LLMStorageEngine:
         self._session.reset_usage()
 
     def clear_cache(self) -> None:
+        """Drop the prompt cache and every materialized fragment/result."""
         self._session.clear_cache()
 
     @property
     def cache_stats(self):
         return self._session.cache.stats
+
+    @property
+    def storage(self) -> StorageTier:
+        """The session's materialization tier (mode ``off`` when unused)."""
+        return self._session.storage
+
+    @property
+    def storage_stats(self):
+        return self._session.storage.snapshot()

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import EngineConfig
 from repro.core import consistency
@@ -32,7 +32,7 @@ from repro.core.validation import Validator
 from repro.core.virtual import VirtualTable
 from repro.errors import ExecutionError, LLMProtocolError
 from repro.llm.accounting import MeteredModel, UsageMeter
-from repro.llm.cache import CachingModel, PromptCache
+from repro.llm.cache import CachingModel, PromptCache, resolve_model_name
 from repro.llm.interface import Completion, CompletionOptions, LanguageModel
 from repro.plan.physical import JudgeStep, LookupStep, ScanStep
 from repro.prompts import parsing
@@ -46,6 +46,8 @@ from repro.runtime.dispatcher import CompletionRequest, Dispatcher
 from repro.runtime.latency import LatencyLedger
 from repro.runtime.prefetch import ScanPrefetcher
 from repro.runtime.retry import RETRY_NONCE, RetryPolicy
+from repro.storage.fragments import ScanFragment
+from repro.storage.tier import StorageTier
 
 #: Kept as a module name for back-compat; the policy owns the value now.
 _RETRY_NONCE = RETRY_NONCE
@@ -61,8 +63,23 @@ class ModelClient:
         config: EngineConfig,
         cache: Optional[PromptCache] = None,
         validator: Optional[Validator] = None,
+        storage: Optional[StorageTier] = None,
     ):
         self._raw_model = model
+        # The storage tier only serves/stores under deterministic
+        # configurations; resolve the gate once so the operators below
+        # can simply test for None.  Fragments live under a
+        # (model identity, semantic config) scope — a tier shared
+        # across engines must never serve one model's or one config's
+        # rows as another's.
+        self._storage: Optional[StorageTier] = (
+            storage
+            if storage is not None and storage.materialize_active(config)
+            else None
+        )
+        self._storage_scope = StorageTier.fragment_scope(
+            resolve_model_name(model), config
+        )
         self._cache: Optional[PromptCache] = None
         inner: LanguageModel = model
         if config.enable_cache:
@@ -171,7 +188,17 @@ class ModelClient:
     # ------------------------------------------------------------------
 
     def run_scan(self, step: ScanStep, virtual: VirtualTable) -> Table:
-        """Materialize a scan step as a local table."""
+        """Materialize a scan step as a local table.
+
+        With the storage tier active, a matching materialized fragment
+        serves the scan without model traffic (missing columns trigger
+        a residual lookup of just those columns); a freshly fetched
+        scan is written back as a fragment for later reuse.
+        """
+        if self._storage is not None:
+            served = self._scan_from_storage(step, virtual)
+            if served is not None:
+                return served
         dtypes = [step.schema.column(name).dtype for name in step.columns]
         rows: List[List[Value]] = []
         pages_fetched = 0
@@ -202,6 +229,8 @@ class ModelClient:
             )
         prefetcher = ScanPrefetcher(self._dispatcher) if prefetch_window else None
 
+        ended_naturally = False
+        storable = True
         while True:
             after_index = len(rows)
             prompt = prompt_for(after_index)
@@ -224,9 +253,11 @@ class ModelClient:
             got_rows = len(page.rows) > 0
             rows.extend(page.rows)
             pages_fetched += 1
+            if page.complete and not page.has_more:
+                ended_naturally = True
             if target is not None and len(rows) >= target:
                 break
-            if page.complete and not page.has_more:
+            if ended_naturally:
                 break
             if not page.complete and not got_rows:
                 # Truncated before any row: the page size does not fit the
@@ -234,22 +265,169 @@ class ModelClient:
                 self._warn(
                     f"scan {step.table_name}: page truncated before any row"
                 )
+                storable = False
                 break
             if pages_fetched >= max_pages:
                 self._warn(
                     f"scan {step.table_name}: aborted after {pages_fetched} pages "
                     f"(guard limit)"
                 )
+                storable = False
                 break
 
         if prefetcher is not None:
             prefetcher.discard()
+        fetched_count = len(rows)
         if target is not None:
             rows = rows[:target]
         validated = [
             self._validator.validate_row(row, virtual, step.columns) for row in rows
         ]
+        if self._storage is not None and storable:
+            complete = ended_naturally and (
+                target is None or fetched_count <= target
+            )
+            self._storage.store_scan_fragment(
+                self._storage_scope,
+                step.table_name,
+                step.pushdown_sql,
+                step.order,
+                ScanFragment(
+                    columns=tuple(step.columns),
+                    rows=tuple(tuple(row) for row in validated),
+                    complete=complete,
+                    source_calls=pages_fetched,
+                ),
+            )
         return build_local_table(step.binding, step.schema, step.columns, validated)
+
+    def _scan_from_storage(
+        self, step: ScanStep, virtual: VirtualTable
+    ) -> Optional[Table]:
+        """Serve a scan from a materialized fragment, or None on miss.
+
+        Full column coverage serves without any model traffic.  When
+        only columns are missing and the fragment carries the primary
+        key, a *residual* lookup fetches just the missing columns for
+        the fragment's keys — rows the session already paid for are
+        never re-enumerated.
+        """
+        storage = self._storage
+        assert storage is not None
+        fragment = storage.scan_fragment(
+            self._storage_scope, step.table_name, step.pushdown_sql, step.order
+        )
+        if fragment is None and step.pinned_fragment is not None:
+            # The planner routed this scan to a fragment that was since
+            # evicted or expired; the pinned plan-time snapshot keeps
+            # the routed plan servable (and no worse than storage-off).
+            fragment = step.pinned_fragment
+        target = step.limit_hint
+        usable: Optional[int] = None
+        if fragment is not None:
+            if target is None:
+                usable = len(fragment.rows) if fragment.complete else None
+            elif fragment.complete or len(fragment.rows) >= target:
+                usable = min(target, len(fragment.rows))
+        if fragment is None or usable is None:
+            storage.record_fragment_misses(1)
+            return None
+
+        missing = fragment.missing_columns(step.columns)
+        if not missing:
+            limit = usable if usable < len(fragment.rows) else None
+            rows = fragment.project(step.columns, limit=limit)
+            storage.record_fragment_hits(1, calls_saved=fragment.source_calls)
+            return build_local_table(step.binding, step.schema, step.columns, rows)
+
+        primary_key = virtual.schema.primary_key
+        if not primary_key or not fragment.covers_columns(primary_key):
+            storage.record_fragment_misses(1)
+            return None
+        base_rows = fragment.rows[:usable]
+        key_rows = fragment.project(primary_key, limit=usable)
+        if any(value is None for key in key_rows for value in key):
+            storage.record_fragment_misses(1)
+            return None
+
+        # Residual fetch: only the missing columns, only these keys.
+        seen = set()
+        keys: List[Tuple[Value, ...]] = []
+        for key in key_rows:
+            marker = normalize_key(tuple(key))
+            if marker not in seen:
+                seen.add(marker)
+                keys.append(tuple(key))
+        residual_step = LookupStep(
+            binding=step.binding,
+            table_name=step.table_name,
+            schema=step.schema,
+            key_columns=tuple(primary_key),
+            attributes=tuple(missing),
+            literal_keys=keys,
+        )
+        # Residual cost, estimated deterministically *before* the fetch
+        # (a shared-meter delta would misattribute concurrent steps'
+        # calls): keys the cell store cannot serve, in lookup batches.
+        uncached = sum(
+            1
+            for key in keys
+            if storage.lookup_cells(
+                self._storage_scope,
+                step.table_name,
+                normalize_key(tuple(key)),
+                missing,
+                touch=False,
+            )
+            is None
+        )
+        batch_size = max(1, self._config.lookup_batch_size)
+        residual_calls = -(-uncached // batch_size) if uncached else 0
+        residual = self.run_lookup(residual_step, keys, virtual)
+        attr_indices = [
+            residual.schema.column_index(name) for name in missing
+        ]
+        key_indices = [
+            residual.schema.column_index(name) for name in primary_key
+        ]
+        residual_values: Dict[Tuple, List[Value]] = {}
+        for row in residual.rows:
+            marker = normalize_key(tuple(row[i] for i in key_indices))
+            residual_values[marker] = [row[i] for i in attr_indices]
+        extras = [
+            residual_values.get(
+                normalize_key(tuple(key)), [None] * len(missing)
+            )
+            for key in key_rows
+        ]
+
+        fragment_index = fragment.column_index()
+        missing_positions = {name.lower(): i for i, name in enumerate(missing)}
+        out_rows: List[List[Value]] = []
+        for row, extra in zip(base_rows, extras):
+            out_row: List[Value] = []
+            for name in step.columns:
+                position = fragment_index.get(name.lower())
+                if position is not None:
+                    out_row.append(row[position])
+                else:
+                    out_row.append(extra[missing_positions[name.lower()]])
+            out_rows.append(out_row)
+
+        # The avoided re-enumeration minus the residual calls just paid
+        # (the lookup path counts its own cell-store savings itself).
+        storage.record_fragment_hits(
+            1, calls_saved=max(0, fragment.source_calls - residual_calls)
+        )
+        if usable == len(fragment.rows):
+            storage.store_scan_fragment(
+                self._storage_scope,
+                step.table_name,
+                step.pushdown_sql,
+                step.order,
+                fragment.widened(missing, extras),
+            )
+        return build_local_table(step.binding, step.schema, step.columns, out_rows)
 
     def _fetch_page(self, prompt: str, parse, prefetcher: Optional[ScanPrefetcher]):
         """One page, preferring an exact-match speculative completion."""
@@ -293,16 +471,52 @@ class ModelClient:
         keys: Sequence[Tuple[Value, ...]],
         virtual: VirtualTable,
     ) -> Table:
-        """Materialize a lookup step: one row per found key."""
+        """Materialize a lookup step: one row per found key.
+
+        With the storage tier active, keys whose requested attributes
+        are already materialized (or recorded as unknown — negative
+        knowledge) are served locally; only the *missing* keys are
+        batched into model calls, and their answers are written back.
+        """
         attr_dtypes = [step.schema.column(name).dtype for name in step.attributes]
         columns = tuple(step.key_columns) + tuple(step.attributes)
         out_rows: List[List[Value]] = []
         batch_size = max(1, self._config.lookup_batch_size)
         votes = max(1, self._config.votes)
+        storage = self._storage
+
+        served: Dict[int, Optional[List[Value]]] = {}
+        fetch_indices = list(range(len(keys)))
+        if storage is not None:
+            fetch_indices = []
+            for index, key in enumerate(keys):
+                outcome = storage.lookup_cells(
+                    self._storage_scope,
+                    step.table_name,
+                    normalize_key(tuple(key)),
+                    step.attributes,
+                )
+                if outcome is None:
+                    fetch_indices.append(index)
+                else:
+                    found, values = outcome
+                    served[index] = list(values) if found else None
+            if served:
+                total_batches = -(-len(keys) // batch_size) if keys else 0
+                paid_batches = (
+                    -(-len(fetch_indices) // batch_size) if fetch_indices else 0
+                )
+                storage.record_fragment_hits(
+                    len(served),
+                    calls_saved=(total_batches - paid_batches) * votes,
+                )
+            if fetch_indices:
+                storage.record_fragment_misses(len(fetch_indices))
+        fetch_keys = [keys[index] for index in fetch_indices]
 
         batches: List[List[Tuple[Value, ...]]] = [
-            list(keys[start : start + batch_size])
-            for start in range(0, len(keys), batch_size)
+            list(fetch_keys[start : start + batch_size])
+            for start in range(0, len(fetch_keys), batch_size)
         ]
 
         def make_parse(batch_len: int):
@@ -336,16 +550,42 @@ class ModelClient:
                 )
         answers = self._dispatcher.run_wave(requests)
 
+        fetched_answers: List[Optional[List[Value]]] = []
         for batch_number, batch in enumerate(batches):
             sampled = answers[batch_number * votes : (batch_number + 1) * votes]
             merged = consistency.vote_rows(sampled) if votes > 1 else sampled[0]
-            for key, answer in zip(batch, merged):
-                if answer is None:
-                    continue  # model does not know this entity
-                validated = self._validator.validate_row(
-                    answer, virtual, step.attributes
+            fetched_answers.extend(merged)
+        answer_by_index = dict(zip(fetch_indices, fetched_answers))
+
+        for index, key in enumerate(keys):
+            if index in served:
+                values = served[index]
+                if values is None:
+                    continue  # recorded as unknown to the model
+                out_rows.append(list(key) + values)
+                continue
+            answer = answer_by_index[index]
+            if answer is None:
+                if storage is not None:
+                    storage.store_lookup_negative(
+                        self._storage_scope,
+                        step.table_name,
+                        normalize_key(tuple(key)),
+                        step.attributes,
+                    )
+                continue  # model does not know this entity
+            validated = self._validator.validate_row(
+                answer, virtual, step.attributes
+            )
+            if storage is not None:
+                storage.store_lookup_row(
+                    self._storage_scope,
+                    step.table_name,
+                    normalize_key(tuple(key)),
+                    step.attributes,
+                    validated,
                 )
-                out_rows.append(list(key) + validated)
+            out_rows.append(list(key) + validated)
         return build_local_table(step.binding, step.schema, columns, out_rows)
 
     # ------------------------------------------------------------------

@@ -1,40 +1,56 @@
 """Session state shared across the queries of one engine instance.
 
 The session owns the usage meter (cumulative accounting, optional
-budget) and the prompt cache (reuse *across* queries is intentional:
+budget), the prompt cache (reuse *across* queries is intentional:
 repeated lookups of the same entities are a dominant cost in interactive
-workloads).
+workloads), and the storage tier (:mod:`repro.storage`), which
+materializes retrieved fragments and whole results so repeated traffic
+stops paying model calls at all.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.config import EngineConfig
 from repro.llm.accounting import Budget, PriceModel, UsageMeter, UsageSnapshot
 from repro.llm.cache import PromptCache
 from repro.llm.interface import LanguageModel
+from repro.storage.tier import StorageTier
 
 
 @dataclass
 class EngineSession:
-    """Model handle plus cumulative accounting and cache."""
+    """Model handle plus cumulative accounting, cache, and storage."""
 
     model: LanguageModel
     config: EngineConfig = field(default_factory=EngineConfig)
     price_model: PriceModel = field(default_factory=PriceModel)
     budget: Optional[Budget] = None
+    storage: Optional[StorageTier] = None
 
     def __post_init__(self):
         self.meter = UsageMeter(self.price_model, self.budget)
         self.cache = PromptCache()
+        if self.storage is None:
+            self.storage = StorageTier.from_config(self.config)
 
     def usage(self) -> UsageSnapshot:
-        return self.meter.snapshot()
+        """Cumulative usage, with the storage tier's counters folded in."""
+        snapshot = self.meter.snapshot()
+        storage = self.storage.snapshot()
+        return replace(
+            snapshot,
+            result_cache_hits=storage.result_hits,
+            fragment_hits=storage.fragment_hits,
+            calls_saved=storage.calls_saved,
+        )
 
     def reset_usage(self) -> None:
         self.meter.reset()
+        self.storage.reset_counters()
 
     def clear_cache(self) -> None:
         self.cache.clear()
+        self.storage.clear()

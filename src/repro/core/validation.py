@@ -11,10 +11,9 @@ which is the behaviour a careful practitioner wants.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.core.virtual import VirtualTable
-from repro.relational.schema import TableSchema
 from repro.relational.types import Value
 
 

@@ -54,6 +54,10 @@ class CatalogError(ReproError):
     """Catalog inconsistency: duplicate or missing table registration."""
 
 
+class ConfigError(ReproError):
+    """An :class:`~repro.config.EngineConfig` field has an invalid value."""
+
+
 class SchemaError(ReproError):
     """Invalid schema definition or row that violates its schema."""
 

@@ -14,16 +14,15 @@ crossover, Table 4 cost-model fidelity, Figure 7 noise robustness.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.config import EngineConfig
 from repro.eval import harness
-from repro.eval.metrics import DEFAULT_TOLERANCE, tuple_metrics
+from repro.eval.metrics import DEFAULT_TOLERANCE
 from repro.eval.reporting import ResultTable, Series
 from repro.eval.workloads import QUERY_CLASSES, WorkloadQuery, workload_for
 from repro.eval.worlds import all_worlds, geography_world, movies_world
 from repro.llm.noise import NoiseConfig
-from repro.plan.physical import RetrievalPlan
 
 #: Default noise used by the accuracy experiments (the "realistic" model).
 DEFAULT_NOISE = NoiseConfig()

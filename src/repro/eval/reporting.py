@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import List, Union
 
 Cell = Union[str, int, float, bool, None]
 

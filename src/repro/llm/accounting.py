@@ -48,7 +48,15 @@ class PriceModel:
 
 @dataclass(frozen=True)
 class UsageSnapshot:
-    """Immutable point-in-time usage totals."""
+    """Immutable point-in-time usage totals.
+
+    The storage counters describe traffic the materialization tier
+    (:mod:`repro.storage`) kept away from the model: ``calls_saved``
+    estimates model calls avoided, ``result_cache_hits`` counts whole
+    queries served from the normalized result cache, and
+    ``fragment_hits`` counts scans/lookup-keys served from materialized
+    fragments.  All three are zero when storage is off.
+    """
 
     calls: int = 0
     prompt_tokens: int = 0
@@ -56,6 +64,9 @@ class UsageSnapshot:
     latency_ms: float = 0.0
     cost_usd: float = 0.0
     wall_ms: float = 0.0
+    result_cache_hits: int = 0
+    fragment_hits: int = 0
+    calls_saved: int = 0
 
     @property
     def total_tokens(self) -> int:
@@ -77,6 +88,9 @@ class UsageSnapshot:
             latency_ms=self.latency_ms - earlier.latency_ms,
             cost_usd=self.cost_usd - earlier.cost_usd,
             wall_ms=self.wall_ms - earlier.wall_ms,
+            result_cache_hits=self.result_cache_hits - earlier.result_cache_hits,
+            fragment_hits=self.fragment_hits - earlier.fragment_hits,
+            calls_saved=self.calls_saved - earlier.calls_saved,
         )
 
     def plus(self, other: "UsageSnapshot") -> "UsageSnapshot":
@@ -87,6 +101,9 @@ class UsageSnapshot:
             latency_ms=self.latency_ms + other.latency_ms,
             cost_usd=self.cost_usd + other.cost_usd,
             wall_ms=self.wall_ms + other.wall_ms,
+            result_cache_hits=self.result_cache_hits + other.result_cache_hits,
+            fragment_hits=self.fragment_hits + other.fragment_hits,
+            calls_saved=self.calls_saved + other.calls_saved,
         )
 
     def render(self) -> str:
@@ -96,6 +113,15 @@ class UsageSnapshot:
         )
         if 0 < self.wall_ms < self.latency_ms:
             text += f", {self.wall_ms:.0f} ms wall"
+        storage_bits = []
+        if self.result_cache_hits:
+            storage_bits.append(f"{self.result_cache_hits} result hit(s)")
+        if self.fragment_hits:
+            storage_bits.append(f"{self.fragment_hits} fragment hit(s)")
+        if self.calls_saved:
+            storage_bits.append(f"{self.calls_saved} call(s) saved")
+        if storage_bits:
+            text += f", storage: {', '.join(storage_bits)}"
         return text
 
 

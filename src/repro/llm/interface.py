@@ -7,7 +7,7 @@ above this interface.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Protocol, Sequence, Tuple, runtime_checkable
 
 

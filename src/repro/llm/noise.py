@@ -28,7 +28,7 @@ from __future__ import annotations
 import hashlib
 import struct
 from dataclasses import dataclass, replace
-from typing import List, Optional
+from typing import List
 
 from repro.relational.types import Value
 

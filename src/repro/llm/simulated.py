@@ -42,7 +42,7 @@ from repro.llm.world import World
 from repro.prompts import grammar
 from repro.relational.catalog import Catalog
 from repro.relational.executor import ReferenceExecutor
-from repro.relational.expressions import EMPTY_SCOPE, Evaluator, RowScope, is_true
+from repro.relational.expressions import Evaluator, RowScope, is_true
 from repro.relational.schema import TableSchema
 from repro.relational.table import Table
 from repro.relational.types import DataType, Value
@@ -70,13 +70,19 @@ class SimulatedLLM:
         noise: NoiseConfig = NoiseConfig(),
         seed: int = 0,
         latency_model: LatencyModel = LatencyModel(),
-        model_name: str = "simulated-llm",
+        model_name: str = "",
     ):
         self.world = world
         self.noise = noise
         self.seed = seed
         self.latency_model = latency_model
-        self.model_name = model_name
+        # Model identity keys caches (prompt cache, storage tier):
+        # different worlds/seeds/noise give different answers, so the
+        # default name must distinguish them or a shared cache would
+        # serve one configuration's rows as another's.
+        self.model_name = model_name or (
+            f"simulated-llm/{world.name}@seed{seed}/{noise!r}"
+        )
 
     # ------------------------------------------------------------------
     # LanguageModel interface

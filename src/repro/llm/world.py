@@ -14,7 +14,7 @@ keys its deterministic randomness off these addresses so that the model's
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.errors import WorkloadError
 from repro.relational.catalog import Catalog

@@ -9,6 +9,15 @@ For every FROM binding the optimizer chooses an access path:
   binding, eligible when an equi-join covers the target's primary key
   (turns an O(table) fetch into an O(join keys) fetch).
 
+When the storage tier (:mod:`repro.storage`) is active, the optimizer
+additionally consults fragment coverage: a scan fully covered by a
+complete materialized fragment is routed to storage (zero estimated
+model cost, order/limit pushdown skipped — the fragment plus exact
+local compute beats a narrower model scan), and point lookups whose
+keys are partially materialized are re-priced to their residual fetch.
+Coverage decisions are recorded in the plan's ``notes`` so EXPLAIN
+shows expected fragment hits.
+
 Single-table ORDER BY ... LIMIT queries additionally get a model-side
 order + early-termination hint.  Uncorrelated subqueries are planned
 recursively and resolved before the outer retrieval runs.  All choices
@@ -18,12 +27,12 @@ plan's ``notes`` for EXPLAIN.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.config import EngineConfig
 from repro.errors import PlanError
 from repro.plan import rules
-from repro.plan.cost import CostModel, TableStats
+from repro.plan.cost import CostEstimate, CostModel, TableStats
 from repro.plan.logical import DerivedAccess, TableAccess, analyze_query
 from repro.plan.physical import (
     DerivedStep,
@@ -40,7 +49,9 @@ from repro.plan.physical import (
 from repro.relational.catalog import Catalog, TableKind
 from repro.sql import ast
 from repro.sql.binder import Binder, BoundQuery
-from repro.sql.printer import print_expression
+
+if TYPE_CHECKING:
+    from repro.storage.tier import StorageTier
 
 
 class Optimizer:
@@ -51,11 +62,15 @@ class Optimizer:
         catalog: Catalog,
         stats: Dict[str, TableStats],
         config: EngineConfig,
+        storage: Optional["StorageTier"] = None,
+        storage_scope: Tuple = (),
     ):
         self._catalog = catalog
         self._config = config
         self._cost = CostModel(stats, config)
         self._binder = Binder(catalog)
+        self._storage = storage
+        self._storage_scope = storage_scope
 
     def _is_materialized(self, table_name: str) -> bool:
         """Materialized tables are satisfied locally (hybrid queries)."""
@@ -281,7 +296,30 @@ class Optimizer:
                 f"point-lookup[{access.binding}]: "
                 f"{len(point_step.literal_keys)} key(s)"
             )
+            self._note_lookup_coverage(plan, access.binding, point_step)
             return point_step
+
+        if self._storage is not None:
+            covering = self._storage.peek_scan_fragment(
+                self._storage_scope,
+                access.table_name,
+                scan_step.pushdown_sql,
+                scan_step.columns,
+            )
+            if covering is not None:
+                # Route to materialized data: the fragment serves this
+                # scan without model traffic, so nothing can beat it.
+                # Pin it so eviction/expiry between plan and execution
+                # cannot strand the routed plan without its data.
+                scan_step.fragment_covered = True
+                scan_step.pinned_fragment = covering
+                scan_step.estimate = CostEstimate()
+                est_rows[binding_key] = scan_rows
+                plan.notes.append(
+                    f"fragment[{access.binding}]: scan served from storage "
+                    f"({len(covering.rows)} materialized row(s))"
+                )
+                return scan_step
 
         lookup_step = self._lookup_candidate(
             element_index, access, element, columns, est_rows, needed
@@ -302,6 +340,31 @@ class Optimizer:
             )
         est_rows[binding_key] = scan_rows
         return scan_step
+
+    def _note_lookup_coverage(
+        self, plan: RetrievalPlan, binding: str, step: LookupStep
+    ) -> None:
+        """Re-price a literal-key lookup against the cell store."""
+        if self._storage is None or not step.literal_keys:
+            return
+        from repro.core.operators import normalize_key
+
+        normalized = [normalize_key(tuple(key)) for key in step.literal_keys]
+        covered = self._storage.peek_lookup_coverage(
+            self._storage_scope, step.table_name, normalized, step.attributes
+        )
+        if covered == 0:
+            return
+        missing = len(step.literal_keys) - covered
+        step.estimate = (
+            self._cost.lookup_cost(float(missing), max(1, len(step.attributes)))
+            if missing
+            else CostEstimate()
+        )
+        plan.notes.append(
+            f"fragment[{binding}]: {covered}/{len(step.literal_keys)} "
+            f"lookup key(s) materialized"
+        )
 
     #: Point lookups expand pk-IN lists up to this many keys.
     _MAX_POINT_KEYS = 64
@@ -539,6 +602,10 @@ class Optimizer:
         if plan.subplans:
             return
         scan = plan.steps[0]
+        if scan.fragment_covered:
+            # The fragment serves the full scan for free; narrowing it
+            # with a model-side order/limit would only force new calls.
+            return
         pushed_here = {id(c) for c in scan.pushed_conjuncts}
         if any(id(c) not in pushed_here for c in where_conjuncts):
             return  # a local filter would make the limit hint unsound

@@ -34,6 +34,14 @@ class ScanStep:
             scan to carry *all* filtering, see optimizer).
         est_rows: estimated rows fetched.
         estimate: estimated model cost of the step.
+        fragment_covered: the optimizer found a complete materialized
+            fragment covering this scan; it is expected to be served by
+            the storage tier without model traffic (the estimate is
+            zeroed, and order/limit pushdown is skipped — exact local
+            compute over the fragment beats a narrower model scan).
+        pinned_fragment: the fragment behind ``fragment_covered``,
+            pinned at plan time so the routed plan stays servable even
+            if the tier entry is evicted or expires before execution.
     """
 
     binding: str
@@ -46,6 +54,8 @@ class ScanStep:
     limit_hint: Optional[int] = None
     est_rows: float = 0.0
     estimate: CostEstimate = CostEstimate()
+    fragment_covered: bool = False
+    pinned_fragment: Optional[object] = field(default=None, repr=False)
 
     @property
     def kind(self) -> str:

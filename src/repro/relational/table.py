@@ -27,6 +27,21 @@ class Table:
     # -- construction -----------------------------------------------------------
 
     @classmethod
+    def from_validated(
+        cls, schema: TableSchema, rows: Iterable[Sequence[Value]]
+    ) -> "Table":
+        """Construct without re-validating rows.
+
+        For rows that already passed :meth:`TableSchema.validate_row`
+        against this schema (e.g. a cached query result being
+        re-served) — skips the per-row validation pass that
+        :meth:`insert` would repeat.
+        """
+        table = cls(schema)
+        table._rows = [tuple(row) for row in rows]
+        return table
+
+    @classmethod
     def from_dicts(
         cls, schema: TableSchema, records: Iterable[Mapping[str, Value]]
     ) -> "Table":

@@ -1,0 +1,44 @@
+"""Adaptive materialization storage tier.
+
+Repeated traffic is the dominant cost of an LLM-as-storage engine:
+without local storage every query re-pays model calls for rows the
+session has already retrieved.  This package adds a session-scoped
+tier between the planner/executor and the model:
+
+* :class:`~repro.storage.tier.StorageTier` — the facade: a normalized
+  query-result cache plus a fragment store with LRU/TTL eviction under
+  a byte budget.
+* :mod:`repro.storage.fragments` — scan fragments and per-entity
+  lookup cells (including negative knowledge).
+* :mod:`repro.storage.normalize` — canonical cache keys from bound
+  ASTs (whitespace / keyword-case / alias variants collapse).
+* :mod:`repro.storage.store` — the byte-budgeted LRU/TTL substrate.
+
+Enabled via ``EngineConfig.storage_mode`` (``off`` | ``result_cache``
+| ``materialize``); serving is gated to deterministic configurations
+so results stay byte-identical to the storage-off engine.
+"""
+
+from repro.storage.fragments import RowCells, ScanFragment
+from repro.storage.normalize import canonical_sql_key
+from repro.storage.store import LRUByteStore, approx_bytes
+from repro.storage.tier import (
+    STORAGE_MODES,
+    CachedResult,
+    StorageSnapshot,
+    StorageTier,
+    deterministic_config,
+)
+
+__all__ = [
+    "STORAGE_MODES",
+    "CachedResult",
+    "LRUByteStore",
+    "RowCells",
+    "ScanFragment",
+    "StorageSnapshot",
+    "StorageTier",
+    "approx_bytes",
+    "canonical_sql_key",
+    "deterministic_config",
+]

@@ -1,0 +1,161 @@
+"""Materialized fragment payloads.
+
+Two fragment shapes cover the engine's retrieval operators:
+
+* :class:`ScanFragment` — the full (or limit-truncated) output of one
+  enumeration: an ordered row set for a ``(table, condition, order)``
+  key, with the column set it covers.  Fragments widen over time: a
+  residual column fetch merges new columns into the stored rows.
+* :class:`RowCells` — per-entity lookup knowledge: the cells retrieved
+  for one primary-key value, plus the attribute sets for which the
+  model declared the entity unknown (negative knowledge, so repeated
+  probes for a missing entity stay free).
+
+Payloads store *post-validation* values: serving a fragment reproduces
+exactly the local table a fresh retrieval would have built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.relational.types import Value
+
+
+@dataclass(frozen=True)
+class ScanFragment:
+    """One materialized enumeration result.
+
+    Attributes:
+        columns: fetched columns, in fetch order.
+        rows: row tuples in ``columns`` order, in enumeration order.
+        complete: the scan ended naturally (the fragment holds *every*
+            row the model would enumerate for its condition).  A
+            ``False`` fragment was truncated by a limit hint and can
+            only serve scans requesting at most ``len(rows)`` rows.
+        source_calls: model calls paid to materialize the fragment;
+            re-serving it saves this many calls.
+    """
+
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple[Value, ...], ...]
+    complete: bool
+    source_calls: int = 0
+
+    def column_index(self) -> Dict[str, int]:
+        return {name.lower(): i for i, name in enumerate(self.columns)}
+
+    def covers_columns(self, wanted: Sequence[str]) -> bool:
+        have = {name.lower() for name in self.columns}
+        return all(name.lower() in have for name in wanted)
+
+    def missing_columns(self, wanted: Sequence[str]) -> List[str]:
+        have = {name.lower() for name in self.columns}
+        return [name for name in wanted if name.lower() not in have]
+
+    def project(
+        self, wanted: Sequence[str], limit: Optional[int] = None
+    ) -> List[List[Value]]:
+        """Rows restricted to ``wanted`` columns (must be covered)."""
+        index = self.column_index()
+        positions = [index[name.lower()] for name in wanted]
+        rows = self.rows if limit is None else self.rows[:limit]
+        return [[row[p] for p in positions] for row in rows]
+
+    def widened(
+        self,
+        new_columns: Sequence[str],
+        values_by_row: Sequence[Sequence[Value]],
+    ) -> "ScanFragment":
+        """A copy with ``new_columns`` appended to every row."""
+        assert len(values_by_row) == len(self.rows)
+        rows = tuple(
+            tuple(row) + tuple(extra)
+            for row, extra in zip(self.rows, values_by_row)
+        )
+        return ScanFragment(
+            columns=self.columns + tuple(new_columns),
+            rows=rows,
+            complete=self.complete,
+            source_calls=self.source_calls,
+        )
+
+    def merged_with(self, other: "ScanFragment") -> Optional["ScanFragment"]:
+        """Positional column union with ``other``; None when unsafe.
+
+        Only complete fragments of equal length merge: a deterministic
+        model enumerates the same rows in the same order, so position
+        identifies the entity.
+        """
+        if not (self.complete and other.complete):
+            return None
+        if len(self.rows) != len(other.rows):
+            return None
+        index = self.column_index()
+        extra_positions = [
+            (name, i)
+            for i, name in enumerate(other.columns)
+            if name.lower() not in index
+        ]
+        if not extra_positions:
+            return self
+        rows = tuple(
+            tuple(row) + tuple(other_row[i] for _, i in extra_positions)
+            for row, other_row in zip(self.rows, other.rows)
+        )
+        return ScanFragment(
+            columns=self.columns + tuple(name for name, _ in extra_positions),
+            rows=rows,
+            complete=True,
+            source_calls=max(self.source_calls, other.source_calls),
+        )
+
+
+@dataclass
+class RowCells:
+    """Cached lookup knowledge for one ``(table, primary key)`` entity.
+
+    ``cells`` maps lower-cased column name to the validated value the
+    model returned (``None`` is a real stored value: the model answered
+    NULL).  ``negative_attrs`` records attribute sets for which the
+    model declared the whole entity unknown; a request whose attributes
+    are covered by one recorded set is served as "no row" without a
+    call.
+    """
+
+    cells: Dict[str, Value] = field(default_factory=dict)
+    negative_attrs: Tuple[FrozenSet[str], ...] = ()
+
+    def covers(self, attributes: Sequence[str]) -> bool:
+        return all(name.lower() in self.cells for name in attributes)
+
+    def values_for(self, attributes: Sequence[str]) -> List[Value]:
+        return [self.cells[name.lower()] for name in attributes]
+
+    def is_negative_for(self, attributes: Sequence[str]) -> bool:
+        wanted = frozenset(name.lower() for name in attributes)
+        return any(wanted <= recorded for recorded in self.negative_attrs)
+
+    def with_values(
+        self, attributes: Sequence[str], values: Sequence[Value]
+    ) -> "RowCells":
+        cells = dict(self.cells)
+        for name, value in zip(attributes, values):
+            cells[name.lower()] = value
+        known = set(cells)
+        negatives = tuple(
+            recorded
+            for recorded in self.negative_attrs
+            if not (recorded & known)
+        )
+        return RowCells(cells=cells, negative_attrs=negatives)
+
+    def with_negative(self, attributes: Sequence[str]) -> "RowCells":
+        recorded = frozenset(name.lower() for name in attributes)
+        if any(recorded <= existing for existing in self.negative_attrs):
+            return self
+        return RowCells(
+            cells=dict(self.cells),
+            negative_attrs=self.negative_attrs + (recorded,),
+        )

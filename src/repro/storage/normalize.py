@@ -1,0 +1,222 @@
+"""Normalized query keys for the result cache.
+
+The cache must hit for *semantically identical* SQL: whitespace and
+keyword-case variants, different-but-equivalent binding aliases, and
+any formatting the printer already canonicalizes.  The key is built
+from the **bound** statement (the binder has resolved table/column
+case and qualified every column with its binding), with one extra
+normalization pass: binding aliases are renamed to positional
+canonical names (``t1``, ``t2``, ... in FROM order), so
+
+    SELECT c.name FROM countries AS c WHERE c.name = 'France'
+    SELECT x.name FROM countries x  WHERE x.name  =  'France'
+    select name from countries where name = 'France'
+
+all print to the same key.  Literal values are *not* case-folded —
+``'France'`` and ``'france'`` are different data.
+
+Canonical names are unique across the whole statement (one counter
+shared by every scope) and nested scopes inherit their parent's
+environment.  Both properties matter for correctness: a correlated
+subquery's outer reference maps through the inherited environment to a
+name no inner binding can shadow, so a correlated query can never
+print to the same key as its uncorrelated twin (and therefore can
+never be served the twin's cached result — it must reach the planner,
+which rejects it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sql import ast
+from repro.sql.printer import print_statement
+
+
+def canonical_sql_key(statement: ast.Statement) -> str:
+    """The normalized text of a bound statement, for cache keying."""
+    return print_statement(_normalize_statement(statement, counter=[0]))
+
+
+def _next_name(counter: List[int]) -> str:
+    counter[0] += 1
+    return f"t{counter[0]}"
+
+
+def _normalize_statement(
+    statement: ast.Statement, counter: List[int]
+) -> ast.Statement:
+    if isinstance(statement, ast.SetOperation):
+        return ast.SetOperation(
+            op=statement.op,
+            all=statement.all,
+            left=_normalize_statement(statement.left, counter),
+            right=_normalize_query(statement.right, {}, counter),
+            order_by=list(statement.order_by),
+            limit=statement.limit,
+            offset=statement.offset,
+        )
+    assert isinstance(statement, ast.Query)
+    return _normalize_query(statement, {}, counter)
+
+
+def _normalize_query(
+    query: ast.Query, outer_env: Dict[str, str], counter: List[int]
+) -> ast.Query:
+    env = dict(outer_env)  # inherited scope: correlated refs resolve here
+    from_clause = _rename_from(query.from_clause, env, counter)
+
+    def expr(node: Optional[ast.Expr]) -> Optional[ast.Expr]:
+        return _rewrite_expr(node, env, counter) if node is not None else None
+
+    return ast.Query(
+        select=[
+            ast.SelectItem(expr=expr(item.expr), alias=item.alias)
+            for item in query.select
+        ],
+        from_clause=from_clause,
+        where=expr(query.where),
+        group_by=[expr(e) for e in query.group_by],
+        having=expr(query.having),
+        order_by=[
+            ast.OrderItem(
+                expr=expr(item.expr),
+                descending=item.descending,
+                nulls_last=item.nulls_last,
+            )
+            for item in query.order_by
+        ],
+        limit=query.limit,
+        offset=query.offset,
+        distinct=query.distinct,
+    )
+
+
+def _rename_from(
+    ref: Optional[ast.TableRef], env: Dict[str, str], counter: List[int]
+) -> Optional[ast.TableRef]:
+    """Assign canonical aliases in FROM order; rewrite join conditions.
+
+    Two passes, so a join condition sees this level's complete binding
+    set regardless of tree shape.
+    """
+    if ref is None:
+        return None
+    _collect_bindings(ref, env, counter)
+    return _rewrite_ref(ref, env, counter)
+
+
+def _collect_bindings(
+    ref: ast.TableRef, env: Dict[str, str], counter: List[int]
+) -> None:
+    if isinstance(ref, ast.NamedTable):
+        env[ref.binding_name.lower()] = _next_name(counter)
+    elif isinstance(ref, ast.SubqueryTable):
+        env[ref.alias.lower()] = _next_name(counter)
+    elif isinstance(ref, ast.Join):
+        _collect_bindings(ref.left, env, counter)
+        _collect_bindings(ref.right, env, counter)
+
+
+def _rewrite_ref(
+    ref: ast.TableRef, env: Dict[str, str], counter: List[int]
+) -> ast.TableRef:
+    if isinstance(ref, ast.NamedTable):
+        return ast.NamedTable(
+            name=ref.name.lower(), alias=env[ref.binding_name.lower()]
+        )
+    if isinstance(ref, ast.SubqueryTable):
+        return ast.SubqueryTable(
+            query=_normalize_query(ref.query, env, counter),
+            alias=env[ref.alias.lower()],
+        )
+    assert isinstance(ref, ast.Join)
+    return ast.Join(
+        left=_rewrite_ref(ref.left, env, counter),
+        right=_rewrite_ref(ref.right, env, counter),
+        kind=ref.kind,
+        condition=(
+            _rewrite_expr(ref.condition, env, counter)
+            if ref.condition is not None
+            else None
+        ),
+    )
+
+
+def _rewrite_expr(
+    expr: ast.Expr, env: Dict[str, str], counter: List[int]
+) -> ast.Expr:
+    def rewrite(node: ast.Expr) -> ast.Expr:
+        return _rewrite_expr(node, env, counter)
+
+    def subquery(query: ast.Query) -> ast.Query:
+        return _normalize_query(query, env, counter)
+
+    if isinstance(expr, ast.ColumnRef):
+        if expr.table is not None:
+            return ast.ColumnRef(
+                name=expr.name,
+                table=env.get(expr.table.lower(), expr.table.lower()),
+            )
+        return expr
+    if isinstance(expr, ast.Star):
+        if expr.table is not None:
+            return ast.Star(table=env.get(expr.table.lower(), expr.table.lower()))
+        return expr
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(
+            op=expr.op, left=rewrite(expr.left), right=rewrite(expr.right)
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(op=expr.op, operand=rewrite(expr.operand))
+    if isinstance(expr, ast.FunctionCall):
+        return ast.FunctionCall(
+            name=expr.name.upper(),
+            args=[rewrite(arg) for arg in expr.args],
+            distinct=expr.distinct,
+        )
+    if isinstance(expr, ast.Cast):
+        return ast.Cast(operand=rewrite(expr.operand), type_name=expr.type_name)
+    if isinstance(expr, ast.Between):
+        return ast.Between(
+            operand=rewrite(expr.operand),
+            low=rewrite(expr.low),
+            high=rewrite(expr.high),
+            negated=expr.negated,
+        )
+    if isinstance(expr, ast.InList):
+        return ast.InList(
+            operand=rewrite(expr.operand),
+            items=[rewrite(item) for item in expr.items],
+            negated=expr.negated,
+        )
+    if isinstance(expr, ast.InSubquery):
+        return ast.InSubquery(
+            operand=rewrite(expr.operand),
+            query=subquery(expr.query),
+            negated=expr.negated,
+        )
+    if isinstance(expr, ast.Exists):
+        return ast.Exists(query=subquery(expr.query), negated=expr.negated)
+    if isinstance(expr, ast.ScalarSubquery):
+        return ast.ScalarSubquery(query=subquery(expr.query))
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(operand=rewrite(expr.operand), negated=expr.negated)
+    if isinstance(expr, ast.Like):
+        return ast.Like(
+            operand=rewrite(expr.operand),
+            pattern=rewrite(expr.pattern),
+            negated=expr.negated,
+        )
+    if isinstance(expr, ast.CaseWhen):
+        return ast.CaseWhen(
+            operand=rewrite(expr.operand) if expr.operand is not None else None,
+            branches=[
+                (rewrite(condition), rewrite(result))
+                for condition, result in expr.branches
+            ],
+            else_result=(
+                rewrite(expr.else_result) if expr.else_result is not None else None
+            ),
+        )
+    return expr

@@ -1,0 +1,186 @@
+"""Byte-budgeted LRU/TTL store: the shared substrate of the storage tier.
+
+Every materialized artifact — scan fragments, per-entity lookup cells,
+normalized query results — lives in an :class:`LRUByteStore`.  Entries
+carry a deterministic byte estimate (:func:`approx_bytes`) and an insert
+timestamp; the store evicts least-recently-used entries when the byte
+budget is exceeded and expires entries past the TTL on access.
+
+The store is thread-safe: the concurrent runtime materializes plan
+steps on orchestration threads, and all of them read and write the
+session's storage tier.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional, Tuple
+
+
+def approx_bytes(value: Any) -> int:
+    """Deterministic, platform-independent size estimate of a payload.
+
+    Close enough to real memory use to make a byte budget meaningful,
+    while staying reproducible across Python builds (``sys.getsizeof``
+    is not).
+    """
+    if value is None:
+        return 16
+    if isinstance(value, bool):
+        return 28
+    if isinstance(value, (int, float)):
+        return 32
+    if isinstance(value, str):
+        return 49 + len(value)
+    if isinstance(value, bytes):
+        return 33 + len(value)
+    if isinstance(value, dict):
+        return 64 + sum(
+            approx_bytes(k) + approx_bytes(v) for k, v in value.items()
+        )
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 56 + sum(approx_bytes(item) for item in value)
+    return 64
+
+
+@dataclass
+class StoreStats:
+    """Counters for one store (monotonic; reset with the session)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    stored: int = 0
+
+
+class _Entry:
+    __slots__ = ("payload", "size", "stored_at")
+
+    def __init__(self, payload: Any, size: int, stored_at: float):
+        self.payload = payload
+        self.size = size
+        self.stored_at = stored_at
+
+
+class LRUByteStore:
+    """An LRU map bounded by approximate bytes, with optional TTL.
+
+    ``ttl_s == 0`` disables expiry.  A single entry larger than the
+    whole budget is admitted alone (evicting everything else): refusing
+    it would make large scans uncacheable for no benefit.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        ttl_s: float = 0.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._budget_bytes = max(1, int(budget_bytes))
+        self._ttl_s = float(ttl_s)
+        self._clock = clock
+        self._bytes_used = 0
+        self._lock = threading.RLock()
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def budget_bytes(self) -> int:
+        return self._budget_bytes
+
+    @property
+    def bytes_used(self) -> int:
+        with self._lock:
+            return self._bytes_used
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The payload for ``key``, bumping recency; None on miss/expiry."""
+        with self._lock:
+            entry = self._live_entry(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry.payload
+
+    def peek(self, key: Hashable) -> Optional[Any]:
+        """Like :meth:`get` but without touching recency or counters.
+
+        Used by the planner: coverage probes during EXPLAIN/planning
+        must not distort hit statistics or keep entries artificially
+        warm.
+        """
+        with self._lock:
+            entry = self._live_entry(key)
+            return entry.payload if entry is not None else None
+
+    def put(self, key: Hashable, payload: Any, size: Optional[int] = None) -> None:
+        """Insert or replace ``key``; evicts LRU entries over budget."""
+        if size is None:
+            size = approx_bytes(payload)
+        size = max(1, int(size))
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes_used -= old.size
+            self._entries[key] = _Entry(payload, size, self._clock())
+            self._bytes_used += size
+            self.stats.stored += 1
+            while self._bytes_used > self._budget_bytes and len(self._entries) > 1:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes_used -= evicted.size
+                self.stats.evictions += 1
+
+    def remove(self, key: Hashable) -> None:
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self._bytes_used -= entry.size
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes_used = 0
+
+    def snapshot_stats(self) -> Tuple[int, int, int, int, int]:
+        with self._lock:
+            stats = self.stats
+            return (
+                stats.hits,
+                stats.misses,
+                stats.evictions,
+                stats.expirations,
+                stats.stored,
+            )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _live_entry(self, key: Hashable) -> Optional[_Entry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if self._ttl_s > 0 and self._clock() - entry.stored_at >= self._ttl_s:
+            del self._entries[key]
+            self._bytes_used -= entry.size
+            self.stats.expirations += 1
+            return None
+        return entry

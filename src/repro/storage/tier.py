@@ -1,0 +1,469 @@
+"""The adaptive materialization storage tier.
+
+One :class:`StorageTier` per engine session routes repeated traffic
+away from the model:
+
+* a **normalized query-result cache** — whole result tables keyed on
+  the bound, canonically-printed AST (plus model identity and the
+  semantic engine configuration), so formatting/alias variants of a
+  query hit without any model call;
+* a **fragment store** — cells retrieved by scans and lookups are
+  written back as reusable fragments (:mod:`repro.storage.fragments`)
+  and serve later scans/lookups, including *partial* coverage: a scan
+  missing only columns triggers a residual lookup of just those
+  columns, and a lookup batch fetches only its uncached keys.
+
+Both stores share the LRU/TTL/byte-budget substrate
+(:mod:`repro.storage.store`).  The tier only serves and stores under a
+**deterministic** configuration (``votes == 1`` and ``temperature ==
+0``): sampled results are never replayed, so storage can never change
+what a nondeterministic engine would answer.
+
+Results served from the tier are byte-identical to the storage-off
+engine on deterministic workloads (temperature 0, no voting, no
+injected noise) — fragments hold post-validation values keyed on the
+exact prompt-relevant scan/lookup shape plus model identity.  One
+caveat under *injected noise*: the simulated model's systematic errors
+are addressed per retrieval mode, so a residual column fetch (lookup
+prompts filling scan columns) serves the lookup-mode belief where a
+fresh scan would have re-sampled the enumeration-mode one.  The tier
+then consistently replays the values the session first retrieved —
+arguably better than re-hallucinating — but it is a divergence from a
+cold storage-off run, which is why the byte-identity bar is stated for
+noise-free workloads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.config import STORAGE_MODES, EngineConfig
+from repro.errors import ConfigError
+from repro.relational.schema import TableSchema
+from repro.relational.types import Value
+from repro.storage.fragments import RowCells, ScanFragment
+from repro.storage.store import LRUByteStore, approx_bytes
+
+#: Config fields that affect query *results* (not wall-clock or storage
+#: routing).  Concurrency and storage knobs are excluded on purpose:
+#: results are invariant to them by construction, so a cache keyed this
+#: way stays correct across those sweeps.
+_SEMANTIC_CONFIG_FIELDS = (
+    "page_size",
+    "lookup_batch_size",
+    "votes",
+    "temperature",
+    "enable_pushdown",
+    "enable_lookup_join",
+    "enable_order_pushdown",
+    "enable_cache",
+    "enable_judge",
+    "enable_validation",
+    "max_retries",
+    "max_output_tokens",
+    "scan_guard_factor",
+)
+
+
+def deterministic_config(config: EngineConfig) -> bool:
+    """True when retrieval is replayable: no voting, greedy decoding."""
+    return config.votes <= 1 and config.temperature <= 0.0
+
+
+def semantic_fingerprint(config: EngineConfig) -> Tuple:
+    """The config fields that can change retrieved values."""
+    return tuple(getattr(config, name) for name in _SEMANTIC_CONFIG_FIELDS)
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """A stored query result: the table plus everything render() needs."""
+
+    schema: TableSchema
+    rows: Tuple[Tuple[Value, ...], ...]
+    explain_text: str
+    warnings: Tuple[str, ...]
+    calls: int
+
+
+@dataclass(frozen=True)
+class StorageSnapshot:
+    """Immutable point-in-time counters of the tier."""
+
+    result_hits: int = 0
+    result_misses: int = 0
+    fragment_hits: int = 0
+    fragment_misses: int = 0
+    calls_saved: int = 0
+    evictions: int = 0
+    expirations: int = 0
+
+    def minus(self, earlier: "StorageSnapshot") -> "StorageSnapshot":
+        return StorageSnapshot(
+            result_hits=self.result_hits - earlier.result_hits,
+            result_misses=self.result_misses - earlier.result_misses,
+            fragment_hits=self.fragment_hits - earlier.fragment_hits,
+            fragment_misses=self.fragment_misses - earlier.fragment_misses,
+            calls_saved=self.calls_saved - earlier.calls_saved,
+            evictions=self.evictions - earlier.evictions,
+            expirations=self.expirations - earlier.expirations,
+        )
+
+
+class StorageTier:
+    """Session-scoped materialization tier (thread-safe)."""
+
+    def __init__(
+        self,
+        mode: str = "off",
+        budget_bytes: int = 8_000_000,
+        ttl_s: float = 0.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if mode not in STORAGE_MODES:
+            raise ConfigError(
+                f"storage mode must be one of {', '.join(STORAGE_MODES)}; "
+                f"got {mode!r}"
+            )
+        self.mode = mode
+        self.budget_bytes = budget_bytes
+        self.ttl_s = ttl_s
+        self._fragments = LRUByteStore(budget_bytes, ttl_s, clock)
+        self._results = LRUByteStore(budget_bytes, ttl_s, clock)
+        self._lock = threading.Lock()
+        # Serializes read-modify-write mutations (peek → merge → put):
+        # concurrent plan-wave steps must not lose each other's writes.
+        self._write_lock = threading.Lock()
+        self._result_hits = 0
+        self._result_misses = 0
+        self._fragment_hits = 0
+        self._fragment_misses = 0
+        self._calls_saved = 0
+
+    @staticmethod
+    def from_config(
+        config: EngineConfig, clock: Callable[[], float] = time.monotonic
+    ) -> "StorageTier":
+        return StorageTier(
+            mode=config.storage_mode,
+            budget_bytes=config.storage_budget_bytes,
+            ttl_s=config.storage_ttl_s,
+            clock=clock,
+        )
+
+    # ------------------------------------------------------------------
+    # Gating
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "off"
+
+    def result_cache_active(self, config: EngineConfig) -> bool:
+        """Serve/store whole results?
+
+        Both the tier *and* the engine config must enable storage (an
+        injected shared tier never overrides a storage-off config), and
+        the config must be deterministic.
+        """
+        return (
+            self.mode != "off"
+            and config.storage_mode != "off"
+            and deterministic_config(config)
+        )
+
+    def materialize_active(self, config: EngineConfig) -> bool:
+        """Serve/store fragments?  Tier and config must both opt in."""
+        return (
+            self.mode == "materialize"
+            and config.storage_mode == "materialize"
+            and deterministic_config(config)
+        )
+
+    # ------------------------------------------------------------------
+    # Result cache
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def result_key(
+        model_name: str, config: EngineConfig, normalized_sql: str
+    ) -> Tuple:
+        return ("result", model_name, semantic_fingerprint(config), normalized_sql)
+
+    @staticmethod
+    def fragment_scope(model_name: str, config: EngineConfig) -> Tuple:
+        """The namespace fragments live under.
+
+        Model identity *and* the semantic config fingerprint: a tier
+        shared across engines must neither serve one model's rows as
+        another's nor mix fragments across configs that retrieve
+        differently (validation, page sizes, pushdown, ...).  Sharing a
+        tier additionally assumes the engines register identical
+        schemas/constraints — any registration clears the tier.
+        """
+        return (model_name, semantic_fingerprint(config))
+
+    def get_result(self, key: Tuple) -> Optional[CachedResult]:
+        entry = self._results.get(key)
+        with self._lock:
+            if entry is None:
+                self._result_misses += 1
+            else:
+                self._result_hits += 1
+                self._calls_saved += entry.calls
+        return entry
+
+    def put_result(
+        self,
+        key: Tuple,
+        schema: TableSchema,
+        rows: Sequence[Sequence[Value]],
+        explain_text: str,
+        warnings: Sequence[str],
+        calls: int,
+    ) -> None:
+        entry = CachedResult(
+            schema=schema,
+            rows=tuple(tuple(row) for row in rows),
+            explain_text=explain_text,
+            warnings=tuple(warnings),
+            calls=calls,
+        )
+        size = (
+            approx_bytes(entry.rows)
+            + approx_bytes(explain_text)
+            + approx_bytes(entry.warnings)
+            + 128
+        )
+        self._results.put(key, entry, size)
+
+    # ------------------------------------------------------------------
+    # Scan fragments
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _scan_key(
+        scope: Tuple,
+        table_name: str,
+        condition: Optional[str],
+        order: Optional[Tuple[str, bool]],
+    ) -> Tuple:
+        # Model identity partitions fragments: a tier shared across
+        # engines must never serve one model's rows as another's.
+        order_key = ""
+        if order is not None:
+            order_key = f"{order[0].lower()}:{'desc' if order[1] else 'asc'}"
+        return ("scan", scope, table_name.lower(), condition or "", order_key)
+
+    def scan_fragment(
+        self,
+        scope: Tuple,
+        table_name: str,
+        condition: Optional[str],
+        order: Optional[Tuple[str, bool]],
+    ) -> Optional[ScanFragment]:
+        """The stored fragment for a scan shape, or None (no counters)."""
+        return self._fragments.get(
+            self._scan_key(scope, table_name, condition, order)
+        )
+
+    def store_scan_fragment(
+        self,
+        scope: Tuple,
+        table_name: str,
+        condition: Optional[str],
+        order: Optional[Tuple[str, bool]],
+        fragment: ScanFragment,
+    ) -> None:
+        """Store a fragment, merging columns with a compatible entry."""
+        key = self._scan_key(scope, table_name, condition, order)
+        with self._write_lock:
+            existing = self._fragments.peek(key)
+            if existing is not None:
+                merged = fragment.merged_with(existing)
+                if merged is not None:
+                    fragment = merged
+                elif existing.complete and not fragment.complete:
+                    return  # never replace a complete fragment with a prefix
+                elif (
+                    not existing.complete
+                    and not fragment.complete
+                    and len(existing.rows) > len(fragment.rows)
+                ):
+                    return  # keep the longer already-paid-for prefix
+            size = approx_bytes(fragment.rows) + approx_bytes(fragment.columns) + 96
+            self._fragments.put(key, fragment, size)
+
+    def peek_scan_fragment(
+        self,
+        scope: Tuple,
+        table_name: str,
+        condition: Optional[str],
+        columns: Sequence[str],
+    ) -> Optional[ScanFragment]:
+        """A complete fragment covering ``columns``, else None.
+
+        A planner-side probe: no counters, no LRU effect.  Only
+        unordered complete fragments count — they can serve any
+        order/limit by leaving ordering to exact local compute.  The
+        planner *pins* the returned fragment on the scan step, so a
+        coverage-routed plan stays servable even if the entry is
+        evicted or expires between planning and execution.
+        """
+        fragment = self._fragments.peek(
+            self._scan_key(scope, table_name, condition, None)
+        )
+        if fragment is None or not fragment.complete:
+            return None
+        if not fragment.covers_columns(columns):
+            return None
+        return fragment
+
+    # ------------------------------------------------------------------
+    # Lookup cells
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _row_key(scope: Tuple, table_name: str, normalized_key: Tuple) -> Tuple:
+        return ("row", scope, table_name.lower(), normalized_key)
+
+    def lookup_cells(
+        self,
+        scope: Tuple,
+        table_name: str,
+        normalized_key: Tuple,
+        attributes: Sequence[str],
+        touch: bool = True,
+    ) -> Optional[Tuple[bool, Optional[List[Value]]]]:
+        """Serve one lookup key from the cell store.
+
+        Returns ``None`` on miss, ``(True, values)`` when every
+        requested attribute is cached, or ``(False, None)`` when the
+        entity is recorded as unknown for these attributes.  Counters
+        are the caller's job (it knows whether storage is consulted at
+        all for the step); ``touch=False`` is the planner's
+        recency-neutral probe.
+        """
+        store = self._fragments.get if touch else self._fragments.peek
+        cells = store(self._row_key(scope, table_name, normalized_key))
+        if cells is None:
+            return None
+        if cells.covers(attributes):
+            return True, cells.values_for(attributes)
+        if cells.is_negative_for(attributes):
+            return False, None
+        return None
+
+    def store_lookup_row(
+        self,
+        scope: Tuple,
+        table_name: str,
+        normalized_key: Tuple,
+        attributes: Sequence[str],
+        values: Sequence[Value],
+    ) -> None:
+        key = self._row_key(scope, table_name, normalized_key)
+        with self._write_lock:
+            cells: Optional[RowCells] = self._fragments.peek(key)
+            cells = (cells or RowCells()).with_values(attributes, values)
+            self._fragments.put(
+                key,
+                cells,
+                approx_bytes(cells.cells) + approx_bytes(normalized_key) + 64,
+            )
+
+    def store_lookup_negative(
+        self,
+        scope: Tuple,
+        table_name: str,
+        normalized_key: Tuple,
+        attributes: Sequence[str],
+    ) -> None:
+        key = self._row_key(scope, table_name, normalized_key)
+        with self._write_lock:
+            cells: Optional[RowCells] = self._fragments.peek(key)
+            cells = (cells or RowCells()).with_negative(attributes)
+            self._fragments.put(
+                key,
+                cells,
+                approx_bytes(cells.cells) + approx_bytes(normalized_key) + 64,
+            )
+
+    def peek_lookup_coverage(
+        self,
+        scope: Tuple,
+        table_name: str,
+        normalized_keys: Sequence[Tuple],
+        attributes: Sequence[str],
+    ) -> int:
+        """How many of ``normalized_keys`` the cell store can serve."""
+        covered = 0
+        for normalized_key in normalized_keys:
+            outcome = self.lookup_cells(
+                scope, table_name, normalized_key, attributes, touch=False
+            )
+            if outcome is not None:
+                covered += 1
+        return covered
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+
+    def record_fragment_hits(self, count: int = 1, calls_saved: int = 0) -> None:
+        with self._lock:
+            self._fragment_hits += count
+            self._calls_saved += calls_saved
+
+    def record_fragment_misses(self, count: int = 1) -> None:
+        with self._lock:
+            self._fragment_misses += count
+
+    def snapshot(self) -> StorageSnapshot:
+        frag = self._fragments.snapshot_stats()
+        res = self._results.snapshot_stats()
+        with self._lock:
+            return StorageSnapshot(
+                result_hits=self._result_hits,
+                result_misses=self._result_misses,
+                fragment_hits=self._fragment_hits,
+                fragment_misses=self._fragment_misses,
+                calls_saved=self._calls_saved,
+                evictions=frag[2] + res[2],
+                expirations=frag[3] + res[3],
+            )
+
+    def reset_counters(self) -> None:
+        with self._lock:
+            self._result_hits = 0
+            self._result_misses = 0
+            self._fragment_hits = 0
+            self._fragment_misses = 0
+            self._calls_saved = 0
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every materialized fragment and cached result."""
+        self._fragments.clear()
+        self._results.clear()
+
+    @property
+    def bytes_used(self) -> int:
+        return self._fragments.bytes_used + self._results.bytes_used
+
+    def describe(self) -> str:
+        """One-line status for the REPL's ``.storage`` command."""
+        snap = self.snapshot()
+        return (
+            f"mode={self.mode} bytes={self.bytes_used}/{self.budget_bytes} "
+            f"results {snap.result_hits}h/{snap.result_misses}m, "
+            f"fragments {snap.fragment_hits}h/{snap.fragment_misses}m, "
+            f"{snap.calls_saved} call(s) saved, "
+            f"{snap.evictions} evicted, {snap.expirations} expired"
+        )

@@ -73,3 +73,87 @@ def test_repl_executes_query():
     out = io.StringIO()
     repl(engine, stdin=stdin, out=out)
     assert "Japan" in out.getvalue()
+
+
+def test_storage_mode_flag_builds_tier():
+    engine = build_engine(
+        "geography", 0, False, 0.0, 0.0, 1, storage_mode="materialize"
+    )
+    assert engine.config.storage_mode == "materialize"
+    assert engine.storage.mode == "materialize"
+
+
+def test_storage_knob_flags_are_plumbed():
+    engine = build_engine(
+        "geography",
+        0,
+        False,
+        0.0,
+        0.0,
+        1,
+        storage_mode="result_cache",
+        storage_budget_bytes=1234,
+        storage_ttl_s=7.5,
+    )
+    assert engine.config.storage_budget_bytes == 1234
+    assert engine.config.storage_ttl_s == 7.5
+    assert engine.storage.budget_bytes == 1234
+
+
+def test_bad_storage_mode_flag_exits():
+    with pytest.raises(SystemExit):
+        main(["--world", "geography", "--storage-mode", "bogus", "-c", "SELECT 1"])
+
+
+def test_bad_storage_budget_flag_reports_friendly_error(capsys):
+    code = main(
+        ["--world", "geography", "--storage-budget-bytes", "0", "-c", "SELECT 1"]
+    )
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_bad_storage_budget_raises_config_error():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        build_engine(
+            "geography",
+            0,
+            False,
+            0.0,
+            0.0,
+            1,
+            storage_mode="materialize",
+            storage_budget_bytes=-1,
+        )
+
+
+def test_bad_storage_ttl_raises_config_error():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        build_engine(
+            "geography", 0, False, 0.0, 0.0, 1, storage_ttl_s=-2.0
+        )
+
+
+def test_one_shot_with_storage_mode(capsys):
+    code = main(
+        ["--world", "geography", "--gap", "0", "--sampling", "0",
+         "--storage-mode", "materialize",
+         "-c", "SELECT population FROM countries WHERE name = 'France'"]
+    )
+    assert code == 0
+    assert "68000" in capsys.readouterr().out
+
+
+def test_repl_storage_command():
+    engine = build_engine(
+        "geography", 0, False, 0.0, 0.0, 1, storage_mode="materialize"
+    )
+    out = io.StringIO()
+    run_statement(engine, ".storage", out)
+    text = out.getvalue()
+    assert "mode=materialize" in text
+    assert "fragments" in text

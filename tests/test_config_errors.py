@@ -36,8 +36,52 @@ def test_config_is_frozen():
         EngineConfig().votes = 3
 
 
+def test_default_storage_mode_is_off():
+    config = EngineConfig()
+    assert config.storage_mode == "off"
+    assert config.storage_budget_bytes > 0
+    assert config.storage_ttl_s == 0.0
+
+
+def test_invalid_storage_mode_rejected():
+    with pytest.raises(errors.ConfigError, match="storage_mode"):
+        EngineConfig(storage_mode="bogus")
+    with pytest.raises(errors.ConfigError):
+        EngineConfig().with_(storage_mode="cache")
+
+
+def test_invalid_storage_budget_rejected():
+    with pytest.raises(errors.ConfigError, match="storage_budget_bytes"):
+        EngineConfig(storage_budget_bytes=0)
+    with pytest.raises(errors.ConfigError, match="storage_budget_bytes"):
+        EngineConfig(storage_budget_bytes=-100)
+
+
+def test_invalid_storage_ttl_rejected():
+    with pytest.raises(errors.ConfigError, match="storage_ttl_s"):
+        EngineConfig(storage_ttl_s=-1.0)
+
+
+def test_invalid_numeric_knobs_rejected():
+    for field_name in (
+        "page_size",
+        "lookup_batch_size",
+        "votes",
+        "max_in_flight",
+        "max_output_tokens",
+    ):
+        with pytest.raises(errors.ConfigError, match=field_name):
+            EngineConfig(**{field_name: 0})
+
+
+def test_valid_storage_modes_accepted():
+    for mode in ("off", "result_cache", "materialize"):
+        assert EngineConfig(storage_mode=mode).storage_mode == mode
+
+
 def test_error_hierarchy_roots():
     for exc_type in [
+        errors.ConfigError,
         errors.SQLError,
         errors.LexerError,
         errors.ParseError,

@@ -118,7 +118,6 @@ def test_cache_disabled_pays_twice(perfect_model, mini_world):
 
 
 def test_budget_exhaustion_raises(perfect_model, mini_world):
-    engine = make_engine(perfect_model, mini_world)
     from repro.core.engine import LLMStorageEngine
 
     tight = LLMStorageEngine(

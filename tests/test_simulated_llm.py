@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.llm.interface import CompletionOptions
 from repro.llm.noise import NoiseConfig
 from repro.llm.simulated import SimulatedLLM, _query_complexity
-from repro.prompts import grammar
 from repro.prompts.direct import DirectRequest, build_direct_prompt
 from repro.prompts.enumerate import EnumerateRequest, build_enumerate_prompt
 from repro.prompts.lookup import LookupRequest, build_lookup_prompt

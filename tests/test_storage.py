@@ -1,0 +1,723 @@
+"""Tests for the adaptive materialization storage tier.
+
+Covers the LRU/TTL/byte-budget substrate, fragment payload semantics,
+normalized result-cache keys, and the engine-level guarantees: byte
+identity with the storage-off engine, call savings, eviction and
+expiry edges, and the nondeterminism gate (``votes > 1`` /
+``temperature > 0`` results are never served).
+"""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.engine import LLMStorageEngine
+from repro.sql.parser import parse
+from repro.storage.fragments import RowCells, ScanFragment
+from repro.storage.normalize import canonical_sql_key
+from repro.storage.store import LRUByteStore, approx_bytes
+from repro.storage.tier import StorageTier
+from tests.conftest import make_engine
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ---------------------------------------------------------------------------
+# LRUByteStore
+# ---------------------------------------------------------------------------
+
+
+def test_store_ttl_expiry():
+    clock = FakeClock()
+    store = LRUByteStore(budget_bytes=10_000, ttl_s=10.0, clock=clock)
+    store.put("a", "payload")
+    assert store.get("a") == "payload"
+    clock.advance(9.0)
+    assert store.get("a") == "payload"
+    clock.advance(1.5)
+    assert store.get("a") is None
+    assert store.stats.expirations == 1
+    assert len(store) == 0
+
+
+def test_store_budget_forces_lru_eviction():
+    store = LRUByteStore(budget_bytes=300)
+    store.put("a", "x", size=100)
+    store.put("b", "y", size=100)
+    store.put("c", "z", size=100)
+    assert store.get("a") == "x"  # bump "a" to most-recent
+    store.put("d", "w", size=100)  # evicts "b", the least recent
+    assert store.get("b") is None
+    assert store.get("a") == "x"
+    assert store.get("c") == "z"
+    assert store.stats.evictions == 1
+
+
+def test_store_oversized_entry_is_admitted_alone():
+    store = LRUByteStore(budget_bytes=100)
+    store.put("small", "s", size=40)
+    store.put("big", "B", size=500)
+    assert store.get("big") == "B"
+    assert store.get("small") is None
+
+
+def test_store_replace_adjusts_bytes():
+    store = LRUByteStore(budget_bytes=1000)
+    store.put("a", "x", size=100)
+    store.put("a", "y", size=300)
+    assert store.bytes_used == 300
+    store.remove("a")
+    assert store.bytes_used == 0
+
+
+def test_approx_bytes_is_deterministic_and_monotone():
+    assert approx_bytes("abc") == approx_bytes("abc")
+    assert approx_bytes("abcdef") > approx_bytes("abc")
+    assert approx_bytes(("a", 1, None)) > 0
+
+
+# ---------------------------------------------------------------------------
+# Fragment payloads
+# ---------------------------------------------------------------------------
+
+
+def make_fragment():
+    return ScanFragment(
+        columns=("name", "population"),
+        rows=(("France", 68000), ("Norway", 5400)),
+        complete=True,
+        source_calls=2,
+    )
+
+
+def test_scan_fragment_projection_and_missing():
+    fragment = make_fragment()
+    assert fragment.covers_columns(["population"])
+    assert fragment.missing_columns(["name", "gdp"]) == ["gdp"]
+    assert fragment.project(["population", "name"]) == [
+        [68000, "France"],
+        [5400, "Norway"],
+    ]
+    assert fragment.project(["name"], limit=1) == [["France"]]
+
+
+def test_scan_fragment_widen_and_merge():
+    fragment = make_fragment()
+    widened = fragment.widened(["gdp"], [[2780.0], [482.0]])
+    assert widened.columns == ("name", "population", "gdp")
+    assert widened.rows[1] == ("Norway", 5400, 482.0)
+
+    other = ScanFragment(
+        columns=("name", "gdp"),
+        rows=(("France", 2780.0), ("Norway", 482.0)),
+        complete=True,
+        source_calls=1,
+    )
+    merged = fragment.merged_with(other)
+    assert merged.columns == ("name", "population", "gdp")
+    assert merged.rows[0] == ("France", 68000, 2780.0)
+
+    truncated = ScanFragment(
+        columns=("name",), rows=(("France",),), complete=False
+    )
+    assert fragment.merged_with(truncated) is None
+
+
+def test_row_cells_positive_and_negative_knowledge():
+    cells = RowCells().with_values(["population"], [68000])
+    assert cells.covers(["population"])
+    assert not cells.covers(["gdp"])
+    assert cells.values_for(["population"]) == [68000]
+
+    negative = RowCells().with_negative(["population", "gdp"])
+    assert negative.is_negative_for(["population"])
+    assert negative.is_negative_for(["gdp", "population"])
+    assert not negative.is_negative_for(["name", "area"])
+    # A later positive answer clears overlapping negative knowledge.
+    recovered = negative.with_values(["population"], [68000])
+    assert not recovered.is_negative_for(["population"])
+
+
+# ---------------------------------------------------------------------------
+# Normalized cache keys
+# ---------------------------------------------------------------------------
+
+
+def normalized(sql: str) -> str:
+    return canonical_sql_key(parse(sql))
+
+
+def test_canonical_key_collapses_formatting_and_aliases():
+    base = normalized(
+        "SELECT c.name FROM countries AS c WHERE c.continent = 'Europe'"
+    )
+    assert base == normalized(
+        "select x.name   from countries x where x.continent = 'Europe'"
+    )
+    assert base == normalized(
+        "SELECT Countries.name FROM Countries WHERE countries.continent = 'Europe'"
+    )
+
+
+def test_canonical_key_preserves_literal_case():
+    assert normalized(
+        "SELECT name FROM countries WHERE continent = 'Europe'"
+    ) != normalized("SELECT name FROM countries WHERE continent = 'europe'")
+
+
+def test_canonical_key_distinguishes_joins_by_structure():
+    a = normalized(
+        "SELECT a.city FROM cities a JOIN countries b ON a.country = b.name"
+    )
+    b = normalized(
+        "SELECT x.city FROM cities x JOIN countries y ON x.country = y.name"
+    )
+    assert a == b
+
+
+def test_canonical_key_separates_correlated_from_uncorrelated():
+    # Canonical names are unique across scopes and outer refs resolve
+    # through the inherited environment, so an outer alias spelled like
+    # an inner canonical name ("t1") cannot collide.
+    uncorrelated = normalized(
+        "SELECT name FROM countries t1 WHERE EXISTS "
+        "(SELECT name FROM countries c WHERE c.continent = c.name)"
+    )
+    correlated = normalized(
+        "SELECT name FROM countries t1 WHERE EXISTS "
+        "(SELECT name FROM countries c WHERE c.continent = t1.name)"
+    )
+    assert uncorrelated != correlated
+
+
+def test_correlated_query_never_served_from_result_cache(
+    perfect_model, mini_world
+):
+    import pytest as _pytest
+
+    from repro.errors import PlanError
+
+    engine = storage_engine(perfect_model, mini_world, "result_cache")
+    engine.execute(
+        "SELECT name FROM countries t1 WHERE EXISTS "
+        "(SELECT name FROM countries c WHERE c.continent = c.name)"
+    )
+    # The correlated twin must reach the planner and be rejected there,
+    # not be served the uncorrelated query's cached rows.
+    with _pytest.raises(PlanError):
+        engine.execute(
+            "SELECT name FROM countries t1 WHERE EXISTS "
+            "(SELECT name FROM countries c WHERE c.continent = t1.name)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Engine integration helpers
+# ---------------------------------------------------------------------------
+
+
+QUERIES = [
+    "SELECT name, population FROM countries WHERE continent = 'Europe'",
+    "SELECT name FROM countries WHERE continent = 'Europe'",
+    "SELECT population FROM countries WHERE name = 'France'",
+    "SELECT COUNT(*) FROM countries WHERE continent = 'Asia'",
+    "SELECT name, population FROM countries WHERE continent = 'Europe' "
+    "ORDER BY population DESC LIMIT 3",
+]
+
+
+def storage_engine(perfect_model, mini_world, mode, **config_kwargs):
+    config = EngineConfig(storage_mode=mode, **config_kwargs)
+    return make_engine(perfect_model, mini_world, config)
+
+
+def rows_of(result):
+    return [tuple(row) for row in result.rows]
+
+
+# ---------------------------------------------------------------------------
+# Result cache
+# ---------------------------------------------------------------------------
+
+
+def test_result_cache_serves_repeated_query(perfect_model, mini_world):
+    engine = storage_engine(perfect_model, mini_world, "result_cache")
+    sql = QUERIES[0]
+    first = engine.execute(sql)
+    assert first.usage.calls > 0
+    second = engine.execute(sql)
+    assert second.usage.calls == 0
+    assert second.usage.result_cache_hits == 1
+    assert second.usage.calls_saved == first.usage.calls
+    assert rows_of(second) == rows_of(first)
+    assert second.explain_text == first.explain_text
+    assert second.warnings == first.warnings
+
+
+def test_result_cache_hits_on_formatting_and_alias_variants(
+    perfect_model, mini_world
+):
+    engine = storage_engine(perfect_model, mini_world, "result_cache")
+    engine.execute("SELECT name FROM countries WHERE continent = 'Europe'")
+    variants = [
+        "select name from countries where continent = 'Europe'",
+        "SELECT   name FROM countries WHERE continent='Europe'",
+        "SELECT c.name FROM countries AS c WHERE c.continent = 'Europe'",
+        "SELECT x.name FROM countries x WHERE x.continent = 'Europe'",
+    ]
+    for sql in variants:
+        result = engine.execute(sql)
+        assert result.usage.calls == 0, sql
+        assert result.usage.result_cache_hits == 1, sql
+
+
+def test_result_cache_misses_on_different_literals(perfect_model, mini_world):
+    engine = storage_engine(perfect_model, mini_world, "result_cache")
+    engine.execute("SELECT name FROM countries WHERE continent = 'Europe'")
+    other = engine.execute(
+        "SELECT name FROM countries WHERE continent = 'Asia'"
+    )
+    assert other.usage.result_cache_hits == 0
+    assert other.usage.calls > 0
+
+
+# ---------------------------------------------------------------------------
+# Fragment materialization
+# ---------------------------------------------------------------------------
+
+
+def test_fragment_serves_projection_subset(perfect_model, mini_world):
+    engine = storage_engine(perfect_model, mini_world, "materialize")
+    engine.execute(QUERIES[0])  # fetches name, continent, population
+    result = engine.execute(QUERIES[1])  # needs a subset of the columns
+    assert result.usage.calls == 0
+    assert result.usage.fragment_hits >= 1
+    assert result.usage.calls_saved >= 1
+
+
+def test_fragment_residual_fetches_only_missing_columns(
+    perfect_model, mini_world
+):
+    engine = storage_engine(perfect_model, mini_world, "materialize")
+    narrow = engine.execute(
+        "SELECT name FROM countries WHERE continent = 'Europe'"
+    )
+    assert narrow.usage.calls > 0
+    wide = engine.execute(
+        "SELECT name, population FROM countries WHERE continent = 'Europe'"
+    )
+    # The enumeration is reused; only the missing column is looked up.
+    assert wide.usage.fragment_hits >= 1
+    assert 0 < wide.usage.calls < narrow.usage.calls + 1
+    # And the widened fragment now serves the wide scan outright.
+    replay = engine.execute(
+        "SELECT population, name FROM countries WHERE continent = 'Europe'"
+    )
+    assert replay.usage.calls == 0
+
+
+def test_fragment_serves_limit_prefix(perfect_model, mini_world):
+    engine = storage_engine(perfect_model, mini_world, "materialize")
+    engine.execute(
+        "SELECT name FROM countries WHERE continent = 'Europe' "
+        "ORDER BY population DESC LIMIT 4"
+    )
+    smaller = engine.execute(
+        "SELECT name FROM countries WHERE continent = 'Europe' "
+        "ORDER BY population DESC LIMIT 2"
+    )
+    assert smaller.usage.calls == 0
+    assert smaller.usage.fragment_hits >= 1
+
+
+def test_lookup_cells_reused_across_queries(perfect_model, mini_world):
+    engine = storage_engine(perfect_model, mini_world, "materialize")
+    first = engine.execute(
+        "SELECT population, gdp FROM countries WHERE name = 'France'"
+    )
+    assert first.usage.calls > 0
+    second = engine.execute(
+        "SELECT population FROM countries WHERE name = 'France'"
+    )
+    assert second.usage.calls == 0
+    assert second.usage.fragment_hits >= 1
+    assert rows_of(second) == [(68000,)]
+
+
+def test_negative_lookup_knowledge_is_cached(perfect_model, mini_world):
+    engine = storage_engine(perfect_model, mini_world, "materialize")
+    first = engine.execute(
+        "SELECT population FROM countries WHERE name = 'Atlantis'"
+    )
+    assert len(first.rows) == 0
+    assert first.usage.calls > 0
+    second = engine.execute(
+        "SELECT name, population FROM countries WHERE name = 'Atlantis'"
+    )
+    assert len(second.rows) == 0
+    assert second.usage.calls == 0
+
+
+def test_explain_reports_fragment_coverage(perfect_model, mini_world):
+    engine = storage_engine(perfect_model, mini_world, "materialize")
+    sql = QUERIES[0]
+    cold = engine.explain(sql)
+    assert "fragment[" not in cold
+    engine.execute(sql)
+    warm = engine.explain(sql)
+    assert "fragment[" in warm
+    assert "served from storage" in warm
+
+
+# ---------------------------------------------------------------------------
+# Byte identity with the storage-off engine
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", ["result_cache", "materialize"])
+def test_results_byte_identical_to_storage_off(
+    mini_world, perfect_model, mode
+):
+    from repro.llm.noise import NoiseConfig
+    from repro.llm.simulated import SimulatedLLM
+
+    def run(storage_mode):
+        model = SimulatedLLM(mini_world, NoiseConfig.perfect(), seed=5)
+        engine = make_engine(
+            model, mini_world, EngineConfig(storage_mode=storage_mode)
+        )
+        # Each query twice: cold and warm paths must both match.
+        return [rows_of(engine.execute(sql)) for sql in QUERIES + QUERIES]
+
+    assert run(mode) == run("off")
+
+
+def test_storage_with_concurrency_keeps_results(mini_world):
+    from repro.llm.noise import NoiseConfig
+    from repro.llm.simulated import SimulatedLLM
+
+    def run(max_in_flight):
+        model = SimulatedLLM(mini_world, NoiseConfig.perfect(), seed=5)
+        engine = make_engine(
+            model,
+            mini_world,
+            EngineConfig(storage_mode="materialize", max_in_flight=max_in_flight),
+        )
+        return [rows_of(engine.execute(sql)) for sql in QUERIES + QUERIES]
+
+    assert run(4) == run(1)
+
+
+# ---------------------------------------------------------------------------
+# Nondeterminism gate
+# ---------------------------------------------------------------------------
+
+
+def test_voting_results_never_served_from_cache(perfect_model, mini_world):
+    engine = storage_engine(
+        perfect_model, mini_world, "materialize", votes=3, temperature=0.7
+    )
+    sql = "SELECT population FROM countries WHERE name = 'France'"
+    first = engine.execute(sql)
+    second = engine.execute(sql)
+    assert first.usage.calls > 0
+    assert second.usage.calls == first.usage.calls
+    assert second.usage.result_cache_hits == 0
+    assert second.usage.fragment_hits == 0
+
+
+def test_temperature_results_never_served_from_cache(
+    perfect_model, mini_world
+):
+    engine = storage_engine(
+        perfect_model, mini_world, "result_cache", temperature=0.5
+    )
+    sql = QUERIES[0]
+    engine.execute(sql)
+    second = engine.execute(sql)
+    assert second.usage.calls > 0
+    assert second.usage.result_cache_hits == 0
+
+
+# ---------------------------------------------------------------------------
+# Eviction / expiry / invalidation edges
+# ---------------------------------------------------------------------------
+
+
+def test_ttl_expiry_forces_refetch(perfect_model, mini_world):
+    clock = FakeClock()
+    tier = StorageTier(mode="materialize", ttl_s=60.0, clock=clock)
+    engine = make_engine_with_tier(perfect_model, mini_world, tier)
+    sql = QUERIES[0]
+    first = engine.execute(sql)
+    clock.advance(30.0)
+    warm = engine.execute(sql)
+    assert warm.usage.calls == 0
+    clock.advance(61.0)
+    expired = engine.execute(sql)
+    assert expired.usage.calls == first.usage.calls
+    assert rows_of(expired) == rows_of(first)
+    assert tier.snapshot().expirations >= 1
+
+
+def test_budget_forces_fragment_eviction(perfect_model, mini_world):
+    tier = StorageTier(mode="materialize", budget_bytes=400)
+    engine = make_engine_with_tier(perfect_model, mini_world, tier)
+    first = engine.execute(QUERIES[0])
+    assert first.usage.calls > 0
+    # A second, different scan overflows the tiny budget and evicts the
+    # first fragment; refetching it pays model calls again but stays
+    # correct.
+    engine.execute("SELECT city, city_pop FROM cities WHERE is_capital = TRUE")
+    refetched = engine.execute(
+        "SELECT name, population FROM countries WHERE continent = 'Europe' "
+        "AND population > 0"
+    )
+    assert tier.snapshot().evictions >= 1
+    assert refetched.usage.calls > 0
+    assert rows_of(refetched) == rows_of(first)
+
+
+def test_registration_invalidates_storage(
+    perfect_model, mini_world, country_table
+):
+    from repro.relational.schema import TableSchema
+
+    engine = storage_engine(perfect_model, mini_world, "materialize")
+    sql = QUERIES[0]
+    engine.execute(sql)
+    assert engine.execute(sql).usage.calls == 0
+    # Registering a new table drops all materialized state.
+    renamed = TableSchema(
+        name="local_countries",
+        columns=country_table.schema.columns,
+        primary_key=country_table.schema.primary_key,
+    )
+    from repro.relational.table import Table
+
+    engine.register_materialized_table(Table(renamed, country_table.rows))
+    assert engine.execute(sql).usage.calls > 0
+
+
+def test_clear_cache_drops_materialized_state(perfect_model, mini_world):
+    engine = storage_engine(perfect_model, mini_world, "materialize")
+    sql = QUERIES[0]
+    first = engine.execute(sql)
+    assert engine.execute(sql).usage.calls == 0
+    engine.clear_cache()
+    refetched = engine.execute(sql)
+    assert refetched.usage.calls == first.usage.calls
+
+
+def make_engine_with_tier(model, world, tier, config=None):
+    engine = LLMStorageEngine(
+        model,
+        config=config or EngineConfig(storage_mode=tier.mode),
+        storage=tier,
+    )
+    for schema in world.schemas():
+        engine.register_virtual_table(
+            schema, row_estimate=world.row_count(schema.name)
+        )
+    return engine
+
+
+def test_store_keeps_longer_incomplete_prefix():
+    tier = StorageTier(mode="materialize")
+    scope = ("m", ())
+    longer = ScanFragment(
+        columns=("population",),
+        rows=tuple((i,) for i in range(50)),
+        complete=False,
+        source_calls=3,
+    )
+    tier.store_scan_fragment(scope, "t", None, None, longer)
+    shorter = ScanFragment(
+        columns=("gdp",),
+        rows=tuple((i,) for i in range(10)),
+        complete=False,
+        source_calls=1,
+    )
+    tier.store_scan_fragment(scope, "t", None, None, shorter)
+    kept = tier.scan_fragment(scope, "t", None, None)
+    assert kept.columns == ("population",)
+    assert len(kept.rows) == 50
+
+
+def test_pinned_fragment_serves_after_expiry(perfect_model, mini_world):
+    from repro.core.operators import ModelClient
+
+    clock = FakeClock()
+    tier = StorageTier(mode="materialize", ttl_s=60.0, clock=clock)
+    engine = make_engine_with_tier(perfect_model, mini_world, tier)
+    sql = QUERIES[0]
+    warmed = engine.execute(sql)
+    plan = engine.plan(sql)  # warm plan: routed to storage, fragment pinned
+    scan = plan.steps[0]
+    assert scan.fragment_covered
+    assert scan.pinned_fragment is not None
+    clock.advance(120.0)  # the tier entry expires after planning...
+    client = ModelClient(
+        model=perfect_model,
+        meter=engine._session.meter,
+        config=engine.config,
+        cache=engine._session.cache,
+        storage=tier,
+    )
+    try:
+        # ...but the pinned snapshot still serves the routed scan.
+        table = client._scan_from_storage(scan, engine._virtuals["countries"])
+    finally:
+        client.close()
+    assert table is not None
+    assert len(table.rows) >= len(warmed.rows)
+    assert [c.lower() for c in table.schema.column_names] == [
+        c.lower() for c in scan.columns
+    ]
+
+
+def test_shared_tier_partitions_fragments_by_config(perfect_model, mini_world):
+    tier = StorageTier(mode="materialize")
+    base = EngineConfig(storage_mode="materialize")
+    first = make_engine_with_tier(perfect_model, mini_world, tier, config=base)
+    second = make_engine_with_tier(
+        perfect_model,
+        mini_world,
+        tier,
+        config=base.with_(page_size=7),  # retrieves differently
+    )
+    sql = QUERIES[0]
+    warmed = first.execute(sql)
+    assert warmed.usage.calls > 0
+    # A different semantic config must not be served the first
+    # config's fragments or results.
+    cold = second.execute(sql)
+    assert cold.usage.calls > 0
+    assert cold.usage.result_cache_hits == 0
+    assert cold.usage.fragment_hits == 0
+
+
+# ---------------------------------------------------------------------------
+# Visibility
+# ---------------------------------------------------------------------------
+
+
+def test_usage_render_surfaces_storage_counters(perfect_model, mini_world):
+    engine = storage_engine(perfect_model, mini_world, "materialize")
+    sql = QUERIES[0]
+    engine.execute(sql)
+    second = engine.execute(sql)
+    text = second.usage.render()
+    assert "storage:" in text
+    assert "result hit(s)" in text
+    rendered = second.render()
+    assert "storage:" in rendered
+
+
+def test_session_usage_accumulates_storage_counters(
+    perfect_model, mini_world
+):
+    engine = storage_engine(perfect_model, mini_world, "materialize")
+    engine.execute(QUERIES[0])
+    engine.execute(QUERIES[0])
+    engine.execute(QUERIES[1])
+    usage = engine.usage
+    assert usage.result_cache_hits >= 1
+    assert usage.fragment_hits >= 1
+    assert usage.calls_saved >= 1
+    engine.reset_usage()
+    assert engine.usage.result_cache_hits == 0
+
+
+def test_shared_tier_partitions_fragments_by_model(mini_world):
+    from repro.llm.noise import NoiseConfig
+    from repro.llm.simulated import SimulatedLLM
+
+    class RenamedModel:
+        """Same world, different identity: answers must not be shared."""
+
+        def __init__(self, inner, name):
+            self._inner = inner
+            self.model_name = name
+
+        def complete(self, prompt, options=None):
+            return self._inner.complete(prompt, options)
+
+    tier = StorageTier(mode="materialize")
+    sql = QUERIES[0]
+    # Build both engines first: registering tables clears the shared tier.
+    first = make_engine_with_tier(
+        RenamedModel(SimulatedLLM(mini_world, NoiseConfig.perfect(), seed=5), "m1"),
+        mini_world,
+        tier,
+    )
+    second = make_engine_with_tier(
+        RenamedModel(SimulatedLLM(mini_world, NoiseConfig.perfect(), seed=5), "m2"),
+        mini_world,
+        tier,
+    )
+    warmed = first.execute(sql)
+    assert warmed.usage.calls > 0
+    assert first.execute(sql).usage.calls == 0  # same model: served
+
+    # A different model identity must repay its own calls, never be
+    # served another model's fragments or results.
+    cold = second.execute(sql)
+    assert cold.usage.calls == warmed.usage.calls
+    assert cold.usage.result_cache_hits == 0
+    assert cold.usage.fragment_hits == 0
+
+
+def test_simulated_llm_identity_distinguishes_seeds_and_worlds(mini_world):
+    from repro.llm.noise import NoiseConfig
+    from repro.llm.simulated import SimulatedLLM
+
+    # Default model names must differ when answers can differ, so a
+    # shared tier (or prompt cache) never crosses configurations.
+    a = SimulatedLLM(mini_world, NoiseConfig.perfect(), seed=5)
+    b = SimulatedLLM(mini_world, NoiseConfig.perfect(), seed=6)
+    c = SimulatedLLM(mini_world, NoiseConfig(), seed=5)
+    assert len({a.model_name, b.model_name, c.model_name}) == 3
+    tier = StorageTier(mode="materialize")
+    first = make_engine_with_tier(a, mini_world, tier)
+    second = make_engine_with_tier(b, mini_world, tier)
+    sql = QUERIES[0]
+    warmed = first.execute(sql)
+    cold = second.execute(sql)  # different seed: must repay its calls
+    assert cold.usage.calls == warmed.usage.calls
+    assert cold.usage.fragment_hits == 0
+
+
+def test_shared_tier_never_overrides_storage_off_config(
+    perfect_model, mini_world
+):
+    tier = StorageTier(mode="materialize")
+    config = EngineConfig()  # storage_mode="off"
+    engine = make_engine_with_tier(perfect_model, mini_world, tier, config=config)
+    sql = QUERIES[0]
+    first = engine.execute(sql)
+    second = engine.execute(sql)
+    # The injected tier must not enable storage behind an off config:
+    # nothing is served, nothing is written.
+    assert second.usage.calls == first.usage.calls > 0
+    assert second.usage.result_cache_hits == 0
+    assert second.usage.fragment_hits == 0
+    assert tier.bytes_used == 0
+
+
+def test_off_mode_reports_zero_storage_counters(perfect_model, mini_world):
+    engine = storage_engine(perfect_model, mini_world, "off")
+    engine.execute(QUERIES[0])
+    second = engine.execute(QUERIES[0])
+    assert second.usage.result_cache_hits == 0
+    assert second.usage.fragment_hits == 0
+    assert second.usage.calls_saved == 0
+    assert second.usage.calls > 0
