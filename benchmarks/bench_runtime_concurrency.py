@@ -15,7 +15,7 @@ import pytest
 
 from repro.config import EngineConfig
 from repro.core.engine import LLMStorageEngine
-from repro.eval.reporting import ResultTable, artifact_path
+from repro.eval.reporting import ResultTable, artifact_path, save_metrics
 from repro.eval.worlds import all_worlds
 from repro.llm.noise import NoiseConfig
 from repro.llm.simulated import SimulatedLLM
@@ -97,4 +97,14 @@ def test_runtime_concurrency_speedup(benchmark):
     assert path
 
     speedup_16 = baseline_usage.wall_ms / results[16][1].wall_ms
+    save_metrics(
+        "runtime_concurrency",
+        {
+            "speedup_16_in_flight": round(speedup_16, 3),
+            "wall_ms_sequential": round(baseline_usage.wall_ms, 1),
+            "wall_ms_16_in_flight": round(results[16][1].wall_ms, 1),
+            "calls": baseline_usage.calls,
+            "byte_identical": True,
+        },
+    )
     assert speedup_16 >= 4.0, f"expected >= 4x at max_in_flight=16, got {speedup_16:.2f}x"

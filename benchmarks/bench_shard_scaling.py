@@ -1,0 +1,128 @@
+"""Benchmark: sharded partition-parallel scan speedup.
+
+Sweeps ``scan_shards`` over {1, 2, 4, 8} on a scan/aggregate-heavy
+workload against the movies world (240 rows) and reports the simulated
+critical path (``wall_ms``) per level.  The acceptance bar for the
+sharded scan subsystem:
+
+* rows are byte-identical at every shard count (stable shard-order
+  concatenation; partial aggregates merge to the single-chain values),
+* ``scan_shards=8`` reports at least a 3x critical-path speedup over
+  the unsharded engine at the same ``max_in_flight``,
+* the call count grows only by per-shard page rounding.
+
+Prefetch is disabled on every level so the comparison isolates
+sharding (speculative prefetch is the *other* way to overlap a scan).
+"""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.engine import LLMStorageEngine
+from repro.eval.reporting import ResultTable, artifact_path, save_metrics
+from repro.eval.worlds import all_worlds
+from repro.llm.noise import NoiseConfig
+from repro.llm.simulated import SimulatedLLM
+
+SEED = 13
+SWEEP = (1, 2, 4, 8)
+MAX_IN_FLIGHT = 8
+
+# Scan-heavy: full enumerations and aggregate-only queries, where the
+# single sequential page chain is the whole critical path.
+QUERIES = [
+    "SELECT title, year, rating FROM movies",
+    "SELECT director, COUNT(*), MIN(year), MAX(year) FROM movies GROUP BY director",
+    "SELECT COUNT(*), SUM(year) FROM movies WHERE year >= 1980",
+    # AVG over integers: partial sums are exact, so the merged average
+    # is bit-identical (float AVG can re-associate in the last ulp).
+    "SELECT genre, AVG(year) y FROM movies GROUP BY genre ORDER BY y DESC",
+]
+
+
+def run_workload(scan_shards: int):
+    world = all_worlds()["movies"]
+    model = SimulatedLLM(world, noise=NoiseConfig(), seed=SEED)
+    config = EngineConfig().with_(
+        scan_shards=scan_shards,
+        shard_min_rows=8,
+        max_in_flight=MAX_IN_FLIGHT,
+        scan_prefetch_pages=0,
+    )
+    engine = LLMStorageEngine(model, config=config)
+    for schema in world.schemas():
+        engine.register_virtual_table(
+            schema, row_estimate=world.row_count(schema.name)
+        )
+    rows = [tuple(map(tuple, engine.execute(sql).rows)) for sql in QUERIES]
+    return rows, engine.usage
+
+
+def test_shard_scaling_speedup(benchmark):
+    results = {}
+
+    def sweep():
+        for shards in SWEEP:
+            results[shards] = run_workload(shards)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    baseline_rows, baseline_usage = results[1]
+    artifact = ResultTable(
+        title="Sharded scans: simulated critical-path latency",
+        columns=[
+            "scan_shards",
+            "calls",
+            "shard_chains",
+            "model_time_ms",
+            "wall_ms",
+            "speedup",
+        ],
+    )
+    for shards in SWEEP:
+        rows, usage = results[shards]
+        assert rows == baseline_rows, f"results differ at scan_shards={shards}"
+        artifact.add_row(
+            shards,
+            usage.calls,
+            usage.shard_chains,
+            round(usage.latency_ms),
+            round(usage.wall_ms),
+            round(baseline_usage.wall_ms / usage.wall_ms, 2),
+        )
+    artifact.add_note(
+        "byte-identical rows at every shard count; wall_ms is the "
+        "deterministic simulated critical path at max_in_flight="
+        f"{MAX_IN_FLIGHT}"
+    )
+    path = artifact.save(artifact_path("bench_shard_scaling.txt"))
+    assert path
+
+    usage_8 = results[8][1]
+    speedup_8 = baseline_usage.wall_ms / usage_8.wall_ms
+    save_metrics(
+        "shard_scaling",
+        {
+            "speedup_8_shards": round(speedup_8, 3),
+            "wall_ms_unsharded": round(baseline_usage.wall_ms, 1),
+            "wall_ms_8_shards": round(usage_8.wall_ms, 1),
+            "calls_unsharded": baseline_usage.calls,
+            "calls_8_shards": usage_8.calls,
+            "shard_chains_8_shards": usage_8.shard_chains,
+            "byte_identical": True,
+        },
+    )
+    assert speedup_8 >= 3.0, (
+        f"expected >= 3x at scan_shards=8, got {speedup_8:.2f}x"
+    )
+    # Sharding must only pay page-rounding overhead, not refetch rows.
+    assert usage_8.calls <= baseline_usage.calls + 8 * len(QUERIES)
+
+
+def test_shard_scaling_pays_only_page_rounding():
+    _, baseline_usage = run_workload(1)
+    _, usage = run_workload(8)
+    assert usage.total_tokens == pytest.approx(
+        baseline_usage.total_tokens, rel=0.25
+    )

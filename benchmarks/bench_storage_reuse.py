@@ -16,7 +16,7 @@ Acceptance bar:
 
 from repro.config import EngineConfig
 from repro.core.engine import LLMStorageEngine
-from repro.eval.reporting import ResultTable, artifact_path
+from repro.eval.reporting import ResultTable, artifact_path, save_metrics
 from repro.eval.worlds import all_worlds
 from repro.llm.noise import NoiseConfig
 from repro.llm.simulated import SimulatedLLM
@@ -104,6 +104,15 @@ def test_storage_reuse_call_reduction(benchmark):
     _, mat_usage = results["materialize"]
     assert mat_usage.calls > 0, "cold queries must still reach the model"
     reduction = off_usage.calls / max(1, mat_usage.calls)
+    save_metrics(
+        "storage_reuse",
+        {
+            "call_reduction_materialize": round(reduction, 3),
+            "calls_off": off_usage.calls,
+            "calls_materialize": mat_usage.calls,
+            "byte_identical": True,
+        },
+    )
     assert reduction >= 5.0, (
         f"expected >=5x fewer model calls with storage_mode=materialize; "
         f"got {off_usage.calls} -> {mat_usage.calls} ({reduction:.1f}x)"

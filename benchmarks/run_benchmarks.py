@@ -1,0 +1,194 @@
+"""CI bench runner: run every benchmark, consolidate, gate regressions.
+
+Runs each ``benchmarks/bench_*.py`` in its own pytest process, collects
+pass/fail plus the machine-readable ``BENCH_<name>.json`` metrics the
+benchmarks drop via :func:`repro.eval.reporting.save_metrics`, and
+writes one consolidated ``BENCH_results.json``.  The run fails (exit 1)
+when any benchmark fails, or when a metric named in
+``benchmarks/baseline.json`` regresses below its recorded floor::
+
+    {"floors": {"shard_scaling": {"speedup_8_shards": 3.0}, ...}}
+
+Floors are *recorded* numbers (what the committed code demonstrably
+achieves with margin), not aspirations: raise them when a PR raises the
+measured value, so CI guards every speedup the repo has shipped.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py \
+        --out bench-artifacts/BENCH_results.json \
+        --baseline benchmarks/baseline.json
+
+Artifacts (both the consolidated file and each benchmark's text/JSON
+outputs) land under ``REPRO_RESULTS_DIR`` when set; the same variable
+is forwarded to every benchmark process, so a persisted path makes the
+whole run's outputs uploadable as one CI artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+import time
+
+
+def discover_benchmarks(bench_dir: str) -> list:
+    return sorted(
+        path
+        for path in glob.glob(os.path.join(bench_dir, "bench_*.py"))
+        if os.path.isfile(path)
+    )
+
+
+def run_benchmark(path: str, results_dir: str) -> dict:
+    """One benchmark file in its own pytest process."""
+    env = dict(os.environ)
+    env["REPRO_RESULTS_DIR"] = results_dir
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(path))), "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    started = time.monotonic()
+    process = subprocess.run(
+        [sys.executable, "-m", "pytest", path, "-q", "--benchmark-disable"],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    duration = time.monotonic() - started
+    name = os.path.splitext(os.path.basename(path))[0]
+    entry = {
+        "name": name,
+        "passed": process.returncode == 0,
+        "duration_s": round(duration, 2),
+    }
+    if process.returncode != 0:
+        entry["tail"] = process.stdout.splitlines()[-25:]
+    return entry
+
+
+def collect_metrics(results_dir: str) -> dict:
+    """Read every BENCH_<name>.json a benchmark dropped."""
+    metrics = {}
+    for path in sorted(glob.glob(os.path.join(results_dir, "BENCH_*.json"))):
+        name = os.path.splitext(os.path.basename(path))[0][len("BENCH_"):]
+        if name == "results":
+            continue  # a previous consolidated output
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                metrics[name] = json.load(handle)
+        except (OSError, ValueError) as exc:
+            metrics[name] = {"error": f"unreadable metrics file: {exc}"}
+    return metrics
+
+
+def check_floors(metrics: dict, baseline: dict) -> list:
+    """Regressions of recorded floors; empty means the gate passes."""
+    failures = []
+    for bench, floors in baseline.get("floors", {}).items():
+        bench_metrics = metrics.get(bench)
+        if bench_metrics is None:
+            failures.append(f"{bench}: no metrics emitted (expected floors)")
+            continue
+        for metric, floor in floors.items():
+            value = bench_metrics.get(metric)
+            if value is None:
+                failures.append(f"{bench}.{metric}: metric missing")
+            elif isinstance(floor, bool) or not isinstance(
+                floor, (int, float)
+            ):
+                if value != floor:
+                    failures.append(
+                        f"{bench}.{metric}: expected {floor!r}, got {value!r}"
+                    )
+            elif not isinstance(value, (int, float)) or value < floor:
+                failures.append(
+                    f"{bench}.{metric}: {value!r} regressed below floor {floor!r}"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="consolidated output path (default: <results dir>/BENCH_results.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(os.path.dirname(__file__), "baseline.json"),
+        help="recorded floors to gate against (no gate if missing)",
+    )
+    parser.add_argument(
+        "--bench-dir",
+        default=os.path.dirname(os.path.abspath(__file__)),
+        help="directory holding bench_*.py files",
+    )
+    args = parser.parse_args(argv)
+
+    results_dir = os.environ.get("REPRO_RESULTS_DIR") or os.path.abspath(
+        "bench-results"
+    )
+    os.makedirs(results_dir, exist_ok=True)
+    out_path = args.out or os.path.join(results_dir, "BENCH_results.json")
+
+    # A reused results directory must not leak a previous run's metrics
+    # into this run's gate: a bench that stopped emitting its floors
+    # has to fail loudly, not pass on stale numbers.
+    for stale in glob.glob(os.path.join(results_dir, "BENCH_*.json")):
+        os.remove(stale)
+
+    benchmarks = discover_benchmarks(args.bench_dir)
+    if not benchmarks:
+        print(f"no benchmarks found under {args.bench_dir}", file=sys.stderr)
+        return 1
+
+    runs = []
+    for path in benchmarks:
+        print(f"running {os.path.basename(path)} ...", flush=True)
+        entry = run_benchmark(path, results_dir)
+        status = "ok" if entry["passed"] else "FAILED"
+        print(f"  {status} in {entry['duration_s']}s", flush=True)
+        runs.append(entry)
+
+    metrics = collect_metrics(results_dir)
+
+    baseline = {}
+    if os.path.isfile(args.baseline):
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    regressions = check_floors(metrics, baseline)
+    failed = [run["name"] for run in runs if not run["passed"]]
+
+    consolidated = {
+        "benchmarks": runs,
+        "metrics": metrics,
+        "baseline_floors": baseline.get("floors", {}),
+        "regressions": regressions,
+        "totals": {
+            "run": len(runs),
+            "failed": len(failed),
+            "wall_s": round(sum(run["duration_s"] for run in runs), 2),
+        },
+    }
+    os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(consolidated, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out_path}")
+
+    if failed:
+        print(f"benchmark failures: {', '.join(failed)}", file=sys.stderr)
+    for regression in regressions:
+        print(f"regression: {regression}", file=sys.stderr)
+    return 1 if failed or regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,8 @@ def build_engine(
     storage_mode: str = "off",
     storage_budget_bytes: Optional[int] = None,
     storage_ttl_s: Optional[float] = None,
+    scan_shards: int = 1,
+    shard_min_rows: Optional[int] = None,
 ) -> LLMStorageEngine:
     """Assemble an engine over one of the standard worlds."""
     worlds = all_worlds()
@@ -63,6 +65,10 @@ def build_engine(
         config = config.with_(storage_budget_bytes=storage_budget_bytes)
     if storage_ttl_s is not None:
         config = config.with_(storage_ttl_s=storage_ttl_s)
+    if scan_shards != 1:
+        config = config.with_(scan_shards=scan_shards)
+    if shard_min_rows is not None:
+        config = config.with_(shard_min_rows=shard_min_rows)
     engine = LLMStorageEngine(model, config=config)
     for schema in world.schemas():
         engine.register_virtual_table(
@@ -155,6 +161,21 @@ def main(argv=None) -> int:
         help="seconds before stored fragments/results expire (0 = never)",
     )
     parser.add_argument(
+        "--scan-shards",
+        type=int,
+        default=1,
+        help="partition large scans into this many parallel page chains "
+        "(1 = single chain; rows are byte-identical at any value, only "
+        "call layout and wall-clock change)",
+    )
+    parser.add_argument(
+        "--shard-min-rows",
+        type=int,
+        default=None,
+        help="minimum estimated rows per shard (caps the shard count "
+        "so small tables stay unsharded)",
+    )
+    parser.add_argument(
         "--naive", action="store_true", help="disable all optimizations"
     )
     parser.add_argument("-c", "--command", default=None, help="run one query and exit")
@@ -172,6 +193,8 @@ def main(argv=None) -> int:
             storage_mode=args.storage_mode,
             storage_budget_bytes=args.storage_budget_bytes,
             storage_ttl_s=args.storage_ttl_s,
+            scan_shards=args.scan_shards,
+            shard_min_rows=args.shard_min_rows,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

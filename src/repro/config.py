@@ -58,6 +58,18 @@ class EngineConfig:
             ``max_in_flight > 1``; capped at ``max_in_flight - 1``).
             Speculation is un-metered unless consumed, so a wrong guess
             costs nothing in tokens.
+        scan_shards: partition large scans into this many independent
+            page chains (key-range shards over the enumeration cursor).
+            1 (the default) keeps the single sequential chain; larger
+            values fan shards out through the dispatcher and merge the
+            results deterministically (stable shard-order concatenation),
+            so rows are byte-identical to unsharded execution on clean
+            protocol runs.  Aggregate-only queries additionally push
+            COUNT/SUM/MIN/MAX/AVG into per-shard partial states merged
+            with algebraic combiners.
+        shard_min_rows: minimum estimated rows per shard; the planner
+            caps the shard count so no shard is expected to fetch fewer
+            rows than this (small tables stay unsharded).
         retry_backoff_ms: base delay before the first retry of a
             refused/unusable completion, doubling per further retry.
             0 disables backoff (right for the simulated model; a
@@ -94,6 +106,8 @@ class EngineConfig:
     scan_guard_factor: int = 8
     max_in_flight: int = 1
     scan_prefetch_pages: int = 2
+    scan_shards: int = 1
+    shard_min_rows: int = 32
     retry_backoff_ms: float = 0.0
     storage_mode: str = "off"
     storage_budget_bytes: int = 8_000_000
@@ -120,6 +134,8 @@ class EngineConfig:
             ("votes", 1),
             ("max_in_flight", 1),
             ("max_output_tokens", 1),
+            ("scan_shards", 1),
+            ("shard_min_rows", 1),
         ):
             if getattr(self, name) < minimum:
                 raise ConfigError(

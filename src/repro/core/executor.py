@@ -40,6 +40,7 @@ from repro.plan.physical import (
     RetrievalPlan,
     ScanStep,
     SetOpPlan,
+    ShardedScanStep,
 )
 from repro.core.virtual import VirtualTable
 from repro.relational.catalog import Catalog
@@ -188,6 +189,10 @@ class PlanExecutor:
         """
         if isinstance(step, ScanStep):
             return self._client.run_scan(step, self._virtual_for(step.table_name))
+        if isinstance(step, ShardedScanStep):
+            return self._client.run_sharded_scan(
+                step, self._virtual_for(step.table_name)
+            )
         if isinstance(step, LookupStep):
             keys = self._keys_from_source(step, local_tables)
             return self._client.run_lookup(

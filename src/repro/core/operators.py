@@ -27,23 +27,30 @@ from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import EngineConfig
-from repro.core import consistency
+from repro.core import consistency, partial_agg
 from repro.core.validation import Validator
 from repro.core.virtual import VirtualTable
 from repro.errors import ExecutionError, LLMProtocolError
 from repro.llm.accounting import MeteredModel, UsageMeter
 from repro.llm.cache import CachingModel, PromptCache, resolve_model_name
 from repro.llm.interface import Completion, CompletionOptions, LanguageModel
-from repro.plan.physical import JudgeStep, LookupStep, ScanStep
+from repro.plan.physical import (
+    JudgeStep,
+    LookupStep,
+    ScanStep,
+    ShardSpec,
+    ShardedScanStep,
+)
 from repro.prompts import parsing
 from repro.prompts.enumerate import EnumerateRequest, build_enumerate_prompt
 from repro.prompts.lookup import LookupRequest, build_lookup_prompt
 from repro.prompts.predicate import JudgeRequest, build_judge_prompt
 from repro.relational.schema import Column, TableSchema
 from repro.relational.table import Table
-from repro.relational.types import Value
+from repro.relational.types import DataType, Value
 from repro.runtime.dispatcher import CompletionRequest, Dispatcher
 from repro.runtime.latency import LatencyLedger
+from repro.runtime.parallel import run_parallel
 from repro.runtime.prefetch import ScanPrefetcher
 from repro.runtime.retry import RETRY_NONCE, RetryPolicy
 from repro.storage.fragments import ScanFragment
@@ -89,6 +96,7 @@ class ModelClient:
         # The dispatcher commits wave makespans to the wall clock, so
         # the metered stack must not also track wall time per call.
         self._model = MeteredModel(inner, meter, track_wall=False)
+        self._meter = meter
         self._config = config
         self._validator = validator or Validator(enabled=config.enable_validation)
         self._ledger = LatencyLedger(on_commit=meter.add_wall_ms)
@@ -462,6 +470,274 @@ class ModelClient:
         )
 
     # ------------------------------------------------------------------
+    # Sharded scan
+    # ------------------------------------------------------------------
+
+    def run_sharded_scan(self, step: ShardedScanStep, virtual: VirtualTable) -> Table:
+        """Materialize a scan as independent per-shard page chains.
+
+        Each shard owns a contiguous slice of the enumeration cursor
+        and pages through it on its own; results merge by stable
+        shard-order concatenation, which reproduces the single
+        sequential chain byte for byte (a deterministic model slices
+        the same believed row list at every cursor position).  With
+        ``max_in_flight > 1`` the chains run concurrently in groups of
+        at most ``max_in_flight``, so the reported critical path stays
+        honest to the dispatcher's pool.  A fully-successful sharded
+        scan writes its union back as a whole-scan fragment — the
+        coverage that routes future whole-table scans to storage.
+
+        With a :class:`~repro.plan.physical.PartialAggregateSpec`
+        attached, each shard reduces to mergeable partial aggregates
+        and the merged groups are returned instead of raw rows.
+        """
+        scan = step.scan
+        if self._storage is not None:
+            served = self._scan_from_storage(scan, virtual)
+            if served is not None:
+                if step.aggregate is None:
+                    return served
+                partial = partial_agg.reduce_rows(
+                    step.aggregate, served.schema.column_names, served.rows
+                )
+                return self._aggregate_table(step, [partial])
+
+        self._meter.record_sharded_scan(len(step.shards))
+        shard_count = len(step.shards)
+        thunks = [
+            (lambda shard=shard: self._run_shard_chain(
+                scan, shard, shard_count, virtual
+            ))
+            for shard in step.shards
+        ]
+        if self._config.max_in_flight > 1 and len(thunks) > 1:
+            # Chains beyond the pool width cannot actually overlap;
+            # batching keeps the wall-clock accounting honest.
+            outcomes: List[_ShardOutcome] = []
+            width = self._config.max_in_flight
+            for begin in range(0, len(thunks), width):
+                outcomes.extend(
+                    run_parallel(self._ledger, thunks[begin : begin + width])
+                )
+        else:
+            outcomes = [thunk() for thunk in thunks]
+
+        for outcome in outcomes:
+            # Re-emit in shard order so warnings never depend on thread
+            # timing.
+            self.emit_warnings(outcome.warnings)
+
+        rows = [row for outcome in outcomes for row in outcome.rows]
+        if self._storage is not None:
+            if all(o.storable for o in outcomes):
+                # Coverage union: the concatenation is the complete
+                # enumeration, stored under the whole-scan key the
+                # planner consults — future whole-table scans route to
+                # it.  The per-shard fragments would only duplicate
+                # these rows in the byte-budgeted store (the union is
+                # always consulted first), so they are not written.
+                self._storage.store_scan_fragment(
+                    self._storage_scope,
+                    scan.table_name,
+                    scan.pushdown_sql,
+                    None,
+                    ScanFragment(
+                        columns=tuple(scan.columns),
+                        rows=tuple(tuple(row) for row in rows),
+                        complete=True,
+                        source_calls=sum(o.cost for o in outcomes),
+                    ),
+                )
+            else:
+                # No union: preserve the shards that did finish, so a
+                # same-shape re-run only re-pays the failed chains.
+                for shard, outcome in zip(step.shards, outcomes):
+                    if not outcome.storable or outcome.pages == 0:
+                        continue
+                    self._storage.store_shard_fragment(
+                        self._storage_scope,
+                        scan.table_name,
+                        scan.pushdown_sql,
+                        shard.index,
+                        len(step.shards),
+                        shard.start,
+                        ScanFragment(
+                            columns=tuple(scan.columns),
+                            rows=tuple(tuple(row) for row in outcome.rows),
+                            complete=True,
+                            source_calls=outcome.pages,
+                        ),
+                    )
+        if step.aggregate is None:
+            return build_local_table(scan.binding, scan.schema, scan.columns, rows)
+        partials = []
+        for outcome in outcomes:
+            shard_table = build_local_table(
+                scan.binding, scan.schema, scan.columns, outcome.rows
+            )
+            partials.append(
+                partial_agg.reduce_rows(
+                    step.aggregate, shard_table.schema.column_names, shard_table.rows
+                )
+            )
+        return self._aggregate_table(step, partials)
+
+    def _run_shard_chain(
+        self,
+        scan: ScanStep,
+        shard: ShardSpec,
+        shard_count: int,
+        virtual: VirtualTable,
+    ) -> "_ShardOutcome":
+        """One shard's page chain, with its warnings captured in order."""
+        with self.warning_scope() as captured:
+            outcome = self._fetch_shard(scan, shard, shard_count, virtual)
+        outcome.warnings = captured
+        return outcome
+
+    def _fetch_shard(
+        self,
+        scan: ScanStep,
+        shard: ShardSpec,
+        shard_count: int,
+        virtual: VirtualTable,
+    ) -> "_ShardOutcome":
+        storage = self._storage
+        if storage is not None:
+            fragment = storage.shard_fragment(
+                self._storage_scope,
+                scan.table_name,
+                scan.pushdown_sql,
+                shard.index,
+                shard_count,
+                shard.start,
+            )
+            if (
+                fragment is not None
+                and fragment.complete
+                and fragment.covers_columns(scan.columns)
+            ):
+                storage.record_fragment_hits(1, calls_saved=fragment.source_calls)
+                return _ShardOutcome(
+                    rows=fragment.project(scan.columns),
+                    pages=0,
+                    cost=fragment.source_calls,
+                    storable=True,
+                )
+            storage.record_fragment_misses(1)
+
+        dtypes = [scan.schema.column(name).dtype for name in scan.columns]
+
+        def parse_page(completion: Completion):
+            return parse_enumerate(completion, dtypes)
+
+        page_size = self._config.page_size
+        target = shard.row_target
+        est_share = (
+            target if target is not None else max(1, int(scan.est_rows) - shard.start)
+        )
+        est_pages = max(1, -(-est_share // page_size))
+        max_pages = est_pages * self._config.scan_guard_factor + 4
+
+        parsed: List[List[Value]] = []
+        pages = 0
+        storable = True
+        while True:
+            after_index = shard.start + len(parsed)
+            want = (
+                page_size
+                if target is None
+                else min(page_size, target - len(parsed))
+            )
+            prompt = build_enumerate_prompt(
+                EnumerateRequest(
+                    schema=scan.schema,
+                    columns=scan.columns,
+                    condition_sql=scan.pushdown_sql,
+                    order=None,
+                    after_index=after_index,
+                    max_rows=want,
+                )
+            )
+            page = self._dispatcher.run_one(
+                CompletionRequest(prompt=prompt, sample_index=0, parse=parse_page)
+            )
+            if page.malformed_lines:
+                self._warn(
+                    f"scan {scan.table_name} shard {shard.index}: "
+                    f"{page.malformed_lines} malformed line(s) skipped"
+                )
+            got_rows = len(page.rows) > 0
+            parsed.extend(page.rows)
+            pages += 1
+            if page.complete and not page.has_more:
+                break  # enumeration exhausted within this shard's range
+            if target is not None and len(parsed) >= target:
+                break  # shard's slice fully fetched
+            if not page.complete and not got_rows:
+                self._warn(
+                    f"scan {scan.table_name} shard {shard.index}: page "
+                    f"truncated before any row"
+                )
+                storable = False
+                break
+            if pages >= max_pages:
+                self._warn(
+                    f"scan {scan.table_name} shard {shard.index}: aborted "
+                    f"after {pages} pages (guard limit)"
+                )
+                storable = False
+                break
+        if target is not None and len(parsed) > target:
+            parsed = parsed[:target]
+        validated = [
+            self._validator.validate_row(row, virtual, scan.columns)
+            for row in parsed
+        ]
+        return _ShardOutcome(
+            rows=validated, pages=pages, cost=pages, storable=storable
+        )
+
+    def _aggregate_table(
+        self, step: ShardedScanStep, partials: List[partial_agg.Partials]
+    ) -> Table:
+        """Merge per-shard partials into the step's pre-aggregated table."""
+        spec = step.aggregate
+        assert spec is not None
+        scan = step.scan
+        rows = partial_agg.merge_partials(spec, partials)
+        columns = [
+            Column(
+                name=scan.schema.column(name).name,
+                dtype=scan.schema.column(name).dtype,
+                nullable=True,
+                description=scan.schema.column(name).description,
+            )
+            for name in spec.group_columns
+        ]
+        for item in spec.items:
+            if item.func == "COUNT":
+                dtype = DataType.INTEGER
+            elif item.func == "AVG":
+                dtype = DataType.REAL
+            else:
+                assert item.column is not None
+                dtype = scan.schema.column(item.column).dtype
+            columns.append(Column(name=item.output, dtype=dtype, nullable=True))
+        schema = TableSchema(
+            name=f"retrieved_{scan.binding}",
+            columns=tuple(columns),
+            description=(
+                f"shard-merged partial aggregates for binding {scan.binding}"
+            ),
+        )
+        # Values are exact merge results; schema coercion must not
+        # touch them (an int SUM is not a REAL, a float MAX may land in
+        # an INTEGER-typed column's slot only by type promotion).
+        return Table.from_validated(schema, rows)
+
+
+    # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
 
@@ -638,6 +914,32 @@ class ModelClient:
             for key, verdict in zip(batch, merged):
                 verdicts[normalize_key(key)] = verdict
         return verdicts
+
+
+class _ShardOutcome:
+    """One shard chain's result: rows plus bookkeeping for the merge.
+
+    ``pages`` is what the chain paid this run; ``cost`` is what a cold
+    run would pay (a chain served from a shard fragment paid 0 pages
+    but carries the fragment's original cost, which is what the merged
+    whole-scan fragment should report as ``source_calls``).
+    """
+
+    __slots__ = ("rows", "pages", "cost", "storable", "warnings")
+
+    def __init__(
+        self,
+        rows: List[List[Value]],
+        pages: int,
+        cost: int,
+        storable: bool,
+        warnings: Optional[List[str]] = None,
+    ):
+        self.rows = rows
+        self.pages = pages
+        self.cost = cost
+        self.storable = storable
+        self.warnings: List[str] = warnings or []
 
 
 # ---------------------------------------------------------------------------

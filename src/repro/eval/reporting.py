@@ -93,3 +93,21 @@ def results_dir() -> str:
 
 def artifact_path(name: str) -> str:
     return os.path.join(results_dir(), name)
+
+
+def save_metrics(bench_name: str, metrics: dict) -> str:
+    """Write one benchmark's machine-readable metrics.
+
+    Lands as ``BENCH_<name>.json`` under :func:`results_dir`; the CI
+    bench runner (``benchmarks/run_benchmarks.py``) consolidates these
+    files into ``BENCH_results.json`` and gates the recorded floors in
+    ``benchmarks/baseline.json`` against them.
+    """
+    import json
+
+    path = artifact_path(f"BENCH_{bench_name}.json")
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(metrics, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -56,6 +56,12 @@ class UsageSnapshot:
     queries served from the normalized result cache, and
     ``fragment_hits`` counts scans/lookup-keys served from materialized
     fragments.  All three are zero when storage is off.
+
+    The shard counters describe partition-parallel retrieval:
+    ``sharded_scans`` counts scan steps executed as independent shard
+    chains, and ``shard_chains`` the total chains fanned out (a scan
+    split 8 ways adds 1 and 8 respectively).  Sharding changes
+    wall-clock and call layout only, never rows.
     """
 
     calls: int = 0
@@ -67,6 +73,8 @@ class UsageSnapshot:
     result_cache_hits: int = 0
     fragment_hits: int = 0
     calls_saved: int = 0
+    sharded_scans: int = 0
+    shard_chains: int = 0
 
     @property
     def total_tokens(self) -> int:
@@ -91,6 +99,8 @@ class UsageSnapshot:
             result_cache_hits=self.result_cache_hits - earlier.result_cache_hits,
             fragment_hits=self.fragment_hits - earlier.fragment_hits,
             calls_saved=self.calls_saved - earlier.calls_saved,
+            sharded_scans=self.sharded_scans - earlier.sharded_scans,
+            shard_chains=self.shard_chains - earlier.shard_chains,
         )
 
     def plus(self, other: "UsageSnapshot") -> "UsageSnapshot":
@@ -104,6 +114,8 @@ class UsageSnapshot:
             result_cache_hits=self.result_cache_hits + other.result_cache_hits,
             fragment_hits=self.fragment_hits + other.fragment_hits,
             calls_saved=self.calls_saved + other.calls_saved,
+            sharded_scans=self.sharded_scans + other.sharded_scans,
+            shard_chains=self.shard_chains + other.shard_chains,
         )
 
     def render(self) -> str:
@@ -122,6 +134,11 @@ class UsageSnapshot:
             storage_bits.append(f"{self.calls_saved} call(s) saved")
         if storage_bits:
             text += f", storage: {', '.join(storage_bits)}"
+        if self.sharded_scans:
+            text += (
+                f", {self.sharded_scans} sharded scan(s) "
+                f"({self.shard_chains} chain(s))"
+            )
         return text
 
 
@@ -145,6 +162,8 @@ class UsageMeter:
         self._completion_tokens = 0
         self._latency_ms = 0.0
         self._wall_ms = 0.0
+        self._sharded_scans = 0
+        self._shard_chains = 0
 
     def check_budget(self) -> None:
         """Raise if the next call would exceed the budget."""
@@ -200,6 +219,12 @@ class UsageMeter:
             self._completion_tokens += completion.completion_tokens
             self._latency_ms += completion.latency_ms
 
+    def record_sharded_scan(self, chains: int) -> None:
+        """Account one scan step fanned out as ``chains`` shard chains."""
+        with self._lock:
+            self._sharded_scans += 1
+            self._shard_chains += chains
+
     def add_wall_ms(self, ms: float) -> None:
         """Advance the critical-path clock (committed by the runtime)."""
         if ms <= 0:
@@ -230,6 +255,8 @@ class UsageMeter:
                     self._prompt_tokens, self._completion_tokens
                 ),
                 wall_ms=self._wall_ms,
+                sharded_scans=self._sharded_scans,
+                shard_chains=self._shard_chains,
             )
 
     def reset(self) -> None:
@@ -239,6 +266,8 @@ class UsageMeter:
             self._completion_tokens = 0
             self._latency_ms = 0.0
             self._wall_ms = 0.0
+            self._sharded_scans = 0
+            self._shard_chains = 0
 
 
 class MeteredModel:

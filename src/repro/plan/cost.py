@@ -159,6 +159,33 @@ class CostModel:
             calls=pages, prompt_tokens=prompt, completion_tokens=completion
         )
 
+    def sharded_scan_cost(
+        self,
+        table_name: str,
+        rows_out: float,
+        column_count: int,
+        shard_count: int,
+    ) -> CostEstimate:
+        """Cost of ``rows_out`` rows split over ``shard_count`` chains.
+
+        Page rounding happens per shard, so sharding can cost a few
+        extra calls (and their prompt overhead) versus one chain; the
+        completion tokens are identical — the same rows come back.
+        """
+        shard_count = max(1, shard_count)
+        per_shard = max(1.0, -(-rows_out // shard_count))
+        pages = 0.0
+        remaining = rows_out
+        for _ in range(shard_count):
+            share = min(per_shard, max(0.0, remaining))
+            pages += max(1.0, -(-share // self._config.page_size))
+            remaining -= share
+        prompt = pages * PROMPT_OVERHEAD_TOKENS
+        completion = rows_out * column_count * TOKENS_PER_CELL + pages * 2
+        return CostEstimate(
+            calls=pages, prompt_tokens=prompt, completion_tokens=completion
+        )
+
     def lookup_cost(self, key_count: float, attribute_count: int) -> CostEstimate:
         """Cost of batched lookups for ``key_count`` entities."""
         batch = max(1, self._config.lookup_batch_size)

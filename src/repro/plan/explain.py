@@ -12,6 +12,7 @@ from repro.plan.physical import (
     RetrievalPlan,
     ScanStep,
     SetOpPlan,
+    ShardedScanStep,
 )
 from repro.sql.printer import print_statement
 
@@ -54,6 +55,26 @@ def _render(plan: PlanNode, lines: List[str], indent: int) -> None:
             lines.append(
                 f"{_pad(indent + 1)}LLMScan {step.table_name} AS {step.binding} "
                 f"{detail} est_rows={step.est_rows:.0f} [{step.estimate.render()}]"
+            )
+        elif isinstance(step, ShardedScanStep):
+            scan = step.scan
+            detail = f"columns=({', '.join(scan.columns)})"
+            if scan.pushdown_sql:
+                detail += f" condition[{scan.pushdown_sql}]"
+            detail += f" shards={len(step.shards)}"
+            if step.aggregate is not None:
+                described = ", ".join(
+                    item.printed for item in step.aggregate.items
+                ) or "group keys"
+                if step.aggregate.group_columns:
+                    described += (
+                        f" by ({', '.join(step.aggregate.group_columns)})"
+                    )
+                detail += f" partial-agg[{described}]"
+            lines.append(
+                f"{_pad(indent + 1)}LLMShardedScan {step.table_name} AS "
+                f"{step.binding} {detail} est_rows={step.est_rows:.0f} "
+                f"[{step.estimate.render()}]"
             )
         elif isinstance(step, LookupStep):
             if step.literal_keys is not None:

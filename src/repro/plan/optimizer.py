@@ -35,20 +35,26 @@ from repro.plan import rules
 from repro.plan.cost import CostEstimate, CostModel, TableStats
 from repro.plan.logical import DerivedAccess, TableAccess, analyze_query
 from repro.plan.physical import (
+    MERGEABLE_AGGREGATES,
+    AggregateItem,
     DerivedStep,
     JudgeStep,
     LocalStep,
     LookupStep,
+    PartialAggregateSpec,
     PlanNode,
     RetrievalPlan,
     ScanStep,
     SetOpPlan,
+    ShardSpec,
+    ShardedScanStep,
     Step,
     SubplanBinding,
 )
 from repro.relational.catalog import Catalog, TableKind
 from repro.sql import ast
 from repro.sql.binder import Binder, BoundQuery
+from repro.sql.printer import print_expression
 
 if TYPE_CHECKING:
     from repro.storage.tier import StorageTier
@@ -147,7 +153,9 @@ class Optimizer:
                 nested = self._plan_query(access.query)
                 step: Step = DerivedStep(binding=access.binding, plan=nested)
                 nested_rows = sum(
-                    s.est_rows for s in nested.steps if isinstance(s, ScanStep)
+                    s.est_rows
+                    for s in nested.steps
+                    if isinstance(s, (ScanStep, ShardedScanStep))
                 )
                 est_rows[access.binding.lower()] = max(1.0, nested_rows)
                 plan.steps.append(step)
@@ -177,6 +185,7 @@ class Optimizer:
 
         self._add_judge_steps(plan, structure, judged, needed)
         self._maybe_push_limit(plan, structure, statement, where_conjuncts, pushed)
+        self._maybe_shard_scans(plan)
         return plan
 
     # ------------------------------------------------------------------
@@ -576,6 +585,215 @@ class Optimizer:
             plan.notes.append(
                 f"judge[{step.binding}]: {rules.render_pushdown(condition)}"
             )
+
+    # ------------------------------------------------------------------
+    # Sharded scans + partial-aggregate pushdown
+    # ------------------------------------------------------------------
+
+    def _maybe_shard_scans(self, plan: RetrievalPlan) -> None:
+        """Partition large scans into independent key-range shards.
+
+        Each shard owns a contiguous slice of the enumeration cursor;
+        the executor fans the chains out through the dispatcher and
+        concatenates their rows in shard order, so results stay
+        byte-identical to the single chain.  Scans already routed to a
+        materialized fragment or narrowed by an order/limit hint keep
+        their single chain (the fragment is free; an early-terminating
+        ordered chain would only fetch ``limit_hint`` rows anyway).
+        """
+        if self._config.scan_shards <= 1:
+            return
+        for index, step in enumerate(plan.steps):
+            if not isinstance(step, ScanStep):
+                continue
+            if (
+                step.fragment_covered
+                or step.limit_hint is not None
+                or step.order is not None
+            ):
+                continue
+            shard_count = min(
+                self._config.scan_shards,
+                max(1, int(step.est_rows) // self._config.shard_min_rows),
+            )
+            if shard_count <= 1:
+                continue
+            per_shard = -(-int(step.est_rows) // shard_count)
+            shards = [
+                ShardSpec(
+                    index=i,
+                    start=i * per_shard,
+                    row_target=per_shard if i < shard_count - 1 else None,
+                )
+                for i in range(shard_count)
+            ]
+            plan.steps[index] = ShardedScanStep(
+                scan=step,
+                shards=shards,
+                estimate=self._cost.sharded_scan_cost(
+                    step.table_name,
+                    step.est_rows,
+                    len(step.columns),
+                    shard_count,
+                ),
+            )
+            plan.notes.append(
+                f"sharded-scan[{step.binding}]: {shard_count} shard(s) "
+                f"x ~{per_shard} row(s)"
+            )
+        self._maybe_push_partial_aggregates(plan)
+
+    def _maybe_push_partial_aggregates(self, plan: RetrievalPlan) -> None:
+        """Reduce an aggregate-only sharded scan to partial states.
+
+        Eligible when the whole query is one sharded scan whose select
+        list is group-by columns plus mergeable aggregates
+        (COUNT/SUM/MIN/MAX/AVG over a bare column or ``*``): each shard
+        then reduces its rows to per-group partials merged with
+        algebraic combiners, and the local statement is rewritten to
+        project the pre-aggregated columns — no chain (and no local
+        materialization step) ever holds the whole table.
+        """
+        statement = plan.statement
+        if len(plan.steps) != 1 or not isinstance(plan.steps[0], ShardedScanStep):
+            return
+        step = plan.steps[0]
+        if plan.subplans or statement.distinct or statement.having is not None:
+            return
+        if not statement.group_by and not any(
+            ast.contains_aggregate(item.expr) for item in statement.select
+        ):
+            return  # plain row query: sharding alone is enough
+        scan = step.scan
+        binding = scan.binding
+        scan_columns = {name.lower() for name in scan.columns}
+
+        def own_column(ref: ast.Expr) -> Optional[str]:
+            """Schema-cased name of a bare scan-column reference."""
+            if not isinstance(ref, ast.ColumnRef):
+                return None
+            if ref.table is not None and ref.table.lower() != binding.lower():
+                return None
+            if ref.name.lower() not in scan_columns:
+                return None
+            return scan.schema.column(ref.name).name
+
+        group_columns: List[str] = []
+        for expr in statement.group_by:
+            name = own_column(expr)
+            if name is None:
+                return
+            group_columns.append(name)
+        group_set = {name.lower() for name in group_columns}
+        if len(group_set) != len(group_columns):
+            return  # duplicate group keys: positional mapping is ambiguous
+
+        items: Dict[str, AggregateItem] = {}
+
+        def register(call: ast.Expr) -> Optional[AggregateItem]:
+            """The merged-output item for an aggregate call, or None."""
+            if not isinstance(call, ast.FunctionCall) or not ast.is_aggregate_call(
+                call
+            ):
+                return None
+            printed = print_expression(call)
+            if printed in items:
+                return items[printed]
+            func = call.name.upper()
+            if func not in MERGEABLE_AGGREGATES or call.distinct:
+                return None
+            if len(call.args) != 1:
+                return None
+            arg = call.args[0]
+            if isinstance(arg, ast.Star):
+                column = None
+                if func != "COUNT":
+                    return None
+            else:
+                column = own_column(arg)
+                if column is None:
+                    return None
+            item = AggregateItem(
+                func=func,
+                column=column,
+                output=f"__pagg{len(items)}",
+                printed=printed,
+            )
+            items[printed] = item
+            return item
+
+        new_select: List[ast.SelectItem] = []
+        for sel in statement.select:
+            expr = sel.expr
+            name = own_column(expr)
+            if name is not None:
+                if name.lower() not in group_set:
+                    return  # bare non-grouped column: needs a representative row
+                new_select.append(sel)
+                continue
+            item = register(expr)
+            if item is None:
+                return
+            new_select.append(
+                ast.SelectItem(
+                    expr=ast.ColumnRef(name=item.output),
+                    alias=sel.alias or item.printed,
+                )
+            )
+
+        output_names = {name.lower() for name in plan.output_names}
+        new_order: List[ast.OrderItem] = []
+        for order_item in statement.order_by:
+            expr = order_item.expr
+            if isinstance(expr, ast.Literal):
+                new_order.append(order_item)  # positional / constant key
+                continue
+            if (
+                isinstance(expr, ast.ColumnRef)
+                and expr.table is None
+                and expr.name.lower() in output_names
+            ):
+                new_order.append(order_item)  # resolves against output rows
+                continue
+            name = own_column(expr)
+            if name is not None:
+                if name.lower() not in group_set:
+                    return
+                new_order.append(order_item)
+                continue
+            item = register(expr)
+            if item is None:
+                return
+            new_order.append(
+                ast.OrderItem(
+                    expr=ast.ColumnRef(name=item.output),
+                    descending=order_item.descending,
+                    nulls_last=order_item.nulls_last,
+                )
+            )
+
+        step.aggregate = PartialAggregateSpec(
+            binding=binding,
+            group_columns=tuple(group_columns),
+            items=tuple(items.values()),
+            residual_filter=statement.where,
+        )
+        plan.statement = ast.Query(
+            select=new_select,
+            from_clause=statement.from_clause,
+            where=None,
+            group_by=[],
+            having=None,
+            order_by=new_order,
+            limit=statement.limit,
+            offset=statement.offset,
+            distinct=False,
+        )
+        described = ", ".join(item.printed for item in items.values()) or "group keys"
+        group_text = (
+            f" by ({', '.join(group_columns)})" if group_columns else ""
+        )
+        plan.notes.append(f"partial-agg[{binding}]: {described}{group_text}")
 
     # ------------------------------------------------------------------
     # ORDER BY ... LIMIT pushdown

@@ -62,6 +62,108 @@ class ScanStep:
         return "scan"
 
 
+#: Aggregate functions with algebraic combiners (AVG via sum+count).
+MERGEABLE_AGGREGATES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One key-range shard of a sharded scan's enumeration cursor.
+
+    Attributes:
+        index: shard position; merge order is ascending index.
+        start: absolute enumeration index the shard's page chain
+            starts at (its first page carries ``AFTER_INDEX = start``).
+        row_target: rows the shard is responsible for; ``None`` marks
+            the open-ended final shard, which pages until the model
+            signals completion.
+    """
+
+    index: int
+    start: int
+    row_target: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class AggregateItem:
+    """One algebraic aggregate computed per shard and merged.
+
+    Attributes:
+        func: aggregate name (COUNT/SUM/MIN/MAX/AVG, upper-cased).
+        column: argument column; ``None`` means ``COUNT(*)``.
+        output: synthesized column name the merged value lands in.
+        printed: canonical printed form of the original call (the key
+            the statement rewrite used, kept for EXPLAIN).
+    """
+
+    func: str
+    column: Optional[str]
+    output: str
+    printed: str
+
+
+@dataclass(frozen=True)
+class PartialAggregateSpec:
+    """Partial-aggregate pushdown over a sharded scan.
+
+    Each shard reduces its rows to per-group partial states; the merge
+    combines them with algebraic combiners in shard order, so the
+    final aggregate values match a single-chain computation without any
+    chain ever materializing the whole table.  ``residual_filter`` is
+    the query's original WHERE (already-pushed conjuncts included —
+    they are locally re-verified exactly as the unsharded path does),
+    applied per shard row before accumulation.
+    """
+
+    binding: str
+    group_columns: Tuple[str, ...]
+    items: Tuple[AggregateItem, ...]
+    residual_filter: Optional[ast.Expr] = None
+
+
+@dataclass
+class ShardedScanStep:
+    """A scan partitioned into independent per-shard page chains.
+
+    Wraps the :class:`ScanStep` the optimizer would otherwise have
+    emitted; the executor fans ``shards`` out through the dispatcher as
+    independent chains and concatenates their rows in ascending shard
+    order — byte-identical to the single sequential chain, because a
+    deterministic model enumerates the same believed row list for
+    every cursor position.  With ``aggregate`` set, each shard reduces
+    to mergeable partial aggregate states instead of returning rows.
+    """
+
+    scan: ScanStep
+    shards: List[ShardSpec] = field(default_factory=list)
+    aggregate: Optional[PartialAggregateSpec] = None
+    estimate: CostEstimate = CostEstimate()
+
+    @property
+    def binding(self) -> str:
+        return self.scan.binding
+
+    @property
+    def table_name(self) -> str:
+        return self.scan.table_name
+
+    @property
+    def schema(self) -> TableSchema:
+        return self.scan.schema
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return self.scan.columns
+
+    @property
+    def est_rows(self) -> float:
+        return self.scan.est_rows
+
+    @property
+    def kind(self) -> str:
+        return "sharded-scan"
+
+
 @dataclass
 class LookupStep:
     """Materialize a binding via batched key lookups.
@@ -145,7 +247,9 @@ class LocalStep:
         return "local"
 
 
-Step = Union[ScanStep, LookupStep, JudgeStep, DerivedStep, LocalStep]
+Step = Union[
+    ScanStep, ShardedScanStep, LookupStep, JudgeStep, DerivedStep, LocalStep
+]
 
 
 @dataclass

@@ -103,7 +103,7 @@ class MinAccumulator(Accumulator):
     def add(self, value: Value) -> None:
         if value is None:
             return
-        if self._best is None or _compare(value, self._best) < 0:
+        if self._best is None or compare_values(value, self._best) < 0:
             self._best = value
 
     def result(self) -> Value:
@@ -119,7 +119,7 @@ class MaxAccumulator(Accumulator):
     def add(self, value: Value) -> None:
         if value is None:
             return
-        if self._best is None or _compare(value, self._best) > 0:
+        if self._best is None or compare_values(value, self._best) > 0:
             self._best = value
 
     def result(self) -> Value:
@@ -147,8 +147,12 @@ class DistinctAccumulator(Accumulator):
         return self._inner.result()
 
 
-def _compare(left: Value, right: Value) -> int:
-    """Three-way comparison for MIN/MAX; numbers and text are not mixed."""
+def compare_values(left: Value, right: Value) -> int:
+    """Three-way comparison for MIN/MAX; numbers and text are not mixed.
+
+    Public contract: partial-aggregate merges (:mod:`repro.core.partial_agg`)
+    must order values exactly as the reference accumulators do.
+    """
     left_num = isinstance(left, (int, float)) and not isinstance(left, bool)
     right_num = isinstance(right, (int, float)) and not isinstance(right, bool)
     if left_num and right_num:

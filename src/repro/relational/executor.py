@@ -53,8 +53,13 @@ class FromResult:
     rows: List[BindingRow]
 
 
-def _hashable(value: Value):
-    """Type-tagged, numerically-normalized form for grouping/dedup."""
+def hashable_value(value: Value):
+    """Type-tagged, numerically-normalized form for grouping/dedup.
+
+    Public contract: partial-aggregate grouping
+    (:mod:`repro.core.partial_agg`) must key groups exactly as the
+    reference executor does (1 groups with 1.0, not with True).
+    """
     if value is None:
         return ("null",)
     if isinstance(value, bool):
@@ -62,6 +67,10 @@ def _hashable(value: Value):
     if isinstance(value, (int, float)):
         return ("num", float(value))
     return ("text", value)
+
+
+#: Internal alias (historical name).
+_hashable = hashable_value
 
 
 def _row_marker(row: Sequence[Value]) -> Tuple:

@@ -65,6 +65,11 @@ _SEMANTIC_CONFIG_FIELDS = (
     "max_retries",
     "max_output_tokens",
     "scan_guard_factor",
+    # Sharding slices the enumeration cursor differently, which under
+    # injected format noise can shift which lines are malformed; keep
+    # shard configs from serving each other's rows.
+    "scan_shards",
+    "shard_min_rows",
 )
 
 
@@ -321,6 +326,67 @@ class StorageTier:
         if not fragment.covers_columns(columns):
             return None
         return fragment
+
+    # ------------------------------------------------------------------
+    # Shard fragments
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _shard_key(
+        scope: Tuple,
+        table_name: str,
+        condition: Optional[str],
+        shard_index: int,
+        shard_count: int,
+        start: int,
+    ) -> Tuple:
+        return (
+            "scan-shard",
+            scope,
+            table_name.lower(),
+            condition or "",
+            (shard_index, shard_count, start),
+        )
+
+    def shard_fragment(
+        self,
+        scope: Tuple,
+        table_name: str,
+        condition: Optional[str],
+        shard_index: int,
+        shard_count: int,
+        start: int,
+    ) -> Optional[ScanFragment]:
+        """The stored fragment for one shard of a sharded scan."""
+        return self._fragments.get(
+            self._shard_key(
+                scope, table_name, condition, shard_index, shard_count, start
+            )
+        )
+
+    def store_shard_fragment(
+        self,
+        scope: Tuple,
+        table_name: str,
+        condition: Optional[str],
+        shard_index: int,
+        shard_count: int,
+        start: int,
+        fragment: ScanFragment,
+    ) -> None:
+        """Store one shard chain's rows for same-shape reuse.
+
+        Shard fragments serve a later scan sharded the *same way*
+        (count and cursor range included in the key); the union of a
+        fully-successful sharded scan is additionally stored as a
+        whole-scan fragment, which is what routes future whole-table
+        scans — sharded or not — to materialized data.
+        """
+        key = self._shard_key(
+            scope, table_name, condition, shard_index, shard_count, start
+        )
+        size = approx_bytes(fragment.rows) + approx_bytes(fragment.columns) + 96
+        self._fragments.put(key, fragment, size)
 
     # ------------------------------------------------------------------
     # Lookup cells

@@ -1,0 +1,452 @@
+"""Sharded partition-parallel scans: merge semantics and identity.
+
+The acceptance bar for sharding is *byte-identity*: at any
+``scan_shards`` value, rows (values **and** Python types — an int SUM
+must not become a float) match the single-chain engine, with and
+without the storage tier.  Partial-aggregate pushdown must reproduce
+the reference executor's semantics exactly: NULL skipping, COUNT(*)
+vs COUNT(col), empty inputs, group order, AVG recomposition.
+"""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.engine import LLMStorageEngine
+from repro.errors import ConfigError
+from repro.eval.worlds import all_worlds
+from repro.llm.accounting import UsageSnapshot
+from repro.llm.noise import NoiseConfig
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.world import World
+from repro.plan.physical import ShardedScanStep
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+NOISELESS = NoiseConfig(
+    knowledge_gap_rate=0.0,
+    sampling_error_rate=0.0,
+    row_omission_rate=0.0,
+    hallucinated_row_rate=0.0,
+    format_noise_rate=0.0,
+)
+
+SEED = 5
+
+
+def tagged(rows):
+    """Type-tagged rows: 3 and 3.0 must not compare equal."""
+    return [tuple((type(v).__name__, v) for v in row) for row in rows]
+
+
+def build_engine(world, config, row_estimates=None):
+    model = SimulatedLLM(world, noise=NOISELESS, seed=SEED)
+    engine = LLMStorageEngine(model, config=config)
+    for schema in world.schemas():
+        estimate = (
+            row_estimates.get(schema.name)
+            if row_estimates is not None
+            else world.row_count(schema.name)
+        )
+        engine.register_virtual_table(schema, row_estimate=estimate)
+    return engine
+
+
+def run_queries(world, config, queries, row_estimates=None):
+    engine = build_engine(world, config, row_estimates)
+    results = []
+    for sql in queries:
+        result = engine.execute(sql)
+        results.append(
+            (tagged(result.rows), tuple(result.table.schema.column_names))
+        )
+    return results, engine
+
+
+def sharded_config(shards, **extra):
+    return EngineConfig().with_(
+        scan_shards=shards,
+        shard_min_rows=8,
+        scan_prefetch_pages=0,
+        **extra,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Custom worlds
+# ---------------------------------------------------------------------------
+
+
+def readings_world():
+    """Sensor readings with NULL values and an all-NULL group.
+
+    Values are dyadic fractions (k/4), so float partial sums are exact
+    and AVG recomposition must match the single chain bit for bit.
+    """
+    schema = TableSchema(
+        name="readings",
+        columns=(
+            Column("id", DataType.INTEGER, nullable=False, description="reading id"),
+            Column("sensor", DataType.TEXT, description="sensor name"),
+            Column("value", DataType.REAL, description="measured value"),
+            Column("ticks", DataType.INTEGER, description="integer counter"),
+        ),
+        primary_key=("id",),
+        description="synthetic sensor readings",
+    )
+    rows = []
+    for i in range(1, 49):
+        value = None if i % 5 == 0 else 100.25 + (i % 7) * 0.5
+        rows.append((i, f"s{i % 3}", value, i * 3))
+    # An entirely-NULL sensor: MIN/MAX/AVG over it must be NULL.
+    for i in range(1, 5):
+        rows.append((100 + i, "dead", None, 100 + i))
+    return World("readings", [Table(schema, rows)], description="readings")
+
+
+def tiny_world(rows=3):
+    schema = TableSchema(
+        name="tiny",
+        columns=(
+            Column("id", DataType.INTEGER, nullable=False, description="id"),
+            Column("label", DataType.TEXT, description="label"),
+        ),
+        primary_key=("id",),
+        description="a very small table",
+    )
+    return World(
+        "tiny",
+        [Table(schema, [(i, f"row{i}") for i in range(1, rows + 1)])],
+        description="tiny",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Byte-identity
+# ---------------------------------------------------------------------------
+
+MOVIES_QUERIES = [
+    "SELECT title, year FROM movies",
+    "SELECT title FROM movies WHERE year >= 2000",
+    "SELECT COUNT(*) FROM movies",
+    "SELECT director, COUNT(*), MIN(year), MAX(year) FROM movies GROUP BY director",
+    "SELECT director, AVG(year) a FROM movies GROUP BY director ORDER BY a DESC, director LIMIT 5",
+    "SELECT COUNT(*), SUM(year) FROM movies WHERE year < 1990",
+    "SELECT genre, COUNT(*) n FROM movies GROUP BY genre ORDER BY n DESC, genre",
+    "SELECT m.title, d.country FROM movies m JOIN directors d ON m.director = d.name "
+    "WHERE m.year >= 2010",
+    "SELECT title, rating FROM movies ORDER BY rating DESC, title LIMIT 7",
+]
+
+
+@pytest.mark.parametrize("shards", [2, 8])
+@pytest.mark.parametrize("max_in_flight", [1, 8])
+def test_sharded_rows_byte_identical(shards, max_in_flight):
+    world = all_worlds()["movies"]
+    base, _ = run_queries(world, sharded_config(1), MOVIES_QUERIES)
+    got, engine = run_queries(
+        world,
+        sharded_config(shards, max_in_flight=max_in_flight),
+        MOVIES_QUERIES,
+    )
+    assert got == base
+    assert engine.usage.sharded_scans > 0
+    assert engine.usage.shard_chains > engine.usage.sharded_scans
+
+
+def test_sharded_byte_identical_under_materialize():
+    world = all_worlds()["movies"]
+    base, _ = run_queries(world, sharded_config(1), MOVIES_QUERIES)
+    config = sharded_config(8, max_in_flight=8, storage_mode="materialize")
+    engine = build_engine(world, config)
+    for repeat in range(2):  # warm pass must serve identical bytes
+        for sql, expected in zip(MOVIES_QUERIES, base):
+            result = engine.execute(sql)
+            assert (
+                tagged(result.rows),
+                tuple(result.table.schema.column_names),
+            ) == expected, f"repeat {repeat}: {sql}"
+
+
+def test_sharded_scan_writes_union_fragment():
+    """Coverage union: future whole-table scans route to storage."""
+    world = all_worlds()["movies"]
+    engine = build_engine(
+        world, sharded_config(8, max_in_flight=8, storage_mode="materialize")
+    )
+    cold = engine.execute("SELECT title, year FROM movies")
+    assert cold.usage.calls > 0
+    assert cold.usage.shard_chains == 8
+    warm = engine.execute("SELECT year FROM movies")  # subset of the union
+    assert warm.usage.calls == 0
+    assert warm.usage.fragment_hits == 1
+    assert any("fragment[movies]" in note for note in warm.explain_text.splitlines())
+
+
+def test_shard_fragments_serve_identical_rerun_chains():
+    """Per-shard fragments serve a same-shape sharded scan for free."""
+    world = all_worlds()["movies"]
+    engine = build_engine(
+        world, sharded_config(8, max_in_flight=8, storage_mode="materialize")
+    )
+    engine.execute("SELECT title FROM movies WHERE year >= 2000")
+    # Different SQL text, same scan shape (condition + sharding): the
+    # result cache misses but every shard chain hits its fragment.
+    before = engine.usage
+    result = engine.execute("SELECT title t FROM movies WHERE year >= 2000")
+    assert result.usage.calls == 0
+    assert engine.usage.calls == before.calls
+
+
+def test_seeded_shard_fragments_serve_chains_without_calls():
+    """With no union fragment, chains are served shard-by-shard."""
+    from repro.llm.cache import resolve_model_name
+    from repro.storage.fragments import ScanFragment
+    from repro.storage.tier import StorageTier
+
+    world = all_worlds()["movies"]
+    config = sharded_config(4, storage_mode="materialize")
+    donor = build_engine(world, config)
+    cold = donor.execute("SELECT title, year FROM movies")
+
+    receiver = build_engine(world, config)
+    plan = receiver.plan("SELECT title, year FROM movies")
+    (step,) = plan.steps
+    assert isinstance(step, ShardedScanStep)
+    scope = StorageTier.fragment_scope(
+        resolve_model_name(receiver._session.model), config
+    )
+    rows = list(cold.rows)
+    for shard in step.shards:
+        end = (
+            len(rows)
+            if shard.row_target is None
+            else min(len(rows), shard.start + shard.row_target)
+        )
+        receiver.storage.store_shard_fragment(
+            scope,
+            "movies",
+            None,
+            shard.index,
+            len(step.shards),
+            shard.start,
+            ScanFragment(
+                columns=("title", "year"),
+                rows=tuple(tuple(row) for row in rows[shard.start : end]),
+                complete=True,
+                source_calls=2,
+            ),
+        )
+    warm = receiver.execute("SELECT title, year FROM movies")
+    assert warm.usage.calls == 0
+    assert tagged(warm.rows) == tagged(cold.rows)
+    assert warm.usage.fragment_hits == 4  # one hit per chain
+
+
+# ---------------------------------------------------------------------------
+# Merge semantics
+# ---------------------------------------------------------------------------
+
+
+def test_empty_shards_and_shard_count_above_row_count():
+    """Overestimated stats leave trailing shards empty; rows still match."""
+    world = tiny_world(rows=3)
+    estimates = {"tiny": 64}  # 8 shards of ~8 rows over a 3-row table
+    queries = [
+        "SELECT id, label FROM tiny",
+        "SELECT COUNT(*) FROM tiny",
+        "SELECT MIN(id), MAX(id) FROM tiny",
+    ]
+    base, _ = run_queries(
+        world, sharded_config(1), queries, row_estimates=estimates
+    )
+    config = EngineConfig().with_(
+        scan_shards=8, shard_min_rows=1, scan_prefetch_pages=0
+    )
+    got, engine = run_queries(world, config, queries, row_estimates=estimates)
+    assert got == base
+    assert engine.usage.shard_chains == 24  # every chain ran, most empty
+
+
+def test_min_max_over_nulls_and_all_null_groups():
+    world = readings_world()
+    queries = [
+        "SELECT MIN(value), MAX(value), COUNT(value), COUNT(*) FROM readings",
+        "SELECT sensor, MIN(value), MAX(value), AVG(value) FROM readings "
+        "GROUP BY sensor",
+        "SELECT sensor, COUNT(value), COUNT(*) FROM readings GROUP BY sensor",
+    ]
+    base, _ = run_queries(world, sharded_config(1), queries)
+    got, _ = run_queries(world, sharded_config(6), queries)
+    assert got == base
+    # The all-NULL group aggregates to NULL (but counts its rows).
+    grouped = dict(
+        (row[0][1], row[1:]) for row in base[1][0]
+    )
+    assert grouped["dead"] == (
+        ("NoneType", None), ("NoneType", None), ("NoneType", None)
+    )
+
+
+def test_avg_recomposition_is_exact():
+    """Dyadic values: merged sum+count must equal the single chain."""
+    world = readings_world()
+    queries = [
+        "SELECT AVG(value) FROM readings",
+        "SELECT sensor, AVG(value) FROM readings GROUP BY sensor",
+        "SELECT AVG(ticks) FROM readings",
+    ]
+    base, _ = run_queries(world, sharded_config(1), queries)
+    for shards in (2, 5, 8):
+        got, _ = run_queries(world, sharded_config(shards), queries)
+        assert got == base, f"AVG diverged at {shards} shards"
+
+
+def test_sum_type_preservation_across_merge():
+    """Integer SUMs stay int through the shard merge."""
+    world = readings_world()
+    queries = ["SELECT SUM(ticks) FROM readings", "SELECT SUM(value) FROM readings"]
+    got, _ = run_queries(world, sharded_config(4), queries)
+    (int_sum,), _ = got[0][0][0], got[0][1]
+    assert int_sum[0] == "int"
+    (real_sum,) = got[1][0][0]
+    assert real_sum[0] == "float"
+
+
+def test_aggregate_over_empty_filter_result():
+    world = readings_world()
+    queries = [
+        "SELECT COUNT(*), SUM(ticks), MIN(value), AVG(value) FROM readings "
+        "WHERE ticks < 0",
+        "SELECT sensor, COUNT(*) FROM readings WHERE ticks < 0 GROUP BY sensor",
+    ]
+    base, _ = run_queries(world, sharded_config(1), queries)
+    got, _ = run_queries(world, sharded_config(6), queries)
+    assert got == base
+    assert got[0][0] == [
+        (("int", 0), ("NoneType", None), ("NoneType", None), ("NoneType", None))
+    ]
+    assert got[1][0] == []  # grouped empty input: no groups
+
+
+def test_ineligible_aggregates_fall_back_but_stay_correct():
+    """HAVING / DISTINCT / expressions skip the pushdown, not sharding."""
+    world = all_worlds()["movies"]
+    queries = [
+        "SELECT director, COUNT(*) n FROM movies GROUP BY director "
+        "HAVING COUNT(*) >= 10 ORDER BY n DESC, director",
+        "SELECT COUNT(DISTINCT director) FROM movies",
+        "SELECT COUNT(*) + 1 FROM movies",
+        "SELECT genre, year FROM movies GROUP BY genre, year ORDER BY genre, year LIMIT 10",
+    ]
+    base, _ = run_queries(world, sharded_config(1), queries)
+    got, engine = run_queries(world, sharded_config(8, max_in_flight=4), queries)
+    assert got == base
+    plan_text = engine.explain(queries[0])
+    assert "LLMShardedScan" in plan_text
+    assert "partial-agg" not in plan_text
+
+
+# ---------------------------------------------------------------------------
+# Planning
+# ---------------------------------------------------------------------------
+
+
+def test_explain_shows_shards_and_partial_aggregates():
+    world = all_worlds()["movies"]
+    engine = build_engine(world, sharded_config(8))
+    text = engine.explain(
+        "SELECT director, COUNT(*), AVG(year) FROM movies GROUP BY director"
+    )
+    assert "LLMShardedScan movies" in text
+    assert "shards=8" in text
+    assert "partial-agg[COUNT(*), AVG(movies.year) by (director)]" in text
+    assert "note: sharded-scan[movies]: 8 shard(s)" in text
+
+
+def test_small_tables_and_limit_pushdown_stay_unsharded():
+    world = all_worlds()["movies"]
+    engine = build_engine(world, sharded_config(8))
+    # directors has ~30 rows; shard_min_rows=8 caps it below 8 shards
+    # but a LIMIT-pushdown scan must keep its single early-terminating
+    # chain regardless.
+    text = engine.explain(
+        "SELECT title FROM movies ORDER BY rating DESC LIMIT 3"
+    )
+    assert "LLMShardedScan" not in text
+    assert "limit" in text.lower()
+
+    tiny = tiny_world(rows=3)
+    engine_tiny = build_engine(tiny, sharded_config(8))
+    assert "LLMShardedScan" not in engine_tiny.explain("SELECT id FROM tiny")
+
+
+def test_shard_plan_shapes():
+    world = all_worlds()["movies"]
+    engine = build_engine(world, sharded_config(8))
+    plan = engine.plan("SELECT title, year FROM movies")
+    (step,) = plan.steps
+    assert isinstance(step, ShardedScanStep)
+    assert len(step.shards) == 8
+    assert step.shards[0].start == 0
+    assert step.shards[-1].row_target is None  # open-ended tail
+    targets = [shard.row_target for shard in step.shards[:-1]]
+    assert all(target == targets[0] for target in targets)
+    starts = [shard.start for shard in step.shards]
+    assert starts == sorted(starts)
+    # The sharded estimate pays per-shard page rounding, never less
+    # calls than the single chain.
+    assert step.estimate.calls >= step.scan.estimate.calls
+
+
+# ---------------------------------------------------------------------------
+# Config, accounting, CLI
+# ---------------------------------------------------------------------------
+
+
+def test_shard_config_validation():
+    with pytest.raises(ConfigError):
+        EngineConfig(scan_shards=0)
+    with pytest.raises(ConfigError):
+        EngineConfig(shard_min_rows=0)
+    with pytest.raises(ConfigError):
+        EngineConfig().with_(scan_shards=-3)
+
+
+def test_usage_snapshot_shard_counters():
+    a = UsageSnapshot(sharded_scans=2, shard_chains=16)
+    b = UsageSnapshot(sharded_scans=1, shard_chains=8)
+    assert a.minus(b).shard_chains == 8
+    assert a.plus(b).sharded_scans == 3
+    assert "2 sharded scan(s) (16 chain(s))" in a.render()
+    assert "sharded" not in UsageSnapshot().render()
+
+
+def test_cli_scan_shards_flag(capsys):
+    from repro.cli import main
+
+    code = main(
+        [
+            "--world",
+            "movies",
+            "--scan-shards",
+            "4",
+            "--shard-min-rows",
+            "8",
+            "-c",
+            "SELECT COUNT(*) FROM movies",
+        ]
+    )
+    assert code == 0
+    assert capsys.readouterr().out.strip()
+
+    code = main(["--world", "movies", "--scan-shards", "0", "-c", "SELECT 1"])
+    assert code == 2
+
+
+def test_cli_rejects_bad_shard_min_rows():
+    from repro.cli import main
+
+    assert main(
+        ["--world", "movies", "--shard-min-rows", "0", "-c", "SELECT 1"]
+    ) == 2
