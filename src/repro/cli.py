@@ -44,6 +44,7 @@ def build_engine(
     storage_ttl_s: Optional[float] = None,
     scan_shards: int = 1,
     shard_min_rows: Optional[int] = None,
+    streaming: bool = True,
 ) -> LLMStorageEngine:
     """Assemble an engine over one of the standard worlds."""
     worlds = all_worlds()
@@ -69,6 +70,8 @@ def build_engine(
         config = config.with_(scan_shards=scan_shards)
     if shard_min_rows is not None:
         config = config.with_(shard_min_rows=shard_min_rows)
+    if not streaming:
+        config = config.with_(enable_streaming=False)
     engine = LLMStorageEngine(model, config=config)
     for schema in world.schemas():
         engine.register_virtual_table(
@@ -176,6 +179,13 @@ def main(argv=None) -> int:
         "so small tables stay unsharded)",
     )
     parser.add_argument(
+        "--no-streaming",
+        action="store_true",
+        help="disable the streaming row pipeline (early-exit page "
+        "fetching for LIMIT/EXISTS consumers); results are identical, "
+        "only pages fetched change — see '.usage' pages counters",
+    )
+    parser.add_argument(
         "--naive", action="store_true", help="disable all optimizations"
     )
     parser.add_argument("-c", "--command", default=None, help="run one query and exit")
@@ -195,6 +205,7 @@ def main(argv=None) -> int:
             storage_ttl_s=args.storage_ttl_s,
             scan_shards=args.scan_shards,
             shard_min_rows=args.shard_min_rows,
+            streaming=not args.no_streaming,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -34,6 +34,18 @@ class EngineConfig:
             scanned and joined locally).
         enable_order_pushdown: allow ORDER BY ... LIMIT plans to request
             model-side ordering and stop enumerating early.
+        enable_streaming: consume eligible scans/lookups as early-exit
+            row streams.  Single-step LIMIT plans whose filter must run
+            locally (so ``limit_hint`` would be unsound) and EXISTS
+            subqueries install a row quota; the executor pulls pages
+            until exact local compute over the fetched prefix already
+            yields the quota, then closes the stream.  Results are
+            byte-identical to materialized execution (the streamed
+            pages are a prefix of the pages the materialized path would
+            fetch); only the page/call count drops.  A stream cut short
+            writes back a partial-coverage (prefix) fragment when the
+            storage tier is materializing, so early exit never poisons
+            the cache and a later wider scan resumes from the prefix.
         enable_cache: reuse completions for repeated identical prompts.
         enable_judge: evaluate non-pushed single-table predicates with
             batched judgement calls instead of retrieving the predicate
@@ -98,6 +110,7 @@ class EngineConfig:
     enable_pushdown: bool = True
     enable_lookup_join: bool = True
     enable_order_pushdown: bool = True
+    enable_streaming: bool = True
     enable_cache: bool = True
     enable_judge: bool = False
     enable_validation: bool = True
@@ -153,6 +166,7 @@ class EngineConfig:
             enable_pushdown=False,
             enable_lookup_join=False,
             enable_order_pushdown=False,
+            enable_streaming=False,
             enable_cache=False,
             enable_judge=False,
             votes=1,

@@ -22,6 +22,14 @@ on orchestration threads whose model traffic shares the bounded
 dispatcher pool.  Wave results are applied to the binding map in
 original step order, so materialization, statement rewriting, and
 therefore query results are byte-identical to sequential execution.
+
+Single-step plans carrying a ``stop_after_rows`` quota skip the
+materialize-everything path entirely: the step is consumed as a
+:class:`~repro.core.streams.RowStream` and closed as soon as exact
+local compute over the fetched prefix yields the quota of output rows
+(LIMIT over a residual local filter, EXISTS probes).  Because eligible
+statements are prefix-stable, the streamed result is byte-identical to
+the materialized one — fewer pages are fetched, nothing else changes.
 """
 
 from __future__ import annotations
@@ -29,7 +37,8 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.operators import ModelClient, normalize_key
+from repro.core.operators import ModelClient, build_local_table, normalize_key
+from repro.core.streams import RowQuota, take_until
 from repro.errors import ExecutionError, PlanError
 from repro.plan.physical import (
     DerivedStep,
@@ -133,6 +142,10 @@ class PlanExecutor:
                 replacements[id(subplan.node)] = self._resolve_subquery(subplan)
             statement = _rewrite_statement_exprs(statement, replacements)
 
+        streamed = self._streamed_result(plan, statement)
+        if streamed is not None:
+            return streamed
+
         catalog = Catalog()
         temp_names: Dict[str, str] = {}
         local_tables: Dict[str, Table] = {}
@@ -168,6 +181,94 @@ class PlanExecutor:
             catalog.register_table(_rename_table(table, temp_name))
 
         rewritten = _rewrite_from_clause(statement, temp_names)
+        return ReferenceExecutor(catalog).execute(rewritten)
+
+    # ------------------------------------------------------------------
+    # Streaming early exit
+    # ------------------------------------------------------------------
+
+    def _streamed_result(
+        self, plan: RetrievalPlan, statement: ast.Query
+    ) -> Optional[Table]:
+        """Consume a quota-annotated single-step plan as a row stream.
+
+        The optimizer marks eligible steps with ``stop_after_rows``
+        (LIMIT whose filter must run locally, EXISTS probes).  Pages
+        are pulled until exact local compute over the fetched prefix
+        already yields the quota of output rows; the final statement
+        then runs over that prefix exactly as the materialized path
+        would run it over the full fetch.  Eligible statements are
+        prefix-stable (no aggregation/grouping/ordering), so the
+        result is byte-identical — only pages fetched changes.
+        """
+        if len(plan.steps) != 1:
+            return None
+        step = plan.steps[0]
+        quota_rows = getattr(step, "stop_after_rows", None)
+        if quota_rows is None:
+            return None
+        if isinstance(step, ScanStep):
+            columns = tuple(step.columns)
+            stream = self._client.open_scan_stream(
+                step, self._virtual_for(step.table_name)
+            )
+        elif isinstance(step, LookupStep) and step.literal_keys is not None:
+            columns = tuple(step.key_columns) + tuple(step.attributes)
+            stream = self._client.open_lookup_stream(
+                step,
+                self._keys_from_source(step, {}),
+                self._virtual_for(step.table_name),
+            )
+        else:
+            return None
+
+        binding = step.binding.lower()
+        probe_statement = _rewrite_from_clause(
+            ast.Query(
+                select=statement.select,
+                from_clause=statement.from_clause,
+                where=statement.where,
+                group_by=[],
+                having=None,
+                order_by=[],
+                limit=None,
+                offset=None,
+                distinct=statement.distinct,
+            ),
+            {binding: "__stream_probe"},
+        )
+
+        def probe_count(rows: List[List]) -> int:
+            table = build_local_table(binding, step.schema, columns, rows)
+            catalog = Catalog()
+            catalog.register_table(_rename_table(table, "__stream_probe"))
+            return len(ReferenceExecutor(catalog).execute(probe_statement))
+
+        if statement.distinct:
+            # DISTINCT dedupes on raw output rows the probe cannot see
+            # page-by-page (per-page type inference could miscount), so
+            # it re-probes the whole prefix — exact, monotone, and
+            # bounded by the quota's early exit in the common case.
+            output_count = probe_count
+        else:
+            # Prefix-stability makes the count a per-row sum: evaluate
+            # only each *new* page instead of the whole prefix, keeping
+            # local probe work linear in rows fetched.
+            state = {"count": 0, "consumed": 0}
+
+            def output_count(rows: List[List]) -> int:
+                new_rows = rows[state["consumed"] :]
+                state["consumed"] = len(rows)
+                if new_rows:
+                    state["count"] += probe_count(new_rows)
+                return state["count"]
+
+        rows = take_until(stream, RowQuota(quota_rows, output_count))
+        table = build_local_table(binding, step.schema, columns, rows)
+        catalog = Catalog()
+        temp_name = self._fresh_name(binding)
+        catalog.register_table(_rename_table(table, temp_name))
+        rewritten = _rewrite_from_clause(statement, {binding: temp_name})
         return ReferenceExecutor(catalog).execute(rewritten)
 
     # ------------------------------------------------------------------

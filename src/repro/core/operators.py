@@ -11,6 +11,16 @@ traffic, routed through the concurrent scheduler in
 * :meth:`run_judge` — batched predicate judgements with voting, fanned
   out the same way.
 
+Retrieval is produced through the streaming row pipeline
+(:mod:`repro.core.streams`): :meth:`open_scan_stream`,
+:meth:`open_sharded_scan_stream`, and :meth:`open_lookup_stream` yield
+validated rows page by page, and the ``run_*`` operators are simply
+consumers that drain the stream.  A consumer that closes a stream
+early stops the page fetch loop; the scan stream then writes the
+fetched prefix back as a *partial-coverage* fragment (and a later
+same-shape stream resumes at its cursor), so early exit saves calls
+without ever poisoning the storage tier.
+
 All calls flow through one wrapped model (cache, then meter), so cost
 accounting and caching behave identically across operators — and
 identically across concurrency levels: ``max_in_flight`` changes the
@@ -28,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import EngineConfig
 from repro.core import consistency, partial_agg
+from repro.core.streams import RowStream, materialized_stream
 from repro.core.validation import Validator
 from repro.core.virtual import VirtualTable
 from repro.errors import ExecutionError, LLMProtocolError
@@ -198,22 +209,91 @@ class ModelClient:
     def run_scan(self, step: ScanStep, virtual: VirtualTable) -> Table:
         """Materialize a scan step as a local table.
 
-        With the storage tier active, a matching materialized fragment
-        serves the scan without model traffic (missing columns trigger
-        a residual lookup of just those columns); a freshly fetched
-        scan is written back as a fragment for later reuse.
+        Implemented as a full drain of :meth:`open_scan_stream`: the
+        streaming pipeline is the single scan code path, and
+        materialization is just the consumer that never exits early.
         """
-        if self._storage is not None:
-            served = self._scan_from_storage(step, virtual)
-            if served is not None:
-                return served
-        dtypes = [step.schema.column(name).dtype for name in step.columns]
-        rows: List[List[Value]] = []
-        pages_fetched = 0
-        est_pages = max(1, -(-int(step.est_rows) // self._config.page_size))
-        max_pages = est_pages * self._config.scan_guard_factor + 4
-        target = step.limit_hint
+        stream = self.open_scan_stream(step, virtual)
+        return build_local_table(
+            step.binding, step.schema, step.columns, stream.drain()
+        )
+
+    def open_scan_stream(self, step: ScanStep, virtual: VirtualTable) -> RowStream:
+        """A page-by-page stream of the scan's validated rows.
+
+        With the storage tier active, a covering fragment serves the
+        whole stream locally (missing columns trigger the residual
+        lookup of just those columns); an *incomplete* same-shape
+        fragment — typically written back by an earlier early-exited
+        stream — serves its prefix for free and the stream resumes
+        fetching at the fragment's cursor.  Closing the stream before
+        exhaustion writes the fetched prefix back as a
+        partial-coverage fragment, so early exit never poisons the
+        cache: the rows are real, merely marked incomplete.
+        """
         page_size = self._config.page_size
+        prefix: List[List[Value]] = []
+        prefix_calls = 0
+        if self._storage is not None:
+            served = self._scan_from_storage(step, virtual, count_miss=False)
+            if served is not None:
+                return materialized_stream(step.columns, served.rows, page_size)
+            prefix, prefix_calls = self._resumable_prefix(step)
+        return RowStream(
+            step.columns, self._scan_pages(step, virtual, prefix, prefix_calls)
+        )
+
+    def _resumable_prefix(
+        self, step: ScanStep
+    ) -> Tuple[List[List[Value]], int]:
+        """The prefix rows of an incomplete same-shape fragment.
+
+        Called after the full-coverage probe missed; settles this
+        scan's fragment hit/miss counters (exactly one is recorded).
+        Only fragments with *exactly* the scan's column set resume:
+        the resumed stream's writeback replaces the stored prefix, so
+        resuming a narrower scan from a wider fragment would silently
+        drop the extra columns the session already paid for.
+        """
+        storage = self._storage
+        assert storage is not None
+        fragment = storage.scan_fragment(
+            self._storage_scope, step.table_name, step.pushdown_sql, step.order
+        )
+        step_columns = {name.lower() for name in step.columns}
+        if (
+            fragment is not None
+            and not fragment.complete
+            and len(fragment.rows) > 0
+            and {name.lower() for name in fragment.columns} == step_columns
+        ):
+            storage.record_fragment_hits(1, calls_saved=fragment.source_calls)
+            return fragment.project(step.columns), fragment.source_calls
+        storage.record_fragment_misses(1)
+        return [], 0
+
+    def _scan_pages(
+        self,
+        step: ScanStep,
+        virtual: VirtualTable,
+        prefix: List[List[Value]],
+        prefix_calls: int,
+    ):
+        """Generator behind a scan stream: resume, fetch, write back.
+
+        Yields validated row pages.  Cleanup runs exactly once whether
+        the consumer drains or closes early (``GeneratorExit``): the
+        prefetcher is discarded, skipped pages are accounted on early
+        exit, and — unless the chain failed (truncation/guard) — the
+        fetched rows are written back as a fragment whose ``complete``
+        flag reflects whether the enumeration actually ended.
+        """
+        page_size = self._config.page_size
+        target = step.limit_hint
+        dtypes = [step.schema.column(name).dtype for name in step.columns]
+        est_pages = max(1, -(-int(step.est_rows) // page_size))
+        max_pages = est_pages * self._config.scan_guard_factor + 4
+        prefix_pages = -(-len(prefix) // page_size) if prefix else 0
 
         def prompt_for(after_index: int) -> str:
             return build_enumerate_prompt(
@@ -237,80 +317,117 @@ class ModelClient:
             )
         prefetcher = ScanPrefetcher(self._dispatcher) if prefetch_window else None
 
+        parsed_total = len(prefix)  # enumeration cursor (rows received)
+        emitted = 0
+        collected: List[List[Value]] = []  # emitted rows, for writeback
+        pages_fetched = 0
         ended_naturally = False
         storable = True
-        while True:
-            after_index = len(rows)
-            prompt = prompt_for(after_index)
-            if prefetcher is not None:
-                # Guess the next pages parse cleanly and start them now,
-                # overlapping the page we are about to read.
-                guesses = [
-                    prompt_for(after_index + offset * page_size)
-                    for offset in range(1, prefetch_window + 1)
-                    if pages_fetched + offset < max_pages
-                    and (target is None or after_index + offset * page_size < target)
+        finished = False
+        interrupted = False
+        try:
+            for start in range(0, len(prefix), page_size):
+                chunk = [list(row) for row in prefix[start : start + page_size]]
+                if target is not None and emitted + len(chunk) > target:
+                    chunk = chunk[: target - emitted]
+                collected.extend(chunk)
+                emitted += len(chunk)
+                yield chunk
+                if target is not None and emitted >= target:
+                    finished = True
+                    return
+            while True:
+                after_index = parsed_total
+                prompt = prompt_for(after_index)
+                if prefetcher is not None:
+                    # Guess the next pages parse cleanly and start them
+                    # now, overlapping the page we are about to read.
+                    guesses = [
+                        prompt_for(after_index + offset * page_size)
+                        for offset in range(1, prefetch_window + 1)
+                        if pages_fetched + offset < max_pages
+                        and (
+                            target is None
+                            or after_index + offset * page_size < target
+                        )
+                    ]
+                    prefetcher.prime(guesses)
+                page = self._fetch_page(prompt, parse_page, prefetcher)
+                pages_fetched += 1
+                self._meter.record_pages(fetched=1)
+                if page.malformed_lines:
+                    self._warn(
+                        f"scan {step.table_name}: {page.malformed_lines} "
+                        f"malformed line(s) skipped"
+                    )
+                got_rows = len(page.rows) > 0
+                parsed_total += len(page.rows)
+                if page.complete and not page.has_more:
+                    ended_naturally = True
+                to_validate = page.rows
+                if target is not None and emitted + len(to_validate) > target:
+                    to_validate = to_validate[: target - emitted]
+                validated = [
+                    self._validator.validate_row(row, virtual, step.columns)
+                    for row in to_validate
                 ]
-                prefetcher.prime(guesses)
-            page = self._fetch_page(prompt, parse_page, prefetcher)
-            if page.malformed_lines:
-                self._warn(
-                    f"scan {step.table_name}: {page.malformed_lines} malformed "
-                    f"line(s) skipped"
+                collected.extend(validated)
+                emitted += len(validated)
+                if validated:
+                    yield validated
+                if target is not None and parsed_total >= target:
+                    break
+                if ended_naturally:
+                    break
+                if not page.complete and not got_rows:
+                    # Truncated before any row: the page size does not fit
+                    # the output budget; give up rather than loop.
+                    self._warn(
+                        f"scan {step.table_name}: page truncated before any row"
+                    )
+                    storable = False
+                    break
+                if pages_fetched >= max_pages:
+                    self._warn(
+                        f"scan {step.table_name}: aborted after "
+                        f"{pages_fetched} pages (guard limit)"
+                    )
+                    storable = False
+                    break
+            finished = True
+        except GeneratorExit:
+            interrupted = True
+        finally:
+            if prefetcher is not None:
+                prefetcher.discard()
+            if interrupted:
+                self._meter.record_pages(
+                    skipped=max(0, est_pages - prefix_pages - pages_fetched)
                 )
-            got_rows = len(page.rows) > 0
-            rows.extend(page.rows)
-            pages_fetched += 1
-            if page.complete and not page.has_more:
-                ended_naturally = True
-            if target is not None and len(rows) >= target:
-                break
-            if ended_naturally:
-                break
-            if not page.complete and not got_rows:
-                # Truncated before any row: the page size does not fit the
-                # output budget; give up rather than loop.
-                self._warn(
-                    f"scan {step.table_name}: page truncated before any row"
+            if (
+                (finished or interrupted)
+                and self._storage is not None
+                and storable
+                and pages_fetched > 0
+            ):
+                complete = ended_naturally and (
+                    target is None or parsed_total <= target
                 )
-                storable = False
-                break
-            if pages_fetched >= max_pages:
-                self._warn(
-                    f"scan {step.table_name}: aborted after {pages_fetched} pages "
-                    f"(guard limit)"
+                self._storage.store_scan_fragment(
+                    self._storage_scope,
+                    step.table_name,
+                    step.pushdown_sql,
+                    step.order,
+                    ScanFragment(
+                        columns=tuple(step.columns),
+                        rows=tuple(tuple(row) for row in collected),
+                        complete=complete,
+                        source_calls=prefix_calls + pages_fetched,
+                    ),
                 )
-                storable = False
-                break
-
-        if prefetcher is not None:
-            prefetcher.discard()
-        fetched_count = len(rows)
-        if target is not None:
-            rows = rows[:target]
-        validated = [
-            self._validator.validate_row(row, virtual, step.columns) for row in rows
-        ]
-        if self._storage is not None and storable:
-            complete = ended_naturally and (
-                target is None or fetched_count <= target
-            )
-            self._storage.store_scan_fragment(
-                self._storage_scope,
-                step.table_name,
-                step.pushdown_sql,
-                step.order,
-                ScanFragment(
-                    columns=tuple(step.columns),
-                    rows=tuple(tuple(row) for row in validated),
-                    complete=complete,
-                    source_calls=pages_fetched,
-                ),
-            )
-        return build_local_table(step.binding, step.schema, step.columns, validated)
 
     def _scan_from_storage(
-        self, step: ScanStep, virtual: VirtualTable
+        self, step: ScanStep, virtual: VirtualTable, count_miss: bool = True
     ) -> Optional[Table]:
         """Serve a scan from a materialized fragment, or None on miss.
 
@@ -318,7 +435,9 @@ class ModelClient:
         only columns are missing and the fragment carries the primary
         key, a *residual* lookup fetches just the missing columns for
         the fragment's keys — rows the session already paid for are
-        never re-enumerated.
+        never re-enumerated.  ``count_miss=False`` defers the miss
+        counter to the caller (the stream path still probes for a
+        resumable prefix before conceding the miss).
         """
         storage = self._storage
         assert storage is not None
@@ -338,7 +457,8 @@ class ModelClient:
             elif fragment.complete or len(fragment.rows) >= target:
                 usable = min(target, len(fragment.rows))
         if fragment is None or usable is None:
-            storage.record_fragment_misses(1)
+            if count_miss:
+                storage.record_fragment_misses(1)
             return None
 
         missing = fragment.missing_columns(step.columns)
@@ -350,12 +470,14 @@ class ModelClient:
 
         primary_key = virtual.schema.primary_key
         if not primary_key or not fragment.covers_columns(primary_key):
-            storage.record_fragment_misses(1)
+            if count_miss:
+                storage.record_fragment_misses(1)
             return None
         base_rows = fragment.rows[:usable]
         key_rows = fragment.project(primary_key, limit=usable)
         if any(value is None for key in key_rows for value in key):
-            storage.record_fragment_misses(1)
+            if count_miss:
+                storage.record_fragment_misses(1)
             return None
 
         # Residual fetch: only the missing columns, only these keys.
@@ -503,73 +625,14 @@ class ModelClient:
                 return self._aggregate_table(step, [partial])
 
         self._meter.record_sharded_scan(len(step.shards))
-        shard_count = len(step.shards)
-        thunks = [
-            (lambda shard=shard: self._run_shard_chain(
-                scan, shard, shard_count, virtual
-            ))
-            for shard in step.shards
-        ]
-        if self._config.max_in_flight > 1 and len(thunks) > 1:
-            # Chains beyond the pool width cannot actually overlap;
-            # batching keeps the wall-clock accounting honest.
-            outcomes: List[_ShardOutcome] = []
-            width = self._config.max_in_flight
-            for begin in range(0, len(thunks), width):
-                outcomes.extend(
-                    run_parallel(self._ledger, thunks[begin : begin + width])
-                )
-        else:
-            outcomes = [thunk() for thunk in thunks]
-
-        for outcome in outcomes:
-            # Re-emit in shard order so warnings never depend on thread
-            # timing.
-            self.emit_warnings(outcome.warnings)
-
-        rows = [row for outcome in outcomes for row in outcome.rows]
-        if self._storage is not None:
-            if all(o.storable for o in outcomes):
-                # Coverage union: the concatenation is the complete
-                # enumeration, stored under the whole-scan key the
-                # planner consults — future whole-table scans route to
-                # it.  The per-shard fragments would only duplicate
-                # these rows in the byte-budgeted store (the union is
-                # always consulted first), so they are not written.
-                self._storage.store_scan_fragment(
-                    self._storage_scope,
-                    scan.table_name,
-                    scan.pushdown_sql,
-                    None,
-                    ScanFragment(
-                        columns=tuple(scan.columns),
-                        rows=tuple(tuple(row) for row in rows),
-                        complete=True,
-                        source_calls=sum(o.cost for o in outcomes),
-                    ),
-                )
-            else:
-                # No union: preserve the shards that did finish, so a
-                # same-shape re-run only re-pays the failed chains.
-                for shard, outcome in zip(step.shards, outcomes):
-                    if not outcome.storable or outcome.pages == 0:
-                        continue
-                    self._storage.store_shard_fragment(
-                        self._storage_scope,
-                        scan.table_name,
-                        scan.pushdown_sql,
-                        shard.index,
-                        len(step.shards),
-                        shard.start,
-                        ScanFragment(
-                            columns=tuple(scan.columns),
-                            rows=tuple(tuple(row) for row in outcome.rows),
-                            complete=True,
-                            source_calls=outcome.pages,
-                        ),
-                    )
+        outcomes: List[_ShardOutcome] = []
+        stream = self.open_sharded_scan_stream(step, virtual, outcomes)
         if step.aggregate is None:
-            return build_local_table(scan.binding, scan.schema, scan.columns, rows)
+            return build_local_table(
+                scan.binding, scan.schema, scan.columns, stream.drain()
+            )
+        for _ in stream:
+            pass  # drive the chains; partials reduce from the outcomes
         partials = []
         for outcome in outcomes:
             shard_table = build_local_table(
@@ -581,6 +644,125 @@ class ModelClient:
                 )
             )
         return self._aggregate_table(step, partials)
+
+    def open_sharded_scan_stream(
+        self,
+        step: ShardedScanStep,
+        virtual: VirtualTable,
+        outcomes_sink: Optional[List["_ShardOutcome"]] = None,
+    ) -> RowStream:
+        """A stream yielding each shard chain's rows as one page.
+
+        Chains are fetched in ``max_in_flight``-sized groups (the same
+        grouping the materialized path used, so accounting is
+        unchanged) and yielded in stable shard order.  Closing the
+        stream early skips the not-yet-started groups; completed
+        chains persist as per-shard fragments — exactly the
+        partial-failure machinery — so a cut-short sharded stream
+        never loses paid-for pages.  ``outcomes_sink`` receives the
+        per-shard outcomes as they complete (partial aggregation needs
+        the shard boundaries).
+        """
+        return RowStream(
+            step.scan.columns,
+            self._sharded_pages(step, virtual, outcomes_sink),
+        )
+
+    def _sharded_pages(
+        self,
+        step: ShardedScanStep,
+        virtual: VirtualTable,
+        outcomes_sink: Optional[List["_ShardOutcome"]],
+    ):
+        scan = step.scan
+        shard_count = len(step.shards)
+        thunks = [
+            (lambda shard=shard: self._run_shard_chain(
+                scan, shard, shard_count, virtual
+            ))
+            for shard in step.shards
+        ]
+        completed: List[_ShardOutcome] = (
+            outcomes_sink if outcomes_sink is not None else []
+        )
+        finished = False
+        interrupted = False
+        try:
+            # Chains beyond the pool width cannot actually overlap;
+            # batching keeps the wall-clock accounting honest.
+            width = max(1, self._config.max_in_flight)
+            for begin in range(0, len(thunks), width):
+                group = run_parallel(self._ledger, thunks[begin : begin + width])
+                # The whole group already ran (and was paid for) before
+                # the first yield can hand control away: record every
+                # outcome and its warnings now, so a close() mid-group
+                # still persists and accounts the finished chains.
+                for outcome in group:
+                    # Re-emit in shard order so warnings never depend on
+                    # thread timing.
+                    self.emit_warnings(outcome.warnings)
+                    completed.append(outcome)
+                for outcome in group:
+                    if outcome.rows:
+                        # Fresh per-chain row lists: safe to hand out.
+                        yield outcome.rows
+            finished = True
+        except GeneratorExit:
+            interrupted = True
+        finally:
+            if interrupted:
+                est_pages = max(
+                    1, -(-int(scan.est_rows) // self._config.page_size)
+                )
+                fetched = sum(o.pages for o in completed)
+                self._meter.record_pages(
+                    skipped=max(0, est_pages - fetched)
+                )
+            if (finished or interrupted) and self._storage is not None:
+                if len(completed) == len(step.shards) and all(
+                    o.storable for o in completed
+                ):
+                    # Coverage union: the concatenation is the complete
+                    # enumeration, stored under the whole-scan key the
+                    # planner consults — future whole-table scans route
+                    # to it.  The per-shard fragments would only
+                    # duplicate these rows in the byte-budgeted store
+                    # (the union is always consulted first), so they
+                    # are not written.
+                    union = [row for o in completed for row in o.rows]
+                    self._storage.store_scan_fragment(
+                        self._storage_scope,
+                        scan.table_name,
+                        scan.pushdown_sql,
+                        None,
+                        ScanFragment(
+                            columns=tuple(scan.columns),
+                            rows=tuple(tuple(row) for row in union),
+                            complete=True,
+                            source_calls=sum(o.cost for o in completed),
+                        ),
+                    )
+                else:
+                    # No union: preserve the shards that did finish, so
+                    # a same-shape re-run only re-pays the missing
+                    # chains (failed, or never started on early exit).
+                    for shard, outcome in zip(step.shards, completed):
+                        if not outcome.storable or outcome.pages == 0:
+                            continue
+                        self._storage.store_shard_fragment(
+                            self._storage_scope,
+                            scan.table_name,
+                            scan.pushdown_sql,
+                            shard.index,
+                            len(step.shards),
+                            shard.start,
+                            ScanFragment(
+                                columns=tuple(scan.columns),
+                                rows=tuple(tuple(row) for row in outcome.rows),
+                                complete=True,
+                                source_calls=outcome.pages,
+                            ),
+                        )
 
     def _run_shard_chain(
         self,
@@ -670,6 +852,7 @@ class ModelClient:
             got_rows = len(page.rows) > 0
             parsed.extend(page.rows)
             pages += 1
+            self._meter.record_pages(fetched=1)
             if page.complete and not page.has_more:
                 break  # enumeration exhausted within this shard's range
             if target is not None and len(parsed) >= target:
@@ -756,113 +939,241 @@ class ModelClient:
         """
         attr_dtypes = [step.schema.column(name).dtype for name in step.attributes]
         columns = tuple(step.key_columns) + tuple(step.attributes)
-        out_rows: List[List[Value]] = []
         batch_size = max(1, self._config.lookup_batch_size)
         votes = max(1, self._config.votes)
-        storage = self._storage
 
-        served: Dict[int, Optional[List[Value]]] = {}
-        fetch_indices = list(range(len(keys)))
-        if storage is not None:
-            fetch_indices = []
-            for index, key in enumerate(keys):
-                outcome = storage.lookup_cells(
-                    self._storage_scope,
-                    step.table_name,
-                    normalize_key(tuple(key)),
-                    step.attributes,
-                )
-                if outcome is None:
-                    fetch_indices.append(index)
-                else:
-                    found, values = outcome
-                    served[index] = list(values) if found else None
-            if served:
-                total_batches = -(-len(keys) // batch_size) if keys else 0
-                paid_batches = (
-                    -(-len(fetch_indices) // batch_size) if fetch_indices else 0
-                )
-                storage.record_fragment_hits(
-                    len(served),
-                    calls_saved=(total_batches - paid_batches) * votes,
-                )
-            if fetch_indices:
-                storage.record_fragment_misses(len(fetch_indices))
+        served, fetch_indices = self._lookup_serving(step, keys)
         fetch_keys = [keys[index] for index in fetch_indices]
-
         batches: List[List[Tuple[Value, ...]]] = [
             list(fetch_keys[start : start + batch_size])
             for start in range(0, len(fetch_keys), batch_size)
         ]
 
-        def make_parse(batch_len: int):
-            def parse_answer(completion: Completion):
-                if parsing.looks_like_refusal(completion.text):
-                    raise LLMProtocolError("refused lookup")
-                return parsing.parse_lookup_completion(
-                    completion.text, batch_len, attr_dtypes
-                )
-
-            return parse_answer
-
         # Every batch and every vote sample is independent: dispatch the
         # whole step as one wave so they overlap up to max_in_flight.
         requests: List[CompletionRequest] = []
         for batch in batches:
-            prompt = build_lookup_prompt(
-                LookupRequest(
-                    schema=step.schema,
-                    key_columns=tuple(step.key_columns),
-                    attributes=tuple(step.attributes),
-                    entities=tuple(batch),
-                )
+            requests.extend(
+                self._lookup_requests(step, batch, attr_dtypes, votes)
             )
-            parse_answer = make_parse(len(batch))
-            for vote in range(votes):
-                requests.append(
-                    CompletionRequest(
-                        prompt=prompt, sample_index=vote, parse=parse_answer
-                    )
-                )
+        if requests:
+            self._meter.record_pages(fetched=len(requests))
         answers = self._dispatcher.run_wave(requests)
 
-        fetched_answers: List[Optional[List[Value]]] = []
+        answer_by_index: Dict[int, Optional[List[Value]]] = {}
         for batch_number, batch in enumerate(batches):
             sampled = answers[batch_number * votes : (batch_number + 1) * votes]
             merged = consistency.vote_rows(sampled) if votes > 1 else sampled[0]
-            fetched_answers.extend(merged)
-        answer_by_index = dict(zip(fetch_indices, fetched_answers))
+            for offset, (key, answer) in enumerate(zip(batch, merged)):
+                index = fetch_indices[batch_number * batch_size + offset]
+                answer_by_index[index] = self._settle_lookup_answer(
+                    step, key, answer, virtual
+                )
 
+        out_rows: List[List[Value]] = []
         for index, key in enumerate(keys):
-            if index in served:
-                values = served[index]
-                if values is None:
-                    continue  # recorded as unknown to the model
-                out_rows.append(list(key) + values)
-                continue
-            answer = answer_by_index[index]
-            if answer is None:
-                if storage is not None:
-                    storage.store_lookup_negative(
-                        self._storage_scope,
-                        step.table_name,
-                        normalize_key(tuple(key)),
-                        step.attributes,
-                    )
-                continue  # model does not know this entity
-            validated = self._validator.validate_row(
-                answer, virtual, step.attributes
+            values = served[index] if index in served else answer_by_index[index]
+            if values is None:
+                continue  # unknown to the model (or recorded as such)
+            out_rows.append(list(key) + values)
+        return build_local_table(step.binding, step.schema, columns, out_rows)
+
+    def _lookup_serving(
+        self, step: LookupStep, keys: Sequence[Tuple[Value, ...]]
+    ) -> Tuple[Dict[int, Optional[List[Value]]], List[int]]:
+        """Split keys into storage-served answers and indices to fetch.
+
+        The served map holds cell-store answers by key index (``None``
+        marks negative knowledge: the entity is recorded as unknown).
+        Hit/miss counters and the calls-saved estimate are settled
+        here, identically for the wave and streaming consumers.
+        """
+        served: Dict[int, Optional[List[Value]]] = {}
+        fetch_indices = list(range(len(keys)))
+        storage = self._storage
+        if storage is None:
+            return served, fetch_indices
+        batch_size = max(1, self._config.lookup_batch_size)
+        votes = max(1, self._config.votes)
+        fetch_indices = []
+        for index, key in enumerate(keys):
+            outcome = storage.lookup_cells(
+                self._storage_scope,
+                step.table_name,
+                normalize_key(tuple(key)),
+                step.attributes,
             )
-            if storage is not None:
-                storage.store_lookup_row(
+            if outcome is None:
+                fetch_indices.append(index)
+            else:
+                found, values = outcome
+                served[index] = list(values) if found else None
+        if served:
+            total_batches = -(-len(keys) // batch_size) if keys else 0
+            paid_batches = (
+                -(-len(fetch_indices) // batch_size) if fetch_indices else 0
+            )
+            storage.record_fragment_hits(
+                len(served),
+                calls_saved=(total_batches - paid_batches) * votes,
+            )
+        if fetch_indices:
+            storage.record_fragment_misses(len(fetch_indices))
+        return served, fetch_indices
+
+    def _lookup_requests(
+        self,
+        step: LookupStep,
+        batch: List[Tuple[Value, ...]],
+        attr_dtypes: List[DataType],
+        votes: int,
+    ) -> List[CompletionRequest]:
+        """One key batch as ``votes`` independent completion requests."""
+        prompt = build_lookup_prompt(
+            LookupRequest(
+                schema=step.schema,
+                key_columns=tuple(step.key_columns),
+                attributes=tuple(step.attributes),
+                entities=tuple(batch),
+            )
+        )
+        batch_len = len(batch)
+
+        def parse_answer(completion: Completion):
+            if parsing.looks_like_refusal(completion.text):
+                raise LLMProtocolError("refused lookup")
+            return parsing.parse_lookup_completion(
+                completion.text, batch_len, attr_dtypes
+            )
+
+        return [
+            CompletionRequest(prompt=prompt, sample_index=vote, parse=parse_answer)
+            for vote in range(votes)
+        ]
+
+    def _settle_lookup_answer(
+        self,
+        step: LookupStep,
+        key: Tuple[Value, ...],
+        answer: Optional[List[Value]],
+        virtual: VirtualTable,
+    ) -> Optional[List[Value]]:
+        """Validate one fetched answer and write it back to storage.
+
+        ``None`` means the model does not know the entity; the negative
+        is recorded so repeated probes stay free.
+        """
+        if answer is None:
+            if self._storage is not None:
+                self._storage.store_lookup_negative(
                     self._storage_scope,
                     step.table_name,
                     normalize_key(tuple(key)),
                     step.attributes,
-                    validated,
                 )
-            out_rows.append(list(key) + validated)
-        return build_local_table(step.binding, step.schema, columns, out_rows)
+            return None
+        validated = self._validator.validate_row(answer, virtual, step.attributes)
+        if self._storage is not None:
+            self._storage.store_lookup_row(
+                self._storage_scope,
+                step.table_name,
+                normalize_key(tuple(key)),
+                step.attributes,
+                validated,
+            )
+        return validated
+
+    def open_lookup_stream(
+        self,
+        step: LookupStep,
+        keys: Sequence[Tuple[Value, ...]],
+        virtual: VirtualTable,
+    ) -> RowStream:
+        """A page-by-page stream of the lookup's output rows.
+
+        Where :meth:`run_lookup` fans every key batch out as one
+        concurrent wave, the stream dispatches batches *one at a time*
+        in key order and yields output rows as soon as they are
+        determined — so an early-exiting consumer (EXISTS, LIMIT over
+        point keys) skips the remaining batches entirely.  Batch
+        boundaries, prompts, voting, and storage writes are identical
+        to the materialized path; a drained stream returns exactly
+        :meth:`run_lookup`'s rows.  Early exit needs no cleanup: cell
+        writes happen per answered batch, so the store only ever holds
+        fully-paid-for knowledge.
+        """
+        columns = tuple(step.key_columns) + tuple(step.attributes)
+        return RowStream(columns, self._lookup_pages(step, list(keys), virtual))
+
+    def _lookup_pages(
+        self,
+        step: LookupStep,
+        keys: List[Tuple[Value, ...]],
+        virtual: VirtualTable,
+    ):
+        attr_dtypes = [step.schema.column(name).dtype for name in step.attributes]
+        batch_size = max(1, self._config.lookup_batch_size)
+        votes = max(1, self._config.votes)
+
+        served, fetch_indices = self._lookup_serving(step, keys)
+        fetch_keys = [keys[index] for index in fetch_indices]
+        batches: List[List[Tuple[Value, ...]]] = [
+            list(fetch_keys[start : start + batch_size])
+            for start in range(0, len(fetch_keys), batch_size)
+        ]
+
+        answer_by_index: Dict[int, Optional[List[Value]]] = {}
+        emitted = 0
+
+        def rows_until(bound: int) -> List[List[Value]]:
+            """Output rows for keys below ``bound`` (all determined)."""
+            nonlocal emitted
+            out: List[List[Value]] = []
+            for index in range(emitted, bound):
+                values = (
+                    served[index] if index in served else answer_by_index[index]
+                )
+                if values is not None:
+                    out.append(list(keys[index]) + values)
+            emitted = bound
+            return out
+
+        dispatched = 0
+        try:
+            for batch_number, batch in enumerate(batches):
+                first_fetch = fetch_indices[batch_number * batch_size]
+                if first_fetch > emitted:
+                    yield rows_until(first_fetch)  # leading served-only run
+                self._meter.record_pages(fetched=votes)
+                sampled = self._dispatcher.run_wave(
+                    self._lookup_requests(step, batch, attr_dtypes, votes)
+                )
+                dispatched += 1
+                merged = (
+                    consistency.vote_rows(sampled) if votes > 1 else sampled[0]
+                )
+                for offset, (key, answer) in enumerate(zip(batch, merged)):
+                    index = fetch_indices[batch_number * batch_size + offset]
+                    answer_by_index[index] = self._settle_lookup_answer(
+                        step, key, answer, virtual
+                    )
+                next_start = (batch_number + 1) * batch_size
+                bound = (
+                    fetch_indices[next_start]
+                    if next_start < len(fetch_indices)
+                    else len(keys)
+                )
+                if bound > emitted:
+                    yield rows_until(bound)
+            if emitted < len(keys):
+                yield rows_until(len(keys))  # served-only tail (or no batches)
+        except GeneratorExit:
+            # Early exit: the undispatched batches are the saving —
+            # surface it in the same pages counters scans use (one
+            # lookup batch = one page of lookup output).
+            self._meter.record_pages(
+                skipped=(len(batches) - dispatched) * votes
+            )
 
     # ------------------------------------------------------------------
     # Judge

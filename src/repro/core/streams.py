@@ -1,0 +1,152 @@
+"""Streaming row pipeline: pull-based pages with early termination.
+
+The paper's dominant cost driver is how many tuples the model is asked
+to produce.  A materialize-everything executor pays for every page of
+an enumeration even when the consumer needs five rows; the streaming
+pipeline lets retrieval operators produce rows *page by page* and lets
+consumers stop the producer as soon as they have enough.
+
+Three pieces compose:
+
+* :class:`RowStream` — a pull iterator of row pages over one retrieval
+  step.  Closing it early propagates into the producing generator
+  (``GeneratorExit``), which is where operators write back
+  partial-coverage fragments and account skipped pages, so early exit
+  never loses paid-for work and never poisons the storage tier.
+* :func:`materialized_stream` — adapts an already-local row set (a
+  fragment serve, a hybrid local table) to the same page interface.
+* :class:`RowQuota` — the consumer side: "stop once the local statement
+  can already produce N output rows from the prefix".  The probe runs
+  exact local compute, so satisfaction is decided on *output* rows
+  (post-filter, post-dedup), not raw fetched rows.
+
+Early exit is sound because eligible plans are prefix-stable: with no
+aggregation, grouping, or local ordering, every input row maps to at
+most one output row independently of later rows, and a deterministic
+enumeration makes the streamed pages an exact prefix of the pages the
+materialized path would fetch.  The first N output rows of the prefix
+are therefore the first N output rows of the full scan — results stay
+byte-identical; only the page count changes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.relational.types import Value
+
+#: One page of validated rows.
+Page = List[List[Value]]
+
+
+class RowStream:
+    """A pull-based stream of row pages from one retrieval step.
+
+    Wraps a page iterator (usually a generator owned by an operator).
+    Iteration yields non-empty pages; :meth:`close` stops the producer
+    early — a generator producer observes ``GeneratorExit`` and runs
+    its cleanup (fragment writeback, skipped-page accounting) exactly
+    once, whether the stream was drained or cut short.
+    """
+
+    def __init__(self, columns: Sequence[str], pages: Iterable[Page]):
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self._pages: Iterator[Page] = iter(pages)
+        self._finished = False
+        self.pages_yielded = 0
+        self.rows_yielded = 0
+
+    def next_page(self) -> Optional[Page]:
+        """The next non-empty page, or None once the producer is done."""
+        if self._finished:
+            return None
+        for page in self._pages:
+            if not page:
+                continue
+            self.pages_yielded += 1
+            self.rows_yielded += len(page)
+            return page
+        self._finished = True
+        return None
+
+    def __iter__(self) -> Iterator[Page]:
+        while True:
+            page = self.next_page()
+            if page is None:
+                return
+            yield page
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the producer signalled it has no further pages."""
+        return self._finished
+
+    def close(self) -> None:
+        """Stop the producer; safe to call after exhaustion (no-op)."""
+        closer = getattr(self._pages, "close", None)
+        if closer is not None:
+            closer()
+        self._finished = True
+
+    def drain(self) -> List[List[Value]]:
+        """Every remaining row (the materialized consumption mode)."""
+        rows: List[List[Value]] = []
+        for page in self:
+            rows.extend(page)
+        return rows
+
+
+def materialized_stream(
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Value]],
+    page_size: int,
+) -> RowStream:
+    """A stream over rows that are already local (zero model traffic)."""
+    size = max(1, page_size)
+
+    def pages() -> Iterator[Page]:
+        for start in range(0, len(rows), size):
+            yield [list(row) for row in rows[start : start + size]]
+
+    return RowStream(columns, pages())
+
+
+class RowQuota:
+    """An early-exit condition installed by a streaming consumer.
+
+    ``needed`` is the number of *output* rows after which the producer
+    may stop; ``probe`` maps the rows fetched so far to the number of
+    output rows the local statement would produce from them.  The probe
+    is monotone for eligible (prefix-stable) statements, so the first
+    prefix that satisfies the quota already determines the final
+    answer.
+    """
+
+    def __init__(self, needed: int, probe: Callable[[List[List[Value]]], int]):
+        if needed < 1:
+            raise ValueError(f"row quota must be >= 1; got {needed}")
+        self.needed = needed
+        self._probe = probe
+
+    def satisfied(self, rows: List[List[Value]]) -> bool:
+        return self._probe(rows) >= self.needed
+
+
+def take_until(stream: RowStream, quota: Optional[RowQuota]) -> List[List[Value]]:
+    """Consume ``stream`` until ``quota`` is satisfied (or it ends).
+
+    Always leaves the stream closed, so producer cleanup (partial
+    fragment writeback, page accounting) runs exactly once.  With no
+    quota this is a plain drain.
+    """
+    if quota is None:
+        return stream.drain()
+    rows: List[List[Value]] = []
+    try:
+        for page in stream:
+            rows.extend(page)
+            if quota.satisfied(rows):
+                break
+    finally:
+        stream.close()
+    return rows

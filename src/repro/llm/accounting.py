@@ -62,6 +62,14 @@ class UsageSnapshot:
     chains, and ``shard_chains`` the total chains fanned out (a scan
     split 8 ways adds 1 and 8 respectively).  Sharding changes
     wall-clock and call layout only, never rows.
+
+    The page counters describe the streaming row pipeline in retrieval
+    pages — enumeration pages for scans, batch calls for lookups:
+    ``pages_fetched`` counts pages actually pulled from the model (on
+    any path, streamed or materialized), and ``pages_skipped`` the
+    (estimated) pages an early-exiting stream avoided versus
+    materializing everything — the direct observable of the early-exit
+    saving.
     """
 
     calls: int = 0
@@ -75,6 +83,8 @@ class UsageSnapshot:
     calls_saved: int = 0
     sharded_scans: int = 0
     shard_chains: int = 0
+    pages_fetched: int = 0
+    pages_skipped: int = 0
 
     @property
     def total_tokens(self) -> int:
@@ -101,6 +111,8 @@ class UsageSnapshot:
             calls_saved=self.calls_saved - earlier.calls_saved,
             sharded_scans=self.sharded_scans - earlier.sharded_scans,
             shard_chains=self.shard_chains - earlier.shard_chains,
+            pages_fetched=self.pages_fetched - earlier.pages_fetched,
+            pages_skipped=self.pages_skipped - earlier.pages_skipped,
         )
 
     def plus(self, other: "UsageSnapshot") -> "UsageSnapshot":
@@ -116,6 +128,8 @@ class UsageSnapshot:
             calls_saved=self.calls_saved + other.calls_saved,
             sharded_scans=self.sharded_scans + other.sharded_scans,
             shard_chains=self.shard_chains + other.shard_chains,
+            pages_fetched=self.pages_fetched + other.pages_fetched,
+            pages_skipped=self.pages_skipped + other.pages_skipped,
         )
 
     def render(self) -> str:
@@ -138,6 +152,11 @@ class UsageSnapshot:
             text += (
                 f", {self.sharded_scans} sharded scan(s) "
                 f"({self.shard_chains} chain(s))"
+            )
+        if self.pages_fetched or self.pages_skipped:
+            text += (
+                f", pages: {self.pages_fetched} fetched"
+                f" / {self.pages_skipped} skipped"
             )
         return text
 
@@ -164,6 +183,8 @@ class UsageMeter:
         self._wall_ms = 0.0
         self._sharded_scans = 0
         self._shard_chains = 0
+        self._pages_fetched = 0
+        self._pages_skipped = 0
 
     def check_budget(self) -> None:
         """Raise if the next call would exceed the budget."""
@@ -225,6 +246,14 @@ class UsageMeter:
             self._sharded_scans += 1
             self._shard_chains += chains
 
+    def record_pages(self, fetched: int = 0, skipped: int = 0) -> None:
+        """Account enumeration pages pulled / avoided by a row stream."""
+        if fetched <= 0 and skipped <= 0:
+            return
+        with self._lock:
+            self._pages_fetched += max(0, fetched)
+            self._pages_skipped += max(0, skipped)
+
     def add_wall_ms(self, ms: float) -> None:
         """Advance the critical-path clock (committed by the runtime)."""
         if ms <= 0:
@@ -257,6 +286,8 @@ class UsageMeter:
                 wall_ms=self._wall_ms,
                 sharded_scans=self._sharded_scans,
                 shard_chains=self._shard_chains,
+                pages_fetched=self._pages_fetched,
+                pages_skipped=self._pages_skipped,
             )
 
     def reset(self) -> None:
@@ -268,6 +299,8 @@ class UsageMeter:
             self._wall_ms = 0.0
             self._sharded_scans = 0
             self._shard_chains = 0
+            self._pages_fetched = 0
+            self._pages_skipped = 0
 
 
 class MeteredModel:

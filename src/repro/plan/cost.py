@@ -186,6 +186,33 @@ class CostModel:
             calls=pages, prompt_tokens=prompt, completion_tokens=completion
         )
 
+    def streamed_scan_cost(
+        self,
+        table_name: str,
+        est_rows: float,
+        column_count: int,
+        needed_rows: int,
+        residual_selectivity: float = 1.0,
+    ) -> CostEstimate:
+        """Cost of a streamed scan that stops after ``needed_rows`` outputs.
+
+        The consumer needs ``needed_rows`` rows *after* a residual local
+        filter of the given selectivity, so the stream is expected to
+        pull ``needed / selectivity`` input rows before the quota trips
+        — never more than the full enumeration (``est_rows``), which is
+        the materialized ceiling the early exit is priced against.
+        """
+        selectivity = min(1.0, max(residual_selectivity, 0.001))
+        rows_in = min(max(1.0, est_rows), max(1.0, needed_rows) / selectivity)
+        pages = max(1.0, -(-rows_in // self._config.page_size))
+        full_pages = max(1.0, -(-max(1.0, est_rows) // self._config.page_size))
+        pages = min(pages, full_pages)
+        prompt = pages * PROMPT_OVERHEAD_TOKENS
+        completion = rows_in * column_count * TOKENS_PER_CELL + pages * 2
+        return CostEstimate(
+            calls=pages, prompt_tokens=prompt, completion_tokens=completion
+        )
+
     def lookup_cost(self, key_count: float, attribute_count: int) -> CostEstimate:
         """Cost of batched lookups for ``key_count`` entities."""
         batch = max(1, self._config.lookup_batch_size)

@@ -52,6 +52,8 @@ def _render(plan: PlanNode, lines: List[str], indent: int) -> None:
                 detail += f" order[{column} {'DESC' if descending else 'ASC'}]"
             if step.limit_hint is not None:
                 detail += f" limit[{step.limit_hint}]"
+            if step.stop_after_rows is not None:
+                detail += f" stream[early-exit rows<={step.stop_after_rows}]"
             lines.append(
                 f"{_pad(indent + 1)}LLMScan {step.table_name} AS {step.binding} "
                 f"{detail} est_rows={step.est_rows:.0f} [{step.estimate.render()}]"
@@ -83,10 +85,13 @@ def _render(plan: PlanNode, lines: List[str], indent: int) -> None:
                 source = (
                     f"{step.source_binding}({', '.join(step.source_columns)})"
                 )
+            detail = ""
+            if step.stop_after_rows is not None:
+                detail = f" stream[early-exit rows<={step.stop_after_rows}]"
             lines.append(
                 f"{_pad(indent + 1)}LLMLookup {step.table_name} AS {step.binding} "
                 f"keys=({', '.join(step.key_columns)}) <- {source} "
-                f"attrs=({', '.join(step.attributes)}) "
+                f"attrs=({', '.join(step.attributes)}){detail} "
                 f"est_keys={step.est_keys:.0f} [{step.estimate.render()}]"
             )
         elif isinstance(step, JudgeStep):

@@ -118,7 +118,9 @@ class Optimizer:
     # Single queries
     # ------------------------------------------------------------------
 
-    def _plan_query(self, statement: ast.Query) -> RetrievalPlan:
+    def _plan_query(
+        self, statement: ast.Query, stream_quota: Optional[int] = None
+    ) -> RetrievalPlan:
         bound = self._binder.bind(statement)
         assert isinstance(bound.query, ast.Query)
         statement = bound.query
@@ -185,6 +187,10 @@ class Optimizer:
 
         self._add_judge_steps(plan, structure, judged, needed)
         self._maybe_push_limit(plan, structure, statement, where_conjuncts, pushed)
+        # Streaming before sharding: a quota-annotated scan stays a
+        # single chain (early exit fetches a few pages; a shard fan-out
+        # would eagerly fetch every chain in the first group).
+        self._maybe_stream_early_exit(plan, statement, stream_quota)
         self._maybe_shard_scans(plan)
         return plan
 
@@ -201,7 +207,16 @@ class Optimizer:
                     "correlated subqueries are not supported by the decomposed "
                     "engine (the materialized baseline supports them)"
                 )
-            subplans.append(SubplanBinding(node=node, plan=self._plan_query(query)))
+            # EXISTS (negated or not) needs exactly one witness row:
+            # plan the nested query with a streaming quota of 1, so an
+            # eligible nested scan/lookup stops at the first hit
+            # instead of materializing the whole table.
+            quota = 1 if isinstance(node, ast.Exists) else None
+            subplans.append(
+                SubplanBinding(
+                    node=node, plan=self._plan_query(query, stream_quota=quota)
+                )
+            )
         return subplans
 
     # ------------------------------------------------------------------
@@ -587,6 +602,90 @@ class Optimizer:
             )
 
     # ------------------------------------------------------------------
+    # Streaming early exit (limit pushdown into the row stream)
+    # ------------------------------------------------------------------
+
+    def _maybe_stream_early_exit(
+        self,
+        plan: RetrievalPlan,
+        statement: ast.Query,
+        quota: Optional[int] = None,
+    ) -> None:
+        """Install a ``stop_after_rows`` quota on eligible plans.
+
+        Covers the LIMIT shapes :meth:`_maybe_push_limit` must decline:
+        when any WHERE conjunct runs locally, a model-side limit hint
+        would be unsound — but the *executor* can still stop early by
+        streaming pages and counting post-filter output rows.  An
+        explicit ``quota`` (EXISTS probes pass 1) overrides the
+        statement's LIMIT.
+
+        Eligibility is prefix-stability: a single retrieval step and no
+        aggregation, grouping, HAVING, or local ORDER BY — every input
+        row then maps to at most one output row independently of later
+        rows, so the first N output rows of the streamed prefix are the
+        first N output rows of the full fetch (DISTINCT keeps first
+        occurrences and stays prefix-stable).
+        """
+        if not self._config.enable_streaming:
+            return
+        if quota is None:
+            if statement.limit is None:
+                return
+            quota = statement.limit
+        elif statement.limit is not None:
+            # An EXISTS probe over a LIMIT-ed subquery cannot need more
+            # witnesses than the limit admits (LIMIT 0 kills streaming).
+            quota = min(quota, statement.limit)
+        # OFFSET rows are fetched and then discarded locally, so the
+        # stream must produce them before the quota's own rows.
+        quota += statement.offset or 0
+        if quota < 1:
+            return  # LIMIT 0: the empty result needs no pages at all
+        if len(plan.steps) != 1:
+            return
+        if statement.group_by or statement.having is not None or statement.order_by:
+            return
+        if any(ast.contains_aggregate(item.expr) for item in statement.select):
+            return
+        step = plan.steps[0]
+        if isinstance(step, ScanStep):
+            if step.fragment_covered or step.limit_hint is not None:
+                # Storage serves it for free / the model-side limit
+                # already terminates the chain early.
+                return
+            step.stop_after_rows = quota
+            pushed_here = {id(c) for c in step.pushed_conjuncts}
+            residual = rules.conjoin(
+                [
+                    c
+                    for c in rules.split_conjuncts(statement.where)
+                    if id(c) not in pushed_here
+                ]
+            )
+            step.estimate = self._cost.streamed_scan_cost(
+                step.table_name,
+                step.est_rows,
+                len(step.columns),
+                quota,
+                self._cost.selectivity(residual, step.schema),
+            )
+        elif isinstance(step, LookupStep) and step.literal_keys:
+            batch = max(1, self._config.lookup_batch_size)
+            if len(step.literal_keys) <= batch:
+                return  # a single batch cannot exit any earlier
+            step.stop_after_rows = quota
+            step.estimate = self._cost.lookup_cost(
+                float(min(len(step.literal_keys), max(1, quota) * batch)),
+                max(1, len(step.attributes)),
+            )
+        else:
+            return
+        plan.notes.append(
+            f"stream[{step.binding}]: early-exit rows<={quota}"
+        )
+
+    # ------------------------------------------------------------------
     # Sharded scans + partial-aggregate pushdown
     # ------------------------------------------------------------------
 
@@ -597,9 +696,12 @@ class Optimizer:
         the executor fans the chains out through the dispatcher and
         concatenates their rows in shard order, so results stay
         byte-identical to the single chain.  Scans already routed to a
-        materialized fragment or narrowed by an order/limit hint keep
-        their single chain (the fragment is free; an early-terminating
-        ordered chain would only fetch ``limit_hint`` rows anyway).
+        materialized fragment, narrowed by an order/limit hint, or
+        carrying a streaming quota keep their single chain (the
+        fragment is free; an early-terminating ordered chain would only
+        fetch ``limit_hint`` rows anyway; a quota'd stream fetches a
+        few pages where a shard fan-out would eagerly fetch every
+        chain in its first group).
         """
         if self._config.scan_shards <= 1:
             return
@@ -610,6 +712,7 @@ class Optimizer:
                 step.fragment_covered
                 or step.limit_hint is not None
                 or step.order is not None
+                or step.stop_after_rows is not None
             ):
                 continue
             shard_count = min(

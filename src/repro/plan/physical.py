@@ -32,6 +32,13 @@ class ScanStep:
         order: optional model-side ``(column, descending)`` ordering.
         limit_hint: stop enumerating after this many rows (requires the
             scan to carry *all* filtering, see optimizer).
+        stop_after_rows: streaming early-exit annotation — a downstream
+            consumer (LIMIT over a residual local filter, EXISTS) needs
+            at most this many *output* rows, so the executor consumes
+            the scan page-by-page and closes the stream once exact
+            local compute over the fetched prefix already yields them.
+            Unlike ``limit_hint`` the quota counts post-filter output
+            rows, so it stays sound when filtering is local.
         est_rows: estimated rows fetched.
         estimate: estimated model cost of the step.
         fragment_covered: the optimizer found a complete materialized
@@ -52,6 +59,7 @@ class ScanStep:
     pushed_conjuncts: List[ast.Expr] = field(default_factory=list)
     order: Optional[Tuple[str, bool]] = None
     limit_hint: Optional[int] = None
+    stop_after_rows: Optional[int] = None
     est_rows: float = 0.0
     estimate: CostEstimate = CostEstimate()
     fragment_covered: bool = False
@@ -173,6 +181,11 @@ class LookupStep:
     in the table already materialized for ``source_binding``
     (lookup-joins).  Each found entity becomes one row of
     ``key_columns + attributes``.
+
+    ``stop_after_rows`` is the streaming early-exit annotation (see
+    :class:`ScanStep`): the executor then dispatches key batches one at
+    a time and stops once the consumer's quota of output rows is met,
+    instead of fanning every batch out up front.
     """
 
     binding: str
@@ -183,6 +196,7 @@ class LookupStep:
     source_binding: str = ""
     source_columns: Tuple[str, ...] = ()
     literal_keys: Optional[List[Tuple]] = None
+    stop_after_rows: Optional[int] = None
     est_keys: float = 0.0
     estimate: CostEstimate = CostEstimate()
 

@@ -84,12 +84,14 @@ class ScanFragment:
     def merged_with(self, other: "ScanFragment") -> Optional["ScanFragment"]:
         """Positional column union with ``other``; None when unsafe.
 
-        Only complete fragments of equal length merge: a deterministic
-        model enumerates the same rows in the same order, so position
-        identifies the entity.
+        Only fragments of equal length merge: both are prefixes (from
+        cursor 0) of the same deterministic enumeration for the same
+        scan shape, so equal length means the same rows in the same
+        order and position identifies the entity.  This covers complete
+        pairs, incomplete (early-exited) prefix pairs, and the mixed
+        case — an incomplete prefix as long as a complete enumeration
+        holds every row, so the union keeps the ``complete`` mark.
         """
-        if not (self.complete and other.complete):
-            return None
         if len(self.rows) != len(other.rows):
             return None
         index = self.column_index()
@@ -98,8 +100,16 @@ class ScanFragment:
             for i, name in enumerate(other.columns)
             if name.lower() not in index
         ]
+        complete = self.complete or other.complete
         if not extra_positions:
-            return self
+            if complete == self.complete:
+                return self
+            return ScanFragment(
+                columns=self.columns,
+                rows=self.rows,
+                complete=complete,
+                source_calls=max(self.source_calls, other.source_calls),
+            )
         rows = tuple(
             tuple(row) + tuple(other_row[i] for _, i in extra_positions)
             for row, other_row in zip(self.rows, other.rows)
@@ -107,7 +117,7 @@ class ScanFragment:
         return ScanFragment(
             columns=self.columns + tuple(name for name, _ in extra_positions),
             rows=rows,
-            complete=True,
+            complete=complete,
             source_calls=max(self.source_calls, other.source_calls),
         )
 

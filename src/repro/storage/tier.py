@@ -59,6 +59,11 @@ _SEMANTIC_CONFIG_FIELDS = (
     "enable_pushdown",
     "enable_lookup_join",
     "enable_order_pushdown",
+    # Streaming fetches a strict prefix of the materialized page chain,
+    # but it changes which fragments (prefix vs whole-scan) a session
+    # writes; keep streaming and non-streaming sessions from serving
+    # each other's coverage expectations.
+    "enable_streaming",
     "enable_cache",
     "enable_judge",
     "enable_validation",
@@ -288,6 +293,10 @@ class StorageTier:
         with self._write_lock:
             existing = self._fragments.peek(key)
             if existing is not None:
+                # Equal-length fragments merge their columns (both are
+                # prefixes of the same deterministic enumeration, so
+                # position identifies the row); the remaining guards
+                # only see fragments of different lengths.
                 merged = fragment.merged_with(existing)
                 if merged is not None:
                     fragment = merged

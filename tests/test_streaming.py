@@ -1,0 +1,556 @@
+"""Streaming row pipeline: byte-identity, early exit, partial coverage.
+
+The acceptance bar mirrors sharding's: streaming must never change a
+result — rows (values **and** Python types) match the materialized
+engine for LIMIT/EXISTS/IN shapes across storage modes and shard
+configurations — while fetching strictly fewer pages on early-exit
+workloads.  A stream cut short must leave the storage tier *better*
+(a reusable prefix fragment), never worse.
+"""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.engine import LLMStorageEngine
+from repro.core.streams import RowQuota, RowStream, materialized_stream, take_until
+from repro.eval.worlds import all_worlds
+from repro.llm.noise import NoiseConfig
+from repro.llm.simulated import SimulatedLLM
+from repro.plan.physical import LookupStep, ScanStep, ShardedScanStep
+
+SEED = 9
+
+#: A filter the optimizer cannot push (CASE is not prompt-safe), so the
+#: LIMIT cannot become a model-side limit hint — the streaming case.
+RESIDUAL = "CASE WHEN {} THEN 1 ELSE 0 END = 1"
+
+LIMIT_QUERIES = [
+    "SELECT title, year FROM movies WHERE "
+    + RESIDUAL.format("year >= 1990")
+    + " LIMIT 5",
+    # Mixed: one pushable conjunct plus a residual one.
+    "SELECT title FROM movies WHERE year >= 1980 AND "
+    + RESIDUAL.format("rating >= 5")
+    + " LIMIT 4",
+    # Scalar-subquery filter: resolved first, then the outer streams.
+    "SELECT title FROM movies WHERE year > (SELECT MIN(born) FROM directors) "
+    "LIMIT 3",
+    "SELECT DISTINCT genre FROM movies WHERE "
+    + RESIDUAL.format("rating >= 5")
+    + " LIMIT 3",
+    "SELECT title FROM movies WHERE "
+    + RESIDUAL.format("year >= 1990")
+    + " LIMIT 4 OFFSET 3",
+    # Rare match: the stream drains to exhaustion without a quota hit.
+    "SELECT title FROM movies WHERE " + RESIDUAL.format("year < 1900") + " LIMIT 5",
+]
+
+SUBQUERY_QUERIES = [
+    "SELECT 1 WHERE EXISTS (SELECT title FROM movies WHERE "
+    + RESIDUAL.format("rating > 8")
+    + ")",
+    "SELECT 1 WHERE NOT EXISTS (SELECT title FROM movies WHERE year < 1800)",
+    "SELECT name FROM directors WHERE name IN (SELECT director FROM movies "
+    "WHERE " + RESIDUAL.format("year >= 2000") + ")",
+]
+
+WORKLOAD = LIMIT_QUERIES + SUBQUERY_QUERIES
+
+
+def build_engine(config, noise=None, world_name="movies"):
+    world = all_worlds()[world_name]
+    model = SimulatedLLM(
+        world, noise=noise if noise is not None else NoiseConfig.perfect(), seed=SEED
+    )
+    engine = LLMStorageEngine(model, config=config)
+    for schema in world.schemas():
+        engine.register_virtual_table(
+            schema, row_estimate=world.row_count(schema.name)
+        )
+    return engine
+
+
+def tagged(rows):
+    """Type-tagged rows: 3 and 3.0 must not compare equal."""
+    return [tuple((type(v).__name__, v) for v in row) for row in rows]
+
+
+def run_workload(config, queries=WORKLOAD, noise=None):
+    engine = build_engine(config, noise=noise)
+    results = []
+    for sql in queries:
+        result = engine.execute(sql)
+        results.append((tagged(result.rows), list(result.column_names)))
+    return results, engine.usage
+
+
+# ---------------------------------------------------------------------------
+# Byte-identity across configurations
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("storage_mode", ["off", "materialize"])
+@pytest.mark.parametrize("scan_shards", [1, 4])
+def test_streaming_byte_identity(storage_mode, scan_shards):
+    base = EngineConfig(
+        storage_mode=storage_mode, scan_shards=scan_shards, shard_min_rows=8
+    )
+    streamed, streamed_usage = run_workload(base.with_(enable_streaming=True))
+    materialized, materialized_usage = run_workload(
+        base.with_(enable_streaming=False)
+    )
+    assert streamed == materialized
+    assert streamed_usage.calls <= materialized_usage.calls
+
+
+def test_streaming_byte_identity_warm_passes():
+    """Second pass over a materializing tier stays identical too."""
+    config = EngineConfig(storage_mode="materialize")
+    cold_reference, _ = run_workload(config.with_(enable_streaming=False))
+
+    engine = build_engine(config.with_(enable_streaming=True))
+    for expected_pass in range(2):
+        for sql, (rows, names) in zip(WORKLOAD, cold_reference):
+            result = engine.execute(sql)
+            assert tagged(result.rows) == rows, f"pass {expected_pass}: {sql}"
+            assert list(result.column_names) == names
+
+
+def test_streaming_byte_identity_under_noise():
+    """The streamed pages are a prefix of the materialized page chain,
+    so identity holds even when the model injects noise."""
+    streamed, _ = run_workload(
+        EngineConfig(enable_streaming=True), noise=NoiseConfig()
+    )
+    materialized, _ = run_workload(
+        EngineConfig(enable_streaming=False), noise=NoiseConfig()
+    )
+    assert streamed == materialized
+
+
+# ---------------------------------------------------------------------------
+# Early exit: fewer calls, observable pages
+# ---------------------------------------------------------------------------
+
+
+def test_limit_early_exit_reduces_calls():
+    sql = LIMIT_QUERIES[0]
+    on = build_engine(EngineConfig(enable_streaming=True))
+    off = build_engine(EngineConfig(enable_streaming=False))
+    on.execute(sql)
+    off.execute(sql)
+    assert on.usage.calls < off.usage.calls
+    assert on.usage.pages_fetched >= 1
+    assert on.usage.pages_skipped >= 1
+    assert off.usage.pages_skipped == 0
+
+
+def test_exists_probe_costs_one_page():
+    engine = build_engine(EngineConfig(enable_streaming=True))
+    result = engine.execute(SUBQUERY_QUERIES[0])
+    assert len(result.rows) == 1
+    assert engine.usage.calls == 1
+
+
+def test_pages_rendered_in_usage():
+    engine = build_engine(EngineConfig(enable_streaming=True))
+    engine.execute(LIMIT_QUERIES[0])
+    text = engine.usage.render()
+    assert "pages:" in text and "skipped" in text
+
+
+def test_lookup_stream_early_exit():
+    """EXISTS over more point keys than one batch stops after batch 1."""
+    world = all_worlds()["movies"]
+    names = [
+        row[world.table("directors").schema.column_index("name")]
+        for row in world.table("directors").rows[:20]
+    ]
+    in_list = ", ".join(f"'{name}'" for name in names)
+    sql = (
+        "SELECT 1 WHERE EXISTS (SELECT born FROM directors "
+        f"WHERE name IN ({in_list}))"
+    )
+    on = build_engine(EngineConfig(enable_streaming=True))
+    off = build_engine(EngineConfig(enable_streaming=False))
+    result_on = on.execute(sql)
+    result_off = off.execute(sql)
+    assert tagged(result_on.rows) == tagged(result_off.rows)
+    assert on.usage.calls == 1
+    assert off.usage.calls == 2  # 20 keys = 2 batches of 16
+
+
+# ---------------------------------------------------------------------------
+# Plan shapes and pricing
+# ---------------------------------------------------------------------------
+
+
+def test_residual_limit_gets_stream_annotation():
+    engine = build_engine(EngineConfig())
+    plan = engine.plan(LIMIT_QUERIES[0])
+    (step,) = plan.steps
+    assert isinstance(step, ScanStep)
+    assert step.stop_after_rows == 5
+    assert step.limit_hint is None
+    assert any("stream[movies]: early-exit rows<=5" in note for note in plan.notes)
+    assert "stream[early-exit rows<=5]" in engine.explain(LIMIT_QUERIES[0])
+
+
+def test_offset_joins_the_quota():
+    engine = build_engine(EngineConfig())
+    plan = engine.plan(LIMIT_QUERIES[4])
+    assert plan.steps[0].stop_after_rows == 7  # LIMIT 4 OFFSET 3
+
+
+def test_pushable_limit_keeps_model_side_hint():
+    engine = build_engine(EngineConfig())
+    plan = engine.plan("SELECT title FROM movies WHERE year >= 1990 LIMIT 5")
+    (step,) = plan.steps
+    assert step.limit_hint == 5
+    assert step.stop_after_rows is None
+
+
+def test_exists_subplan_gets_quota_of_one():
+    engine = build_engine(EngineConfig())
+    plan = engine.plan(SUBQUERY_QUERIES[0])
+    (subplan,) = plan.subplans
+    assert subplan.plan.steps[0].stop_after_rows == 1
+
+
+def test_exists_with_nested_offset_needs_offset_plus_one_witnesses():
+    """Regression: OFFSET rows are discarded locally, so an EXISTS
+    probe must stream past them before its witness counts."""
+    sql = (
+        "SELECT 1 WHERE EXISTS (SELECT title FROM movies WHERE "
+        + RESIDUAL.format("year = 1968")
+        + " OFFSET 1)"
+    )
+    on = build_engine(EngineConfig(enable_streaming=True))
+    off = build_engine(EngineConfig(enable_streaming=False))
+    assert tagged(on.execute(sql).rows) == tagged(off.execute(sql).rows)
+    plan = on.plan(sql)
+    assert plan.subplans[0].plan.steps[0].stop_after_rows == 2
+
+
+def test_exists_with_nested_limit_zero_is_not_streamed():
+    sql = (
+        "SELECT 1 WHERE EXISTS (SELECT title FROM movies WHERE "
+        + RESIDUAL.format("year >= 1990")
+        + " LIMIT 0)"
+    )
+    on = build_engine(EngineConfig(enable_streaming=True))
+    off = build_engine(EngineConfig(enable_streaming=False))
+    assert on.plan(sql).subplans[0].plan.steps[0].stop_after_rows is None
+    assert tagged(on.execute(sql).rows) == tagged(off.execute(sql).rows)
+
+
+def test_streaming_disabled_leaves_plan_alone():
+    engine = build_engine(EngineConfig(enable_streaming=False))
+    plan = engine.plan(LIMIT_QUERIES[0])
+    assert plan.steps[0].stop_after_rows is None
+    assert not any("stream[" in note for note in plan.notes)
+
+
+def test_naive_config_disables_streaming():
+    assert EngineConfig.naive().enable_streaming is False
+
+
+def test_pipeline_breakers_stay_materialized():
+    engine = build_engine(EngineConfig())
+    breakers = [
+        # local ORDER BY (not pushable alongside a residual filter)
+        "SELECT title FROM movies WHERE "
+        + RESIDUAL.format("year >= 1990")
+        + " ORDER BY year, title LIMIT 5",
+        # aggregation
+        "SELECT COUNT(*) FROM movies WHERE "
+        + RESIDUAL.format("year >= 1990")
+        + " LIMIT 5",
+        "SELECT genre FROM movies GROUP BY genre LIMIT 3",
+    ]
+    for sql in breakers:
+        plan = engine.plan(sql)
+        for step in plan.steps:
+            assert getattr(step, "stop_after_rows", None) is None, sql
+
+
+def test_quota_scan_is_not_sharded():
+    engine = build_engine(EngineConfig(scan_shards=4, shard_min_rows=8))
+    plan = engine.plan(LIMIT_QUERIES[0])
+    (step,) = plan.steps
+    assert isinstance(step, ScanStep) and not isinstance(step, ShardedScanStep)
+    assert step.stop_after_rows == 5
+
+
+def test_limit_zero_is_not_streamed():
+    engine = build_engine(EngineConfig())
+    sql = "SELECT title FROM movies WHERE " + RESIDUAL.format("year >= 1990") + " LIMIT 0"
+    plan = engine.plan(sql)
+    assert plan.steps[0].stop_after_rows is None
+    assert engine.execute(sql).rows == []
+
+
+def test_streamed_estimate_cheaper_than_full_scan():
+    engine = build_engine(EngineConfig())
+    streamed = engine.plan(LIMIT_QUERIES[0]).estimate
+    full = engine.plan(
+        "SELECT title, year FROM movies WHERE "
+        + RESIDUAL.format("year >= 1990")
+    ).estimate
+    assert streamed.calls < full.calls
+    assert streamed.total_tokens < full.total_tokens
+
+
+def test_lookup_quota_annotation_requires_multiple_batches():
+    engine = build_engine(EngineConfig())
+    plan = engine.plan(
+        "SELECT 1 WHERE EXISTS (SELECT born FROM directors WHERE name IN "
+        "('A', 'B'))"
+    )
+    (subplan,) = plan.subplans
+    (step,) = subplan.plan.steps
+    assert isinstance(step, LookupStep)
+    assert step.stop_after_rows is None  # 2 keys = 1 batch: nothing to skip
+
+
+# ---------------------------------------------------------------------------
+# Partial-coverage fragments: early exit never poisons the cache
+# ---------------------------------------------------------------------------
+
+
+def test_early_exit_writes_partial_fragment_and_resumes():
+    config = EngineConfig(storage_mode="materialize", enable_streaming=True)
+    engine = build_engine(config)
+    full_sql = "SELECT title FROM movies WHERE " + RESIDUAL.format("year >= 1990")
+
+    engine.execute(full_sql + " LIMIT 5")
+    first = engine.usage
+    assert first.calls < 12  # early exit on a 12-page table
+
+    # The cut-short stream left a *prefix* fragment: the follow-up full
+    # scan resumes at its cursor and pays only the remaining pages.
+    result = engine.execute(full_sql)
+    delta = engine.usage.minus(first)
+    assert delta.calls == 12 - first.calls
+    assert delta.fragment_hits >= 1
+    assert delta.calls_saved >= first.calls
+
+    cold = build_engine(config.with_(storage_mode="off"))
+    cold_result = cold.execute(full_sql)
+    assert tagged(result.rows) == tagged(cold_result.rows)
+    assert cold.usage.calls == 12
+
+
+def test_narrower_scan_does_not_drop_wider_prefix_columns():
+    """Regression: an early-exited narrower scan must not replace a
+    wider same-shape prefix fragment — equal-length prefixes merge
+    their columns instead (same deterministic enumeration)."""
+    config = EngineConfig(storage_mode="materialize", enable_streaming=True)
+    engine = build_engine(config)
+    # Wider early-exit first: fragment covers (title, year).
+    engine.execute(
+        "SELECT title, year FROM movies WHERE "
+        + RESIDUAL.format("year >= 1990")
+        + " LIMIT 5"
+    )
+    # Narrower early-exit over the same scan shape (no pushdown, no
+    # order): must not strand the paid-for year column.
+    engine.execute(
+        "SELECT title FROM movies WHERE "
+        + RESIDUAL.format("title LIKE 'B%'")
+        + " LIMIT 3"
+    )
+    from repro.llm.cache import resolve_model_name
+    from repro.storage.tier import StorageTier
+
+    scope = StorageTier.fragment_scope(
+        resolve_model_name(engine._session.model), config
+    )
+    fragment = engine.storage.scan_fragment(scope, "movies", None, None)
+    assert fragment is not None
+    assert fragment.covers_columns(["title", "year"])
+
+
+def test_sharded_stream_close_mid_group_keeps_whole_group():
+    """Chains of one dispatch group all ran (and were paid) before the
+    first page is yielded; closing at that yield must still persist and
+    account every chain of the group."""
+    from repro.core.operators import ModelClient
+    from repro.core.virtual import VirtualTable
+    from repro.llm.accounting import UsageMeter
+
+    world = all_worlds()["movies"]
+    config = EngineConfig(
+        scan_shards=4, shard_min_rows=8, max_in_flight=4
+    )
+    model = SimulatedLLM(world, noise=NoiseConfig.perfect(), seed=SEED)
+    engine = LLMStorageEngine(model, config=config)
+    for schema in world.schemas():
+        engine.register_virtual_table(
+            schema, row_estimate=world.row_count(schema.name)
+        )
+    plan = engine.plan("SELECT title FROM movies")
+    (step,) = plan.steps
+    assert isinstance(step, ShardedScanStep) and len(step.shards) == 4
+    virtual = VirtualTable.build(step.schema, row_estimate=240)
+
+    meter = UsageMeter()
+    client = ModelClient(model, meter, config)
+    try:
+        outcomes = []
+        stream = client.open_sharded_scan_stream(step, virtual, outcomes)
+        assert stream.next_page()
+        stream.close()
+    finally:
+        client.close()
+    # One group of width 4 ran as a unit: every outcome is recorded.
+    assert len(outcomes) == 4
+    assert meter.snapshot().pages_skipped == 0  # nothing was avoided
+
+
+def test_lookup_stream_early_exit_records_skipped_batches():
+    world = all_worlds()["movies"]
+    names = [
+        row[world.table("directors").schema.column_index("name")]
+        for row in world.table("directors").rows[:20]
+    ]
+    in_list = ", ".join(f"'{name}'" for name in names)
+    engine = build_engine(EngineConfig(enable_streaming=True))
+    engine.execute(
+        "SELECT 1 WHERE EXISTS (SELECT born FROM directors "
+        f"WHERE name IN ({in_list}))"
+    )
+    assert engine.usage.pages_skipped == 1  # second batch never dispatched
+
+
+def test_exhausted_stream_writes_complete_fragment():
+    config = EngineConfig(storage_mode="materialize", enable_streaming=True)
+    engine = build_engine(config)
+    # Rare-match LIMIT: the quota never trips, the stream drains, and
+    # the writeback must be a *complete* fragment.
+    rare_sql = "SELECT title FROM movies WHERE " + RESIDUAL.format("year < 1900") + " LIMIT 5"
+    engine.execute(rare_sql)
+    first_calls = engine.usage.calls
+
+    # Same scan shape, no limit: served entirely from the fragment.
+    engine.execute("SELECT title FROM movies WHERE " + RESIDUAL.format("year < 1900"))
+    assert engine.usage.calls == first_calls
+
+
+def test_sharded_stream_early_exit_keeps_finished_shards():
+    """Closing a sharded stream persists completed chains as per-shard
+    fragments (the partial-failure machinery), so a re-run only pays
+    the chains that never started."""
+    from repro.core.operators import ModelClient
+    from repro.core.virtual import VirtualTable
+    from repro.llm.accounting import UsageMeter
+    from repro.llm.cache import resolve_model_name
+    from repro.storage.tier import StorageTier
+
+    world = all_worlds()["movies"]
+    config = EngineConfig(
+        scan_shards=4, shard_min_rows=8, storage_mode="materialize"
+    )
+    tier = StorageTier.from_config(config)
+    model = SimulatedLLM(world, noise=NoiseConfig.perfect(), seed=SEED)
+    engine = LLMStorageEngine(model, config=config, storage=tier)
+    for schema in world.schemas():
+        engine.register_virtual_table(
+            schema, row_estimate=world.row_count(schema.name)
+        )
+    plan = engine.plan("SELECT title FROM movies")
+    (step,) = plan.steps
+    assert isinstance(step, ShardedScanStep)
+    virtual = VirtualTable.build(step.schema, row_estimate=240)
+    scope = StorageTier.fragment_scope(resolve_model_name(model), config)
+
+    meter = UsageMeter()
+    client = ModelClient(model, meter, config, storage=tier)
+    try:
+        outcomes = []
+        stream = client.open_sharded_scan_stream(step, virtual, outcomes)
+        first_page = stream.next_page()
+        assert first_page
+        stream.close()
+    finally:
+        client.close()
+    assert 1 <= len(outcomes) < len(step.shards)
+    assert meter.snapshot().pages_skipped > 0
+    shard = step.shards[0]
+    fragment = tier.shard_fragment(
+        scope,
+        step.table_name,
+        step.scan.pushdown_sql,
+        shard.index,
+        len(step.shards),
+        shard.start,
+    )
+    assert fragment is not None and fragment.complete
+
+    # A full sharded scan over the same tier reuses the finished shard.
+    meter2 = UsageMeter()
+    client2 = ModelClient(model, meter2, config, storage=tier)
+    try:
+        table = client2.run_sharded_scan(step, virtual)
+    finally:
+        client2.close()
+    assert len(table) == 240
+    assert meter2.snapshot().pages_fetched < 12  # shard 0's pages were free
+
+
+# ---------------------------------------------------------------------------
+# RowStream unit behavior
+# ---------------------------------------------------------------------------
+
+
+def test_materialized_stream_chunks_rows():
+    rows = [[i] for i in range(7)]
+    stream = materialized_stream(("n",), rows, page_size=3)
+    pages = list(stream)
+    assert [len(page) for page in pages] == [3, 3, 1]
+    assert stream.rows_yielded == 7
+    assert stream.pages_yielded == 3
+    assert stream.exhausted
+    assert stream.next_page() is None
+    stream.close()  # idempotent after exhaustion
+
+
+def test_row_stream_close_stops_generator():
+    cleaned = []
+
+    def pages():
+        try:
+            yield [[1]]
+            yield [[2]]
+        except GeneratorExit:
+            cleaned.append("closed")
+
+    stream = RowStream(("n",), pages())
+    assert stream.next_page() == [[1]]
+    stream.close()
+    assert cleaned == ["closed"]
+    assert stream.next_page() is None
+
+
+def test_take_until_stops_at_quota():
+    seen = []
+
+    def pages():
+        for i in range(10):
+            seen.append(i)
+            yield [[i]]
+
+    stream = RowStream(("n",), pages())
+    rows = take_until(stream, RowQuota(3, probe=len))
+    assert rows == [[0], [1], [2]]
+    assert seen == [0, 1, 2]  # later pages never produced
+
+
+def test_take_until_without_quota_drains():
+    stream = materialized_stream(("n",), [[1], [2], [3]], page_size=2)
+    assert take_until(stream, None) == [[1], [2], [3]]
+
+
+def test_row_quota_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        RowQuota(0, probe=len)
