@@ -6,6 +6,13 @@ Usage::
     python -m repro.cli --world movies -c "SELECT COUNT(*) FROM movies"
     python -m repro.cli --world company --naive --seed 3 \
         -c "SELECT name FROM employees ORDER BY salary DESC LIMIT 3"
+    python -m repro.cli --world movies --jobs 8 --batch queries.sql
+    cat queries.sql | python -m repro.cli --world movies --batch -
+
+Batch mode reads ``;``-separated statements from a file (``-`` for
+stdin) and serves them concurrently through ``Engine.execute_many``:
+up to ``--jobs`` statements in flight against one shared session, with
+per-query usage attribution printed after each result.
 
 Inside the REPL:
 
@@ -21,7 +28,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional
+from typing import List, Optional
 
 from repro.config import EngineConfig
 from repro.core.engine import LLMStorageEngine
@@ -108,6 +115,83 @@ def run_statement(engine: LLMStorageEngine, line: str, out) -> None:
     print(result.render(), file=out)
 
 
+def split_statements(text: str) -> List[str]:
+    """Split SQL text on ``;`` and strip ``--`` comments, quote-aware.
+
+    A naive split would corrupt legal statements: ``'x;y'`` / ``'a--b'``
+    are ordinary string literals and ``"a;b"`` is a quoted identifier.
+    This scanner tracks both quote kinds (with doubled-quote escapes),
+    so separators and comment markers only count outside them.  Blank
+    statements are dropped, making trailing semicolons and comment-only
+    sections harmless.
+    """
+    statements: List[str] = []
+    current: List[str] = []
+    quote = None  # the active quote character, if inside one
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if quote is not None:
+            if char == quote and text[index + 1 : index + 2] == quote:
+                current.append(char * 2)
+                index += 2
+                continue
+            if char == quote:
+                quote = None
+            current.append(char)
+        elif char in ("'", '"'):
+            quote = char
+            current.append(char)
+        elif char == "-" and text[index + 1 : index + 2] == "-":
+            while index < len(text) and text[index] != "\n":
+                index += 1
+            continue
+        elif char == ";":
+            statements.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+        index += 1
+    statements.append("".join(current))
+    return [chunk.strip() for chunk in statements if chunk.strip()]
+
+
+def read_batch_statements(source: str, stdin=None) -> List[str]:
+    """Statements from a file (or stdin for ``-``), ``;``-separated."""
+    if source == "-":
+        text = (stdin or sys.stdin).read()
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    return split_statements(text)
+
+
+def run_batch(
+    engine: LLMStorageEngine, statements: List[str], jobs: int, out
+) -> int:
+    """Serve a statement batch concurrently; returns failure count."""
+    if not statements:
+        print("batch: no statements", file=out)
+        return 0
+    outcomes = engine.execute_many(
+        statements, jobs=jobs, collect_outcomes=True
+    )
+    failed = 0
+    for outcome in outcomes:
+        print(f"-- [{outcome.index + 1}] {outcome.statement}", file=out)
+        if outcome.ok:
+            print(outcome.result.render(), file=out)
+        else:
+            failed += 1
+            print(f"error: {outcome.error}", file=out)
+    print(
+        f"-- batch: {len(outcomes) - failed} ok, {failed} failed "
+        f"({jobs} job(s)); session usage: {engine.usage.render()}",
+        file=out,
+    )
+    return failed
+
+
 def repl(engine: LLMStorageEngine, stdin=None, out=None) -> None:
     """Read-eval-print loop; '.quit' or EOF exits."""
     stdin = stdin or sys.stdin
@@ -189,6 +273,22 @@ def main(argv=None) -> int:
         "--naive", action="store_true", help="disable all optimizations"
     )
     parser.add_argument("-c", "--command", default=None, help="run one query and exit")
+    parser.add_argument(
+        "--batch",
+        default=None,
+        metavar="FILE",
+        help="serve ';'-separated statements from FILE ('-' = stdin) "
+        "concurrently and exit; results are byte-identical to running "
+        "them one at a time",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="statements admitted concurrently in --batch mode "
+        "(default: the engine's serve_jobs setting); all jobs share "
+        "one --max-in-flight call budget",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -210,6 +310,21 @@ def main(argv=None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.jobs is not None and args.batch is None:
+        print("error: --jobs requires --batch", file=sys.stderr)
+        return 2
+    if args.jobs is not None and args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.batch is not None:
+        try:
+            statements = read_batch_statements(args.batch)
+        except (OSError, UnicodeDecodeError) as exc:
+            print(f"error: cannot read batch file: {exc}", file=sys.stderr)
+            return 2
+        jobs = args.jobs if args.jobs is not None else engine.config.serve_jobs
+        failed = run_batch(engine, statements, jobs, sys.stdout)
+        return 1 if failed else 0
     if args.command:
         try:
             run_statement(engine, args.command, sys.stdout)

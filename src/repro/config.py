@@ -70,6 +70,12 @@ class EngineConfig:
             ``max_in_flight > 1``; capped at ``max_in_flight - 1``).
             Speculation is un-metered unless consumed, so a wrong guess
             costs nothing in tokens.
+        serve_jobs: default number of statements the concurrent serving
+            layer (``Engine.execute_many``, CLI ``--jobs``) admits at
+            once against one session.  All admitted queries share the
+            single ``max_in_flight`` dispatcher budget and the
+            cross-query single-flight registry; per-query results are
+            byte-identical to serial execution at any value.
         scan_shards: partition large scans into this many independent
             page chains (key-range shards over the enumeration cursor).
             1 (the default) keeps the single sequential chain; larger
@@ -119,6 +125,7 @@ class EngineConfig:
     scan_guard_factor: int = 8
     max_in_flight: int = 1
     scan_prefetch_pages: int = 2
+    serve_jobs: int = 4
     scan_shards: int = 1
     shard_min_rows: int = 32
     retry_backoff_ms: float = 0.0
@@ -146,6 +153,7 @@ class EngineConfig:
             ("lookup_batch_size", 1),
             ("votes", 1),
             ("max_in_flight", 1),
+            ("serve_jobs", 1),
             ("max_output_tokens", 1),
             ("scan_shards", 1),
             ("shard_min_rows", 1),

@@ -20,8 +20,7 @@ answered by the model plus local relational compute over the answers.
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import TYPE_CHECKING, Dict, Optional, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 if TYPE_CHECKING:
     from repro.relational.table import Table
@@ -33,7 +32,7 @@ from repro.core.results import QueryResult
 from repro.core.session import EngineSession
 from repro.core.validation import Validator
 from repro.core.virtual import ColumnConstraint, VirtualTable
-from repro.llm.accounting import Budget, PriceModel, UsageSnapshot
+from repro.llm.accounting import Budget, PriceModel, UsageMeter, UsageSnapshot
 from repro.llm.cache import resolve_model_name
 from repro.llm.interface import LanguageModel
 from repro.plan.cost import TableStats
@@ -41,6 +40,11 @@ from repro.plan.explain import explain_plan
 from repro.plan.optimizer import Optimizer
 from repro.relational.catalog import Catalog
 from repro.relational.schema import TableSchema
+from repro.runtime.scheduler import (
+    CancellationToken,
+    QueryOutcome,
+    QueryScheduler,
+)
 from repro.sql import ast
 from repro.sql.binder import Binder
 from repro.sql.parser import parse
@@ -130,6 +134,69 @@ class LLMStorageEngine:
 
     def execute(self, sql: Union[str, ast.Statement]) -> QueryResult:
         """Execute a query; returns rows plus per-query usage."""
+        return self._execute_statement(sql, self._session.query_meter())
+
+    def execute_many(
+        self,
+        statements: Sequence[Union[str, ast.Statement]],
+        jobs: Optional[int] = None,
+        priorities: Optional[Sequence[int]] = None,
+        timeout_s: Optional[Union[float, Sequence[Optional[float]]]] = None,
+        collect_outcomes: bool = False,
+    ) -> Union[List[QueryResult], List[QueryOutcome]]:
+        """Serve many statements concurrently against this one session.
+
+        Up to ``jobs`` statements (default
+        :attr:`~repro.config.EngineConfig.serve_jobs`) run at once,
+        admitted FIFO (``priorities`` reorders admission, higher first).
+        All queries share the session's single ``max_in_flight``
+        dispatcher budget, prompt cache, storage tier, and cross-query
+        single-flight registry — overlapping queries pay for each
+        identical scan page / lookup batch once.  Results are
+        byte-identical to executing the statements serially, in input
+        order; each :class:`QueryResult` carries *its own* attributed
+        usage (the per-query meters sum to the session meter exactly,
+        except wall-clock: the session clock advances by the batch's
+        elapsed critical path, not the sum of overlapped per-query
+        walls).
+
+        ``timeout_s`` (scalar or per-statement) cancels a query at its
+        next model call once exceeded; the rest of the batch is
+        unaffected.  Failures raise the first error in input order
+        after the batch settles, unless ``collect_outcomes=True``, in
+        which case per-query :class:`~repro.runtime.scheduler.\
+QueryOutcome` objects are returned instead.
+        """
+        statements = list(statements)
+        if jobs is None:
+            jobs = self._config.serve_jobs
+        scheduler = QueryScheduler(
+            run_query=self._execute_statement,
+            session_meter=self._session.meter,
+            jobs=jobs,
+            max_in_flight=self._config.max_in_flight,
+        )
+        outcomes = scheduler.execute(
+            statements, priorities=priorities, timeout_s=timeout_s
+        )
+        if collect_outcomes:
+            return outcomes
+        for outcome in outcomes:
+            if outcome.error is not None:
+                raise outcome.error
+        return [outcome.result for outcome in outcomes]
+
+    def _execute_statement(
+        self,
+        sql: Union[str, ast.Statement],
+        meter: UsageMeter,
+        cancel: Optional[CancellationToken] = None,
+    ) -> QueryResult:
+        """One statement through parse → bind → plan → execute.
+
+        ``meter`` is the query's own child meter (usage rolls up into
+        the session); ``cancel`` is checked before every model call.
+        """
         statement = parse(sql) if isinstance(sql, str) else sql
         sql_text = sql if isinstance(sql, str) else print_statement(statement)
 
@@ -147,6 +214,7 @@ class LLMStorageEngine:
             if cached is not None:
                 from repro.relational.table import Table
 
+                meter.record_result_cache_hit(calls_saved=cached.calls)
                 return QueryResult(
                     # Rows were validated when stored; skip re-validation
                     # on the hot path whose purpose is cheap repeats.
@@ -165,27 +233,25 @@ class LLMStorageEngine:
         validator = Validator(enabled=self._config.enable_validation)
         client = ModelClient(
             model=self._session.model,
-            meter=self._session.meter,
+            meter=meter,
             config=self._config,
             cache=self._session.cache,
             validator=validator,
             storage=storage,
+            dedup=self._session.dedup,
+            flight_budget=self._session.flight_budget,
+            cancel=cancel,
         )
         executor = PlanExecutor(client, self._virtuals, self._materialized)
 
-        before = self._session.meter.snapshot()
-        storage_before = storage.snapshot()
         try:
             table = executor.execute(plan)
         finally:
             client.close()
-        usage = self._session.meter.snapshot().minus(before)
-        storage_delta = storage.snapshot().minus(storage_before)
-        usage = replace(
-            usage,
-            fragment_hits=storage_delta.fragment_hits,
-            calls_saved=storage_delta.calls_saved,
-        )
+        # The child meter *is* the attribution: no session-level
+        # snapshot differencing, which misattributes when queries
+        # interleave on one session.
+        usage = meter.snapshot()
 
         warnings = list(client.warnings)
         if validator.report.nulled_cells:

@@ -64,6 +64,11 @@ from repro.runtime.latency import LatencyLedger
 from repro.runtime.parallel import run_parallel
 from repro.runtime.prefetch import ScanPrefetcher
 from repro.runtime.retry import RETRY_NONCE, RetryPolicy
+from repro.runtime.scheduler import (
+    CancellationToken,
+    CrossQueryDedup,
+    FlightBudget,
+)
 from repro.storage.fragments import ScanFragment
 from repro.storage.tier import StorageTier
 
@@ -82,6 +87,9 @@ class ModelClient:
         cache: Optional[PromptCache] = None,
         validator: Optional[Validator] = None,
         storage: Optional[StorageTier] = None,
+        dedup: Optional[CrossQueryDedup] = None,
+        flight_budget: Optional[FlightBudget] = None,
+        cancel: Optional[CancellationToken] = None,
     ):
         self._raw_model = model
         # The storage tier only serves/stores under deterministic
@@ -112,6 +120,9 @@ class ModelClient:
         self._validator = validator or Validator(enabled=config.enable_validation)
         self._ledger = LatencyLedger(on_commit=meter.add_wall_ms)
         self._retry = RetryPolicy.from_config(config)
+        # Cross-query single-flight shares the fragment scope: the
+        # (model identity, semantic config) namespace is exactly the
+        # boundary across which two requests may never join.
         self._dispatcher = Dispatcher(
             model=self._model,
             options_for=self._options,
@@ -121,6 +132,10 @@ class ModelClient:
             raw_model=model,
             cache=self._cache,
             meter=meter,
+            shared=dedup,
+            dedup_scope=self._storage_scope,
+            flight_budget=flight_budget,
+            cancel=cancel,
         )
         self.warnings: List[str] = []
         self._warning_local = threading.local()
@@ -144,6 +159,18 @@ class ModelClient:
     def close(self) -> None:
         """Release the dispatcher's worker pool."""
         self._dispatcher.close()
+
+    def _record_fragment_hits(self, count: int, calls_saved: int = 0) -> None:
+        """Count fragment serving in the tier *and* this query's meter.
+
+        The tier counter is the session-global view; the meter copy is
+        what attributes the saving to the query that enjoyed it (the
+        engine used to diff tier snapshots, which misattributes when
+        queries interleave).
+        """
+        assert self._storage is not None
+        self._storage.record_fragment_hits(count, calls_saved=calls_saved)
+        self._meter.record_fragment_hits(count, calls_saved=calls_saved)
 
     # ------------------------------------------------------------------
     # Warnings
@@ -267,7 +294,7 @@ class ModelClient:
             and len(fragment.rows) > 0
             and {name.lower() for name in fragment.columns} == step_columns
         ):
-            storage.record_fragment_hits(1, calls_saved=fragment.source_calls)
+            self._record_fragment_hits(1, calls_saved=fragment.source_calls)
             return fragment.project(step.columns), fragment.source_calls
         storage.record_fragment_misses(1)
         return [], 0
@@ -465,7 +492,7 @@ class ModelClient:
         if not missing:
             limit = usable if usable < len(fragment.rows) else None
             rows = fragment.project(step.columns, limit=limit)
-            storage.record_fragment_hits(1, calls_saved=fragment.source_calls)
+            self._record_fragment_hits(1, calls_saved=fragment.source_calls)
             return build_local_table(step.binding, step.schema, step.columns, rows)
 
         primary_key = virtual.schema.primary_key
@@ -546,7 +573,7 @@ class ModelClient:
 
         # The avoided re-enumeration minus the residual calls just paid
         # (the lookup path counts its own cell-store savings itself).
-        storage.record_fragment_hits(
+        self._record_fragment_hits(
             1, calls_saved=max(0, fragment.source_calls - residual_calls)
         )
         if usable == len(fragment.rows):
@@ -799,7 +826,7 @@ class ModelClient:
                 and fragment.complete
                 and fragment.covers_columns(scan.columns)
             ):
-                storage.record_fragment_hits(1, calls_saved=fragment.source_calls)
+                self._record_fragment_hits(1, calls_saved=fragment.source_calls)
                 return _ShardOutcome(
                     rows=fragment.project(scan.columns),
                     pages=0,
@@ -1013,7 +1040,7 @@ class ModelClient:
             paid_batches = (
                 -(-len(fetch_indices) // batch_size) if fetch_indices else 0
             )
-            storage.record_fragment_hits(
+            self._record_fragment_hits(
                 len(served),
                 calls_saved=(total_batches - paid_batches) * votes,
             )

@@ -6,6 +6,16 @@ repeated lookups of the same entities are a dominant cost in interactive
 workloads), and the storage tier (:mod:`repro.storage`), which
 materializes retrieved fragments and whole results so repeated traffic
 stops paying model calls at all.
+
+Under concurrent serving the session is additionally the sharing
+boundary: one :class:`~repro.runtime.scheduler.FlightBudget` caps total
+in-flight model calls across every query of the session at
+``max_in_flight``, and one
+:class:`~repro.runtime.scheduler.CrossQueryDedup` registry lets
+overlapping queries join each other's identical in-flight calls instead
+of paying twice.  Both are wired into every query — a session queried
+from plain threads gets the same guarantees as one behind the
+scheduler.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ from repro.config import EngineConfig
 from repro.llm.accounting import Budget, PriceModel, UsageMeter, UsageSnapshot
 from repro.llm.cache import PromptCache
 from repro.llm.interface import LanguageModel
+from repro.runtime.scheduler import CrossQueryDedup, FlightBudget
 from repro.storage.tier import StorageTier
 
 
@@ -33,8 +44,20 @@ class EngineSession:
     def __post_init__(self):
         self.meter = UsageMeter(self.price_model, self.budget)
         self.cache = PromptCache()
+        self.dedup = CrossQueryDedup()
+        self.flight_budget = FlightBudget(self.config.max_in_flight)
         if self.storage is None:
             self.storage = StorageTier.from_config(self.config)
+
+    def query_meter(self, forward_wall: bool = True) -> UsageMeter:
+        """A child meter attributing one query's usage.
+
+        Everything the query records rolls up into the session meter;
+        ``forward_wall=False`` (the serving layer) keeps the query's
+        critical path out of the session clock, which then receives one
+        batch makespan instead of a sum of overlapped walls.
+        """
+        return self.meter.child(forward_wall=forward_wall)
 
     def usage(self) -> UsageSnapshot:
         """Cumulative usage, with the storage tier's counters folded in."""

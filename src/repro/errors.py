@@ -88,6 +88,15 @@ class LLMBudgetExceeded(LLMError):
         self.tokens_used = tokens_used
 
 
+class QueryCancelled(ReproError):
+    """A served query was cancelled or exceeded its per-query timeout.
+
+    Raised cooperatively at the next model-call boundary by the
+    concurrent serving layer (:mod:`repro.runtime.scheduler`); other
+    queries of the same batch are unaffected.
+    """
+
+
 class ValidationError(ReproError):
     """A retrieved value failed validation and could not be repaired."""
 

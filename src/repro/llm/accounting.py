@@ -70,6 +70,13 @@ class UsageSnapshot:
     (estimated) pages an early-exiting stream avoided versus
     materializing everything — the direct observable of the early-exit
     saving.
+
+    ``dedup_hits`` counts requests served by joining *another* query's
+    in-flight identical call (cross-query single-flight under the
+    concurrent serving layer): the joiner replays through the shared
+    prompt cache after the leader lands, so each hit is a model call
+    this query did not pay tokens for.  Always zero under serial
+    execution.
     """
 
     calls: int = 0
@@ -85,6 +92,7 @@ class UsageSnapshot:
     shard_chains: int = 0
     pages_fetched: int = 0
     pages_skipped: int = 0
+    dedup_hits: int = 0
 
     @property
     def total_tokens(self) -> int:
@@ -113,6 +121,7 @@ class UsageSnapshot:
             shard_chains=self.shard_chains - earlier.shard_chains,
             pages_fetched=self.pages_fetched - earlier.pages_fetched,
             pages_skipped=self.pages_skipped - earlier.pages_skipped,
+            dedup_hits=self.dedup_hits - earlier.dedup_hits,
         )
 
     def plus(self, other: "UsageSnapshot") -> "UsageSnapshot":
@@ -130,6 +139,7 @@ class UsageSnapshot:
             shard_chains=self.shard_chains + other.shard_chains,
             pages_fetched=self.pages_fetched + other.pages_fetched,
             pages_skipped=self.pages_skipped + other.pages_skipped,
+            dedup_hits=self.dedup_hits + other.dedup_hits,
         )
 
     def render(self) -> str:
@@ -158,6 +168,8 @@ class UsageSnapshot:
                 f", pages: {self.pages_fetched} fetched"
                 f" / {self.pages_skipped} skipped"
             )
+        if self.dedup_hits:
+            text += f", {self.dedup_hits} in-flight dedup hit(s)"
         return text
 
 
@@ -170,11 +182,26 @@ class Budget:
 
 
 class UsageMeter:
-    """Accumulates usage; optionally enforces a budget."""
+    """Accumulates usage; optionally enforces a budget.
+
+    A meter can be the *session* root or a per-query *child* created
+    with :meth:`child`: children accumulate their own totals for exact
+    per-query attribution and forward every recording to the root, so
+    the session sees the sum of its queries without snapshot
+    differencing (which misattributes under concurrent queries).  The
+    budget is enforced at the root — children never carry one — so a
+    session budget of N calls admits exactly N across all concurrent
+    queries.  Wall-clock is the one counter a child may keep to itself
+    (``forward_wall=False``): overlapped queries' critical paths must
+    not be summed into the session clock; the serving layer commits one
+    batch makespan instead.
+    """
 
     def __init__(self, price_model: PriceModel = PriceModel(), budget: Optional[Budget] = None):
         self._price_model = price_model
         self._budget = budget
+        self._parent: Optional["UsageMeter"] = None
+        self._forward_wall = True
         self._lock = threading.Lock()
         self._calls = 0
         self._prompt_tokens = 0
@@ -185,9 +212,23 @@ class UsageMeter:
         self._shard_chains = 0
         self._pages_fetched = 0
         self._pages_skipped = 0
+        self._result_cache_hits = 0
+        self._fragment_hits = 0
+        self._calls_saved = 0
+        self._dedup_hits = 0
+
+    def child(self, forward_wall: bool = True) -> "UsageMeter":
+        """A per-query meter rolling its usage up into this one."""
+        meter = UsageMeter(self._price_model, budget=None)
+        meter._parent = self
+        meter._forward_wall = forward_wall
+        return meter
 
     def check_budget(self) -> None:
         """Raise if the next call would exceed the budget."""
+        if self._parent is not None:
+            self._parent.check_budget()
+            return
         with self._lock:
             self._check_budget_locked()
 
@@ -221,6 +262,13 @@ class UsageMeter:
         budget can still be overshot by in-flight calls — token counts
         are unknown until a completion lands, as with a real API.)
         """
+        if self._parent is not None:
+            # The budget gate lives at the root: the parent checks and
+            # reserves, then the child records its own attributed call.
+            self._parent.acquire_call()
+            with self._lock:
+                self._calls += 1
+            return
         with self._lock:
             self._check_budget_locked()
             self._calls += 1
@@ -231,6 +279,8 @@ class UsageMeter:
             self._prompt_tokens += completion.prompt_tokens
             self._completion_tokens += completion.completion_tokens
             self._latency_ms += completion.latency_ms
+        if self._parent is not None:
+            self._parent.record_completion(completion)
 
     def record(self, completion: Completion) -> None:
         """Account for one completion (call slot included)."""
@@ -239,12 +289,16 @@ class UsageMeter:
             self._prompt_tokens += completion.prompt_tokens
             self._completion_tokens += completion.completion_tokens
             self._latency_ms += completion.latency_ms
+        if self._parent is not None:
+            self._parent.record(completion)
 
     def record_sharded_scan(self, chains: int) -> None:
         """Account one scan step fanned out as ``chains`` shard chains."""
         with self._lock:
             self._sharded_scans += 1
             self._shard_chains += chains
+        if self._parent is not None:
+            self._parent.record_sharded_scan(chains)
 
     def record_pages(self, fetched: int = 0, skipped: int = 0) -> None:
         """Account enumeration pages pulled / avoided by a row stream."""
@@ -253,6 +307,31 @@ class UsageMeter:
         with self._lock:
             self._pages_fetched += max(0, fetched)
             self._pages_skipped += max(0, skipped)
+        if self._parent is not None:
+            self._parent.record_pages(fetched=fetched, skipped=skipped)
+
+    def record_result_cache_hit(self, calls_saved: int = 0) -> None:
+        """Account one whole query served from the result cache."""
+        with self._lock:
+            self._result_cache_hits += 1
+            self._calls_saved += max(0, calls_saved)
+        if self._parent is not None:
+            self._parent.record_result_cache_hit(calls_saved)
+
+    def record_fragment_hits(self, count: int = 1, calls_saved: int = 0) -> None:
+        """Account scans/lookup-keys served from materialized fragments."""
+        with self._lock:
+            self._fragment_hits += count
+            self._calls_saved += max(0, calls_saved)
+        if self._parent is not None:
+            self._parent.record_fragment_hits(count, calls_saved=calls_saved)
+
+    def record_dedup_hit(self) -> None:
+        """Account one request that joined a foreign in-flight call."""
+        with self._lock:
+            self._dedup_hits += 1
+        if self._parent is not None:
+            self._parent.record_dedup_hit()
 
     def add_wall_ms(self, ms: float) -> None:
         """Advance the critical-path clock (committed by the runtime)."""
@@ -260,6 +339,8 @@ class UsageMeter:
             return
         with self._lock:
             self._wall_ms += ms
+        if self._parent is not None and self._forward_wall:
+            self._parent.add_wall_ms(ms)
 
     @property
     def calls(self) -> int:
@@ -288,6 +369,10 @@ class UsageMeter:
                 shard_chains=self._shard_chains,
                 pages_fetched=self._pages_fetched,
                 pages_skipped=self._pages_skipped,
+                result_cache_hits=self._result_cache_hits,
+                fragment_hits=self._fragment_hits,
+                calls_saved=self._calls_saved,
+                dedup_hits=self._dedup_hits,
             )
 
     def reset(self) -> None:
@@ -301,6 +386,10 @@ class UsageMeter:
             self._shard_chains = 0
             self._pages_fetched = 0
             self._pages_skipped = 0
+            self._result_cache_hits = 0
+            self._fragment_hits = 0
+            self._calls_saved = 0
+            self._dedup_hits = 0
 
 
 class MeteredModel:

@@ -148,6 +148,19 @@ class PromptCache:
                 self.stats.evictions += 1
             return completion, False
 
+    def contains(
+        self, prompt: str, options: CompletionOptions, model_name: str = ""
+    ) -> bool:
+        """Whether the key is cached — no stats, no recency effect.
+
+        A pure containment probe for callers deciding *how* to issue a
+        call (e.g. whether it needs an in-flight budget slot); the real
+        read still goes through :meth:`get`.
+        """
+        key = self.key_for(prompt, options, model_name)
+        with self._lock:
+            return key in self._entries
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

@@ -21,10 +21,19 @@ from repro.runtime.dispatcher import (
     Outcome,
     Speculation,
 )
-from repro.runtime.latency import BranchClock, LatencyLedger
+from repro.runtime.latency import BranchClock, LatencyLedger, greedy_makespan
 from repro.runtime.parallel import run_parallel
 from repro.runtime.prefetch import ScanPrefetcher
 from repro.runtime.retry import RETRY_NONCE, RetryPolicy
+from repro.runtime.scheduler import (
+    CancellationToken,
+    CrossQueryDedup,
+    FlightBudget,
+    QueryJob,
+    QueryOutcome,
+    QueryScheduler,
+    batch_makespan,
+)
 
 __all__ = [
     "CompletionRequest",
@@ -38,4 +47,12 @@ __all__ = [
     "ScanPrefetcher",
     "RETRY_NONCE",
     "RetryPolicy",
+    "CancellationToken",
+    "CrossQueryDedup",
+    "FlightBudget",
+    "QueryJob",
+    "QueryOutcome",
+    "QueryScheduler",
+    "batch_makespan",
+    "greedy_makespan",
 ]

@@ -41,8 +41,13 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.errors import ExecutionError, LLMProtocolError
 from repro.llm.cache import PromptCache, resolve_model_name, zero_cost_copy
 from repro.llm.interface import Completion, CompletionOptions, LanguageModel
-from repro.runtime.latency import LatencyLedger
+from repro.runtime.latency import LatencyLedger, greedy_makespan
 from repro.runtime.retry import RetryPolicy
+from repro.runtime.scheduler import (
+    CancellationToken,
+    CrossQueryDedup,
+    FlightBudget,
+)
 
 
 @dataclass(frozen=True)
@@ -82,6 +87,7 @@ class DispatcherStats:
 
     submitted: int = 0
     deduplicated: int = 0
+    cross_query_deduplicated: int = 0
     waves: int = 0
     speculated: int = 0
     speculation_used: int = 0
@@ -124,6 +130,10 @@ class Dispatcher:
         raw_model: Optional[LanguageModel] = None,
         cache: Optional[PromptCache] = None,
         meter=None,
+        shared: Optional[CrossQueryDedup] = None,
+        dedup_scope: Tuple = (),
+        flight_budget: Optional[FlightBudget] = None,
+        cancel: Optional[CancellationToken] = None,
     ):
         self._model = model
         self._options_for = options_for
@@ -133,6 +143,10 @@ class Dispatcher:
         self._raw_model = raw_model
         self._cache = cache
         self._meter = meter
+        self._shared = shared
+        self._dedup_scope = tuple(dedup_scope)
+        self._flight_budget = flight_budget
+        self._cancel = cancel
         self._model_name = (
             resolve_model_name(raw_model) if raw_model is not None else ""
         )
@@ -195,9 +209,19 @@ class Dispatcher:
         from cache — the same zero-cost calls a sequential duplicate
         records — and with the cache disabled it pays full price, again
         matching the sequential path.
+
+        With a shared :class:`~repro.runtime.scheduler.CrossQueryDedup`
+        registry attached, the same single-flight applies *across*
+        concurrent queries of one session: an identical request led by
+        another query's dispatcher is joined instead of re-paid, and
+        the join is attributed to this query's meter as a ``dedup_hit``
+        (the replay itself records the usual zero-cost cached call).
+        Keys carry the dedup scope, so differing semantic fingerprints
+        can never join each other's calls.
         """
         self.stats.submitted += 1
         key = (request.prompt, request.sample_index)
+        foreign: Optional["Future[Outcome]"] = None
         with self._lock:
             leader = self._inflight.get(key)
             if leader is not None:
@@ -208,7 +232,40 @@ class Dispatcher:
                 )
                 return follower
             future: "Future[Outcome]" = Future()
-            self._inflight[key] = future
+            if self._shared is not None and self._cache is not None:
+                # Lock order is always dispatcher → registry, so the
+                # cross-dispatcher lease can never deadlock.  Without a
+                # shared cache a join could never save anything (the
+                # follower's replay would re-pay full price after
+                # waiting out the leader), so cache-less dispatchers
+                # always lead independently.
+                foreign = self._shared.lease(self._dedup_scope + key, future)
+            if foreign is None:
+                self._inflight[key] = future
+        if foreign is not None:
+            self.stats.deduplicated += 1
+            self.stats.cross_query_deduplicated += 1
+            follower = Future()
+
+            def on_leader_done(done: "Future[Outcome]") -> None:
+                # Count the dedup hit only when the join actually saved
+                # tokens: the leader landed (its completion is in the
+                # shared cache) and this query replays from that cache.
+                # A failed/cancelled leader leaves the follower to
+                # re-pay at full price — no saving, no hit.  While
+                # joined, this query's own timeout is observed at the
+                # replay (cancellation is cooperative: the next model-
+                # call boundary is the joined call's completion).
+                if (
+                    self._meter is not None
+                    and self._cache is not None
+                    and done.exception() is None
+                ):
+                    self._meter.record_dedup_hit()
+                self._schedule(request, follower, key=None)
+
+            foreign.add_done_callback(on_leader_done)
+            return follower
         self._schedule(request, future, key=key)
         return future
 
@@ -288,8 +345,16 @@ class Dispatcher:
     ) -> None:
         if self._pool is None:
             self._run_into(request, future, key)
-        else:
+            return
+        try:
             self._pool.submit(self._run_into, request, future, key)
+        except RuntimeError:
+            # Pool already shut down.  Unreachable through the normal
+            # flow (every submitted future is awaited before close()),
+            # but a foreign-leader callback landing during teardown
+            # must still resolve its follower — run inline rather than
+            # leave a future forever pending.
+            self._run_into(request, future, key)
 
     def _run_into(
         self,
@@ -300,17 +365,21 @@ class Dispatcher:
         try:
             outcome = self._run_request(request)
         except BaseException as exc:
-            self._clear_inflight(key)
+            self._clear_inflight(key, future)
             future.set_exception(exc)
         else:
-            self._clear_inflight(key)
+            self._clear_inflight(key, future)
             future.set_result(outcome)
 
-    def _clear_inflight(self, key: Optional[Tuple[str, int]]) -> None:
+    def _clear_inflight(
+        self, key: Optional[Tuple[str, int]], future: "Future[Outcome]"
+    ) -> None:
         if key is None:
             return
         with self._lock:
             self._inflight.pop(key, None)
+        if self._shared is not None:
+            self._shared.release(self._dedup_scope + key, future)
 
     def _run_request(self, request: CompletionRequest) -> Outcome:
         path_ms = 0.0
@@ -319,7 +388,7 @@ class Dispatcher:
             options = self._options_for(
                 request.sample_index + self._retry.nonce_for(attempt)
             )
-            completion = self._model.complete(request.prompt, options)
+            completion = self._guarded_complete(request.prompt, options)
             path_ms += completion.latency_ms
             try:
                 return Outcome(value=request.parse(completion), path_ms=path_ms)
@@ -333,6 +402,31 @@ class Dispatcher:
             f"attempts: {last_error}"
         )
 
+    def _guarded_complete(
+        self, prompt: str, options: CompletionOptions
+    ) -> Completion:
+        """One metered model call under the global budget and token.
+
+        The in-flight slot is held only for the duration of the call —
+        never while waiting on a future or sleeping out a backoff — so
+        the session-wide budget cannot deadlock the worker pools that
+        share it.  A call the prompt cache will serve takes no slot at
+        all: zero-cost replays (cross-query followers, warm repeats)
+        must not queue behind real model traffic.  (If the entry is
+        evicted between the probe and the read, the call briefly runs
+        unslotted — a rare, bounded overshoot of the budget, preferred
+        over serializing every cache hit.)
+        """
+        if self._cancel is not None:
+            self._cancel.check()
+        if self._flight_budget is None or (
+            self._cache is not None
+            and self._cache.contains(prompt, options, self._model_name)
+        ):
+            return self._model.complete(prompt, options)
+        with self._flight_budget.slot(self._cancel):
+            return self._model.complete(prompt, options)
+
     def _raw_attempt(
         self, prompt: str, options: CompletionOptions
     ) -> Tuple[Completion, bool]:
@@ -342,7 +436,12 @@ class Dispatcher:
             if cached is not None:
                 return cached, True
         model = self._raw_model if self._raw_model is not None else self._model
-        return model.complete(prompt, options), False
+        if self._cancel is not None:
+            self._cancel.check()
+        if self._flight_budget is None:
+            return model.complete(prompt, options), False
+        with self._flight_budget.slot(self._cancel):
+            return model.complete(prompt, options), False
 
     def _makespan(self, durations: Sequence[float]) -> float:
         """Greedy schedule of durations onto this wave's fair slot share.
@@ -355,13 +454,5 @@ class Dispatcher:
         keeps the reported critical path deterministic and from
         pretending each branch had the whole pool to itself.
         """
-        if not durations:
-            return 0.0
         slot_count = max(1, self._max_in_flight // self._ledger.current_divisor())
-        if slot_count == 1:
-            return sum(durations)
-        slots = [0.0] * slot_count
-        for duration in durations:
-            index = min(range(len(slots)), key=slots.__getitem__)
-            slots[index] += duration
-        return max(slots)
+        return greedy_makespan(durations, slot_count)

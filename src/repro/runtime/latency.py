@@ -26,7 +26,26 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator, Optional, Sequence
+
+
+def greedy_makespan(durations: Sequence[float], slot_count: int) -> float:
+    """Greedy list-scheduling of ``durations`` onto ``slot_count`` slots.
+
+    The shared makespan primitive of the wall-clock model: the
+    dispatcher prices each wave with it and the serving layer prices
+    whole batches with it, so the two accountings can never drift.
+    One slot degenerates to the serial sum.
+    """
+    if not durations:
+        return 0.0
+    if slot_count <= 1:
+        return sum(durations)
+    slots = [0.0] * slot_count
+    for duration in durations:
+        index = min(range(len(slots)), key=slots.__getitem__)
+        slots[index] += duration
+    return max(slots)
 
 
 class BranchClock:

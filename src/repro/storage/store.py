@@ -48,13 +48,18 @@ def approx_bytes(value: Any) -> int:
 
 @dataclass
 class StoreStats:
-    """Counters for one store (monotonic; reset with the session)."""
+    """Counters for one store (monotonic; reset with the session).
+
+    ``oversized`` counts admissions of entries larger than the whole
+    byte budget (see :class:`LRUByteStore` for the policy).
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     expirations: int = 0
     stored: int = 0
+    oversized: int = 0
 
 
 class _Entry:
@@ -69,9 +74,16 @@ class _Entry:
 class LRUByteStore:
     """An LRU map bounded by approximate bytes, with optional TTL.
 
-    ``ttl_s == 0`` disables expiry.  A single entry larger than the
-    whole budget is admitted alone (evicting everything else): refusing
-    it would make large scans uncacheable for no benefit.
+    ``ttl_s == 0`` disables expiry.
+
+    Oversized-entry policy: a single entry larger than the whole budget
+    is **admitted alone** — it evicts everything else and stays
+    resident (with ``bytes_used`` above budget) until the next insert
+    evicts it in turn.  Refusing it would make large scans uncacheable
+    for no benefit; keeping it resident is the best cache content until
+    something newer arrives.  Each such admission is recorded in
+    ``stats.oversized`` so a budget persistently exceeded is
+    observable, not silent.
     """
 
     def __init__(
@@ -121,18 +133,30 @@ class LRUByteStore:
             return entry.payload
 
     def peek(self, key: Hashable) -> Optional[Any]:
-        """Like :meth:`get` but without touching recency or counters.
+        """Like :meth:`get` but strictly read-only.
 
         Used by the planner: coverage probes during EXPLAIN/planning
         must not distort hit statistics or keep entries artificially
-        warm.
+        warm.  An entry past its TTL is reported as a miss but — unlike
+        :meth:`get` — neither deleted nor counted as an expiration: the
+        mutation belongs to the next genuinely mutating access, not to
+        a probe.
         """
         with self._lock:
-            entry = self._live_entry(key)
-            return entry.payload if entry is not None else None
+            entry = self._entries.get(key)
+            if entry is None or self._expired(entry):
+                return None
+            return entry.payload
 
     def put(self, key: Hashable, payload: Any, size: Optional[int] = None) -> None:
-        """Insert or replace ``key``; evicts LRU entries over budget."""
+        """Insert or replace ``key``; evicts LRU entries over budget.
+
+        Replacing an entry that had already passed its TTL records an
+        expiration (the old payload died of age, not of replacement);
+        an entry larger than the whole budget is admitted under the
+        oversized policy documented on the class and recorded in
+        ``stats.oversized``.
+        """
         if size is None:
             size = approx_bytes(payload)
         size = max(1, int(size))
@@ -140,9 +164,13 @@ class LRUByteStore:
             old = self._entries.pop(key, None)
             if old is not None:
                 self._bytes_used -= old.size
+                if self._expired(old):
+                    self.stats.expirations += 1
             self._entries[key] = _Entry(payload, size, self._clock())
             self._bytes_used += size
             self.stats.stored += 1
+            if size > self._budget_bytes:
+                self.stats.oversized += 1
             while self._bytes_used > self._budget_bytes and len(self._entries) > 1:
                 _, evicted = self._entries.popitem(last=False)
                 self._bytes_used -= evicted.size
@@ -159,7 +187,7 @@ class LRUByteStore:
             self._entries.clear()
             self._bytes_used = 0
 
-    def snapshot_stats(self) -> Tuple[int, int, int, int, int]:
+    def snapshot_stats(self) -> Tuple[int, int, int, int, int, int]:
         with self._lock:
             stats = self.stats
             return (
@@ -168,17 +196,21 @@ class LRUByteStore:
                 stats.evictions,
                 stats.expirations,
                 stats.stored,
+                stats.oversized,
             )
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
+    def _expired(self, entry: _Entry) -> bool:
+        return self._ttl_s > 0 and self._clock() - entry.stored_at >= self._ttl_s
+
     def _live_entry(self, key: Hashable) -> Optional[_Entry]:
         entry = self._entries.get(key)
         if entry is None:
             return None
-        if self._ttl_s > 0 and self._clock() - entry.stored_at >= self._ttl_s:
+        if self._expired(entry):
             del self._entries[key]
             self._bytes_used -= entry.size
             self.stats.expirations += 1

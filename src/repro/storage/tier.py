@@ -110,6 +110,7 @@ class StorageSnapshot:
     calls_saved: int = 0
     evictions: int = 0
     expirations: int = 0
+    oversized: int = 0
 
     def minus(self, earlier: "StorageSnapshot") -> "StorageSnapshot":
         return StorageSnapshot(
@@ -120,6 +121,7 @@ class StorageSnapshot:
             calls_saved=self.calls_saved - earlier.calls_saved,
             evictions=self.evictions - earlier.evictions,
             expirations=self.expirations - earlier.expirations,
+            oversized=self.oversized - earlier.oversized,
         )
 
 
@@ -509,6 +511,7 @@ class StorageTier:
                 calls_saved=self._calls_saved,
                 evictions=frag[2] + res[2],
                 expirations=frag[3] + res[3],
+                oversized=frag[5] + res[5],
             )
 
     def reset_counters(self) -> None:

@@ -69,6 +69,74 @@ def test_store_oversized_entry_is_admitted_alone():
     assert store.get("small") is None
 
 
+def test_store_oversized_admission_is_counted_and_evictable():
+    store = LRUByteStore(budget_bytes=100)
+    store.put("big", "B", size=500)
+    # Documented policy: admitted alone, resident above budget, counted.
+    assert store.stats.oversized == 1
+    assert store.bytes_used == 500
+    # The next insert evicts it like any other LRU entry — over-budget
+    # residency is transient, not permanent.
+    store.put("after", "a", size=40)
+    assert store.get("big") is None
+    assert store.bytes_used == 40
+    assert store.stats.evictions == 1
+    store.put("fits", "f", size=60)
+    assert store.stats.oversized == 1  # in-budget entries never count
+
+
+def test_store_peek_is_strictly_read_only():
+    clock = FakeClock()
+    store = LRUByteStore(budget_bytes=10_000, ttl_s=10.0, clock=clock)
+    store.put("a", "payload")
+    clock.advance(11.0)
+    # Regression: peek used to delete the expired entry and count an
+    # expiration — a planner probe was mutating the store.
+    assert store.peek("a") is None
+    assert store.stats.expirations == 0
+    assert store.stats.hits == 0
+    assert store.stats.misses == 0
+    assert len(store) == 1
+    assert store.bytes_used > 0
+    # The next mutating access settles it exactly once.
+    assert store.get("a") is None
+    assert store.stats.expirations == 1
+    assert len(store) == 0
+
+
+def test_store_peek_does_not_refresh_recency():
+    store = LRUByteStore(budget_bytes=300)
+    store.put("a", "x", size=100)
+    store.put("b", "y", size=100)
+    store.put("c", "z", size=100)
+    assert store.peek("a") == "x"  # must NOT bump "a"
+    store.put("d", "w", size=100)  # evicts "a", still least-recent
+    assert store.peek("a") is None
+    assert store.peek("b") == "y"
+
+
+def test_store_replacing_expired_entry_counts_expiration():
+    clock = FakeClock()
+    store = LRUByteStore(budget_bytes=10_000, ttl_s=10.0, clock=clock)
+    store.put("a", "old")
+    clock.advance(11.0)
+    # Regression: replacing a dead entry counted only `stored`; the old
+    # payload's death by age went unrecorded.
+    store.put("a", "new")
+    assert store.stats.expirations == 1
+    assert store.stats.stored == 2
+    assert store.get("a") == "new"
+
+
+def test_store_replacing_live_entry_counts_no_expiration():
+    clock = FakeClock()
+    store = LRUByteStore(budget_bytes=10_000, ttl_s=10.0, clock=clock)
+    store.put("a", "old")
+    clock.advance(5.0)
+    store.put("a", "new")
+    assert store.stats.expirations == 0
+
+
 def test_store_replace_adjusts_bytes():
     store = LRUByteStore(budget_bytes=1000)
     store.put("a", "x", size=100)
