@@ -1,0 +1,99 @@
+"""Persistent storage across processes: restart for free.
+
+Run:  python examples/persistent_tier.py
+
+Spawns two *real OS processes* back to back, each building its own
+engine and its own model against one shared SQLite store file
+(``storage_backend='sqlite'``, ``storage_scope='application'``).  The
+first process pays the model for every retrieval and materializes what
+it learned; the second — a cold restart as far as Python is concerned
+— serves the identical workload byte-for-byte with **zero model
+calls**, straight from the file.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+import repro
+
+WORKLOAD = [
+    "SELECT name, population FROM countries WHERE continent = 'Europe'",
+    "SELECT name, population FROM countries WHERE continent = 'Europe' "
+    "ORDER BY population DESC LIMIT 3",
+    "SELECT population FROM countries WHERE name = 'France'",
+    "SELECT COUNT(*) FROM cities",
+]
+
+# The child is a self-contained process: fresh interpreter, fresh
+# engine, fresh model — the store file is the only thing it shares
+# with anyone.  It prints its usage and a digest of every result row
+# as JSON for the parent to compare.
+CHILD_SCRIPT = """
+import json, sys
+from repro import EngineConfig, LLMStorageEngine
+from repro.eval.worlds import geography_world
+from repro.llm import NoiseConfig, SimulatedLLM
+
+path, workload = sys.argv[1], json.loads(sys.argv[2])
+world = geography_world()
+model = SimulatedLLM(world, noise=NoiseConfig.perfect(), seed=42)
+engine = LLMStorageEngine(model, config=EngineConfig(
+    storage_mode="materialize",
+    storage_backend="sqlite",
+    storage_path=path,
+    storage_scope="application",
+))
+for schema in world.schemas():
+    engine.register_virtual_table(
+        schema, row_estimate=world.row_count(schema.name)
+    )
+rows = [[list(map(repr, row)) for row in engine.execute(sql).rows]
+        for sql in workload]
+print(json.dumps({
+    "calls": engine.usage.calls,
+    "persistent_hits": engine.usage.persistent_hits,
+    "storage": engine.storage.describe(),
+    "rows": rows,
+}))
+"""
+
+
+def run_process(label: str, path: str) -> dict:
+    env = dict(os.environ)
+    pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (pkg_root, env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", CHILD_SCRIPT, path, json.dumps(WORKLOAD)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    report = json.loads(proc.stdout)
+    print(f"=== {label} ===")
+    print(f"model calls: {report['calls']}  "
+          f"(persistent hits: {report['persistent_hits']})")
+    print(f"storage: {report['storage']}\n")
+    return report
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmpdir:
+        path = os.path.join(tmpdir, "tier.db")
+        first = run_process("process 1: cold, populates the store", path)
+        second = run_process("process 2: restarted, serves from the file", path)
+
+    identical = first["rows"] == second["rows"]
+    print(
+        f"byte-identical results: {identical}; "
+        f"{first['calls']} -> {second['calls']} model calls across the restart"
+    )
+
+
+if __name__ == "__main__":
+    main()

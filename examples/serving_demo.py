@@ -1,6 +1,7 @@
 """Concurrent serving: many SQL statements, one shared session.
 
 Run:  python examples/serving_demo.py
+      python examples/serving_demo.py --storage-backend sqlite
 
 Serves a small dashboard-style batch two ways against identical models:
 one statement at a time (``execute``), then all at once through
@@ -11,7 +12,17 @@ once; every result is byte-identical to the serial run, each result
 carries its own attributed usage, and the session's wall clock advances
 by the batch's critical path instead of the sum of the per-query
 chains.
+
+With ``--storage-backend sqlite`` both sessions additionally share one
+persistent materialization tier (``storage_scope='application'``): the
+serial run populates the store file, and the served session answers the
+whole batch from it without reaching the model at all.
 """
+
+import argparse
+import os
+import tempfile
+from typing import Optional
 
 from repro import EngineConfig, LLMStorageEngine
 from repro.eval.worlds import geography_world
@@ -29,12 +40,22 @@ BATCH = [
 ]
 
 
-def build_engine() -> LLMStorageEngine:
+def build_engine(
+    backend: str = "memory", path: Optional[str] = None
+) -> LLMStorageEngine:
     world = geography_world()
     model = SimulatedLLM(world, noise=NoiseConfig.perfect(), seed=42)
-    engine = LLMStorageEngine(
-        model, config=EngineConfig(max_in_flight=8, serve_jobs=4)
-    )
+    config = EngineConfig(max_in_flight=8, serve_jobs=4)
+    if backend != "memory":
+        config = EngineConfig(
+            max_in_flight=8,
+            serve_jobs=4,
+            storage_mode="materialize",
+            storage_backend=backend,
+            storage_path=path,
+            storage_scope="application",
+        )
+    engine = LLMStorageEngine(model, config=config)
     for schema in world.schemas():
         engine.register_virtual_table(
             schema, row_estimate=world.row_count(schema.name)
@@ -43,34 +64,63 @@ def build_engine() -> LLMStorageEngine:
 
 
 def main() -> None:
-    serial = build_engine()
-    print("=== serial: one statement at a time ===")
-    for sql in BATCH:
-        result = serial.execute(sql)
-        print(f"SQL> {sql}")
-        print(f"     {result.usage.render()}")
-    print(f"session: {serial.usage.render()}")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--storage-backend",
+        choices=("memory", "sqlite"),
+        default="memory",
+        help="share a persistent materialization tier between the "
+        "serial and served sessions (default: memory, no sharing)",
+    )
+    parser.add_argument(
+        "--storage-path",
+        metavar="FILE",
+        default=None,
+        help="store file for --storage-backend sqlite "
+        "(default: a temporary file)",
+    )
+    args = parser.parse_args()
 
-    served = build_engine()
-    print("\n=== served: execute_many(jobs=4), one shared session ===")
-    results = served.execute_many(BATCH)
-    for sql, result in zip(BATCH, results):
-        print(f"SQL> {sql}")
-        print(f"     {result.usage.render()}")
-    print(f"session: {served.usage.render()}")
+    with tempfile.TemporaryDirectory() as tmpdir:
+        path = args.storage_path or os.path.join(tmpdir, "tier.db")
 
-    identical = all(
-        tuple(map(tuple, a.rows)) == tuple(map(tuple, b.rows))
-        for a, b in zip(
-            (serial.execute(sql) for sql in BATCH), results
+        serial = build_engine(args.storage_backend, path)
+        print("=== serial: one statement at a time ===")
+        for sql in BATCH:
+            result = serial.execute(sql)
+            print(f"SQL> {sql}")
+            print(f"     {result.usage.render()}")
+        print(f"session: {serial.usage.render()}")
+
+        served = build_engine(args.storage_backend, path)
+        print("\n=== served: execute_many(jobs=4), one shared session ===")
+        results = served.execute_many(BATCH)
+        for sql, result in zip(BATCH, results):
+            print(f"SQL> {sql}")
+            print(f"     {result.usage.render()}")
+        print(f"session: {served.usage.render()}")
+
+        identical = all(
+            tuple(map(tuple, a.rows)) == tuple(map(tuple, b.rows))
+            for a, b in zip(
+                (serial.execute(sql) for sql in BATCH), results
+            )
         )
-    )
-    speedup = serial.usage.wall_ms / served.usage.wall_ms
-    print(
-        f"\nbyte-identical: {identical}; wall {serial.usage.wall_ms:.0f} ms "
-        f"-> {served.usage.wall_ms:.0f} ms ({speedup:.1f}x); "
-        f"per-query usage above sums to the session meter exactly"
-    )
+        if served.usage.wall_ms:
+            speedup = f"{serial.usage.wall_ms / served.usage.wall_ms:.1f}x"
+        else:
+            speedup = "no model traffic at all"
+        print(
+            f"\nbyte-identical: {identical}; wall {serial.usage.wall_ms:.0f} ms "
+            f"-> {served.usage.wall_ms:.0f} ms ({speedup}); "
+            f"per-query usage above sums to the session meter exactly"
+        )
+        if args.storage_backend == "sqlite":
+            print(
+                f"shared store: served session paid {served.usage.calls} "
+                f"model call(s) with {served.usage.persistent_hits} "
+                f"persistent hit(s); storage: {served.storage.describe()}"
+            )
 
 
 if __name__ == "__main__":

@@ -1,13 +1,23 @@
 """Warm vs cold: the adaptive materialization storage tier.
 
 Run:  python examples/warm_cache.py
+      python examples/warm_cache.py --storage-backend sqlite
 
 Runs the same small "session" twice — once with the storage tier off
 and once with ``storage_mode=materialize`` — against identical models.
 The warm engine answers repeated and overlapping queries from its
 normalized result cache and materialized fragments: same bytes out,
 a fraction of the model calls.
+
+With ``--storage-backend sqlite`` the warm tier persists in a shared
+store file, and a third engine — a simulated process restart — replays
+the whole session from the file with zero model calls.
 """
+
+import argparse
+import os
+import tempfile
+from typing import Optional
 
 from repro import EngineConfig, LLMStorageEngine
 from repro.eval.worlds import geography_world
@@ -25,17 +35,28 @@ SESSION = [
 ]
 
 
-def run_session(storage_mode: str) -> LLMStorageEngine:
+def run_session(
+    storage_mode: str,
+    backend: str = "memory",
+    path: Optional[str] = None,
+    label: Optional[str] = None,
+) -> LLMStorageEngine:
     world = geography_world()
     model = SimulatedLLM(world, noise=NoiseConfig.perfect(), seed=42)
-    engine = LLMStorageEngine(
-        model, config=EngineConfig(storage_mode=storage_mode)
-    )
+    config = EngineConfig(storage_mode=storage_mode)
+    if backend != "memory":
+        config = EngineConfig(
+            storage_mode=storage_mode,
+            storage_backend=backend,
+            storage_path=path,
+            storage_scope="application",
+        )
+    engine = LLMStorageEngine(model, config=config)
     for schema in world.schemas():
         engine.register_virtual_table(
             schema, row_estimate=world.row_count(schema.name)
         )
-    print(f"\n=== storage_mode={storage_mode} ===")
+    print(f"\n=== {label or f'storage_mode={storage_mode}'} ===")
     for sql in SESSION:
         result = engine.execute(sql)
         print(f"SQL> {sql}")
@@ -45,8 +66,44 @@ def run_session(storage_mode: str) -> LLMStorageEngine:
 
 
 def main() -> None:
-    cold = run_session("off")
-    warm = run_session("materialize")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--storage-backend",
+        choices=("memory", "sqlite"),
+        default="memory",
+        help="where the warm tier keeps its entries (default: memory)",
+    )
+    parser.add_argument(
+        "--storage-path",
+        metavar="FILE",
+        default=None,
+        help="store file for --storage-backend sqlite "
+        "(default: a temporary file)",
+    )
+    args = parser.parse_args()
+
+    cold = run_session("off", label="storage off")
+    with tempfile.TemporaryDirectory() as tmpdir:
+        path = args.storage_path or os.path.join(tmpdir, "tier.db")
+        warm = run_session(
+            "materialize",
+            args.storage_backend,
+            path,
+            label=f"storage_mode=materialize backend={args.storage_backend}",
+        )
+        if args.storage_backend == "sqlite":
+            # A brand-new engine + model over the same store file: what
+            # a process restart constructs.  Every answer comes off disk.
+            restarted = run_session(
+                "materialize",
+                args.storage_backend,
+                path,
+                label="restarted engine, same store file",
+            )
+            print(
+                f"\nrestart: {restarted.usage.calls} model call(s), "
+                f"{restarted.usage.persistent_hits} persistent hit(s)"
+            )
 
     print("\n-- warm plan for a covered scan --")
     print(

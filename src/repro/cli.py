@@ -49,6 +49,9 @@ def build_engine(
     storage_mode: str = "off",
     storage_budget_bytes: Optional[int] = None,
     storage_ttl_s: Optional[float] = None,
+    storage_backend: str = "memory",
+    storage_path: Optional[str] = None,
+    storage_scope: Optional[str] = None,
     scan_shards: int = 1,
     shard_min_rows: Optional[int] = None,
     streaming: bool = True,
@@ -73,6 +76,12 @@ def build_engine(
         config = config.with_(storage_budget_bytes=storage_budget_bytes)
     if storage_ttl_s is not None:
         config = config.with_(storage_ttl_s=storage_ttl_s)
+    if storage_backend != "memory":
+        config = config.with_(
+            storage_backend=storage_backend, storage_path=storage_path
+        )
+    if storage_scope is not None:
+        config = config.with_(storage_scope=storage_scope)
     if scan_shards != 1:
         config = config.with_(scan_shards=scan_shards)
     if shard_min_rows is not None:
@@ -248,6 +257,30 @@ def main(argv=None) -> int:
         help="seconds before stored fragments/results expire (0 = never)",
     )
     parser.add_argument(
+        "--storage-backend",
+        choices=["memory", "sqlite"],
+        default="memory",
+        help="where the storage tier keeps entries: 'memory' dies with "
+        "the process; 'sqlite' persists them in the --storage-path file "
+        "(WAL mode, process-safe) so restarts and concurrent processes "
+        "share one warm tier",
+    )
+    parser.add_argument(
+        "--storage-path",
+        default=None,
+        metavar="FILE",
+        help="SQLite store file for --storage-backend sqlite",
+    )
+    parser.add_argument(
+        "--storage-scope",
+        default=None,
+        metavar="LEVEL[:TENANT]",
+        help="multi-tenant scope of stored entries: session | user | "
+        "application, optionally 'level:tenant' (e.g. user:alice); "
+        "scopes are strictly isolated and 'session' never shares "
+        "across processes",
+    )
+    parser.add_argument(
         "--scan-shards",
         type=int,
         default=1,
@@ -303,6 +336,9 @@ def main(argv=None) -> int:
             storage_mode=args.storage_mode,
             storage_budget_bytes=args.storage_budget_bytes,
             storage_ttl_s=args.storage_ttl_s,
+            storage_backend=args.storage_backend,
+            storage_path=args.storage_path,
+            storage_scope=args.storage_scope,
             scan_shards=args.scan_shards,
             shard_min_rows=args.shard_min_rows,
             streaming=not args.no_streaming,

@@ -9,11 +9,38 @@ ablation experiments (Table 3, Figures 4-6) are sweeps over these fields;
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Mapping, Optional, Tuple
 
 from repro.errors import ConfigError
 
 #: Valid values of :attr:`EngineConfig.storage_mode`.
 STORAGE_MODES = ("off", "result_cache", "materialize")
+
+#: Valid values of :attr:`EngineConfig.storage_backend`.
+STORAGE_BACKENDS = ("memory", "sqlite")
+
+#: Multi-tenant access levels of :attr:`EngineConfig.storage_scope`,
+#: narrowest first.  A scope can never serve another scope's entries.
+SCOPE_LEVELS = ("session", "user", "application")
+
+
+def parse_storage_scope(scope: str) -> Tuple[str, Optional[str]]:
+    """Split ``"level"`` / ``"level:tenant"`` into its parts.
+
+    The level must be one of :data:`SCOPE_LEVELS`; the tenant (an
+    identifier inside the level, e.g. the user name under ``user``) is
+    optional — the storage tier picks a default per level (a unique id
+    for ``session``, a shared one otherwise).
+    """
+    level, _, tenant = scope.partition(":")
+    level = level.strip().lower()
+    tenant = tenant.strip()
+    if level not in SCOPE_LEVELS:
+        raise ConfigError(
+            f"storage scope level must be one of {', '.join(SCOPE_LEVELS)} "
+            f"(optionally 'level:tenant'); got {scope!r}"
+        )
+    return level, tenant or None
 
 
 @dataclass(frozen=True)
@@ -107,6 +134,26 @@ class EngineConfig:
         storage_ttl_s: seconds before a stored fragment/result expires
             (0 disables expiry).  Useful when the backing model may be
             updated underneath a long-lived session.
+        storage_backend: where the storage tier keeps its entries.
+            ``memory`` (the default) dies with the process; ``sqlite``
+            persists them in a single process-safe WAL-mode file at
+            ``storage_path``, so a restarted process serves a repeated
+            workload with ~0 model calls and concurrent processes share
+            one warm tier.  An unusable file degrades gracefully to
+            ``memory`` with a note — never an error.
+        storage_path: filesystem path of the persistent store (required
+            when ``storage_backend='sqlite'``).
+        storage_scope: multi-tenant access level of this engine's
+            entries — ``session`` | ``user`` | ``application``,
+            optionally ``'level:tenant'`` (e.g. ``'user:alice'``).
+            Scopes are strictly isolated: a scope never serves another
+            scope's entries, and the (model identity, semantic config)
+            fragment scope nests inside it.  ``session`` without a
+            tenant gets a unique id per tier, so two sessions never
+            share; ``user``/``application`` default to a shared tenant.
+        scope_ttl_s: per-scope-level TTL defaults overriding
+            ``storage_ttl_s``, as a mapping (or tuple of pairs) from
+            level to seconds, e.g. ``{"session": 0, "user": 3600}``.
     """
 
     page_size: int = 20
@@ -132,12 +179,52 @@ class EngineConfig:
     storage_mode: str = "off"
     storage_budget_bytes: int = 8_000_000
     storage_ttl_s: float = 0.0
+    storage_backend: str = "memory"
+    storage_path: Optional[str] = None
+    storage_scope: str = "session"
+    scope_ttl_s: Optional[Tuple[Tuple[str, float], ...]] = None
 
     def __post_init__(self):
         if self.storage_mode not in STORAGE_MODES:
             raise ConfigError(
                 f"storage_mode must be one of {', '.join(STORAGE_MODES)}; "
                 f"got {self.storage_mode!r}"
+            )
+        if self.storage_backend not in STORAGE_BACKENDS:
+            raise ConfigError(
+                f"storage_backend must be one of {', '.join(STORAGE_BACKENDS)}; "
+                f"got {self.storage_backend!r}"
+            )
+        if self.storage_backend == "sqlite" and not self.storage_path:
+            raise ConfigError(
+                "storage_backend='sqlite' requires storage_path "
+                "(the store file shared across processes)"
+            )
+        parse_storage_scope(self.storage_scope)
+        if self.scope_ttl_s is not None:
+            # Accept any mapping or pair-iterable; store a canonical
+            # sorted tuple so the frozen config stays hashable.
+            pairs = (
+                self.scope_ttl_s.items()
+                if isinstance(self.scope_ttl_s, Mapping)
+                else self.scope_ttl_s
+            )
+            normalized = []
+            for level, ttl in pairs:
+                level = str(level).strip().lower()
+                if level not in SCOPE_LEVELS:
+                    raise ConfigError(
+                        f"scope_ttl_s level must be one of "
+                        f"{', '.join(SCOPE_LEVELS)}; got {level!r}"
+                    )
+                ttl = float(ttl)
+                if ttl < 0:
+                    raise ConfigError(
+                        f"scope_ttl_s[{level!r}] must be >= 0; got {ttl}"
+                    )
+                normalized.append((level, ttl))
+            object.__setattr__(
+                self, "scope_ttl_s", tuple(sorted(dict(normalized).items()))
             )
         if self.storage_budget_bytes <= 0:
             raise ConfigError(

@@ -20,6 +20,7 @@ answered by the model plus local relational compute over the answers.
 
 from __future__ import annotations
 
+import hashlib
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 if TYPE_CHECKING:
@@ -77,6 +78,7 @@ class LLMStorageEngine:
         self._catalog = Catalog()
         self._virtuals: Dict[str, VirtualTable] = {}
         self._materialized: Dict[str, "Table"] = {}
+        self._catalog_scope = ""
 
     # ------------------------------------------------------------------
     # Registration
@@ -92,11 +94,14 @@ class LLMStorageEngine:
         virtual = VirtualTable.build(
             schema, row_estimate=row_estimate, constraints=constraints
         )
-        # A registration changes what queries can mean: drop every
-        # materialized fragment and cached result.
-        self._session.storage.clear()
         self._catalog.register_virtual(schema)
         self._virtuals[schema.name.lower()] = virtual
+        # A registration changes what queries can mean: the catalog
+        # fingerprint moves, invalidating every stored fragment/result
+        # of the old catalog — without wiping a shared persistent store
+        # (a restarted process re-registering the same catalog lands on
+        # the same fingerprint and reuses it).
+        self._refresh_catalog_scope()
 
     def register_materialized_table(self, table) -> None:
         """Register a locally-stored table for hybrid queries.
@@ -105,9 +110,9 @@ class LLMStorageEngine:
         lookup-joins into virtual tables (e.g. join your CSV of customer
         countries against the model-stored ``countries``).
         """
-        self._session.storage.clear()
         self._catalog.register_table(table)
         self._materialized[table.schema.name.lower()] = table
+        self._refresh_catalog_scope()
 
     def register_world_schemas(self, world, use_true_counts: bool = True) -> None:
         """Register every table of a world as virtual.
@@ -120,9 +125,79 @@ class LLMStorageEngine:
             estimate = world.row_count(schema.name) if use_true_counts else None
             self.register_virtual_table(schema, row_estimate=estimate)
 
+    def _refresh_catalog_scope(self) -> None:
+        """Recompute the catalog fingerprint keying stored entries.
+
+        A stable digest of everything registered — virtual schemas
+        (columns, keys, descriptions, constraints, row estimates) and
+        materialized tables including their rows.  Storage keys carry
+        it, so entries materialized under one catalog are invisible
+        under any other, while two processes (or a restart) registering
+        identical catalogs share entries byte-for-byte.  Deliberately
+        built from sorted primitives, never ``repr`` of sets, so the
+        digest is identical across processes regardless of hash
+        randomization.
+        """
+
+        def describe_schema(schema: TableSchema) -> tuple:
+            return (
+                schema.name.lower(),
+                tuple(
+                    (c.name, c.dtype.value, c.nullable, c.description)
+                    for c in schema.columns
+                ),
+                schema.primary_key,
+                schema.description,
+            )
+
+        parts: list = []
+        for name in sorted(self._virtuals):
+            virtual = self._virtuals[name]
+            constraints = []
+            for column in sorted(virtual.constraints):
+                constraint = virtual.constraints[column]
+                allowed = (
+                    tuple(sorted(map(repr, constraint.allowed_values)))
+                    if constraint.allowed_values is not None
+                    else None
+                )
+                constraints.append(
+                    (
+                        column.lower(),
+                        constraint.min_value,
+                        constraint.max_value,
+                        allowed,
+                        constraint.max_length,
+                    )
+                )
+            parts.append(
+                (
+                    "virtual",
+                    describe_schema(virtual.schema),
+                    virtual.stats.row_count,
+                    tuple(constraints),
+                )
+            )
+        for name in sorted(self._materialized):
+            table = self._materialized[name]
+            parts.append(
+                (
+                    "table",
+                    describe_schema(table.schema),
+                    tuple(tuple(row) for row in table.rows),
+                )
+            )
+        digest = hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()
+        self._catalog_scope = digest[:16]
+
     @property
     def catalog(self) -> Catalog:
         return self._catalog
+
+    @property
+    def catalog_scope(self) -> str:
+        """Fingerprint of the registered catalog, as used in storage keys."""
+        return self._catalog_scope
 
     @property
     def config(self) -> EngineConfig:
@@ -209,6 +284,7 @@ QueryOutcome` objects are returned instead.
                 resolve_model_name(self._session.model),
                 self._config,
                 canonical_sql_key(bound.query),
+                catalog=self._catalog_scope,
             )
             cached = storage.get_result(result_key)
             if cached is not None:
@@ -241,6 +317,7 @@ QueryOutcome` objects are returned instead.
             dedup=self._session.dedup,
             flight_budget=self._session.flight_budget,
             cancel=cancel,
+            catalog_scope=self._catalog_scope,
         )
         executor = PlanExecutor(client, self._virtuals, self._materialized)
 
@@ -305,7 +382,9 @@ QueryOutcome` objects are returned instead.
             self._config,
             storage=storage if storage.materialize_active(self._config) else None,
             storage_scope=StorageTier.fragment_scope(
-                resolve_model_name(self._session.model), self._config
+                resolve_model_name(self._session.model),
+                self._config,
+                self._catalog_scope,
             ),
         )
 

@@ -90,21 +90,22 @@ class ModelClient:
         dedup: Optional[CrossQueryDedup] = None,
         flight_budget: Optional[FlightBudget] = None,
         cancel: Optional[CancellationToken] = None,
+        catalog_scope: str = "",
     ):
         self._raw_model = model
         # The storage tier only serves/stores under deterministic
         # configurations; resolve the gate once so the operators below
         # can simply test for None.  Fragments live under a
-        # (model identity, semantic config) scope — a tier shared
-        # across engines must never serve one model's or one config's
-        # rows as another's.
+        # (model identity, semantic config, catalog fingerprint) scope —
+        # a tier shared across engines or processes must never serve one
+        # model's, one config's, or one catalog's rows as another's.
         self._storage: Optional[StorageTier] = (
             storage
             if storage is not None and storage.materialize_active(config)
             else None
         )
         self._storage_scope = StorageTier.fragment_scope(
-            resolve_model_name(model), config
+            resolve_model_name(model), config, catalog_scope
         )
         self._cache: Optional[PromptCache] = None
         inner: LanguageModel = model

@@ -68,6 +68,9 @@ class EngineSession:
             result_cache_hits=storage.result_hits,
             fragment_hits=storage.fragment_hits,
             calls_saved=storage.calls_saved,
+            persistent_hits=storage.persistent_hits,
+            persistent_misses=storage.persistent_misses,
+            invalidations=storage.invalidations,
         )
 
     def reset_usage(self) -> None:

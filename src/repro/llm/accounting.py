@@ -77,6 +77,14 @@ class UsageSnapshot:
     prompt cache after the leader lands, so each hit is a model call
     this query did not pay tokens for.  Always zero under serial
     execution.
+
+    The persistent-store counters describe the shared durable tier
+    (``storage_backend='sqlite'``): ``persistent_hits``/
+    ``persistent_misses`` are the backing store's own access counters
+    (zero on the in-memory backend), and ``invalidations`` counts
+    scope-generation bumps this session observed — its own cache
+    clears plus invalidations performed by other processes sharing the
+    store file.
     """
 
     calls: int = 0
@@ -93,6 +101,9 @@ class UsageSnapshot:
     pages_fetched: int = 0
     pages_skipped: int = 0
     dedup_hits: int = 0
+    persistent_hits: int = 0
+    persistent_misses: int = 0
+    invalidations: int = 0
 
     @property
     def total_tokens(self) -> int:
@@ -122,6 +133,10 @@ class UsageSnapshot:
             pages_fetched=self.pages_fetched - earlier.pages_fetched,
             pages_skipped=self.pages_skipped - earlier.pages_skipped,
             dedup_hits=self.dedup_hits - earlier.dedup_hits,
+            persistent_hits=self.persistent_hits - earlier.persistent_hits,
+            persistent_misses=self.persistent_misses
+            - earlier.persistent_misses,
+            invalidations=self.invalidations - earlier.invalidations,
         )
 
     def plus(self, other: "UsageSnapshot") -> "UsageSnapshot":
@@ -140,6 +155,10 @@ class UsageSnapshot:
             pages_fetched=self.pages_fetched + other.pages_fetched,
             pages_skipped=self.pages_skipped + other.pages_skipped,
             dedup_hits=self.dedup_hits + other.dedup_hits,
+            persistent_hits=self.persistent_hits + other.persistent_hits,
+            persistent_misses=self.persistent_misses
+            + other.persistent_misses,
+            invalidations=self.invalidations + other.invalidations,
         )
 
     def render(self) -> str:
@@ -170,6 +189,13 @@ class UsageSnapshot:
             )
         if self.dedup_hits:
             text += f", {self.dedup_hits} in-flight dedup hit(s)"
+        if self.persistent_hits or self.persistent_misses:
+            text += (
+                f", persistent store: {self.persistent_hits}h/"
+                f"{self.persistent_misses}m"
+            )
+        if self.invalidations:
+            text += f", {self.invalidations} invalidation(s)"
         return text
 
 

@@ -12,15 +12,27 @@ tier between the planner/executor and the model:
   lookup cells (including negative knowledge).
 * :mod:`repro.storage.normalize` — canonical cache keys from bound
   ASTs (whitespace / keyword-case / alias variants collapse).
-* :mod:`repro.storage.store` — the byte-budgeted LRU/TTL substrate.
+* :mod:`repro.storage.store` — the byte-budgeted LRU/TTL substrate and
+  in-memory store backend.
+* :mod:`repro.storage.backend` — the pluggable
+  :class:`~repro.storage.backend.StoreBackend` protocol and the
+  multi-tenant :class:`~repro.storage.backend.StorageScope` machinery
+  (scope-prefixed keys, per-scope TTLs, generation-stamp
+  invalidation).
+* :mod:`repro.storage.persistent` — the process-shared SQLite backend
+  (``storage_backend='sqlite'``): one WAL-mode file under which the
+  warm tier outlives the session and is shared by concurrent
+  processes.
 
 Enabled via ``EngineConfig.storage_mode`` (``off`` | ``result_cache``
 | ``materialize``); serving is gated to deterministic configurations
 so results stay byte-identical to the storage-off engine.
 """
 
+from repro.storage.backend import StorageScope, StoreBackend, build_backends
 from repro.storage.fragments import RowCells, ScanFragment
 from repro.storage.normalize import canonical_sql_key
+from repro.storage.persistent import SqliteBackend, StorageBackendError
 from repro.storage.store import LRUByteStore, approx_bytes
 from repro.storage.tier import (
     STORAGE_MODES,
@@ -36,9 +48,14 @@ __all__ = [
     "LRUByteStore",
     "RowCells",
     "ScanFragment",
+    "SqliteBackend",
+    "StorageBackendError",
+    "StorageScope",
     "StorageSnapshot",
     "StorageTier",
+    "StoreBackend",
     "approx_bytes",
+    "build_backends",
     "canonical_sql_key",
     "deterministic_config",
 ]

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.relational.types import Value
+from repro.storage.store import approx_bytes
 
 
 @dataclass(frozen=True)
@@ -42,6 +43,12 @@ class ScanFragment:
     rows: Tuple[Tuple[Value, ...], ...]
     complete: bool
     source_calls: int = 0
+
+    def __approx_bytes__(self) -> int:
+        # Sized on logical content (not a pickled encoding), so the
+        # memory and persistent backends charge identical sizes and
+        # evict at the same budget boundaries.
+        return approx_bytes(self.rows) + approx_bytes(self.columns) + 96
 
     def column_index(self) -> Dict[str, int]:
         return {name.lower(): i for i, name in enumerate(self.columns)}
@@ -136,6 +143,9 @@ class RowCells:
 
     cells: Dict[str, Value] = field(default_factory=dict)
     negative_attrs: Tuple[FrozenSet[str], ...] = ()
+
+    def __approx_bytes__(self) -> int:
+        return approx_bytes(self.cells) + approx_bytes(self.negative_attrs) + 64
 
     def covers(self, attributes: Sequence[str]) -> bool:
         return all(name.lower() in self.cells for name in attributes)

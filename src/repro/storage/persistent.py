@@ -1,0 +1,430 @@
+"""Persistent store backend: a single process-safe SQLite file.
+
+One file holds every logical store of the tier (``fragments`` and
+``results`` rows are partitioned by a ``store`` column) plus the
+per-scope generation stamps that implement cross-process invalidation.
+The file is opened in WAL mode so concurrent processes — the serving
+layer's workers, parallel CLI invocations, a restarted session — can
+read and write it simultaneously; every mutation runs in an
+``IMMEDIATE`` transaction under a busy timeout.
+
+Semantics mirror :class:`~repro.storage.store.LRUByteStore` exactly:
+
+* byte budget with LRU eviction (recency is a monotonic ``last_used``
+  sequence shared through the file, so LRU order is global across
+  processes, not per connection);
+* TTL expiry on access, with per-entry overrides (entries carry the
+  writing scope's TTL, so readers honor it regardless of their own
+  configuration);
+* ``peek`` strictly read-only; the oversized-admission policy and its
+  counter; hit/miss/eviction/expiration stats (process-local, like the
+  memory store's — entries persist, counters reset with the session).
+
+Sizing is deterministic: entries are sized by :func:`approx_bytes` over
+the *logical* payload before pickling (payload classes define
+``__approx_bytes__``), never by the encoded blob — so the memory and
+persistent backends evict at the same budget boundaries.
+
+Degradation is graceful and ``error:``-free: a corrupt, locked, or
+unwritable file raises :class:`StorageBackendError` at open (the tier
+falls back to memory and notes why), and an I/O failure mid-session
+flips the instance onto an in-memory store so the engine keeps
+answering queries.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sqlite3
+import threading
+import time
+from typing import Any, Callable, Hashable, Optional, Tuple
+
+from repro.storage.store import LRUByteStore, StoreStats, approx_bytes
+
+__all__ = ["SqliteBackend", "StorageBackendError"]
+
+
+class StorageBackendError(Exception):
+    """A persistent backend could not be opened or kept alive."""
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS entries (
+    store     TEXT NOT NULL,
+    key       TEXT NOT NULL,
+    payload   BLOB NOT NULL,
+    size      INTEGER NOT NULL,
+    stored_at REAL NOT NULL,
+    ttl_s     REAL NOT NULL,
+    last_used INTEGER NOT NULL,
+    PRIMARY KEY (store, key)
+);
+CREATE INDEX IF NOT EXISTS entries_lru ON entries (store, last_used);
+CREATE TABLE IF NOT EXISTS generations (
+    scope TEXT PRIMARY KEY,
+    gen   INTEGER NOT NULL
+);
+"""
+
+
+def encode_key(key: Hashable) -> str:
+    """Canonical text form of a tier key.
+
+    Keys are tuples of primitives (strings, numbers, bools, None,
+    nested tuples), whose ``repr`` is deterministic across processes
+    and Python versions — unlike pickle bytes, which may differ by
+    memoization.  The tuple repr is also prefix-stable: the repr of
+    ``(a, b)`` minus its closing paren prefixes the repr of
+    ``(a, b, *rest)``, which is what scope removal matches on.
+    """
+    return repr(key)
+
+
+def scope_prefix_pattern(prefix: Tuple) -> str:
+    """The encoded-key prefix every key under ``prefix`` starts with."""
+    text = repr(prefix)
+    if text.endswith(",)"):  # 1-tuple: ('a',) -> "('a',"
+        return text[:-1]
+    return text[:-1] + ","  # ('a', 'b') -> "('a', 'b',"
+
+
+class SqliteBackend:
+    """A :class:`~repro.storage.backend.StoreBackend` over one file."""
+
+    name = "sqlite"
+    persistent = True
+
+    def __init__(
+        self,
+        path: str,
+        budget_bytes: int,
+        ttl_s: float = 0.0,
+        clock: Optional[Callable[[], float]] = None,
+        store: str = "store",
+    ):
+        self._path = path
+        self._budget_bytes = max(1, int(budget_bytes))
+        self._ttl_s = float(ttl_s)
+        # Wall clock, not monotonic: timestamps must mean the same
+        # thing to every process sharing the file.
+        self._clock = clock or time.time
+        self._store = store
+        self._lock = threading.RLock()
+        self._fallback: Optional[LRUByteStore] = None
+        self.failure_note: Optional[str] = None
+        self.stats = StoreStats()
+        try:
+            self._conn = sqlite3.connect(
+                path, timeout=5.0, check_same_thread=False
+            )
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA busy_timeout=5000")
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+        except (sqlite3.Error, OSError, ValueError) as exc:
+            raise StorageBackendError(str(exc)) from exc
+
+    # ------------------------------------------------------------------
+    # Degradation
+    # ------------------------------------------------------------------
+
+    def _degrade(self, exc: Exception) -> LRUByteStore:
+        """Swap in an empty in-memory store after an I/O failure.
+
+        The session keeps working (warm entries are lost, correctness
+        is not: a miss only means re-paying the model).  The reason is
+        kept for the tier's ``.storage`` rendering.
+        """
+        if self._fallback is None:
+            self.failure_note = f"sqlite degraded to memory ({exc})"
+            fallback = LRUByteStore(self._budget_bytes, self._ttl_s)
+            fallback.stats = self.stats  # keep one counter stream
+            self._fallback = fallback
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+        return self._fallback
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def budget_bytes(self) -> int:
+        return self._budget_bytes
+
+    @property
+    def bytes_used(self) -> int:
+        with self._lock:
+            if self._fallback is not None:
+                return self._fallback.bytes_used
+            try:
+                row = self._conn.execute(
+                    "SELECT COALESCE(SUM(size), 0) FROM entries WHERE store = ?",
+                    (self._store,),
+                ).fetchone()
+                return int(row[0])
+            except sqlite3.Error as exc:
+                return self._degrade(exc).bytes_used
+
+    def __len__(self) -> int:
+        with self._lock:
+            if self._fallback is not None:
+                return len(self._fallback)
+            try:
+                row = self._conn.execute(
+                    "SELECT COUNT(*) FROM entries WHERE store = ?",
+                    (self._store,),
+                ).fetchone()
+                return int(row[0])
+            except sqlite3.Error as exc:
+                return len(self._degrade(exc))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def _expired(self, stored_at: float, ttl_s: float) -> bool:
+        return ttl_s > 0 and self._clock() - stored_at >= ttl_s
+
+    def _next_seq(self) -> int:
+        row = self._conn.execute(
+            "SELECT COALESCE(MAX(last_used), 0) + 1 FROM entries"
+        ).fetchone()
+        return int(row[0])
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The payload for ``key``, bumping recency; None on miss/expiry."""
+        text = encode_key(key)
+        with self._lock:
+            if self._fallback is not None:
+                return self._fallback.get(key)
+            try:
+                with self._conn:  # one transaction per access
+                    row = self._conn.execute(
+                        "SELECT payload, stored_at, ttl_s FROM entries "
+                        "WHERE store = ? AND key = ?",
+                        (self._store, text),
+                    ).fetchone()
+                    if row is None:
+                        self.stats.misses += 1
+                        return None
+                    payload_blob, stored_at, ttl_s = row
+                    if self._expired(stored_at, ttl_s):
+                        self._conn.execute(
+                            "DELETE FROM entries WHERE store = ? AND key = ?",
+                            (self._store, text),
+                        )
+                        self.stats.expirations += 1
+                        self.stats.misses += 1
+                        return None
+                    self._conn.execute(
+                        "UPDATE entries SET last_used = ? "
+                        "WHERE store = ? AND key = ?",
+                        (self._next_seq(), self._store, text),
+                    )
+                self.stats.hits += 1
+                return pickle.loads(payload_blob)
+            except (sqlite3.Error, pickle.PickleError) as exc:
+                return self._degrade(exc).get(key)
+
+    def peek(self, key: Hashable) -> Optional[Any]:
+        """Like :meth:`get` but strictly read-only (planner probes)."""
+        text = encode_key(key)
+        with self._lock:
+            if self._fallback is not None:
+                return self._fallback.peek(key)
+            try:
+                row = self._conn.execute(
+                    "SELECT payload, stored_at, ttl_s FROM entries "
+                    "WHERE store = ? AND key = ?",
+                    (self._store, text),
+                ).fetchone()
+                if row is None:
+                    return None
+                payload_blob, stored_at, ttl_s = row
+                if self._expired(stored_at, ttl_s):
+                    return None
+                return pickle.loads(payload_blob)
+            except (sqlite3.Error, pickle.PickleError) as exc:
+                return self._degrade(exc).peek(key)
+
+    def put(
+        self,
+        key: Hashable,
+        payload: Any,
+        size: Optional[int] = None,
+        ttl_s: Optional[float] = None,
+    ) -> None:
+        """Insert or replace ``key``; evicts LRU entries over budget.
+
+        Mirrors the memory store: replacing a dead entry records an
+        expiration, oversized entries are admitted alone and counted,
+        and ``size`` defaults to :func:`approx_bytes` over the logical
+        payload — *before* pickling, so both backends agree on budgets.
+        """
+        if size is None:
+            size = approx_bytes(payload)
+        size = max(1, int(size))
+        entry_ttl = self._ttl_s if ttl_s is None else float(ttl_s)
+        text = encode_key(key)
+        with self._lock:
+            if self._fallback is not None:
+                self._fallback.put(key, payload, size=size, ttl_s=ttl_s)
+                return
+            try:
+                blob = pickle.dumps(payload, protocol=4)
+                with self._conn:
+                    old = self._conn.execute(
+                        "SELECT stored_at, ttl_s FROM entries "
+                        "WHERE store = ? AND key = ?",
+                        (self._store, text),
+                    ).fetchone()
+                    if old is not None and self._expired(old[0], old[1]):
+                        self.stats.expirations += 1
+                    self._conn.execute(
+                        "INSERT OR REPLACE INTO entries "
+                        "(store, key, payload, size, stored_at, ttl_s, last_used) "
+                        "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                        (
+                            self._store,
+                            text,
+                            blob,
+                            size,
+                            self._clock(),
+                            entry_ttl,
+                            self._next_seq(),
+                        ),
+                    )
+                    self.stats.stored += 1
+                    if size > self._budget_bytes:
+                        self.stats.oversized += 1
+                    self._evict_over_budget()
+            except (sqlite3.Error, pickle.PickleError) as exc:
+                self._degrade(exc).put(key, payload, size=size, ttl_s=ttl_s)
+
+    def _evict_over_budget(self) -> None:
+        """Drop least-recently-used rows while over budget (keep >= 1)."""
+        while True:
+            used, count = self._conn.execute(
+                "SELECT COALESCE(SUM(size), 0), COUNT(*) FROM entries "
+                "WHERE store = ?",
+                (self._store,),
+            ).fetchone()
+            if used <= self._budget_bytes or count <= 1:
+                return
+            self._conn.execute(
+                "DELETE FROM entries WHERE store = ?1 AND key = ("
+                "SELECT key FROM entries WHERE store = ?1 "
+                "ORDER BY last_used ASC LIMIT 1)",
+                (self._store,),
+            )
+            self.stats.evictions += 1
+
+    def remove(self, key: Hashable) -> None:
+        with self._lock:
+            if self._fallback is not None:
+                self._fallback.remove(key)
+                return
+            try:
+                with self._conn:
+                    self._conn.execute(
+                        "DELETE FROM entries WHERE store = ? AND key = ?",
+                        (self._store, encode_key(key)),
+                    )
+            except sqlite3.Error as exc:
+                self._degrade(exc).remove(key)
+
+    def clear(self) -> None:
+        with self._lock:
+            if self._fallback is not None:
+                self._fallback.clear()
+                return
+            try:
+                with self._conn:
+                    self._conn.execute(
+                        "DELETE FROM entries WHERE store = ?", (self._store,)
+                    )
+            except sqlite3.Error as exc:
+                self._degrade(exc).clear()
+
+    def remove_scope(self, prefix: Tuple) -> int:
+        """Delete every key of one ``(level, tenant)`` scope prefix."""
+        pattern = scope_prefix_pattern(prefix)
+        with self._lock:
+            if self._fallback is not None:
+                return self._fallback.remove_scope(prefix)
+            try:
+                with self._conn:
+                    cursor = self._conn.execute(
+                        "DELETE FROM entries WHERE store = ? "
+                        "AND substr(key, 1, ?) = ?",
+                        (self._store, len(pattern), pattern),
+                    )
+                    return cursor.rowcount
+            except sqlite3.Error as exc:
+                return self._degrade(exc).remove_scope(prefix)
+
+    # ------------------------------------------------------------------
+    # Scope generations (cross-process invalidation)
+    # ------------------------------------------------------------------
+
+    def generation(self, scope_id: str) -> int:
+        """The scope's stamp as currently recorded *in the file* — a
+        bump by any process is observed here by all of them."""
+        with self._lock:
+            if self._fallback is not None:
+                return self._fallback.generation(scope_id)
+            try:
+                row = self._conn.execute(
+                    "SELECT gen FROM generations WHERE scope = ?", (scope_id,)
+                ).fetchone()
+                return int(row[0]) if row is not None else 0
+            except sqlite3.Error as exc:
+                return self._degrade(exc).generation(scope_id)
+
+    def bump_generation(self, scope_id: str) -> int:
+        with self._lock:
+            if self._fallback is not None:
+                return self._fallback.bump_generation(scope_id)
+            try:
+                with self._conn:
+                    self._conn.execute(
+                        "INSERT INTO generations (scope, gen) VALUES (?, 1) "
+                        "ON CONFLICT(scope) DO UPDATE SET gen = gen + 1",
+                        (scope_id,),
+                    )
+                    row = self._conn.execute(
+                        "SELECT gen FROM generations WHERE scope = ?",
+                        (scope_id,),
+                    ).fetchone()
+                    return int(row[0])
+            except sqlite3.Error as exc:
+                return self._degrade(exc).bump_generation(scope_id)
+
+    # ------------------------------------------------------------------
+    # Stats / lifecycle
+    # ------------------------------------------------------------------
+
+    def snapshot_stats(self) -> Tuple[int, int, int, int, int, int]:
+        with self._lock:
+            stats = self.stats
+            return (
+                stats.hits,
+                stats.misses,
+                stats.evictions,
+                stats.expirations,
+                stats.stored,
+                stats.oversized,
+            )
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fallback is None:
+                try:
+                    self._conn.close()
+                except sqlite3.Error:
+                    pass

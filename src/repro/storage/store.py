@@ -25,10 +25,17 @@ def approx_bytes(value: Any) -> int:
 
     Close enough to real memory use to make a byte budget meaningful,
     while staying reproducible across Python builds (``sys.getsizeof``
-    is not).
+    is not).  Payload classes can define ``__approx_bytes__`` to size
+    themselves; the persistent backend relies on this so a serialized
+    (pickled) payload is sized by its *logical* content, not by the
+    encoding — memory and persistent backends then evict at the same
+    budget boundaries.
     """
     if value is None:
         return 16
+    sizer = getattr(value, "__approx_bytes__", None)
+    if sizer is not None:
+        return int(sizer())
     if isinstance(value, bool):
         return 28
     if isinstance(value, (int, float)):
@@ -63,18 +70,32 @@ class StoreStats:
 
 
 class _Entry:
-    __slots__ = ("payload", "size", "stored_at")
+    __slots__ = ("payload", "size", "stored_at", "ttl_s")
 
-    def __init__(self, payload: Any, size: int, stored_at: float):
+    def __init__(
+        self,
+        payload: Any,
+        size: int,
+        stored_at: float,
+        ttl_s: Optional[float] = None,
+    ):
         self.payload = payload
         self.size = size
         self.stored_at = stored_at
+        # None inherits the store-level TTL; a float overrides it for
+        # this entry (per-scope TTL defaults of the multi-tenant tier).
+        self.ttl_s = ttl_s
 
 
 class LRUByteStore:
     """An LRU map bounded by approximate bytes, with optional TTL.
 
-    ``ttl_s == 0`` disables expiry.
+    ``ttl_s == 0`` disables expiry.  This class is also the in-memory
+    implementation of the store backend protocol
+    (:class:`repro.storage.backend.StoreBackend`): a persistent backend
+    (:mod:`repro.storage.persistent`) offers the same surface —
+    including per-scope generation stamps and scope-prefixed removal —
+    over a process-shared file.
 
     Oversized-entry policy: a single entry larger than the whole budget
     is **admitted alone** — it evicts everything else and stays
@@ -85,6 +106,12 @@ class LRUByteStore:
     ``stats.oversized`` so a budget persistently exceeded is
     observable, not silent.
     """
+
+    #: Backend identity: surfaced by the tier's ``.storage`` rendering.
+    name = "memory"
+    #: Entries die with the process; the tier reports persistent
+    #: hit/miss counters only for backends that outlive it.
+    persistent = False
 
     def __init__(
         self,
@@ -98,6 +125,7 @@ class LRUByteStore:
         self._clock = clock
         self._bytes_used = 0
         self._lock = threading.RLock()
+        self._generations: dict = {}
         self.stats = StoreStats()
 
     # ------------------------------------------------------------------
@@ -148,14 +176,22 @@ class LRUByteStore:
                 return None
             return entry.payload
 
-    def put(self, key: Hashable, payload: Any, size: Optional[int] = None) -> None:
+    def put(
+        self,
+        key: Hashable,
+        payload: Any,
+        size: Optional[int] = None,
+        ttl_s: Optional[float] = None,
+    ) -> None:
         """Insert or replace ``key``; evicts LRU entries over budget.
 
         Replacing an entry that had already passed its TTL records an
         expiration (the old payload died of age, not of replacement);
         an entry larger than the whole budget is admitted under the
         oversized policy documented on the class and recorded in
-        ``stats.oversized``.
+        ``stats.oversized``.  ``ttl_s`` overrides the store-level TTL
+        for this entry (the multi-tenant tier writes each scope's
+        entries under that scope's TTL default).
         """
         if size is None:
             size = approx_bytes(payload)
@@ -166,7 +202,7 @@ class LRUByteStore:
                 self._bytes_used -= old.size
                 if self._expired(old):
                     self.stats.expirations += 1
-            self._entries[key] = _Entry(payload, size, self._clock())
+            self._entries[key] = _Entry(payload, size, self._clock(), ttl_s)
             self._bytes_used += size
             self.stats.stored += 1
             if size > self._budget_bytes:
@@ -187,6 +223,47 @@ class LRUByteStore:
             self._entries.clear()
             self._bytes_used = 0
 
+    def remove_scope(self, prefix: Tuple) -> int:
+        """Remove every tuple key starting with ``prefix``; count removed.
+
+        The multi-tenant tier prefixes all of a scope's keys with
+        ``(level, tenant)``, so scope invalidation is a prefix delete.
+        """
+        removed = 0
+        with self._lock:
+            doomed = [
+                key
+                for key in self._entries
+                if isinstance(key, tuple) and key[: len(prefix)] == prefix
+            ]
+            for key in doomed:
+                entry = self._entries.pop(key)
+                self._bytes_used -= entry.size
+                removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Scope generations
+    # ------------------------------------------------------------------
+
+    def generation(self, scope_id: str) -> int:
+        """The scope's monotonic invalidation stamp (0 until bumped).
+
+        An in-memory store's generations are process-local; the
+        persistent backend shares them through the store file, which is
+        what lets one process's invalidation be observed by others.
+        """
+        with self._lock:
+            return self._generations.get(scope_id, 0)
+
+    def bump_generation(self, scope_id: str) -> int:
+        """Advance the scope's stamp; entries keyed under older stamps
+        become unreachable to scoped readers."""
+        with self._lock:
+            nxt = self._generations.get(scope_id, 0) + 1
+            self._generations[scope_id] = nxt
+            return nxt
+
     def snapshot_stats(self) -> Tuple[int, int, int, int, int, int]:
         with self._lock:
             stats = self.stats
@@ -204,7 +281,8 @@ class LRUByteStore:
     # ------------------------------------------------------------------
 
     def _expired(self, entry: _Entry) -> bool:
-        return self._ttl_s > 0 and self._clock() - entry.stored_at >= self._ttl_s
+        ttl = self._ttl_s if entry.ttl_s is None else entry.ttl_s
+        return ttl > 0 and self._clock() - entry.stored_at >= ttl
 
     def _live_entry(self, key: Hashable) -> Optional[_Entry]:
         entry = self._entries.get(key)

@@ -13,11 +13,30 @@ away from the model:
   missing only columns triggers a residual lookup of just those
   columns, and a lookup batch fetches only its uncached keys.
 
-Both stores share the LRU/TTL/byte-budget substrate
-(:mod:`repro.storage.store`).  The tier only serves and stores under a
-**deterministic** configuration (``votes == 1`` and ``temperature ==
-0``): sampled results are never replayed, so storage can never change
-what a nondeterministic engine would answer.
+Both stores are :class:`~repro.storage.backend.StoreBackend`
+implementations sharing LRU/TTL/byte-budget semantics: the in-process
+:class:`~repro.storage.store.LRUByteStore` (default) or the persistent
+process-shared :class:`~repro.storage.persistent.SqliteBackend`
+(``storage_backend='sqlite'``), under which materialized knowledge
+outlives the session — a restarted process replays a repeated workload
+with ~0 model calls.
+
+**Multi-tenancy.**  Every key the tier touches is prefixed with its
+:class:`~repro.storage.backend.StorageScope` — ``(level, tenant)``
+where level ∈ ``session | user | application`` — plus the scope's
+current *generation stamp*.  Scopes are strictly isolated (a scope can
+never serve another scope's entries; the (model identity, semantic
+config, catalog fingerprint) fragment scope nests inside the tenant
+prefix), each scope level can carry its own TTL default
+(``scope_ttl_s``), and :meth:`clear` bumps the generation stamp so the
+invalidation is observed by *every process* sharing a persistent
+backend: their next access reads the new stamp and stops seeing the
+old entries.
+
+The tier only serves and stores under a **deterministic**
+configuration (``votes == 1`` and ``temperature == 0``): sampled
+results are never replayed, so storage can never change what a
+nondeterministic engine would answer.
 
 Results served from the tier are byte-identical to the storage-off
 engine on deterministic workloads (temperature 0, no voting, no
@@ -36,21 +55,22 @@ noise-free workloads.
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.config import STORAGE_MODES, EngineConfig
 from repro.errors import ConfigError
 from repro.relational.schema import TableSchema
 from repro.relational.types import Value
+from repro.storage.backend import StorageScope, StoreBackend, build_backends
 from repro.storage.fragments import RowCells, ScanFragment
-from repro.storage.store import LRUByteStore, approx_bytes
+from repro.storage.store import approx_bytes
 
 #: Config fields that affect query *results* (not wall-clock or storage
 #: routing).  Concurrency and storage knobs are excluded on purpose:
 #: results are invariant to them by construction, so a cache keyed this
-#: way stays correct across those sweeps.
+#: way stays correct across those sweeps — and a persistent tier can
+#: serve a process configured with a different backend/scope/budget.
 _SEMANTIC_CONFIG_FIELDS = (
     "page_size",
     "lookup_batch_size",
@@ -98,10 +118,26 @@ class CachedResult:
     warnings: Tuple[str, ...]
     calls: int
 
+    def __approx_bytes__(self) -> int:
+        return (
+            approx_bytes(self.rows)
+            + approx_bytes(self.explain_text)
+            + approx_bytes(self.warnings)
+            + 128
+        )
+
 
 @dataclass(frozen=True)
 class StorageSnapshot:
-    """Immutable point-in-time counters of the tier."""
+    """Immutable point-in-time counters of the tier.
+
+    ``persistent_hits``/``persistent_misses`` are the backing stores'
+    own access counters, reported only for a persistent backend (they
+    stay 0 on ``memory``); ``invalidations`` counts generation bumps
+    this tier *observed* — its own :meth:`StorageTier.clear` calls plus
+    any bump performed by another process sharing the store file.
+    ``backend`` names the store implementation serving the tier.
+    """
 
     result_hits: int = 0
     result_misses: int = 0
@@ -111,6 +147,10 @@ class StorageSnapshot:
     evictions: int = 0
     expirations: int = 0
     oversized: int = 0
+    persistent_hits: int = 0
+    persistent_misses: int = 0
+    invalidations: int = 0
+    backend: str = "memory"
 
     def minus(self, earlier: "StorageSnapshot") -> "StorageSnapshot":
         return StorageSnapshot(
@@ -122,18 +162,34 @@ class StorageSnapshot:
             evictions=self.evictions - earlier.evictions,
             expirations=self.expirations - earlier.expirations,
             oversized=self.oversized - earlier.oversized,
+            persistent_hits=self.persistent_hits - earlier.persistent_hits,
+            persistent_misses=self.persistent_misses
+            - earlier.persistent_misses,
+            invalidations=self.invalidations - earlier.invalidations,
+            backend=self.backend,
         )
 
 
 class StorageTier:
-    """Session-scoped materialization tier (thread-safe)."""
+    """Session-scoped materialization tier (thread-safe).
+
+    With the default ``memory`` backend the tier is in-process and dies
+    with the session; with ``sqlite`` it composes over a process-shared
+    WAL-mode file, so sessions, restarts, and concurrent processes all
+    share one warm store — partitioned by :class:`StorageScope` so
+    tenants never observe each other's entries.
+    """
 
     def __init__(
         self,
         mode: str = "off",
         budget_bytes: int = 8_000_000,
         ttl_s: float = 0.0,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Optional[Callable[[], float]] = None,
+        backend: str = "memory",
+        path: Optional[str] = None,
+        scope: Union[str, StorageScope] = "session",
+        scope_ttl_s=None,
     ):
         if mode not in STORAGE_MODES:
             raise ConfigError(
@@ -143,8 +199,20 @@ class StorageTier:
         self.mode = mode
         self.budget_bytes = budget_bytes
         self.ttl_s = ttl_s
-        self._fragments = LRUByteStore(budget_bytes, ttl_s, clock)
-        self._results = LRUByteStore(budget_bytes, ttl_s, clock)
+        self.scope = (
+            scope if isinstance(scope, StorageScope) else StorageScope.parse(scope)
+        )
+        self._fragments: StoreBackend
+        self._results: StoreBackend
+        self._fragments, self._results, self.backend_note = build_backends(
+            backend, budget_bytes, ttl_s, clock=clock, path=path
+        )
+        self.backend_name = self._fragments.name
+        self.persistent = self._fragments.persistent
+        # Per-scope TTL default: entries of this tier's scope level
+        # carry it into the store (None inherits the store-level TTL).
+        scope_ttls = dict(scope_ttl_s or ())
+        self._entry_ttl: Optional[float] = scope_ttls.get(self.scope.level)
         self._lock = threading.Lock()
         # Serializes read-modify-write mutations (peek → merge → put):
         # concurrent plan-wave steps must not lose each other's writes.
@@ -154,17 +222,48 @@ class StorageTier:
         self._fragment_hits = 0
         self._fragment_misses = 0
         self._calls_saved = 0
+        self._invalidations = 0
+        # Prior bumps recorded in an attached persistent file are
+        # history, not invalidations observed by *this* tier.
+        self._last_seen_gen = self._fragments.generation(self.scope.scope_id)
 
     @staticmethod
     def from_config(
-        config: EngineConfig, clock: Callable[[], float] = time.monotonic
+        config: EngineConfig, clock: Optional[Callable[[], float]] = None
     ) -> "StorageTier":
         return StorageTier(
             mode=config.storage_mode,
             budget_bytes=config.storage_budget_bytes,
             ttl_s=config.storage_ttl_s,
             clock=clock,
+            backend=config.storage_backend,
+            path=config.storage_path,
+            scope=config.storage_scope,
+            scope_ttl_s=config.scope_ttl_s,
         )
+
+    # ------------------------------------------------------------------
+    # Scoped keys
+    # ------------------------------------------------------------------
+
+    def _observe_generation(self, store: StoreBackend) -> int:
+        """The scope's current stamp, counting observed bumps.
+
+        Reading the stamp *on every access* is what makes invalidation
+        cross-process: another process bumps the shared file's stamp,
+        and the next key we build here lands in the new namespace — the
+        old entries are simply never addressed again.
+        """
+        gen = store.generation(self.scope.scope_id)
+        with self._lock:
+            if gen > self._last_seen_gen:
+                self._invalidations += gen - self._last_seen_gen
+                self._last_seen_gen = gen
+        return gen
+
+    def _scoped(self, store: StoreBackend, key: Tuple) -> Tuple:
+        """Prefix a logical key with ``(level, tenant, generation)``."""
+        return self.scope.prefix + (self._observe_generation(store), *key)
 
     # ------------------------------------------------------------------
     # Gating
@@ -201,25 +300,39 @@ class StorageTier:
 
     @staticmethod
     def result_key(
-        model_name: str, config: EngineConfig, normalized_sql: str
+        model_name: str,
+        config: EngineConfig,
+        normalized_sql: str,
+        catalog: str = "",
     ) -> Tuple:
-        return ("result", model_name, semantic_fingerprint(config), normalized_sql)
+        return (
+            "result",
+            model_name,
+            semantic_fingerprint(config),
+            catalog,
+            normalized_sql,
+        )
 
     @staticmethod
-    def fragment_scope(model_name: str, config: EngineConfig) -> Tuple:
+    def fragment_scope(
+        model_name: str, config: EngineConfig, catalog: str = ""
+    ) -> Tuple:
         """The namespace fragments live under.
 
-        Model identity *and* the semantic config fingerprint: a tier
-        shared across engines must neither serve one model's rows as
-        another's nor mix fragments across configs that retrieve
-        differently (validation, page sizes, pushdown, ...).  Sharing a
-        tier additionally assumes the engines register identical
-        schemas/constraints — any registration clears the tier.
+        Model identity, the semantic config fingerprint, *and* the
+        engine's catalog fingerprint: a tier shared across engines or
+        processes must neither serve one model's rows as another's, nor
+        mix fragments across configs that retrieve differently
+        (validation, page sizes, pushdown, ...), nor serve entries
+        materialized under a different set of registered
+        schemas/constraints.  The catalog fingerprint is what lets a
+        restarted process that registers the *same* catalog reuse the
+        persistent store instead of wiping it.
         """
-        return (model_name, semantic_fingerprint(config))
+        return (model_name, semantic_fingerprint(config), catalog)
 
     def get_result(self, key: Tuple) -> Optional[CachedResult]:
-        entry = self._results.get(key)
+        entry = self._results.get(self._scoped(self._results, key))
         with self._lock:
             if entry is None:
                 self._result_misses += 1
@@ -244,13 +357,12 @@ class StorageTier:
             warnings=tuple(warnings),
             calls=calls,
         )
-        size = (
-            approx_bytes(entry.rows)
-            + approx_bytes(explain_text)
-            + approx_bytes(entry.warnings)
-            + 128
+        self._results.put(
+            self._scoped(self._results, key),
+            entry,
+            approx_bytes(entry),
+            ttl_s=self._entry_ttl,
         )
-        self._results.put(key, entry, size)
 
     # ------------------------------------------------------------------
     # Scan fragments
@@ -279,7 +391,10 @@ class StorageTier:
     ) -> Optional[ScanFragment]:
         """The stored fragment for a scan shape, or None (no counters)."""
         return self._fragments.get(
-            self._scan_key(scope, table_name, condition, order)
+            self._scoped(
+                self._fragments,
+                self._scan_key(scope, table_name, condition, order),
+            )
         )
 
     def store_scan_fragment(
@@ -291,7 +406,9 @@ class StorageTier:
         fragment: ScanFragment,
     ) -> None:
         """Store a fragment, merging columns with a compatible entry."""
-        key = self._scan_key(scope, table_name, condition, order)
+        key = self._scoped(
+            self._fragments, self._scan_key(scope, table_name, condition, order)
+        )
         with self._write_lock:
             existing = self._fragments.peek(key)
             if existing is not None:
@@ -310,8 +427,9 @@ class StorageTier:
                     and len(existing.rows) > len(fragment.rows)
                 ):
                     return  # keep the longer already-paid-for prefix
-            size = approx_bytes(fragment.rows) + approx_bytes(fragment.columns) + 96
-            self._fragments.put(key, fragment, size)
+            self._fragments.put(
+                key, fragment, approx_bytes(fragment), ttl_s=self._entry_ttl
+            )
 
     def peek_scan_fragment(
         self,
@@ -330,7 +448,10 @@ class StorageTier:
         evicted or expires between planning and execution.
         """
         fragment = self._fragments.peek(
-            self._scan_key(scope, table_name, condition, None)
+            self._scoped(
+                self._fragments,
+                self._scan_key(scope, table_name, condition, None),
+            )
         )
         if fragment is None or not fragment.complete:
             return None
@@ -370,8 +491,11 @@ class StorageTier:
     ) -> Optional[ScanFragment]:
         """The stored fragment for one shard of a sharded scan."""
         return self._fragments.get(
-            self._shard_key(
-                scope, table_name, condition, shard_index, shard_count, start
+            self._scoped(
+                self._fragments,
+                self._shard_key(
+                    scope, table_name, condition, shard_index, shard_count, start
+                ),
             )
         )
 
@@ -393,11 +517,15 @@ class StorageTier:
         whole-scan fragment, which is what routes future whole-table
         scans — sharded or not — to materialized data.
         """
-        key = self._shard_key(
-            scope, table_name, condition, shard_index, shard_count, start
+        key = self._scoped(
+            self._fragments,
+            self._shard_key(
+                scope, table_name, condition, shard_index, shard_count, start
+            ),
         )
-        size = approx_bytes(fragment.rows) + approx_bytes(fragment.columns) + 96
-        self._fragments.put(key, fragment, size)
+        self._fragments.put(
+            key, fragment, approx_bytes(fragment), ttl_s=self._entry_ttl
+        )
 
     # ------------------------------------------------------------------
     # Lookup cells
@@ -425,7 +553,11 @@ class StorageTier:
         recency-neutral probe.
         """
         store = self._fragments.get if touch else self._fragments.peek
-        cells = store(self._row_key(scope, table_name, normalized_key))
+        cells = store(
+            self._scoped(
+                self._fragments, self._row_key(scope, table_name, normalized_key)
+            )
+        )
         if cells is None:
             return None
         if cells.covers(attributes):
@@ -442,14 +574,17 @@ class StorageTier:
         attributes: Sequence[str],
         values: Sequence[Value],
     ) -> None:
-        key = self._row_key(scope, table_name, normalized_key)
+        key = self._scoped(
+            self._fragments, self._row_key(scope, table_name, normalized_key)
+        )
         with self._write_lock:
             cells: Optional[RowCells] = self._fragments.peek(key)
             cells = (cells or RowCells()).with_values(attributes, values)
             self._fragments.put(
                 key,
                 cells,
-                approx_bytes(cells.cells) + approx_bytes(normalized_key) + 64,
+                approx_bytes(cells) + approx_bytes(normalized_key),
+                ttl_s=self._entry_ttl,
             )
 
     def store_lookup_negative(
@@ -459,14 +594,17 @@ class StorageTier:
         normalized_key: Tuple,
         attributes: Sequence[str],
     ) -> None:
-        key = self._row_key(scope, table_name, normalized_key)
+        key = self._scoped(
+            self._fragments, self._row_key(scope, table_name, normalized_key)
+        )
         with self._write_lock:
             cells: Optional[RowCells] = self._fragments.peek(key)
             cells = (cells or RowCells()).with_negative(attributes)
             self._fragments.put(
                 key,
                 cells,
-                approx_bytes(cells.cells) + approx_bytes(normalized_key) + 64,
+                approx_bytes(cells) + approx_bytes(normalized_key),
+                ttl_s=self._entry_ttl,
             )
 
     def peek_lookup_coverage(
@@ -512,6 +650,10 @@ class StorageTier:
                 evictions=frag[2] + res[2],
                 expirations=frag[3] + res[3],
                 oversized=frag[5] + res[5],
+                persistent_hits=(frag[0] + res[0]) if self.persistent else 0,
+                persistent_misses=(frag[1] + res[1]) if self.persistent else 0,
+                invalidations=self._invalidations,
+                backend=self.backend_name,
             )
 
     def reset_counters(self) -> None:
@@ -521,15 +663,38 @@ class StorageTier:
             self._fragment_hits = 0
             self._fragment_misses = 0
             self._calls_saved = 0
+            self._invalidations = 0
 
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
 
     def clear(self) -> None:
-        """Drop every materialized fragment and cached result."""
-        self._fragments.clear()
-        self._results.clear()
+        """Invalidate this scope's fragments and cached results.
+
+        Physically drops the scope's entries from both stores *and*
+        bumps the scope's generation stamp, so on a shared persistent
+        backend every other process observes the invalidation on its
+        next access (their reads move to the new stamp's namespace).
+        Other scopes' entries are untouched.
+        """
+        prefix = self.scope.prefix
+        self._fragments.remove_scope(prefix)
+        self._results.remove_scope(prefix)
+        scope_id = self.scope.scope_id
+        new_gen = self._fragments.bump_generation(scope_id)
+        # Persistent backends share one generations table per file; a
+        # second bump there would double-count the invalidation.  The
+        # in-memory pair keeps separate per-store stamps and needs both
+        # advanced in lockstep.
+        if self._results.generation(scope_id) < new_gen:
+            self._results.bump_generation(scope_id)
+        gen = self._fragments.generation(scope_id)
+        with self._lock:
+            # Our own bumps count as observed invalidations too — the
+            # counter reports invalidation events, whoever caused them.
+            self._invalidations += max(0, gen - self._last_seen_gen)
+            self._last_seen_gen = gen
 
     @property
     def bytes_used(self) -> int:
@@ -538,10 +703,21 @@ class StorageTier:
     def describe(self) -> str:
         """One-line status for the REPL's ``.storage`` command."""
         snap = self.snapshot()
-        return (
-            f"mode={self.mode} bytes={self.bytes_used}/{self.budget_bytes} "
+        text = (
+            f"mode={self.mode} backend={self.backend_name} "
+            f"scope={self.scope.scope_id} "
+            f"bytes={self.bytes_used}/{self.budget_bytes} "
             f"results {snap.result_hits}h/{snap.result_misses}m, "
             f"fragments {snap.fragment_hits}h/{snap.fragment_misses}m, "
             f"{snap.calls_saved} call(s) saved, "
             f"{snap.evictions} evicted, {snap.expirations} expired"
         )
+        if self.persistent:
+            text += (
+                f", persistent {snap.persistent_hits}h/"
+                f"{snap.persistent_misses}m, "
+                f"{snap.invalidations} invalidation(s)"
+            )
+        if self.backend_note:
+            text += f" [{self.backend_note}]"
+        return text

@@ -1,0 +1,534 @@
+"""Tests for the persistent multi-tenant storage subsystem.
+
+Covers the SQLite store backend (semantics parity with the in-memory
+store, eviction at identical budget boundaries), the multi-tenant
+scope machinery (strict isolation, per-scope TTL defaults,
+generation-stamp invalidation observed across tiers and processes),
+cold-restart reuse (~0 model calls on a warm workload, byte-identical),
+concurrent multi-process sharing of one store file, and graceful
+``error:``-free degradation to memory on a corrupt or unopenable file.
+"""
+
+import ast
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.config import EngineConfig, parse_storage_scope
+from repro.core.engine import LLMStorageEngine
+from repro.errors import ConfigError
+from repro.llm.noise import NoiseConfig
+from repro.llm.simulated import SimulatedLLM
+from repro.storage.backend import StorageScope, build_backends
+from repro.storage.persistent import SqliteBackend, StorageBackendError
+from repro.storage.store import LRUByteStore
+from repro.storage.tier import StorageSnapshot, StorageTier
+from tests.conftest import make_engine
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+WORKLOAD = [
+    "SELECT name, population FROM countries WHERE continent = 'Europe'",
+    "SELECT name, population FROM countries WHERE continent = 'Europe' "
+    "ORDER BY population DESC LIMIT 3",
+    "SELECT population FROM countries WHERE name = 'France'",
+    "SELECT COUNT(*) FROM cities",
+]
+
+
+def sqlite_config(path, scope: str = "application", **extra) -> EngineConfig:
+    return EngineConfig(
+        storage_mode="materialize",
+        storage_backend="sqlite",
+        storage_path=str(path),
+        storage_scope=scope,
+        **extra,
+    )
+
+
+def run_workload(engine: LLMStorageEngine):
+    return [tuple(map(tuple, engine.execute(sql).rows)) for sql in WORKLOAD]
+
+
+# ---------------------------------------------------------------------------
+# Config surface
+# ---------------------------------------------------------------------------
+
+
+def test_sqlite_backend_requires_path():
+    with pytest.raises(ConfigError):
+        EngineConfig(storage_backend="sqlite")
+
+
+def test_unknown_backend_and_scope_rejected():
+    with pytest.raises(ConfigError):
+        EngineConfig(storage_backend="redis")
+    with pytest.raises(ConfigError):
+        EngineConfig(storage_scope="galaxy")
+    with pytest.raises(ConfigError):
+        EngineConfig(scope_ttl_s={"galaxy": 10.0})
+    with pytest.raises(ConfigError):
+        EngineConfig(scope_ttl_s={"user": -1.0})
+
+
+def test_scope_parsing_and_defaults():
+    assert parse_storage_scope("user:alice") == ("user", "alice")
+    assert parse_storage_scope("APPLICATION") == ("application", None)
+    assert StorageScope.parse("user").tenant == "default"
+    assert StorageScope.parse("application").tenant == "shared"
+    # A session without an explicit tenant must never collide with
+    # another session's.
+    assert StorageScope.parse("session").tenant != StorageScope.parse(
+        "session"
+    ).tenant
+    assert StorageScope.parse("session:pinned").tenant == "pinned"
+
+
+def test_scope_ttl_normalized_to_sorted_tuple():
+    config = EngineConfig(scope_ttl_s={"user": 60, "session": 5})
+    assert config.scope_ttl_s == (("session", 5.0), ("user", 60.0))
+
+
+# ---------------------------------------------------------------------------
+# SqliteBackend semantics parity with LRUByteStore
+# ---------------------------------------------------------------------------
+
+
+def make_backend(tmp_path, **kwargs) -> SqliteBackend:
+    return SqliteBackend(str(tmp_path / "store.db"), **kwargs)
+
+
+def test_sqlite_put_get_peek_roundtrip(tmp_path):
+    backend = make_backend(tmp_path, budget_bytes=10_000)
+    key = ("user", "alice", 0, "scan", "t", "")
+    backend.put(key, {"rows": [1, 2, 3]}, size=100)
+    assert backend.get(key) == {"rows": [1, 2, 3]}
+    assert backend.peek(key) == {"rows": [1, 2, 3]}
+    assert backend.get(("other",)) is None
+    assert backend.stats.hits == 1 and backend.stats.misses == 1
+    assert backend.bytes_used == 100
+    backend.remove(key)
+    assert backend.peek(key) is None
+
+
+def test_sqlite_ttl_expiry_and_per_entry_override(tmp_path):
+    clock = FakeClock()
+    backend = make_backend(tmp_path, budget_bytes=10_000, ttl_s=10.0, clock=clock)
+    backend.put(("a",), "x")
+    backend.put(("b",), "y", ttl_s=100.0)  # per-entry override outlives
+    clock.advance(11.0)
+    assert backend.get(("a",)) is None
+    assert backend.stats.expirations == 1
+    assert backend.get(("b",)) == "y"
+    clock.advance(95.0)
+    assert backend.get(("b",)) is None
+
+
+def test_sqlite_peek_is_strictly_read_only(tmp_path):
+    clock = FakeClock()
+    backend = make_backend(tmp_path, budget_bytes=10_000, ttl_s=10.0, clock=clock)
+    backend.put(("a",), "x")
+    clock.advance(11.0)
+    assert backend.peek(("a",)) is None
+    # Expired entry neither deleted nor counted by the probe.
+    assert backend.stats.expirations == 0
+    assert len(backend) == 1
+
+
+def test_sqlite_and_memory_evict_at_identical_boundaries(tmp_path):
+    """The satellite bar: deterministic sizing ⇒ identical LRU decisions."""
+    memory = LRUByteStore(budget_bytes=300)
+    sqlite = make_backend(tmp_path, budget_bytes=300)
+    ops = [
+        ("put", ("k", 1), "v1", 100),
+        ("put", ("k", 2), "v2", 100),
+        ("put", ("k", 3), "v3", 100),
+        ("get", ("k", 1)),  # bump recency of k1
+        ("put", ("k", 4), "v4", 100),  # must evict k2 in both
+        ("put", ("k", 5), "oversized", 500),  # admitted alone in both
+    ]
+    for op in ops:
+        for store in (memory, sqlite):
+            if op[0] == "put":
+                store.put(op[1], op[2], size=op[3])
+            else:
+                store.get(op[1])
+    for key in [("k", i) for i in range(1, 6)]:
+        assert memory.peek(key) == sqlite.peek(key), key
+    assert memory.bytes_used == sqlite.bytes_used
+    assert memory.stats.evictions == sqlite.stats.evictions
+    assert memory.stats.oversized == sqlite.stats.oversized == 1
+
+
+def test_sqlite_scope_prefix_removal_is_isolated(tmp_path):
+    backend = make_backend(tmp_path, budget_bytes=10_000)
+    backend.put(("user", "alice", 0, "scan", "t"), "a")
+    backend.put(("user", "alice", 0, "row", "t"), "b")
+    backend.put(("user", "alicia", 0, "scan", "t"), "c")  # prefix-similar
+    backend.put(("application", "shared", 0, "scan", "t"), "d")
+    assert backend.remove_scope(("user", "alice")) == 2
+    assert backend.peek(("user", "alice", 0, "scan", "t")) is None
+    assert backend.peek(("user", "alicia", 0, "scan", "t")) == "c"
+    assert backend.peek(("application", "shared", 0, "scan", "t")) == "d"
+
+
+def test_sqlite_generations_shared_through_file(tmp_path):
+    path = tmp_path / "store.db"
+    a = SqliteBackend(str(path), budget_bytes=1000)
+    b = SqliteBackend(str(path), budget_bytes=1000)
+    assert a.generation("user:alice") == 0
+    assert a.bump_generation("user:alice") == 1
+    # Observed by an independent connection to the same file.
+    assert b.generation("user:alice") == 1
+    assert b.generation("user:bob") == 0
+
+
+def test_sqlite_open_failure_raises_backend_error(tmp_path):
+    missing_dir = tmp_path / "no" / "such" / "dir" / "store.db"
+    with pytest.raises(StorageBackendError):
+        SqliteBackend(str(missing_dir), budget_bytes=1000)
+    corrupt = tmp_path / "corrupt.db"
+    corrupt.write_bytes(b"definitely not a sqlite database" * 64)
+    with pytest.raises(StorageBackendError):
+        SqliteBackend(str(corrupt), budget_bytes=1000)
+
+
+def test_build_backends_degrades_to_memory_with_note(tmp_path):
+    corrupt = tmp_path / "corrupt.db"
+    corrupt.write_bytes(b"garbage" * 100)
+    fragments, results, note = build_backends(
+        "sqlite", 1000, 0.0, path=str(corrupt)
+    )
+    assert fragments.name == results.name == "memory"
+    assert note is not None and "using memory" in note
+
+
+# ---------------------------------------------------------------------------
+# Tier-level multi-tenancy
+# ---------------------------------------------------------------------------
+
+
+def make_tier(path, scope: str, **kwargs) -> StorageTier:
+    return StorageTier(
+        mode="materialize",
+        budget_bytes=100_000,
+        backend="sqlite",
+        path=str(path),
+        scope=scope,
+        **kwargs,
+    )
+
+
+def store_result(tier: StorageTier, key, country_table, calls: int = 3):
+    tier.put_result(
+        key,
+        schema=country_table.schema,
+        rows=country_table.rows[:2],
+        explain_text="plan",
+        warnings=(),
+        calls=calls,
+    )
+
+
+def test_scopes_never_serve_each_other(tmp_path, country_table):
+    path = tmp_path / "store.db"
+    alice = make_tier(path, "user:alice")
+    bob = make_tier(path, "user:bob")
+    app = make_tier(path, "application")
+    key = ("result", "m", (), "", "q")
+    store_result(alice, key, country_table)
+    assert alice.get_result(key) is not None
+    assert bob.get_result(key) is None
+    assert app.get_result(key) is None
+    # Same level + same tenant shares; session scopes never do.
+    alice2 = make_tier(path, "user:alice")
+    assert alice2.get_result(key) is not None
+    s1 = make_tier(path, "session")
+    s2 = make_tier(path, "session")
+    store_result(s1, key, country_table)
+    assert s1.get_result(key) is not None
+    assert s2.get_result(key) is None
+
+
+def test_per_scope_ttl_defaults(tmp_path, country_table):
+    clock = FakeClock()
+    path = tmp_path / "store.db"
+    user = make_tier(
+        path, "user", clock=clock, scope_ttl_s={"user": 30.0}
+    )
+    app = make_tier(path, "application", clock=clock, scope_ttl_s={"user": 30.0})
+    key = ("result", "m", (), "", "q")
+    store_result(user, key, country_table)
+    store_result(app, key, country_table)
+    clock.advance(29.0)
+    assert user.get_result(key) is not None
+    clock.advance(2.0)
+    # The user scope's 30s default expired its entry; the application
+    # scope has no per-scope TTL and inherits the store default (none).
+    assert user.get_result(key) is None
+    assert app.get_result(key) is not None
+
+
+def test_entries_carry_writer_ttl_across_tiers(tmp_path, country_table):
+    """A reader honors the TTL the writing scope stored, not its own."""
+    clock = FakeClock()
+    path = tmp_path / "store.db"
+    writer = make_tier(path, "user:x", clock=clock, scope_ttl_s={"user": 10.0})
+    reader = make_tier(path, "user:x", clock=clock)  # no TTL of its own
+    key = ("result", "m", (), "", "q")
+    store_result(writer, key, country_table)
+    clock.advance(5.0)
+    assert reader.get_result(key) is not None
+    clock.advance(6.0)
+    assert reader.get_result(key) is None
+
+
+def test_clear_invalidates_other_tier_on_same_file(tmp_path, country_table):
+    """Cross-tier (stand-in for cross-process) generation invalidation."""
+    path = tmp_path / "store.db"
+    a = make_tier(path, "user:alice")
+    b = make_tier(path, "user:alice")
+    key = ("result", "m", (), "", "q")
+    store_result(a, key, country_table)
+    assert b.get_result(key) is not None
+    before = b.snapshot().invalidations
+    a.clear()
+    # b's next access reads the bumped stamp: the old entry is
+    # unreachable and the invalidation is observed exactly once.
+    assert b.get_result(key) is None
+    assert b.snapshot().invalidations == before + 1
+    assert a.snapshot().invalidations == 1
+    # Other scopes are untouched by the bump.
+    c = make_tier(path, "user:carol")
+    store_result(c, key, country_table)
+    a.clear()
+    assert c.get_result(key) is not None
+
+
+def test_storage_snapshot_minus_includes_backend_counters():
+    later = StorageSnapshot(
+        result_hits=5,
+        persistent_hits=7,
+        persistent_misses=4,
+        invalidations=3,
+        backend="sqlite",
+    )
+    earlier = StorageSnapshot(
+        result_hits=2,
+        persistent_hits=3,
+        persistent_misses=1,
+        invalidations=1,
+        backend="sqlite",
+    )
+    diff = later.minus(earlier)
+    assert diff.result_hits == 3
+    assert diff.persistent_hits == 4
+    assert diff.persistent_misses == 3
+    assert diff.invalidations == 2
+    assert diff.backend == "sqlite"
+
+
+# ---------------------------------------------------------------------------
+# Engine-level: cold restart, isolation, degradation
+# ---------------------------------------------------------------------------
+
+
+def build_sqlite_engine(world, path, scope="application", seed=5):
+    model = SimulatedLLM(world, NoiseConfig.perfect(), seed=seed)
+    return make_engine(model, world, sqlite_config(path, scope))
+
+
+def test_cold_restart_serves_with_zero_calls(tmp_path, mini_world):
+    """The acceptance demo: a fresh process pays ~0 calls, byte-identical."""
+    path = tmp_path / "tier.db"
+    reference = run_workload(
+        make_engine(
+            SimulatedLLM(mini_world, NoiseConfig.perfect(), seed=5),
+            mini_world,
+            EngineConfig(storage_mode="off"),
+        )
+    )
+    first = build_sqlite_engine(mini_world, path)
+    assert run_workload(first) == reference
+    assert first.usage.calls > 0
+
+    # "Restart": a brand-new engine + model over the same store file.
+    second = build_sqlite_engine(mini_world, path)
+    assert run_workload(second) == reference
+    assert second.usage.calls == 0
+    assert second.usage.calls_saved > 0
+    assert second.usage.persistent_hits > 0
+    assert "persistent" in second.storage.describe()
+
+
+def test_restarted_session_scope_never_reuses(tmp_path, mini_world):
+    path = tmp_path / "tier.db"
+    first = build_sqlite_engine(mini_world, path, scope="session")
+    run_workload(first)
+    second = build_sqlite_engine(mini_world, path, scope="session")
+    run_workload(second)
+    # Anonymous session tenants are unique per tier: no sharing.
+    assert second.usage.calls == first.usage.calls > 0
+
+
+def test_engine_scopes_are_isolated(tmp_path, mini_world):
+    path = tmp_path / "tier.db"
+    alice = build_sqlite_engine(mini_world, path, scope="user:alice")
+    reference = run_workload(alice)
+    assert alice.usage.calls > 0
+    bob = build_sqlite_engine(mini_world, path, scope="user:bob")
+    assert run_workload(bob) == reference
+    # Strict isolation: bob re-pays the full workload.
+    assert bob.usage.calls == alice.usage.calls
+
+
+def test_catalog_change_invalidates_without_wiping_store(tmp_path, mini_world):
+    from repro.relational.schema import Column, TableSchema
+    from repro.relational.types import DataType
+
+    path = tmp_path / "tier.db"
+    warm = build_sqlite_engine(mini_world, path)
+    run_workload(warm)
+
+    changed = build_sqlite_engine(mini_world, path)
+    changed.register_virtual_table(
+        TableSchema(
+            name="rivers",
+            columns=(Column("name", DataType.TEXT, nullable=False),),
+            primary_key=("name",),
+        ),
+        row_estimate=10,
+    )
+    # A different catalog fingerprint must not serve the old entries...
+    assert changed.usage.calls == 0
+    changed.execute(WORKLOAD[0])
+    assert changed.usage.calls > 0
+    # ...but the old catalog's entries survive for a same-catalog restart.
+    again = build_sqlite_engine(mini_world, path)
+    run_workload(again)
+    assert again.usage.calls == 0
+
+
+def test_corrupt_file_degrades_to_memory_without_error(tmp_path, mini_world):
+    path = tmp_path / "tier.db"
+    path.write_bytes(b"this is not a database" * 32)
+    engine = build_sqlite_engine(mini_world, path)
+    reference = run_workload(
+        make_engine(
+            SimulatedLLM(mini_world, NoiseConfig.perfect(), seed=5),
+            mini_world,
+            EngineConfig(storage_mode="off"),
+        )
+    )
+    assert run_workload(engine) == reference  # still answers, no raise
+    assert engine.storage.backend_name == "memory"
+    described = engine.storage.describe()
+    assert "using memory" in described
+    assert "error:" not in described
+
+
+def test_clear_cache_only_clears_own_scope(tmp_path, mini_world):
+    path = tmp_path / "tier.db"
+    alice = build_sqlite_engine(mini_world, path, scope="user:alice")
+    bob = build_sqlite_engine(mini_world, path, scope="user:bob")
+    run_workload(alice)
+    run_workload(bob)
+    alice.clear_cache()
+    bob2 = build_sqlite_engine(mini_world, path, scope="user:bob")
+    run_workload(bob2)
+    assert bob2.usage.calls == 0  # bob's entries survived alice's clear
+    alice2 = build_sqlite_engine(mini_world, path, scope="user:alice")
+    run_workload(alice2)
+    assert alice2.usage.calls > 0  # alice's own entries are gone
+
+
+# ---------------------------------------------------------------------------
+# Cross-process sharing (real subprocesses over one store file)
+# ---------------------------------------------------------------------------
+
+CHILD_SCRIPT = """
+import sys
+
+from repro.config import EngineConfig
+from repro.core.engine import LLMStorageEngine
+from repro.eval.worlds import all_worlds
+from repro.llm.noise import NoiseConfig
+from repro.llm.simulated import SimulatedLLM
+
+path, scope = sys.argv[1], sys.argv[2]
+world = all_worlds()["geography"]
+model = SimulatedLLM(world, noise=NoiseConfig.perfect(), seed=7)
+engine = LLMStorageEngine(
+    model,
+    config=EngineConfig(
+        storage_mode="materialize",
+        storage_backend="sqlite",
+        storage_path=path,
+        storage_scope=scope,
+    ),
+)
+for schema in world.schemas():
+    engine.register_virtual_table(
+        schema, row_estimate=world.row_count(schema.name)
+    )
+queries = [
+    "SELECT name, population FROM countries WHERE continent = 'Europe'",
+    "SELECT name FROM countries WHERE continent = 'Europe' "
+    "ORDER BY population DESC LIMIT 3",
+    "SELECT COUNT(*) FROM cities",
+]
+rows = [tuple(map(tuple, engine.execute(sql).rows)) for sql in queries]
+print(repr({"rows": rows, "calls": engine.usage.calls}))
+"""
+
+
+def spawn_child(script_path, db_path, scope):
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    return subprocess.Popen(
+        [sys.executable, str(script_path), str(db_path), scope],
+        env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def child_output(process):
+    stdout, stderr = process.communicate(timeout=120)
+    assert process.returncode == 0, stderr
+    return ast.literal_eval(stdout.strip())
+
+
+def test_concurrent_processes_share_one_store_byte_identically(tmp_path):
+    script = tmp_path / "child.py"
+    script.write_text(CHILD_SCRIPT, encoding="utf-8")
+    db_path = tmp_path / "shared.db"
+
+    # Two concurrent processes, one scope, one WAL file.
+    first = spawn_child(script, db_path, "application")
+    second = spawn_child(script, db_path, "application")
+    out_first = child_output(first)
+    out_second = child_output(second)
+    assert out_first["rows"] == out_second["rows"]
+
+    # A third (cold-restart) process serves entirely from the file.
+    warm = child_output(spawn_child(script, db_path, "application"))
+    assert warm["rows"] == out_first["rows"]
+    assert warm["calls"] == 0
+
+    # A different scope over the same file never sees those entries.
+    other = child_output(spawn_child(script, db_path, "user:outsider"))
+    assert other["rows"] == out_first["rows"]
+    assert other["calls"] > 0

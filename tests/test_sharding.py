@@ -214,7 +214,9 @@ def test_seeded_shard_fragments_serve_chains_without_calls():
     (step,) = plan.steps
     assert isinstance(step, ShardedScanStep)
     scope = StorageTier.fragment_scope(
-        resolve_model_name(receiver._session.model), config
+        resolve_model_name(receiver._session.model),
+        config,
+        receiver.catalog_scope,
     )
     rows = list(cold.rows)
     for shard in step.shards:

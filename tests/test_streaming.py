@@ -364,7 +364,7 @@ def test_narrower_scan_does_not_drop_wider_prefix_columns():
     from repro.storage.tier import StorageTier
 
     scope = StorageTier.fragment_scope(
-        resolve_model_name(engine._session.model), config
+        resolve_model_name(engine._session.model), config, engine.catalog_scope
     )
     fragment = engine.storage.scan_fragment(scope, "movies", None, None)
     assert fragment is not None
