@@ -1,0 +1,163 @@
+"""Benchmark: observability must be free when off, cheap when on.
+
+Runs a join+aggregate workload against the movies world four ways —
+tracing off and on, at ``max_in_flight`` 1 and 8 — and asserts the
+observability contract:
+
+* rows are byte-identical with tracing on vs off at both levels,
+* usage totals (calls, tokens, simulated wall) match to the digit —
+  instrumentation never perturbs the deterministic accounting,
+* the traced run's *host* time stays under the recorded overhead
+  ceiling (``ceilings.observability_overhead`` in ``baseline.json``),
+  measured as a min-of-rounds ratio to absorb scheduler jitter.
+
+Also exports the traced run's span trees as ``trace.jsonl`` so the CI
+bench job uploads a real sample trace as a workflow artifact.
+"""
+
+import json
+import os
+import time
+
+from repro.config import EngineConfig
+from repro.core.engine import LLMStorageEngine
+from repro.eval.reporting import ResultTable, artifact_path, save_metrics
+from repro.eval.worlds import all_worlds
+from repro.llm.noise import NoiseConfig
+from repro.llm.simulated import SimulatedLLM
+from repro.obs.export import write_trace_jsonl
+
+SEED = 7
+ROUNDS = 3
+LEVELS = (1, 8)
+
+QUERIES = [
+    "SELECT m.title, d.country FROM movies m JOIN directors d "
+    "ON m.director = d.name WHERE m.year >= 2000",
+    "SELECT d.name, COUNT(*) FROM movies m JOIN directors d "
+    "ON m.director = d.name GROUP BY d.name",
+    "SELECT title, rating FROM movies WHERE rating >= 8.0 "
+    "ORDER BY rating DESC LIMIT 10",
+]
+
+
+def overhead_ceiling() -> float:
+    baseline_path = os.path.join(os.path.dirname(__file__), "baseline.json")
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        return float(baseline["ceilings"]["observability_overhead"])
+    except (OSError, KeyError, ValueError, TypeError):
+        return 1.75
+
+
+def build_engine(max_in_flight: int, tracing: bool) -> LLMStorageEngine:
+    world = all_worlds()["movies"]
+    model = SimulatedLLM(world, noise=NoiseConfig(), seed=SEED)
+    config = EngineConfig().with_(
+        max_in_flight=max_in_flight,
+        lookup_batch_size=8,
+        enable_tracing=tracing,
+    )
+    engine = LLMStorageEngine(model, config=config)
+    for schema in world.schemas():
+        engine.register_virtual_table(
+            schema, row_estimate=world.row_count(schema.name)
+        )
+    return engine
+
+
+def run_workload(max_in_flight: int, tracing: bool):
+    """Best host time over ROUNDS fresh engines, plus one run's outputs."""
+    best = float("inf")
+    rows = usage = engine = None
+    for _ in range(ROUNDS):
+        engine = build_engine(max_in_flight, tracing)
+        start = time.perf_counter()
+        rows = [
+            tuple(map(tuple, engine.execute(sql).rows)) for sql in QUERIES
+        ]
+        best = min(best, time.perf_counter() - start)
+    usage = engine.usage
+    return rows, usage, best, engine
+
+
+def test_observability_overhead(benchmark):
+    results = {}
+
+    def sweep():
+        for level in LEVELS:
+            for tracing in (False, True):
+                results[(level, tracing)] = run_workload(level, tracing)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    ceiling = overhead_ceiling()
+    artifact = ResultTable(
+        title="Observability overhead: tracing on vs off (host time)",
+        columns=[
+            "max_in_flight",
+            "host_ms_off",
+            "host_ms_on",
+            "overhead",
+            "spans",
+        ],
+    )
+    byte_identical = True
+    wall_identical = True
+    ratios = {}
+    for level in LEVELS:
+        rows_off, usage_off, host_off, _ = results[(level, False)]
+        rows_on, usage_on, host_on, traced = results[(level, True)]
+        byte_identical &= rows_off == rows_on
+        wall_identical &= (
+            usage_off.calls == usage_on.calls
+            and usage_off.total_tokens == usage_on.total_tokens
+            and round(usage_off.wall_ms, 6) == round(usage_on.wall_ms, 6)
+            and round(usage_off.latency_ms, 6)
+            == round(usage_on.latency_ms, 6)
+        )
+        ratio = host_on / host_off if host_off > 0 else 1.0
+        ratios[level] = ratio
+        spans = sum(len(t.spans) for t in traced.observability.traces)
+        artifact.add_row(
+            level,
+            round(host_off * 1000, 2),
+            round(host_on * 1000, 2),
+            round(ratio, 3),
+            spans,
+        )
+    artifact.add_note(
+        f"min-of-{ROUNDS} host time per cell; ceiling {ceiling}x; "
+        "rows and usage identical on/off at both levels"
+    )
+    assert artifact.save(artifact_path("bench_observability_overhead.txt"))
+
+    # Ship a real trace sample as a CI artifact.
+    sample_engine = results[(8, True)][3]
+    trace_path = artifact_path("trace.jsonl")
+    span_count = write_trace_jsonl(
+        trace_path, sample_engine.observability.traces
+    )
+
+    worst = max(ratios.values())
+    overhead_ok = worst <= ceiling
+    save_metrics(
+        "observability_overhead",
+        {
+            "byte_identical": byte_identical,
+            "wall_identical": wall_identical,
+            "overhead_under_ceiling": overhead_ok,
+            "overhead_ratio_mif1": round(ratios[1], 3),
+            "overhead_ratio_mif8": round(ratios[8], 3),
+            "overhead_ceiling": ceiling,
+            "trace_spans_exported": span_count,
+        },
+    )
+    assert byte_identical, "tracing changed result rows"
+    assert wall_identical, "tracing perturbed usage accounting"
+    assert span_count > 0, "traced run exported no spans"
+    assert overhead_ok, (
+        f"traced overhead {worst:.2f}x exceeds ceiling {ceiling}x"
+    )

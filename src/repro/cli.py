@@ -18,8 +18,10 @@ Inside the REPL:
 
     sql> SELECT population FROM countries WHERE name = 'France';
     sql> .explain SELECT COUNT(*) FROM cities
+    sql> .explain analyze SELECT COUNT(*) FROM cities
     sql> .usage           -- cumulative session accounting
     sql> .storage         -- storage-tier hit/miss/eviction counters
+    sql> .metrics         -- metrics registry + slow-query log (--trace)
     sql> .tables          -- registered virtual tables
     sql> .quit
 """
@@ -36,6 +38,7 @@ from repro.errors import ReproError
 from repro.eval.worlds import all_worlds, constraints_for
 from repro.llm.noise import NoiseConfig
 from repro.llm.simulated import SimulatedLLM
+from repro.obs.export import batch_summary
 
 
 def build_engine(
@@ -55,6 +58,8 @@ def build_engine(
     scan_shards: int = 1,
     shard_min_rows: Optional[int] = None,
     streaming: bool = True,
+    tracing: bool = False,
+    slow_query_ms: Optional[float] = None,
 ) -> LLMStorageEngine:
     """Assemble an engine over one of the standard worlds."""
     worlds = all_worlds()
@@ -88,6 +93,10 @@ def build_engine(
         config = config.with_(shard_min_rows=shard_min_rows)
     if not streaming:
         config = config.with_(enable_streaming=False)
+    if tracing:
+        config = config.with_(enable_tracing=True)
+    if slow_query_ms is not None:
+        config = config.with_(slow_query_ms=slow_query_ms)
     engine = LLMStorageEngine(model, config=config)
     for schema in world.schemas():
         engine.register_virtual_table(
@@ -113,12 +122,19 @@ def run_statement(engine: LLMStorageEngine, line: str, out) -> None:
         for name in engine.catalog.names():
             print(engine.catalog.schema(name).render_signature(), file=out)
         return
+    if stripped == ".metrics":
+        print(engine.metrics_report(), file=out)
+        return
     if stripped.startswith(".explain"):
         sql = stripped[len(".explain"):].strip()
+        analyze = False
+        if sql.lower().startswith("analyze"):
+            analyze = True
+            sql = sql[len("analyze"):].strip()
         if not sql:
-            print("usage: .explain <sql>", file=out)
+            print("usage: .explain [analyze] <sql>", file=out)
             return
-        print(engine.explain(sql), file=out)
+        print(engine.explain(sql, analyze=analyze), file=out)
         return
     result = engine.execute(stripped)
     print(result.render(), file=out)
@@ -198,6 +214,9 @@ def run_batch(
         f"({jobs} job(s)); session usage: {engine.usage.render()}",
         file=out,
     )
+    print(batch_summary(outcomes), file=out)
+    if engine.observability.enabled:
+        print(engine.metrics_report(), file=out)
     return failed
 
 
@@ -303,6 +322,28 @@ def main(argv=None) -> int:
         "only pages fetched change — see '.usage' pages counters",
     )
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect a deterministic span tree per query and activate "
+        "the session metrics registry (see '.metrics'); results and "
+        "usage totals are byte-identical with or without it",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write collected traces as JSON lines to PATH on exit "
+        "(implies --trace)",
+    )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log statements whose simulated wall time meets MS ms "
+        "(statement, wall, top-3 slowest spans; implies tracing)",
+    )
+    parser.add_argument(
         "--naive", action="store_true", help="disable all optimizations"
     )
     parser.add_argument("-c", "--command", default=None, help="run one query and exit")
@@ -342,6 +383,8 @@ def main(argv=None) -> int:
             scan_shards=args.scan_shards,
             shard_min_rows=args.shard_min_rows,
             streaming=not args.no_streaming,
+            tracing=args.trace or args.trace_out is not None,
+            slow_query_ms=args.slow_query_ms,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -352,6 +395,15 @@ def main(argv=None) -> int:
     if args.jobs is not None and args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
+
+    def flush_traces() -> None:
+        if args.trace_out is None:
+            return
+        spans = engine.export_trace(args.trace_out)
+        print(
+            f"-- wrote {spans} span(s) to {args.trace_out}", file=sys.stdout
+        )
+
     if args.batch is not None:
         try:
             statements = read_batch_statements(args.batch)
@@ -360,6 +412,7 @@ def main(argv=None) -> int:
             return 2
         jobs = args.jobs if args.jobs is not None else engine.config.serve_jobs
         failed = run_batch(engine, statements, jobs, sys.stdout)
+        flush_traces()
         return 1 if failed else 0
     if args.command:
         try:
@@ -367,8 +420,10 @@ def main(argv=None) -> int:
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
+        flush_traces()
         return 0
     repl(engine)
+    flush_traces()
     return 0
 
 

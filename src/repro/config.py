@@ -154,6 +154,19 @@ class EngineConfig:
         scope_ttl_s: per-scope-level TTL defaults overriding
             ``storage_ttl_s``, as a mapping (or tuple of pairs) from
             level to seconds, e.g. ``{"session": 0, "user": 3600}``.
+        enable_tracing: collect a structured span tree per query (parse
+            / bind / optimize / plan steps / dispatcher flights /
+            storage probes) with deterministic simulated timestamps,
+            and activate the session metrics registry.  Off by default:
+            the engine then runs against a shared no-op tracer, so
+            instrumentation costs one attribute check per site and
+            results, usage totals, and wall accounting are untouched
+            either way.
+        slow_query_ms: record statements whose simulated wall time
+            meets this threshold (statement, wall, top-3 slowest spans)
+            into the session's slow-query log, surfaced by the
+            ``.metrics`` REPL command and batch summaries.  Implies
+            tracing.  0 disables the log.
     """
 
     page_size: int = 20
@@ -183,6 +196,8 @@ class EngineConfig:
     storage_path: Optional[str] = None
     storage_scope: str = "session"
     scope_ttl_s: Optional[Tuple[Tuple[str, float], ...]] = None
+    enable_tracing: bool = False
+    slow_query_ms: float = 0.0
 
     def __post_init__(self):
         if self.storage_mode not in STORAGE_MODES:
@@ -234,6 +249,10 @@ class EngineConfig:
         if self.storage_ttl_s < 0:
             raise ConfigError(
                 f"storage_ttl_s must be >= 0; got {self.storage_ttl_s}"
+            )
+        if self.slow_query_ms < 0:
+            raise ConfigError(
+                f"slow_query_ms must be >= 0; got {self.slow_query_ms}"
             )
         for name, minimum in (
             ("page_size", 1),

@@ -250,6 +250,11 @@ QueryOutcome` objects are returned instead.
             session_meter=self._session.meter,
             jobs=jobs,
             max_in_flight=self._config.max_in_flight,
+            registry=(
+                self._session.obs.registry
+                if self._session.obs.enabled
+                else None
+            ),
         )
         outcomes = scheduler.execute(
             statements, priorities=priorities, timeout_s=timeout_s
@@ -266,16 +271,50 @@ QueryOutcome` objects are returned instead.
         sql: Union[str, ast.Statement],
         meter: UsageMeter,
         cancel: Optional[CancellationToken] = None,
+        tracer=None,
+        use_result_cache: bool = True,
+        analyze_sink: Optional[dict] = None,
     ) -> QueryResult:
         """One statement through parse → bind → plan → execute.
 
         ``meter`` is the query's own child meter (usage rolls up into
         the session); ``cancel`` is checked before every model call.
+        ``tracer`` overrides the session's tracer (EXPLAIN ANALYZE
+        forces a real one even when tracing is off);
+        ``use_result_cache=False`` bypasses the result-cache *read*
+        only — the computed result is still written back;
+        ``analyze_sink`` receives the physical plan under ``"plan"``.
         """
-        statement = parse(sql) if isinstance(sql, str) else sql
-        sql_text = sql if isinstance(sql, str) else print_statement(statement)
+        sql_text = sql if isinstance(sql, str) else print_statement(sql)
+        obs = self._session.obs
+        if tracer is None:
+            tracer = obs.query_tracer(sql_text)
+        with tracer.span("query"):
+            result = self._run_statement(
+                sql, sql_text, meter, cancel, tracer,
+                use_result_cache, analyze_sink,
+            )
+        if tracer.enabled and tracer.trace is not None:
+            result.trace = tracer.trace
+            if obs.enabled:
+                obs.record_query(sql_text, result.usage, tracer.trace)
+        return result
 
-        bound = Binder(self._catalog).bind(statement)
+    def _run_statement(
+        self,
+        sql: Union[str, ast.Statement],
+        sql_text: str,
+        meter: UsageMeter,
+        cancel: Optional[CancellationToken],
+        tracer,
+        use_result_cache: bool,
+        analyze_sink: Optional[dict],
+    ) -> QueryResult:
+        with tracer.span("parse"):
+            statement = parse(sql) if isinstance(sql, str) else sql
+
+        with tracer.span("bind"):
+            bound = Binder(self._catalog).bind(statement)
 
         storage = self._session.storage
         result_key = None
@@ -286,7 +325,12 @@ QueryOutcome` objects are returned instead.
                 canonical_sql_key(bound.query),
                 catalog=self._catalog_scope,
             )
-            cached = storage.get_result(result_key)
+        if result_key is not None and use_result_cache:
+            with tracer.span("storage", kind="result") as probe:
+                cached = storage.get_result(result_key)
+                probe.set_tag(
+                    "outcome", "hit" if cached is not None else "miss"
+                )
             if cached is not None:
                 from repro.relational.table import Table
 
@@ -304,7 +348,10 @@ QueryOutcome` objects are returned instead.
                     engine_name=self.name,
                 )
 
-        plan = self._optimizer().plan(bound)
+        with tracer.span("optimize"):
+            plan = self._optimizer().plan(bound)
+        if analyze_sink is not None:
+            analyze_sink["plan"] = plan
 
         validator = Validator(enabled=self._config.enable_validation)
         client = ModelClient(
@@ -318,11 +365,22 @@ QueryOutcome` objects are returned instead.
             flight_budget=self._session.flight_budget,
             cancel=cancel,
             catalog_scope=self._catalog_scope,
+            tracer=tracer,
+            registry=(
+                self._session.obs.registry
+                if self._session.obs.enabled
+                else None
+            ),
         )
+        # Rebind the trace clock to the query's simulated wall: span
+        # timestamps become model milliseconds, deterministic at any
+        # max_in_flight (setup spans before this read as time 0).
+        tracer.set_clock(client.ledger.now)
         executor = PlanExecutor(client, self._virtuals, self._materialized)
 
         try:
-            table = executor.execute(plan)
+            with tracer.span("execute"):
+                table = executor.execute(plan)
         finally:
             client.close()
         # The child meter *is* the attribution: no session-level
@@ -355,11 +413,36 @@ QueryOutcome` objects are returned instead.
             engine_name=self.name,
         )
 
-    def explain(self, sql: Union[str, ast.Statement]) -> str:
-        """Plan a query without executing it; returns the plan text."""
-        statement = parse(sql) if isinstance(sql, str) else sql
-        bound = Binder(self._catalog).bind(statement)
-        return explain_plan(self._optimizer().plan(bound))
+    def explain(
+        self, sql: Union[str, ast.Statement], analyze: bool = False
+    ) -> str:
+        """Plan a query; with ``analyze=True``, execute it and render
+        estimated vs actual rows/pages/calls/wall per plan step.
+
+        The analyze path always runs the plan (the result-cache read is
+        bypassed so there are real spans to report; the computed result
+        is still written back) under a query-local tracer, so it works
+        whether or not session tracing is enabled.
+        """
+        if not analyze:
+            statement = parse(sql) if isinstance(sql, str) else sql
+            bound = Binder(self._catalog).bind(statement)
+            return explain_plan(self._optimizer().plan(bound))
+
+        from repro.obs.analyze import explain_analyze
+        from repro.obs.trace import QueryTrace, QueryTracer
+
+        sql_text = sql if isinstance(sql, str) else print_statement(sql)
+        tracer = QueryTracer(QueryTrace(statement=sql_text))
+        sink: dict = {}
+        result = self._execute_statement(
+            sql,
+            self._session.query_meter(),
+            tracer=tracer,
+            use_result_cache=False,
+            analyze_sink=sink,
+        )
+        return explain_analyze(sink["plan"], tracer.trace, result.usage)
 
     def plan(self, sql: Union[str, ast.Statement]):
         """The raw plan object (used by the cost-model experiments)."""
@@ -396,6 +479,26 @@ QueryOutcome` objects are returned instead.
     def usage(self) -> UsageSnapshot:
         """Cumulative usage across all queries of this engine."""
         return self._session.usage()
+
+    @property
+    def observability(self):
+        """The session's tracing/metrics hub (inactive by default)."""
+        return self._session.obs
+
+    def metrics_report(self) -> str:
+        """Human-readable metrics + slow-query report (``.metrics``)."""
+        return self._session.obs.render_report()
+
+    def prometheus_metrics(self) -> str:
+        """The metrics registry in Prometheus text exposition format."""
+        return self._session.obs.registry.to_prometheus()
+
+    def export_trace(self, path) -> int:
+        """Write buffered query traces as JSON lines; returns the span
+        count written (0 when tracing is disabled)."""
+        from repro.obs.export import write_trace_jsonl
+
+        return write_trace_jsonl(path, self._session.obs.traces)
 
     def reset_usage(self) -> None:
         self._session.reset_usage()

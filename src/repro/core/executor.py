@@ -92,8 +92,11 @@ class PlanExecutor:
     # ------------------------------------------------------------------
 
     def _execute_set_operation(self, plan: SetOpPlan) -> Table:
-        left = self.execute(plan.left)
-        right = self.execute(plan.right)
+        tracer = self._client.tracer
+        with tracer.span("branch", side="left"):
+            left = self.execute(plan.left)
+        with tracer.span("branch", side="right"):
+            right = self.execute(plan.right)
         if len(left.schema.columns) != len(right.schema.columns):
             raise ExecutionError(
                 f"{plan.op.upper()} sides returned different column counts"
@@ -135,11 +138,15 @@ class PlanExecutor:
     # ------------------------------------------------------------------
 
     def _execute_retrieval(self, plan: RetrievalPlan) -> Table:
+        tracer = self._client.tracer
         statement = plan.statement
         if plan.subplans:
             replacements: Dict[int, ast.Expr] = {}
             for subplan in plan.subplans:
-                replacements[id(subplan.node)] = self._resolve_subquery(subplan)
+                with tracer.span("subquery"):
+                    replacements[id(subplan.node)] = self._resolve_subquery(
+                        subplan
+                    )
             statement = _rewrite_statement_exprs(statement, replacements)
 
         streamed = self._streamed_result(plan, statement)
@@ -149,11 +156,18 @@ class PlanExecutor:
         catalog = Catalog()
         temp_names: Dict[str, str] = {}
         local_tables: Dict[str, Table] = {}
+        step_index = {id(step): i for i, step in enumerate(plan.steps)}
 
         if self._client.max_in_flight > 1 and len(plan.steps) > 1:
+            # Orchestration threads have no ambient span stack; capture
+            # the current parent and re-bind it per thunk so step spans
+            # land under the right node regardless of thread timing.
+            parent = tracer.current_parent()
             for wave in _step_waves(plan.steps):
                 thunks = [
-                    (lambda s=step: self._run_step_scoped(s, local_tables))
+                    (lambda s=step: self._run_step_scoped(
+                        s, local_tables, step_index[id(s)], parent
+                    ))
                     for step in wave
                 ]
                 outcomes = run_parallel(self._client.ledger, thunks)
@@ -164,9 +178,12 @@ class PlanExecutor:
                     local_tables[step.binding.lower()] = table
         else:
             for step in plan.steps:
-                local_tables[step.binding.lower()] = self._table_for_step(
-                    step, local_tables
-                )
+                with tracer.span(
+                    "step", **_step_tags(step, step_index[id(step)])
+                ) as span:
+                    table = self._table_for_step(step, local_tables)
+                    span.set_tag("rows", len(table))
+                local_tables[step.binding.lower()] = table
 
         # Register in first-write step order so temp numbering (and the
         # rewritten statement) is identical across concurrency levels.
@@ -207,20 +224,34 @@ class PlanExecutor:
         quota_rows = getattr(step, "stop_after_rows", None)
         if quota_rows is None:
             return None
+        if not (
+            isinstance(step, ScanStep)
+            or (isinstance(step, LookupStep) and step.literal_keys is not None)
+        ):
+            return None
+        # One step span covers open-through-drain, so the storage probe
+        # and every fetched page land under it in the trace.
+        with self._client.tracer.span(
+            "step", streamed=True, **_step_tags(step, 0)
+        ) as step_span:
+            return self._consume_streamed(plan, statement, step, step_span)
+
+    def _consume_streamed(
+        self, plan: RetrievalPlan, statement: ast.Query, step, step_span
+    ) -> Table:
+        quota_rows = step.stop_after_rows
         if isinstance(step, ScanStep):
             columns = tuple(step.columns)
             stream = self._client.open_scan_stream(
                 step, self._virtual_for(step.table_name)
             )
-        elif isinstance(step, LookupStep) and step.literal_keys is not None:
+        else:
             columns = tuple(step.key_columns) + tuple(step.attributes)
             stream = self._client.open_lookup_stream(
                 step,
                 self._keys_from_source(step, {}),
                 self._virtual_for(step.table_name),
             )
-        else:
-            return None
 
         binding = step.binding.lower()
         probe_statement = _rewrite_from_clause(
@@ -264,6 +295,7 @@ class PlanExecutor:
                 return state["count"]
 
         rows = take_until(stream, RowQuota(quota_rows, output_count))
+        step_span.set_tag("rows", len(rows))
         table = build_local_table(binding, step.schema, columns, rows)
         catalog = Catalog()
         temp_name = self._fresh_name(binding)
@@ -275,10 +307,20 @@ class PlanExecutor:
     # Step helpers
     # ------------------------------------------------------------------
 
-    def _run_step_scoped(self, step, local_tables: Dict[str, Table]):
+    def _run_step_scoped(
+        self,
+        step,
+        local_tables: Dict[str, Table],
+        step_index: int = 0,
+        trace_parent: Optional[int] = None,
+    ):
         """One step on an orchestration thread, with warnings captured."""
-        with self._client.warning_scope() as captured:
-            table = self._table_for_step(step, local_tables)
+        tracer = self._client.tracer
+        with tracer.bind(trace_parent):
+            with tracer.span("step", **_step_tags(step, step_index)) as span:
+                with self._client.warning_scope() as captured:
+                    table = self._table_for_step(step, local_tables)
+                span.set_tag("rows", len(table))
         return table, captured
 
     def _table_for_step(self, step, local_tables: Dict[str, Table]) -> Table:
@@ -405,6 +447,19 @@ class PlanExecutor:
 # ---------------------------------------------------------------------------
 # Step scheduling
 # ---------------------------------------------------------------------------
+
+
+def _step_tags(step, index: int) -> Dict[str, object]:
+    """Stable trace tags identifying a plan step within its plan."""
+    tags: Dict[str, object] = {
+        "step": index,
+        "step_kind": step.kind,
+        "binding": step.binding,
+    }
+    table_name = getattr(step, "table_name", None)
+    if table_name is not None:
+        tags["table"] = table_name
+    return tags
 
 
 def _step_waves(steps) -> List[List]:

@@ -45,6 +45,8 @@ from repro.errors import ExecutionError, LLMProtocolError
 from repro.llm.accounting import MeteredModel, UsageMeter
 from repro.llm.cache import CachingModel, PromptCache, resolve_model_name
 from repro.llm.interface import Completion, CompletionOptions, LanguageModel
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import NOOP_TRACER
 from repro.plan.physical import (
     JudgeStep,
     LookupStep,
@@ -91,8 +93,15 @@ class ModelClient:
         flight_budget: Optional[FlightBudget] = None,
         cancel: Optional[CancellationToken] = None,
         catalog_scope: str = "",
+        tracer=None,
+        registry=None,
     ):
         self._raw_model = model
+        # Observability hooks: the tracer collects spans (no-op unless
+        # the query runs under tracing), the registry feeds the
+        # pages-per-scan histogram.  Neither affects answers or usage.
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
+        self._registry = registry
         # The storage tier only serves/stores under deterministic
         # configurations; resolve the gate once so the operators below
         # can simply test for None.  Fragments live under a
@@ -137,6 +146,7 @@ class ModelClient:
             dedup_scope=self._storage_scope,
             flight_budget=flight_budget,
             cancel=cancel,
+            tracer=self._tracer,
         )
         self.warnings: List[str] = []
         self._warning_local = threading.local()
@@ -148,6 +158,11 @@ class ModelClient:
     @property
     def dispatcher(self) -> Dispatcher:
         return self._dispatcher
+
+    @property
+    def tracer(self):
+        """The query's tracer (the shared no-op when tracing is off)."""
+        return self._tracer
 
     @property
     def ledger(self) -> LatencyLedger:
@@ -263,10 +278,17 @@ class ModelClient:
         prefix: List[List[Value]] = []
         prefix_calls = 0
         if self._storage is not None:
-            served = self._scan_from_storage(step, virtual, count_miss=False)
-            if served is not None:
-                return materialized_stream(step.columns, served.rows, page_size)
-            prefix, prefix_calls = self._resumable_prefix(step)
+            with self._tracer.span(
+                "storage", kind="scan", table=step.table_name
+            ) as probe:
+                served = self._scan_from_storage(step, virtual, count_miss=False)
+                if served is not None:
+                    probe.set_tag("outcome", "hit")
+                    return materialized_stream(
+                        step.columns, served.rows, page_size
+                    )
+                prefix, prefix_calls = self._resumable_prefix(step)
+                probe.set_tag("outcome", "resume" if prefix else "miss")
         return RowStream(
             step.columns, self._scan_pages(step, virtual, prefix, prefix_calls)
         )
@@ -428,6 +450,10 @@ class ModelClient:
         finally:
             if prefetcher is not None:
                 prefetcher.discard()
+            if self._registry is not None and pages_fetched > 0:
+                self._registry.histogram(
+                    obs_metrics.PAGES_PER_SCAN
+                ).observe(pages_fetched)
             if interrupted:
                 self._meter.record_pages(
                     skipped=max(0, est_pages - prefix_pages - pages_fetched)
@@ -613,10 +639,13 @@ class ModelClient:
                             parse=parse,
                             first_attempt=1,
                             prior_error=exc,
+                            kind="scan-page",
                         )
                     )
         return self._dispatcher.run_one(
-            CompletionRequest(prompt=prompt, sample_index=0, parse=parse)
+            CompletionRequest(
+                prompt=prompt, sample_index=0, parse=parse, kind="scan-page"
+            )
         )
 
     # ------------------------------------------------------------------
@@ -643,7 +672,13 @@ class ModelClient:
         """
         scan = step.scan
         if self._storage is not None:
-            served = self._scan_from_storage(scan, virtual)
+            with self._tracer.span(
+                "storage", kind="scan", table=scan.table_name
+            ) as probe:
+                served = self._scan_from_storage(scan, virtual)
+                probe.set_tag(
+                    "outcome", "hit" if served is not None else "miss"
+                )
             if served is not None:
                 if step.aggregate is None:
                     return served
@@ -704,9 +739,13 @@ class ModelClient:
     ):
         scan = step.scan
         shard_count = len(step.shards)
+        # Chains may run on fresh worker threads with no ambient span
+        # stack; capture the step span here and re-bind it per chain so
+        # shard spans keep their place in the tree.
+        parent = self._tracer.current_parent()
         thunks = [
             (lambda shard=shard: self._run_shard_chain(
-                scan, shard, shard_count, virtual
+                scan, shard, shard_count, virtual, parent
             ))
             for shard in step.shards
         ]
@@ -798,10 +837,17 @@ class ModelClient:
         shard: ShardSpec,
         shard_count: int,
         virtual: VirtualTable,
+        trace_parent: Optional[int] = None,
     ) -> "_ShardOutcome":
         """One shard's page chain, with its warnings captured in order."""
-        with self.warning_scope() as captured:
-            outcome = self._fetch_shard(scan, shard, shard_count, virtual)
+        with self._tracer.bind(trace_parent):
+            with self._tracer.span("shard", shard=shard.index) as span:
+                with self.warning_scope() as captured:
+                    outcome = self._fetch_shard(
+                        scan, shard, shard_count, virtual
+                    )
+                span.set_tag("rows", len(outcome.rows))
+                span.set_tag("pages", outcome.pages)
         outcome.warnings = captured
         return outcome
 
@@ -814,19 +860,26 @@ class ModelClient:
     ) -> "_ShardOutcome":
         storage = self._storage
         if storage is not None:
-            fragment = storage.shard_fragment(
-                self._storage_scope,
-                scan.table_name,
-                scan.pushdown_sql,
-                shard.index,
-                shard_count,
-                shard.start,
-            )
-            if (
-                fragment is not None
-                and fragment.complete
-                and fragment.covers_columns(scan.columns)
-            ):
+            with self._tracer.span(
+                "storage", kind="shard", table=scan.table_name,
+                shard=shard.index,
+            ) as probe:
+                fragment = storage.shard_fragment(
+                    self._storage_scope,
+                    scan.table_name,
+                    scan.pushdown_sql,
+                    shard.index,
+                    shard_count,
+                    shard.start,
+                )
+                served = (
+                    fragment is not None
+                    and fragment.complete
+                    and fragment.covers_columns(scan.columns)
+                )
+                probe.set_tag("outcome", "hit" if served else "miss")
+            if served:
+                assert fragment is not None
                 self._record_fragment_hits(1, calls_saved=fragment.source_calls)
                 return _ShardOutcome(
                     rows=fragment.project(scan.columns),
@@ -870,7 +923,13 @@ class ModelClient:
                 )
             )
             page = self._dispatcher.run_one(
-                CompletionRequest(prompt=prompt, sample_index=0, parse=parse_page)
+                CompletionRequest(
+                    prompt=prompt,
+                    sample_index=0,
+                    parse=parse_page,
+                    kind="scan-page",
+                    trace_tags=(("shard", shard.index),),
+                )
             )
             if page.malformed_lines:
                 self._warn(
@@ -901,6 +960,8 @@ class ModelClient:
                 break
         if target is not None and len(parsed) > target:
             parsed = parsed[:target]
+        if self._registry is not None and pages > 0:
+            self._registry.histogram(obs_metrics.PAGES_PER_SCAN).observe(pages)
         validated = [
             self._validator.validate_row(row, virtual, scan.columns)
             for row in parsed
@@ -1024,18 +1085,27 @@ class ModelClient:
         batch_size = max(1, self._config.lookup_batch_size)
         votes = max(1, self._config.votes)
         fetch_indices = []
-        for index, key in enumerate(keys):
-            outcome = storage.lookup_cells(
-                self._storage_scope,
-                step.table_name,
-                normalize_key(tuple(key)),
-                step.attributes,
-            )
-            if outcome is None:
-                fetch_indices.append(index)
+        with self._tracer.span(
+            "storage", kind="lookup", table=step.table_name
+        ) as probe:
+            for index, key in enumerate(keys):
+                outcome = storage.lookup_cells(
+                    self._storage_scope,
+                    step.table_name,
+                    normalize_key(tuple(key)),
+                    step.attributes,
+                )
+                if outcome is None:
+                    fetch_indices.append(index)
+                else:
+                    found, values = outcome
+                    served[index] = list(values) if found else None
+            if not served:
+                probe.set_tag("outcome", "miss")
+            elif fetch_indices:
+                probe.set_tag("outcome", "partial")
             else:
-                found, values = outcome
-                served[index] = list(values) if found else None
+                probe.set_tag("outcome", "hit")
         if served:
             total_batches = -(-len(keys) // batch_size) if keys else 0
             paid_batches = (
@@ -1075,7 +1145,12 @@ class ModelClient:
             )
 
         return [
-            CompletionRequest(prompt=prompt, sample_index=vote, parse=parse_answer)
+            CompletionRequest(
+                prompt=prompt,
+                sample_index=vote,
+                parse=parse_answer,
+                kind="lookup-batch",
+            )
             for vote in range(votes)
         ]
 
@@ -1242,7 +1317,10 @@ class ModelClient:
             for vote in range(votes):
                 requests.append(
                     CompletionRequest(
-                        prompt=prompt, sample_index=vote, parse=parse_answer
+                        prompt=prompt,
+                        sample_index=vote,
+                        parse=parse_answer,
+                        kind="judge-batch",
                     )
                 )
         answers = self._dispatcher.run_wave(requests)

@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional, TYPE_CHECKING
 
 from repro.llm.accounting import UsageSnapshot
 from repro.relational.table import Table
+
+if TYPE_CHECKING:
+    from repro.obs.trace import QueryTrace
 
 
 @dataclass
@@ -23,6 +26,8 @@ class QueryResult:
             nulled implausible values, ...).
         sql: the query as received.
         engine_name: which engine produced this result.
+        trace: the query's span tree when tracing was enabled
+            (``None`` otherwise).
     """
 
     table: Table
@@ -31,6 +36,7 @@ class QueryResult:
     warnings: List[str] = field(default_factory=list)
     sql: str = ""
     engine_name: str = ""
+    trace: Optional["QueryTrace"] = None
 
     @property
     def rows(self):

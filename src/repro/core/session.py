@@ -27,6 +27,7 @@ from repro.config import EngineConfig
 from repro.llm.accounting import Budget, PriceModel, UsageMeter, UsageSnapshot
 from repro.llm.cache import PromptCache
 from repro.llm.interface import LanguageModel
+from repro.obs.hub import Observability
 from repro.runtime.scheduler import CrossQueryDedup, FlightBudget
 from repro.storage.tier import StorageTier
 
@@ -48,6 +49,14 @@ class EngineSession:
         self.flight_budget = FlightBudget(self.config.max_in_flight)
         if self.storage is None:
             self.storage = StorageTier.from_config(self.config)
+        # Observability is wired only when enabled: the meter observer,
+        # tier counters, and in-flight gauges otherwise stay detached,
+        # so the disabled path records nothing and checks nothing.
+        self.obs = Observability.from_config(self.config)
+        if self.obs.enabled:
+            self.meter.set_observer(self.obs)
+            self.storage.attach_registry(self.obs.registry)
+            self.flight_budget.attach_registry(self.obs.registry)
 
     def query_meter(self, forward_wall: bool = True) -> UsageMeter:
         """A child meter attributing one query's usage.
@@ -71,6 +80,7 @@ class EngineSession:
             persistent_hits=storage.persistent_hits,
             persistent_misses=storage.persistent_misses,
             invalidations=storage.invalidations,
+            latency_summary=self.obs.latency_summary(),
         )
 
     def reset_usage(self) -> None:

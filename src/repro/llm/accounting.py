@@ -104,6 +104,11 @@ class UsageSnapshot:
     persistent_hits: int = 0
     persistent_misses: int = 0
     invalidations: int = 0
+    #: Human-readable p50/p99 call-latency line filled in by the
+    #: session when the metrics registry is active; ``None`` (and thus
+    #: absent from ``render``) when observability is off.  Derived
+    #: display data, not a counter: ``minus``/``plus`` drop it.
+    latency_summary: Optional[str] = None
 
     @property
     def total_tokens(self) -> int:
@@ -111,8 +116,14 @@ class UsageSnapshot:
 
     @property
     def speedup(self) -> float:
-        """Serialized model time over critical path (1.0 when unknown)."""
-        if self.wall_ms <= 0:
+        """Serialized model time over critical path (1.0 when unknown).
+
+        Both degenerate edges report 1.0: ``wall_ms == 0`` with model
+        time accrued (e.g. a query served entirely from caches before
+        any makespan commit) and ``latency_ms == 0`` — a ratio against
+        zero in either direction is noise, not a speedup.
+        """
+        if self.wall_ms <= 0 or self.latency_ms <= 0:
             return 1.0
         return self.latency_ms / self.wall_ms
 
@@ -166,8 +177,10 @@ class UsageSnapshot:
             f"{self.calls} calls, {self.prompt_tokens}+{self.completion_tokens} "
             f"tokens, {self.latency_ms:.0f} ms, ${self.cost_usd:.4f}"
         )
+        # The speedup ratio appears only when concurrency actually
+        # shortened the critical path; a serial run stays a flat line.
         if 0 < self.wall_ms < self.latency_ms:
-            text += f", {self.wall_ms:.0f} ms wall"
+            text += f", {self.wall_ms:.0f} ms wall ({self.speedup:.2f}x)"
         storage_bits = []
         if self.result_cache_hits:
             storage_bits.append(f"{self.result_cache_hits} result hit(s)")
@@ -196,6 +209,8 @@ class UsageSnapshot:
             )
         if self.invalidations:
             text += f", {self.invalidations} invalidation(s)"
+        if self.latency_summary:
+            text += f", {self.latency_summary}"
         return text
 
 
@@ -228,6 +243,7 @@ class UsageMeter:
         self._budget = budget
         self._parent: Optional["UsageMeter"] = None
         self._forward_wall = True
+        self._observer = None
         self._lock = threading.Lock()
         self._calls = 0
         self._prompt_tokens = 0
@@ -249,6 +265,17 @@ class UsageMeter:
         meter._parent = self
         meter._forward_wall = forward_wall
         return meter
+
+    def set_observer(self, observer) -> None:
+        """Attach a metrics sink (the observability bridge).
+
+        The observer fires at the *root* meter only — child recordings
+        forward up and are observed exactly once when they land here —
+        and outside the meter lock, so sinks may take their own locks.
+        It must tolerate concurrent calls (dispatcher workers record in
+        parallel).
+        """
+        self._observer = observer
 
     def check_budget(self) -> None:
         """Raise if the next call would exceed the budget."""
@@ -307,6 +334,8 @@ class UsageMeter:
             self._latency_ms += completion.latency_ms
         if self._parent is not None:
             self._parent.record_completion(completion)
+        elif self._observer is not None:
+            self._observer.on_completion(completion)
 
     def record(self, completion: Completion) -> None:
         """Account for one completion (call slot included)."""
@@ -317,6 +346,8 @@ class UsageMeter:
             self._latency_ms += completion.latency_ms
         if self._parent is not None:
             self._parent.record(completion)
+        elif self._observer is not None:
+            self._observer.on_completion(completion)
 
     def record_sharded_scan(self, chains: int) -> None:
         """Account one scan step fanned out as ``chains`` shard chains."""
@@ -335,6 +366,8 @@ class UsageMeter:
             self._pages_skipped += max(0, skipped)
         if self._parent is not None:
             self._parent.record_pages(fetched=fetched, skipped=skipped)
+        elif self._observer is not None:
+            self._observer.on_pages(fetched, skipped)
 
     def record_result_cache_hit(self, calls_saved: int = 0) -> None:
         """Account one whole query served from the result cache."""
@@ -358,6 +391,8 @@ class UsageMeter:
             self._dedup_hits += 1
         if self._parent is not None:
             self._parent.record_dedup_hit()
+        elif self._observer is not None:
+            self._observer.on_dedup()
 
     def add_wall_ms(self, ms: float) -> None:
         """Advance the critical-path clock (committed by the runtime)."""

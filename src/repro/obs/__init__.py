@@ -1,0 +1,52 @@
+"""End-to-end query observability.
+
+Deterministic span tracing (:mod:`repro.obs.trace`), an
+order-invariant metrics registry (:mod:`repro.obs.metrics`), trace and
+batch exporters (:mod:`repro.obs.export`), EXPLAIN ANALYZE rendering
+(:mod:`repro.obs.analyze`), and the per-session hub wiring them
+together (:mod:`repro.obs.hub`).  Everything here is opt-in via
+``EngineConfig.enable_tracing`` / ``slow_query_ms``; disabled, the
+engine runs against no-op stand-ins with byte-identical results.
+"""
+
+from repro.obs.analyze import explain_analyze
+from repro.obs.export import (
+    batch_summary,
+    exact_percentile,
+    read_trace_jsonl,
+    write_trace_jsonl,
+)
+from repro.obs.hub import Observability, SlowQueryEntry, SlowQueryLog
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NOOP_TRACER,
+    NoopTracer,
+    QueryTrace,
+    QueryTracer,
+    Span,
+)
+
+__all__ = [
+    "explain_analyze",
+    "batch_summary",
+    "exact_percentile",
+    "read_trace_jsonl",
+    "write_trace_jsonl",
+    "Observability",
+    "SlowQueryEntry",
+    "SlowQueryLog",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_TRACER",
+    "NoopTracer",
+    "QueryTrace",
+    "QueryTracer",
+    "Span",
+]

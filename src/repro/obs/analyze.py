@@ -1,0 +1,173 @@
+"""EXPLAIN ANALYZE: estimated vs actual, rendered from a trace.
+
+The plan tree and the span tree are walked together: each plan step is
+matched to its ``step`` span (by step index, within the enclosing
+execution scope), and the step's actuals — output rows, model calls
+(retries included), pages fetched, simulated wall — are aggregated
+from the flight spans beneath it.  The estimated numbers are exactly
+what static EXPLAIN prints (the same :func:`step_line` builds both
+headers), which is the feedback loop a statistics catalog needs:
+est_rows vs rows, estimated calls vs flights actually flown.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.trace import QueryTrace, Span
+from repro.plan.explain import step_line
+from repro.plan.physical import (
+    DerivedStep,
+    PlanNode,
+    RetrievalPlan,
+    SetOpPlan,
+)
+from repro.sql.printer import print_statement
+
+_PAGE_KINDS = frozenset({"scan-page", "lookup-batch"})
+
+
+class _TraceView:
+    """Index over a trace for plan-aligned lookups."""
+
+    def __init__(self, trace: QueryTrace) -> None:
+        self.children: Dict[Optional[int], List[Span]] = (
+            trace.children_index()
+        )
+
+    def child_spans(self, scope_id: Optional[int], name: str) -> List[Span]:
+        if scope_id is None:
+            return []
+        return [
+            span
+            for span in self.children.get(scope_id, [])
+            if span.name == name
+        ]
+
+    def step_spans(self, scope_id: Optional[int]) -> Dict[int, Span]:
+        spans: Dict[int, Span] = {}
+        for span in self.child_spans(scope_id, "step"):
+            index = span.tags.get("step")
+            if isinstance(index, int) and index not in spans:
+                spans[index] = span
+        return spans
+
+    def flight_totals(self, span: Span) -> Dict[str, int]:
+        """Calls/pages aggregated over the span's whole subtree."""
+        calls = 0
+        pages = 0
+        stack = [span.span_id]
+        while stack:
+            for child in self.children.get(stack.pop(), []):
+                if child.name == "flight":
+                    calls += int(child.tags.get("attempts", 1))
+                    if child.tags.get("kind") in _PAGE_KINDS:
+                        pages += 1
+                else:
+                    stack.append(child.span_id)
+        return {"calls": calls, "pages": pages}
+
+    def storage_outcome(self, span: Span) -> Optional[str]:
+        for child in self.children.get(span.span_id, []):
+            if child.name == "storage":
+                outcome = child.tags.get("outcome")
+                if outcome is not None:
+                    return str(outcome)
+        return None
+
+
+def _pad(indent: int) -> str:
+    return "  " * indent
+
+
+def _actual_line(view: _TraceView, span: Optional[Span]) -> str:
+    if span is None:
+        return "actual: not executed"
+    totals = view.flight_totals(span)
+    parts = []
+    rows = span.tags.get("rows")
+    if rows is not None:
+        parts.append(f"rows={rows}")
+    parts.append(f"calls={totals['calls']}")
+    parts.append(f"pages={totals['pages']}")
+    parts.append(f"wall={span.duration_ms:.0f} ms")
+    outcome = view.storage_outcome(span)
+    if outcome is not None:
+        parts.append(f"storage={outcome}")
+    return "actual: " + " ".join(parts)
+
+
+def _render(
+    plan: PlanNode,
+    view: _TraceView,
+    lines: List[str],
+    indent: int,
+    scope_id: Optional[int],
+) -> None:
+    if isinstance(plan, SetOpPlan):
+        word = plan.op.upper() + (" ALL" if plan.all else "")
+        lines.append(f"{_pad(indent)}SetOp {word} [{plan.estimate.render()}]")
+        branches = {
+            span.tags.get("side"): span
+            for span in view.child_spans(scope_id, "branch")
+        }
+        left = branches.get("left")
+        right = branches.get("right")
+        _render(
+            plan.left, view, lines, indent + 1,
+            left.span_id if left else None,
+        )
+        _render(
+            plan.right, view, lines, indent + 1,
+            right.span_id if right else None,
+        )
+        return
+    assert isinstance(plan, RetrievalPlan)
+    lines.append(
+        f"{_pad(indent)}LocalCompute: {print_statement(plan.statement)} "
+        f"[{plan.estimate.render()}]"
+    )
+    for note in plan.notes:
+        lines.append(f"{_pad(indent + 1)}note: {note}")
+    step_spans = view.step_spans(scope_id)
+    for index, step in enumerate(plan.steps):
+        span = step_spans.get(index)
+        if isinstance(step, DerivedStep):
+            lines.append(f"{_pad(indent + 1)}Derived {step.binding}:")
+            lines.append(f"{_pad(indent + 2)}{_actual_line(view, span)}")
+            _render(
+                step.plan, view, lines, indent + 2,
+                span.span_id if span else None,
+            )
+        else:
+            lines.append(f"{_pad(indent + 1)}{step_line(step)}")
+            lines.append(f"{_pad(indent + 2)}{_actual_line(view, span)}")
+    subquery_spans = view.child_spans(scope_id, "subquery")
+    for position, subplan in enumerate(plan.subplans):
+        lines.append(f"{_pad(indent + 1)}Subquery:")
+        span = (
+            subquery_spans[position]
+            if position < len(subquery_spans)
+            else None
+        )
+        _render(
+            subplan.plan, view, lines, indent + 2,
+            span.span_id if span else None,
+        )
+
+
+def explain_analyze(plan: PlanNode, trace: QueryTrace, usage) -> str:
+    """Render ``plan`` with per-step actuals taken from ``trace``."""
+    view = _TraceView(trace)
+    scope_id: Optional[int] = None
+    for root in view.children.get(None, []):
+        if root.name == "query":
+            for child in view.children.get(root.span_id, []):
+                if child.name == "execute":
+                    scope_id = child.span_id
+                    break
+            break
+    lines: List[str] = []
+    _render(plan, view, lines, indent=0, scope_id=scope_id)
+    lines.append(f"-- actual: {usage.render()}")
+    return "\n".join(lines)

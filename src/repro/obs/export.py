@@ -1,0 +1,105 @@
+"""Trace export (JSON lines) and fleet-wide batch aggregation.
+
+The JSONL format is one object per span, each carrying its ``trace``
+sequence number and the traced statement on the first span of a trace,
+so a file round-trips back into the same list of span trees
+(:func:`read_trace_jsonl`) and streams cleanly into external tools.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import IO, Iterable, List, Optional, Sequence
+
+from repro.obs.trace import QueryTrace, Span
+
+
+def write_trace_jsonl(path: str, traces: Iterable[QueryTrace]) -> int:
+    """Write traces as JSON lines; returns the number of spans written."""
+    with open(path, "w", encoding="utf-8") as handle:
+        return dump_traces(handle, traces)
+
+
+def dump_traces(handle: IO[str], traces: Iterable[QueryTrace]) -> int:
+    written = 0
+    for index, trace in enumerate(traces):
+        spans = sorted(trace.spans, key=lambda span: span.span_id)
+        for position, span in enumerate(spans):
+            payload = span.to_dict()
+            payload["trace"] = index
+            if position == 0 and trace.statement:
+                payload["statement"] = trace.statement
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+            written += 1
+    return written
+
+
+def read_trace_jsonl(path: str) -> List[QueryTrace]:
+    """Inverse of :func:`write_trace_jsonl`."""
+    traces: List[QueryTrace] = []
+    current_index: Optional[int] = None
+    current: Optional[QueryTrace] = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            index = int(payload.get("trace", 0))
+            if index != current_index:
+                current = QueryTrace(
+                    statement=str(payload.get("statement", ""))
+                )
+                traces.append(current)
+                current_index = index
+            assert current is not None
+            current.append(Span.from_dict(payload))
+    return traces
+
+
+def exact_percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile over an explicit sample (deterministic:
+    sorts the values, so arrival order never matters)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(len(ordered) * pct / 100.0))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def batch_summary(outcomes) -> str:
+    """Fleet-wide one-liner for an ``execute_many`` batch.
+
+    Aggregates per-query ``UsageSnapshot`` attribution (already exact
+    per job) into p50/p99 wall, total calls/tokens, and hit counts.
+    """
+    usages = [
+        outcome.usage for outcome in outcomes if outcome.usage is not None
+    ]
+    if not usages:
+        return "-- fleet: no usage attributed"
+    walls = [usage.wall_ms for usage in usages]
+    calls = sum(usage.calls for usage in usages)
+    tokens = sum(
+        usage.prompt_tokens + usage.completion_tokens for usage in usages
+    )
+    text = (
+        f"-- fleet: {len(usages)} quer{'y' if len(usages) == 1 else 'ies'}, "
+        f"wall p50/p99 = {exact_percentile(walls, 50):.0f}/"
+        f"{exact_percentile(walls, 99):.0f} ms, "
+        f"{calls} call(s), {tokens} token(s)"
+    )
+    dedup = sum(usage.dedup_hits for usage in usages)
+    fragment = sum(usage.fragment_hits for usage in usages)
+    result_hits = sum(usage.result_cache_hits for usage in usages)
+    extras = []
+    if result_hits:
+        extras.append(f"{result_hits} result hit(s)")
+    if fragment:
+        extras.append(f"{fragment} fragment hit(s)")
+    if dedup:
+        extras.append(f"{dedup} dedup join(s)")
+    if extras:
+        text += ", " + ", ".join(extras)
+    return text

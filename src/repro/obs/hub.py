@@ -1,0 +1,191 @@
+"""Session-level observability hub.
+
+One :class:`Observability` instance lives on each engine session.  It
+owns the metrics registry, a bounded buffer of recent query traces,
+and the slow-query log, and implements the meter-observer protocol
+(:meth:`on_completion` / :meth:`on_pages` / :meth:`on_dedup`) so the
+root :class:`~repro.llm.accounting.UsageMeter` can feed call-level
+metrics without knowing anything about metrics.
+
+When disabled (the default) the hub hands out :data:`NOOP_TRACER`, the
+registry is inactive, and nothing else is wired — the engine's hot
+paths see one falsy attribute and move on.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple, Union
+
+from repro.obs import metrics as m
+from repro.obs.metrics import MetricsRegistry, format_bound
+from repro.obs.trace import (
+    NOOP_TRACER,
+    NoopTracer,
+    QueryTrace,
+    QueryTracer,
+)
+
+
+@dataclass(frozen=True)
+class SlowQueryEntry:
+    """One over-threshold query: statement, wall, hottest spans."""
+
+    statement: str
+    wall_ms: float
+    #: ``(span name, duration ms, stable tag pairs)`` for the top-3
+    #: slowest non-root spans.
+    top_spans: Tuple[Tuple[str, float, Tuple[Tuple[str, str], ...]], ...]
+
+    def render(self) -> str:
+        text = f"{self.wall_ms:.0f} ms  {self.statement}"
+        for name, duration, tags in self.top_spans:
+            described = " ".join(f"{k}={v}" for k, v in tags)
+            text += f"\n    {name} {duration:.0f} ms"
+            if described:
+                text += f" ({described})"
+        return text
+
+
+class SlowQueryLog:
+    """Bounded, thread-safe log of the slowest offenders."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        self._entries: Deque[SlowQueryEntry] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def record(self, entry: SlowQueryEntry) -> None:
+        with self._lock:
+            self._entries.append(entry)
+
+    @property
+    def entries(self) -> List[SlowQueryEntry]:
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def render(self) -> str:
+        entries = self.entries
+        if not entries:
+            return "(no slow queries)"
+        return "\n".join(entry.render() for entry in entries)
+
+
+@dataclass
+class Observability:
+    """Per-session tracing + metrics + slow-query state."""
+
+    enabled: bool = False
+    slow_query_ms: float = 0.0
+    trace_capacity: int = 256
+    registry: MetricsRegistry = field(init=False)
+    slow_log: SlowQueryLog = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.registry = MetricsRegistry(active=self.enabled)
+        self.slow_log = SlowQueryLog()
+        self._traces: Deque[QueryTrace] = deque(maxlen=self.trace_capacity)
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_config(cls, config) -> "Observability":
+        """A slow-query threshold alone needs spans too, so either
+        knob turns tracing on."""
+        slow_ms = float(getattr(config, "slow_query_ms", 0.0) or 0.0)
+        enabled = bool(getattr(config, "enable_tracing", False)) or (
+            slow_ms > 0
+        )
+        return cls(enabled=enabled, slow_query_ms=slow_ms)
+
+    # -- tracer hand-out ----------------------------------------------
+    def query_tracer(
+        self, statement: str = ""
+    ) -> Union[QueryTracer, NoopTracer]:
+        if not self.enabled:
+            return NOOP_TRACER
+        return QueryTracer(QueryTrace(statement=statement))
+
+    # -- per-query recording ------------------------------------------
+    def record_query(self, statement: str, usage, trace) -> None:
+        if not self.enabled:
+            return
+        self.registry.counter(m.QUERIES_TOTAL).inc()
+        self.registry.histogram(m.QUERY_WALL_MS).observe(usage.wall_ms)
+        if trace is not None:
+            with self._lock:
+                self._traces.append(trace)
+        if self.slow_query_ms > 0 and usage.wall_ms >= self.slow_query_ms:
+            self.registry.counter(m.SLOW_QUERIES_TOTAL).inc()
+            top: Tuple = ()
+            if trace is not None:
+                top = tuple(
+                    (
+                        span.name,
+                        span.duration_ms,
+                        tuple(
+                            sorted(
+                                (key, str(value))
+                                for key, value in span.tags.items()
+                            )
+                        ),
+                    )
+                    for span in trace.slowest(3)
+                )
+            self.slow_log.record(
+                SlowQueryEntry(
+                    statement=statement,
+                    wall_ms=usage.wall_ms,
+                    top_spans=top,
+                )
+            )
+
+    @property
+    def traces(self) -> List[QueryTrace]:
+        with self._lock:
+            return list(self._traces)
+
+    # -- UsageMeter observer protocol ---------------------------------
+    def on_completion(self, completion) -> None:
+        registry = self.registry
+        registry.counter(m.MODEL_CALLS_TOTAL).inc()
+        registry.histogram(m.CALL_LATENCY_MS).observe(completion.latency_ms)
+        registry.histogram(m.TOKENS_PER_CALL).observe(
+            completion.prompt_tokens + completion.completion_tokens
+        )
+
+    def on_pages(self, fetched: int, skipped: int) -> None:
+        if fetched > 0:
+            self.registry.counter(m.PAGES_FETCHED_TOTAL).inc(fetched)
+        if skipped > 0:
+            self.registry.counter(m.PAGES_SKIPPED_TOTAL).inc(skipped)
+
+    def on_dedup(self) -> None:
+        self.registry.counter(m.DEDUP_HITS_TOTAL).inc()
+
+    # -- summaries -----------------------------------------------------
+    def latency_summary(self) -> Optional[str]:
+        """One-line call-latency percentile summary, or ``None`` if no
+        calls were observed (keeps ``UsageSnapshot.render`` unchanged
+        on idle sessions)."""
+        if not self.enabled:
+            return None
+        histogram = self.registry.histogram(m.CALL_LATENCY_MS)
+        if histogram.count == 0:
+            return None
+        p50 = format_bound(histogram.percentile(50))
+        p99 = format_bound(histogram.percentile(99))
+        return f"call latency p50/p99 <= {p50}/{p99} ms"
+
+    def render_report(self) -> str:
+        """The ``.metrics`` REPL payload: registry + slow queries."""
+        lines = [self.registry.render_summary()]
+        if self.slow_query_ms > 0:
+            lines.append("")
+            lines.append(f"slow queries (>= {self.slow_query_ms:.0f} ms):")
+            lines.append(self.slow_log.render())
+        return "\n".join(lines)

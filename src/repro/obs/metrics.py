@@ -1,0 +1,284 @@
+"""Deterministic metrics: counters, gauges, fixed-bucket histograms.
+
+Histograms use *fixed* bucket bounds with integer occupancy counts, so
+percentiles are computed by integer rank over cumulative bucket counts
+— the result is invariant to the order observations arrive in, which
+makes p50/p90/p99 reproducible under any thread interleaving (a
+float-summation quantile estimator would not be).  A percentile
+resolves to the upper bound of the bucket holding its rank;
+observations above the top bound land in an overflow bucket whose
+"upper bound" reports as ``inf``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+# -- canonical metric names (one place, used by feeds and docs) -------
+QUERIES_TOTAL = "queries_total"
+MODEL_CALLS_TOTAL = "model_calls_total"
+DEDUP_HITS_TOTAL = "dedup_hits_total"
+RESULT_HITS_TOTAL = "result_cache_hits_total"
+RESULT_MISSES_TOTAL = "result_cache_misses_total"
+FRAGMENT_HITS_TOTAL = "fragment_hits_total"
+FRAGMENT_MISSES_TOTAL = "fragment_misses_total"
+PAGES_FETCHED_TOTAL = "pages_fetched_total"
+PAGES_SKIPPED_TOTAL = "pages_skipped_total"
+SLOW_QUERIES_TOTAL = "slow_queries_total"
+INFLIGHT_CURRENT = "inflight_current"
+INFLIGHT_PEAK = "inflight_peak"
+CALL_LATENCY_MS = "call_latency_ms"
+TOKENS_PER_CALL = "tokens_per_call"
+PAGES_PER_SCAN = "pages_per_scan"
+QUEUE_WAIT_MS = "queue_wait_ms"
+QUERY_WALL_MS = "query_wall_ms"
+
+LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
+)
+TOKEN_BUCKETS: Tuple[float, ...] = (
+    16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192,
+)
+PAGE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+WAIT_BUCKETS_MS: Tuple[float, ...] = (
+    0.1, 0.5, 1, 5, 10, 25, 50, 100, 250, 500, 1000, 5000,
+)
+WALL_BUCKETS_MS: Tuple[float, ...] = (
+    10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000,
+)
+
+#: Default bucket layout per histogram name; unknown names fall back
+#: to :data:`LATENCY_BUCKETS_MS`.
+DEFAULT_BUCKETS: Dict[str, Tuple[float, ...]] = {
+    CALL_LATENCY_MS: LATENCY_BUCKETS_MS,
+    TOKENS_PER_CALL: TOKEN_BUCKETS,
+    PAGES_PER_SCAN: PAGE_BUCKETS,
+    QUEUE_WAIT_MS: WAIT_BUCKETS_MS,
+    QUERY_WALL_MS: WALL_BUCKETS_MS,
+}
+
+
+class Counter:
+    """Monotonic named counter."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Last-write-wins value with a monotonic-max helper."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def max_update(self, value: float) -> None:
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with order-invariant percentiles."""
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        help_text: str = "",
+    ) -> None:
+        if buckets is None:
+            buckets = DEFAULT_BUCKETS.get(name, LATENCY_BUCKETS_MS)
+        bounds = tuple(sorted(float(bound) for bound in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.help_text = help_text
+        self.bounds = bounds
+        # counts[i] observes value <= bounds[i]; counts[-1] is overflow.
+        self._counts = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._sum = 0.0  # informational only; never drives percentiles
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> List[int]:
+        with self._lock:
+            return list(self._counts)
+
+    def percentile(self, pct: float) -> Optional[float]:
+        """Upper bound of the bucket holding the ``pct`` rank.
+
+        Integer-rank selection (``ceil(pct/100 * count)``) over integer
+        cumulative counts: deterministic regardless of observation
+        order.  Returns ``None`` with no observations and ``inf`` when
+        the rank lands in the overflow bucket.
+        """
+        with self._lock:
+            if self._count == 0:
+                return None
+            rank = max(1, math.ceil(self._count * pct / 100.0))
+            cumulative = 0
+            for i, bucket_count in enumerate(self._counts):
+                cumulative += bucket_count
+                if cumulative >= rank:
+                    if i < len(self.bounds):
+                        return self.bounds[i]
+                    return math.inf
+        return math.inf  # pragma: no cover - unreachable
+
+
+def format_bound(value: Optional[float]) -> str:
+    """Compact human rendering of a percentile value."""
+    if value is None:
+        return "-"
+    if math.isinf(value):
+        return "inf"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:g}"
+
+
+class MetricsRegistry:
+    """Named metric store; creation is idempotent and thread-safe.
+
+    ``active`` is the feed gate: instrumentation sites check it (or are
+    simply never wired) when observability is disabled, so an inactive
+    registry costs nothing on the hot path.
+    """
+
+    def __init__(self, active: bool = True) -> None:
+        self.active = active
+        self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, factory):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        metric = self._get(name, lambda: Counter(name, help_text))
+        if not isinstance(metric, Counter):
+            raise TypeError(f"metric {name!r} is not a counter")
+        return metric
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        metric = self._get(name, lambda: Gauge(name, help_text))
+        if not isinstance(metric, Gauge):
+            raise TypeError(f"metric {name!r} is not a gauge")
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        help_text: str = "",
+    ) -> Histogram:
+        metric = self._get(name, lambda: Histogram(name, buckets, help_text))
+        if not isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} is not a histogram")
+        return metric
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def _items(self) -> Iterable[Tuple[str, object]]:
+        with self._lock:
+            snapshot = dict(self._metrics)
+        return sorted(snapshot.items())
+
+    def to_prometheus(self, prefix: str = "repro_") -> str:
+        """Prometheus text exposition (counters, gauges, histograms)."""
+        lines: List[str] = []
+        for name, metric in self._items():
+            full = prefix + name
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {full} counter")
+                lines.append(f"{full} {metric.value}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {full} gauge")
+                lines.append(f"{full} {metric.value:g}")
+            elif isinstance(metric, Histogram):
+                lines.append(f"# TYPE {full} histogram")
+                cumulative = 0
+                counts = metric.bucket_counts()
+                for bound, bucket_count in zip(metric.bounds, counts):
+                    cumulative += bucket_count
+                    lines.append(
+                        f'{full}_bucket{{le="{format_bound(bound)}"}} '
+                        f"{cumulative}"
+                    )
+                cumulative += counts[-1]
+                lines.append(f'{full}_bucket{{le="+Inf"}} {cumulative}')
+                lines.append(f"{full}_sum {metric.sum:g}")
+                lines.append(f"{full}_count {metric.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def render_summary(self) -> str:
+        """Human-readable one-screen summary for the ``.metrics`` REPL
+        command."""
+        lines: List[str] = []
+        for name, metric in self._items():
+            if isinstance(metric, Counter):
+                lines.append(f"{name} = {metric.value}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"{name} = {metric.value:g}")
+            elif isinstance(metric, Histogram):
+                p50 = format_bound(metric.percentile(50))
+                p90 = format_bound(metric.percentile(90))
+                p99 = format_bound(metric.percentile(99))
+                lines.append(
+                    f"{name}: count={metric.count} "
+                    f"p50/p90/p99={p50}/{p90}/{p99}"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"

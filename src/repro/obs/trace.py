@@ -1,0 +1,371 @@
+"""Structured, deterministic query tracing.
+
+A :class:`QueryTracer` collects a span tree per executed statement:
+one ``query`` root, children for parse/bind/optimize/execute, a span
+per plan step, a ``flight`` span per dispatcher completion, and a
+``storage`` span per tier probe.  Timestamps are *simulated
+milliseconds* read from the query's :class:`LatencyLedger` — the same
+deterministic critical-path clock the wall accounting uses — so the
+same statement under the same config produces the same span tree with
+the same timings, byte for byte, at any ``max_in_flight``.
+
+Tracing is strictly opt-in: the module-level :data:`NOOP_TRACER` is a
+shared, allocation-free stand-in whose ``enabled`` flag lets hot paths
+skip even tag construction, so a disabled tracer costs one attribute
+check per instrumentation site.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Tags that legitimately differ across concurrency settings (e.g. a
+#: page served via prefetch at ``max_in_flight>1`` but fetched inline
+#: serially).  :meth:`QueryTrace.shape` ignores them so shape equality
+#: is the right invariant across ``max_in_flight``.
+VOLATILE_TAGS = frozenset({"via"})
+
+
+class Span:
+    """One timed node of a query's trace tree."""
+
+    __slots__ = ("span_id", "parent_id", "name", "start_ms", "end_ms", "tags")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        start_ms: float = 0.0,
+        end_ms: float = 0.0,
+        tags: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start_ms = start_ms
+        self.end_ms = end_ms
+        self.tags = tags if tags is not None else {}
+
+    @property
+    def duration_ms(self) -> float:
+        return max(0.0, self.end_ms - self.start_ms)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_ms": round(self.start_ms, 4),
+            "end_ms": round(self.end_ms, 4),
+            "tags": dict(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Span":
+        return cls(
+            span_id=int(payload["span_id"]),
+            parent_id=(
+                None
+                if payload.get("parent_id") is None
+                else int(payload["parent_id"])
+            ),
+            name=str(payload["name"]),
+            start_ms=float(payload.get("start_ms", 0.0)),
+            end_ms=float(payload.get("end_ms", 0.0)),
+            tags=dict(payload.get("tags") or {}),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.span_id}, parent={self.parent_id}, {self.name!r}, "
+            f"{self.start_ms:.1f}..{self.end_ms:.1f}, {self.tags})"
+        )
+
+
+def _tag_key(tags: Dict[str, Any]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(
+        sorted(
+            (key, str(value))
+            for key, value in tags.items()
+            if key not in VOLATILE_TAGS
+        )
+    )
+
+
+class QueryTrace:
+    """Thread-safe span collection for one statement."""
+
+    def __init__(self, statement: str = "") -> None:
+        self.statement = statement
+        self._spans: List[Span] = []
+        self._lock = threading.Lock()
+        self._next_id = 1
+
+    def new_span_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            return span_id
+
+    def append(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    @property
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def roots(self) -> List[Span]:
+        return [span for span in self.spans if span.parent_id is None]
+
+    def children_index(self) -> Dict[Optional[int], List[Span]]:
+        """Parent id -> children, each list ordered by span id."""
+        index: Dict[Optional[int], List[Span]] = {}
+        for span in sorted(self.spans, key=lambda item: item.span_id):
+            index.setdefault(span.parent_id, []).append(span)
+        return index
+
+    def shape(self) -> Tuple:
+        """Canonical tree shape, invariant across thread interleavings.
+
+        Nodes are ``(name, stable-tags, sorted-children)``; span ids,
+        timings, and :data:`VOLATILE_TAGS` are excluded, and siblings
+        are sorted, so two executions of the same statement compare
+        equal iff they did the same logical work.
+        """
+        index = self.children_index()
+
+        def node(span: Span) -> Tuple:
+            children = tuple(
+                sorted(node(child) for child in index.get(span.span_id, []))
+            )
+            return (span.name, _tag_key(span.tags), children)
+
+        return tuple(sorted(node(root) for root in index.get(None, [])))
+
+    def slowest(self, count: int = 3) -> List[Span]:
+        """Top ``count`` non-root spans by duration (deterministic tie
+        break on span id)."""
+        candidates = [s for s in self.spans if s.parent_id is not None]
+        candidates.sort(key=lambda s: (-s.duration_ms, s.span_id))
+        return candidates[:count]
+
+    def render(self) -> str:
+        """Indented text tree (debugging / demo output)."""
+        index = self.children_index()
+        lines: List[str] = []
+
+        def walk(span: Span, depth: int) -> None:
+            tags = " ".join(
+                f"{key}={value}" for key, value in sorted(span.tags.items())
+            )
+            lines.append(
+                "  " * depth
+                + f"{span.name} [{span.start_ms:.0f}..{span.end_ms:.0f} ms]"
+                + (f" {tags}" if tags else "")
+            )
+            for child in index.get(span.span_id, []):
+                walk(child, depth + 1)
+
+        for root in index.get(None, []):
+            walk(root, 0)
+        return "\n".join(lines)
+
+
+class _ActiveSpan:
+    """Context-manager handle for an open span."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "QueryTracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def set_tag(self, key: str, value: Any) -> None:
+        self._span.tags[key] = value
+
+    @property
+    def span_id(self) -> int:
+        return self._span.span_id
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._tracer._push(self._span)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._span.end_ms = self._tracer.now()
+        if exc_type is not None:
+            self._span.tags.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self._span)
+
+
+class _Bind:
+    """Context manager installing an ambient parent on this thread."""
+
+    __slots__ = ("_tracer", "_parent_id", "_saved")
+
+    def __init__(self, tracer: "QueryTracer", parent_id: Optional[int]):
+        self._tracer = tracer
+        self._parent_id = parent_id
+        self._saved: Optional[List[Optional[int]]] = None
+
+    def __enter__(self) -> None:
+        local = self._tracer._local
+        self._saved = getattr(local, "stack", None)
+        local.stack = [self._parent_id]
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        local = self._tracer._local
+        if self._saved is None:
+            del local.stack
+        else:
+            local.stack = self._saved
+
+
+class QueryTracer:
+    """Collects spans for one query against a deterministic clock.
+
+    The clock defaults to a constant zero and is rebound to the query's
+    ``LatencyLedger.now`` once the client exists, so span timestamps
+    are simulated model milliseconds, not host time.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        trace: Optional[QueryTrace] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self._trace = trace if trace is not None else QueryTrace()
+        self._clock: Callable[[], float] = clock or (lambda: 0.0)
+        self._local = threading.local()
+
+    @property
+    def trace(self) -> QueryTrace:
+        return self._trace
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+
+    def now(self) -> float:
+        return self._clock()
+
+    def current_parent(self) -> Optional[int]:
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def span(self, name: str, **tags: Any) -> _ActiveSpan:
+        """Open a child of this thread's ambient span."""
+        span = Span(
+            span_id=self._trace.new_span_id(),
+            parent_id=self.current_parent(),
+            name=name,
+            start_ms=self.now(),
+            tags=tags,
+        )
+        return _ActiveSpan(self, span)
+
+    def bind(self, parent_id: Optional[int]) -> _Bind:
+        """Adopt ``parent_id`` as the ambient parent on this thread.
+
+        Worker threads started by ``run_parallel`` have no ambient
+        stack; call sites capture :meth:`current_parent` before fanning
+        out and bind it inside each thunk so cross-thread spans keep
+        their tree position.
+        """
+        return _Bind(self, parent_id)
+
+    def emit(
+        self,
+        name: str,
+        start_ms: float,
+        end_ms: float,
+        tags: Optional[Dict[str, Any]] = None,
+        parent_id: Optional[int] = None,
+        use_ambient_parent: bool = True,
+    ) -> Span:
+        """Record an already-timed span (analytic flight spans)."""
+        if parent_id is None and use_ambient_parent:
+            parent_id = self.current_parent()
+        span = Span(
+            span_id=self._trace.new_span_id(),
+            parent_id=parent_id,
+            name=name,
+            start_ms=start_ms,
+            end_ms=end_ms,
+            tags=dict(tags) if tags else {},
+        )
+        self._trace.append(span)
+        return span
+
+    # -- internal -----------------------------------------------------
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        stack.append(span.span_id)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] == span.span_id:
+            stack.pop()
+        self._trace.append(span)
+
+
+class _NoopHandle:
+    """Shared no-op stand-in for both spans and binds."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set_tag(self, key: str, value: Any) -> None:
+        return None
+
+    @property
+    def span_id(self) -> None:
+        return None
+
+
+_NOOP_HANDLE = _NoopHandle()
+
+
+class NoopTracer:
+    """Does nothing, allocates nothing; ``enabled`` gates hot paths."""
+
+    enabled = False
+    trace = None
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        return None
+
+    def now(self) -> float:
+        return 0.0
+
+    def current_parent(self) -> None:
+        return None
+
+    def span(self, name: str, **tags: Any) -> _NoopHandle:
+        return _NOOP_HANDLE
+
+    def bind(self, parent_id: Optional[int]) -> _NoopHandle:
+        return _NOOP_HANDLE
+
+    def emit(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+
+NOOP_TRACER = NoopTracer()

@@ -28,6 +28,76 @@ def _pad(indent: int) -> str:
     return "  " * indent
 
 
+def step_line(step) -> str:
+    """The one-line header for a non-derived step (no indentation).
+
+    Shared between EXPLAIN and EXPLAIN ANALYZE so both render every
+    step identically; ANALYZE appends its actuals underneath.
+    """
+    if isinstance(step, ScanStep):
+        detail = f"columns=({', '.join(step.columns)})"
+        if step.pushdown_sql:
+            detail += f" condition[{step.pushdown_sql}]"
+        if step.order is not None:
+            column, descending = step.order
+            detail += f" order[{column} {'DESC' if descending else 'ASC'}]"
+        if step.limit_hint is not None:
+            detail += f" limit[{step.limit_hint}]"
+        if step.stop_after_rows is not None:
+            detail += f" stream[early-exit rows<={step.stop_after_rows}]"
+        return (
+            f"LLMScan {step.table_name} AS {step.binding} "
+            f"{detail} est_rows={step.est_rows:.0f} [{step.estimate.render()}]"
+        )
+    if isinstance(step, ShardedScanStep):
+        scan = step.scan
+        detail = f"columns=({', '.join(scan.columns)})"
+        if scan.pushdown_sql:
+            detail += f" condition[{scan.pushdown_sql}]"
+        detail += f" shards={len(step.shards)}"
+        if step.aggregate is not None:
+            described = ", ".join(
+                item.printed for item in step.aggregate.items
+            ) or "group keys"
+            if step.aggregate.group_columns:
+                described += (
+                    f" by ({', '.join(step.aggregate.group_columns)})"
+                )
+            detail += f" partial-agg[{described}]"
+        return (
+            f"LLMShardedScan {step.table_name} AS "
+            f"{step.binding} {detail} est_rows={step.est_rows:.0f} "
+            f"[{step.estimate.render()}]"
+        )
+    if isinstance(step, LookupStep):
+        if step.literal_keys is not None:
+            source = f"{len(step.literal_keys)} literal key(s)"
+        else:
+            source = (
+                f"{step.source_binding}({', '.join(step.source_columns)})"
+            )
+        detail = ""
+        if step.stop_after_rows is not None:
+            detail = f" stream[early-exit rows<={step.stop_after_rows}]"
+        return (
+            f"LLMLookup {step.table_name} AS {step.binding} "
+            f"keys=({', '.join(step.key_columns)}) <- {source} "
+            f"attrs=({', '.join(step.attributes)}){detail} "
+            f"est_keys={step.est_keys:.0f} [{step.estimate.render()}]"
+        )
+    if isinstance(step, JudgeStep):
+        return (
+            f"LLMJudge {step.binding} "
+            f"condition[{step.condition_sql}] est_keys={step.est_keys:.0f} "
+            f"[{step.estimate.render()}]"
+        )
+    # LocalStep
+    return (
+        f"LocalTable {step.table_name} AS {step.binding} "
+        f"est_rows={step.est_rows:.0f} [zero model cost]"
+    )
+
+
 def _render(plan: PlanNode, lines: List[str], indent: int) -> None:
     if isinstance(plan, SetOpPlan):
         word = plan.op.upper() + (" ALL" if plan.all else "")
@@ -43,71 +113,11 @@ def _render(plan: PlanNode, lines: List[str], indent: int) -> None:
     for note in plan.notes:
         lines.append(f"{_pad(indent + 1)}note: {note}")
     for step in plan.steps:
-        if isinstance(step, ScanStep):
-            detail = f"columns=({', '.join(step.columns)})"
-            if step.pushdown_sql:
-                detail += f" condition[{step.pushdown_sql}]"
-            if step.order is not None:
-                column, descending = step.order
-                detail += f" order[{column} {'DESC' if descending else 'ASC'}]"
-            if step.limit_hint is not None:
-                detail += f" limit[{step.limit_hint}]"
-            if step.stop_after_rows is not None:
-                detail += f" stream[early-exit rows<={step.stop_after_rows}]"
-            lines.append(
-                f"{_pad(indent + 1)}LLMScan {step.table_name} AS {step.binding} "
-                f"{detail} est_rows={step.est_rows:.0f} [{step.estimate.render()}]"
-            )
-        elif isinstance(step, ShardedScanStep):
-            scan = step.scan
-            detail = f"columns=({', '.join(scan.columns)})"
-            if scan.pushdown_sql:
-                detail += f" condition[{scan.pushdown_sql}]"
-            detail += f" shards={len(step.shards)}"
-            if step.aggregate is not None:
-                described = ", ".join(
-                    item.printed for item in step.aggregate.items
-                ) or "group keys"
-                if step.aggregate.group_columns:
-                    described += (
-                        f" by ({', '.join(step.aggregate.group_columns)})"
-                    )
-                detail += f" partial-agg[{described}]"
-            lines.append(
-                f"{_pad(indent + 1)}LLMShardedScan {step.table_name} AS "
-                f"{step.binding} {detail} est_rows={step.est_rows:.0f} "
-                f"[{step.estimate.render()}]"
-            )
-        elif isinstance(step, LookupStep):
-            if step.literal_keys is not None:
-                source = f"{len(step.literal_keys)} literal key(s)"
-            else:
-                source = (
-                    f"{step.source_binding}({', '.join(step.source_columns)})"
-                )
-            detail = ""
-            if step.stop_after_rows is not None:
-                detail = f" stream[early-exit rows<={step.stop_after_rows}]"
-            lines.append(
-                f"{_pad(indent + 1)}LLMLookup {step.table_name} AS {step.binding} "
-                f"keys=({', '.join(step.key_columns)}) <- {source} "
-                f"attrs=({', '.join(step.attributes)}){detail} "
-                f"est_keys={step.est_keys:.0f} [{step.estimate.render()}]"
-            )
-        elif isinstance(step, JudgeStep):
-            lines.append(
-                f"{_pad(indent + 1)}LLMJudge {step.binding} "
-                f"condition[{step.condition_sql}] est_keys={step.est_keys:.0f} "
-                f"[{step.estimate.render()}]"
-            )
-        elif isinstance(step, DerivedStep):
+        if isinstance(step, DerivedStep):
             lines.append(f"{_pad(indent + 1)}Derived {step.binding}:")
             _render(step.plan, lines, indent + 2)
-        else:  # LocalStep
-            lines.append(
-                f"{_pad(indent + 1)}LocalTable {step.table_name} AS {step.binding} "
-                f"est_rows={step.est_rows:.0f} [zero model cost]"
-            )
+        else:
+            lines.append(f"{_pad(indent + 1)}{step_line(step)}")
     for subplan in plan.subplans:
         lines.append(f"{_pad(indent + 1)}Subquery:")
         _render(subplan.plan, lines, indent + 2)

@@ -41,6 +41,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.errors import ExecutionError, LLMProtocolError
 from repro.llm.cache import PromptCache, resolve_model_name, zero_cost_copy
 from repro.llm.interface import Completion, CompletionOptions, LanguageModel
+from repro.obs.trace import NOOP_TRACER
 from repro.runtime.latency import LatencyLedger, greedy_makespan
 from repro.runtime.retry import RetryPolicy
 from repro.runtime.scheduler import (
@@ -64,6 +65,10 @@ class CompletionRequest:
             prefetcher hands over after a failed speculative attempt 0).
         prior_error: the parse error from those consumed attempts, kept
             so the give-up message matches the sequential path.
+        kind: prompt kind for tracing (``scan-page`` / ``lookup-batch``
+            / ``judge-batch`` / generic ``call``); purely a span tag.
+        trace_tags: extra span tags (e.g. shard index); purely
+            observational.
     """
 
     prompt: str
@@ -71,6 +76,8 @@ class CompletionRequest:
     parse: Callable[[Completion], Any]
     first_attempt: int = 0
     prior_error: Optional[Exception] = None
+    kind: str = "call"
+    trace_tags: Tuple[Tuple[str, Any], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -79,6 +86,7 @@ class Outcome:
 
     value: Any
     path_ms: float
+    attempts: int = 1
 
 
 @dataclass
@@ -134,6 +142,7 @@ class Dispatcher:
         dedup_scope: Tuple = (),
         flight_budget: Optional[FlightBudget] = None,
         cancel: Optional[CancellationToken] = None,
+        tracer=None,
     ):
         self._model = model
         self._options_for = options_for
@@ -147,6 +156,7 @@ class Dispatcher:
         self._dedup_scope = tuple(dedup_scope)
         self._flight_budget = flight_budget
         self._cancel = cancel
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
         self._model_name = (
             resolve_model_name(raw_model) if raw_model is not None else ""
         )
@@ -180,6 +190,10 @@ class Dispatcher:
         """
         if not requests:
             return []
+        tracing = self._tracer.enabled
+        # Read the simulated clock before the makespan commit: flight
+        # span offsets are laid out from the wave's start.
+        wave_start = self._ledger.now() if tracing else 0.0
         futures = [self.submit(request) for request in requests]
         outcomes: List[Optional[Outcome]] = []
         error: Optional[BaseException] = None
@@ -189,6 +203,8 @@ class Dispatcher:
             except BaseException as exc:
                 error = error or exc
                 outcomes.append(None)
+        if tracing:
+            self._emit_flight_spans(requests, futures, outcomes, wave_start)
         self._ledger.add(
             self._makespan([o.path_ms for o in outcomes if o is not None])
         )
@@ -226,6 +242,7 @@ class Dispatcher:
             leader = self._inflight.get(key)
             if leader is not None:
                 follower: "Future[Outcome]" = Future()
+                follower.repro_via = "dedup"  # span tag, observational
                 self.stats.deduplicated += 1
                 leader.add_done_callback(
                     lambda _done: self._schedule(request, follower, key=None)
@@ -246,6 +263,7 @@ class Dispatcher:
             self.stats.deduplicated += 1
             self.stats.cross_query_deduplicated += 1
             follower = Future()
+            follower.repro_via = "dedup-join"  # span tag, observational
 
             def on_leader_done(done: "Future[Outcome]") -> None:
                 # Count the dedup hit only when the join actually saved
@@ -323,6 +341,16 @@ class Dispatcher:
             self._meter.record_completion(completion)
         elapsed = self._ledger.now() - spec.launched_at_ms
         owed = max(0.0, completion.latency_ms - elapsed)
+        if self._tracer.enabled:
+            # A consumed speculation is a scan-page flight that started
+            # when the prefetcher launched it; "via" is volatile by
+            # design (serial runs fetch the same page inline).
+            self._tracer.emit(
+                "flight",
+                spec.launched_at_ms,
+                spec.launched_at_ms + completion.latency_ms,
+                {"kind": "scan-page", "via": "prefetch"},
+            )
         return completion, owed
 
     def abandon_speculations(self, count: int) -> None:
@@ -391,7 +419,11 @@ class Dispatcher:
             completion = self._guarded_complete(request.prompt, options)
             path_ms += completion.latency_ms
             try:
-                return Outcome(value=request.parse(completion), path_ms=path_ms)
+                return Outcome(
+                    value=request.parse(completion),
+                    path_ms=path_ms,
+                    attempts=attempt - request.first_attempt + 1,
+                )
             except LLMProtocolError as exc:
                 last_error = exc
                 delay = self._retry.delay_ms(attempt)
@@ -442,6 +474,42 @@ class Dispatcher:
             return model.complete(prompt, options), False
         with self._flight_budget.slot(self._cancel):
             return model.complete(prompt, options), False
+
+    def _emit_flight_spans(
+        self,
+        requests: Sequence[CompletionRequest],
+        futures: Sequence["Future[Outcome]"],
+        outcomes: Sequence[Optional[Outcome]],
+        wave_start: float,
+    ) -> None:
+        """One span per landed request, laid out analytically.
+
+        Start/end offsets replay the same greedy slot assignment
+        :meth:`_makespan` charges (submission order onto the wave's
+        fair slot share), so flight timings derive from the simulated
+        critical-path accounting — deterministic, never host thread
+        timing.
+        """
+        slot_count = max(
+            1, self._max_in_flight // self._ledger.current_divisor()
+        )
+        slots = [0.0] * slot_count
+        for request, future, outcome in zip(requests, futures, outcomes):
+            if outcome is None:
+                continue
+            index = min(range(slot_count), key=slots.__getitem__)
+            start = slots[index]
+            slots[index] = start + outcome.path_ms
+            tags = {"kind": request.kind}
+            tags.update(request.trace_tags)
+            if outcome.attempts > 1:
+                tags["attempts"] = outcome.attempts
+            via = getattr(future, "repro_via", None)
+            if via is not None:
+                tags["via"] = via
+            self._tracer.emit(
+                "flight", wave_start + start, wave_start + slots[index], tags
+            )
 
     def _makespan(self, durations: Sequence[float]) -> float:
         """Greedy schedule of durations onto this wave's fair slot share.

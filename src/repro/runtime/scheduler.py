@@ -105,6 +105,27 @@ class FlightBudget:
     def __init__(self, max_in_flight: int):
         self.max_in_flight = max(1, int(max_in_flight))
         self._permits = threading.Semaphore(self.max_in_flight)
+        # Occupancy tracking exists only once a registry is attached;
+        # the untraced path never touches the gauge lock.
+        self._registry = None
+        self._occupancy_lock = threading.Lock()
+        self._active = 0
+
+    def attach_registry(self, registry) -> None:
+        """Report slot occupancy (current/peak) as gauges."""
+        self._registry = registry
+
+    def _occupy(self, delta: int) -> None:
+        registry = self._registry
+        if registry is None:
+            return
+        from repro.obs import metrics as obs_metrics
+
+        with self._occupancy_lock:
+            self._active += delta
+            active = self._active
+        registry.gauge(obs_metrics.INFLIGHT_CURRENT).set(active)
+        registry.gauge(obs_metrics.INFLIGHT_PEAK).max_update(active)
 
     @contextmanager
     def slot(self, cancel: Optional[CancellationToken] = None):
@@ -116,9 +137,11 @@ class FlightBudget:
                 cancel.check()
                 if self._permits.acquire(timeout=0.02):
                     break
+        self._occupy(1)
         try:
             yield
         finally:
+            self._occupy(-1)
             self._permits.release()
 
 
@@ -263,11 +286,16 @@ class QueryScheduler:
         session_meter,
         jobs: int = 4,
         max_in_flight: int = 1,
+        registry=None,
     ):
         self._run_query = run_query
         self._session_meter = session_meter
         self._jobs = max(1, int(jobs))
         self._max_in_flight = max(1, int(max_in_flight))
+        # Optional observability registry: queue-wait histogram (host
+        # milliseconds a job sat in the admission queue — genuinely a
+        # host-time metric, unlike the simulated wall accounting).
+        self._registry = registry
         self.admitted: List[QueryJob] = []
 
     @property
@@ -321,6 +349,8 @@ class QueryScheduler:
         cursor = {"next": 0}
         cursor_lock = threading.Lock()
         fatal: List[BaseException] = []
+        batch_started = time.monotonic()
+        registry = self._registry
 
         def worker() -> None:
             while True:
@@ -330,6 +360,12 @@ class QueryScheduler:
                         return
                     cursor["next"] = position + 1
                 job = admission[position]
+                if registry is not None:
+                    from repro.obs import metrics as obs_metrics
+
+                    registry.histogram(obs_metrics.QUEUE_WAIT_MS).observe(
+                        (time.monotonic() - batch_started) * 1000.0
+                    )
                 # The token's deadline starts at *admission*, not
                 # submission: a queued query is not burning its budget.
                 # A cancel requested while queued lands here.

@@ -60,6 +60,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.config import STORAGE_MODES, EngineConfig
 from repro.errors import ConfigError
+from repro.obs import metrics as obs_metrics
 from repro.relational.schema import TableSchema
 from repro.relational.types import Value
 from repro.storage.backend import StorageScope, StoreBackend, build_backends
@@ -223,6 +224,9 @@ class StorageTier:
         self._fragment_misses = 0
         self._calls_saved = 0
         self._invalidations = 0
+        # Optional observability registry (attach_registry): mirrors
+        # hit/miss counters into named metrics.  None costs nothing.
+        self._registry = None
         # Prior bumps recorded in an attached persistent file are
         # history, not invalidations observed by *this* tier.
         self._last_seen_gen = self._fragments.generation(self.scope.scope_id)
@@ -331,6 +335,15 @@ class StorageTier:
         """
         return (model_name, semantic_fingerprint(config), catalog)
 
+    def attach_registry(self, registry) -> None:
+        """Mirror probe counters into an observability registry."""
+        self._registry = registry
+
+    def _count_probe(self, name: str, amount: int = 1) -> None:
+        registry = self._registry
+        if registry is not None and amount > 0:
+            registry.counter(name).inc(amount)
+
     def get_result(self, key: Tuple) -> Optional[CachedResult]:
         entry = self._results.get(self._scoped(self._results, key))
         with self._lock:
@@ -339,6 +352,10 @@ class StorageTier:
             else:
                 self._result_hits += 1
                 self._calls_saved += entry.calls
+        if entry is None:
+            self._count_probe(obs_metrics.RESULT_MISSES_TOTAL)
+        else:
+            self._count_probe(obs_metrics.RESULT_HITS_TOTAL)
         return entry
 
     def put_result(
@@ -632,10 +649,12 @@ class StorageTier:
         with self._lock:
             self._fragment_hits += count
             self._calls_saved += calls_saved
+        self._count_probe(obs_metrics.FRAGMENT_HITS_TOTAL, count)
 
     def record_fragment_misses(self, count: int = 1) -> None:
         with self._lock:
             self._fragment_misses += count
+        self._count_probe(obs_metrics.FRAGMENT_MISSES_TOTAL, count)
 
     def snapshot(self) -> StorageSnapshot:
         frag = self._fragments.snapshot_stats()
