@@ -1,0 +1,221 @@
+"""Benchmark: continuous cross-query batching vs per-query batching.
+
+Serves the same statement sets three ways against identically
+configured engines (``max_in_flight=8``, one session, shared caches):
+
+* **serial** — one statement at a time through ``execute``;
+* **per-query** — all statements at once through ``execute_many``,
+  batching only within each query: every query's calls still share the
+  session's ``max_in_flight=8`` dispatcher budget;
+* **continuous** — the same ``execute_many`` over a slot-based request
+  pool (``enable_continuous_batching``): retrieval calls from *all*
+  in-flight queries coalesce into shared waves as slots free up, the
+  way llama.cpp's ``examples/parallel`` server packs its slots, so the
+  admission width — not the per-query budget — bounds throughput.
+
+Throughput is compared on the session's deterministic simulated
+critical path (``wall_ms``), the same clock every runtime benchmark in
+this repo gates on.  Two sweeps:
+
+* 32 concurrent single-lookup queries (the gated headline): the
+  per-query mode is bound by ``total_model_ms / 8`` while the
+  continuous pool is bound only by the longest single query;
+* 48 concurrent mixed-scan queries: deeper per-query call chains and
+  full 48-wide waves — its per-wave slot-occupancy trace is saved as
+  the benchmark artifact.
+
+The acceptance bar: rows are byte-identical (values and types) to
+serial in every mode, session calls/tokens/cost are identical, and the
+continuous pool clears 3x the per-query wall throughput at 32
+concurrent queries.
+"""
+
+import json
+
+from repro.config import EngineConfig
+from repro.core.engine import LLMStorageEngine
+from repro.eval.reporting import ResultTable, artifact_path, save_metrics
+from repro.eval.worlds import all_worlds
+from repro.llm.noise import NoiseConfig
+from repro.llm.simulated import SimulatedLLM
+
+SEED = 11
+MAX_IN_FLIGHT = 8
+
+_WORLD = all_worlds()["movies"]
+_DIRECTORS = [row[0] for row in _WORLD.table("directors").rows]
+
+#: 32 distinct single-lookup statements: short per-query chains, so the
+#: per-query mode's shared in-flight budget is the binding constraint.
+LOOKUP_32 = [
+    f"SELECT country FROM directors WHERE name = '{name}'"
+    for name in _DIRECTORS
+] + [
+    f"SELECT born FROM directors WHERE name = '{name}'"
+    for name in _DIRECTORS[:2]
+]
+
+#: 48 distinct scan statements with deeper call chains: fills whole
+#: 48-wide waves, exercised for the slot-occupancy artifact.
+SCAN_48 = (
+    [
+        f"SELECT title, year FROM movies WHERE director = '{name}'"
+        for name in _DIRECTORS
+    ]
+    + [
+        f"SELECT rating FROM movies WHERE director = '{name}' AND year >= 2000"
+        for name in _DIRECTORS[:16]
+    ]
+    + [
+        f"SELECT title FROM movies WHERE director = '{name}' AND rating >= 7.0"
+        for name in _DIRECTORS[16:18]
+    ]
+)
+
+
+def build_engine(continuous: bool, jobs: int) -> LLMStorageEngine:
+    config = EngineConfig().with_(max_in_flight=MAX_IN_FLIGHT, serve_jobs=jobs)
+    if continuous:
+        config = config.with_(
+            enable_continuous_batching=True, batch_slots=jobs
+        )
+    model = SimulatedLLM(_WORLD, noise=NoiseConfig(), seed=SEED)
+    engine = LLMStorageEngine(model, config=config)
+    for schema in _WORLD.schemas():
+        engine.register_virtual_table(
+            schema, row_estimate=_WORLD.row_count(schema.name)
+        )
+    return engine
+
+
+def typed_rows(result):
+    return tuple(
+        tuple((type(value), value) for value in row) for row in result.rows
+    )
+
+
+def run_sweep(statements):
+    """(serial, per-query, continuous) over one statement set."""
+    jobs = len(statements)
+
+    serial_engine = build_engine(continuous=False, jobs=jobs)
+    serial_rows = [
+        typed_rows(serial_engine.execute(sql)) for sql in statements
+    ]
+
+    pq_engine = build_engine(continuous=False, jobs=jobs)
+    pq_rows = [
+        typed_rows(r) for r in pq_engine.execute_many(statements, jobs=jobs)
+    ]
+
+    cb_engine = build_engine(continuous=True, jobs=jobs)
+    cb_rows = [
+        typed_rows(r) for r in cb_engine.execute_many(statements, jobs=jobs)
+    ]
+    wave_trace = list(cb_engine._session.batcher.wave_trace)
+    batcher_stats = cb_engine._session.batcher.stats
+    cb_engine.close()
+
+    assert pq_rows == serial_rows, "per-query serving diverged from serial"
+    assert cb_rows == serial_rows, "continuous batching diverged from serial"
+    for mode_usage in (pq_engine.usage, cb_engine.usage):
+        assert mode_usage.calls == serial_engine.usage.calls
+        assert mode_usage.total_tokens == serial_engine.usage.total_tokens
+        assert mode_usage.cost_usd == serial_engine.usage.cost_usd
+
+    return {
+        "jobs": jobs,
+        "wall_serial": serial_engine.usage.wall_ms,
+        "wall_per_query": pq_engine.usage.wall_ms,
+        "wall_continuous": cb_engine.usage.wall_ms,
+        "speedup": pq_engine.usage.wall_ms / cb_engine.usage.wall_ms,
+        "speedup_vs_serial": serial_engine.usage.wall_ms
+        / cb_engine.usage.wall_ms,
+        "calls": serial_engine.usage.calls,
+        "wave_trace": wave_trace,
+        "batcher_stats": batcher_stats,
+    }
+
+
+def test_continuous_batching(benchmark):
+    outcome = {}
+
+    def sweep():
+        outcome["lookup32"] = run_sweep(LOOKUP_32)
+        outcome["scan48"] = run_sweep(SCAN_48)
+        return outcome
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lookup = outcome["lookup32"]
+    scan = outcome["scan48"]
+
+    artifact = ResultTable(
+        title="Continuous cross-query batching vs per-query batching "
+        f"(max_in_flight={MAX_IN_FLIGHT})",
+        columns=[
+            "workload",
+            "jobs",
+            "wall_serial",
+            "wall_per_query",
+            "wall_continuous",
+            "speedup",
+        ],
+    )
+    for label, sweep_result in (("lookup", lookup), ("scan", scan)):
+        artifact.add_row(
+            label,
+            sweep_result["jobs"],
+            round(sweep_result["wall_serial"]),
+            round(sweep_result["wall_per_query"]),
+            round(sweep_result["wall_continuous"]),
+            f"{sweep_result['speedup']:.2f}x",
+        )
+    stats = scan["batcher_stats"]
+    artifact.add_note(
+        "byte-identical rows and identical calls/tokens/cost in every "
+        f"mode; scan sweep packed {stats.submitted} raw calls into "
+        f"{stats.waves} waves (widest {stats.max_batch})"
+    )
+    assert artifact.save(artifact_path("bench_continuous_batching.txt"))
+
+    # Per-wave slot occupancy of the 48-query sweep: CI uploads this.
+    trace_path = artifact_path("continuous_batching_waves.json")
+    with open(trace_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "slots": scan["jobs"],
+                "waves": scan["wave_trace"],
+                "submitted": stats.submitted,
+                "completed": stats.completed,
+                "max_batch": stats.max_batch,
+            },
+            handle,
+            indent=2,
+        )
+
+    save_metrics(
+        "continuous_batching",
+        {
+            "throughput_speedup_32_queries": round(lookup["speedup"], 3),
+            "throughput_speedup_48_queries": round(scan["speedup"], 3),
+            "speedup_vs_serial_32_queries": round(
+                lookup["speedup_vs_serial"], 3
+            ),
+            "wall_ms_per_query_32": round(lookup["wall_per_query"], 1),
+            "wall_ms_continuous_32": round(lookup["wall_continuous"], 1),
+            "waves_48": stats.waves,
+            "max_batch_48": stats.max_batch,
+            "byte_identical": True,
+            "cost_identical_to_serial": True,
+        },
+    )
+    assert lookup["speedup"] >= 3.0, (
+        "expected >= 3x wall throughput at 32 concurrent queries, "
+        f"got {lookup['speedup']:.2f}x"
+    )
+    assert scan["speedup"] >= 3.0
+    assert stats.max_batch >= scan["jobs"] // 2, (
+        "scan sweep never filled half the pool; continuous coalescing "
+        "is not engaging"
+    )

@@ -113,6 +113,56 @@ def check_floors(metrics: dict, baseline: dict) -> list:
     return failures
 
 
+def write_step_summary(
+    metrics: dict, baseline: dict, regressions: list, runs: list
+) -> None:
+    """Append a measured-vs-floor markdown table to $GITHUB_STEP_SUMMARY.
+
+    Outside GitHub Actions (variable unset) this is a no-op, so local
+    runs behave exactly as before.
+    """
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    lines = ["## Benchmark regression gate", ""]
+    lines.append("| benchmark | metric | measured | floor | status |")
+    lines.append("|---|---|---|---|---|")
+    for bench in sorted(baseline.get("floors", {})):
+        floors = baseline["floors"][bench]
+        bench_metrics = metrics.get(bench) or {}
+        for metric in sorted(floors):
+            floor = floors[metric]
+            value = bench_metrics.get(metric)
+            if value is None:
+                status = "missing"
+            elif isinstance(floor, bool) or not isinstance(
+                floor, (int, float)
+            ):
+                status = "ok" if value == floor else "REGRESSED"
+            elif isinstance(value, (int, float)) and value >= floor:
+                status = "ok"
+            else:
+                status = "REGRESSED"
+            lines.append(
+                f"| {bench} | {metric} | {value!r} | {floor!r} | {status} |"
+            )
+    failed = [run["name"] for run in runs if not run["passed"]]
+    lines.append("")
+    if failed:
+        lines.append(f"**Failed benchmarks:** {', '.join(failed)}")
+    if regressions:
+        lines.append("")
+        lines.append("**Regressions:**")
+        lines.extend(f"- {regression}" for regression in regressions)
+    if not failed and not regressions:
+        lines.append("All benchmarks passed; no floor regressions.")
+    try:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+    except OSError as exc:
+        print(f"could not write step summary: {exc}", file=sys.stderr)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -182,6 +232,8 @@ def main(argv=None) -> int:
         json.dump(consolidated, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {out_path}")
+
+    write_step_summary(metrics, baseline, regressions, runs)
 
     if failed:
         print(f"benchmark failures: {', '.join(failed)}", file=sys.stderr)

@@ -60,6 +60,10 @@ def build_engine(
     streaming: bool = True,
     tracing: bool = False,
     slow_query_ms: Optional[float] = None,
+    transport: Optional[str] = None,
+    transport_url: Optional[str] = None,
+    continuous_batching: bool = False,
+    batch_slots: Optional[int] = None,
 ) -> LLMStorageEngine:
     """Assemble an engine over one of the standard worlds."""
     worlds = all_worlds()
@@ -97,6 +101,20 @@ def build_engine(
         config = config.with_(enable_tracing=True)
     if slow_query_ms is not None:
         config = config.with_(slow_query_ms=slow_query_ms)
+    if transport is not None:
+        config = config.with_(transport=transport, transport_url=transport_url)
+    if continuous_batching:
+        config = config.with_(enable_continuous_batching=True)
+    if batch_slots is not None:
+        config = config.with_(batch_slots=batch_slots)
+    if transport is not None:
+        # The simulated model stays the deterministic offline fallback:
+        # network transports without credentials/endpoint delegate every
+        # request to it (and key caches by its identity), so results
+        # are byte-identical whichever transport is named.
+        from repro.llm.transport import transport_from_config
+
+        model = transport_from_config(config, fallback_model=model)
     engine = LLMStorageEngine(model, config=config)
     for schema in world.schemas():
         engine.register_virtual_table(
@@ -117,6 +135,7 @@ def run_statement(engine: LLMStorageEngine, line: str, out) -> None:
         return
     if stripped == ".storage":
         print(f"storage: {engine.storage.describe()}", file=out)
+        print(f"transport: {engine.transport_description}", file=out)
         return
     if stripped == ".tables":
         for name in engine.catalog.names():
@@ -344,6 +363,35 @@ def main(argv=None) -> int:
         "(statement, wall, top-3 slowest spans; implies tracing)",
     )
     parser.add_argument(
+        "--transport",
+        choices=["simulated", "openai", "llamacpp"],
+        default=None,
+        help="model transport: 'simulated' (in-process, default), "
+        "'openai' (OpenAI-style HTTP; needs OPENAI_API_KEY), or "
+        "'llamacpp' (llama.cpp server; needs --transport-url or "
+        "LLAMA_SERVER_URL); network transports without credentials "
+        "fall back deterministically to the in-process model",
+    )
+    parser.add_argument(
+        "--transport-url",
+        default=None,
+        metavar="URL",
+        help="endpoint base URL for --transport openai/llamacpp",
+    )
+    parser.add_argument(
+        "--continuous-batching",
+        action="store_true",
+        help="coalesce model calls from all in-flight --batch queries "
+        "into shared slot-bounded waves (--batch-slots); results are "
+        "byte-identical, only wall-clock changes",
+    )
+    parser.add_argument(
+        "--batch-slots",
+        type=int,
+        default=None,
+        help="slot count of the continuous-batching pool (default 32)",
+    )
+    parser.add_argument(
         "--naive", action="store_true", help="disable all optimizations"
     )
     parser.add_argument("-c", "--command", default=None, help="run one query and exit")
@@ -385,6 +433,10 @@ def main(argv=None) -> int:
             streaming=not args.no_streaming,
             tracing=args.trace or args.trace_out is not None,
             slow_query_ms=args.slow_query_ms,
+            transport=args.transport,
+            transport_url=args.transport_url,
+            continuous_batching=args.continuous_batching,
+            batch_slots=args.batch_slots,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -411,7 +463,10 @@ def main(argv=None) -> int:
             print(f"error: cannot read batch file: {exc}", file=sys.stderr)
             return 2
         jobs = args.jobs if args.jobs is not None else engine.config.serve_jobs
-        failed = run_batch(engine, statements, jobs, sys.stdout)
+        try:
+            failed = run_batch(engine, statements, jobs, sys.stdout)
+        finally:
+            engine.close()
         flush_traces()
         return 1 if failed else 0
     if args.command:
@@ -420,9 +475,14 @@ def main(argv=None) -> int:
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
+        finally:
+            engine.close()
         flush_traces()
         return 0
-    repl(engine)
+    try:
+        repl(engine)
+    finally:
+        engine.close()
     flush_traces()
     return 0
 

@@ -19,6 +19,11 @@ STORAGE_MODES = ("off", "result_cache", "materialize")
 #: Valid values of :attr:`EngineConfig.storage_backend`.
 STORAGE_BACKENDS = ("memory", "sqlite")
 
+#: Valid values of :attr:`EngineConfig.transport`.  Kept as a static
+#: tuple (mirroring the registry in :mod:`repro.llm.transport`) so
+#: config validation never has to import the transport stack.
+TRANSPORTS = ("simulated", "openai", "llamacpp")
+
 #: Multi-tenant access levels of :attr:`EngineConfig.storage_scope`,
 #: narrowest first.  A scope can never serve another scope's entries.
 SCOPE_LEVELS = ("session", "user", "application")
@@ -162,6 +167,28 @@ class EngineConfig:
             instrumentation costs one attribute check per site and
             results, usage totals, and wall accounting are untouched
             either way.
+        transport: which model transport assemblers (the CLI, demos)
+            should build — ``simulated`` (in-process), ``openai``
+            (HTTP chat-completions, online only with an API key), or
+            ``llamacpp`` (local ``llama-server``, online only with a
+            server URL).  Network transports without credentials
+            delegate every request to the deterministic in-process
+            fallback model, so results are byte-identical offline.
+            Advisory for code that constructs its own model object.
+        transport_url: endpoint override for network transports (the
+            OpenAI-style base URL or the llama-server root).
+        enable_continuous_batching: pool raw model calls from *all*
+            in-flight queries of the session into shared slot-based
+            batches (the llama.cpp ``examples/parallel`` serving
+            model) instead of per-query waves.  Results, tokens, and
+            call counts are byte-identical at any setting; only the
+            wall-clock (and real elapsed time on latency-bound
+            transports) changes.
+        batch_slots: size of the continuous-batching request pool —
+            how many coalesced model calls one shared wave may carry.
+            Decoupled from ``max_in_flight`` (a per-query dispatch
+            width) exactly as llama.cpp's ``n_parallel`` is decoupled
+            from per-client concurrency.
         slow_query_ms: record statements whose simulated wall time
             meets this threshold (statement, wall, top-3 slowest spans)
             into the session's slow-query log, surfaced by the
@@ -198,8 +225,17 @@ class EngineConfig:
     scope_ttl_s: Optional[Tuple[Tuple[str, float], ...]] = None
     enable_tracing: bool = False
     slow_query_ms: float = 0.0
+    transport: str = "simulated"
+    transport_url: Optional[str] = None
+    enable_continuous_batching: bool = False
+    batch_slots: int = 32
 
     def __post_init__(self):
+        if self.transport not in TRANSPORTS:
+            raise ConfigError(
+                f"transport must be one of {', '.join(TRANSPORTS)}; "
+                f"got {self.transport!r}"
+            )
         if self.storage_mode not in STORAGE_MODES:
             raise ConfigError(
                 f"storage_mode must be one of {', '.join(STORAGE_MODES)}; "
@@ -263,6 +299,7 @@ class EngineConfig:
             ("max_output_tokens", 1),
             ("scan_shards", 1),
             ("shard_min_rows", 1),
+            ("batch_slots", 1),
         ):
             if getattr(self, name) < minimum:
                 raise ConfigError(

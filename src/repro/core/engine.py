@@ -249,7 +249,10 @@ QueryOutcome` objects are returned instead.
             run_query=self._execute_statement,
             session_meter=self._session.meter,
             jobs=jobs,
-            max_in_flight=self._config.max_in_flight,
+            # With continuous batching the shared slot pool, not the
+            # per-query dispatcher budget, bounds simultaneous model
+            # calls — the batch makespan prices against it.
+            max_in_flight=self._session.serving_slots,
             registry=(
                 self._session.obs.registry
                 if self._session.obs.enabled
@@ -354,6 +357,11 @@ QueryOutcome` objects are returned instead.
             analyze_sink["plan"] = plan
 
         validator = Validator(enabled=self._config.enable_validation)
+        # Under continuous batching the shared slot pool is the
+        # admission control: the FlightBudget semaphore would cap
+        # coalesced waves at max_in_flight, so it stays out of the
+        # stack and the batcher's slots bound raw calls instead.
+        batcher = self._session.batcher
         client = ModelClient(
             model=self._session.model,
             meter=meter,
@@ -362,7 +370,10 @@ QueryOutcome` objects are returned instead.
             validator=validator,
             storage=storage,
             dedup=self._session.dedup,
-            flight_budget=self._session.flight_budget,
+            flight_budget=(
+                None if batcher is not None else self._session.flight_budget
+            ),
+            batcher=batcher,
             cancel=cancel,
             catalog_scope=self._catalog_scope,
             tracer=tracer,
@@ -479,6 +490,19 @@ QueryOutcome` objects are returned instead.
     def usage(self) -> UsageSnapshot:
         """Cumulative usage across all queries of this engine."""
         return self._session.usage()
+
+    @property
+    def transport_description(self) -> str:
+        """One line naming the active model transport and batching mode."""
+        return self._session.describe_transport()
+
+    def close(self) -> None:
+        """Release serving resources (the continuous-batching pool).
+
+        Idempotent.  Only needed when ``enable_continuous_batching`` is
+        on — a closed pool rejects further raw model calls.
+        """
+        self._session.close()
 
     @property
     def observability(self):

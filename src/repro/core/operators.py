@@ -95,6 +95,7 @@ class ModelClient:
         catalog_scope: str = "",
         tracer=None,
         registry=None,
+        batcher=None,
     ):
         self._raw_model = model
         # Observability hooks: the tracer collects spans (no-op unless
@@ -117,7 +118,18 @@ class ModelClient:
             resolve_model_name(model), config, catalog_scope
         )
         self._cache: Optional[PromptCache] = None
-        inner: LanguageModel = model
+        # The batching gate sits at the *bottom* of the stack (below
+        # cache and meter): only calls that genuinely pay the model —
+        # cache misses, consumed speculations — enter the session's
+        # shared continuous-batching pool; zero-cost replays never
+        # occupy a slot.  Identity passes through, so cache keys and
+        # storage scopes are unchanged by how calls are pooled.
+        raw: LanguageModel = model
+        if batcher is not None:
+            from repro.runtime.batching import BatchingGate
+
+            raw = BatchingGate(model, batcher, cancel=cancel)
+        inner: LanguageModel = raw
         if config.enable_cache:
             caching = CachingModel(inner, cache)
             self._cache = caching.cache
@@ -139,7 +151,9 @@ class ModelClient:
             retry=self._retry,
             max_in_flight=config.max_in_flight,
             ledger=self._ledger,
-            raw_model=model,
+            # Speculative prefetch goes through the gate too: a guessed
+            # page coalesces into shared waves like any paid call.
+            raw_model=raw,
             cache=self._cache,
             meter=meter,
             shared=dedup,

@@ -25,9 +25,11 @@ from typing import Optional
 
 from repro.config import EngineConfig
 from repro.llm.accounting import Budget, PriceModel, UsageMeter, UsageSnapshot
-from repro.llm.cache import PromptCache
+from repro.llm.cache import PromptCache, resolve_model_name
 from repro.llm.interface import LanguageModel
+from repro.llm.transport import as_transport, transport_label
 from repro.obs.hub import Observability
+from repro.runtime.batching import ContinuousBatcher
 from repro.runtime.scheduler import CrossQueryDedup, FlightBudget
 from repro.storage.tier import StorageTier
 
@@ -57,6 +59,19 @@ class EngineSession:
             self.meter.set_observer(self.obs)
             self.storage.attach_registry(self.obs.registry)
             self.flight_budget.attach_registry(self.obs.registry)
+        # Continuous batching: one shared slot pool per session, fed by
+        # every query's BatchingGate.  When active, it replaces the
+        # FlightBudget as the session's admission control for raw model
+        # calls (the engine stops handing the budget to ModelClients),
+        # so the pool's ``batch_slots`` — not ``max_in_flight`` — is
+        # the serving layer's concurrency bound.
+        self.batcher: Optional[ContinuousBatcher] = None
+        if self.config.enable_continuous_batching:
+            self.batcher = ContinuousBatcher(
+                as_transport(self.model),
+                slots=self.config.batch_slots,
+                registry=(self.obs.registry if self.obs.enabled else None),
+            )
 
     def query_meter(self, forward_wall: bool = True) -> UsageMeter:
         """A child meter attributing one query's usage.
@@ -67,6 +82,35 @@ class EngineSession:
         batch makespan instead of a sum of overlapped walls.
         """
         return self.meter.child(forward_wall=forward_wall)
+
+    @property
+    def serving_slots(self) -> int:
+        """Concurrent-model-call width the serving layer prices against.
+
+        With continuous batching the shared pool is the bound (its
+        slots are what limit simultaneous raw calls); otherwise the
+        classic ``max_in_flight`` dispatcher budget is.
+        """
+        if self.batcher is not None:
+            return max(self.config.max_in_flight, self.config.batch_slots)
+        return self.config.max_in_flight
+
+    def describe_transport(self) -> str:
+        """One line naming the model boundary (``.storage``, demos)."""
+        if getattr(self.model, "is_transport", False):
+            text = self.model.describe()
+        else:
+            text = f"in-process {resolve_model_name(self.model)}"
+        if self.batcher is not None:
+            text += (
+                f"; continuous batching over {self.batcher.slots} slot(s)"
+            )
+        return text
+
+    def close(self) -> None:
+        """Release serving resources (the continuous batcher's task)."""
+        if self.batcher is not None:
+            self.batcher.close()
 
     def usage(self) -> UsageSnapshot:
         """Cumulative usage, with the storage tier's counters folded in."""
@@ -81,6 +125,7 @@ class EngineSession:
             persistent_misses=storage.persistent_misses,
             invalidations=storage.invalidations,
             latency_summary=self.obs.latency_summary(),
+            transport=transport_label(self.model),
         )
 
     def reset_usage(self) -> None:

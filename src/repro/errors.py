@@ -79,6 +79,12 @@ class LLMProtocolError(LLMError):
     received a completion it cannot parse even after recovery attempts."""
 
 
+class TransportError(LLMError):
+    """A model transport failed below the protocol level: the HTTP
+    request errored, the response body was malformed, or the shared
+    request pool was shut down while requests were queued."""
+
+
 class LLMBudgetExceeded(LLMError):
     """A configured call/token budget was exhausted mid-query."""
 

@@ -12,7 +12,12 @@ a completion string (plus usage) out.  The package provides:
 * :class:`~repro.llm.simulated.SimulatedLLM` — a seedable model that
   answers the engine's prompt protocols from a world with a configurable
   error model (knowledge gaps, sampling errors, omissions, hallucinated
-  rows, format noise, output truncation).
+  rows, format noise, output truncation), and
+* :class:`~repro.llm.transport.Transport` — the model-boundary adapter
+  (sync + async + streaming surfaces) with registered backends:
+  in-process ``simulated``, OpenAI-style HTTP ``openai``, and
+  llama.cpp local-server ``llamacpp``; network transports without
+  credentials fall back deterministically to an in-process model.
 """
 
 from repro.llm.interface import (
@@ -28,6 +33,18 @@ from repro.llm.cache import CacheStats, PromptCache
 from repro.llm.world import World
 from repro.llm.noise import NoiseConfig
 from repro.llm.simulated import SimulatedLLM
+from repro.llm.transport import (
+    LlamaCppTransport,
+    OpenAITransport,
+    SimulatedTransport,
+    Transport,
+    as_transport,
+    available_transports,
+    build_transport,
+    ensure_latency,
+    register_transport,
+    transport_from_config,
+)
 
 __all__ = [
     "Completion",
@@ -46,4 +63,14 @@ __all__ = [
     "World",
     "NoiseConfig",
     "SimulatedLLM",
+    "Transport",
+    "SimulatedTransport",
+    "OpenAITransport",
+    "LlamaCppTransport",
+    "as_transport",
+    "available_transports",
+    "build_transport",
+    "ensure_latency",
+    "register_transport",
+    "transport_from_config",
 ]

@@ -109,6 +109,12 @@ class UsageSnapshot:
     #: absent from ``render``) when observability is off.  Derived
     #: display data, not a counter: ``minus``/``plus`` drop it.
     latency_summary: Optional[str] = None
+    #: The active model transport's label (e.g. ``"openai (offline)"``)
+    #: filled in by the session when the model is a
+    #: :class:`~repro.llm.transport.Transport`; ``None`` for plain
+    #: in-process models.  Display data like ``latency_summary``:
+    #: ``minus``/``plus`` drop it.
+    transport: Optional[str] = None
 
     @property
     def total_tokens(self) -> int:
@@ -211,6 +217,8 @@ class UsageSnapshot:
             text += f", {self.invalidations} invalidation(s)"
         if self.latency_summary:
             text += f", {self.latency_summary}"
+        if self.transport:
+            text += f", transport: {self.transport}"
         return text
 
 

@@ -34,6 +34,9 @@ TOKENS_PER_CALL = "tokens_per_call"
 PAGES_PER_SCAN = "pages_per_scan"
 QUEUE_WAIT_MS = "queue_wait_ms"
 QUERY_WALL_MS = "query_wall_ms"
+BATCH_WAVES_TOTAL = "batch_waves_total"
+BATCH_REQUESTS_TOTAL = "batch_requests_total"
+BATCH_OCCUPANCY = "batch_occupancy"
 
 LATENCY_BUCKETS_MS: Tuple[float, ...] = (
     1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
@@ -57,6 +60,9 @@ DEFAULT_BUCKETS: Dict[str, Tuple[float, ...]] = {
     PAGES_PER_SCAN: PAGE_BUCKETS,
     QUEUE_WAIT_MS: WAIT_BUCKETS_MS,
     QUERY_WALL_MS: WALL_BUCKETS_MS,
+    # Continuous-batching wave occupancy shares the power-of-two page
+    # layout: slot pools are small integers on the same scale.
+    BATCH_OCCUPANCY: PAGE_BUCKETS,
 }
 
 

@@ -12,14 +12,27 @@ Concurrency here is *semantics-free* by design: for a fixed seed and
 configuration, results, token usage, and call counts are byte-identical
 to sequential execution (``max_in_flight=1``); only the reported
 wall-clock changes.
+
+Async model I/O runs on the process-wide
+:class:`~repro.runtime.dispatcher.EventLoopCore`; the continuous
+cross-query batching pool (:mod:`repro.runtime.batching`) lives on it
+and coalesces raw model calls from all in-flight queries of a session
+into shared slot-bounded waves.
 """
 
+from repro.runtime.batching import (
+    BatcherStats,
+    BatchingGate,
+    ContinuousBatcher,
+)
 from repro.runtime.dispatcher import (
     CompletionRequest,
     Dispatcher,
     DispatcherStats,
+    EventLoopCore,
     Outcome,
     Speculation,
+    get_event_loop_core,
 )
 from repro.runtime.latency import BranchClock, LatencyLedger, greedy_makespan
 from repro.runtime.parallel import run_parallel
@@ -36,9 +49,14 @@ from repro.runtime.scheduler import (
 )
 
 __all__ = [
+    "BatcherStats",
+    "BatchingGate",
+    "ContinuousBatcher",
     "CompletionRequest",
     "Dispatcher",
     "DispatcherStats",
+    "EventLoopCore",
+    "get_event_loop_core",
     "Outcome",
     "Speculation",
     "BranchClock",

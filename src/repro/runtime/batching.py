@@ -1,0 +1,304 @@
+"""Continuous cross-query batching: one shared slot pool per session.
+
+Per-query batching (the dispatcher's waves) amortizes overhead *within*
+one query; under concurrent serving every query still pays its own
+round trips.  The :class:`ContinuousBatcher` replaces that with the
+serving model of llama.cpp's ``examples/parallel``: a fixed pool of
+``slots`` and a drain task on the event-loop core that, each cycle,
+coalesces the retrieval prompts queued by *all* in-flight queries into
+one shared wave of at most ``slots`` requests, issues the wave through
+the transport's async surface, and re-forms the next wave from whatever
+queued up meanwhile — slots free up per wave, not per query.
+
+Invariants:
+
+* **Byte identity.**  The batcher moves *when* raw model calls happen,
+  never what they are: each request reaches the transport with its
+  exact prompt and options, and the simulated substrate is
+  deterministic per ``(prompt, sample_index)``.  Cache, dedup, meter,
+  and storage layers sit *above* the gate, so their behavior — and
+  therefore results, token counts, and call counts — is unchanged at
+  any concurrency.
+* **Cancellation reclaims queued slots.**  A cancelled query's queued
+  requests are failed with :class:`~repro.errors.QueryCancelled` at
+  wave formation — before occupying a slot — so co-batched queries
+  keep their full share of the pool and are never poisoned by a
+  neighbour's timeout.
+* **Per-request isolation.**  A wave is gathered with per-request
+  exception capture: one failing request fails one future, not the
+  wave.
+
+:class:`BatchingGate` is the per-query adapter: it sits at the *bottom*
+of the model stack (below cache and meter), so only calls that will
+genuinely pay the model — cache misses, consumed speculations — enter
+the shared pool, and zero-cost replays never occupy a slot.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Sequence
+
+from repro.errors import QueryCancelled, TransportError
+from repro.llm.cache import resolve_model_name
+from repro.llm.interface import BatchRequest, Completion, CompletionOptions
+from repro.runtime.dispatcher import EventLoopCore, get_event_loop_core
+from repro.runtime.scheduler import CancellationToken
+
+#: Occupancy-trace entries kept before the trace stops growing (the
+#: stats keep counting either way).
+_TRACE_CAP = 10_000
+
+
+@dataclass
+class BatcherStats:
+    """Counters describing pool behavior (informational only)."""
+
+    submitted: int = 0
+    completed: int = 0
+    waves: int = 0
+    max_batch: int = 0
+    cancelled_reclaimed: int = 0
+    failed: int = 0
+
+
+class _Pending:
+    """One queued request: prompt, options, its future, its token."""
+
+    __slots__ = ("prompt", "options", "future", "cancel")
+
+    def __init__(
+        self,
+        prompt: str,
+        options: CompletionOptions,
+        future: "Future[Completion]",
+        cancel: Optional[CancellationToken],
+    ):
+        self.prompt = prompt
+        self.options = options
+        self.future = future
+        self.cancel = cancel
+
+
+@dataclass
+class ContinuousBatcher:
+    """Slot-based request pool coalescing prompts across queries.
+
+    Thread-safe producers (:meth:`submit` from any dispatcher worker)
+    feed a queue owned by the event-loop thread; a lazily-started drain
+    task forms waves of at most ``slots`` requests and issues each wave
+    through ``transport.complete_async`` concurrently.  Every queue and
+    trace mutation happens on the loop thread, so the only lock guards
+    startup.
+    """
+
+    transport: object
+    slots: int = 32
+    core: Optional[EventLoopCore] = None
+    registry: object = None
+    stats: BatcherStats = field(default_factory=BatcherStats)
+
+    def __post_init__(self):
+        self.slots = max(1, int(self.slots))
+        if self.core is None:
+            self.core = get_event_loop_core()
+        self.wave_trace: List[dict] = []
+        self._queue: Deque[_Pending] = deque()
+        self._wakeup = None  # asyncio.Event, created on the loop thread
+        self._task = None
+        self._closed = False
+
+    # -- producer side (any thread) ------------------------------------
+
+    def submit(
+        self,
+        prompt: str,
+        options: CompletionOptions = CompletionOptions(),
+        cancel: Optional[CancellationToken] = None,
+    ) -> "Future[Completion]":
+        """Queue one request into the shared pool; returns its future."""
+        future: "Future[Completion]" = Future()
+        pending = _Pending(prompt, options, future, cancel)
+
+        def enqueue() -> None:
+            if self._closed:
+                if future.set_running_or_notify_cancel():
+                    future.set_exception(
+                        TransportError("continuous batcher is closed")
+                    )
+                return
+            self._queue.append(pending)
+            self._ensure_drain_task()
+            self._wakeup.set()
+
+        self.stats.submitted += 1
+        self.core.call_soon(enqueue)
+        return future
+
+    def complete(
+        self,
+        prompt: str,
+        options: CompletionOptions = CompletionOptions(),
+        cancel: Optional[CancellationToken] = None,
+    ) -> Completion:
+        """Blocking convenience over :meth:`submit`."""
+        return self.submit(prompt, options, cancel=cancel).result()
+
+    def close(self) -> None:
+        """Stop the drain task; queued requests fail, in-flight finish."""
+
+        def shutdown() -> None:
+            self._closed = True
+            if self._wakeup is not None:
+                self._wakeup.set()
+            self._fail_queued(TransportError("continuous batcher is closed"))
+
+        try:
+            self.core.call_soon(shutdown)
+        except RuntimeError:
+            # Core already closed: the drain task died with the loop;
+            # nothing can still be queued through this batcher.
+            self._closed = True
+
+    # -- loop side -----------------------------------------------------
+
+    def _ensure_drain_task(self) -> None:
+        import asyncio
+
+        if self._wakeup is None:
+            self._wakeup = asyncio.Event()
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(self._drain())
+
+    async def _drain(self) -> None:
+        try:
+            while True:
+                await self._wakeup.wait()
+                self._wakeup.clear()
+                if self._closed:
+                    break
+                while self._queue:
+                    batch = self._form_wave()
+                    if batch:
+                        await self._run_wave(batch)
+                if self._closed:
+                    break
+        finally:
+            self._fail_queued(
+                TransportError("continuous batcher drain task exited")
+            )
+
+    def _form_wave(self) -> List[_Pending]:
+        """Pop up to ``slots`` live requests; reclaim dead ones.
+
+        Requests whose cancellation token is already due are failed
+        *here* — their slot goes to a co-batched neighbour instead of
+        being burned on a doomed model call.
+        """
+        batch: List[_Pending] = []
+        while self._queue and len(batch) < self.slots:
+            pending = self._queue.popleft()
+            if pending.cancel is not None:
+                try:
+                    pending.cancel.check()
+                except QueryCancelled as exc:
+                    self.stats.cancelled_reclaimed += 1
+                    if pending.future.set_running_or_notify_cancel():
+                        pending.future.set_exception(exc)
+                    continue
+            if not pending.future.set_running_or_notify_cancel():
+                continue  # abandoned by its consumer
+            batch.append(pending)
+        return batch
+
+    async def _run_wave(self, batch: List[_Pending]) -> None:
+        import asyncio
+
+        self.stats.waves += 1
+        self.stats.max_batch = max(self.stats.max_batch, len(batch))
+        if len(self.wave_trace) < _TRACE_CAP:
+            self.wave_trace.append(
+                {
+                    "wave": self.stats.waves,
+                    "batch": len(batch),
+                    "queued": len(self._queue),
+                    "slots": self.slots,
+                }
+            )
+        if self.registry is not None:
+            from repro.obs import metrics as obs_metrics
+
+            self.registry.counter(obs_metrics.BATCH_WAVES_TOTAL).inc()
+            self.registry.counter(obs_metrics.BATCH_REQUESTS_TOTAL).inc(
+                len(batch)
+            )
+            self.registry.histogram(obs_metrics.BATCH_OCCUPANCY).observe(
+                len(batch)
+            )
+        results = await asyncio.gather(
+            *(
+                self.transport.complete_async(pending.prompt, pending.options)
+                for pending in batch
+            ),
+            return_exceptions=True,
+        )
+        for pending, result in zip(batch, results):
+            if isinstance(result, BaseException):
+                self.stats.failed += 1
+                pending.future.set_exception(result)
+            else:
+                self.stats.completed += 1
+                pending.future.set_result(result)
+
+    def _fail_queued(self, error: Exception) -> None:
+        while self._queue:
+            pending = self._queue.popleft()
+            if pending.future.set_running_or_notify_cancel():
+                pending.future.set_exception(error)
+
+
+class BatchingGate:
+    """Per-query adapter routing raw model calls into a shared batcher.
+
+    Implements the :class:`~repro.llm.interface.LanguageModel` surface
+    so it can stand in for the raw model at the bottom of the
+    cache/meter stack; carries the query's cancellation token so a
+    cancelled query's queued requests are reclaimable at wave
+    formation.
+    """
+
+    def __init__(
+        self,
+        inner,
+        batcher: ContinuousBatcher,
+        cancel: Optional[CancellationToken] = None,
+    ):
+        self._inner = inner
+        self._batcher = batcher
+        self._cancel = cancel
+
+    @property
+    def model_name(self) -> str:
+        # Identity passes through: caches and storage scopes must key
+        # on the model, not on how its calls are pooled.
+        return resolve_model_name(self._inner)
+
+    @property
+    def batcher(self) -> ContinuousBatcher:
+        return self._batcher
+
+    def complete(
+        self, prompt: str, options: CompletionOptions = CompletionOptions()
+    ) -> Completion:
+        return self._batcher.complete(prompt, options, cancel=self._cancel)
+
+    def complete_many(
+        self, requests: Sequence[BatchRequest]
+    ) -> List[Completion]:
+        futures = [
+            self._batcher.submit(prompt, options, cancel=self._cancel)
+            for prompt, options in requests
+        ]
+        return [future.result() for future in futures]

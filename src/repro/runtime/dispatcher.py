@@ -29,14 +29,24 @@ Guarantees:
 Single-flight followers never occupy a worker slot: they are chained as
 callbacks on the leader's future, which makes the bounded pool
 deadlock-free by construction (workers only ever call the model).
+
+Event-loop core.  Asynchronous model I/O — transport batch calls,
+completion streams, and the continuous batcher's shared request pool
+(:mod:`repro.runtime.batching`) — runs on one process-wide asyncio loop
+owned by :class:`EventLoopCore`.  The thread-pool path above is a shim
+over it: dispatcher workers that bottom out in an async surface hand
+the coroutine to the core and block on a plain
+:class:`concurrent.futures.Future`, so the pool only ever marshals
+results while the loop owns every in-flight wire operation.
 """
 
 from __future__ import annotations
 
+import asyncio
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Coroutine, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError, LLMProtocolError
 from repro.llm.cache import PromptCache, resolve_model_name, zero_cost_copy
@@ -49,6 +59,105 @@ from repro.runtime.scheduler import (
     CrossQueryDedup,
     FlightBudget,
 )
+
+
+class EventLoopCore:
+    """One asyncio loop on a dedicated thread, driven from sync code.
+
+    The loop thread starts lazily on first use and runs as a daemon;
+    sync callers hand coroutines over with :meth:`submit` (returning a
+    :class:`concurrent.futures.Future`) or block on :meth:`run`.  All
+    async transport I/O and the continuous batcher's drain task live
+    here, making the thread-pool dispatch path a shim that marshals
+    results rather than an owner of wire operations.
+    """
+
+    def __init__(self, name: str = "repro-async-core"):
+        self._name = name
+        self._loop = asyncio.new_event_loop()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        return self._loop
+
+    def _ensure_started(self) -> None:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("event-loop core is closed")
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._loop.run_forever,
+                    name=self._name,
+                    daemon=True,
+                )
+                self._thread.start()
+
+    def submit(self, coro: "Coroutine[Any, Any, Any]") -> "Future[Any]":
+        """Schedule a coroutine; returns a thread-safe future."""
+        try:
+            self._ensure_started()
+        except BaseException:
+            coro.close()  # never leave an un-awaited coroutine behind
+            raise
+        return asyncio.run_coroutine_threadsafe(coro, self._loop)
+
+    def run(
+        self, coro: "Coroutine[Any, Any, Any]", timeout: Optional[float] = None
+    ) -> Any:
+        """Run a coroutine to completion from synchronous code.
+
+        Refuses re-entrant use from the loop thread itself — blocking
+        the loop on work the loop must execute can only deadlock; async
+        callers must ``await`` instead.
+        """
+        if (
+            self._thread is not None
+            and threading.current_thread() is self._thread
+        ):
+            coro.close()
+            raise RuntimeError(
+                "EventLoopCore.run() called from the loop thread; "
+                "await the coroutine instead"
+            )
+        return self.submit(coro).result(timeout)
+
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule a plain callback on the loop thread."""
+        self._ensure_started()
+        self._loop.call_soon_threadsafe(callback, *args)
+
+    def close(self) -> None:
+        """Stop the loop and join its thread (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._thread
+        if thread is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            thread.join(timeout=5.0)
+        self._loop.close()
+
+
+_shared_core: Optional[EventLoopCore] = None
+_shared_core_lock = threading.Lock()
+
+
+def get_event_loop_core() -> EventLoopCore:
+    """The process-wide event-loop core (created on first use).
+
+    Shared deliberately: sessions, transports, and batchers all
+    schedule onto one loop, so a process serving many engines still
+    owns exactly one async I/O thread.
+    """
+    global _shared_core
+    with _shared_core_lock:
+        if _shared_core is None or _shared_core._closed:
+            _shared_core = EventLoopCore()
+        return _shared_core
 
 
 @dataclass(frozen=True)

@@ -721,3 +721,251 @@ def test_cli_batch_rejects_undecodable_file(tmp_path, capsys):
     captured = capsys.readouterr()
     assert code == 2
     assert "cannot read batch file" in captured.err
+
+
+# ---------------------------------------------------------------------------
+# Continuous cross-query batching
+# ---------------------------------------------------------------------------
+
+
+def test_continuous_batching_byte_identical_to_serial(mini_world):
+    config = EngineConfig().with_(
+        enable_continuous_batching=True, batch_slots=8, max_in_flight=4
+    )
+    expected, _ = serial_reference(mini_world, EngineConfig(), WORKLOAD)
+    engine = fresh_engine(mini_world, config)
+    try:
+        results = engine.execute_many(WORKLOAD, jobs=len(WORKLOAD))
+        assert [typed_rows(r) for r in results] == expected
+    finally:
+        engine.close()
+
+
+def test_continuous_batching_usage_identical_to_serial(mini_world):
+    config = EngineConfig().with_(
+        enable_continuous_batching=True, batch_slots=8, max_in_flight=4
+    )
+    _, serial_engine = serial_reference(mini_world, EngineConfig(), WORKLOAD)
+    engine = fresh_engine(mini_world, config)
+    try:
+        engine.execute_many(WORKLOAD, jobs=len(WORKLOAD))
+        a, b = serial_engine.usage, engine.usage
+        assert (a.calls, a.prompt_tokens, a.completion_tokens) == (
+            b.calls,
+            b.prompt_tokens,
+            b.completion_tokens,
+        )
+        assert a.cost_usd == b.cost_usd
+        # Same per-call latencies, merged in completion order: equal up
+        # to float summation order.
+        assert b.latency_ms == pytest.approx(a.latency_ms)
+    finally:
+        engine.close()
+
+
+def test_serving_slots_prices_the_batch_pool(mini_world):
+    config = EngineConfig().with_(
+        enable_continuous_batching=True, batch_slots=16, max_in_flight=4
+    )
+    engine = fresh_engine(mini_world, config)
+    try:
+        assert engine._session.serving_slots == 16
+    finally:
+        engine.close()
+    plain = fresh_engine(mini_world, EngineConfig().with_(max_in_flight=4))
+    assert plain._session.serving_slots == 4
+    assert plain._session.batcher is None
+
+
+def test_batcher_coalesces_calls_across_queries(mini_world):
+    """Overlapping queries land in shared waves, not one-by-one."""
+    import asyncio
+
+    from repro.llm.transport import SimulatedTransport
+    from repro.runtime.batching import ContinuousBatcher
+
+    model = SimulatedLLM(mini_world, NoiseConfig.perfect(), seed=5)
+
+    class SlowWaveTransport(SimulatedTransport):
+        async def complete_async(self, prompt, options=CompletionOptions()):
+            await asyncio.sleep(0.05)
+            return self.complete(prompt, options)
+
+    batcher = ContinuousBatcher(SlowWaveTransport(model), slots=8)
+    try:
+        opts = CompletionOptions()
+        first = batcher.submit("warm-up prompt", opts)
+        time.sleep(0.01)  # wave 1 in flight; the rest queue behind it
+        rest = [batcher.submit(f"probe prompt {i}", opts) for i in range(4)]
+        for future in [first, *rest]:
+            future.result(timeout=10)
+        assert batcher.stats.completed == 5
+        assert batcher.stats.max_batch >= 2
+        assert batcher.stats.waves < 5
+        assert batcher.wave_trace[0]["slots"] == 8
+    finally:
+        batcher.close()
+
+
+def test_cancelled_request_reclaims_slot_without_poisoning_wave(mini_world):
+    """A cancelled query's queued slots are reclaimed; co-batched
+    requests from other queries complete untouched."""
+    import asyncio
+
+    from repro.llm.transport import SimulatedTransport
+    from repro.runtime.batching import ContinuousBatcher
+
+    model = SimulatedLLM(mini_world, NoiseConfig.perfect(), seed=5)
+
+    class SlowWaveTransport(SimulatedTransport):
+        async def complete_async(self, prompt, options=CompletionOptions()):
+            await asyncio.sleep(0.05)
+            return self.complete(prompt, options)
+
+    transport = SlowWaveTransport(model)
+    batcher = ContinuousBatcher(transport, slots=8)
+    try:
+        opts = CompletionOptions()
+        blocker = batcher.submit("wave-one blocker", opts)
+        time.sleep(0.01)
+        doomed_token = CancellationToken()
+        doomed_token.cancel("client went away")
+        doomed = batcher.submit("doomed prompt", opts, cancel=doomed_token)
+        survivor = batcher.submit("survivor prompt", opts)
+        with pytest.raises(QueryCancelled, match="client went away"):
+            doomed.result(timeout=10)
+        assert survivor.result(timeout=10) == transport.complete(
+            "survivor prompt", opts
+        )
+        blocker.result(timeout=10)
+        assert batcher.stats.cancelled_reclaimed == 1
+        assert batcher.stats.completed == 2
+        assert batcher.stats.failed == 0
+    finally:
+        batcher.close()
+
+
+def test_timeout_token_reclaimed_by_batcher(mini_world):
+    from repro.llm.transport import SimulatedTransport
+    from repro.runtime.batching import ContinuousBatcher
+
+    model = SimulatedLLM(mini_world, NoiseConfig.perfect(), seed=5)
+    batcher = ContinuousBatcher(SimulatedTransport(model), slots=4)
+    try:
+        expired = CancellationToken(timeout_s=0.0)
+        time.sleep(0.001)
+        future = batcher.submit("late prompt", CompletionOptions(), cancel=expired)
+        with pytest.raises(QueryCancelled, match="timed out"):
+            future.result(timeout=10)
+        assert batcher.stats.cancelled_reclaimed == 1
+    finally:
+        batcher.close()
+
+
+def test_execute_many_timeout_under_continuous_batching(mini_world):
+    """The existing per-query timeout semantics survive the batch pool:
+    the victim is cancelled, co-batched queries stay byte-identical."""
+    config = EngineConfig().with_(
+        page_size=2, enable_continuous_batching=True, batch_slots=8
+    )
+    raw = SimulatedLLM(mini_world, NoiseConfig.perfect(), seed=5)
+    model = SleepingModel(raw, sleep_s=0.08)
+    engine = make_engine(model, mini_world, config)
+    try:
+        outcomes = engine.execute_many(
+            [
+                "SELECT name, population, gdp, continent FROM countries",
+                "SELECT COUNT(*) FROM cities",
+            ],
+            jobs=2,
+            timeout_s=[0.05, None],
+            collect_outcomes=True,
+        )
+        assert outcomes[0].status == "cancelled"
+        assert isinstance(outcomes[0].error, QueryCancelled)
+        assert outcomes[1].status == "ok"
+        reference = fresh_engine(mini_world, EngineConfig()).execute(
+            "SELECT COUNT(*) FROM cities"
+        )
+        assert typed_rows(outcomes[1].result) == typed_rows(reference)
+        # The pool survives a cancelled query: the engine keeps serving.
+        after = engine.execute("SELECT COUNT(*) FROM cities")
+        assert typed_rows(after) == typed_rows(reference)
+    finally:
+        engine.close()
+
+
+def test_batcher_isolates_per_request_failures(mini_world):
+    from repro.errors import TransportError
+    from repro.llm.transport import SimulatedTransport
+    from repro.runtime.batching import ContinuousBatcher
+
+    model = SimulatedLLM(mini_world, NoiseConfig.perfect(), seed=5)
+
+    class FlakyTransport(SimulatedTransport):
+        async def complete_async(self, prompt, options=CompletionOptions()):
+            if prompt.startswith("explode"):
+                raise TransportError("wire melted")
+            return self.complete(prompt, options)
+
+    transport = FlakyTransport(model)
+    batcher = ContinuousBatcher(transport, slots=8)
+    try:
+        opts = CompletionOptions()
+        bad = batcher.submit("explode now", opts)
+        good = batcher.submit("fine prompt", opts)
+        with pytest.raises(TransportError, match="wire melted"):
+            bad.result(timeout=10)
+        assert good.result(timeout=10) == transport.complete("fine prompt", opts)
+        assert batcher.stats.failed == 1
+        assert batcher.stats.completed == 1
+    finally:
+        batcher.close()
+
+
+def test_batcher_rejects_submissions_after_close(mini_world):
+    from repro.errors import TransportError
+    from repro.llm.transport import SimulatedTransport
+    from repro.runtime.batching import ContinuousBatcher
+
+    model = SimulatedLLM(mini_world, NoiseConfig.perfect(), seed=5)
+    batcher = ContinuousBatcher(SimulatedTransport(model), slots=2)
+    batcher.close()
+    future = batcher.submit("too late", CompletionOptions())
+    with pytest.raises(TransportError):
+        future.result(timeout=10)
+
+
+def test_batching_gate_is_identity_for_results(mini_world):
+    from repro.llm.transport import SimulatedTransport
+    from repro.runtime.batching import BatchingGate, ContinuousBatcher
+
+    model = SimulatedLLM(mini_world, NoiseConfig.perfect(), seed=5)
+    batcher = ContinuousBatcher(SimulatedTransport(model), slots=4)
+    try:
+        gate = BatchingGate(model, batcher)
+        assert gate.model_name == model.model_name
+        prompt = "identity probe"
+        assert gate.complete(prompt) == model.complete(prompt)
+        requests = [(f"probe {i}", CompletionOptions()) for i in range(3)]
+        direct = [model.complete(p, o) for p, o in requests]
+        assert gate.complete_many(requests) == direct
+    finally:
+        batcher.close()
+
+
+def test_event_loop_core_refuses_reentrant_run():
+    import asyncio
+
+    from repro.runtime.dispatcher import get_event_loop_core
+
+    core = get_event_loop_core()
+
+    async def nested():
+        try:
+            core.run(asyncio.sleep(0))
+        except RuntimeError:
+            return "refused"
+        return "allowed"
+
+    assert core.run(nested()) == "refused"
