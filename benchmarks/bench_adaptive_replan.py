@@ -1,0 +1,182 @@
+"""Benchmark: adaptive statistics vs badly-wrong static estimates.
+
+The optimizer prices every plan off registered ``row_estimate`` hints.
+When those hints are badly wrong — here a 240-row dimension table
+registered as 8 rows — the static planner keeps choosing a "cheap" full
+scan for every join, paying 12 pages per query.  With
+``enable_adaptive=True`` the first full enumeration teaches the
+statistics catalog the real cardinality, and every later join flips to
+a batched point lookup over exactly the keys it needs.
+
+Acceptance bar:
+
+* every query's result table is **byte-identical** to the static
+  engine's, and
+* the workload needs at least **2x fewer model calls** with
+  ``enable_adaptive=True``.
+
+The artifact also records the estimated-vs-observed selectivity the
+catalog learns for the residual (non-pushable) predicate of a streamed
+LIMIT query — the shape whose divergence triggers a mid-query re-plan.
+"""
+
+from repro.config import EngineConfig
+from repro.core.engine import LLMStorageEngine
+from repro.eval.reporting import ResultTable, artifact_path, save_metrics
+from repro.llm.noise import NoiseConfig
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.world import World
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+SEED = 3
+
+_KINDS = ["bolt", "nut", "gear", "washer", "bracket", "spring"]
+
+PARTS_SCHEMA = TableSchema(
+    name="parts",
+    columns=(
+        Column("part_id", DataType.TEXT, nullable=False),
+        Column("kind", DataType.TEXT),
+        Column("weight", DataType.REAL),
+    ),
+    primary_key=("part_id",),
+    description="parts catalog",
+)
+ORDERS_SCHEMA = TableSchema(
+    name="orders",
+    columns=(
+        Column("order_id", DataType.TEXT, nullable=False),
+        Column("part_id", DataType.TEXT),
+        Column("qty", DataType.INTEGER),
+    ),
+    primary_key=("order_id",),
+    description="orders",
+)
+
+
+def shop_world(n_parts: int = 240, n_orders: int = 40) -> World:
+    parts = [
+        (f"P{i:04d}", _KINDS[i % len(_KINDS)], round(0.1 * (i % 50) + 0.5, 1))
+        for i in range(n_parts)
+    ]
+    orders = [
+        (f"O{i:03d}", f"P{(i * 7) % n_parts:04d}", (i % 9) + 1)
+        for i in range(n_orders)
+    ]
+    return World(
+        "shop", [Table(PARTS_SCHEMA, parts), Table(ORDERS_SCHEMA, orders)]
+    )
+
+
+#: Join workload: the parts side is misestimated 30x too small, so the
+#: static planner full-scans it (12 pages) for every query.
+WORKLOAD = [
+    "SELECT o.order_id, p.kind FROM orders o "
+    "JOIN parts p ON p.part_id = o.part_id WHERE o.qty > %d" % q
+    for q in (7, 6, 8, 5, 4, 3, 2)
+]
+
+#: A streamed LIMIT query whose CASE predicate cannot ship to the model:
+#: its estimated residual selectivity is what the catalog corrects.
+RESIDUAL_QUERY = (
+    "SELECT part_id FROM parts "
+    "WHERE CASE WHEN weight > 5.0 THEN 1 ELSE 0 END = 1 LIMIT 5"
+)
+
+
+def run_workload(adaptive: bool):
+    world = shop_world()
+    model = SimulatedLLM(world, noise=NoiseConfig.perfect(), seed=SEED)
+    engine = LLMStorageEngine(
+        model,
+        config=EngineConfig(enable_adaptive=adaptive, enable_cache=False),
+    )
+    engine.register_virtual_table(PARTS_SCHEMA, row_estimate=8)  # truth: 240
+    engine.register_virtual_table(ORDERS_SCHEMA, row_estimate=40)
+    rows = [
+        tuple(map(tuple, engine.execute(sql).rows)) for sql in WORKLOAD
+    ]
+    residual_rows = tuple(map(tuple, engine.execute(RESIDUAL_QUERY).rows))
+    observed_sel = None
+    catalog = engine.stats_catalog
+    for (table, fingerprint), _acc in list(
+        catalog._predicates.items()
+    ):  # introspection only
+        if table == "parts" and "CASE" in fingerprint:
+            observed_sel = catalog.observed_selectivity(table, fingerprint)
+    stats = {
+        "rows": rows,
+        "residual_rows": residual_rows,
+        "usage": engine.usage,
+        "observed_parts": catalog.observed_rows("parts"),
+        "observed_residual_sel": observed_sel,
+        "replans": catalog.replans,
+    }
+    engine.close()
+    return stats
+
+
+def test_adaptive_statistics_call_reduction(benchmark):
+    results = {}
+
+    def sweep():
+        results["static"] = run_workload(adaptive=False)
+        results["adaptive"] = run_workload(adaptive=True)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    static, adaptive = results["static"], results["adaptive"]
+    assert adaptive["rows"] == static["rows"], "join results diverged"
+    assert (
+        adaptive["residual_rows"] == static["residual_rows"]
+    ), "streamed LIMIT results diverged"
+    assert adaptive["observed_parts"] == 240
+
+    artifact = ResultTable(
+        title="Adaptive statistics: wrong estimates vs learned cardinality",
+        columns=["mode", "calls", "total_tokens", "replans"],
+    )
+    for mode in ("static", "adaptive"):
+        usage = results[mode]["usage"]
+        artifact.add_row(
+            mode, usage.calls, usage.total_tokens, results[mode]["replans"]
+        )
+    # Estimated vs observed selectivity of the residual CASE predicate:
+    # the static planner guesses the equality constant; the catalog
+    # learns what the data actually says.
+    from repro.plan.cost import SEL_EQ
+
+    observed = adaptive["observed_residual_sel"]
+    artifact.add_note(
+        "parts cardinality: static estimate 8, observed 240 "
+        "(scan -> lookup-join flip after query 1)"
+    )
+    artifact.add_note(
+        f"residual CASE predicate selectivity: est={SEL_EQ:.3f} "
+        f"observed={observed:.3f}"
+        if observed is not None
+        else "residual CASE predicate selectivity: not observed"
+    )
+    path = artifact.save(artifact_path("bench_adaptive_replan.txt"))
+    assert path
+
+    static_calls = static["usage"].calls
+    adaptive_calls = adaptive["usage"].calls
+    reduction = static_calls / max(1, adaptive_calls)
+    save_metrics(
+        "adaptive_replan",
+        {
+            "call_reduction_adaptive": round(reduction, 3),
+            "calls_static": static_calls,
+            "calls_adaptive": adaptive_calls,
+            "observed_parts_rows": adaptive["observed_parts"],
+            "byte_identical": True,
+        },
+    )
+    assert reduction >= 2.0, (
+        f"expected >=2x fewer model calls with enable_adaptive; "
+        f"got {static_calls} -> {adaptive_calls} ({reduction:.1f}x)"
+    )

@@ -22,6 +22,7 @@ Inside the REPL:
     sql> .usage           -- cumulative session accounting
     sql> .storage         -- storage-tier hit/miss/eviction counters
     sql> .metrics         -- metrics registry + slow-query log (--trace)
+    sql> .stats           -- learned statistics catalog (--adaptive)
     sql> .tables          -- registered virtual tables
     sql> .quit
 """
@@ -64,6 +65,8 @@ def build_engine(
     transport_url: Optional[str] = None,
     continuous_batching: bool = False,
     batch_slots: Optional[int] = None,
+    adaptive: bool = False,
+    replan_threshold: Optional[float] = None,
 ) -> LLMStorageEngine:
     """Assemble an engine over one of the standard worlds."""
     worlds = all_worlds()
@@ -107,6 +110,10 @@ def build_engine(
         config = config.with_(enable_continuous_batching=True)
     if batch_slots is not None:
         config = config.with_(batch_slots=batch_slots)
+    if adaptive:
+        config = config.with_(enable_adaptive=True)
+    if replan_threshold is not None:
+        config = config.with_(replan_threshold=replan_threshold)
     if transport is not None:
         # The simulated model stays the deterministic offline fallback:
         # network transports without credentials/endpoint delegate every
@@ -143,6 +150,9 @@ def run_statement(engine: LLMStorageEngine, line: str, out) -> None:
         return
     if stripped == ".metrics":
         print(engine.metrics_report(), file=out)
+        return
+    if stripped == ".stats":
+        print(engine.stats_report(), file=out)
         return
     if stripped.startswith(".explain"):
         sql = stripped[len(".explain"):].strip()
@@ -392,6 +402,32 @@ def main(argv=None) -> int:
         help="slot count of the continuous-batching pool (default 32)",
     )
     parser.add_argument(
+        "--adaptive",
+        dest="adaptive",
+        action="store_true",
+        default=False,
+        help="learn observed cardinalities/selectivities into the "
+        "statistics catalog and let the optimizer consult them (plus "
+        "mid-query re-planning of badly-estimated streaming scans); "
+        "rows are byte-identical, only call layout changes",
+    )
+    parser.add_argument(
+        "--no-adaptive",
+        dest="adaptive",
+        action="store_false",
+        help="disable adaptive optimization (the default): the "
+        "optimizer prices plans off static estimates only",
+    )
+    parser.add_argument(
+        "--replan-threshold",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="estimated/observed selectivity divergence ratio beyond "
+        "which a streaming scan re-plans its remaining work "
+        "(default 4.0; must be > 1)",
+    )
+    parser.add_argument(
         "--naive", action="store_true", help="disable all optimizations"
     )
     parser.add_argument("-c", "--command", default=None, help="run one query and exit")
@@ -437,6 +473,8 @@ def main(argv=None) -> int:
             transport_url=args.transport_url,
             continuous_batching=args.continuous_batching,
             batch_slots=args.batch_slots,
+            adaptive=args.adaptive,
+            replan_threshold=args.replan_threshold,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -194,6 +194,21 @@ class EngineConfig:
             into the session's slow-query log, surfaced by the
             ``.metrics`` REPL command and batch summaries.  Implies
             tracing.  0 disables the log.
+        enable_adaptive: let the optimizer consult the online
+            statistics catalog (observed table cardinalities and
+            predicate selectivities from earlier executions) ahead of
+            static ``row_estimate`` hints, and allow mid-query
+            re-planning of streamed scans whose observed selectivity
+            diverges from the estimate by more than
+            ``replan_threshold``.  Off (the default) keeps planning
+            byte- and cost-identical to the static engine; the catalog
+            still *records* observations either way (``.stats``).
+            Adaptive plans return byte-identical rows — only call/page
+            counts and plan shape may differ.
+        replan_threshold: divergence factor that triggers a mid-query
+            re-plan of a streamed scan — fire when the estimated
+            residual selectivity over- or under-shoots the observed
+            one by at least this multiple.  Must be > 1.
     """
 
     page_size: int = 20
@@ -229,6 +244,8 @@ class EngineConfig:
     transport_url: Optional[str] = None
     enable_continuous_batching: bool = False
     batch_slots: int = 32
+    enable_adaptive: bool = False
+    replan_threshold: float = 4.0
 
     def __post_init__(self):
         if self.transport not in TRANSPORTS:
@@ -289,6 +306,10 @@ class EngineConfig:
         if self.slow_query_ms < 0:
             raise ConfigError(
                 f"slow_query_ms must be >= 0; got {self.slow_query_ms}"
+            )
+        if self.replan_threshold <= 1.0:
+            raise ConfigError(
+                f"replan_threshold must be > 1; got {self.replan_threshold}"
             )
         for name, minimum in (
             ("page_size", 1),

@@ -79,6 +79,9 @@ class LLMStorageEngine:
         self._virtuals: Dict[str, VirtualTable] = {}
         self._materialized: Dict[str, "Table"] = {}
         self._catalog_scope = ""
+        # Tables already warned about for DEFAULT_ROW_COUNT pricing —
+        # the warning fires once per table per engine, not per query.
+        self._warned_default_guess: set = set()
 
     # ------------------------------------------------------------------
     # Registration
@@ -189,6 +192,22 @@ class LLMStorageEngine:
             )
         digest = hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()
         self._catalog_scope = digest[:16]
+        # Re-anchor the statistics catalog: stats are keyed by catalog
+        # fingerprint (a changed registration means different tables /
+        # estimates, so old observations must not leak in), under a
+        # leading "stats" component that keeps them outside the
+        # generation-stamped cache namespace — cache invalidation drops
+        # answers, not what was learned about the data.
+        scope = self._session.storage.scope
+        self._session.stats_catalog.set_scope(
+            (
+                "stats",
+                scope.level,
+                scope.tenant,
+                resolve_model_name(self._session.model),
+                self._catalog_scope,
+            )
+        )
 
     @property
     def catalog(self) -> Catalog:
@@ -352,9 +371,20 @@ QueryOutcome` objects are returned instead.
                 )
 
         with tracer.span("optimize"):
-            plan = self._optimizer().plan(bound)
+            optimizer = self._optimizer()
+            plan = optimizer.plan(bound)
         if analyze_sink is not None:
             analyze_sink["plan"] = plan
+        stats_warnings = []
+        for table in sorted(
+            optimizer.default_guess_tables - self._warned_default_guess
+        ):
+            self._warned_default_guess.add(table)
+            stats_warnings.append(
+                f"stats[default-guess]: table {table!r} priced off the "
+                f"default row-count guess; register a row_estimate or "
+                f"run with --adaptive to learn the real cardinality"
+            )
 
         validator = Validator(enabled=self._config.enable_validation)
         # Under continuous batching the shared slot pool is the
@@ -382,6 +412,7 @@ QueryOutcome` objects are returned instead.
                 if self._session.obs.enabled
                 else None
             ),
+            stats_catalog=self._session.stats_catalog,
         )
         # Rebind the trace clock to the query's simulated wall: span
         # timestamps become model milliseconds, deterministic at any
@@ -394,12 +425,13 @@ QueryOutcome` objects are returned instead.
                 table = executor.execute(plan)
         finally:
             client.close()
+            self._session.stats_catalog.flush()
         # The child meter *is* the attribution: no session-level
         # snapshot differencing, which misattributes when queries
         # interleave on one session.
         usage = meter.snapshot()
 
-        warnings = list(client.warnings)
+        warnings = stats_warnings + list(client.warnings)
         if validator.report.nulled_cells:
             warnings.append(
                 f"validation nulled {validator.report.nulled_cells} cell(s)"
@@ -480,6 +512,14 @@ QueryOutcome` objects are returned instead.
                 self._config,
                 self._catalog_scope,
             ),
+            # Consultation is gated on enable_adaptive; recording is
+            # not — a static session still learns (``.stats``) but its
+            # plans never move.
+            stats_catalog=(
+                self._session.stats_catalog
+                if self._config.enable_adaptive
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -512,6 +552,15 @@ QueryOutcome` objects are returned instead.
     def metrics_report(self) -> str:
         """Human-readable metrics + slow-query report (``.metrics``)."""
         return self._session.obs.render_report()
+
+    @property
+    def stats_catalog(self):
+        """The session's online statistics catalog (always recording)."""
+        return self._session.stats_catalog
+
+    def stats_report(self) -> str:
+        """Human-readable observed statistics (``.stats`` REPL command)."""
+        return self._session.stats_catalog.describe()
 
     def prometheus_metrics(self) -> str:
         """The metrics registry in Prometheus text exposition format."""

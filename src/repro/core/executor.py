@@ -35,6 +35,7 @@ the materialized one — fewer pages are fetched, nothing else changes.
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.operators import ModelClient, build_local_table, normalize_key
@@ -49,6 +50,7 @@ from repro.plan.physical import (
     RetrievalPlan,
     ScanStep,
     SetOpPlan,
+    ShardSpec,
     ShardedScanStep,
 )
 from repro.core.virtual import VirtualTable
@@ -183,6 +185,7 @@ class PlanExecutor:
                 ) as span:
                     table = self._table_for_step(step, local_tables)
                     span.set_tag("rows", len(table))
+                    self._annotate_selectivity(span, step, table)
                 local_tables[step.binding.lower()] = table
 
         # Register in first-write step order so temp numbering (and the
@@ -294,7 +297,18 @@ class PlanExecutor:
                     state["count"] += probe_count(new_rows)
                 return state["count"]
 
-        rows = take_until(stream, RowQuota(quota_rows, output_count))
+        config = self._client.config
+        if (
+            isinstance(step, ScanStep)
+            and config.enable_adaptive
+            and step.order is None
+            and not step.fragment_covered
+        ):
+            rows = self._take_adaptive(
+                step, stream, quota_rows, output_count, step_span
+            )
+        else:
+            rows = take_until(stream, RowQuota(quota_rows, output_count))
         step_span.set_tag("rows", len(rows))
         table = build_local_table(binding, step.schema, columns, rows)
         catalog = Catalog()
@@ -302,6 +316,108 @@ class PlanExecutor:
         catalog.register_table(_rename_table(table, temp_name))
         rewritten = _rewrite_from_clause(statement, {binding: temp_name})
         return ReferenceExecutor(catalog).execute(rewritten)
+
+    def _take_adaptive(
+        self,
+        step: ScanStep,
+        stream,
+        quota_rows: int,
+        output_count,
+        step_span,
+    ) -> List[List]:
+        """Streamed consumption with mid-query re-planning.
+
+        Phase 1 consumes the scan serially exactly like the static
+        path, but watches the observed residual selectivity (output
+        rows per fetched row).  If, after at least two pages, the
+        estimate exceeds observation by ``replan_threshold``, the
+        stream is closed (the prefix persists as a resumable fragment)
+        and the *remaining* work is re-planned: phase 2 fans the
+        continuation of the enumeration cursor out as page-aligned
+        bounded shards sized from the selectivity actually observed.
+        Shard prompts are byte-identical to the serial continuation's,
+        and the already-fetched prefix is kept, so the final rows are
+        byte-identical to the static plan — only wall-clock (and, when
+        the estimate overshot the other way, page count) changes.
+        """
+        client = self._client
+        config = client.config
+        page_size = max(1, config.page_size)
+        threshold = config.replan_threshold
+        est_sel = max(step.est_residual_sel, 1e-6)
+
+        rows: List[List] = []
+        produced = 0
+        # Snapshot before close(): closing marks the stream finished, so
+        # ``stream.exhausted`` afterwards can no longer distinguish "the
+        # enumeration ended" from "we stopped consuming".
+        exhausted = False
+        try:
+            for page in stream:
+                rows.extend(page)
+                produced = output_count(rows)
+                if produced >= quota_rows:
+                    break
+                consumed = len(rows)
+                if (
+                    stream.pages_yielded >= 2
+                    and consumed % page_size == 0
+                    and not stream.exhausted
+                ):
+                    actual = max(float(produced), 0.5) / consumed
+                    if est_sel / actual >= threshold:
+                        break  # diverged: re-plan the remaining work
+            exhausted = stream.exhausted
+        finally:
+            stream.close()
+
+        virtual = self._virtual_for(step.table_name)
+        cursor = len(rows)
+        rounds = 0
+        total_shards = 0
+        while produced < quota_rows and not exhausted and rounds < 16:
+            need = quota_rows - produced
+            act_sel = max(float(produced), 0.5) / max(cursor, 1)
+            est_in = max(page_size, math.ceil(need / act_sel))
+            pages_more = -(-est_in // page_size)
+            shard_count = max(1, min(client.max_in_flight, pages_more))
+            per_shard_rows = -(-pages_more // shard_count) * page_size
+            shards = [
+                ShardSpec(
+                    index=i,
+                    start=cursor + i * per_shard_rows,
+                    row_target=per_shard_rows,
+                )
+                for i in range(shard_count)
+            ]
+            outcomes = client.run_replan_shards(step, shards, virtual)
+            rounds += 1
+            total_shards += shard_count
+            new_rows = [row for outcome in outcomes for row in outcome.rows]
+            rows.extend(new_rows)
+            cursor += len(new_rows)
+            produced = output_count(rows)
+            if any(len(o.rows) < per_shard_rows for o in outcomes):
+                exhausted = True  # the enumeration ended inside a shard
+            if any(not o.storable for o in outcomes):
+                break  # truncation/guard: degrade to what we have
+
+        if rounds > 0:
+            client.store_replan_fragment(
+                step, rows, -(-len(rows) // page_size), complete=exhausted
+            )
+            step_span.set_tag(
+                "replanned", f"{rounds} round(s), {total_shards} shard(s)"
+            )
+        step_span.set_tag("sel_est", round(step.est_residual_sel, 4))
+        if rows:
+            step_span.set_tag("sel_act", round(produced / len(rows), 4))
+        catalog = client.stats_catalog
+        if catalog is not None and step.residual_fingerprint is not None and rows:
+            catalog.record_selectivity(
+                step.table_name, step.residual_fingerprint, len(rows), produced
+            )
+        return rows
 
     # ------------------------------------------------------------------
     # Step helpers
@@ -321,7 +437,26 @@ class PlanExecutor:
                 with self._client.warning_scope() as captured:
                     table = self._table_for_step(step, local_tables)
                 span.set_tag("rows", len(table))
+                self._annotate_selectivity(span, step, table)
         return table, captured
+
+    def _annotate_selectivity(self, span, step, table: Table) -> None:
+        """Tag a scan step span with estimated vs observed selectivity.
+
+        The observed fraction is the step's output rows over the
+        table's cardinality as the statistics catalog knows it — only
+        available once a full enumeration has taught the catalog the
+        denominator, so EXPLAIN ANALYZE shows ``act=?`` until then.
+        """
+        scan = step.scan if isinstance(step, ShardedScanStep) else step
+        if not isinstance(scan, ScanStep):
+            return
+        span.set_tag("sel_est", round(scan.est_selectivity, 4))
+        catalog = self._client.stats_catalog
+        if catalog is not None:
+            known = catalog.observed_rows(scan.table_name)
+            if known:
+                span.set_tag("sel_act", round(len(table) / known, 4))
 
     def _table_for_step(self, step, local_tables: Dict[str, Table]) -> Table:
         """Materialize one step against the current binding map.

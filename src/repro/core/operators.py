@@ -96,8 +96,15 @@ class ModelClient:
         tracer=None,
         registry=None,
         batcher=None,
+        stats_catalog=None,
     ):
         self._raw_model = model
+        # Online statistics feedback: executed scans report observed
+        # cardinalities/selectivities here and every landed completion
+        # feeds the per-kind latency/token histograms.  Recording never
+        # changes answers; only the optimizer's *consultation* of the
+        # catalog (gated on enable_adaptive) can change plans.
+        self._stats = stats_catalog
         # Observability hooks: the tracer collects spans (no-op unless
         # the query runs under tracing), the registry feeds the
         # pages-per-scan histogram.  Neither affects answers or usage.
@@ -161,6 +168,9 @@ class ModelClient:
             flight_budget=flight_budget,
             cancel=cancel,
             tracer=self._tracer,
+            on_completion=(
+                stats_catalog.record_call if stats_catalog is not None else None
+            ),
         )
         self.warnings: List[str] = []
         self._warning_local = threading.local()
@@ -168,6 +178,15 @@ class ModelClient:
     @property
     def validator(self) -> Validator:
         return self._validator
+
+    @property
+    def stats_catalog(self):
+        """The session's statistics catalog (``None`` in bare tests)."""
+        return self._stats
+
+    @property
+    def config(self) -> EngineConfig:
+        return self._config
 
     @property
     def dispatcher(self) -> Dispatcher:
@@ -468,6 +487,25 @@ class ModelClient:
                 self._registry.histogram(
                     obs_metrics.PAGES_PER_SCAN
                 ).observe(pages_fetched)
+            if self._stats is not None and ended_naturally and target is None:
+                # The enumeration ran to the model's natural end, so
+                # the cursor count is ground truth — a full scan fixes
+                # the table's cardinality, a pushed-down scan fixes the
+                # predicate's selectivity (only once the denominator,
+                # the table's true row count, is itself known).
+                if step.pushdown_sql is None:
+                    self._stats.record_table_rows(
+                        step.table_name, parsed_total
+                    )
+                elif step.predicate_fingerprint is not None:
+                    known = self._stats.observed_rows(step.table_name)
+                    if known is not None and known > 0:
+                        self._stats.record_selectivity(
+                            step.table_name,
+                            step.predicate_fingerprint,
+                            known,
+                            parsed_total,
+                        )
             if interrupted:
                 self._meter.record_pages(
                     skipped=max(0, est_pages - prefix_pages - pages_fetched)
@@ -799,6 +837,28 @@ class ModelClient:
                 self._meter.record_pages(
                     skipped=max(0, est_pages - fetched)
                 )
+            if (
+                self._stats is not None
+                and finished
+                and len(completed) == len(step.shards)
+                and all(o.storable for o in completed)
+            ):
+                # All chains landed: the shard-order concatenation is
+                # the complete enumeration (the open-ended final shard
+                # ran to the model's natural end), so the union count
+                # is as authoritative as a serial full scan's.
+                total = sum(len(o.rows) for o in completed)
+                if scan.pushdown_sql is None:
+                    self._stats.record_table_rows(scan.table_name, total)
+                elif scan.predicate_fingerprint is not None:
+                    known = self._stats.observed_rows(scan.table_name)
+                    if known is not None and known > 0:
+                        self._stats.record_selectivity(
+                            scan.table_name,
+                            scan.predicate_fingerprint,
+                            known,
+                            total,
+                        )
             if (finished or interrupted) and self._storage is not None:
                 if len(completed) == len(step.shards) and all(
                     o.storable for o in completed
@@ -982,6 +1042,84 @@ class ModelClient:
         ]
         return _ShardOutcome(
             rows=validated, pages=pages, cost=pages, storable=storable
+        )
+
+    # ------------------------------------------------------------------
+    # Mid-query re-plan
+    # ------------------------------------------------------------------
+
+    def run_replan_shards(
+        self,
+        scan: ScanStep,
+        shards: Sequence[ShardSpec],
+        virtual: VirtualTable,
+    ) -> List["_ShardOutcome"]:
+        """Residual shard fan-out for a mid-query re-plan.
+
+        The adaptive executor calls this after closing a streamed scan
+        whose observed selectivity diverged from the estimate: each
+        shard continues the enumeration cursor where the closed stream
+        (plus earlier replan rounds) left off.  Chains reuse the
+        sharded-scan page machinery, and the executor keeps shard
+        starts page-aligned with page-multiple targets, so every
+        prompt is byte-identical to one the serial continuation would
+        have issued — merged rows, and therefore results, cannot
+        differ from the static plan's.
+        """
+        if self._registry is not None:
+            self._registry.counter(obs_metrics.REPLANS_TOTAL).inc()
+            self._registry.counter(obs_metrics.REPLAN_SHARDS_TOTAL).inc(
+                len(shards)
+            )
+        if self._stats is not None:
+            self._stats.replans += 1
+            self._stats.replan_shards += len(shards)
+        parent = self._tracer.current_parent()
+        shard_count = len(shards)
+        thunks = [
+            (lambda shard=shard: self._run_shard_chain(
+                scan, shard, shard_count, virtual, parent
+            ))
+            for shard in shards
+        ]
+        outcomes: List[_ShardOutcome] = []
+        width = max(1, self._config.max_in_flight)
+        for begin in range(0, len(thunks), width):
+            outcomes.extend(
+                run_parallel(self._ledger, thunks[begin : begin + width])
+            )
+        for outcome in outcomes:
+            self.emit_warnings(outcome.warnings)
+        return outcomes
+
+    def store_replan_fragment(
+        self,
+        scan: ScanStep,
+        rows: Sequence[Sequence[Value]],
+        source_calls: int,
+        complete: bool,
+    ) -> None:
+        """Write back a replanned scan's combined enumeration prefix.
+
+        The streamed prefix plus the residual shards' rows form one
+        contiguous prefix of the enumeration, so storing it (replacing
+        the shorter prefix the closed stream wrote back) leaves the
+        storage tier exactly as informed as a serial run that fetched
+        this far.
+        """
+        if self._storage is None:
+            return
+        self._storage.store_scan_fragment(
+            self._storage_scope,
+            scan.table_name,
+            scan.pushdown_sql,
+            scan.order,
+            ScanFragment(
+                columns=tuple(scan.columns),
+                rows=tuple(tuple(row) for row in rows),
+                complete=complete,
+                source_calls=source_calls,
+            ),
         )
 
     def _aggregate_table(

@@ -31,6 +31,7 @@ from repro.llm.transport import as_transport, transport_label
 from repro.obs.hub import Observability
 from repro.runtime.batching import ContinuousBatcher
 from repro.runtime.scheduler import CrossQueryDedup, FlightBudget
+from repro.stats import StatisticsCatalog
 from repro.storage.tier import StorageTier
 
 
@@ -72,6 +73,32 @@ class EngineSession:
                 slots=self.config.batch_slots,
                 registry=(self.obs.registry if self.obs.enabled else None),
             )
+        # Online statistics catalog: always recording (``.stats`` shows
+        # what was observed either way); the optimizer only *consults*
+        # it under ``enable_adaptive``.  Persistence piggybacks on the
+        # sqlite storage file as its own logical store — and only when
+        # adaptive is on, so a static session neither reads nor writes
+        # stats rows and stays byte/cost-identical to before.
+        stats_backend = None
+        if (
+            self.config.enable_adaptive
+            and self.config.storage_backend == "sqlite"
+            and self.config.storage_path
+        ):
+            from repro.storage.persistent import (
+                SqliteBackend,
+                StorageBackendError,
+            )
+
+            try:
+                stats_backend = SqliteBackend(
+                    self.config.storage_path,
+                    self.config.storage_budget_bytes,
+                    store="stats",
+                )
+            except StorageBackendError:
+                stats_backend = None  # memory-only catalog; never an error
+        self.stats_catalog = StatisticsCatalog(stats_backend)
 
     def query_meter(self, forward_wall: bool = True) -> UsageMeter:
         """A child meter attributing one query's usage.

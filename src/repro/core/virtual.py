@@ -78,7 +78,10 @@ class VirtualTable:
     ) -> "VirtualTable":
         return VirtualTable(
             schema=schema,
-            stats=TableStats(row_count=row_estimate or DEFAULT_ROW_COUNT),
+            stats=TableStats(
+                row_count=row_estimate or DEFAULT_ROW_COUNT,
+                default_guess=row_estimate is None,
+            ),
             constraints=dict(constraints or {}),
         )
 

@@ -94,6 +94,14 @@ def _actual_line(view: _TraceView, span: Optional[Span]) -> str:
     outcome = view.storage_outcome(span)
     if outcome is not None:
         parts.append(f"storage={outcome}")
+    est_sel = span.tags.get("sel_est")
+    if est_sel is not None:
+        act_sel = span.tags.get("sel_act")
+        act_text = act_sel if act_sel is not None else "?"
+        parts.append(f"sel: est={est_sel} act={act_text}")
+    replanned = span.tags.get("replanned")
+    if replanned is not None:
+        parts.append(f"replanned[{replanned}]")
     return "actual: " + " ".join(parts)
 
 

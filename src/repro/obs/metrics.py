@@ -37,6 +37,8 @@ QUERY_WALL_MS = "query_wall_ms"
 BATCH_WAVES_TOTAL = "batch_waves_total"
 BATCH_REQUESTS_TOTAL = "batch_requests_total"
 BATCH_OCCUPANCY = "batch_occupancy"
+REPLANS_TOTAL = "replans_total"
+REPLAN_SHARDS_TOTAL = "replan_shards_total"
 
 LATENCY_BUCKETS_MS: Tuple[float, ...] = (
     1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
@@ -156,6 +158,26 @@ class Histogram:
     def bucket_counts(self) -> List[int]:
         with self._lock:
             return list(self._counts)
+
+    def merge_counts(self, counts: Sequence[int], total: float = 0.0) -> None:
+        """Fold another histogram's bucket occupancy into this one.
+
+        Bucket counts are additive and order-invariant, so merging a
+        persisted snapshot (or a sibling process's counts) commutes
+        with live observation — the statistics catalog relies on this
+        to combine cross-process histograms without double counting.
+        The bucket layouts must match.
+        """
+        if len(counts) != len(self._counts):
+            raise ValueError(
+                f"bucket layout mismatch: {len(counts)} counts into "
+                f"{len(self._counts)} buckets"
+            )
+        with self._lock:
+            for i, bucket_count in enumerate(counts):
+                self._counts[i] += int(bucket_count)
+                self._count += int(bucket_count)
+            self._sum += float(total)
 
     def percentile(self, pct: float) -> Optional[float]:
         """Upper bound of the bucket holding the ``pct`` rank.

@@ -40,9 +40,15 @@ SEL_DEFAULT = 0.50
 
 @dataclass(frozen=True)
 class TableStats:
-    """Statistics for one virtual table."""
+    """Statistics for one virtual table.
+
+    ``default_guess`` marks a table registered without an explicit
+    ``row_estimate`` — its ``row_count`` is the blind
+    :data:`DEFAULT_ROW_COUNT` constant, not knowledge.
+    """
 
     row_count: int = DEFAULT_ROW_COUNT
+    default_guess: bool = False
 
 
 @dataclass(frozen=True)
@@ -72,17 +78,46 @@ class CostEstimate:
 
 
 class CostModel:
-    """Prices retrieval steps given table statistics and engine config."""
+    """Prices retrieval steps given table statistics and engine config.
 
-    def __init__(self, stats: Dict[str, TableStats], config: EngineConfig):
+    ``catalog`` (a :class:`repro.stats.StatisticsCatalog`, optional)
+    supplies *observed* cardinalities, consulted ahead of the static
+    ``row_estimate`` hints — adaptive planning hinges on the observed
+    number winning once it exists.  Tables priced off the bare
+    :data:`DEFAULT_ROW_COUNT` guess (no hint, nothing observed) are
+    collected in :attr:`default_guess_tables` so the planner can
+    surface the blind spot instead of silently mispricing.
+    """
+
+    def __init__(
+        self,
+        stats: Dict[str, TableStats],
+        config: EngineConfig,
+        catalog=None,
+    ):
         self._stats = {name.lower(): value for name, value in stats.items()}
         self._config = config
+        self._catalog = catalog
+        #: Tables priced off DEFAULT_ROW_COUNT during this model's use.
+        self.default_guess_tables = set()
+        #: Tables priced off a catalog observation (adaptive only).
+        self.observed_tables = {}
 
     # -- cardinalities ------------------------------------------------------
 
     def row_count(self, table_name: str) -> int:
+        if self._catalog is not None:
+            observed = self._catalog.observed_rows(table_name)
+            if observed is not None:
+                self.observed_tables[table_name.lower()] = observed
+                return max(1, observed)
         stats = self._stats.get(table_name.lower())
-        return stats.row_count if stats is not None else DEFAULT_ROW_COUNT
+        if stats is not None:
+            if stats.default_guess:
+                self.default_guess_tables.add(table_name.lower())
+            return stats.row_count
+        self.default_guess_tables.add(table_name.lower())
+        return DEFAULT_ROW_COUNT
 
     def selectivity(
         self, predicate: Optional[ast.Expr], schema: TableSchema

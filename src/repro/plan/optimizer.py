@@ -55,6 +55,7 @@ from repro.relational.catalog import Catalog, TableKind
 from repro.sql import ast
 from repro.sql.binder import Binder, BoundQuery
 from repro.sql.printer import print_expression
+from repro.storage.normalize import predicate_fingerprint
 
 if TYPE_CHECKING:
     from repro.storage.tier import StorageTier
@@ -70,17 +71,24 @@ class Optimizer:
         config: EngineConfig,
         storage: Optional["StorageTier"] = None,
         storage_scope: Tuple = (),
+        stats_catalog=None,
     ):
         self._catalog = catalog
         self._config = config
-        self._cost = CostModel(stats, config)
+        self._cost = CostModel(stats, config, catalog=stats_catalog)
         self._binder = Binder(catalog)
         self._storage = storage
         self._storage_scope = storage_scope
+        self._stats_catalog = stats_catalog
 
     def _is_materialized(self, table_name: str) -> bool:
         """Materialized tables are satisfied locally (hybrid queries)."""
         return self._catalog.entry(table_name).kind is TableKind.MATERIALIZED
+
+    @property
+    def default_guess_tables(self) -> set:
+        """Tables this optimizer priced off DEFAULT_ROW_COUNT."""
+        return self._cost.default_guess_tables
 
     # ------------------------------------------------------------------
     # Entry points
@@ -291,9 +299,23 @@ class Optimizer:
         binding_key = access.binding.lower()
         columns = self._columns_for(access, needed.get(binding_key, set()))
         table_rows = float(self._cost.row_count(access.table_name))
+        self._note_table_stats(plan, access.table_name)
 
         pushdown_expr = rules.conjoin(pushed) if self._config.enable_pushdown else None
         selectivity = self._cost.selectivity(pushdown_expr, access.schema)
+        fingerprint: Optional[str] = None
+        if pushdown_expr is not None:
+            fingerprint = predicate_fingerprint(access.binding, pushed)
+            if self._stats_catalog is not None:
+                observed = self._stats_catalog.observed_selectivity(
+                    access.table_name, fingerprint
+                )
+                if observed is not None:
+                    selectivity = observed
+                    plan.notes.append(
+                        f"stats[selectivity]: {access.table_name} "
+                        f"observed sel={observed:.3f}"
+                    )
         scan_rows = max(1.0, table_rows * selectivity)
         scan_step = ScanStep(
             binding=access.binding,
@@ -306,6 +328,8 @@ class Optimizer:
             pushed_conjuncts=list(pushed) if pushdown_expr is not None else [],
             est_rows=scan_rows,
             estimate=self._cost.scan_cost(access.table_name, scan_rows, len(columns)),
+            predicate_fingerprint=fingerprint,
+            est_selectivity=selectivity if pushdown_expr is not None else 1.0,
         )
 
         # Point lookups are preferred whenever predicates pin the primary
@@ -364,6 +388,28 @@ class Optimizer:
             )
         est_rows[binding_key] = scan_rows
         return scan_step
+
+    def _note_table_stats(self, plan: RetrievalPlan, table_name: str) -> None:
+        """Surface where this table's cardinality came from.
+
+        ``stats[default-guess]`` marks a table priced off the blind
+        :data:`~repro.plan.cost.DEFAULT_ROW_COUNT` constant — the
+        engine also warns once per table, so misestimates are
+        diagnosable.  ``stats[observed]`` marks an adaptive plan using
+        a catalog observation instead of the static hint.
+        """
+        key = table_name.lower()
+        if key in self._cost.observed_tables:
+            note = (
+                f"stats[observed]: {key} "
+                f"rows={self._cost.observed_tables[key]}"
+            )
+            if note not in plan.notes:
+                plan.notes.append(note)
+        elif key in self._cost.default_guess_tables:
+            note = f"stats[default-guess]: {key}"
+            if note not in plan.notes:
+                plan.notes.append(note)
 
     def _note_lookup_coverage(
         self, plan: RetrievalPlan, binding: str, step: LookupStep
@@ -656,19 +702,39 @@ class Optimizer:
                 return
             step.stop_after_rows = quota
             pushed_here = {id(c) for c in step.pushed_conjuncts}
-            residual = rules.conjoin(
-                [
-                    c
-                    for c in rules.split_conjuncts(statement.where)
-                    if id(c) not in pushed_here
-                ]
-            )
+            residual_conjuncts = [
+                c
+                for c in rules.split_conjuncts(statement.where)
+                if id(c) not in pushed_here
+            ]
+            residual = rules.conjoin(residual_conjuncts)
+            residual_sel = self._cost.selectivity(residual, step.schema)
+            if residual_conjuncts:
+                binding = rules.single_binding(residual_conjuncts[0])
+                # Fingerprint only single-binding residuals (the common
+                # streamed shape: one FROM element); a multi-binding
+                # residual cannot happen here since streaming requires
+                # a single step.
+                step.residual_fingerprint = predicate_fingerprint(
+                    binding or step.binding, residual_conjuncts
+                )
+                if self._stats_catalog is not None:
+                    observed = self._stats_catalog.observed_selectivity(
+                        step.table_name, step.residual_fingerprint
+                    )
+                    if observed is not None:
+                        residual_sel = observed
+                        plan.notes.append(
+                            f"stats[selectivity]: {step.table_name} "
+                            f"observed residual sel={observed:.3f}"
+                        )
+            step.est_residual_sel = residual_sel
             step.estimate = self._cost.streamed_scan_cost(
                 step.table_name,
                 step.est_rows,
                 len(step.columns),
                 quota,
-                self._cost.selectivity(residual, step.schema),
+                residual_sel,
             )
         elif isinstance(step, LookupStep) and step.literal_keys:
             batch = max(1, self._config.lookup_batch_size)

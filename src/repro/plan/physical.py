@@ -49,6 +49,18 @@ class ScanStep:
         pinned_fragment: the fragment behind ``fragment_covered``,
             pinned at plan time so the routed plan stays servable even
             if the tier entry is evicted or expires before execution.
+        predicate_fingerprint: canonical fingerprint of the pushed
+            conjuncts (statistics-catalog selectivity key); None when
+            nothing was pushed.
+        residual_fingerprint: fingerprint of the *residual* (local)
+            conjuncts a streamed early-exit scan filters through; the
+            executor records observed residual selectivity under it.
+        est_selectivity: estimated selectivity of the pushed predicate
+            (1.0 when nothing was pushed) — EXPLAIN ANALYZE compares
+            it against the observed fraction.
+        est_residual_sel: estimated selectivity of the residual local
+            filter of a streamed scan; the adaptive executor re-plans
+            when observation diverges from it beyond the threshold.
     """
 
     binding: str
@@ -64,6 +76,10 @@ class ScanStep:
     estimate: CostEstimate = CostEstimate()
     fragment_covered: bool = False
     pinned_fragment: Optional[object] = field(default=None, repr=False)
+    predicate_fingerprint: Optional[str] = field(default=None, repr=False)
+    residual_fingerprint: Optional[str] = field(default=None, repr=False)
+    est_selectivity: float = 1.0
+    est_residual_sel: float = 1.0
 
     @property
     def kind(self) -> str:

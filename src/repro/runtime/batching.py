@@ -302,3 +302,18 @@ class BatchingGate:
             for prompt, options in requests
         ]
         return [future.result() for future in futures]
+
+    async def complete_async(
+        self, prompt: str, options: CompletionOptions = CompletionOptions()
+    ) -> Completion:
+        """Async surface: await the pooled future without blocking.
+
+        The drain task that resolves batcher futures runs on the
+        event-loop core, so a coroutine on that same loop must await —
+        the blocking :meth:`complete` there would deadlock the pool.
+        """
+        import asyncio
+
+        return await asyncio.wrap_future(
+            self._batcher.submit(prompt, options, cancel=self._cancel)
+        )

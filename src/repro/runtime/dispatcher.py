@@ -252,6 +252,7 @@ class Dispatcher:
         flight_budget: Optional[FlightBudget] = None,
         cancel: Optional[CancellationToken] = None,
         tracer=None,
+        on_completion: Optional[Callable[[str, float, int], None]] = None,
     ):
         self._model = model
         self._options_for = options_for
@@ -261,6 +262,11 @@ class Dispatcher:
         self._raw_model = raw_model
         self._cache = cache
         self._meter = meter
+        # Statistics feedback: called with (kind, latency_ms, tokens)
+        # for every completion that lands — purely observational, it
+        # feeds the online statistics catalog's per-kind histograms.
+        self._on_completion = on_completion
+        self._async_target = None  # resolved lazily for speculation
         self._shared = shared
         self._dedup_scope = tuple(dedup_scope)
         self._flight_budget = flight_budget
@@ -403,6 +409,12 @@ class Dispatcher:
         already in flight: the consumer will issue a normal call and be
         served by single-flight/cache, so speculating would only race
         the metered call for the cache slot.
+
+        Speculations run natively on the event-loop core: the guessed
+        page is a coroutine awaiting the model's async surface, not a
+        pool thread blocking in the executor shim — so it coalesces
+        with transport batches and the continuous batcher's waves on
+        the one loop that owns wire I/O.
         """
         options = self._options_for(0)
         with self._lock:
@@ -410,14 +422,9 @@ class Dispatcher:
                 return None
         self.stats.speculated += 1
         launched_at = self._ledger.now()
-        if self._pool is None:
-            future: "Future[Tuple[Completion, bool]]" = Future()
-            try:
-                future.set_result(self._raw_attempt(prompt, options))
-            except BaseException as exc:
-                future.set_exception(exc)
-        else:
-            future = self._pool.submit(self._raw_attempt, prompt, options)
+        future = get_event_loop_core().submit(
+            self._raw_attempt_async(prompt, options)
+        )
         return Speculation(prompt, options, future, launched_at)
 
     def consume_speculation(self, spec: Speculation) -> Tuple[Completion, float]:
@@ -448,6 +455,12 @@ class Dispatcher:
                 completion = zero_cost_copy(completion)
         if self._meter is not None:
             self._meter.record_completion(completion)
+        if self._on_completion is not None:
+            self._on_completion(
+                "scan-page",
+                completion.latency_ms,
+                completion.prompt_tokens + completion.completion_tokens,
+            )
         elapsed = self._ledger.now() - spec.launched_at_ms
         owed = max(0.0, completion.latency_ms - elapsed)
         if self._tracer.enabled:
@@ -527,6 +540,12 @@ class Dispatcher:
             )
             completion = self._guarded_complete(request.prompt, options)
             path_ms += completion.latency_ms
+            if self._on_completion is not None:
+                self._on_completion(
+                    request.kind,
+                    completion.latency_ms,
+                    completion.prompt_tokens + completion.completion_tokens,
+                )
             try:
                 return Outcome(
                     value=request.parse(completion),
@@ -568,21 +587,46 @@ class Dispatcher:
         with self._flight_budget.slot(self._cancel):
             return self._model.complete(prompt, options)
 
-    def _raw_attempt(
+    async def _raw_attempt_async(
         self, prompt: str, options: CompletionOptions
     ) -> Tuple[Completion, bool]:
-        """Attempt 0 without metering: cache read, else raw model call."""
+        """Attempt 0 without metering, native on the event-loop core.
+
+        Cache probe first (a warm key costs nothing and takes no
+        slot); otherwise the call goes through the model's own async
+        surface when it has one (transports, the batching gate) and
+        through the in-process transport wrapper otherwise — identical
+        completions either way, since the wrapper delegates to the
+        same ``complete``.
+        """
         if self._cache is not None:
             cached = self._cache.get(prompt, options, model_name=self._model_name)
             if cached is not None:
                 return cached, True
-        model = self._raw_model if self._raw_model is not None else self._model
         if self._cancel is not None:
             self._cancel.check()
+        target = self._async_target
+        if target is None:
+            model = (
+                self._raw_model if self._raw_model is not None else self._model
+            )
+            if hasattr(model, "complete_async"):
+                target = model
+            else:
+                from repro.llm.transport import as_transport
+
+                target = as_transport(model)
+            self._async_target = target
         if self._flight_budget is None:
-            return model.complete(prompt, options), False
-        with self._flight_budget.slot(self._cancel):
-            return model.complete(prompt, options), False
+            return await target.complete_async(prompt, options), False
+        slot = self._flight_budget.slot(self._cancel)
+        # Slot acquisition can block on the session-wide semaphore;
+        # park the wait on a worker thread so the loop stays live.
+        await asyncio.get_running_loop().run_in_executor(None, slot.__enter__)
+        try:
+            return await target.complete_async(prompt, options), False
+        finally:
+            slot.__exit__(None, None, None)
 
     def _emit_flight_spans(
         self,

@@ -1,0 +1,5 @@
+"""Online statistics: observed cardinality/selectivity catalog."""
+
+from repro.stats.catalog import StatisticsCatalog
+
+__all__ = ["StatisticsCatalog"]

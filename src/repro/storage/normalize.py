@@ -30,12 +30,31 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.sql import ast
-from repro.sql.printer import print_statement
+from repro.sql.printer import print_expression, print_statement
 
 
 def canonical_sql_key(statement: ast.Statement) -> str:
     """The normalized text of a bound statement, for cache keying."""
     return print_statement(_normalize_statement(statement, counter=[0]))
+
+
+def predicate_fingerprint(binding: str, conjuncts) -> str:
+    """Canonical key of a bound single-binding predicate.
+
+    The statistics catalog keys observed selectivities on the *shape*
+    of a predicate independent of the alias it was written against:
+    the binding is renamed to the canonical ``t1`` and the conjuncts
+    are printed in sorted order (AND is commutative).  Literals are
+    deliberately kept — ``population > 1000`` and ``population > 9``
+    select different fractions and must not share a fingerprint.
+    """
+    env = {binding.lower(): "t1"}
+    counter = [1]
+    printed = sorted(
+        print_expression(_rewrite_expr(conjunct, env, counter))
+        for conjunct in conjuncts
+    )
+    return " AND ".join(printed)
 
 
 def _next_name(counter: List[int]) -> str:
